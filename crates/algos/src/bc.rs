@@ -1,0 +1,505 @@
+//! Biconnectivity: the sixth query class the paper names as
+//! fixpoint-expressible (§3: "SSSP, CC, Sim, DFS, LCC, and
+//! biconnectivity (BC) \[43\]").
+//!
+//! BC is the canonical *layered* fixpoint: it runs on top of the DFS
+//! substrate. Given the DFS forest of an undirected graph, each node
+//! carries the **lowpoint** status variable
+//!
+//! ```text
+//! low_v = min( first_v,
+//!              first_w  for every back edge (v, w),
+//!              low_c    for every tree child c )
+//! ```
+//!
+//! — a contracting, monotonic min-fixpoint over the tree (`⊥ = first_v`,
+//! values only decrease, `dependents(v) = {parent(v)}`). Articulation
+//! points and bridges are read off `low` and the tree:
+//!
+//! * `v` is an articulation point iff it is a root with ≥ 2 tree
+//!   children, or a non-root with a child `c` such that `low_c ≥ first_v`;
+//! * tree edge `(parent(c), c)` is a bridge iff `low_c > first_{parent}`.
+//!
+//! `IncBC` composes the deduced `IncDFS` (which keeps the canonical DFS
+//! forest fresh) with a Theorem 1 PE-phase for `low`: the variables whose
+//! *constants* changed (DFS numbers, adjacency) are reset to `⊥` together
+//! with their new-tree ancestor chains, and the unchanged step function
+//! re-lowers them — bottom-up, children before parents, by ranking on the
+//! (negated) preorder number.
+
+use crate::dfs::{DfsState, ROOT};
+use incgraph_core::engine::{Engine, RunStats};
+use incgraph_core::metrics::BoundednessReport;
+use incgraph_core::scope::ScopeStats;
+use incgraph_core::spec::FixpointSpec;
+use incgraph_core::status::Status;
+use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId};
+use std::collections::HashSet;
+
+/// The lowpoint fixpoint specification over a graph + DFS-forest snapshot.
+pub struct LowSpec<'a> {
+    g: &'a DynamicGraph,
+    dfs: &'a DfsState,
+}
+
+impl<'a> LowSpec<'a> {
+    /// Specification over `g` (undirected) and its DFS forest.
+    pub fn new(g: &'a DynamicGraph, dfs: &'a DfsState) -> Self {
+        assert!(!g.is_directed(), "BC is defined on undirected graphs");
+        LowSpec { g, dfs }
+    }
+}
+
+impl FixpointSpec for LowSpec<'_> {
+    type Value = u32;
+
+    fn num_vars(&self) -> usize {
+        self.g.node_count()
+    }
+
+    fn bottom(&self, x: usize) -> u32 {
+        self.dfs.first(x as NodeId)
+    }
+
+    fn eval<R: FnMut(usize) -> u32>(&self, x: usize, read: &mut R) -> u32 {
+        let v = x as NodeId;
+        let mut low = self.dfs.first(v);
+        let parent = self.dfs.parent(v);
+        for &(w, _) in self.g.out_neighbors(v) {
+            if self.dfs.parent(w) == v {
+                // Tree child: take its lowpoint.
+                low = low.min(read(w as usize));
+            } else if w != parent {
+                // Back edge (undirected DFS leaves no cross edges).
+                low = low.min(self.dfs.first(w));
+            }
+        }
+        low
+    }
+
+    fn dependents<P: FnMut(usize)>(&self, x: usize, push: &mut P) {
+        let p = self.dfs.parent(x as NodeId);
+        if p != ROOT {
+            push(p as usize);
+        }
+    }
+
+    fn preceq(&self, a: &u32, b: &u32) -> bool {
+        a <= b
+    }
+
+    fn rank(&self, _x: usize, _v: &u32) -> u64 {
+        0
+    }
+
+    fn push_rank(&self, z: usize, _zv: &u32, _t: usize, _tv: &u32) -> u64 {
+        // Children before parents: deeper preorder numbers pop first.
+        u64::MAX - 1 - self.dfs.first(z as NodeId) as u64
+    }
+}
+
+/// BC state: the DFS substrate plus the lowpoint fixpoint.
+pub struct BcState {
+    dfs: DfsState,
+    low: Status<u32>,
+    engine: Engine,
+}
+
+impl BcState {
+    /// Runs batch BC: DFS forest, then the lowpoint fixpoint.
+    pub fn batch(g: &DynamicGraph) -> (Self, RunStats) {
+        let (dfs, mut stats) = DfsState::batch(g);
+        let (low, engine, low_stats) = Self::low_from_scratch(g, &dfs);
+        stats.merge(&low_stats);
+        (BcState { dfs, low, engine }, stats)
+    }
+
+    fn low_from_scratch(g: &DynamicGraph, dfs: &DfsState) -> (Status<u32>, Engine, RunStats) {
+        let spec = LowSpec::new(g, dfs);
+        let mut low = Status::init(&spec, false);
+        let mut engine = Engine::new(spec.num_vars());
+        // Seed bottom-up so most lowpoints settle in one pass.
+        let mut order: Vec<usize> = (0..spec.num_vars()).collect();
+        order.sort_unstable_by_key(|&x| std::cmp::Reverse(dfs.first(x as NodeId)));
+        let stats = engine.run(&spec, &mut low, order);
+        (low, engine, stats)
+    }
+
+    /// The underlying DFS forest.
+    pub fn dfs(&self) -> &DfsState {
+        &self.dfs
+    }
+
+    /// Lowpoint of `v`.
+    pub fn low(&self, v: NodeId) -> u32 {
+        self.low.get(v as usize)
+    }
+
+    /// Whether `v` is an articulation (cut) point.
+    pub fn is_articulation(&self, g: &DynamicGraph, v: NodeId) -> bool {
+        let first_v = self.dfs.first(v);
+        let mut children = 0usize;
+        let mut cut = false;
+        for &(w, _) in g.out_neighbors(v) {
+            if self.dfs.parent(w) == v {
+                children += 1;
+                if self.low(w) >= first_v {
+                    cut = true;
+                }
+            }
+        }
+        if self.dfs.parent(v) == ROOT {
+            children >= 2
+        } else {
+            cut
+        }
+    }
+
+    /// All articulation points, ascending.
+    pub fn articulation_points(&self, g: &DynamicGraph) -> Vec<NodeId> {
+        (0..g.node_count() as NodeId)
+            .filter(|&v| self.is_articulation(g, v))
+            .collect()
+    }
+
+    /// All bridges as `(parent, child)` tree edges with `low_child >
+    /// first_parent`, ascending by child.
+    pub fn bridges(&self, g: &DynamicGraph) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for c in 0..g.node_count() as NodeId {
+            let p = self.dfs.parent(c);
+            if p != ROOT && self.low(c) > self.dfs.first(p) {
+                out.push((p, c));
+            }
+        }
+        out
+    }
+
+    /// `IncBC`: refresh the DFS forest with `IncDFS`, then re-lower the
+    /// lowpoints of the affected region (PE reset over the new-tree
+    /// ancestor closure).
+    pub fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        // Snapshot the DFS numbers that the low constants derive from.
+        let n = g.node_count();
+        self.ensure_size(n);
+        let old_first: Vec<u32> = (0..n as NodeId).map(|v| self.dfs.first(v)).collect();
+        let old_parent: Vec<NodeId> = (0..n as NodeId).map(|v| self.dfs.parent(v)).collect();
+
+        let dfs_report = self.dfs.update(g, applied);
+
+        // PE seeds: nodes whose DFS assignment changed (their constants
+        // moved), their neighbors (who read those constants), and the
+        // endpoints of ΔG (whose back-edge sets changed).
+        let mut pe: HashSet<usize> = HashSet::new();
+        let mut stack: Vec<usize> = Vec::new();
+        let seed = |x: usize, pe: &mut HashSet<usize>, stack: &mut Vec<usize>| {
+            if pe.insert(x) {
+                stack.push(x);
+            }
+        };
+        for v in 0..n {
+            if self.dfs.first(v as NodeId) != old_first[v]
+                || self.dfs.parent(v as NodeId) != old_parent[v]
+            {
+                seed(v, &mut pe, &mut stack);
+                for &(w, _) in g.out_neighbors(v as NodeId) {
+                    seed(w as usize, &mut pe, &mut stack);
+                }
+            }
+        }
+        for op in applied.ops() {
+            for e in [op.src, op.dst] {
+                if (e as usize) < n {
+                    seed(e as usize, &mut pe, &mut stack);
+                    for &(w, _) in g.out_neighbors(e) {
+                        seed(w as usize, &mut pe, &mut stack);
+                    }
+                }
+            }
+        }
+        // Upward closure: a changed lowpoint can raise every new-tree
+        // ancestor, and the contracting engine cannot raise — so reset
+        // the whole chain.
+        let mut scope_stats = ScopeStats::default();
+        while let Some(x) = stack.pop() {
+            scope_stats.pops += 1;
+            let p = self.dfs.parent(x as NodeId);
+            if p != ROOT && pe.insert(p as usize) {
+                stack.push(p as usize);
+            }
+        }
+
+        let spec = LowSpec::new(g, &self.dfs);
+        let mut scope: Vec<usize> = pe.into_iter().collect();
+        scope.sort_unstable();
+        for &x in &scope {
+            let bot = spec.bottom(x);
+            if self.low.get(x) != bot {
+                self.low.set_unstamped(x, bot);
+                scope_stats.raised += 1;
+            }
+        }
+        let mut run = self.engine.run(&spec, &mut self.low, scope.iter().copied());
+        run.merge(&dfs_report.run_stats);
+        let scope_len = scope.len().max(dfs_report.scope_size);
+        // The variable universe spans both layers: n interval variables
+        // (DFS) plus n lowpoint variables.
+        BoundednessReport::new(2 * n, scope_len, scope_stats, run)
+    }
+
+    /// Resident bytes (no timestamps: BC is deducible).
+    pub fn space_bytes(&self) -> usize {
+        self.dfs.space_bytes() + self.low.space_bytes() + self.engine.space_bytes()
+    }
+
+    fn ensure_size(&mut self, n: usize) {
+        if n > self.low.len() {
+            self.low.extend_to(n, |_| u32::MAX);
+            self.engine = Engine::new(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incgraph_graph::UpdateBatch;
+
+    /// Reference: recursive Tarjan articulation points / bridges.
+    fn reference(g: &DynamicGraph) -> (Vec<NodeId>, Vec<(NodeId, NodeId)>) {
+        let n = g.node_count();
+        let mut first = vec![u32::MAX; n];
+        let mut low = vec![u32::MAX; n];
+        let mut parent = vec![ROOT; n];
+        let mut time = 0u32;
+        let mut aps: HashSet<NodeId> = HashSet::new();
+        let mut bridges: Vec<(NodeId, NodeId)> = Vec::new();
+
+        // Iterative Tarjan with explicit stack.
+        for r in 0..n as NodeId {
+            if first[r as usize] != u32::MAX {
+                continue;
+            }
+            let mut root_children = 0usize;
+            let mut stack: Vec<(NodeId, usize)> = Vec::new();
+            first[r as usize] = time;
+            low[r as usize] = time;
+            time += 1;
+            stack.push((r, 0));
+            'frames: while let Some(&(v, i0)) = stack.last() {
+                let adj = g.out_neighbors(v);
+                let mut i = i0;
+                while i < adj.len() {
+                    let w = adj[i].0;
+                    i += 1;
+                    if first[w as usize] == u32::MAX {
+                        parent[w as usize] = v;
+                        if v == r {
+                            root_children += 1;
+                        }
+                        first[w as usize] = time;
+                        low[w as usize] = time;
+                        time += 1;
+                        stack.last_mut().expect("frame").1 = i;
+                        stack.push((w, 0));
+                        continue 'frames;
+                    } else if w != parent[v as usize] {
+                        low[v as usize] = low[v as usize].min(first[w as usize]);
+                    }
+                }
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if p != r && low[v as usize] >= first[p as usize] {
+                        aps.insert(p);
+                    }
+                    if low[v as usize] > first[p as usize] {
+                        bridges.push((p, v));
+                    }
+                }
+            }
+            if root_children >= 2 {
+                aps.insert(r);
+            }
+        }
+        let mut aps: Vec<NodeId> = aps.into_iter().collect();
+        aps.sort_unstable();
+        bridges.sort_unstable_by_key(|&(_, c)| c);
+        (aps, bridges)
+    }
+
+    fn assert_matches_reference(state: &BcState, g: &DynamicGraph) {
+        let (aps, bridges) = reference(g);
+        assert_eq!(state.articulation_points(g), aps, "articulation points");
+        let mut got = state.bridges(g);
+        got.sort_unstable_by_key(|&(_, c)| c);
+        assert_eq!(got, bridges, "bridges");
+    }
+
+    #[test]
+    fn path_graph_interior_nodes_are_cuts() {
+        let mut g = DynamicGraph::new(false, 5);
+        for i in 0..4u32 {
+            g.insert_edge(i, i + 1, 1);
+        }
+        let (bc, _) = BcState::batch(&g);
+        assert_eq!(bc.articulation_points(&g), vec![1, 2, 3]);
+        assert_eq!(bc.bridges(&g).len(), 4, "every path edge is a bridge");
+    }
+
+    #[test]
+    fn cycle_has_no_cuts_or_bridges() {
+        let mut g = DynamicGraph::new(false, 6);
+        for i in 0..6u32 {
+            g.insert_edge(i, (i + 1) % 6, 1);
+        }
+        let (bc, _) = BcState::batch(&g);
+        assert!(bc.articulation_points(&g).is_empty());
+        assert!(bc.bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn barbell_center_is_a_cut() {
+        // Two triangles joined by a bridge through node 2-3.
+        let mut g = DynamicGraph::new(false, 6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            g.insert_edge(u, v, 1);
+        }
+        let (bc, _) = BcState::batch(&g);
+        assert_eq!(bc.articulation_points(&g), vec![2, 3]);
+        assert_eq!(bc.bridges(&g), vec![(2, 3)]);
+        assert_matches_reference(&bc, &g);
+    }
+
+    #[test]
+    fn batch_matches_reference_on_random_graphs() {
+        for seed in 0..5 {
+            let g = incgraph_graph::gen::uniform(60, 120, false, 1, 1, seed);
+            let (bc, _) = BcState::batch(&g);
+            assert_matches_reference(&bc, &g);
+        }
+    }
+
+    #[test]
+    fn insertion_closes_a_cycle_and_clears_cuts() {
+        let mut g = DynamicGraph::new(false, 4);
+        for i in 0..3u32 {
+            g.insert_edge(i, i + 1, 1);
+        }
+        let (mut bc, _) = BcState::batch(&g);
+        assert_eq!(bc.articulation_points(&g), vec![1, 2]);
+        let mut b = UpdateBatch::new();
+        b.insert(3, 0, 1);
+        let applied = b.apply(&mut g);
+        bc.update(&g, &applied);
+        assert!(bc.articulation_points(&g).is_empty());
+        assert_matches_reference(&bc, &g);
+    }
+
+    #[test]
+    fn deletion_creates_bridges() {
+        let mut g = DynamicGraph::new(false, 5);
+        for i in 0..5u32 {
+            g.insert_edge(i, (i + 1) % 5, 1);
+        }
+        let (mut bc, _) = BcState::batch(&g);
+        assert!(bc.bridges(&g).is_empty());
+        let mut b = UpdateBatch::new();
+        b.delete(2, 3);
+        let applied = b.apply(&mut g);
+        bc.update(&g, &applied);
+        assert_eq!(bc.bridges(&g).len(), 4);
+        assert_matches_reference(&bc, &g);
+    }
+
+    #[test]
+    fn random_rounds_match_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut g = incgraph_graph::gen::uniform(50, 110, false, 1, 1, 77);
+        let (mut bc, _) = BcState::batch(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for round in 0..20 {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..5 {
+                let u = rng.gen_range(0..50) as NodeId;
+                let v = rng.gen_range(0..50) as NodeId;
+                if u == v {
+                    continue;
+                }
+                if rng.gen_bool(0.5) {
+                    batch.insert(u, v, 1);
+                } else {
+                    batch.delete(u, v);
+                }
+            }
+            let applied = batch.apply(&mut g);
+            bc.update(&g, &applied);
+            let (aps, bridges) = reference(&g);
+            assert_eq!(
+                bc.articulation_points(&g),
+                aps,
+                "articulation points diverged at round {round}"
+            );
+            let mut got = bc.bridges(&g);
+            got.sort_unstable_by_key(|&(_, c)| c);
+            assert_eq!(got, bridges, "bridges diverged at round {round}");
+        }
+    }
+
+    #[test]
+    fn lowpoints_match_fresh_batch_after_updates() {
+        use rand::{Rng, SeedableRng};
+        let mut g = incgraph_graph::gen::uniform(40, 90, false, 1, 1, 5);
+        let (mut bc, _) = BcState::batch(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for round in 0..15 {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..4 {
+                let u = rng.gen_range(0..40) as NodeId;
+                let v = rng.gen_range(0..40) as NodeId;
+                if u == v {
+                    continue;
+                }
+                if rng.gen_bool(0.5) {
+                    batch.insert(u, v, 1);
+                } else {
+                    batch.delete(u, v);
+                }
+            }
+            let applied = batch.apply(&mut g);
+            bc.update(&g, &applied);
+            let (fresh, _) = BcState::batch(&g);
+            for v in 0..40u32 {
+                assert_eq!(bc.low(v), fresh.low(v), "low_{v} diverged at round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn localized_update_stays_local() {
+        // A forest of 100 disjoint 10-node triangles-with-tails; an
+        // update inside the last tree must skip the 99 earlier subtrees
+        // (IncDFS) and re-lower only that tree's lowpoints.
+        let mut g = DynamicGraph::new(false, 1000);
+        for k in 0..100u32 {
+            let base = k * 10;
+            g.insert_edge(base, base + 1, 1);
+            g.insert_edge(base + 1, base + 2, 1);
+            g.insert_edge(base + 2, base, 1); // triangle
+            for i in 2..9 {
+                g.insert_edge(base + i, base + i + 1, 1); // tail
+            }
+        }
+        let (mut bc, _) = BcState::batch(&g);
+        let mut b = UpdateBatch::new();
+        b.delete(997, 998);
+        let applied = b.apply(&mut g);
+        let report = bc.update(&g, &applied);
+        assert_matches_reference(&bc, &g);
+        assert!(
+            report.inspected_vars < 100,
+            "inspected {}",
+            report.inspected_vars
+        );
+    }
+}

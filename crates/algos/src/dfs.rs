@@ -1,0 +1,504 @@
+//! Depth-first search: the `DFS_fp` interval fixpoint (paper §5.2) and
+//! its **deducible** incremental algorithm `IncDFS`.
+//!
+//! Each node's status variable is the interval `x_v = [v.first, v.last]`
+//! of its entry/exit timestamps in the DFS traversal from a virtual root
+//! `r` connected to every node (so the result is an ordered spanning
+//! forest covering all of `V`). The batch traversal is deterministic:
+//! root children are attempted in node-id order and out-neighbors in
+//! adjacency (id) order, which pins down a unique DFS tree — the paper's
+//! correctness equation `Q(G ⊕ ΔG) = Q(G) ⊕ A_Δ(…)` then means the
+//! incremental algorithm must reproduce *exactly* the intervals and
+//! parents the batch run would produce on the updated graph.
+//!
+//! `IncDFS` follows the paper's `h`-plus-resume recipe with the order
+//! `<_C` given by `v.first` and anchor set = the parent: the scope phase
+//! marks the nodes whose input sets evolved (endpoints of `ΔG`) and the
+//! old-tree ancestors whose subtrees contain them; the resume phase
+//! re-runs the traversal but **skips over any subtree whose replay is
+//! provably identical** (entered at the same timestamp from the same
+//! parent, with no affected node inside, while the traversal prefix is
+//! still identical to the old run). Skipped subtrees keep their old
+//! intervals untouched, so the re-traversal cost tracks the affected
+//! area — which for DFS is everything after the first divergence point,
+//! exactly the behaviour the paper reports (IncDFS wins for small `ΔG`
+//! and loses to batch beyond ~4%).
+//!
+//! DFS's update functions are not pure functions of a static input set
+//! (a node's interval depends on how many timestamps its earlier siblings
+//! consumed), so this module implements the step function directly rather
+//! than through the generic [`incgraph_core::FixpointSpec`]; the two-phase
+//! structure and the accounting are the same.
+
+use incgraph_core::engine::RunStats;
+use incgraph_core::metrics::BoundednessReport;
+use incgraph_core::scope::ScopeStats;
+use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId};
+use std::collections::HashSet;
+
+/// Parent sentinel for roots of the DFS forest (children of the virtual
+/// root `r`).
+pub const ROOT: NodeId = NodeId::MAX;
+
+/// DFS state: the interval labelling and tree of the previous run, plus
+/// the scratch needed to replay updates cheaply.
+pub struct DfsState {
+    first: Vec<u32>,
+    last: Vec<u32>,
+    parent: Vec<NodeId>,
+    /// Epoch-versioned visited marks for incremental replays.
+    visited_mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl DfsState {
+    /// Runs batch `DFS_fp` on `g`.
+    pub fn batch(g: &DynamicGraph) -> (Self, RunStats) {
+        let n = g.node_count();
+        let mut state = DfsState {
+            first: vec![0; n],
+            last: vec![0; n],
+            parent: vec![ROOT; n],
+            visited_mark: vec![0; n],
+            epoch: 0,
+        };
+        let stats = state.traverse(g, &HashSet::new(), false);
+        (state, stats)
+    }
+
+    /// Entry (preorder) timestamp of `v`.
+    pub fn first(&self, v: NodeId) -> u32 {
+        self.first[v as usize]
+    }
+
+    /// Exit (postorder) timestamp of `v`.
+    pub fn last(&self, v: NodeId) -> u32 {
+        self.last[v as usize]
+    }
+
+    /// Parent of `v` in the DFS tree ([`ROOT`] for forest roots).
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+
+    /// The intervals `[first, last]` of every node.
+    pub fn intervals(&self) -> Vec<(u32, u32)> {
+        self.first
+            .iter()
+            .zip(&self.last)
+            .map(|(&f, &l)| (f, l))
+            .collect()
+    }
+
+    /// Whether `u` is an ancestor of `v` in the DFS tree (interval
+    /// nesting; a node is its own ancestor).
+    pub fn is_ancestor(&self, u: NodeId, v: NodeId) -> bool {
+        self.first[u as usize] <= self.first[v as usize]
+            && self.last[v as usize] <= self.last[u as usize]
+    }
+
+    /// `IncDFS`: adjust via the affected-subtree scope phase, then resume
+    /// the traversal with identical-subtree skipping.
+    pub fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        self.ensure_size(g);
+        let mut scope_stats = ScopeStats::default();
+
+        // h phase: classify each op against the old traversal. An op is
+        // *inert* — provably replayed identically — when it is an inserted
+        // back/cross edge to an earlier-visited target (the scan finds the
+        // target already visited, exactly as not scanning it at all) or a
+        // deleted non-tree edge (the scan simply no longer sees an edge it
+        // skipped anyway). Structural ops mark the old-tree ancestor
+        // chains of both endpoints: any subtree containing one may replay
+        // differently.
+        let mut aff_sub: HashSet<NodeId> = HashSet::new();
+        {
+            let mut mark_chain = |state: &Self, v: NodeId| {
+                let mut cur = v;
+                loop {
+                    scope_stats.pops += 1;
+                    if !aff_sub.insert(cur) {
+                        break;
+                    }
+                    scope_stats.raised += 1;
+                    let p = state.parent[cur as usize];
+                    if p == ROOT {
+                        break;
+                    }
+                    cur = p;
+                }
+            };
+            // An inserted edge (u, v) with v inside u's old subtree only
+            // changes the traversal if u's scan reaches the new target
+            // before the branch that already leads to v. The scan walks
+            // the sorted adjacency, so with c = the child of u whose
+            // subtree contains v: structural iff v < c in id order.
+            let insert_structural = |state: &Self, u: NodeId, v: NodeId| -> bool {
+                let (fu, lu) = (state.first[u as usize], state.last[u as usize]);
+                let fv = state.first[v as usize];
+                if fv < fu {
+                    return false; // back/cross to an earlier node: inert
+                }
+                if fv > lu {
+                    return true; // forward-cross past u's subtree
+                }
+                // Descendant: locate the branch child.
+                for &(c, _) in g.out_neighbors(u) {
+                    if state.parent[c as usize] == u
+                        && state.first[c as usize] <= fv
+                        && fv <= state.last[c as usize]
+                    {
+                        return v < c;
+                    }
+                }
+                true // branch child not in current adjacency: be conservative
+            };
+            for op in applied.ops() {
+                let (u, v) = (op.src, op.dst);
+                let structural = if op.inserted {
+                    insert_structural(self, u, v)
+                        || (!g.is_directed() && insert_structural(self, v, u))
+                } else {
+                    self.parent[v as usize] == u
+                        || (!g.is_directed() && self.parent[u as usize] == v)
+                };
+                if structural {
+                    mark_chain(self, u);
+                    mark_chain(self, v);
+                }
+            }
+        }
+        let scope_size = aff_sub.len();
+
+        // Every op inert ⇒ the replay is provably identical; skip the
+        // traversal (and its old-state snapshot) entirely. This is what
+        // makes the common unit update — a back/cross insertion or a
+        // non-tree deletion — effectively free.
+        if aff_sub.is_empty() {
+            return BoundednessReport::new(
+                g.node_count(),
+                0,
+                scope_stats,
+                RunStats::default(),
+            );
+        }
+
+        let run = self.traverse(g, &aff_sub, true);
+        BoundednessReport::new(g.node_count(), scope_size, scope_stats, run)
+    }
+
+    /// Resident bytes of the algorithm's state (Fig. 8). No timestamps
+    /// beyond the intervals themselves — IncDFS is deducible.
+    pub fn space_bytes(&self) -> usize {
+        (self.first.capacity() + self.last.capacity() + self.visited_mark.capacity()) * 4
+            + self.parent.capacity() * std::mem::size_of::<NodeId>()
+    }
+
+    /// The step function: a DFS replay. With `incremental` set, subtrees
+    /// whose replay is provably identical to the previous run are skipped
+    /// in O(1) (plus an O(log #skips) membership structure).
+    fn traverse(&mut self, g: &DynamicGraph, aff_sub: &HashSet<NodeId>, incremental: bool) -> RunStats {
+        let n = g.node_count();
+        let mut stats = RunStats::default();
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        // Old-run snapshot for skip decisions and visited queries. The
+        // clone is O(n) but costs a fraction of a full re-traversal; the
+        // skipped subtrees' entries double as the new values.
+        let (old_first, old_last, old_parent) = if incremental {
+            (self.first.clone(), self.last.clone(), self.parent.clone())
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+
+        // Sorted, disjoint old-time intervals of skipped subtrees.
+        let mut skipped: Vec<(u32, u32)> = Vec::new();
+        let in_skipped = |skipped: &[(u32, u32)], of: u32| -> bool {
+            let i = skipped.partition_point(|&(_, l)| l < of);
+            i < skipped.len() && skipped[i].0 <= of
+        };
+
+        let mut time: u32 = 0;
+        // `identical` = every timestamp assigned so far equals the old
+        // run's; the precondition for any further skipping.
+        let mut identical = incremental;
+        // Explicit stack of (node, next-out-neighbor index).
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+
+        macro_rules! visited {
+            ($w:expr) => {
+                self.visited_mark[$w as usize] == epoch
+                    || (incremental && in_skipped(&skipped, old_first[$w as usize]))
+            };
+        }
+
+        for r in 0..n as NodeId {
+            if visited!(r) {
+                continue;
+            }
+            // Try to skip the whole old subtree rooted at this forest root.
+            if identical
+                && old_first[r as usize] == time
+                && old_parent[r as usize] == ROOT
+                && !aff_sub.contains(&r)
+            {
+                skipped.push((old_first[r as usize], old_last[r as usize]));
+                time = old_last[r as usize] + 1;
+                continue;
+            }
+            // Normal entry.
+            if identical && (old_first[r as usize] != time || old_parent[r as usize] != ROOT) {
+                identical = false;
+            }
+            self.enter(r, ROOT, &mut time, epoch, &mut stats);
+            stack.push((r, 0));
+
+            'frames: while let Some(&(v, idx0)) = stack.last() {
+                let adj = g.out_neighbors(v);
+                let mut idx = idx0;
+                while idx < adj.len() {
+                    let w = adj[idx].0;
+                    idx += 1;
+                    stats.reads += 1;
+                    if visited!(w) {
+                        continue;
+                    }
+                    if identical
+                        && old_first[w as usize] == time
+                        && old_parent[w as usize] == v
+                        && !aff_sub.contains(&w)
+                    {
+                        skipped.push((old_first[w as usize], old_last[w as usize]));
+                        time = old_last[w as usize] + 1;
+                        continue;
+                    }
+                    if identical && (old_first[w as usize] != time || old_parent[w as usize] != v)
+                    {
+                        identical = false;
+                    }
+                    stack.last_mut().expect("frame exists").1 = idx;
+                    self.enter(w, v, &mut time, epoch, &mut stats);
+                    stack.push((w, 0));
+                    continue 'frames;
+                }
+                // Out-neighbors exhausted: close v.
+                if identical && old_last[v as usize] != time {
+                    identical = false;
+                }
+                self.last[v as usize] = time;
+                time += 1;
+                stack.pop();
+            }
+        }
+        stats
+    }
+
+    fn enter(&mut self, v: NodeId, p: NodeId, time: &mut u32, epoch: u32, stats: &mut RunStats) {
+        if self.first[v as usize] != *time || self.parent[v as usize] != p {
+            stats.changes += 1;
+        }
+        self.first[v as usize] = *time;
+        self.parent[v as usize] = p;
+        self.visited_mark[v as usize] = epoch;
+        *time += 1;
+        stats.pops += 1;
+        stats.evals += 1;
+        stats.distinct_vars += 1;
+    }
+
+    fn ensure_size(&mut self, g: &DynamicGraph) {
+        let n = g.node_count();
+        if n > self.first.len() {
+            // Fresh nodes get sentinel intervals past any real timestamp,
+            // so they can never be mistaken for part of the old traversal.
+            self.first.resize(n, u32::MAX);
+            self.last.resize(n, u32::MAX);
+            self.parent.resize(n, ROOT);
+            self.visited_mark.resize(n, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incgraph_graph::UpdateBatch;
+
+    fn assert_same_as_batch(state: &DfsState, g: &DynamicGraph) {
+        let (fresh, _) = DfsState::batch(g);
+        assert_eq!(state.first, fresh.first, "first timestamps diverge");
+        assert_eq!(state.last, fresh.last, "last timestamps diverge");
+        assert_eq!(state.parent, fresh.parent, "parents diverge");
+    }
+
+    #[test]
+    fn batch_on_a_path_numbers_sequentially() {
+        let mut g = DynamicGraph::new(true, 4);
+        for i in 0..3u32 {
+            g.insert_edge(i, i + 1, 1);
+        }
+        let (s, _) = DfsState::batch(&g);
+        assert_eq!(s.intervals(), vec![(0, 7), (1, 6), (2, 5), (3, 4)]);
+        assert_eq!(s.parent(0), ROOT);
+        assert_eq!(s.parent(3), 2);
+    }
+
+    #[test]
+    fn forest_roots_follow_id_order() {
+        let mut g = DynamicGraph::new(true, 5);
+        g.insert_edge(3, 4, 1);
+        let (s, _) = DfsState::batch(&g);
+        // Components {0},{1},{2},{3,4} visited in id order.
+        assert_eq!(s.intervals(), vec![(0, 1), (2, 3), (4, 5), (6, 9), (7, 8)]);
+    }
+
+    #[test]
+    fn dfs_invariant_no_forward_cross_edges() {
+        // Tarjan's invariant: for every edge (u,v), NOT(u.last < v.first)
+        // — i.e. no edge jumps forward across finished subtrees.
+        let g = incgraph_graph::gen::uniform(150, 700, true, 1, 1, 4);
+        let (s, _) = DfsState::batch(&g);
+        for (u, v, _) in g.edges() {
+            assert!(
+                s.last(u) > s.first(v) || s.first(v) <= s.first(u),
+                "forward-cross edge ({u},{v})"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_nesting_is_laminar() {
+        let g = incgraph_graph::gen::uniform(100, 400, true, 1, 1, 9);
+        let (s, _) = DfsState::batch(&g);
+        for v in 0..100u32 {
+            assert!(s.first(v) < s.last(v));
+            let p = s.parent(v);
+            if p != ROOT {
+                assert!(s.is_ancestor(p, v), "child interval not nested");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_equals_batch_on_paper_style_update() {
+        let mut g = crate::sssp::tests::paper_graph();
+        let (mut s, _) = DfsState::batch(&g);
+        let mut batch = UpdateBatch::new();
+        batch.delete(5, 6).insert(5, 3, 1);
+        let applied = batch.apply(&mut g);
+        s.update(&g, &applied);
+        assert_same_as_batch(&s, &g);
+    }
+
+    #[test]
+    fn untouched_prefix_subtrees_are_skipped() {
+        // 100 disjoint 10-node chains; an update inside the last chain
+        // must skip the 99 earlier subtrees wholesale.
+        let mut g = DynamicGraph::new(true, 1000);
+        for k in 0..100u32 {
+            for i in 0..9u32 {
+                g.insert_edge(k * 10 + i, k * 10 + i + 1, 1);
+            }
+        }
+        let (mut s, _) = DfsState::batch(&g);
+        let mut batch = UpdateBatch::new();
+        batch.delete(990, 991);
+        let applied = batch.apply(&mut g);
+        let report = s.update(&g, &applied);
+        assert_same_as_batch(&s, &g);
+        assert!(
+            report.run_stats.distinct_vars <= 20,
+            "re-traversed {} nodes",
+            report.run_stats.distinct_vars
+        );
+    }
+
+    #[test]
+    fn single_chain_update_reaches_everything() {
+        // The pathological flip side: on one long chain, deleting a late
+        // edge changes every node's exit time — the affected area IS the
+        // whole graph, and the replay must still be exactly right.
+        let mut g = DynamicGraph::new(true, 300);
+        for i in 0..299u32 {
+            g.insert_edge(i, i + 1, 1);
+        }
+        let (mut s, _) = DfsState::batch(&g);
+        let mut batch = UpdateBatch::new();
+        batch.delete(290, 291);
+        let applied = batch.apply(&mut g);
+        s.update(&g, &applied);
+        assert_same_as_batch(&s, &g);
+        // 291 is now a forest root, entered after the prefix closes.
+        assert_eq!(s.parent(291), ROOT);
+    }
+
+    #[test]
+    fn early_update_forces_wide_replay_but_stays_correct() {
+        let mut g = DynamicGraph::new(true, 200);
+        for i in 0..199u32 {
+            g.insert_edge(i, i + 1, 1);
+        }
+        let (mut s, _) = DfsState::batch(&g);
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1);
+        let applied = batch.apply(&mut g);
+        s.update(&g, &applied);
+        assert_same_as_batch(&s, &g);
+    }
+
+    #[test]
+    fn random_rounds_equal_batch() {
+        use rand::{Rng, SeedableRng};
+        let mut g = incgraph_graph::gen::uniform(120, 500, true, 1, 1, 21);
+        let (mut s, _) = DfsState::batch(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for round in 0..20 {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..6 {
+                let u = rng.gen_range(0..120) as NodeId;
+                let v = rng.gen_range(0..120) as NodeId;
+                if u == v {
+                    continue;
+                }
+                if rng.gen_bool(0.5) {
+                    batch.insert(u, v, 1);
+                } else {
+                    batch.delete(u, v);
+                }
+            }
+            let applied = batch.apply(&mut g);
+            s.update(&g, &applied);
+            let (fresh, _) = DfsState::batch(&g);
+            assert_eq!(s.first, fresh.first, "round {round}");
+            assert_eq!(s.last, fresh.last, "round {round}");
+            assert_eq!(s.parent, fresh.parent, "round {round}");
+        }
+    }
+
+    #[test]
+    fn vertex_insertion_extends_state() {
+        let mut g = DynamicGraph::new(true, 3);
+        g.insert_edge(0, 1, 1);
+        let (mut s, _) = DfsState::batch(&g);
+        let v = g.add_node(0);
+        let mut batch = UpdateBatch::new();
+        batch.insert(1, v, 1);
+        let applied = batch.apply(&mut g);
+        s.update(&g, &applied);
+        assert_same_as_batch(&s, &g);
+    }
+
+    #[test]
+    fn noop_update_skips_everything() {
+        let mut g = DynamicGraph::new(true, 500);
+        for i in 0..499u32 {
+            g.insert_edge(i, i + 1, 1);
+        }
+        let (mut s, _) = DfsState::batch(&g);
+        let applied = UpdateBatch::new().apply(&mut g);
+        let report = s.update(&g, &applied);
+        assert_eq!(report.run_stats.distinct_vars, 0, "everything skipped");
+        assert_same_as_batch(&s, &g);
+    }
+}

@@ -1,0 +1,397 @@
+//! Local clustering coefficient: the `LCC_fp` fixpoint (paper §5.3) and
+//! its deducible incremental algorithm `IncLCC`.
+//!
+//! Each node `v` carries **two** status variables: its degree `d_v` and
+//! its triangle count `λ_v`; the coefficient is
+//! `γ_v = 2 λ_v / (d_v (d_v − 1))`. Both update functions are pure
+//! functions of the graph (their input sets contain no other status
+//! variables), so the dependency graph has no edges and the fixpoint
+//! converges in one round.
+//!
+//! LCC is **not** contracting (counts move both ways), so Theorem 3 does
+//! not apply; instead `IncLCC` is deduced by the Theorem 1 PE-variable
+//! strategy: for each changed edge `(u, v)`, the variables `d_u`, `d_v`
+//! and `λ_w` for every `w` within one hop of `u` or `v` are marked PE and
+//! re-evaluated by the unchanged step function. Because the dependency
+//! graph is edgeless, the PE flood is exactly the one-hop ball — bounded
+//! by construction, which is why `IncLCC` is deducible *and* relatively
+//! bounded without timestamps.
+
+use incgraph_core::engine::{Engine, RunStats};
+use incgraph_core::metrics::BoundednessReport;
+use incgraph_core::scope::ScopeStats;
+use incgraph_core::spec::FixpointSpec;
+use incgraph_core::status::Status;
+use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId, Weight};
+
+/// Count type for degrees and triangle counts.
+pub type Count = u64;
+
+/// Number of common neighbors of two sorted adjacency slices.
+pub(crate) fn sorted_intersect_count(a: &[(NodeId, Weight)], b: &[(NodeId, Weight)]) -> Count {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// The LCC fixpoint specification over an undirected graph snapshot.
+/// Variable `2v` is `d_v`; variable `2v + 1` is `λ_v`.
+pub struct LccSpec<'g> {
+    g: &'g DynamicGraph,
+}
+
+impl<'g> LccSpec<'g> {
+    /// Specification over `g`, which must be undirected.
+    pub fn new(g: &'g DynamicGraph) -> Self {
+        assert!(!g.is_directed(), "LCC is defined on undirected graphs");
+        LccSpec { g }
+    }
+}
+
+impl FixpointSpec for LccSpec<'_> {
+    type Value = Count;
+
+    fn num_vars(&self) -> usize {
+        self.g.node_count() * 2
+    }
+
+    fn bottom(&self, _x: usize) -> Count {
+        0
+    }
+
+    fn eval<R: FnMut(usize) -> Count>(&self, x: usize, _read: &mut R) -> Count {
+        let v = (x / 2) as NodeId;
+        if x.is_multiple_of(2) {
+            // f_{d_v}: the degree.
+            self.g.degree(v) as Count
+        } else {
+            // f_{λ_v}: triangles at v. Each triangle (v, a, b) is found at
+            // both a and b when intersecting N(v) with N(a) and N(b).
+            let nv = self.g.out_neighbors(v);
+            let mut twice: Count = 0;
+            for &(a, _) in nv {
+                twice += sorted_intersect_count(nv, self.g.out_neighbors(a));
+            }
+            twice / 2
+        }
+    }
+
+    fn dependents<P: FnMut(usize)>(&self, _x: usize, _push: &mut P) {
+        // d and λ feed only the derived γ; no status variable depends on
+        // another, so change propagation is empty.
+    }
+
+    fn preceq(&self, a: &Count, b: &Count) -> bool {
+        a <= b
+    }
+
+    fn is_contracting(&self) -> bool {
+        false
+    }
+}
+
+/// LCC state: the previous counts plus the reusable engine.
+pub struct LccState {
+    status: Status<Count>,
+    engine: Engine,
+}
+
+impl LccState {
+    /// Runs batch `LCC_fp`.
+    pub fn batch(g: &DynamicGraph) -> (Self, RunStats) {
+        let spec = LccSpec::new(g);
+        let mut status = Status::init(&spec, false);
+        let mut engine = Engine::new(spec.num_vars());
+        let stats = engine.run(&spec, &mut status, 0..spec.num_vars());
+        (LccState { status, engine }, stats)
+    }
+
+    /// Degree of `v` as maintained by the fixpoint.
+    pub fn degree(&self, v: NodeId) -> Count {
+        self.status.get(v as usize * 2)
+    }
+
+    /// Triangle count of `v`.
+    pub fn triangles(&self, v: NodeId) -> Count {
+        self.status.get(v as usize * 2 + 1)
+    }
+
+    /// Local clustering coefficient `γ_v ∈ \[0, 1\]`.
+    pub fn coefficient(&self, v: NodeId) -> f64 {
+        let d = self.degree(v);
+        if d < 2 {
+            0.0
+        } else {
+            2.0 * self.triangles(v) as f64 / (d as f64 * (d - 1) as f64)
+        }
+    }
+
+    /// All coefficients, in node order.
+    pub fn coefficients(&self) -> Vec<f64> {
+        (0..self.status.len() / 2)
+            .map(|v| self.coefficient(v as NodeId))
+            .collect()
+    }
+
+    /// `IncLCC`: mark the PE variables of each changed edge and re-run
+    /// the unchanged step function on them.
+    ///
+    /// The PE set per changed edge `(u, v)` is the *exact* affected set:
+    /// `d_u`, `d_v`, `λ_u`, `λ_v`, plus `λ_w` for every common neighbor
+    /// `w` of `u` and `v` — only nodes adjacent to both endpoints gain or
+    /// lose a triangle (a refinement of the paper's conservative one-hop
+    /// marking that keeps `H⁰ ⊆ AFF` tight). Common neighbors are taken
+    /// over the new adjacency *plus* the batch's deleted incidences, so
+    /// triangles destroyed by multiple deletions in one batch are still
+    /// caught.
+    pub fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        self.ensure_size(g);
+        let spec = LccSpec::new(g);
+
+        // Batch-local deleted incidences: old-only adjacency.
+        let mut deleted_adj: std::collections::HashMap<NodeId, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for (u, v, _) in applied.deleted() {
+            deleted_adj.entry(u).or_default().push(v);
+            deleted_adj.entry(v).or_default().push(u);
+        }
+        let neighbor = |x: NodeId, y: NodeId| -> bool {
+            g.has_edge(x, y)
+                || deleted_adj
+                    .get(&x)
+                    .map(|d| d.contains(&y))
+                    .unwrap_or(false)
+        };
+
+        let mut scope: Vec<usize> = Vec::new();
+        for op in applied.ops() {
+            let (u, v) = (op.src, op.dst);
+            for &e in &[u, v] {
+                scope.push(e as usize * 2); // d_e
+                scope.push(e as usize * 2 + 1); // λ_e
+            }
+            // Common neighbors over new ∪ batch-deleted adjacency: probe
+            // the smaller incidence list of u against v.
+            let du = g.out_neighbors(u).len()
+                + deleted_adj.get(&u).map(|d| d.len()).unwrap_or(0);
+            let dv = g.out_neighbors(v).len()
+                + deleted_adj.get(&v).map(|d| d.len()).unwrap_or(0);
+            let (probe, other) = if du <= dv { (u, v) } else { (v, u) };
+            for &(w, _) in g.out_neighbors(probe) {
+                if neighbor(w, other) {
+                    scope.push(w as usize * 2 + 1);
+                }
+            }
+            if let Some(dl) = deleted_adj.get(&probe) {
+                for &w in dl {
+                    if neighbor(w, other) {
+                        scope.push(w as usize * 2 + 1);
+                    }
+                }
+            }
+        }
+        scope.sort_unstable();
+        scope.dedup();
+        let scope_len = scope.len();
+        let run = self.engine.run(&spec, &mut self.status, scope);
+        BoundednessReport::new(spec.num_vars(), scope_len, ScopeStats::default(), run)
+    }
+
+    /// Resident bytes of the algorithm's state (Fig. 8). No timestamps —
+    /// IncLCC is deducible.
+    pub fn space_bytes(&self) -> usize {
+        self.status.space_bytes() + self.engine.space_bytes()
+    }
+
+    fn ensure_size(&mut self, g: &DynamicGraph) {
+        let n = g.node_count() * 2;
+        if n > self.status.len() {
+            self.status.extend_to(n, |_| 0);
+            self.engine = Engine::new(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incgraph_graph::UpdateBatch;
+
+    /// Brute-force reference: O(n³) triangle enumeration.
+    fn lcc_reference(g: &DynamicGraph) -> Vec<(Count, Count)> {
+        let n = g.node_count();
+        let mut out = Vec::with_capacity(n);
+        for v in 0..n as NodeId {
+            let d = g.degree(v) as Count;
+            let mut t = 0u64;
+            let nv = g.out_neighbors(v);
+            for i in 0..nv.len() {
+                for j in i + 1..nv.len() {
+                    if g.has_edge(nv[i].0, nv[j].0) {
+                        t += 1;
+                    }
+                }
+            }
+            out.push((d, t));
+        }
+        out
+    }
+
+    fn assert_matches_reference(state: &LccState, g: &DynamicGraph) {
+        for (v, &(d, t)) in lcc_reference(g).iter().enumerate() {
+            assert_eq!(state.degree(v as NodeId), d, "degree of {v}");
+            assert_eq!(state.triangles(v as NodeId), t, "triangles of {v}");
+        }
+    }
+
+    /// The undirected view of the paper's Fig. 2(a) graph.
+    fn paper_graph_undirected() -> DynamicGraph {
+        let mut g = DynamicGraph::new(false, 8);
+        for (u, v) in [
+            (0u32, 1u32),
+            (0, 2),
+            (2, 1),
+            (1, 4),
+            (1, 5),
+            (2, 5),
+            (4, 3),
+            (3, 1),
+            (4, 5),
+            (4, 6),
+            (5, 6),
+            (6, 7),
+            (2, 7),
+        ] {
+            g.insert_edge(u, v, 1);
+        }
+        g
+    }
+
+    #[test]
+    fn batch_matches_paper_figure_3d() {
+        let g = paper_graph_undirected();
+        let (state, _) = LccState::batch(&g);
+        // Fig. 3(d), G columns (rows 0..4 are printed in the paper).
+        let expect_d = [2u64, 5, 4, 2, 4];
+        let expect_l = [1u64, 4, 2, 1, 3];
+        for v in 0..5u32 {
+            assert_eq!(state.degree(v), expect_d[v as usize], "d_{v}");
+            assert_eq!(state.triangles(v), expect_l[v as usize], "λ_{v}");
+        }
+        assert_matches_reference(&state, &g);
+    }
+
+    #[test]
+    fn incremental_matches_paper_example_8() {
+        let mut g = paper_graph_undirected();
+        let (mut state, _) = LccState::batch(&g);
+        let mut batch = UpdateBatch::new();
+        batch.delete(5, 6).insert(5, 3, 1);
+        let applied = batch.apply(&mut g);
+        let report = state.update(&g, &applied);
+        // Fig. 3(d), G ⊕ ΔG columns.
+        let expect_d = [2u64, 5, 4, 3, 4];
+        let expect_l = [1u64, 5, 2, 3, 3];
+        for v in 0..5u32 {
+            assert_eq!(state.degree(v), expect_d[v as usize], "d_{v}");
+            assert_eq!(state.triangles(v), expect_l[v as usize], "λ_{v}");
+        }
+        assert_matches_reference(&state, &g);
+        // The scope is the one-hop ball: d for {3,5,6}, λ for the ball.
+        assert!(report.scope_size <= 16);
+    }
+
+    #[test]
+    fn coefficient_formula() {
+        // Triangle graph: every γ = 1.
+        let mut g = DynamicGraph::new(false, 3);
+        g.insert_edge(0, 1, 1);
+        g.insert_edge(1, 2, 1);
+        g.insert_edge(0, 2, 1);
+        let (state, _) = LccState::batch(&g);
+        assert_eq!(state.coefficients(), vec![1.0, 1.0, 1.0]);
+        // Path graph: every γ = 0 (degree-1 ends defined as 0).
+        let mut p = DynamicGraph::new(false, 3);
+        p.insert_edge(0, 1, 1);
+        p.insert_edge(1, 2, 1);
+        let (ps, _) = LccState::batch(&p);
+        assert_eq!(ps.coefficients(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn random_rounds_match_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut g = incgraph_graph::gen::uniform(80, 400, false, 1, 1, 12);
+        let (mut state, _) = LccState::batch(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for round in 0..15 {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..10 {
+                let u = rng.gen_range(0..80) as NodeId;
+                let v = rng.gen_range(0..80) as NodeId;
+                if rng.gen_bool(0.5) {
+                    batch.insert(u, v, 1);
+                } else {
+                    batch.delete(u, v);
+                }
+            }
+            let applied = batch.apply(&mut g);
+            state.update(&g, &applied);
+            for (v, &(d, t)) in lcc_reference(&g).iter().enumerate() {
+                assert_eq!(state.degree(v as NodeId), d, "round {round} d_{v}");
+                assert_eq!(state.triangles(v as NodeId), t, "round {round} λ_{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_inspects_only_the_ball() {
+        // A long path plus one triangle at the end; touching the far end
+        // must not inspect the path.
+        let mut g = DynamicGraph::new(false, 1000);
+        for i in 0..999u32 {
+            g.insert_edge(i, i + 1, 1);
+        }
+        let (mut state, _) = LccState::batch(&g);
+        let mut batch = UpdateBatch::new();
+        batch.insert(997, 999, 1);
+        let applied = batch.apply(&mut g);
+        let report = state.update(&g, &applied);
+        assert!(report.inspected_vars <= 12, "got {}", report.inspected_vars);
+        assert_eq!(state.triangles(998), 1);
+    }
+
+    #[test]
+    fn vertex_insertion_extends_state() {
+        let mut g = DynamicGraph::new(false, 3);
+        g.insert_edge(0, 1, 1);
+        g.insert_edge(1, 2, 1);
+        g.insert_edge(0, 2, 1);
+        let (mut state, _) = LccState::batch(&g);
+        let v = g.add_node(0);
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, v, 1).insert(1, v, 1);
+        let applied = batch.apply(&mut g);
+        state.update(&g, &applied);
+        assert_matches_reference(&state, &g);
+        assert_eq!(state.triangles(v), 1);
+    }
+
+    #[test]
+    fn intersect_count_basics() {
+        let a = [(1u32, 0u32), (3, 0), (5, 0), (9, 0)];
+        let b = [(2u32, 0u32), (3, 0), (9, 0)];
+        assert_eq!(sorted_intersect_count(&a, &b), 2);
+        assert_eq!(sorted_intersect_count(&a, &[]), 0);
+    }
+}

@@ -1,0 +1,587 @@
+//! Euler-tour forest over splay trees: the balanced-tree backbone of the
+//! HDT dynamic-connectivity structure.
+//!
+//! Each tree of the forest is represented by the Euler tour of its arcs,
+//! stored as a splay tree (amortized `O(log n)` per operation) in tour
+//! order. Every vertex contributes one *self node* `(v, v)` and every
+//! tree edge two *arc nodes* `(u, v)` and `(v, u)`. Splay nodes aggregate,
+//! over their subtree:
+//!
+//! * the number of self nodes (= tree size, for HDT's smaller-side rule),
+//! * the minimum vertex id among self nodes (= component id for CC),
+//! * an OR of "this vertex has non-tree edges at this level" flags,
+//! * an OR of "this arc's edge lives at exactly this level" marks,
+//!
+//! which lets HDT find replacement-edge candidates and promotable tree
+//! edges by descending the aggregate flags in `O(log n)`.
+
+use incgraph_graph::NodeId;
+
+/// Splay-node handle.
+pub type Id = u32;
+/// Null handle.
+pub const NIL: Id = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    l: Id,
+    r: Id,
+    p: Id,
+    /// `(v, v)` for self nodes, `(u, v)` with `u != v` for arc nodes.
+    u: NodeId,
+    v: NodeId,
+    /// Own flag: vertex has non-tree edges at this level (self nodes only).
+    own_nontree: bool,
+    /// Own flag: this arc's tree edge lives at exactly this level.
+    own_mark: bool,
+    agg_size: u32,
+    agg_min_vertex: NodeId,
+    agg_nontree: bool,
+    agg_mark: bool,
+}
+
+impl Node {
+    fn new(u: NodeId, v: NodeId) -> Self {
+        let is_self = u == v;
+        Node {
+            l: NIL,
+            r: NIL,
+            p: NIL,
+            u,
+            v,
+            own_nontree: false,
+            own_mark: false,
+            agg_size: is_self as u32,
+            agg_min_vertex: if is_self { u } else { NodeId::MAX },
+            agg_nontree: false,
+            agg_mark: false,
+        }
+    }
+}
+
+/// An Euler-tour forest over `n` vertices.
+pub struct EulerForest {
+    nodes: Vec<Node>,
+    free: Vec<Id>,
+    /// The self node of each vertex.
+    vnode: Vec<Id>,
+}
+
+impl EulerForest {
+    /// Forest of `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        let mut nodes = Vec::with_capacity(2 * n);
+        let vnode = (0..n as NodeId)
+            .map(|v| {
+                nodes.push(Node::new(v, v));
+                (nodes.len() - 1) as Id
+            })
+            .collect();
+        EulerForest {
+            nodes,
+            free: Vec::new(),
+            vnode,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vnode.len()
+    }
+
+    /// Adds an isolated vertex.
+    pub fn add_vertex(&mut self) -> NodeId {
+        let v = self.vnode.len() as NodeId;
+        let id = self.alloc(Node::new(v, v));
+        self.vnode.push(id);
+        v
+    }
+
+    /// Approximate resident bytes (Fig. 8 space accounting).
+    pub fn space_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>() + self.vnode.capacity() * 4
+    }
+
+    fn alloc(&mut self, node: Node) -> Id {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as Id
+        }
+    }
+
+    #[inline]
+    fn pull(&mut self, x: Id) {
+        let (l, r) = {
+            let n = &self.nodes[x as usize];
+            (n.l, n.r)
+        };
+        let mut size = (self.nodes[x as usize].u == self.nodes[x as usize].v) as u32;
+        let mut minv = if size == 1 {
+            self.nodes[x as usize].u
+        } else {
+            NodeId::MAX
+        };
+        let mut nontree = self.nodes[x as usize].own_nontree;
+        let mut mark = self.nodes[x as usize].own_mark;
+        for c in [l, r] {
+            if c != NIL {
+                let cn = &self.nodes[c as usize];
+                size += cn.agg_size;
+                minv = minv.min(cn.agg_min_vertex);
+                nontree |= cn.agg_nontree;
+                mark |= cn.agg_mark;
+            }
+        }
+        let n = &mut self.nodes[x as usize];
+        n.agg_size = size;
+        n.agg_min_vertex = minv;
+        n.agg_nontree = nontree;
+        n.agg_mark = mark;
+    }
+
+    fn rotate(&mut self, x: Id) {
+        let p = self.nodes[x as usize].p;
+        debug_assert_ne!(p, NIL);
+        let g = self.nodes[p as usize].p;
+        let left_child = self.nodes[p as usize].l == x;
+        // Move the inner subtree of x across to p.
+        let inner = if left_child {
+            let inner = self.nodes[x as usize].r;
+            self.nodes[p as usize].l = inner;
+            self.nodes[x as usize].r = p;
+            inner
+        } else {
+            let inner = self.nodes[x as usize].l;
+            self.nodes[p as usize].r = inner;
+            self.nodes[x as usize].l = p;
+            inner
+        };
+        if inner != NIL {
+            self.nodes[inner as usize].p = p;
+        }
+        self.nodes[p as usize].p = x;
+        self.nodes[x as usize].p = g;
+        if g != NIL {
+            if self.nodes[g as usize].l == p {
+                self.nodes[g as usize].l = x;
+            } else {
+                self.nodes[g as usize].r = x;
+            }
+        }
+        self.pull(p);
+        self.pull(x);
+    }
+
+    /// Splays `x` to the root of its splay tree.
+    fn splay(&mut self, x: Id) {
+        while self.nodes[x as usize].p != NIL {
+            let p = self.nodes[x as usize].p;
+            let g = self.nodes[p as usize].p;
+            if g != NIL {
+                let zigzig =
+                    (self.nodes[g as usize].l == p) == (self.nodes[p as usize].l == x);
+                if zigzig {
+                    self.rotate(p);
+                } else {
+                    self.rotate(x);
+                }
+            }
+            self.rotate(x);
+        }
+    }
+
+    /// Root of the splay tree containing `x` (splays `x` for amortization).
+    pub fn splay_root(&mut self, x: Id) -> Id {
+        self.splay(x);
+        x
+    }
+
+    /// Whether vertices `u` and `v` are in the same tree.
+    pub fn connected(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        let a = self.vnode[u as usize];
+        let b = self.vnode[v as usize];
+        self.splay(a);
+        self.splay(b);
+        // If they share a tree, splaying b placed a somewhere under b.
+        self.nodes[a as usize].p != NIL
+    }
+
+    /// Size (vertex count) of the tree containing vertex `v`.
+    pub fn tree_size(&mut self, v: NodeId) -> u32 {
+        let x = self.vnode[v as usize];
+        self.splay(x);
+        self.nodes[x as usize].agg_size
+    }
+
+    /// Minimum vertex id in the tree containing `v` — the component id.
+    pub fn component_id(&mut self, v: NodeId) -> NodeId {
+        let x = self.vnode[v as usize];
+        self.splay(x);
+        self.nodes[x as usize].agg_min_vertex
+    }
+
+    /// Sets the "has non-tree edges at this level" flag of vertex `v`.
+    pub fn set_nontree_flag(&mut self, v: NodeId, on: bool) {
+        let x = self.vnode[v as usize];
+        self.splay(x);
+        self.nodes[x as usize].own_nontree = on;
+        self.pull(x);
+    }
+
+    /// Sets the level mark on a tree-edge arc.
+    pub fn set_mark(&mut self, arc: Id, on: bool) {
+        self.splay(arc);
+        self.nodes[arc as usize].own_mark = on;
+        self.pull(arc);
+    }
+
+    /// Finds a vertex with the non-tree flag set in the tree containing
+    /// `v`, if any.
+    pub fn find_nontree_vertex(&mut self, v: NodeId) -> Option<NodeId> {
+        let root = self.splay_root(self.vnode[v as usize]);
+        if !self.nodes[root as usize].agg_nontree {
+            return None;
+        }
+        let mut x = root;
+        loop {
+            let n = &self.nodes[x as usize];
+            let (l, r, own) = (n.l, n.r, n.own_nontree);
+            if own {
+                return Some(self.nodes[x as usize].u);
+            }
+            if l != NIL && self.nodes[l as usize].agg_nontree {
+                x = l;
+            } else {
+                debug_assert!(r != NIL && self.nodes[r as usize].agg_nontree);
+                x = r;
+            }
+        }
+    }
+
+    /// Finds a level-marked arc in the tree containing `v`, if any;
+    /// returns the arc's `(handle, (u, v))`.
+    pub fn find_marked_arc(&mut self, v: NodeId) -> Option<(Id, (NodeId, NodeId))> {
+        let root = self.splay_root(self.vnode[v as usize]);
+        if !self.nodes[root as usize].agg_mark {
+            return None;
+        }
+        let mut x = root;
+        loop {
+            let n = &self.nodes[x as usize];
+            let (l, r, own) = (n.l, n.r, n.own_mark);
+            if own {
+                let n = &self.nodes[x as usize];
+                return Some((x, (n.u, n.v)));
+            }
+            if l != NIL && self.nodes[l as usize].agg_mark {
+                x = l;
+            } else {
+                debug_assert!(r != NIL && self.nodes[r as usize].agg_mark);
+                x = r;
+            }
+        }
+    }
+
+    /// Joins two splay trees (`a` entirely before `b`). Either may be NIL.
+    fn join(&mut self, a: Id, b: Id) -> Id {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        // Splay the rightmost node of a, attach b.
+        let mut x = a;
+        while self.nodes[x as usize].r != NIL {
+            x = self.nodes[x as usize].r;
+        }
+        self.splay(x);
+        self.nodes[x as usize].r = b;
+        self.nodes[b as usize].p = x;
+        self.pull(x);
+        x
+    }
+
+    /// Splits the tour before `x`: returns `(left, right)` with `x` the
+    /// first element of `right`.
+    fn split_before(&mut self, x: Id) -> (Id, Id) {
+        self.splay(x);
+        let l = self.nodes[x as usize].l;
+        if l != NIL {
+            self.nodes[l as usize].p = NIL;
+            self.nodes[x as usize].l = NIL;
+            self.pull(x);
+        }
+        (l, x)
+    }
+
+    /// Splits the tour after `x`: returns `(left, right)` with `x` the
+    /// last element of `left`.
+    fn split_after(&mut self, x: Id) -> (Id, Id) {
+        self.splay(x);
+        let r = self.nodes[x as usize].r;
+        if r != NIL {
+            self.nodes[r as usize].p = NIL;
+            self.nodes[x as usize].r = NIL;
+            self.pull(x);
+        }
+        (x, r)
+    }
+
+    /// Rotates the tour of `v`'s tree so it starts at `v`'s self node.
+    fn reroot(&mut self, v: NodeId) -> Id {
+        let x = self.vnode[v as usize];
+        let (l, r) = self.split_before(x);
+        self.join(r, l)
+    }
+
+    /// Links the trees of `u` and `v` with a tree edge, returning the two
+    /// arc handles `((u→v), (v→u))`. The vertices must be in different
+    /// trees.
+    pub fn link(&mut self, u: NodeId, v: NodeId) -> (Id, Id) {
+        debug_assert!(!self.connected(u, v), "link would create a cycle");
+        let tu = self.reroot(u);
+        let tv = self.reroot(v);
+        let auv = self.alloc(Node::new(u, v));
+        let avu = self.alloc(Node::new(v, u));
+        // Tour: [u ...] (u,v) [v ...] (v,u)
+        let t = self.join(tu, auv);
+        let t = self.join(t, tv);
+        self.join(t, avu);
+        (auv, avu)
+    }
+
+    /// Cuts the tree edge with arc handles `(a1, a2)` (in either order),
+    /// separating the subtree between them.
+    pub fn cut(&mut self, a1: Id, a2: Id) {
+        // Order the arcs along the tour: splay a1, then check whether a2
+        // ended up in its left subtree (a2 precedes a1) or right.
+        let (first, second) = {
+            self.splay(a1);
+            self.splay(a2);
+            // After splaying a2 to the root, a1 is a descendant. Walk up
+            // from a1: if we arrive from the left side, a1 precedes a2.
+            let mut x = a1;
+            let mut from_left = false;
+            while self.nodes[x as usize].p != NIL {
+                let p = self.nodes[x as usize].p;
+                from_left = self.nodes[p as usize].l == x;
+                x = p;
+            }
+            debug_assert_eq!(x, a2);
+            if from_left {
+                (a1, a2)
+            } else {
+                (a2, a1)
+            }
+        };
+        // Tour: X ++ [first] ++ MID ++ [second] ++ Z
+        let (x_part, _) = self.split_before(first);
+        let (first_alone, _) = self.split_after(first);
+        debug_assert_eq!(first_alone, first);
+        let (_, z_part) = self.split_after(second);
+        // Detach `second` from MID's end; MID stays behind as its own
+        // root: it is the separated subtree's tour.
+        let (_mid, second_alone) = self.split_before(second);
+        debug_assert_eq!(second_alone, second);
+        self.join(x_part, z_part);
+        // Recycle the arc nodes.
+        for a in [first, second] {
+            self.nodes[a as usize] = Node::new(0, 0);
+            self.nodes[a as usize].agg_size = 0; // not a real self node
+            self.nodes[a as usize].agg_min_vertex = NodeId::MAX;
+            self.free.push(a);
+        }
+    }
+
+    /// The tour vertices of `v`'s tree (self nodes in tour order); test
+    /// and debugging helper, O(size).
+    pub fn tree_vertices(&mut self, v: NodeId) -> Vec<NodeId> {
+        let root = self.splay_root(self.vnode[v as usize]);
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(x) = stack.pop() {
+            if x == NIL {
+                continue;
+            }
+            let n = &self.nodes[x as usize];
+            stack.push(n.l);
+            stack.push(n.r);
+            if n.u == n.v {
+                out.push(n.u);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_forest_is_disconnected() {
+        let mut f = EulerForest::new(4);
+        assert!(!f.connected(0, 1));
+        assert!(f.connected(2, 2));
+        assert_eq!(f.tree_size(3), 1);
+        assert_eq!(f.component_id(3), 3);
+    }
+
+    #[test]
+    fn link_connects_and_cut_disconnects() {
+        let mut f = EulerForest::new(5);
+        let (a, b) = f.link(0, 1);
+        let _ = f.link(1, 2);
+        assert!(f.connected(0, 2));
+        assert_eq!(f.tree_size(0), 3);
+        assert_eq!(f.component_id(2), 0);
+        f.cut(a, b);
+        assert!(!f.connected(0, 1));
+        assert!(f.connected(1, 2));
+        assert_eq!(f.component_id(2), 1);
+        assert_eq!(f.tree_size(0), 1);
+    }
+
+    #[test]
+    fn cut_with_arcs_in_either_order() {
+        let mut f = EulerForest::new(3);
+        let (a, b) = f.link(0, 1);
+        f.cut(b, a); // reversed handles
+        assert!(!f.connected(0, 1));
+    }
+
+    #[test]
+    fn long_chain_and_random_cuts_match_oracle() {
+        use rand::{Rng, SeedableRng};
+        let n = 60usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut f = EulerForest::new(n);
+        // Maintain a parallel naive forest as oracle.
+        let mut edges: Vec<(NodeId, NodeId, (Id, Id))> = Vec::new();
+        let mut adj = vec![std::collections::HashSet::new(); n];
+        let oracle_connected = |adj: &Vec<std::collections::HashSet<usize>>, a: usize, b: usize| {
+            let mut seen = vec![false; adj.len()];
+            let mut st = vec![a];
+            seen[a] = true;
+            while let Some(x) = st.pop() {
+                if x == b {
+                    return true;
+                }
+                for &y in &adj[x] {
+                    if !seen[y] {
+                        seen[y] = true;
+                        st.push(y);
+                    }
+                }
+            }
+            a == b
+        };
+        for _ in 0..400 {
+            let u = rng.gen_range(0..n) as NodeId;
+            let v = rng.gen_range(0..n) as NodeId;
+            if u == v {
+                continue;
+            }
+            if rng.gen_bool(0.6) {
+                if !f.connected(u, v) {
+                    let arcs = f.link(u, v);
+                    edges.push((u, v, arcs));
+                    adj[u as usize].insert(v as usize);
+                    adj[v as usize].insert(u as usize);
+                }
+            } else if !edges.is_empty() {
+                let i = rng.gen_range(0..edges.len());
+                let (a, b, arcs) = edges.swap_remove(i);
+                f.cut(arcs.0, arcs.1);
+                adj[a as usize].remove(&(b as usize));
+                adj[b as usize].remove(&(a as usize));
+            }
+            // Spot-check connectivity against the oracle.
+            for _ in 0..5 {
+                let x = rng.gen_range(0..n);
+                let y = rng.gen_range(0..n);
+                assert_eq!(
+                    f.connected(x as NodeId, y as NodeId),
+                    oracle_connected(&adj, x, y),
+                    "connectivity({x},{y}) diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_track_min_vertex_and_size() {
+        let mut f = EulerForest::new(6);
+        f.link(5, 3);
+        f.link(3, 4);
+        assert_eq!(f.component_id(4), 3);
+        assert_eq!(f.tree_size(5), 3);
+        f.link(4, 1);
+        assert_eq!(f.component_id(5), 1);
+        assert_eq!(f.tree_size(1), 4);
+    }
+
+    #[test]
+    fn nontree_flags_are_searchable() {
+        let mut f = EulerForest::new(5);
+        f.link(0, 1);
+        f.link(1, 2);
+        assert_eq!(f.find_nontree_vertex(0), None);
+        f.set_nontree_flag(2, true);
+        assert_eq!(f.find_nontree_vertex(0), Some(2));
+        // Flag in a different tree must not leak.
+        assert_eq!(f.find_nontree_vertex(3), None);
+        f.set_nontree_flag(2, false);
+        assert_eq!(f.find_nontree_vertex(0), None);
+    }
+
+    #[test]
+    fn marks_are_searchable_per_tree() {
+        let mut f = EulerForest::new(4);
+        let (a01, _) = f.link(0, 1);
+        let _ = f.link(2, 3);
+        f.set_mark(a01, true);
+        let found = f.find_marked_arc(1).expect("mark in tree of 1");
+        assert_eq!(found.1, (0, 1));
+        assert_eq!(f.find_marked_arc(2), None);
+    }
+
+    #[test]
+    fn tour_vertices_enumerates_tree() {
+        let mut f = EulerForest::new(6);
+        f.link(0, 2);
+        f.link(2, 4);
+        assert_eq!(f.tree_vertices(4), vec![0, 2, 4]);
+        assert_eq!(f.tree_vertices(1), vec![1]);
+    }
+
+    #[test]
+    fn add_vertex_extends_forest() {
+        let mut f = EulerForest::new(2);
+        let v = f.add_vertex();
+        assert_eq!(v, 2);
+        f.link(0, v);
+        assert!(f.connected(0, 2));
+        assert_eq!(f.tree_size(2), 2);
+    }
+
+    #[test]
+    fn link_cut_reuse_recycles_nodes() {
+        let mut f = EulerForest::new(3);
+        let before = f.nodes.len();
+        let (a, b) = f.link(0, 1);
+        f.cut(a, b);
+        let (a2, b2) = f.link(1, 2);
+        // The freed arc nodes should have been reused.
+        assert_eq!(f.nodes.len(), before + 2);
+        f.cut(a2, b2);
+    }
+}

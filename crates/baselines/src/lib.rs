@@ -1,0 +1,32 @@
+//! Reimplementations of the fine-tuned dynamic/incremental baselines the
+//! paper compares against (its §6 competitors), built from scratch on the
+//! same graph substrate:
+//!
+//! | Baseline | Query class | Paper ref | This implementation |
+//! |----------|-------------|-----------|---------------------|
+//! | [`rr`] `RR` | SSSP, unit updates | Ramalingam–Reps \[39, 40\] | two-phase affected-vertex repair |
+//! | [`dyndij`] `DynDij` | SSSP, batch updates | Chan–Yang \[17\] | shortest-path-tree subtree invalidation + Dijkstra repair |
+//! | [`dyncc`] `DynCC` | connectivity | Holm–de Lichtenberg–Thorup \[27\] | HDT: Euler-tour forests per level, edge-level promotion, replacement search |
+//! | [`incmatch`] `IncMatch` | graph simulation | Fan–Wang–Wu \[23\] | split insert/delete propagation with optimistic affected-area flooding |
+//! | [`dyndfs`] `DynDFS` | depth-first search | Yang et al. \[50\] | violation detection + forest-suffix rebuild (simplified; see module docs) |
+//! | [`dynlcc`] `DynLCC` | clustering coefficient | Ediger et al. \[19\] | per-edge triangle deltas, exact and Bloom-filter approximate modes |
+//!
+//! The baselines keep their own state layouts and update disciplines, as
+//! in the original papers — they do *not* run on the `incgraph-core`
+//! fixpoint engine. That contrast is the point of the paper's
+//! experiments: systematically deduced `Inc*` algorithms versus
+//! individually engineered dynamic algorithms.
+
+pub mod dyncc;
+pub mod dyndfs;
+pub mod dyndij;
+pub mod dynlcc;
+pub mod incmatch;
+pub mod rr;
+
+pub use dyncc::DynCc;
+pub use dyndfs::DynDfs;
+pub use dyndij::DynDij;
+pub use dynlcc::{BloomLcc, DynLcc};
+pub use incmatch::IncMatch;
+pub use rr::RrSssp;

@@ -1,0 +1,74 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--scale S] [--reps R] [--out DIR] <exp-id>... | all | list
+//! ```
+//!
+//! Prints one Markdown table per experiment and writes JSON records to
+//! `results/` (or `--out`). Experiment ids are listed in DESIGN.md §6.
+
+use incgraph_bench::exps;
+use incgraph_bench::report::Ctx;
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = 0.25_f64;
+    let mut reps = 2_usize;
+    let mut out = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs an integer"));
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "list" => {
+                for id in exps::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(exps::ALL.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: experiments [--scale S] [--reps R] [--out DIR] <exp-id>... | all | list");
+        eprintln!("experiments: {}", exps::ALL.join(", "));
+        std::process::exit(2);
+    }
+
+    let mut ctx = Ctx::new(scale, reps);
+    for id in &ids {
+        eprintln!("== running {id} (scale {scale}, reps {reps}) ==");
+        let t = std::time::Instant::now();
+        if !exps::run(id, &mut ctx) {
+            die(&format!("unknown experiment id {id} (try `list`)"));
+        }
+        eprintln!("   {id} done in {:.1}s", t.elapsed().as_secs_f64());
+        println!("\n### {id}\n");
+        print!("{}", ctx.sink.table(id));
+        if let Err(e) = ctx.sink.persist(id, &out) {
+            eprintln!("warning: could not write {id}.json: {e}");
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

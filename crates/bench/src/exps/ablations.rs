@@ -1,0 +1,198 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! * `abl-scope` — the Fig. 4 bounded scope function vs the Theorem 1
+//!   PE-reset flood, for SSSP and CC (the paper's Example 2 vs Example 5
+//!   contrast, quantified).
+//! * `abl-ts` — the value of timestamps for the weakly deducible
+//!   algorithms: IncCC and IncSim with their timestamp oracles vs the
+//!   timestamp-free PE-reset fallbacks.
+
+use crate::report::{measure, Ctx};
+use incgraph_algos::{CcState, SimState, SsspState};
+use incgraph_workloads::datasets::MAX_WEIGHT;
+use incgraph_workloads::{
+    clustered_batch, random_batch_pct, random_pattern, sample_sources, Dataset,
+};
+
+/// Bounded `h` (Fig. 4) vs brute-force PE reset (Theorem 1).
+pub fn scope(ctx: &mut Ctx) {
+    let exp = "abl-scope";
+    for pct in [0.5, 1.0, 4.0] {
+        // SSSP on LJ.
+        let g0 = Dataset::LiveJournal.graph(true, ctx.scale);
+        let src = sample_sources(&g0, 1, 5)[0];
+        let batch = random_batch_pct(&g0, pct, MAX_WEIGHT, 0xAB ^ pct as u64);
+        let bounded = measure(
+            ctx.reps,
+            || {
+                let (state, _) = SsspState::batch(&g0, src);
+                let mut g = g0.clone();
+                let applied = batch.apply(&mut g);
+                (state, g, applied)
+            },
+            |(state, g, applied)| {
+                state.update(g, applied);
+            },
+        );
+        let pe = measure(
+            ctx.reps,
+            || {
+                let (state, _) = SsspState::batch(&g0, src);
+                let mut g = g0.clone();
+                let applied = batch.apply(&mut g);
+                (state, g, applied)
+            },
+            |(state, g, applied)| {
+                state.update_pe_reset(g, applied);
+            },
+        );
+        ctx.record(exp, "SSSP bounded h", "LJ", pct, bounded, "s");
+        ctx.record(exp, "SSSP PE-reset", "LJ", pct, pe, "s");
+
+        // CC on OKT.
+        let g0 = Dataset::Orkut.graph(false, ctx.scale);
+        let batch = random_batch_pct(&g0, pct, 1, 0xAC ^ pct as u64);
+        let bounded = measure(
+            ctx.reps,
+            || {
+                let (state, _) = CcState::batch(&g0);
+                let mut g = g0.clone();
+                let applied = batch.apply(&mut g);
+                (state, g, applied)
+            },
+            |(state, g, applied)| {
+                state.update(g, applied);
+            },
+        );
+        let pe = measure(
+            ctx.reps,
+            || {
+                let (state, _) = CcState::batch(&g0);
+                let mut g = g0.clone();
+                let applied = batch.apply(&mut g);
+                (state, g, applied)
+            },
+            |(state, g, applied)| {
+                state.update_pe_reset(g, applied);
+            },
+        );
+        ctx.record(exp, "CC bounded h", "OKT", pct, bounded, "s");
+        ctx.record(exp, "CC PE-reset", "OKT", pct, pe, "s");
+    }
+}
+
+/// Timestamps (weak deducibility) vs no auxiliary structure at all.
+pub fn timestamps(ctx: &mut Ctx) {
+    let exp = "abl-ts";
+    for pct in [0.5, 1.0, 4.0] {
+        // IncCC with vs without timestamps.
+        let g0 = Dataset::Orkut.graph(false, ctx.scale);
+        let batch = random_batch_pct(&g0, pct, 1, 0xAD ^ pct as u64);
+        let with_ts = measure(
+            ctx.reps,
+            || {
+                let (state, _) = CcState::batch(&g0);
+                let mut g = g0.clone();
+                let applied = batch.apply(&mut g);
+                (state, g, applied)
+            },
+            |(state, g, applied)| {
+                state.update(g, applied);
+            },
+        );
+        let without = measure(
+            ctx.reps,
+            || {
+                let (state, _) = CcState::batch(&g0);
+                let mut g = g0.clone();
+                let applied = batch.apply(&mut g);
+                (state, g, applied)
+            },
+            |(state, g, applied)| {
+                state.update_pe_reset(g, applied);
+            },
+        );
+        ctx.record(exp, "IncCC timestamps", "OKT", pct, with_ts, "s");
+        ctx.record(exp, "IncCC no-ts (PE)", "OKT", pct, without, "s");
+
+        // IncSim with vs without timestamps.
+        let g0 = Dataset::DbPedia.graph(true, ctx.scale);
+        let q = random_pattern(&g0, 4, 6, 0xAE);
+        let batch = random_batch_pct(&g0, pct, MAX_WEIGHT, 0xAF ^ pct as u64);
+        let with_ts = measure(
+            ctx.reps,
+            || {
+                let (state, _) = SimState::batch(&g0, q.clone());
+                let mut g = g0.clone();
+                let applied = batch.apply(&mut g);
+                (state, g, applied)
+            },
+            |(state, g, applied)| {
+                state.update(g, applied);
+            },
+        );
+        let without = measure(
+            ctx.reps,
+            || {
+                let (state, _) = SimState::batch(&g0, q.clone());
+                let mut g = g0.clone();
+                let applied = batch.apply(&mut g);
+                (state, g, applied)
+            },
+            |(state, g, applied)| {
+                state.update_pe_reset(g, applied);
+            },
+        );
+        ctx.record(exp, "IncSim timestamps", "DP", pct, with_ts, "s");
+        ctx.record(exp, "IncSim no-ts (PE)", "DP", pct, without, "s");
+    }
+}
+
+/// Update locality (`abl-local`): the same |ΔG| delivered uniformly vs
+/// clustered into a 2-hop ball. Relative boundedness predicts the
+/// clustered case inspects (and costs) far less — the affected areas of
+/// the unit updates overlap.
+pub fn locality(ctx: &mut Ctx) {
+    let exp = "abl-local";
+    let g0 = Dataset::Twitter.graph(true, ctx.scale);
+    let src = sample_sources(&g0, 1, 4)[0];
+    let count = g0.size() / 100; // 1% of |G|
+
+    for (label, batch) in [
+        (
+            "uniform",
+            incgraph_workloads::random_batch(&g0, count, 0.5, MAX_WEIGHT, 0xB0),
+        ),
+        (
+            "clustered",
+            clustered_batch(&g0, count, 0.5, MAX_WEIGHT, src, 2, 0xB1),
+        ),
+    ] {
+        let secs = measure(
+            ctx.reps,
+            || {
+                let (state, _) = SsspState::batch(&g0, src);
+                let mut g = g0.clone();
+                let applied = batch.apply(&mut g);
+                (state, g, applied)
+            },
+            |(state, g, applied)| {
+                state.update(g, applied);
+            },
+        );
+        // Separate (untimed) run to collect the AFF fraction.
+        let (mut state, _) = SsspState::batch(&g0, src);
+        let mut g = g0.clone();
+        let applied = batch.apply(&mut g);
+        let report = state.update(&g, &applied);
+        ctx.record(exp, &format!("SSSP {label}"), "TW", 1.0, secs, "s");
+        ctx.record(
+            exp,
+            &format!("SSSP {label} AFF"),
+            "TW",
+            1.0,
+            report.aff_fraction(),
+            "fraction",
+        );
+    }
+}

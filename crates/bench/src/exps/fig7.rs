@@ -1,0 +1,248 @@
+//! Exp-2 and Exp-3 / Fig. 7: batch-update effectiveness (varying |ΔG|,
+//! real-life temporal updates) and scalability (varying |G|).
+
+use super::drivers;
+use crate::report::{measure, Ctx};
+use incgraph_algos::{CcState, SimState, SsspState};
+use incgraph_baselines::{DynCc, DynDij, IncMatch};
+use incgraph_workloads::datasets::MAX_WEIGHT;
+use incgraph_workloads::{random_batch_pct, random_pattern, sample_sources, Dataset};
+
+/// Fig. 7(a,b): SSSP on FS and TW, |ΔG| from 2% to 32%.
+pub fn sssp(ctx: &mut Ctx) {
+    let exp = "fig7-sssp";
+    for ds in [Dataset::Friendster, Dataset::Twitter] {
+        let g = ds.graph(true, ctx.scale);
+        let src = sample_sources(&g, 1, 7)[0];
+        for pct in [2.0, 4.0, 8.0, 16.0, 32.0] {
+            let batch = random_batch_pct(&g, pct, MAX_WEIGHT, 0x7A ^ pct as u64);
+            let t = drivers::sssp_suite(ctx.reps, &g, &batch, src);
+            ctx.record(exp, "Dijkstra", ds.tag(), pct, t.batch, "s");
+            ctx.record(exp, "IncSSSP", ds.tag(), pct, t.inc, "s");
+            ctx.record(exp, "IncSSSP_n", ds.tag(), pct, t.inc_n, "s");
+            ctx.record(exp, "DynDij", ds.tag(), pct, t.competitor, "s");
+        }
+    }
+}
+
+/// Fig. 7(c): CC on OKT, |ΔG| from 4% to 64%.
+pub fn cc(ctx: &mut Ctx) {
+    let exp = "fig7-cc";
+    let ds = Dataset::Orkut;
+    let g = ds.graph(false, ctx.scale);
+    for pct in [4.0, 8.0, 16.0, 32.0, 64.0] {
+        let batch = random_batch_pct(&g, pct, 1, 0x7C ^ pct as u64);
+        let t = drivers::cc_suite(ctx.reps, &g, &batch);
+        ctx.record(exp, "CC_fp", ds.tag(), pct, t.batch, "s");
+        ctx.record(exp, "IncCC", ds.tag(), pct, t.inc, "s");
+        ctx.record(exp, "IncCC_n", ds.tag(), pct, t.inc_n, "s");
+        ctx.record(exp, "DynCC", ds.tag(), pct, t.competitor, "s");
+    }
+}
+
+/// Fig. 7(d,e): Sim on DP and FS, |ΔG| from 4% to 64%, |Q| = (4, 6).
+pub fn sim(ctx: &mut Ctx) {
+    let exp = "fig7-sim";
+    for ds in [Dataset::DbPedia, Dataset::Friendster] {
+        let g = ds.graph(true, ctx.scale);
+        let q = random_pattern(&g, 4, 6, 0x51);
+        for pct in [4.0, 8.0, 16.0, 32.0, 64.0] {
+            let batch = random_batch_pct(&g, pct, MAX_WEIGHT, 0x7D ^ pct as u64);
+            let t = drivers::sim_suite(ctx.reps, &g, &batch, &q);
+            ctx.record(exp, "Sim_fp", ds.tag(), pct, t.batch, "s");
+            ctx.record(exp, "IncSim", ds.tag(), pct, t.inc, "s");
+            ctx.record(exp, "IncSim_n", ds.tag(), pct, t.inc_n, "s");
+            ctx.record(exp, "IncMatch", ds.tag(), pct, t.competitor, "s");
+        }
+    }
+}
+
+/// Fig. 7(f): LCC on LJ, |ΔG| from 2% to 32%.
+pub fn lcc(ctx: &mut Ctx) {
+    let exp = "fig7-lcc";
+    let ds = Dataset::LiveJournal;
+    let g = ds.graph(false, ctx.scale);
+    for pct in [2.0, 4.0, 8.0, 16.0, 32.0] {
+        let batch = random_batch_pct(&g, pct, 1, 0x7E ^ pct as u64);
+        let t = drivers::lcc_suite(ctx.reps, &g, &batch);
+        ctx.record(exp, "LCC_fp", ds.tag(), pct, t.batch, "s");
+        ctx.record(exp, "IncLCC", ds.tag(), pct, t.inc, "s");
+        ctx.record(exp, "IncLCC_n", ds.tag(), pct, t.inc_n, "s");
+        ctx.record(exp, "DynLCC", ds.tag(), pct, t.competitor, "s");
+    }
+}
+
+/// Exp-2(1e): DFS on OKT across small |ΔG|, locating the crossover where
+/// batch DFS overtakes IncDFS (the paper puts it above 4%).
+pub fn dfs(ctx: &mut Ctx) {
+    let exp = "fig7-dfs";
+    let ds = Dataset::Orkut;
+    let g = ds.graph(true, ctx.scale);
+    for pct in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let batch = random_batch_pct(&g, pct, MAX_WEIGHT, 0x7F ^ (pct * 4.0) as u64);
+        let t = drivers::dfs_suite(ctx.reps, &g, &batch);
+        ctx.record(exp, "DFS_fp", ds.tag(), pct, t.batch, "s");
+        ctx.record(exp, "IncDFS", ds.tag(), pct, t.inc, "s");
+        ctx.record(exp, "IncDFS_n", ds.tag(), pct, t.inc_n, "s");
+        ctx.record(exp, "DynDFS", ds.tag(), pct, t.competitor, "s");
+    }
+}
+
+/// Fig. 7(g,h,i): real-life temporal updates on the WD stand-in, five
+/// monthly windows of ~1.9% |G| with an 81/19 insert/delete mix; SSSP,
+/// CC and Sim. Also records the scope function's share of the total
+/// incremental cost (Exp-2(2d)).
+pub fn wd(ctx: &mut Ctx) {
+    let exp = "fig7-wd";
+    let t = Dataset::WikiDe.temporal(5, 1.9, ctx.scale);
+
+    // SSSP over the window sequence.
+    {
+        let g0 = &t.initial;
+        let src = sample_sources(g0, 1, 3)[0];
+        let mut scope_share = 0.0;
+        // IncSSSP: evolve state across windows, measure total update time.
+        let mut g = g0.clone();
+        let (mut st, _) = SsspState::batch(&g, src);
+        let mut inc_total = 0.0;
+        for w in &t.windows {
+            let applied = w.apply(&mut g);
+            let t0 = std::time::Instant::now();
+            let rep = st.update(&g, &applied);
+            inc_total += t0.elapsed().as_secs_f64();
+            scope_share += rep.scope_share() / t.windows.len() as f64;
+        }
+        ctx.record(exp, "IncSSSP", "WD", 5.0, inc_total, "s");
+        ctx.record(exp, "IncSSSP scope-share", "WD", 5.0, scope_share, "fraction");
+        // Batch recompute per window.
+        let batch_total = measure(1, || (), |_| {
+            let mut g = g0.clone();
+            for w in &t.windows {
+                w.apply(&mut g);
+                std::hint::black_box(SsspState::batch(&g, src));
+            }
+        });
+        ctx.record(exp, "Dijkstra", "WD", 5.0, batch_total, "s");
+        // DynDij.
+        let dd_total = measure(1, || (), |_| {
+            let mut g = g0.clone();
+            let mut dd = DynDij::new(&g, src);
+            for w in &t.windows {
+                let applied = w.apply(&mut g);
+                dd.apply_batch(&g, &applied);
+            }
+            std::hint::black_box(dd.distances().len());
+        });
+        ctx.record(exp, "DynDij", "WD", 5.0, dd_total, "s");
+    }
+
+    // CC over the window sequence (undirected view is approximated by the
+    // weak-connectivity mode of CcState on the directed stand-in).
+    {
+        let g0 = &t.initial;
+        let mut g = g0.clone();
+        let (mut st, _) = CcState::batch(&g);
+        let mut inc_total = 0.0;
+        let mut scope_share = 0.0;
+        for w in &t.windows {
+            let applied = w.apply(&mut g);
+            let t0 = std::time::Instant::now();
+            let rep = st.update(&g, &applied);
+            inc_total += t0.elapsed().as_secs_f64();
+            scope_share += rep.scope_share() / t.windows.len() as f64;
+        }
+        ctx.record(exp, "IncCC", "WD", 5.0, inc_total, "s");
+        ctx.record(exp, "IncCC scope-share", "WD", 5.0, scope_share, "fraction");
+        let batch_total = measure(1, || (), |_| {
+            let mut g = g0.clone();
+            for w in &t.windows {
+                w.apply(&mut g);
+                std::hint::black_box(CcState::batch(&g));
+            }
+        });
+        ctx.record(exp, "CC_fp", "WD", 5.0, batch_total, "s");
+        let dyn_total = measure(1, || (), |_| {
+            let mut g = g0.clone();
+            let mut dc = DynCc::new(&g);
+            for w in &t.windows {
+                for unit in w.as_units() {
+                    let applied = unit.apply(&mut g);
+                    dc.apply_batch(&applied);
+                }
+                std::hint::black_box(dc.components());
+            }
+        });
+        ctx.record(exp, "DynCC", "WD", 5.0, dyn_total, "s");
+    }
+
+    // Sim over the window sequence.
+    {
+        let g0 = &t.initial;
+        let q = random_pattern(g0, 4, 6, 0x99);
+        let mut g = g0.clone();
+        let (mut st, _) = SimState::batch(&g, q.clone());
+        let mut inc_total = 0.0;
+        let mut scope_share = 0.0;
+        for w in &t.windows {
+            let applied = w.apply(&mut g);
+            let t0 = std::time::Instant::now();
+            let rep = st.update(&g, &applied);
+            inc_total += t0.elapsed().as_secs_f64();
+            scope_share += rep.scope_share() / t.windows.len() as f64;
+        }
+        ctx.record(exp, "IncSim", "WD", 5.0, inc_total, "s");
+        ctx.record(exp, "IncSim scope-share", "WD", 5.0, scope_share, "fraction");
+        let batch_total = measure(1, || (), |_| {
+            let mut g = g0.clone();
+            for w in &t.windows {
+                w.apply(&mut g);
+                std::hint::black_box(SimState::batch(&g, q.clone()));
+            }
+        });
+        ctx.record(exp, "Sim_fp", "WD", 5.0, batch_total, "s");
+        let im_total = measure(1, || (), |_| {
+            let mut g = g0.clone();
+            let mut im = IncMatch::new(&g, q.clone());
+            for w in &t.windows {
+                let applied = w.apply(&mut g);
+                im.apply_batch(&g, &applied);
+            }
+            std::hint::black_box(im.match_count());
+        });
+        ctx.record(exp, "IncMatch", "WD", 5.0, im_total, "s");
+    }
+}
+
+/// Exp-3 / Fig. 7(j,k,l): scalability on synthetic graphs, |ΔG| = 1%|G|,
+/// |G| swept over four sizes; SSSP, CC, Sim.
+pub fn scale(ctx: &mut Ctx) {
+    let exp = "fig7-scale";
+    for mult in [0.5, 1.0, 2.0, 4.0] {
+        let n = ((20_000.0 * ctx.scale * mult) as usize).max(200);
+        let m = n * 9;
+        let size = (n + m) as f64;
+
+        // SSSP + Sim on a directed synthetic graph.
+        let g = incgraph_graph::gen::uniform(n, m, true, MAX_WEIGHT, 5, 0x5CA1E);
+        let src = sample_sources(&g, 1, 1)[0];
+        let batch = random_batch_pct(&g, 1.0, MAX_WEIGHT, 0x5CA1E ^ mult as u64);
+        let t = drivers::sssp_suite(ctx.reps, &g, &batch, src);
+        ctx.record(exp, "Dijkstra", "synthetic", size, t.batch, "s");
+        ctx.record(exp, "IncSSSP", "synthetic", size, t.inc, "s");
+        ctx.record(exp, "DynDij", "synthetic", size, t.competitor, "s");
+
+        let q = random_pattern(&g, 4, 6, 0x5CA1F);
+        let t = drivers::sim_suite(ctx.reps, &g, &batch, &q);
+        ctx.record(exp, "Sim_fp", "synthetic", size, t.batch, "s");
+        ctx.record(exp, "IncSim", "synthetic", size, t.inc, "s");
+        ctx.record(exp, "IncMatch", "synthetic", size, t.competitor, "s");
+
+        // CC on an undirected synthetic graph.
+        let gu = incgraph_graph::gen::uniform(n, m, false, 1, 5, 0x5CA20);
+        let batch = random_batch_pct(&gu, 1.0, 1, 0x5CA21 ^ mult as u64);
+        let t = drivers::cc_suite(ctx.reps, &gu, &batch);
+        ctx.record(exp, "CC_fp", "synthetic", size, t.batch, "s");
+        ctx.record(exp, "IncCC", "synthetic", size, t.inc, "s");
+        ctx.record(exp, "DynCC", "synthetic", size, t.competitor, "s");
+    }
+}

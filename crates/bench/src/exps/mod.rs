@@ -1,0 +1,55 @@
+//! The experiments, keyed by the ids of DESIGN.md §6.
+
+pub mod ablations;
+pub mod drivers;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod summary;
+pub mod table1;
+
+use crate::report::Ctx;
+
+/// All experiment ids, in DESIGN.md order.
+pub const ALL: &[&str] = &[
+    "table1",
+    "fig6-ins",
+    "fig6-del",
+    "fig6-aff",
+    "fig7-sssp",
+    "fig7-cc",
+    "fig7-sim",
+    "fig7-lcc",
+    "fig7-dfs",
+    "fig7-wd",
+    "fig7-scale",
+    "fig8-mem",
+    "summary",
+    "abl-scope",
+    "abl-ts",
+    "abl-local",
+];
+
+/// Dispatches one experiment id. Returns `false` for unknown ids.
+pub fn run(id: &str, ctx: &mut Ctx) -> bool {
+    match id {
+        "table1" => table1::run(ctx),
+        "fig6-ins" => fig6::run(ctx, true),
+        "fig6-del" => fig6::run(ctx, false),
+        "fig6-aff" => fig6::run_aff(ctx),
+        "fig7-sssp" => fig7::sssp(ctx),
+        "fig7-cc" => fig7::cc(ctx),
+        "fig7-sim" => fig7::sim(ctx),
+        "fig7-lcc" => fig7::lcc(ctx),
+        "fig7-dfs" => fig7::dfs(ctx),
+        "fig7-wd" => fig7::wd(ctx),
+        "fig7-scale" => fig7::scale(ctx),
+        "fig8-mem" => fig8::run(ctx),
+        "summary" => summary::run(ctx),
+        "abl-scope" => ablations::scope(ctx),
+        "abl-ts" => ablations::timestamps(ctx),
+        "abl-local" => ablations::locality(ctx),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,51 @@
+//! §6 Summary: speedups of the deduced algorithms over their batch
+//! counterparts and over the fine-tuned competitors at |ΔG| = 1% and 4%.
+
+use super::drivers;
+use crate::report::Ctx;
+use incgraph_workloads::datasets::MAX_WEIGHT;
+use incgraph_workloads::{random_batch_pct, random_pattern, sample_sources, Dataset};
+
+const EXP: &str = "summary";
+
+/// Runs the summary speedup table.
+pub fn run(ctx: &mut Ctx) {
+    for pct in [1.0, 4.0] {
+        // SSSP on FS.
+        let g = Dataset::Friendster.graph(true, ctx.scale);
+        let src = sample_sources(&g, 1, 2)[0];
+        let batch = random_batch_pct(&g, pct, MAX_WEIGHT, 0x90 ^ pct as u64);
+        let t = drivers::sssp_suite(ctx.reps, &g, &batch, src);
+        ctx.record(EXP, "SSSP vs batch", "FS", pct, t.batch / t.inc, "x");
+        ctx.record(EXP, "SSSP vs competitor", "FS", pct, t.competitor / t.inc, "x");
+
+        // CC on OKT.
+        let g = Dataset::Orkut.graph(false, ctx.scale);
+        let batch = random_batch_pct(&g, pct, 1, 0x91 ^ pct as u64);
+        let t = drivers::cc_suite(ctx.reps, &g, &batch);
+        ctx.record(EXP, "CC vs batch", "OKT", pct, t.batch / t.inc, "x");
+        ctx.record(EXP, "CC vs competitor", "OKT", pct, t.competitor / t.inc, "x");
+
+        // Sim on DP.
+        let g = Dataset::DbPedia.graph(true, ctx.scale);
+        let q = random_pattern(&g, 4, 6, 0x92);
+        let batch = random_batch_pct(&g, pct, MAX_WEIGHT, 0x93 ^ pct as u64);
+        let t = drivers::sim_suite(ctx.reps, &g, &batch, &q);
+        ctx.record(EXP, "Sim vs batch", "DP", pct, t.batch / t.inc, "x");
+        ctx.record(EXP, "Sim vs competitor", "DP", pct, t.competitor / t.inc, "x");
+
+        // DFS on OKT.
+        let g = Dataset::Orkut.graph(true, ctx.scale);
+        let batch = random_batch_pct(&g, pct, MAX_WEIGHT, 0x94 ^ pct as u64);
+        let t = drivers::dfs_suite(ctx.reps, &g, &batch);
+        ctx.record(EXP, "DFS vs batch", "OKT", pct, t.batch / t.inc, "x");
+        ctx.record(EXP, "DFS vs competitor", "OKT", pct, t.competitor / t.inc, "x");
+
+        // LCC on LJ.
+        let g = Dataset::LiveJournal.graph(false, ctx.scale);
+        let batch = random_batch_pct(&g, pct, 1, 0x95 ^ pct as u64);
+        let t = drivers::lcc_suite(ctx.reps, &g, &batch);
+        ctx.record(EXP, "LCC vs batch", "LJ", pct, t.batch / t.inc, "x");
+        ctx.record(EXP, "LCC vs competitor", "LJ", pct, t.competitor / t.inc, "x");
+    }
+}

@@ -1,0 +1,41 @@
+//! Table 1 (introduction): batch vs fine-tuned competitor vs deduced
+//! incremental algorithm for SSSP, Sim and LCC on a 73.7M-element graph
+//! (LiveJournal) with 4% updates — here the LJ stand-in at the configured
+//! scale.
+
+use super::drivers;
+use crate::report::Ctx;
+use incgraph_workloads::datasets::MAX_WEIGHT;
+use incgraph_workloads::{random_batch_pct, random_pattern, sample_sources, Dataset};
+
+const EXP: &str = "table1";
+
+/// Runs the Table 1 measurement.
+pub fn run(ctx: &mut Ctx) {
+    let reps = ctx.reps;
+
+    // SSSP on the directed LJ stand-in.
+    let g = Dataset::LiveJournal.graph(true, ctx.scale);
+    let batch = random_batch_pct(&g, 4.0, MAX_WEIGHT, 0xA1);
+    let src = sample_sources(&g, 1, 0xB1)[0];
+    let t = drivers::sssp_suite(reps, &g, &batch, src);
+    ctx.record(EXP, "Batch (Dijkstra)", "LJ/SSSP", 4.0, t.batch, "s");
+    ctx.record(EXP, "Competitor (DynDij)", "LJ/SSSP", 4.0, t.competitor, "s");
+    ctx.record(EXP, "Deduced (IncSSSP)", "LJ/SSSP", 4.0, t.inc, "s");
+
+    // Sim on the directed LJ stand-in, |Q| = (4, 6).
+    let q = random_pattern(&g, 4, 6, 0xC1);
+    let batch = random_batch_pct(&g, 4.0, MAX_WEIGHT, 0xA2);
+    let t = drivers::sim_suite(reps, &g, &batch, &q);
+    ctx.record(EXP, "Batch (Sim_fp)", "LJ/Sim", 4.0, t.batch, "s");
+    ctx.record(EXP, "Competitor (IncMatch)", "LJ/Sim", 4.0, t.competitor, "s");
+    ctx.record(EXP, "Deduced (IncSim)", "LJ/Sim", 4.0, t.inc, "s");
+
+    // LCC on the undirected LJ stand-in.
+    let gu = Dataset::LiveJournal.graph(false, ctx.scale);
+    let batch = random_batch_pct(&gu, 4.0, 1, 0xA3);
+    let t = drivers::lcc_suite(reps, &gu, &batch);
+    ctx.record(EXP, "Batch (LCC_fp)", "LJ/LCC", 4.0, t.batch, "s");
+    ctx.record(EXP, "Competitor (DynLCC)", "LJ/LCC", 4.0, t.competitor, "s");
+    ctx.record(EXP, "Deduced (IncLCC)", "LJ/LCC", 4.0, t.inc, "s");
+}

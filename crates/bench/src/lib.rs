@@ -1,0 +1,13 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§6), plus the ablations called out in DESIGN.md.
+//!
+//! Each experiment id maps to one function in [`exps`]; the binary
+//! `experiments` dispatches on the id, runs the workload at the requested
+//! scale, prints the same rows/series the paper reports, and dumps JSON
+//! records under `results/`. See DESIGN.md §6 for the experiment index
+//! and EXPERIMENTS.md for paper-vs-measured outcomes.
+
+pub mod exps;
+pub mod report;
+
+pub use report::{measure, Ctx, Record, Sink};

@@ -1,0 +1,197 @@
+//! Measurement records, timing helpers and table rendering.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured data point of an experiment: a `(series, dataset, x) → y`
+/// tuple, e.g. `("IncSSSP", "FS", 4.0) → 0.0123 s`.
+#[derive(Clone, Debug, Serialize)]
+pub struct Record {
+    /// Experiment id (e.g. `fig7-sssp`).
+    pub experiment: String,
+    /// Line/series name (algorithm).
+    pub series: String,
+    /// Dataset tag.
+    pub dataset: String,
+    /// X coordinate: |ΔG| percentage, |G| size, etc.
+    pub x: f64,
+    /// Measured value.
+    pub y: f64,
+    /// Unit of `y` (`s`, `bytes`, `fraction`).
+    pub unit: String,
+}
+
+/// Experiment context: scale knobs plus the record sink.
+pub struct Ctx {
+    /// Multiplier on stand-in dataset sizes (1.0 = the DESIGN.md base).
+    pub scale: f64,
+    /// Repetitions per measurement (the paper uses 5; smaller by default
+    /// to keep the full suite fast).
+    pub reps: usize,
+    /// Collected records.
+    pub sink: Sink,
+}
+
+impl Ctx {
+    /// Context with the given knobs.
+    pub fn new(scale: f64, reps: usize) -> Self {
+        Ctx {
+            scale,
+            reps,
+            sink: Sink::default(),
+        }
+    }
+
+    /// Records a data point.
+    pub fn record(&mut self, experiment: &str, series: &str, dataset: &str, x: f64, y: f64, unit: &str) {
+        self.sink.records.push(Record {
+            experiment: experiment.to_string(),
+            series: series.to_string(),
+            dataset: dataset.to_string(),
+            x,
+            y,
+            unit: unit.to_string(),
+        });
+    }
+}
+
+/// Collects records and renders/persists them.
+#[derive(Default)]
+pub struct Sink {
+    /// All records, in insertion order.
+    pub records: Vec<Record>,
+}
+
+impl Sink {
+    /// Renders the records of one experiment as a Markdown table:
+    /// one row per `(dataset, x)`, one column per series.
+    pub fn table(&self, experiment: &str) -> String {
+        let recs: Vec<&Record> = self
+            .records
+            .iter()
+            .filter(|r| r.experiment == experiment)
+            .collect();
+        if recs.is_empty() {
+            return format!("(no records for {experiment})\n");
+        }
+        let mut series: Vec<&str> = recs.iter().map(|r| r.series.as_str()).collect();
+        series.dedup();
+        let mut uniq = Vec::new();
+        for s in series {
+            if !uniq.contains(&s) {
+                uniq.push(s);
+            }
+        }
+        let unit = recs[0].unit.clone();
+        let mut keys: Vec<(String, f64)> = Vec::new();
+        for r in &recs {
+            if !keys.iter().any(|(d, x)| *d == r.dataset && *x == r.x) {
+                keys.push((r.dataset.clone(), r.x));
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(out, "| dataset | x |");
+        for s in &uniq {
+            let _ = write!(out, " {s} ({unit}) |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|---|");
+        for _ in &uniq {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for (d, x) in keys {
+            let _ = write!(out, "| {d} | {x} |");
+            for s in &uniq {
+                let v = recs
+                    .iter()
+                    .find(|r| r.dataset == d && r.x == x && r.series == *s)
+                    .map(|r| r.y);
+                match v {
+                    Some(v) => {
+                        let _ = write!(out, " {v:.6} |");
+                    }
+                    None => {
+                        let _ = write!(out, " - |");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes all records of one experiment to `results/<id>.json`.
+    pub fn persist(&self, experiment: &str, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let recs: Vec<&Record> = self
+            .records
+            .iter()
+            .filter(|r| r.experiment == experiment)
+            .collect();
+        let json = serde_json::to_string_pretty(&recs).expect("serializable");
+        std::fs::write(dir.join(format!("{experiment}.json")), json)
+    }
+
+    /// Distinct experiment ids present.
+    pub fn experiments(&self) -> Vec<String> {
+        let mut ids: Vec<String> = Vec::new();
+        for r in &self.records {
+            if !ids.contains(&r.experiment) {
+                ids.push(r.experiment.clone());
+            }
+        }
+        ids
+    }
+}
+
+/// Measures the average wall time of `run` over `reps` repetitions, with
+/// a fresh `setup()` product per repetition (setup time excluded).
+pub fn measure<S>(reps: usize, mut setup: impl FnMut() -> S, mut run: impl FnMut(&mut S)) -> f64 {
+    assert!(reps > 0);
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let mut s = setup();
+        let t = Instant::now();
+        run(&mut s);
+        total += t.elapsed().as_secs_f64();
+        std::hint::black_box(&mut s);
+    }
+    total / reps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_grid() {
+        let mut ctx = Ctx::new(1.0, 1);
+        ctx.record("e", "A", "LJ", 2.0, 0.5, "s");
+        ctx.record("e", "B", "LJ", 2.0, 0.25, "s");
+        ctx.record("e", "A", "LJ", 4.0, 0.6, "s");
+        let t = ctx.sink.table("e");
+        assert!(t.contains("| LJ | 2 |"), "{t}");
+        assert!(t.contains("A (s)") && t.contains("B (s)"));
+        assert!(t.contains("0.500000") && t.contains("0.250000"));
+        assert!(t.contains(" - |"), "missing B@4 renders as dash: {t}");
+    }
+
+    #[test]
+    fn measure_runs_setup_per_rep() {
+        let mut count = 0;
+        let _ = measure(3, || count += 1, |_: &mut ()| {});
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn persist_writes_json() {
+        let mut ctx = Ctx::new(1.0, 1);
+        ctx.record("unit-test-exp", "A", "LJ", 1.0, 2.0, "s");
+        let dir = std::env::temp_dir().join("incgraph-bench-test");
+        ctx.sink.persist("unit-test-exp", &dir).unwrap();
+        let body = std::fs::read_to_string(dir.join("unit-test-exp.json")).unwrap();
+        assert!(body.contains("\"series\": \"A\""));
+    }
+}

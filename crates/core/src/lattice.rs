@@ -1,0 +1,106 @@
+//! Helpers for checking the paper's condition (C2): that an algorithm is
+//! *contracting* and *monotonic* w.r.t. the partial order `⪯` its spec
+//! declares. The engine asserts contraction on every applied change in
+//! debug builds; these helpers let tests (including property tests)
+//! additionally probe monotonicity of the update functions.
+
+use crate::spec::FixpointSpec;
+use crate::status::Status;
+
+/// Pointwise `a ⪯ b` over two statuses of the same spec.
+pub fn status_preceq<S: FixpointSpec>(
+    spec: &S,
+    a: &Status<S::Value>,
+    b: &Status<S::Value>,
+) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    (0..a.len()).all(|x| spec.preceq(&a.get(x), &b.get(x)))
+}
+
+/// Checks monotonicity of `f_x` at one variable: given two statuses with
+/// `lo ⪯ hi` pointwise, verifies `f_x(lo) ⪯ f_x(hi)`.
+///
+/// Returns `None` if the precondition `lo ⪯ hi` does not hold (the sample
+/// is uninformative), otherwise `Some(monotone?)`.
+pub fn check_monotone_at<S: FixpointSpec>(
+    spec: &S,
+    x: usize,
+    lo: &Status<S::Value>,
+    hi: &Status<S::Value>,
+) -> Option<bool> {
+    if !status_preceq(spec, lo, hi) {
+        return None;
+    }
+    let flo = spec.eval(x, &mut |y| lo.get(y));
+    let fhi = spec.eval(x, &mut |y| hi.get(y));
+    Some(spec.preceq(&flo, &fhi))
+}
+
+/// Checks feasibility of a status w.r.t. known final and initial statuses:
+/// `final ⪯ status ⪯ ⊥` pointwise (the paper's definition in §4).
+pub fn is_feasible<S: FixpointSpec>(
+    spec: &S,
+    status: &Status<S::Value>,
+    final_status: &Status<S::Value>,
+) -> bool {
+    (0..status.len()).all(|x| {
+        spec.preceq(&final_status.get(x), &status.get(x))
+            && spec.preceq(&status.get(x), &spec.bottom(x))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x0 = const 5; x1 = min(x0, 7); over u32 with ⪯ = ≤.
+    struct MinSpec;
+    impl FixpointSpec for MinSpec {
+        type Value = u32;
+        fn num_vars(&self) -> usize {
+            2
+        }
+        fn bottom(&self, _x: usize) -> u32 {
+            10
+        }
+        fn eval<R: FnMut(usize) -> u32>(&self, x: usize, read: &mut R) -> u32 {
+            match x {
+                0 => 5,
+                _ => read(0).min(7),
+            }
+        }
+        fn dependents<P: FnMut(usize)>(&self, x: usize, push: &mut P) {
+            if x == 0 {
+                push(1);
+            }
+        }
+        fn preceq(&self, a: &u32, b: &u32) -> bool {
+            a <= b
+        }
+    }
+
+    #[test]
+    fn monotone_check_accepts_min() {
+        let spec = MinSpec;
+        let lo = Status::from_values(vec![3, 3]);
+        let hi = Status::from_values(vec![8, 9]);
+        assert_eq!(check_monotone_at(&spec, 1, &lo, &hi), Some(true));
+    }
+
+    #[test]
+    fn monotone_check_rejects_unordered_samples() {
+        let spec = MinSpec;
+        let a = Status::from_values(vec![3, 9]);
+        let b = Status::from_values(vec![8, 2]);
+        assert_eq!(check_monotone_at(&spec, 1, &a, &b), None);
+    }
+
+    #[test]
+    fn feasibility_brackets_final_and_bottom() {
+        let spec = MinSpec;
+        let fin = Status::from_values(vec![5, 5]);
+        assert!(is_feasible(&spec, &Status::from_values(vec![7, 5]), &fin));
+        assert!(!is_feasible(&spec, &Status::from_values(vec![4, 5]), &fin));
+        assert!(!is_feasible(&spec, &Status::from_values(vec![11, 5]), &fin));
+    }
+}

@@ -1,0 +1,113 @@
+//! Instrumentation for the paper's empirical claims: affected-area sizes
+//! (Exp-1) and space costs (Fig. 8).
+
+use crate::engine::RunStats;
+use crate::scope::ScopeStats;
+
+/// Anything whose resident structure size can be reported; the Fig. 8
+/// space experiment sums these over each algorithm's state.
+pub trait SpaceUsage {
+    /// Heap bytes held by this structure.
+    fn space_bytes(&self) -> usize;
+}
+
+/// Empirical relative-boundedness report for one incremental run: how much
+/// of the status-variable universe the run actually inspected, the
+/// quantity the paper reports as `|AFF|` fractions in Exp-1(1c)/(2c).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BoundednessReport {
+    /// Size of the initial scope `|H⁰|`.
+    pub scope_size: usize,
+    /// Distinct status variables the engine inspected.
+    pub inspected_vars: u64,
+    /// Variables whose value actually changed.
+    pub changed_vars: u64,
+    /// Total status variables `|Ψ_A|`.
+    pub total_vars: usize,
+    /// Work spent in the scope function `h`.
+    pub scope_stats: ScopeStats,
+    /// Work spent resuming the step function.
+    pub run_stats: RunStats,
+}
+
+impl BoundednessReport {
+    /// Builds a report from the two phases of an incremental run.
+    pub fn new(
+        total_vars: usize,
+        scope_size: usize,
+        scope_stats: ScopeStats,
+        run_stats: RunStats,
+    ) -> Self {
+        BoundednessReport {
+            scope_size,
+            inspected_vars: run_stats.distinct_vars.max(scope_size as u64),
+            changed_vars: run_stats.changes,
+            total_vars,
+            scope_stats,
+            run_stats,
+        }
+    }
+
+    /// Inspected fraction of the variable universe, in `\[0, 1\]` — the
+    /// paper's "`|AFF|` accounts for x% of the total size of the auxiliary
+    /// structures".
+    pub fn aff_fraction(&self) -> f64 {
+        if self.total_vars == 0 {
+            0.0
+        } else {
+            self.inspected_vars as f64 / self.total_vars as f64
+        }
+    }
+
+    /// Share of update-function evaluations performed by `h` rather than
+    /// the resumed step function (the paper's Exp-2(2d) measurement).
+    pub fn scope_share(&self) -> f64 {
+        let h = self.scope_stats.evals as f64;
+        let total = h + self.run_stats.evals as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+}
+
+/// Heap bytes of a `Vec<T>`'s buffer.
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_well_defined() {
+        let run = RunStats {
+            distinct_vars: 25,
+            changes: 10,
+            evals: 30,
+            ..Default::default()
+        };
+        let scope = ScopeStats {
+            evals: 10,
+            ..Default::default()
+        };
+        let r = BoundednessReport::new(1000, 20, scope, run);
+        assert!((r.aff_fraction() - 0.025).abs() < 1e-12);
+        assert!((r.scope_share() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_universe_is_zero_fraction() {
+        let r = BoundednessReport::new(0, 0, ScopeStats::default(), RunStats::default());
+        assert_eq!(r.aff_fraction(), 0.0);
+        assert_eq!(r.scope_share(), 0.0);
+    }
+
+    #[test]
+    fn vec_bytes_counts_capacity() {
+        let v: Vec<u64> = Vec::with_capacity(16);
+        assert_eq!(vec_bytes(&v), 128);
+    }
+}

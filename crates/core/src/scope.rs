@@ -1,0 +1,381 @@
+//! Initial scope functions `h(D^r_A, ΔG) = (D⁰, H⁰)`.
+//!
+//! Two constructions are provided:
+//!
+//! * [`bounded_scope`] — the paper's Fig. 4 algorithm, generic over a
+//!   [`ContributorOracle`]. Under conditions (C1)/(C2) of Theorem 3 it
+//!   yields `H⁰ ⊆ AFF`, i.e. a *relatively bounded* incrementalization.
+//! * [`pe_reset_scope`] — the conservative Theorem 1 construction that
+//!   floods *potentially affected* (PE) variables along dependency edges
+//!   and resets them to `⊥`. Always correct, potentially unbounded.
+//!
+//! Both mutate the old fixpoint status in place into the feasible status
+//! `D⁰` and return the initial scope `H⁰` from which the ordinary engine
+//! ([`crate::engine::Engine::run`]) is resumed.
+
+use crate::spec::FixpointSpec;
+use crate::status::Status;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Knowledge about the *anchor sets* `C_x` and the topological order `<_C`
+/// of a finished batch (or previous incremental) run.
+///
+/// The order is exposed as a numeric key: `order_key(x) < order_key(y)`
+/// means `x <_C y`, i.e. `x`'s final value was determined before `y`'s.
+/// Deducible algorithms derive keys from final values (SSSP: the distance
+/// itself; DFS: the preorder number); weakly deducible ones (CC, Sim) use
+/// the timestamps recorded by [`Status`].
+///
+/// Oracle methods receive the **live** status: `h` raises values as it
+/// goes but never touches timestamps, and a raised value is itself
+/// feasible, so consulting live state in place of a pre-update snapshot
+/// only makes trust decisions more conservative — it never unsounds them.
+/// (`contributes_to(x)` is invoked *before* `x`'s raise is applied, so
+/// the oracle still sees `x`'s pre-raise value.) This is what keeps a
+/// unit update free of `O(|Ψ_A|)` snapshot copies.
+///
+/// # Contract
+///
+/// * Along every contributor edge, keys strictly increase: if `x ∈ C_z`
+///   then `order_key(x) < order_key(z)` at the time the edge is examined.
+/// * `contributes_to(x)` pushes **at least** every not-yet-processed `z`
+///   with `x ∈ C_z` (over-approximation is safe, it only widens the
+///   queue).
+///
+/// Under this contract, [`bounded_scope`] pops variables in `<_C` order
+/// and every infeasible variable is reached through a contributor chain
+/// before any variable that might trust it.
+pub trait ContributorOracle<V> {
+    /// The `<_C` position of `x` (smaller = determined earlier).
+    fn order_key(&self, x: usize, status: &Status<V>) -> u64;
+
+    /// Pushes every variable that may have `x` in its anchor set.
+    fn contributes_to<P: FnMut(usize)>(&self, x: usize, status: &Status<V>, push: &mut P);
+}
+
+/// Work counters for one scope-function invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScopeStats {
+    /// Queue pops processed.
+    pub pops: u64,
+    /// Update-function evaluations against the feasible view.
+    pub evals: u64,
+    /// Input reads performed by those evaluations.
+    pub reads: u64,
+    /// Variables whose value `h` adjusted (raised toward `⊥`).
+    pub raised: u64,
+    /// Contributor-queue pushes.
+    pub pushes: u64,
+}
+
+/// Result of an initial scope function: the scope `H⁰` plus counters. The
+/// feasible status `D⁰` is produced by mutating the input status in place.
+#[derive(Clone, Debug, Default)]
+pub struct ScopeResult {
+    /// The initial scope `H⁰_{A_Δ}`, deduplicated and sorted.
+    pub scope: Vec<usize>,
+    /// Work performed by `h` (the paper measures `h`'s share of the total
+    /// incremental cost in Exp-2(2d)).
+    pub stats: ScopeStats,
+}
+
+/// The paper's Fig. 4: a correct and bounded initial scope function for
+/// contracting, monotonic algorithms.
+///
+/// `spec` must be specified over the **updated** graph `G ⊕ ΔG`; `status`
+/// holds the old fixpoint `D^r_A` and is adjusted in place to the feasible
+/// status `D⁰`; `touched` are the variables whose update-function input
+/// sets evolved under `ΔG` (line 1 of Fig. 4).
+///
+/// Processing order follows `<_C`: each popped variable `x` is re-evaluated
+/// against the *feasible view* in which inputs not yet determined
+/// (`order_key ≥ order_key(x)`) read as their `⊥` value (lines 5–6). If
+/// the recomputation shows `x ≺ f_x(Ȳ)` — the stored value is more
+/// advanced than anything the surviving contributors justify — `x` is
+/// raised to `f_x(Ȳ)`, added to `H⁰`, and the variables it contributed to
+/// are enqueued (lines 7–9).
+///
+/// Raises use [`Status::set_unstamped`]: timestamps must keep describing
+/// the change order of the underlying contracting run, and a raise is a
+/// rollback, not a step, of that run.
+pub fn bounded_scope<S: FixpointSpec, O: ContributorOracle<S::Value>>(
+    spec: &S,
+    oracle: &O,
+    status: &mut Status<S::Value>,
+    touched: impl IntoIterator<Item = usize>,
+) -> ScopeResult {
+    let mut stats = ScopeStats::default();
+    let n = spec.num_vars();
+    let mut queue: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    // Dense scratch: zeroing two byte-vectors is far cheaper than hashing
+    // every queue operation, and the incremental states already keep
+    // O(|Ψ_A|) structures (status, engine) between updates.
+    let mut in_scope = vec![false; n];
+    let mut done = vec![false; n];
+    let mut scope: Vec<usize> = Vec::new();
+
+    for x in touched {
+        if !std::mem::replace(&mut in_scope[x], true) {
+            scope.push(x);
+            queue.push(Reverse((oracle.order_key(x, status), x)));
+            stats.pushes += 1;
+        }
+    }
+
+    while let Some(Reverse((key, x))) = queue.pop() {
+        if std::mem::replace(&mut done[x], true) {
+            continue;
+        }
+        stats.pops += 1;
+
+        let cur = status.get(x);
+        // A variable at ⊥ is maximal under ⪯: no raise is possible, so
+        // the feasible-view recomputation is skipped (the variable stays
+        // in H⁰ if it was touched, and the engine handles any lowering).
+        if cur == spec.bottom(x) {
+            continue;
+        }
+        let mut reads = 0u64;
+        // Feasible view: trust only inputs determined strictly before x.
+        let newv = spec.eval(x, &mut |y| {
+            reads += 1;
+            if oracle.order_key(y, status) < key {
+                status.get(y)
+            } else {
+                spec.bottom(y)
+            }
+        });
+        stats.evals += 1;
+        stats.reads += reads;
+
+        // `x ≺ f_x(Ȳ)` (or incomparable): the stored value is potentially
+        // infeasible for G ⊕ ΔG — raise it. Contributors are collected
+        // *before* the raise lands so the oracle sees x's pre-raise value.
+        if newv != cur && !spec.preceq(&newv, &cur) {
+            oracle.contributes_to(x, status, &mut |z| {
+                if !done[z] {
+                    queue.push(Reverse((oracle.order_key(z, status), z)));
+                    stats.pushes += 1;
+                }
+            });
+            status.set_unstamped(x, newv);
+            stats.raised += 1;
+            if !std::mem::replace(&mut in_scope[x], true) {
+                scope.push(x);
+            }
+        }
+    }
+
+    scope.sort_unstable();
+    ScopeResult { scope, stats }
+}
+
+/// The Theorem 1 construction: flood the *potentially affected* variables
+/// through dependency edges (Example 2's expansion rule) and reset every
+/// one of them to its `⊥` value.
+///
+/// Always correct for any fixpoint algorithm — the resulting status is
+/// trivially feasible and the scope valid — but the flood is not bounded
+/// by `AFF` (deleting one edge of a connected graph floods the whole
+/// component under CC). Used as the deduced strategy where the flood is
+/// inherently local (LCC's dependency graph has no edges) and as the
+/// `abl-scope` ablation baseline elsewhere.
+pub fn pe_reset_scope<S: FixpointSpec>(
+    spec: &S,
+    status: &mut Status<S::Value>,
+    touched: impl IntoIterator<Item = usize>,
+) -> ScopeResult {
+    let mut stats = ScopeStats::default();
+    let mut pe: HashSet<usize> = HashSet::new();
+    let mut frontier: Vec<usize> = Vec::new();
+    for x in touched {
+        if pe.insert(x) {
+            frontier.push(x);
+            stats.pushes += 1;
+        }
+    }
+    while let Some(x) = frontier.pop() {
+        stats.pops += 1;
+        spec.dependents(x, &mut |z| {
+            if pe.insert(z) {
+                frontier.push(z);
+                stats.pushes += 1;
+            }
+        });
+    }
+    let mut scope: Vec<usize> = pe.into_iter().collect();
+    scope.sort_unstable();
+    for &x in &scope {
+        let bot = spec.bottom(x);
+        if status.get(x) != bot {
+            status.set_unstamped(x, bot);
+            stats.raised += 1;
+        }
+    }
+    ScopeResult { scope, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_fixpoint;
+
+    /// Min-label CC over a mutable adjacency, as a test double for the
+    /// real algorithm in `incgraph-algos`.
+    struct Cc {
+        adj: Vec<Vec<usize>>,
+    }
+
+    impl Cc {
+        fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+            let mut adj = vec![Vec::new(); n];
+            for &(a, b) in edges {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+            Cc { adj }
+        }
+    }
+
+    impl FixpointSpec for Cc {
+        type Value = u32;
+        fn num_vars(&self) -> usize {
+            self.adj.len()
+        }
+        fn bottom(&self, x: usize) -> u32 {
+            x as u32
+        }
+        fn eval<R: FnMut(usize) -> u32>(&self, x: usize, read: &mut R) -> u32 {
+            let mut m = x as u32;
+            for &y in &self.adj[x] {
+                m = m.min(read(y));
+            }
+            m
+        }
+        fn dependents<P: FnMut(usize)>(&self, x: usize, push: &mut P) {
+            for &y in &self.adj[x] {
+                push(y);
+            }
+        }
+        fn preceq(&self, a: &u32, b: &u32) -> bool {
+            a <= b
+        }
+        fn rank(&self, _x: usize, v: &u32) -> u64 {
+            *v as u64
+        }
+    }
+
+    /// Timestamp-based oracle over the live status, as IncCC uses.
+    struct StampOracle<'a> {
+        adj: &'a [Vec<usize>],
+    }
+
+    impl ContributorOracle<u32> for StampOracle<'_> {
+        fn order_key(&self, x: usize, status: &Status<u32>) -> u64 {
+            status.stamp(x)
+        }
+        fn contributes_to<P: FnMut(usize)>(&self, x: usize, status: &Status<u32>, push: &mut P) {
+            let sx = status.stamp(x);
+            for &z in &self.adj[x] {
+                if status.stamp(z) > sx {
+                    push(z);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_scope_handles_bridge_deletion() {
+        // Path 0-1-2-3: all labels converge to 0. Delete (1,2): labels of
+        // {2,3} must recover to 2.
+        let old = Cc::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut status = Status::init(&old, true);
+        run_fixpoint(&old, &mut status, 0..4);
+        assert_eq!(status.values(), &[0, 0, 0, 0]);
+
+        let new = Cc::from_edges(4, &[(0, 1), (2, 3)]);
+        // Oracle keys/stamps come from the old run, and contributor
+        // expansion uses the old adjacency (the deleted edge carried the
+        // old change propagation).
+        let old_adj = old.adj.clone();
+        let res = bounded_scope(
+            &new,
+            &StampOracle { adj: &old_adj },
+            &mut status,
+            [1usize, 2],
+        );
+        // h must have raised 2 (and possibly 3) back toward their ids.
+        assert!(res.scope.contains(&2));
+        let stats = run_fixpoint(&new, &mut status, res.scope.iter().copied());
+        assert_eq!(status.values(), &[0, 0, 2, 2]);
+        // Boundedness: component {0,1} minus the touched var 1 stays out.
+        assert!(!res.scope.contains(&0));
+        let _ = stats;
+    }
+
+    #[test]
+    fn bounded_scope_noop_when_updates_dont_matter() {
+        // Cycle 0-1-2-0 plus chord (0,2): deleting the chord changes no
+        // label; h must raise nothing beyond re-checking the touched vars.
+        let old = Cc::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let mut status = Status::init(&old, true);
+        run_fixpoint(&old, &mut status, 0..3);
+        let old_adj = old.adj.clone();
+        let new = Cc::from_edges(3, &[(0, 1), (1, 2)]);
+        let res = bounded_scope(
+            &new,
+            &StampOracle { adj: &old_adj },
+            &mut status,
+            [0usize, 2],
+        );
+        run_fixpoint(&new, &mut status, res.scope.iter().copied());
+        assert_eq!(status.values(), &[0, 0, 0]);
+        assert!(res.scope.len() <= 2, "only the touched endpoints");
+    }
+
+    #[test]
+    fn bounded_scope_insertion_lowers_through_engine() {
+        // Two components {0,1} and {2,3}; insert (1,2): labels of {2,3}
+        // drop to 0. h raises nothing; the engine does the lowering.
+        let old = Cc::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut status = Status::init(&old, true);
+        run_fixpoint(&old, &mut status, 0..4);
+        assert_eq!(status.values(), &[0, 0, 2, 2]);
+        let old_adj = old.adj.clone();
+        let new = Cc::from_edges(4, &[(0, 1), (2, 3), (1, 2)]);
+        let res = bounded_scope(
+            &new,
+            &StampOracle { adj: &old_adj },
+            &mut status,
+            [1usize, 2],
+        );
+        assert_eq!(res.stats.raised, 0, "insertions need no raises");
+        run_fixpoint(&new, &mut status, res.scope.iter().copied());
+        assert_eq!(status.values(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn pe_reset_floods_component_and_stays_correct() {
+        let old = Cc::from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        let mut status = Status::init(&old, false);
+        run_fixpoint(&old, &mut status, 0..5);
+        let new = Cc::from_edges(5, &[(0, 1), (2, 3)]);
+        let res = pe_reset_scope(&new, &mut status, [1usize, 2]);
+        // The flood covers the whole old component reachable in the new
+        // graph from the endpoints — including 0 (the Example 2 cost).
+        assert!(res.scope.contains(&0));
+        assert!(!res.scope.contains(&4), "isolated node untouched");
+        run_fixpoint(&new, &mut status, res.scope.iter().copied());
+        assert_eq!(status.values(), &[0, 0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn scope_results_are_sorted_and_deduped() {
+        let g = Cc::from_edges(3, &[(0, 1)]);
+        let mut status = Status::init(&g, false);
+        run_fixpoint(&g, &mut status, 0..3);
+        let res = pe_reset_scope(&g, &mut status, [1usize, 1, 0]);
+        assert_eq!(res.scope, vec![0, 1]);
+    }
+}

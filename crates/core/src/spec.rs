@@ -1,0 +1,120 @@
+//! The fixpoint-algorithm specification trait.
+
+/// Outcome of a single-input relaxation attempt
+/// ([`FixpointSpec::relax`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relax<V> {
+    /// The change cannot affect the dependent's value.
+    Skip,
+    /// The dependent's new value under the changed input.
+    Set(V),
+    /// Undecidable locally: a full re-evaluation is required.
+    Eval,
+}
+
+/// A batch graph algorithm expressed in the paper's fixpoint model.
+///
+/// Status variables are identified by dense indices `0..num_vars()`; each
+/// algorithm defines its own packing (SSSP/CC/DFS: one variable per node;
+/// LCC: two per node; Sim: `|V| × |V_Q|` Boolean variables). Implementors
+/// hold a reference to the graph (and query) they are specified over, so a
+/// spec is cheap to construct and borrows the graph for its lifetime.
+///
+/// The trait encodes, in the paper's notation:
+///
+/// * `bottom(x)`  — the initial value `x⊥` of variable `x`,
+/// * `eval(x, read)` — the update function `f_x(Y_x)`, where `read(y)`
+///   fetches the current value of an input variable `y ∈ Y_x`. **`eval`
+///   must not read `x` itself**; self-dependent update functions (like
+///   CC's `min({x_v} ∪ Y)`) fold the self contribution in as a constant
+///   (`min(v_id, …)`), which is equivalent at every fixpoint and keeps
+///   the feasibility analysis of the scope function sound.
+/// * `dependents(x)` — the reverse dependency: every `z` with `x ∈ Y_z`,
+/// * `preceq(a, b)` — the partial order `⪯` under which the algorithm is
+///   *contracting* (values only move downward: `new ⪯ old`) and
+///   *monotonic* (condition C2 of the paper),
+/// * `rank`/`push_rank` — worklist priorities steering the step function
+///   toward the batch algorithm's native evaluation order (distance order
+///   for Dijkstra, label order for CC); any order converges to the same
+///   fixpoint by the Church–Rosser property (Lemma 2), so ranks are a
+///   performance knob, not a correctness one.
+pub trait FixpointSpec {
+    /// Status-variable value domain. `Copy` keeps reads allocation-free;
+    /// all five query classes fit (distances, labels, Booleans, intervals,
+    /// counts).
+    type Value: Copy + PartialEq + std::fmt::Debug;
+
+    /// Total number of status variables `|Ψ_A|`.
+    fn num_vars(&self) -> usize;
+
+    /// Initial value `x⊥` of variable `x`.
+    fn bottom(&self, x: usize) -> Self::Value;
+
+    /// The update function `f_x(Y_x)`: computes the value of `x` from its
+    /// input variables, fetched through `read`. Must be a pure function of
+    /// the inputs (and the graph/query), and must not read `x` itself.
+    fn eval<R: FnMut(usize) -> Self::Value>(&self, x: usize, read: &mut R) -> Self::Value;
+
+    /// Pushes every variable `z` whose input set `Y_z` contains `x`.
+    fn dependents<P: FnMut(usize)>(&self, x: usize, push: &mut P);
+
+    /// Partial order `⪯` on values: `preceq(a, b)` iff `a ⪯ b`. The final
+    /// value satisfies `x* ⪯ x⊥`; a *contracting* run only moves values
+    /// downward.
+    fn preceq(&self, a: &Self::Value, b: &Self::Value) -> bool;
+
+    /// Single-input change propagation: the candidate value for dependent
+    /// `z` when input `trigger` changed to `tv` (the relaxation step of
+    /// the paper's Fig. 1 Dijkstra, line 7). The engine uses this fast
+    /// path instead of re-evaluating `f_z` over the whole input set when
+    /// the spec can answer:
+    ///
+    /// * [`Relax::Set`] — `f_z` over the new inputs equals
+    ///   `min(z_val, candidate)`-style and the candidate is it;
+    /// * [`Relax::Skip`] — the change provably leaves `f_z(Y_z)` at
+    ///   `z_val`;
+    /// * [`Relax::Eval`] — cannot tell locally; schedule a full
+    ///   re-evaluation (the default).
+    ///
+    /// Only `min`-combining algorithms (SSSP, CC) implement this; the
+    /// engine remains correct with the default.
+    fn relax(
+        &self,
+        _z: usize,
+        _z_val: &Self::Value,
+        _trigger: usize,
+        _trigger_val: &Self::Value,
+    ) -> Relax<Self::Value> {
+        Relax::Eval
+    }
+
+    /// Whether the algorithm satisfies condition (C2): contracting and
+    /// monotonic w.r.t. [`preceq`](Self::preceq). Defaults to `true`; the
+    /// engine debug-asserts contraction on every applied change when set.
+    /// LCC returns `false` — its counts move in both directions, which is
+    /// why it is incrementalized via the Theorem 1 PE-variable strategy
+    /// rather than the Fig. 4 bounded scope function.
+    fn is_contracting(&self) -> bool {
+        true
+    }
+
+    /// Worklist priority of `x` given its current value (smaller pops
+    /// first). Defaults to rank-insensitive.
+    fn rank(&self, _x: usize, _val: &Self::Value) -> u64 {
+        0
+    }
+
+    /// Priority with which a dependent `z` is (re)enqueued after one of
+    /// its inputs changed to `trigger_val`. Defaults to [`rank`](Self::rank)
+    /// of the trigger; Dijkstra-style algorithms return the trigger's
+    /// distance so that pops happen in near-final order.
+    fn push_rank(
+        &self,
+        z: usize,
+        z_val: &Self::Value,
+        _trigger: usize,
+        _trigger_val: &Self::Value,
+    ) -> u64 {
+        self.rank(z, z_val)
+    }
+}

@@ -1,0 +1,183 @@
+//! Status storage `D_A`: variable values plus optional timestamps.
+
+use crate::spec::FixpointSpec;
+
+/// The status `D_A = (S_A, R_A)` of a fixpoint computation: the current
+/// value of every status variable, plus — when enabled — a **timestamp**
+/// per variable recording the logical time of its last change.
+///
+/// Timestamps are the one auxiliary structure the paper's *weakly
+/// deducible* incrementalization is allowed to add (§4): they are written
+/// as a byproduct of the batch run and consulted by the contributor
+/// oracles of CC and Sim to derive the order `<_C`. Deducible algorithms
+/// (SSSP, DFS, LCC) run with timestamps disabled and pay nothing.
+#[derive(Clone, Debug)]
+pub struct Status<V> {
+    vals: Vec<V>,
+    /// Last-change logical time per variable; empty when not tracking.
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl<V: Copy + PartialEq> Status<V> {
+    /// Initializes every variable to its `⊥` value.
+    pub fn init<S: FixpointSpec<Value = V>>(spec: &S, track_stamps: bool) -> Self {
+        let n = spec.num_vars();
+        let vals = (0..n).map(|x| spec.bottom(x)).collect();
+        Status {
+            vals,
+            stamps: if track_stamps { vec![0; n] } else { Vec::new() },
+            clock: 0,
+        }
+    }
+
+    /// Builds a status directly from values (no timestamps).
+    pub fn from_values(vals: Vec<V>) -> Self {
+        Status {
+            vals,
+            stamps: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether there are no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Current value of variable `x`.
+    #[inline]
+    pub fn get(&self, x: usize) -> V {
+        self.vals[x]
+    }
+
+    /// All values, in variable order.
+    pub fn values(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// Sets `x` to `v`, advancing the logical clock and stamping `x` if
+    /// timestamps are tracked.
+    #[inline]
+    pub fn set(&mut self, x: usize, v: V) {
+        self.vals[x] = v;
+        self.clock += 1;
+        if !self.stamps.is_empty() {
+            self.stamps[x] = self.clock;
+        }
+    }
+
+    /// Sets `x` without advancing the clock or the stamp. The scope
+    /// function uses this when *raising* values back toward `⊥`: stamps
+    /// must keep describing the order of the (conceptual) batch run.
+    #[inline]
+    pub fn set_unstamped(&mut self, x: usize, v: V) {
+        self.vals[x] = v;
+    }
+
+    /// Extends the status to `n` variables, initializing fresh ones with
+    /// `bottom(i)` and stamp 0 (fresh variables sit at `⊥`, which is
+    /// always feasible). Used for vertex insertions (§4); a no-op when the
+    /// status is already at least that large.
+    pub fn extend_to(&mut self, n: usize, mut bottom: impl FnMut(usize) -> V) {
+        let old = self.vals.len();
+        if n <= old {
+            return;
+        }
+        self.vals.extend((old..n).map(&mut bottom));
+        if !self.stamps.is_empty() {
+            self.stamps.resize(n, 0);
+        }
+    }
+
+    /// Whether timestamps are tracked.
+    pub fn tracks_stamps(&self) -> bool {
+        !self.stamps.is_empty()
+    }
+
+    /// Timestamp of the last change to `x` (0 if never changed).
+    ///
+    /// # Panics
+    /// Panics if timestamps are not tracked.
+    #[inline]
+    pub fn stamp(&self, x: usize) -> u64 {
+        self.stamps[x]
+    }
+
+    /// Current logical clock (total number of stamped changes).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Heap bytes held; timestamps show up here, which is how the space
+    /// experiment (Fig. 8) sees the deducible/weakly-deducible difference.
+    pub fn space_bytes(&self) -> usize {
+        self.vals.capacity() * std::mem::size_of::<V>()
+            + self.stamps.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FixpointSpec;
+
+    /// Minimal spec: three variables, bottom = 10, no deps.
+    struct Toy;
+    impl FixpointSpec for Toy {
+        type Value = u32;
+        fn num_vars(&self) -> usize {
+            3
+        }
+        fn bottom(&self, _x: usize) -> u32 {
+            10
+        }
+        fn eval<R: FnMut(usize) -> u32>(&self, _x: usize, _read: &mut R) -> u32 {
+            10
+        }
+        fn dependents<P: FnMut(usize)>(&self, _x: usize, _push: &mut P) {}
+        fn preceq(&self, a: &u32, b: &u32) -> bool {
+            a <= b
+        }
+    }
+
+    #[test]
+    fn init_fills_bottoms() {
+        let s = Status::init(&Toy, false);
+        assert_eq!(s.values(), &[10, 10, 10]);
+        assert!(!s.tracks_stamps());
+    }
+
+    #[test]
+    fn stamps_record_change_order() {
+        let mut s = Status::init(&Toy, true);
+        s.set(2, 5);
+        s.set(0, 7);
+        assert_eq!(s.stamp(1), 0);
+        assert!(s.stamp(2) < s.stamp(0), "2 changed before 0");
+        assert_eq!(s.clock(), 2);
+    }
+
+    #[test]
+    fn unstamped_set_preserves_stamps() {
+        let mut s = Status::init(&Toy, true);
+        s.set(1, 4);
+        let st = s.stamp(1);
+        s.set_unstamped(1, 9);
+        assert_eq!(s.get(1), 9);
+        assert_eq!(s.stamp(1), st);
+        assert_eq!(s.clock(), 1);
+    }
+
+    #[test]
+    fn space_accounts_for_stamps() {
+        let with = Status::init(&Toy, true).space_bytes();
+        let without = Status::init(&Toy, false).space_bytes();
+        assert!(with > without);
+    }
+}

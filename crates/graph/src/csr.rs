@@ -1,0 +1,159 @@
+//! Immutable CSR (compressed sparse row) snapshots.
+//!
+//! The mutable [`DynamicGraph`](crate::store::DynamicGraph) pays one heap
+//! allocation per adjacency list — the right trade for update streams,
+//! the wrong one for read-heavy batch passes that scan the whole graph
+//! (triangle counting, full fixpoint runs, analytics embedding this
+//! library next to an existing batch pipeline). [`CsrSnapshot`] freezes a
+//! graph into two flat arrays with `O(1)` row slicing; it is a *view*
+//! type: take a snapshot, scan, drop.
+
+use crate::ids::{Label, NodeId, Weight};
+use crate::store::DynamicGraph;
+
+/// An immutable CSR image of a graph's out-adjacency (plus in-adjacency
+/// for directed graphs).
+#[derive(Clone, Debug)]
+pub struct CsrSnapshot {
+    directed: bool,
+    labels: Vec<Label>,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<(NodeId, Weight)>,
+    in_offsets: Vec<usize>,
+    in_targets: Vec<(NodeId, Weight)>,
+}
+
+impl CsrSnapshot {
+    /// Freezes `g` into CSR form.
+    pub fn new(g: &DynamicGraph) -> Self {
+        let n = g.node_count();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_targets = Vec::new();
+        out_offsets.push(0);
+        for v in 0..n as NodeId {
+            out_targets.extend_from_slice(g.out_neighbors(v));
+            out_offsets.push(out_targets.len());
+        }
+        let (in_offsets, in_targets) = if g.is_directed() {
+            let mut offs = Vec::with_capacity(n + 1);
+            let mut tgts = Vec::new();
+            offs.push(0);
+            for v in 0..n as NodeId {
+                tgts.extend_from_slice(g.in_neighbors(v));
+                offs.push(tgts.len());
+            }
+            (offs, tgts)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        CsrSnapshot {
+            directed: g.is_directed(),
+            labels: (0..n as NodeId).map(|v| g.label(v)).collect(),
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of directed arcs stored (undirected edges count twice).
+    pub fn arc_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Whether edges are directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Label of `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// Out-neighbors of `v`, sorted by target (a flat-array slice).
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// In-neighbors of `v` (same slice as out for undirected graphs).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        if self.directed {
+            let v = v as usize;
+            &self.in_targets[self.in_offsets[v]..self.in_offsets[v + 1]]
+        } else {
+            self.out_neighbors(v)
+        }
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// Resident bytes of the snapshot.
+    pub fn space_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.labels.capacity() * size_of::<Label>()
+            + (self.out_offsets.capacity() + self.in_offsets.capacity()) * size_of::<usize>()
+            + (self.out_targets.capacity() + self.in_targets.capacity())
+                * size_of::<(NodeId, Weight)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_mirrors_adjacency() {
+        let g = crate::gen::uniform(200, 900, true, 10, 5, 4);
+        let csr = CsrSnapshot::new(&g);
+        assert_eq!(csr.node_count(), 200);
+        assert_eq!(csr.arc_count(), g.edge_count());
+        for v in 0..200u32 {
+            assert_eq!(csr.out_neighbors(v), g.out_neighbors(v));
+            assert_eq!(csr.in_neighbors(v), g.in_neighbors(v));
+            assert_eq!(csr.label(v), g.label(v));
+            assert_eq!(csr.out_degree(v), g.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn undirected_snapshot_shares_out_and_in() {
+        let g = crate::gen::grid(6, 6, 5, 1);
+        let csr = CsrSnapshot::new(&g);
+        assert!(!csr.is_directed());
+        assert_eq!(csr.arc_count(), 2 * g.edge_count(), "mirrored arcs");
+        for v in 0..36u32 {
+            assert_eq!(csr.in_neighbors(v), csr.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn snapshot_is_decoupled_from_source() {
+        let mut g = DynamicGraph::new(true, 3);
+        g.insert_edge(0, 1, 9);
+        let csr = CsrSnapshot::new(&g);
+        g.delete_edge(0, 1);
+        assert_eq!(csr.out_neighbors(0), &[(1, 9)], "snapshot unaffected");
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let g = DynamicGraph::new(false, 4);
+        let csr = CsrSnapshot::new(&g);
+        assert_eq!(csr.arc_count(), 0);
+        assert!(csr.out_neighbors(2).is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on six real-life graphs (LiveJournal, DBPedia,
+//! Orkut, Twitter-2010, Friendster, Wiki-DE) plus a synthetic generator
+//! "controlled by the number |V| of nodes and the number |E| of edges with
+//! L drawn from an alphabet of 5 labels". We cannot ship multi-billion
+//! edge downloads, so the workloads crate instantiates laptop-scale
+//! stand-ins from these generators:
+//!
+//! * [`uniform`] — Erdős–Rényi-style G(n, m): the paper's synthetic
+//!   scalability graphs (Exp-3).
+//! * [`power_law`] — Chung–Lu expected-degree model: reproduces the heavy
+//!   degree skew of the social-network datasets, which is the property
+//!   that drives affected-area (`AFF`) sizes.
+//! * [`grid`] — road-network-like lattice with weighted edges, the SSSP
+//!   motivation workload.
+//! * [`temporal`] — timestamped edge history generator standing in for the
+//!   Wiki-DE temporal graph (81% insertions / 19% deletions per window).
+
+mod grid;
+mod powerlaw;
+mod temporal;
+mod uniform;
+
+pub use grid::grid;
+pub use powerlaw::power_law;
+pub use temporal::{temporal, TemporalGraph};
+pub use uniform::uniform;
+
+use crate::ids::Label;
+use rand::Rng;
+
+/// Draws `n` labels uniformly from an alphabet of `alphabet` symbols,
+/// matching the paper's synthetic-label setup (`alphabet = 5` there).
+pub(crate) fn random_labels<R: Rng>(rng: &mut R, n: usize, alphabet: u32) -> Vec<Label> {
+    assert!(alphabet > 0, "label alphabet must be non-empty");
+    (0..n).map(|_| rng.gen_range(0..alphabet)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels_within_alphabet() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let labels = random_labels(&mut rng, 1000, 5);
+        assert_eq!(labels.len(), 1000);
+        assert!(labels.iter().all(|&l| l < 5));
+        // All symbols should appear for a 1000-sample draw.
+        for s in 0..5 {
+            assert!(labels.contains(&s), "symbol {s} missing");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Identifier and scalar types shared across the workspace.
+
+/// Node identifier: a dense index into the graph's node arrays.
+///
+/// Nodes are identified by `u32` to halve the memory footprint of
+/// adjacency lists relative to `usize` (per the perf-book guidance on
+/// smaller integers); graphs of up to ~4.2 billion nodes are addressable,
+/// far beyond the laptop-scale stand-ins used here.
+pub type NodeId = u32;
+
+/// Node (and pattern-node) label, as in property graphs / social networks.
+pub type Label = u32;
+
+/// Edge weight; interpreted as a non-negative length by SSSP and ignored
+/// by CC, Sim, DFS and LCC.
+pub type Weight = u32;
+
+/// Shortest-path distances accumulate weights and therefore use a wider
+/// type; [`INF_DIST`] is the "unreachable" sentinel (the `x⊥ = ∞` initial
+/// value in the paper's fixpoint model for SSSP).
+pub type Dist = u64;
+
+/// Infinite distance: the initial (`⊥`) value of every SSSP status
+/// variable except the source.
+pub const INF_DIST: Dist = u64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_dist_saturates_additions() {
+        // Algorithms guard against overflow by checking for INF before
+        // adding; this test documents that INF + w would wrap if unchecked.
+        assert_eq!(INF_DIST, u64::MAX);
+        assert!(INF_DIST.checked_add(1).is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Pattern graphs `Q = (V_Q, E_Q, L_Q)` for graph simulation.
+//!
+//! Patterns are tiny (the paper fixes `|Q| = (4, 6)`), immutable, and
+//! directed. They use dense `usize` node ids and store both adjacency
+//! directions because the simulation fixpoint consults pattern successors
+//! while its change propagation walks pattern predecessors.
+
+use crate::ids::Label;
+
+/// An immutable directed pattern graph for graph simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pattern {
+    labels: Vec<Label>,
+    out: Vec<Vec<usize>>,
+    inn: Vec<Vec<usize>>,
+}
+
+impl Pattern {
+    /// Builds a pattern from node labels and directed edges.
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is out of range or duplicated.
+    pub fn new(labels: Vec<Label>, edges: &[(usize, usize)]) -> Self {
+        let n = labels.len();
+        let mut out = vec![Vec::new(); n];
+        let mut inn = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "pattern edge ({u},{v}) out of range");
+            assert!(!out[u].contains(&v), "duplicate pattern edge ({u},{v})");
+            out[u].push(v);
+            inn[v].push(u);
+        }
+        for adj in out.iter_mut().chain(inn.iter_mut()) {
+            adj.sort_unstable();
+        }
+        Pattern { labels, out, inn }
+    }
+
+    /// Number of pattern nodes `|V_Q|`.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of pattern edges `|E_Q|`.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Label of pattern node `u`.
+    #[inline]
+    pub fn label(&self, u: usize) -> Label {
+        self.labels[u]
+    }
+
+    /// Pattern successors of `u`.
+    #[inline]
+    pub fn out_neighbors(&self, u: usize) -> &[usize] {
+        &self.out[u]
+    }
+
+    /// Pattern predecessors of `u`.
+    #[inline]
+    pub fn in_neighbors(&self, u: usize) -> &[usize] {
+        &self.inn[u]
+    }
+
+    /// All pattern edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_directions() {
+        // The paper's Fig. 2(b) pattern: a -> b -> c, with c -> b making a cycle.
+        let p = Pattern::new(vec![0, 1, 2], &[(0, 1), (1, 2), (2, 1)]);
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.edge_count(), 3);
+        assert_eq!(p.out_neighbors(1), &[2]);
+        assert_eq!(p.in_neighbors(1), &[0, 2]);
+        let mut edges: Vec<_> = p.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        Pattern::new(vec![0, 1], &[(0, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_edges() {
+        Pattern::new(vec![0, 1], &[(0, 1), (0, 1)]);
+    }
+}

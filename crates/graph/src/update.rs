@@ -1,0 +1,305 @@
+//! Update batches `ΔG` and their application to a graph.
+//!
+//! The paper works with *batch updates*: sequences of unit edge insertions
+//! and deletions ([`Update`]). Applying a batch yields an [`AppliedBatch`]
+//! recording, in chronological order, the updates that actually took
+//! effect (duplicates and missing edges are no-ops), which is exactly the
+//! information the initial scope function `h` needs — and which can be
+//! inverted to restore the original graph, a facility the experiment
+//! harness and the property tests lean on.
+
+use crate::ids::{NodeId, Weight};
+use crate::store::DynamicGraph;
+
+/// A unit update: one edge insertion or deletion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Insert edge `(src, dst)` with the given weight.
+    Insert {
+        src: NodeId,
+        dst: NodeId,
+        weight: Weight,
+    },
+    /// Delete edge `(src, dst)`.
+    Delete { src: NodeId, dst: NodeId },
+}
+
+impl Update {
+    /// Source endpoint.
+    pub fn src(&self) -> NodeId {
+        match *self {
+            Update::Insert { src, .. } | Update::Delete { src, .. } => src,
+        }
+    }
+
+    /// Destination endpoint.
+    pub fn dst(&self) -> NodeId {
+        match *self {
+            Update::Insert { dst, .. } | Update::Delete { dst, .. } => dst,
+        }
+    }
+
+    /// Whether this is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert { .. })
+    }
+}
+
+/// A batch update `ΔG`: an ordered sequence of unit updates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    updates: Vec<Update>,
+}
+
+impl UpdateBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Batch from a list of unit updates.
+    pub fn from_updates(updates: Vec<Update>) -> Self {
+        UpdateBatch { updates }
+    }
+
+    /// Appends an insertion.
+    pub fn insert(&mut self, src: NodeId, dst: NodeId, weight: Weight) -> &mut Self {
+        self.updates.push(Update::Insert { src, dst, weight });
+        self
+    }
+
+    /// Appends a deletion.
+    pub fn delete(&mut self, src: NodeId, dst: NodeId) -> &mut Self {
+        self.updates.push(Update::Delete { src, dst });
+        self
+    }
+
+    /// The unit updates, in application order.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// `|ΔG|`: the number of unit updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Applies the batch to `g` in order, returning the effective updates.
+    ///
+    /// Insertions of existing edges and deletions of missing edges are
+    /// silently skipped (they are no-ops on the graph and must likewise be
+    /// invisible to the scope function).
+    pub fn apply(&self, g: &mut DynamicGraph) -> AppliedBatch {
+        let mut ops = Vec::with_capacity(self.updates.len());
+        for u in &self.updates {
+            match *u {
+                Update::Insert { src, dst, weight } => {
+                    if g.insert_edge(src, dst, weight) {
+                        ops.push(AppliedOp {
+                            inserted: true,
+                            src,
+                            dst,
+                            weight,
+                        });
+                    }
+                }
+                Update::Delete { src, dst } => {
+                    if let Some(w) = g.delete_edge(src, dst) {
+                        ops.push(AppliedOp {
+                            inserted: false,
+                            src,
+                            dst,
+                            weight: w,
+                        });
+                    }
+                }
+            }
+        }
+        AppliedBatch { ops }
+    }
+
+    /// Splits the batch into singleton batches, for the `Inc*_n` variants
+    /// that process unit updates one by one.
+    pub fn as_units(&self) -> impl Iterator<Item = UpdateBatch> + '_ {
+        self.updates
+            .iter()
+            .map(|&u| UpdateBatch { updates: vec![u] })
+    }
+}
+
+/// One effective unit update, with the weight involved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppliedOp {
+    /// `true` for an insertion, `false` for a deletion.
+    pub inserted: bool,
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Weight inserted, or weight the deleted edge carried.
+    pub weight: Weight,
+}
+
+/// The effective result of applying an [`UpdateBatch`]: which edges were
+/// actually inserted and deleted, in chronological order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AppliedBatch {
+    ops: Vec<AppliedOp>,
+}
+
+impl AppliedBatch {
+    /// Effective unit updates in application order.
+    pub fn ops(&self) -> &[AppliedOp] {
+        &self.ops
+    }
+
+    /// Number of effective unit updates.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing took effect.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Effective insertions, in application order.
+    pub fn inserted(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.ops
+            .iter()
+            .filter(|o| o.inserted)
+            .map(|o| (o.src, o.dst, o.weight))
+    }
+
+    /// Effective deletions (with the weight the edge carried), in
+    /// application order.
+    pub fn deleted(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.ops
+            .iter()
+            .filter(|o| !o.inserted)
+            .map(|o| (o.src, o.dst, o.weight))
+    }
+
+    /// A batch that undoes this one: each effective op is inverted, in
+    /// reverse chronological order, so interleavings like
+    /// insert-then-delete of the same edge round-trip correctly.
+    pub fn invert(&self) -> UpdateBatch {
+        let mut batch = UpdateBatch::new();
+        for op in self.ops.iter().rev() {
+            if op.inserted {
+                batch.delete(op.src, op.dst);
+            } else {
+                batch.insert(op.src, op.dst, op.weight);
+            }
+        }
+        batch
+    }
+
+    /// All endpoints touched by the effective updates, deduplicated.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.ops.iter().flat_map(|o| [o.src, o.dst]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new(true, n);
+        for i in 0..n - 1 {
+            g.insert_edge(i as NodeId, i as NodeId + 1, 1);
+        }
+        g
+    }
+
+    #[test]
+    fn apply_records_effective_ops_only() {
+        let mut g = path_graph(4);
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(0, 2, 9) // effective
+            .insert(0, 1, 5) // no-op: exists
+            .delete(1, 2) // effective
+            .delete(3, 0); // no-op: missing
+        let applied = batch.apply(&mut g);
+        assert_eq!(applied.inserted().collect::<Vec<_>>(), vec![(0, 2, 9)]);
+        assert_eq!(applied.deleted().collect::<Vec<_>>(), vec![(1, 2, 1)]);
+        assert_eq!(applied.len(), 2);
+        assert!(g.has_edge(0, 2) && !g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn invert_restores_graph() {
+        let mut g = path_graph(5);
+        let original = g.clone();
+        let mut batch = UpdateBatch::new();
+        batch.insert(4, 0, 3).delete(0, 1).delete(2, 3).insert(1, 3, 7);
+        let applied = batch.apply(&mut g);
+        applied.invert().apply(&mut g);
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = original.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn insert_then_delete_same_edge_in_one_batch() {
+        let mut g = DynamicGraph::new(true, 2);
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 1, 2).delete(0, 1);
+        let applied = batch.apply(&mut g);
+        assert_eq!(applied.inserted().collect::<Vec<_>>(), vec![(0, 1, 2)]);
+        assert_eq!(applied.deleted().collect::<Vec<_>>(), vec![(0, 1, 2)]);
+        assert!(!g.has_edge(0, 1));
+        // Inversion of the no-net-effect batch is also a no-net-effect batch.
+        applied.invert().apply(&mut g);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_edge_inverts() {
+        let mut g = path_graph(3);
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1).insert(0, 1, 9);
+        let applied = batch.apply(&mut g);
+        assert_eq!(g.edge_weight(0, 1), Some(9));
+        applied.invert().apply(&mut g);
+        assert_eq!(g.edge_weight(0, 1), Some(1), "original weight restored");
+    }
+
+    #[test]
+    fn touched_nodes_deduplicates() {
+        let mut g = path_graph(4);
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1).insert(1, 3, 1);
+        let applied = batch.apply(&mut g);
+        assert_eq!(applied.touched_nodes(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn unit_split_preserves_order() {
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 1, 1).delete(2, 3);
+        let units: Vec<_> = batch.as_units().collect();
+        assert_eq!(units.len(), 2);
+        assert_eq!(
+            units[0].updates()[0],
+            Update::Insert {
+                src: 0,
+                dst: 1,
+                weight: 1
+            }
+        );
+        assert_eq!(units[1].updates()[0], Update::Delete { src: 2, dst: 3 });
+    }
+}

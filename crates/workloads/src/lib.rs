@@ -1,0 +1,20 @@
+//! Experiment workloads: dataset stand-ins, update-batch generation and
+//! query sampling, mirroring the paper's §6 experimental setting.
+//!
+//! The paper evaluates on six real-life graphs (LiveJournal, DBPedia,
+//! Orkut, Twitter-2010, Friendster, Wiki-DE, up to 1.8 billion edges) and
+//! synthetic graphs up to 2.2 billion nodes+edges. This reproduction
+//! substitutes laptop-scale synthetic stand-ins that preserve the
+//! properties the experiments actually exercise — degree skew (power-law
+//! exponents like the originals), the edge/node ratio of each dataset,
+//! label alphabet of 5, and for Wiki-DE the timestamped update mix (81%
+//! insertions / 19% deletions per monthly window). See DESIGN.md §5 for
+//! the substitution rationale.
+
+pub mod datasets;
+pub mod queries;
+pub mod updates;
+
+pub use datasets::Dataset;
+pub use queries::{random_pattern, sample_sources};
+pub use updates::{clustered_batch, random_batch, random_batch_pct};

@@ -1,0 +1,129 @@
+//! Query sampling: SSSP source nodes and Sim patterns, as in the paper's
+//! setup ("we sampled 20 source nodes from each graph to create SSSP
+//! queries; for Sim, we constructed 5 patterns ... with labels drawn from
+//! the data graphs", fixing `|Q| = (4, 6)`).
+
+use incgraph_graph::{DynamicGraph, Label, NodeId, Pattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `k` distinct source nodes with non-zero out-degree (sources
+/// with no outgoing edges make degenerate SSSP queries).
+pub fn sample_sources(g: &DynamicGraph, k: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.node_count();
+    let mut out = Vec::with_capacity(k);
+    let mut attempts = 0;
+    while out.len() < k && attempts < 100 * k.max(1) {
+        attempts += 1;
+        let v = rng.gen_range(0..n) as NodeId;
+        if g.out_degree(v) > 0 && !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Builds a random weakly-connected directed pattern with `nodes` nodes
+/// and `edges` edges (the paper fixes `(4, 6)`), labels drawn from the
+/// data graph's label alphabet. Deterministic in `seed`.
+pub fn random_pattern(g: &DynamicGraph, nodes: usize, edges: usize, seed: u64) -> Pattern {
+    assert!(nodes >= 2, "pattern needs at least two nodes");
+    assert!(edges >= nodes - 1, "pattern must be connectable");
+    assert!(
+        edges <= nodes * (nodes - 1),
+        "too many edges for a simple pattern"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Labels drawn from the data graph so matches exist.
+    let labels: Vec<Label> = (0..nodes)
+        .map(|_| {
+            let v = rng.gen_range(0..g.node_count()) as NodeId;
+            g.label(v)
+        })
+        .collect();
+    let mut set = std::collections::HashSet::new();
+    let mut list = Vec::with_capacity(edges);
+    // Spanning arborescence-ish backbone for weak connectivity.
+    for i in 1..nodes {
+        let j = rng.gen_range(0..i);
+        let (a, b) = if rng.gen_bool(0.5) { (j, i) } else { (i, j) };
+        set.insert((a, b));
+        list.push((a, b));
+    }
+    let mut attempts = 0;
+    while list.len() < edges && attempts < 1000 {
+        attempts += 1;
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        if a != b && set.insert((a, b)) {
+            list.push((a, b));
+        }
+    }
+    Pattern::new(labels, &list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_have_out_edges() {
+        let g = incgraph_graph::gen::power_law(500, 2000, 2.3, true, 10, 5, 3);
+        let sources = sample_sources(&g, 20, 4);
+        assert_eq!(sources.len(), 20);
+        for &s in &sources {
+            assert!(g.out_degree(s) > 0);
+        }
+        let mut dedup = sources.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20, "sources are distinct");
+    }
+
+    #[test]
+    fn patterns_have_requested_shape() {
+        let g = incgraph_graph::gen::uniform(100, 400, true, 1, 5, 7);
+        let p = random_pattern(&g, 4, 6, 11);
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.edge_count(), 6);
+        // Labels come from the data alphabet.
+        for u in 0..4 {
+            assert!(p.label(u) < 5);
+        }
+    }
+
+    #[test]
+    fn patterns_are_weakly_connected() {
+        let g = incgraph_graph::gen::uniform(100, 400, true, 1, 5, 7);
+        for seed in 0..10 {
+            let p = random_pattern(&g, 4, 6, seed);
+            // Union-find over undirected closure.
+            let mut parent: Vec<usize> = (0..4).collect();
+            fn find(p: &mut Vec<usize>, x: usize) -> usize {
+                if p[x] != x {
+                    let r = find(p, p[x]);
+                    p[x] = r;
+                }
+                p[x]
+            }
+            for (a, b) in p.edges() {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                parent[ra] = rb;
+            }
+            let root = find(&mut parent, 0);
+            for x in 1..4 {
+                assert_eq!(find(&mut parent, x), root, "seed {seed} disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = incgraph_graph::gen::uniform(100, 400, true, 1, 5, 7);
+        let a = random_pattern(&g, 4, 6, 42);
+        let b = random_pattern(&g, 4, 6, 42);
+        assert_eq!(a, b);
+        assert_eq!(sample_sources(&g, 5, 1), sample_sources(&g, 5, 1));
+    }
+}

@@ -1,0 +1,225 @@
+//! Random update-batch generation, mirroring the paper's setup: "random
+//! updates controlled by the size |ΔG| ... comprised of equal amounts of
+//! edge insertions and deletions, unless stated otherwise".
+//!
+//! Every generated unit update is *effective* on the graph at its point
+//! in the sequence: deletions target live edges, insertions absent ones.
+//! The generator works on a scratch copy so the caller's graph is not
+//! modified; apply the returned batch explicitly.
+
+use incgraph_graph::ids::Weight;
+use incgraph_graph::{DynamicGraph, NodeId, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a batch of `count` unit updates against `g`, a fraction
+/// `insert_frac` of which are insertions. Deterministic in `seed`.
+pub fn random_batch(
+    g: &DynamicGraph,
+    count: usize,
+    insert_frac: f64,
+    max_weight: Weight,
+    seed: u64,
+) -> UpdateBatch {
+    assert!((0.0..=1.0).contains(&insert_frac));
+    let n = g.node_count();
+    assert!(n >= 2, "graph too small for updates");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live = g.clone();
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    let mut batch = UpdateBatch::new();
+    for _ in 0..count {
+        let insert = rng.gen_bool(insert_frac) || edges.is_empty();
+        if insert {
+            for _ in 0..128 {
+                let u = rng.gen_range(0..n) as NodeId;
+                let v = rng.gen_range(0..n) as NodeId;
+                if u == v || live.has_edge(u, v) {
+                    continue;
+                }
+                let w = rng.gen_range(1..=max_weight);
+                live.insert_edge(u, v, w);
+                edges.push((u, v));
+                batch.insert(u, v, w);
+                break;
+            }
+        } else {
+            let i = rng.gen_range(0..edges.len());
+            let (u, v) = edges.swap_remove(i);
+            live.delete_edge(u, v);
+            batch.delete(u, v);
+        }
+    }
+    batch
+}
+
+/// Generates a batch sized as `pct` percent of `|G| = |V| + |E|` with the
+/// paper's default equal insert/delete mix.
+pub fn random_batch_pct(g: &DynamicGraph, pct: f64, max_weight: Weight, seed: u64) -> UpdateBatch {
+    let count = ((g.size() as f64) * pct / 100.0).round() as usize;
+    random_batch(g, count.max(1), 0.5, max_weight, seed)
+}
+
+/// Generates a *clustered* batch: all updates touch the `radius`-hop ball
+/// around `center`. Real update streams are rarely uniform (a flash sale,
+/// an editing spree, a road closure cluster); locality is the best case
+/// for relative boundedness, and the `abl-local` experiment contrasts it
+/// with the uniform batches above.
+pub fn clustered_batch(
+    g: &DynamicGraph,
+    count: usize,
+    insert_frac: f64,
+    max_weight: Weight,
+    center: NodeId,
+    radius: usize,
+    seed: u64,
+) -> UpdateBatch {
+    assert!((0.0..=1.0).contains(&insert_frac));
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // BFS ball around the center (both edge directions so directed
+    // graphs get a meaningful neighborhood).
+    let mut ball: Vec<NodeId> = vec![center];
+    let mut seen = std::collections::HashSet::from([center]);
+    let mut frontier = vec![center];
+    for _ in 0..radius {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &(w, _) in g.out_neighbors(v) {
+                if seen.insert(w) {
+                    ball.push(w);
+                    next.push(w);
+                }
+            }
+            for &(w, _) in g.in_neighbors(v) {
+                if seen.insert(w) {
+                    ball.push(w);
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+    if ball.len() < 2 {
+        // Degenerate center: fall back to uniform sampling.
+        return random_batch(g, count, insert_frac, max_weight, seed);
+    }
+
+    let mut live = g.clone();
+    let mut ball_edges: Vec<(NodeId, NodeId)> = g
+        .edges()
+        .filter(|&(u, v, _)| seen.contains(&u) && seen.contains(&v))
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    let mut batch = UpdateBatch::new();
+    for _ in 0..count {
+        let insert = rng.gen_bool(insert_frac) || ball_edges.is_empty();
+        if insert {
+            for _ in 0..128 {
+                let u = ball[rng.gen_range(0..ball.len())];
+                let v = ball[rng.gen_range(0..ball.len())];
+                if u == v || live.has_edge(u, v) {
+                    continue;
+                }
+                let w = rng.gen_range(1..=max_weight);
+                live.insert_edge(u, v, w);
+                ball_edges.push((u, v));
+                batch.insert(u, v, w);
+                break;
+            }
+        } else {
+            let i = rng.gen_range(0..ball_edges.len());
+            let (u, v) = ball_edges.swap_remove(i);
+            live.delete_edge(u, v);
+            batch.delete(u, v);
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_fully_effective() {
+        let g = incgraph_graph::gen::uniform(100, 500, true, 10, 5, 1);
+        let batch = random_batch(&g, 300, 0.5, 10, 9);
+        assert_eq!(batch.len(), 300);
+        let mut h = g.clone();
+        let applied = batch.apply(&mut h);
+        assert_eq!(applied.len(), 300, "every unit update must take effect");
+    }
+
+    #[test]
+    fn insert_fraction_respected() {
+        let g = incgraph_graph::gen::uniform(200, 2000, true, 10, 5, 2);
+        let batch = random_batch(&g, 1000, 0.8, 10, 3);
+        let ins = batch.updates().iter().filter(|u| u.is_insert()).count();
+        assert!((ins as f64 / 1000.0 - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn pct_sizing() {
+        let g = incgraph_graph::gen::uniform(100, 900, true, 10, 5, 4);
+        let batch = random_batch_pct(&g, 10.0, 10, 5);
+        assert_eq!(batch.len(), 100, "10% of |V|+|E| = 1000");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = incgraph_graph::gen::uniform(100, 500, true, 10, 5, 1);
+        let a = random_batch(&g, 100, 0.5, 10, 7);
+        let b = random_batch(&g, 100, 0.5, 10, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_batches_stay_in_the_ball() {
+        let g = incgraph_graph::gen::uniform(300, 1200, true, 10, 5, 6);
+        let batch = clustered_batch(&g, 80, 0.5, 10, 7, 2, 13);
+        // Recompute the ball and check every op's endpoints are inside.
+        let mut seen = std::collections::HashSet::from([7u32]);
+        let mut frontier = vec![7u32];
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &(w, _) in g.out_neighbors(v) {
+                    if seen.insert(w) {
+                        next.push(w);
+                    }
+                }
+                for &(w, _) in g.in_neighbors(v) {
+                    if seen.insert(w) {
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for u in batch.updates() {
+            assert!(seen.contains(&u.src()), "src {} left the ball", u.src());
+            assert!(seen.contains(&u.dst()), "dst {} left the ball", u.dst());
+        }
+        // And all effective.
+        let mut h = g.clone();
+        let applied = batch.apply(&mut h);
+        assert_eq!(applied.len(), batch.len());
+    }
+
+    #[test]
+    fn clustered_batch_on_isolated_center_falls_back() {
+        let g = DynamicGraph::new(true, 50);
+        let batch = clustered_batch(&g, 10, 1.0, 5, 3, 2, 1);
+        assert_eq!(batch.len(), 10, "uniform fallback still generates");
+    }
+
+    #[test]
+    fn caller_graph_is_untouched() {
+        let g = incgraph_graph::gen::uniform(50, 200, true, 10, 5, 1);
+        let before: Vec<_> = g.edges().collect();
+        let _ = random_batch(&g, 100, 0.5, 10, 11);
+        let after: Vec<_> = g.edges().collect();
+        assert_eq!(before, after);
+    }
+}

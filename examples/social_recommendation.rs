@@ -1,0 +1,72 @@
+//! E-commerce recommendation via graph pattern matching (the paper's Sim
+//! motivation, §1): maintain the maximum simulation of a small behaviour
+//! pattern over a social/interaction graph while follow/unfollow events
+//! stream in — the workload where "item clicking, buying and refunding
+//! trigger millions of edge insertions and deletions everyday".
+//!
+//! ```sh
+//! cargo run --release --example social_recommendation
+//! ```
+
+use incgraph::algos::SimState;
+use incgraph::graph::gen::power_law;
+use incgraph::graph::{Pattern, UpdateBatch};
+use incgraph::workloads::random_batch;
+use std::time::Instant;
+
+fn main() {
+    // Labels: 0 = influencer, 1 = reviewer, 2 = buyer.
+    // Pattern: an influencer pointing at a reviewer who interacts in a
+    // feedback loop with a buyer (cyclic — the hard case for anchors).
+    let pattern = Pattern::new(vec![0, 1, 2], &[(0, 1), (1, 2), (2, 1)]);
+
+    // A power-law interaction network (the realistic degree skew).
+    let mut g = power_law(30_000, 240_000, 2.3, true, 1, 3, 42);
+
+    let t = Instant::now();
+    let (mut sim, _) = SimState::batch(&g, pattern);
+    println!(
+        "batch Sim_fp over |V|={}, |E|={}: {:?}, {} matching pairs",
+        g.node_count(),
+        g.edge_count(),
+        t.elapsed(),
+        sim.match_count()
+    );
+
+    // Stream event windows: 0.2% of |G| follows/unfollows each.
+    let mut inc_total = std::time::Duration::ZERO;
+    for window in 0..10 {
+        let events = random_batch(&g, g.size() / 500, 0.5, 1, 1000 + window);
+        let applied = events.apply(&mut g);
+        let t = Instant::now();
+        let report = sim.update(&g, &applied);
+        inc_total += t.elapsed();
+        println!(
+            "window {window}: {} events -> {} matches (inspected {:.3}% of the match matrix)",
+            applied.len(),
+            sim.match_count(),
+            100.0 * report.aff_fraction()
+        );
+    }
+
+    let t = Instant::now();
+    let (fresh, _) = SimState::batch(&g, sim.pattern().clone());
+    let recompute = t.elapsed();
+    assert_eq!(fresh.match_count(), sim.match_count());
+    println!(
+        "\n10 windows maintained in {:?}; one recompute costs {:?} — {:.1}x per window",
+        inc_total,
+        recompute,
+        recompute.as_secs_f64() / (inc_total.as_secs_f64() / 10.0)
+    );
+
+    // A concrete recommendation query: which nodes currently play the
+    // "reviewer in a feedback loop" role?
+    let reviewers = fresh
+        .relation()
+        .iter()
+        .filter(|&&(_, u)| u == 1)
+        .count();
+    println!("nodes matching the reviewer role right now: {reviewers}");
+    let _ = UpdateBatch::new(); // (re-exported API surface used above)
+}

@@ -1,0 +1,214 @@
+//! Cross-crate integration tests: the paper's correctness equation
+//! `Q(G ⊕ ΔG) = Q(G) ⊕ A_Δ(Q, G, Q(G), ΔG)` checked end-to-end for every
+//! query class, every deduced strategy, and every baseline, on shared
+//! workloads larger than the per-crate unit tests.
+
+use incgraph::algos::{CcState, DfsState, LccState, SimState, SsspState};
+use incgraph::baselines::{DynCc, DynDfs, DynDij, DynLcc, IncMatch, RrSssp};
+use incgraph::baselines::dyndfs::is_valid_dfs_forest;
+use incgraph::graph::DynamicGraph;
+use incgraph::workloads::{random_batch, random_pattern, sample_sources, Dataset};
+
+/// Ten rounds of 1%-sized mixed batches on a dataset stand-in; assert the
+/// maintained state equals batch recomputation after every round.
+fn rounds(g0: &DynamicGraph, seed: u64) -> Vec<(DynamicGraph, incgraph::graph::AppliedBatch)> {
+    let mut out = Vec::new();
+    let mut g = g0.clone();
+    for round in 0..10 {
+        let batch = random_batch(&g, g.size() / 100, 0.5, 100, seed + round);
+        let applied = batch.apply(&mut g);
+        out.push((g.clone(), applied));
+    }
+    out
+}
+
+#[test]
+fn sssp_all_strategies_track_batch() {
+    let g0 = Dataset::LiveJournal.graph(true, 0.12);
+    let src = sample_sources(&g0, 1, 1)[0];
+    let (mut inc, _) = SsspState::batch(&g0, src);
+    let (mut pe, _) = SsspState::batch(&g0, src);
+    let mut dyndij = DynDij::new(&g0, src);
+    let mut rr = RrSssp::new(&g0, src);
+    for (round, (g, applied)) in rounds(&g0, 0xDEAD).into_iter().enumerate() {
+        inc.update(&g, &applied);
+        pe.update_pe_reset(&g, &applied);
+        dyndij.apply_batch(&g, &applied);
+        let (fresh, _) = SsspState::batch(&g, src);
+        assert_eq!(inc.distances(), fresh.distances(), "IncSSSP round {round}");
+        assert_eq!(pe.distances(), fresh.distances(), "PE-reset round {round}");
+        assert_eq!(dyndij.distances(), fresh.distances(), "DynDij round {round}");
+    }
+    // RR per-unit protocol over a fresh history.
+    let mut g = g0.clone();
+    for round in 0..5u64 {
+        let batch = random_batch(&g, 50, 0.5, 100, 0xBEEF + round);
+        for unit in batch.as_units() {
+            let applied = unit.apply(&mut g);
+            for op in applied.ops() {
+                rr.apply_unit(&g, op.inserted, op.src, op.dst, op.weight);
+            }
+        }
+        let (fresh, _) = SsspState::batch(&g, src);
+        assert_eq!(rr.distances(), fresh.distances(), "RR round {round}");
+    }
+}
+
+#[test]
+fn cc_all_strategies_track_batch() {
+    let g0 = Dataset::Orkut.graph(false, 0.12);
+    let (mut inc, _) = CcState::batch(&g0);
+    let (mut pe, _) = CcState::batch(&g0);
+    let mut hdt = DynCc::new(&g0);
+    for (round, (g, applied)) in rounds(&g0, 0xCC).into_iter().enumerate() {
+        inc.update(&g, &applied);
+        pe.update_pe_reset(&g, &applied);
+        hdt.apply_batch(&applied);
+        let (fresh, _) = CcState::batch(&g);
+        assert_eq!(inc.components(), fresh.components(), "IncCC round {round}");
+        assert_eq!(pe.components(), fresh.components(), "PE round {round}");
+        assert_eq!(
+            hdt.components(),
+            fresh.components(),
+            "DynCC round {round}"
+        );
+    }
+}
+
+#[test]
+fn sim_all_strategies_track_batch() {
+    let g0 = Dataset::DbPedia.graph(true, 0.08);
+    let q = random_pattern(&g0, 4, 6, 7);
+    let (mut inc, _) = SimState::batch(&g0, q.clone());
+    let (mut pe, _) = SimState::batch(&g0, q.clone());
+    let mut incmatch = IncMatch::new(&g0, q.clone());
+    for (round, (g, applied)) in rounds(&g0, 0x51).into_iter().enumerate() {
+        inc.update(&g, &applied);
+        pe.update_pe_reset(&g, &applied);
+        incmatch.apply_batch(&g, &applied);
+        let (fresh, _) = SimState::batch(&g, q.clone());
+        assert_eq!(inc.relation(), fresh.relation(), "IncSim round {round}");
+        assert_eq!(pe.relation(), fresh.relation(), "PE round {round}");
+        assert_eq!(
+            incmatch.match_count(),
+            fresh.match_count(),
+            "IncMatch round {round}"
+        );
+    }
+}
+
+#[test]
+fn dfs_strategies_track_batch_or_stay_valid() {
+    let g0 = Dataset::Orkut.graph(true, 0.08);
+    let (mut inc, _) = DfsState::batch(&g0);
+    let mut dyn_dfs = DynDfs::new(&g0);
+    let mut g = g0.clone();
+    for round in 0..8u64 {
+        let batch = random_batch(&g, g.size() / 200, 0.5, 100, 0xDF5 + round);
+        // IncDFS takes the batch wholesale; DynDFS replays units.
+        let mut gu = g.clone();
+        for unit in batch.as_units() {
+            let applied = unit.apply(&mut gu);
+            for op in applied.ops() {
+                dyn_dfs.apply_unit(&gu, op.inserted, op.src, op.dst);
+            }
+        }
+        let applied = batch.apply(&mut g);
+        inc.update(&g, &applied);
+        let (fresh, _) = DfsState::batch(&g);
+        for v in 0..g.node_count() as u32 {
+            assert_eq!(inc.first(v), fresh.first(v), "IncDFS round {round} node {v}");
+            assert_eq!(inc.last(v), fresh.last(v), "IncDFS round {round} node {v}");
+            assert_eq!(inc.parent(v), fresh.parent(v), "IncDFS round {round} node {v}");
+        }
+        is_valid_dfs_forest(&g, &dyn_dfs).unwrap_or_else(|e| panic!("DynDFS round {round}: {e}"));
+    }
+}
+
+#[test]
+fn lcc_all_strategies_track_batch() {
+    let g0 = Dataset::LiveJournal.graph(false, 0.1);
+    let (mut inc, _) = LccState::batch(&g0);
+    let mut stream = DynLcc::new(&g0);
+    let mut g = g0.clone();
+    for round in 0..8u64 {
+        let batch = random_batch(&g, g.size() / 100, 0.5, 1, 0x1CC + round);
+        let mut gu = g.clone();
+        for unit in batch.as_units() {
+            let applied = unit.apply(&mut gu);
+            for op in applied.ops() {
+                stream.apply_unit(&gu, op.inserted, op.src, op.dst, op.weight);
+            }
+        }
+        let applied = batch.apply(&mut g);
+        inc.update(&g, &applied);
+        let (fresh, _) = LccState::batch(&g);
+        for v in 0..g.node_count() as u32 {
+            assert_eq!(inc.degree(v), fresh.degree(v), "IncLCC d round {round}");
+            assert_eq!(inc.triangles(v), fresh.triangles(v), "IncLCC λ round {round}");
+            assert_eq!(stream.degree(v), fresh.degree(v), "DynLCC d round {round}");
+            assert_eq!(stream.triangles(v), fresh.triangles(v), "DynLCC λ round {round}");
+        }
+    }
+}
+
+#[test]
+fn temporal_replay_matches_batch_for_sssp_cc_sim() {
+    // The Exp-2(2) protocol end-to-end on the temporal stand-in.
+    let t = Dataset::WikiDe.temporal(5, 1.9, 0.1);
+    let src = sample_sources(&t.initial, 1, 3)[0];
+    let q = random_pattern(&t.initial, 4, 6, 5);
+    let mut g = t.initial.clone();
+    let (mut sssp, _) = SsspState::batch(&g, src);
+    let (mut cc, _) = CcState::batch(&g);
+    let (mut sim, _) = SimState::batch(&g, q.clone());
+    for (month, w) in t.windows.iter().enumerate() {
+        let applied = w.apply(&mut g);
+        sssp.update(&g, &applied);
+        cc.update(&g, &applied);
+        sim.update(&g, &applied);
+        let (s, _) = SsspState::batch(&g, src);
+        let (c, _) = CcState::batch(&g);
+        let (m, _) = SimState::batch(&g, q.clone());
+        assert_eq!(sssp.distances(), s.distances(), "month {month}");
+        assert_eq!(cc.components(), c.components(), "month {month}");
+        assert_eq!(sim.relation(), m.relation(), "month {month}");
+    }
+}
+
+#[test]
+fn bc_tracks_batch_across_rounds() {
+    let g0 = Dataset::Orkut.graph(false, 0.06);
+    let (mut bc, _) = incgraph::algos::BcState::batch(&g0);
+    let mut g = g0.clone();
+    for round in 0..8u64 {
+        let batch = random_batch(&g, g.size() / 200, 0.5, 1, 0xBC0 + round);
+        let applied = batch.apply(&mut g);
+        bc.update(&g, &applied);
+        let (fresh, _) = incgraph::algos::BcState::batch(&g);
+        assert_eq!(
+            bc.articulation_points(&g),
+            fresh.articulation_points(&g),
+            "articulation points round {round}"
+        );
+        assert_eq!(bc.bridges(&g), fresh.bridges(&g), "bridges round {round}");
+        for v in 0..g.node_count() as u32 {
+            assert_eq!(bc.low(v), fresh.low(v), "low_{v} round {round}");
+        }
+    }
+}
+
+#[test]
+fn reach_tracks_batch_across_rounds() {
+    let g0 = Dataset::DbPedia.graph(true, 0.08);
+    let src = sample_sources(&g0, 1, 9)[0];
+    let (mut reach, _) = incgraph::algos::ReachState::batch(&g0, src);
+    let mut g = g0.clone();
+    for round in 0..10u64 {
+        let batch = random_batch(&g, g.size() / 100, 0.5, 100, 0x4EAC + round);
+        let applied = batch.apply(&mut g);
+        reach.update(&g, &applied);
+        let (fresh, _) = incgraph::algos::ReachState::batch(&g, src);
+        assert_eq!(reach.reached(), fresh.reached(), "round {round}");
+    }
+}

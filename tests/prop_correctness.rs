@@ -1,0 +1,259 @@
+//! Property-based tests (proptest): for *arbitrary* graphs and
+//! *arbitrary* update batches, the paper's correctness equation holds for
+//! every deduced incremental algorithm, every fallback strategy, and
+//! every baseline; and the C2 lattice laws hold for the contracting
+//! specs.
+
+use incgraph::algos::cc::CcSpec;
+use incgraph::algos::sim::SimSpec;
+use incgraph::algos::sssp::SsspSpec;
+use incgraph::algos::{CcState, DfsState, LccState, SimState, SsspState};
+use incgraph::baselines::dyndfs::is_valid_dfs_forest;
+use incgraph::baselines::{DynCc, DynDfs, DynDij, DynLcc, IncMatch, RrSssp};
+use incgraph::core::lattice::{check_monotone_at, is_feasible};
+use incgraph::core::Status;
+use incgraph::graph::{DynamicGraph, Pattern, Update, UpdateBatch};
+use proptest::prelude::*;
+
+const N: u32 = 24;
+
+/// Strategy: a random directed labeled graph on N nodes.
+fn arb_graph(directed: bool) -> impl Strategy<Value = DynamicGraph> {
+    (
+        proptest::collection::vec(0u32..3, N as usize),
+        proptest::collection::vec((0..N, 0..N, 1u32..8), 0..80),
+    )
+        .prop_map(move |(labels, edges)| {
+            let mut g = DynamicGraph::with_labels(directed, labels);
+            for (u, v, w) in edges {
+                if u != v {
+                    g.insert_edge(u, v, w);
+                }
+            }
+            g
+        })
+}
+
+/// Strategy: a random update batch (insertions and deletions, possibly
+/// redundant — the apply layer must tolerate both).
+fn arb_batch() -> impl Strategy<Value = UpdateBatch> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..N, 0..N, 1u32..8).prop_map(|(u, v, w)| Update::Insert {
+                src: u,
+                dst: v,
+                weight: w
+            }),
+            (0..N, 0..N).prop_map(|(u, v)| Update::Delete { src: u, dst: v }),
+        ],
+        0..40,
+    )
+    .prop_map(UpdateBatch::from_updates)
+}
+
+fn tri_pattern() -> Pattern {
+    Pattern::new(vec![0, 1, 2], &[(0, 1), (1, 2), (2, 1)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sssp_correctness_equation(g0 in arb_graph(true), batches in proptest::collection::vec(arb_batch(), 1..4)) {
+        let (mut inc, _) = SsspState::batch(&g0, 0);
+        let (mut pe, _) = SsspState::batch(&g0, 0);
+        let mut dd = DynDij::new(&g0, 0);
+        let mut rr = RrSssp::new(&g0, 0);
+        let mut g = g0.clone();
+        for batch in &batches {
+            // RR consumes units with the graph state at each unit.
+            let mut gr = g.clone();
+            for unit in batch.as_units() {
+                let applied = unit.apply(&mut gr);
+                for op in applied.ops() {
+                    rr.apply_unit(&gr, op.inserted, op.src, op.dst, op.weight);
+                }
+            }
+            let applied = batch.apply(&mut g);
+            inc.update(&g, &applied);
+            pe.update_pe_reset(&g, &applied);
+            dd.apply_batch(&g, &applied);
+            let (fresh, _) = SsspState::batch(&g, 0);
+            prop_assert_eq!(inc.distances(), fresh.distances());
+            prop_assert_eq!(pe.distances(), fresh.distances());
+            prop_assert_eq!(dd.distances(), fresh.distances());
+            prop_assert_eq!(rr.distances(), fresh.distances());
+        }
+    }
+
+    #[test]
+    fn cc_correctness_equation(g0 in arb_graph(false), batches in proptest::collection::vec(arb_batch(), 1..4)) {
+        let (mut inc, _) = CcState::batch(&g0);
+        let (mut pe, _) = CcState::batch(&g0);
+        let mut hdt = DynCc::new(&g0);
+        let mut g = g0.clone();
+        for batch in &batches {
+            let applied = batch.apply(&mut g);
+            inc.update(&g, &applied);
+            pe.update_pe_reset(&g, &applied);
+            hdt.apply_batch(&applied);
+            let (fresh, _) = CcState::batch(&g);
+            prop_assert_eq!(inc.components(), fresh.components());
+            prop_assert_eq!(pe.components(), fresh.components());
+            prop_assert_eq!(&hdt.components()[..], fresh.components());
+        }
+    }
+
+    #[test]
+    fn sim_correctness_equation(g0 in arb_graph(true), batches in proptest::collection::vec(arb_batch(), 1..4)) {
+        let q = tri_pattern();
+        let (mut inc, _) = SimState::batch(&g0, q.clone());
+        let (mut pe, _) = SimState::batch(&g0, q.clone());
+        let mut im = IncMatch::new(&g0, q.clone());
+        let mut g = g0.clone();
+        for batch in &batches {
+            let applied = batch.apply(&mut g);
+            inc.update(&g, &applied);
+            pe.update_pe_reset(&g, &applied);
+            im.apply_batch(&g, &applied);
+            let (fresh, _) = SimState::batch(&g, q.clone());
+            prop_assert_eq!(inc.relation(), fresh.relation());
+            prop_assert_eq!(pe.relation(), fresh.relation());
+            prop_assert_eq!(im.match_count(), fresh.match_count());
+        }
+    }
+
+    #[test]
+    fn dfs_correctness_equation(g0 in arb_graph(true), batches in proptest::collection::vec(arb_batch(), 1..4)) {
+        let (mut inc, _) = DfsState::batch(&g0);
+        let mut dyn_dfs = DynDfs::new(&g0);
+        let mut g = g0.clone();
+        for batch in &batches {
+            let mut gu = g.clone();
+            for unit in batch.as_units() {
+                let applied = unit.apply(&mut gu);
+                for op in applied.ops() {
+                    dyn_dfs.apply_unit(&gu, op.inserted, op.src, op.dst);
+                }
+            }
+            let applied = batch.apply(&mut g);
+            inc.update(&g, &applied);
+            let (fresh, _) = DfsState::batch(&g);
+            for v in 0..N {
+                prop_assert_eq!(inc.first(v), fresh.first(v));
+                prop_assert_eq!(inc.last(v), fresh.last(v));
+                prop_assert_eq!(inc.parent(v), fresh.parent(v));
+            }
+            prop_assert!(is_valid_dfs_forest(&g, &dyn_dfs).is_ok());
+        }
+    }
+
+    #[test]
+    fn lcc_correctness_equation(g0 in arb_graph(false), batches in proptest::collection::vec(arb_batch(), 1..4)) {
+        let (mut inc, _) = LccState::batch(&g0);
+        let mut stream = DynLcc::new(&g0);
+        let mut g = g0.clone();
+        for batch in &batches {
+            let mut gu = g.clone();
+            for unit in batch.as_units() {
+                let applied = unit.apply(&mut gu);
+                for op in applied.ops() {
+                    stream.apply_unit(&gu, op.inserted, op.src, op.dst, op.weight);
+                }
+            }
+            let applied = batch.apply(&mut g);
+            inc.update(&g, &applied);
+            let (fresh, _) = LccState::batch(&g);
+            for v in 0..N {
+                prop_assert_eq!(inc.degree(v), fresh.degree(v));
+                prop_assert_eq!(inc.triangles(v), fresh.triangles(v));
+                prop_assert_eq!(stream.triangles(v), fresh.triangles(v));
+            }
+        }
+    }
+
+    #[test]
+    fn monotonicity_laws_hold(g in arb_graph(true), lo_vals in proptest::collection::vec(0u64..20, N as usize), bumps in proptest::collection::vec(0u64..10, N as usize)) {
+        // SSSP: eval is monotone w.r.t. pointwise ≤ on any input pair.
+        let spec = SsspSpec::new(&g, 0);
+        let lo = Status::from_values(lo_vals.clone());
+        let hi = Status::from_values(
+            lo_vals.iter().zip(&bumps).map(|(a, b)| a + b).collect(),
+        );
+        for x in 0..N as usize {
+            prop_assert_eq!(check_monotone_at(&spec, x, &lo, &hi), Some(true));
+        }
+    }
+
+    #[test]
+    fn cc_monotonicity_and_feasibility(g in arb_graph(false), lo_vals in proptest::collection::vec(0u32..24, N as usize), bumps in proptest::collection::vec(0u32..8, N as usize)) {
+        let spec = CcSpec::new(&g);
+        let lo = Status::from_values(lo_vals.clone());
+        let hi = Status::from_values(
+            lo_vals.iter().zip(&bumps).map(|(a, b)| (a + b).min(N - 1)).collect(),
+        );
+        for x in 0..N as usize {
+            prop_assert_eq!(check_monotone_at(&spec, x, &lo, &hi), Some(true));
+        }
+        // Every intermediate status of a batch run is feasible.
+        let (state, _) = CcState::batch(&g);
+        let final_status = Status::from_values(state.components().to_vec());
+        prop_assert!(is_feasible(&spec, &final_status, &final_status));
+    }
+
+    #[test]
+    fn sim_monotonicity(g in arb_graph(true), flips in proptest::collection::vec(any::<bool>(), 3 * N as usize)) {
+        let q = tri_pattern();
+        let spec = SimSpec::new(&g, &q);
+        // lo = all false; hi = arbitrary: any false ⪯ arbitrary pair.
+        let lo = Status::from_values(vec![false; 3 * N as usize]);
+        let hi = Status::from_values(flips);
+        for x in 0..3 * N as usize {
+            prop_assert_eq!(check_monotone_at(&spec, x, &lo, &hi), Some(true));
+        }
+    }
+
+    #[test]
+    fn graph_apply_invert_roundtrip(g0 in arb_graph(true), batch in arb_batch()) {
+        let mut g = g0.clone();
+        let applied = batch.apply(&mut g);
+        applied.invert().apply(&mut g);
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = g0.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bc_correctness_equation(g0 in arb_graph(false), batches in proptest::collection::vec(arb_batch(), 1..4)) {
+        let (mut inc, _) = incgraph::algos::BcState::batch(&g0);
+        let mut g = g0.clone();
+        for batch in &batches {
+            let applied = batch.apply(&mut g);
+            inc.update(&g, &applied);
+            let (fresh, _) = incgraph::algos::BcState::batch(&g);
+            prop_assert_eq!(inc.articulation_points(&g), fresh.articulation_points(&g));
+            prop_assert_eq!(inc.bridges(&g), fresh.bridges(&g));
+            for v in 0..N {
+                prop_assert_eq!(inc.low(v), fresh.low(v));
+            }
+        }
+    }
+
+    #[test]
+    fn reach_correctness_equation(g0 in arb_graph(true), batches in proptest::collection::vec(arb_batch(), 1..4)) {
+        let (mut inc, _) = incgraph::algos::ReachState::batch(&g0, 0);
+        let mut g = g0.clone();
+        for batch in &batches {
+            let applied = batch.apply(&mut g);
+            inc.update(&g, &applied);
+            let (fresh, _) = incgraph::algos::ReachState::batch(&g, 0);
+            prop_assert_eq!(inc.reached(), fresh.reached());
+        }
+    }
+}
