@@ -260,6 +260,61 @@ impl BcState {
     }
 }
 
+impl crate::IncrementalState for BcState {
+    fn name(&self) -> &'static str {
+        "bc"
+    }
+
+    fn total_vars(&self, g: &DynamicGraph) -> usize {
+        2 * g.node_count()
+    }
+
+    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        BcState::update(self, g, applied)
+    }
+
+    fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let (fresh, stats) = BcState::batch(g);
+        *self = fresh;
+        stats
+    }
+
+    fn audit(
+        &self,
+        g: &DynamicGraph,
+        audit: &incgraph_core::audit::FixpointAudit,
+    ) -> incgraph_core::audit::AuditReport {
+        // Both layers: the DFS substrate by recompute-and-compare, the
+        // lowpoint fixpoint by the generic σ_x re-check. Lowpoint
+        // violations keep their variable index; DFS interval variables
+        // are reported shifted by n into the second half of the 2n
+        // universe.
+        let n = g.node_count();
+        let mut report = audit.run(&LowSpec::new(g, &self.dfs), &self.low);
+        let dfs_report = self.dfs.audit_against_batch(g, audit);
+        report.checked += dfs_report.checked;
+        report.total_vars = 2 * n;
+        report.truncated |= dfs_report.truncated;
+        for mut v in dfs_report.violations {
+            if report.violations.len() >= audit.max_violations {
+                report.truncated = true;
+                break;
+            }
+            v.var += n;
+            report.violations.push(v);
+        }
+        report
+    }
+
+    fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.engine.set_work_budget(budget);
+    }
+
+    fn space_bytes(&self) -> usize {
+        BcState::space_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,10 +469,10 @@ mod tests {
 
     #[test]
     fn random_rounds_match_reference() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(50, 110, false, 1, 1, 77);
         let (mut bc, _) = BcState::batch(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut rng = SplitMix64::seed_from_u64(31);
         for round in 0..20 {
             let mut batch = UpdateBatch::new();
             for _ in 0..5 {
@@ -448,10 +503,10 @@ mod tests {
 
     #[test]
     fn lowpoints_match_fresh_batch_after_updates() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(40, 90, false, 1, 1, 5);
         let (mut bc, _) = BcState::batch(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng = SplitMix64::seed_from_u64(8);
         for round in 0..15 {
             let mut batch = UpdateBatch::new();
             for _ in 0..4 {

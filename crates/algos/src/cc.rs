@@ -222,7 +222,11 @@ impl CcState {
     /// The deducible-but-unbounded strategy of Example 2 (Theorem 1):
     /// flood PE variables and reset them, using no timestamps. Kept as the
     /// ablation baseline contrasting Theorem 1 with Theorem 3.
-    pub fn update_pe_reset(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+    pub fn update_pe_reset(
+        &mut self,
+        g: &DynamicGraph,
+        applied: &AppliedBatch,
+    ) -> BoundednessReport {
         self.ensure_size(g);
         let spec = CcSpec::new(g);
         let touched = Self::touched(applied);
@@ -256,6 +260,42 @@ impl CcState {
             self.status.extend_to(n, |i| i as CompId);
             self.engine = Engine::new(n);
         }
+    }
+}
+
+impl crate::IncrementalState for CcState {
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+
+    fn total_vars(&self, g: &DynamicGraph) -> usize {
+        g.node_count()
+    }
+
+    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        CcState::update(self, g, applied)
+    }
+
+    fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let (fresh, stats) = CcState::batch(g);
+        *self = fresh;
+        stats
+    }
+
+    fn audit(
+        &self,
+        g: &DynamicGraph,
+        audit: &incgraph_core::audit::FixpointAudit,
+    ) -> incgraph_core::audit::AuditReport {
+        audit.run(&CcSpec::new(g), &self.status)
+    }
+
+    fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.engine.set_work_budget(budget);
+    }
+
+    fn space_bytes(&self) -> usize {
+        CcState::space_bytes(self)
     }
 }
 
@@ -380,10 +420,10 @@ mod tests {
     fn repeated_rounds_stay_correct() {
         // Multi-round incremental runs exercise timestamp maintenance
         // across rounds (stamp drift would silently corrupt later rounds).
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(120, 200, false, 1, 1, 31);
         let (mut state, _) = CcState::batch(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         for round in 0..25 {
             let mut batch = UpdateBatch::new();
             for _ in 0..8 {

@@ -175,12 +175,7 @@ impl DfsState {
         // makes the common unit update — a back/cross insertion or a
         // non-tree deletion — effectively free.
         if aff_sub.is_empty() {
-            return BoundednessReport::new(
-                g.node_count(),
-                0,
-                scope_stats,
-                RunStats::default(),
-            );
+            return BoundednessReport::new(g.node_count(), 0, scope_stats, RunStats::default());
         }
 
         let run = self.traverse(g, &aff_sub, true);
@@ -194,10 +189,59 @@ impl DfsState {
             + self.parent.capacity() * std::mem::size_of::<NodeId>()
     }
 
+    /// Audit helper shared with BC: compare this forest against the
+    /// canonical batch forest on `g`, one violation per diverging node.
+    /// DFS intervals are not pure functions of a static input set, so the
+    /// generic `σ_x` re-check does not apply; determinism of the batch
+    /// traversal makes recompute-and-compare an exact substitute.
+    pub(crate) fn audit_against_batch(
+        &self,
+        g: &DynamicGraph,
+        audit: &incgraph_core::audit::FixpointAudit,
+    ) -> incgraph_core::audit::AuditReport {
+        use incgraph_core::audit::{AuditMode, AuditReport, AuditViolation};
+        let (fresh, _) = DfsState::batch(g);
+        let n = g.node_count();
+        let (stride, start) = match audit.mode {
+            AuditMode::Full => (1, 0),
+            AuditMode::Sample { stride, offset } => (stride, offset % stride),
+        };
+        let mut report = AuditReport {
+            checked: 0,
+            total_vars: n,
+            violations: Vec::new(),
+            truncated: false,
+        };
+        let mut x = start;
+        while x < n {
+            report.checked += 1;
+            let v = x as NodeId;
+            let stored = (self.first(v), self.last(v), self.parent(v));
+            let expect = (fresh.first(v), fresh.last(v), fresh.parent(v));
+            if stored != expect {
+                if report.violations.len() < audit.max_violations {
+                    report.violations.push(AuditViolation {
+                        var: x,
+                        detail: format!("stored {stored:?}, batch DFS gives {expect:?}"),
+                    });
+                } else {
+                    report.truncated = true;
+                }
+            }
+            x += stride;
+        }
+        report
+    }
+
     /// The step function: a DFS replay. With `incremental` set, subtrees
     /// whose replay is provably identical to the previous run are skipped
     /// in O(1) (plus an O(log #skips) membership structure).
-    fn traverse(&mut self, g: &DynamicGraph, aff_sub: &HashSet<NodeId>, incremental: bool) -> RunStats {
+    fn traverse(
+        &mut self,
+        g: &DynamicGraph,
+        aff_sub: &HashSet<NodeId>,
+        incremental: bool,
+    ) -> RunStats {
         let n = g.node_count();
         let mut stats = RunStats::default();
         self.epoch += 1;
@@ -273,8 +317,7 @@ impl DfsState {
                         time = old_last[w as usize] + 1;
                         continue;
                     }
-                    if identical && (old_first[w as usize] != time || old_parent[w as usize] != v)
-                    {
+                    if identical && (old_first[w as usize] != time || old_parent[w as usize] != v) {
                         identical = false;
                     }
                     stack.last_mut().expect("frame exists").1 = idx;
@@ -317,6 +360,42 @@ impl DfsState {
             self.parent.resize(n, ROOT);
             self.visited_mark.resize(n, 0);
         }
+    }
+}
+
+impl crate::IncrementalState for DfsState {
+    fn name(&self) -> &'static str {
+        "dfs"
+    }
+
+    fn total_vars(&self, g: &DynamicGraph) -> usize {
+        g.node_count()
+    }
+
+    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        DfsState::update(self, g, applied)
+    }
+
+    fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let (fresh, stats) = DfsState::batch(g);
+        *self = fresh;
+        stats
+    }
+
+    fn audit(
+        &self,
+        g: &DynamicGraph,
+        audit: &incgraph_core::audit::FixpointAudit,
+    ) -> incgraph_core::audit::AuditReport {
+        self.audit_against_batch(g, audit)
+    }
+
+    /// No engine, no budget: `update_guarded`'s post-run scope check is
+    /// the only degradation trigger for DFS.
+    fn set_work_budget(&mut self, _budget: Option<u64>) {}
+
+    fn space_bytes(&self) -> usize {
+        DfsState::space_bytes(self)
     }
 }
 
@@ -449,10 +528,10 @@ mod tests {
 
     #[test]
     fn random_rounds_equal_batch() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(120, 500, true, 1, 1, 21);
         let (mut s, _) = DfsState::batch(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut rng = SplitMix64::seed_from_u64(77);
         for round in 0..20 {
             let mut batch = UpdateBatch::new();
             for _ in 0..6 {

@@ -166,11 +166,7 @@ impl LccState {
             deleted_adj.entry(v).or_default().push(u);
         }
         let neighbor = |x: NodeId, y: NodeId| -> bool {
-            g.has_edge(x, y)
-                || deleted_adj
-                    .get(&x)
-                    .map(|d| d.contains(&y))
-                    .unwrap_or(false)
+            g.has_edge(x, y) || deleted_adj.get(&x).map(|d| d.contains(&y)).unwrap_or(false)
         };
 
         let mut scope: Vec<usize> = Vec::new();
@@ -182,10 +178,8 @@ impl LccState {
             }
             // Common neighbors over new ∪ batch-deleted adjacency: probe
             // the smaller incidence list of u against v.
-            let du = g.out_neighbors(u).len()
-                + deleted_adj.get(&u).map(|d| d.len()).unwrap_or(0);
-            let dv = g.out_neighbors(v).len()
-                + deleted_adj.get(&v).map(|d| d.len()).unwrap_or(0);
+            let du = g.out_neighbors(u).len() + deleted_adj.get(&u).map(|d| d.len()).unwrap_or(0);
+            let dv = g.out_neighbors(v).len() + deleted_adj.get(&v).map(|d| d.len()).unwrap_or(0);
             let (probe, other) = if du <= dv { (u, v) } else { (v, u) };
             for &(w, _) in g.out_neighbors(probe) {
                 if neighbor(w, other) {
@@ -219,6 +213,42 @@ impl LccState {
             self.status.extend_to(n, |_| 0);
             self.engine = Engine::new(n);
         }
+    }
+}
+
+impl crate::IncrementalState for LccState {
+    fn name(&self) -> &'static str {
+        "lcc"
+    }
+
+    fn total_vars(&self, g: &DynamicGraph) -> usize {
+        g.node_count() * 2
+    }
+
+    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        LccState::update(self, g, applied)
+    }
+
+    fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let (fresh, stats) = LccState::batch(g);
+        *self = fresh;
+        stats
+    }
+
+    fn audit(
+        &self,
+        g: &DynamicGraph,
+        audit: &incgraph_core::audit::FixpointAudit,
+    ) -> incgraph_core::audit::AuditReport {
+        audit.run(&LccSpec::new(g), &self.status)
+    }
+
+    fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.engine.set_work_budget(budget);
+    }
+
+    fn space_bytes(&self) -> usize {
+        LccState::space_bytes(self)
     }
 }
 
@@ -330,10 +360,10 @@ mod tests {
 
     #[test]
     fn random_rounds_match_reference() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(80, 400, false, 1, 1, 12);
         let (mut state, _) = LccState::batch(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng = SplitMix64::seed_from_u64(8);
         for round in 0..15 {
             let mut batch = UpdateBatch::new();
             for _ in 0..10 {

@@ -41,3 +41,270 @@ pub use lcc::LccState;
 pub use reach::ReachState;
 pub use sim::SimState;
 pub use sssp::SsspState;
+
+use incgraph_core::audit::{AuditReport, FixpointAudit};
+use incgraph_core::engine::RunStats;
+use incgraph_core::fallback::FallbackPolicy;
+use incgraph_core::metrics::BoundednessReport;
+use incgraph_graph::{AppliedBatch, DynamicGraph};
+
+/// The uniform face of the seven incremental algorithm states, used by
+/// the hardened pipeline ([`update_guarded`]) to audit fixpoints and to
+/// degrade to batch recomputation when an update stops being bounded.
+///
+/// All methods take the **already updated** graph `G ⊕ ΔG`, like the
+/// inherent `update` methods they wrap. Implementations live next to each
+/// state so they can reach private fields (the stored query parameters
+/// needed for [`recompute`](Self::recompute), the engine for
+/// [`set_work_budget`](Self::set_work_budget)).
+pub trait IncrementalState {
+    /// Short algorithm name for logs and reports (`"sssp"`, `"cc"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Total status variables `|Ψ|` for the current graph size — the
+    /// denominator of every [`FallbackPolicy`] fraction.
+    fn total_vars(&self, g: &DynamicGraph) -> usize;
+
+    /// One incremental step: the inherent `update` of the state.
+    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport;
+
+    /// Abandon the incremental state and recompute from scratch with the
+    /// stored query parameters. Afterwards the state is exactly what
+    /// `Self::batch` would have produced on `g`.
+    fn recompute(&mut self, g: &DynamicGraph) -> RunStats;
+
+    /// Re-check the fixpoint invariant `σ_A = ∧_x σ_x` over the settled
+    /// state (see [`FixpointAudit`]).
+    fn audit(&self, g: &DynamicGraph, audit: &FixpointAudit) -> AuditReport;
+
+    /// Cap the engine's distinct-variable work for subsequent updates;
+    /// `None` removes the cap. States without an engine (DFS) ignore it
+    /// and rely on [`update_guarded`]'s post-run scope check instead.
+    fn set_work_budget(&mut self, budget: Option<u64>);
+
+    /// Resident bytes of the algorithm's state (Fig. 8).
+    fn space_bytes(&self) -> usize;
+}
+
+/// The hardened update path: one incremental step under a
+/// [`FallbackPolicy`], with an optional post-run [`FixpointAudit`].
+///
+/// 1. The policy's [`var_limit`](FallbackPolicy::var_limit) is installed
+///    as the engine's mid-run work budget; a blown budget aborts the run
+///    ([`RunStats::aborted`]) and triggers a batch recompute recorded as
+///    [`WorkExceeded`](incgraph_core::fallback::FallbackReason::WorkExceeded).
+/// 2. For runs that complete, the inspected-variable count is re-checked
+///    against the same limit (this is what catches states without an
+///    engine budget, like DFS); a violation recomputes and records
+///    [`ScopeExceeded`](incgraph_core::fallback::FallbackReason::ScopeExceeded).
+/// 3. If `audit` is given and the run stayed incremental, `σ_x` is
+///    re-checked; violations recompute (unless the policy says
+///    [`Ignore`](incgraph_core::fallback::AuditAction::Ignore)) and
+///    record [`AuditFailed`](incgraph_core::fallback::FallbackReason::AuditFailed).
+///
+/// A fresh batch recompute establishes the fixpoint by construction, so
+/// no audit runs after a fallback. The returned report merges the
+/// abandoned run's stats with the recompute's, and
+/// [`BoundednessReport::fallback`] carries the decision so experiment
+/// drivers can report fallback rates.
+pub fn update_guarded<S: IncrementalState + ?Sized>(
+    state: &mut S,
+    g: &DynamicGraph,
+    applied: &AppliedBatch,
+    policy: &FallbackPolicy,
+    audit: Option<&FixpointAudit>,
+) -> BoundednessReport {
+    let total = state.total_vars(g);
+    state.set_work_budget(policy.var_limit(total));
+    let mut report = state.update(g, applied);
+    state.set_work_budget(None);
+
+    if report.run_stats.aborted {
+        let decision = policy.work_exceeded(report.run_stats.distinct_vars, total);
+        let run = state.recompute(g);
+        report.run_stats.merge(&run);
+        return report.with_fallback(decision);
+    }
+    if let Some(decision) = policy.check_scope(report.inspected_vars as usize, total) {
+        let run = state.recompute(g);
+        report.run_stats.merge(&run);
+        return report.with_fallback(decision);
+    }
+    if let Some(cfg) = audit {
+        let audit_report = state.audit(g, cfg);
+        if let Some(decision) = policy.check_audit(audit_report.violations.len()) {
+            let run = state.recompute(g);
+            report.run_stats.merge(&run);
+            return report.with_fallback(decision);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod guarded_tests {
+    use super::*;
+    use incgraph_core::fallback::{AuditAction, FallbackPolicy, FallbackReason};
+    use incgraph_graph::{DynamicGraph, Pattern, UpdateBatch};
+
+    fn directed_path(n: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new(true, n);
+        for v in 0..n as u32 - 1 {
+            g.insert_edge(v, v + 1, 1);
+        }
+        g
+    }
+
+    /// Undirected ring with one chord — connected, so every state has
+    /// non-trivial structure; all labels 0 so the trivial Sim pattern
+    /// matches everywhere.
+    fn ring(n: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new(false, n);
+        for v in 0..n as u32 {
+            g.insert_edge(v, (v + 1) % n as u32, 1);
+        }
+        g.insert_edge(0, n as u32 / 2, 3);
+        g
+    }
+
+    #[test]
+    fn all_seven_states_run_guarded_and_audit_clean() {
+        let g0 = ring(16);
+        let mut states: Vec<Box<dyn IncrementalState>> = vec![
+            Box::new(SsspState::batch(&g0, 0).0),
+            Box::new(CcState::batch(&g0).0),
+            Box::new(SimState::batch(&g0, Pattern::new(vec![0], &[])).0),
+            Box::new(ReachState::batch(&g0, 0).0),
+            Box::new(LccState::batch(&g0).0),
+            Box::new(DfsState::batch(&g0).0),
+            Box::new(BcState::batch(&g0).0),
+        ];
+        let mut g = g0.clone();
+        let mut batch = UpdateBatch::new();
+        batch.insert(2, 10, 2).delete(5, 6);
+        let applied = batch.apply(&mut g);
+
+        let policy = FallbackPolicy::default();
+        let audit = FixpointAudit::full();
+        let mut names = Vec::new();
+        for state in &mut states {
+            let report = update_guarded(state.as_mut(), &g, &applied, &policy, Some(&audit));
+            assert!(
+                !report.fell_back(),
+                "{} fell back on a small clean update: {:?}",
+                state.name(),
+                report.fallback
+            );
+            let audit_report = state.audit(&g, &audit);
+            assert!(
+                audit_report.is_clean(),
+                "{}: {audit_report:?}",
+                state.name()
+            );
+            assert!(state.space_bytes() > 0);
+            names.push(state.name());
+        }
+        assert_eq!(names, ["sssp", "cc", "sim", "reach", "lcc", "dfs", "bc"]);
+    }
+
+    #[test]
+    fn work_budget_abort_degrades_to_batch() {
+        // Deleting the first edge of a directed path invalidates every
+        // downstream distance: |AFF| ≈ |Ψ|, the worst case for the
+        // incremental path. A 10% budget must abort and recompute.
+        let mut g = directed_path(64);
+        let (mut state, _) = SsspState::batch(&g, 0);
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1);
+        let applied = batch.apply(&mut g);
+
+        let policy = FallbackPolicy::with_max_aff_fraction(0.1);
+        let report = update_guarded(&mut state, &g, &applied, &policy, None);
+        let decision = report.fallback.expect("a near-total update must degrade");
+        assert_eq!(decision.reason, FallbackReason::WorkExceeded);
+        assert!(decision.observed > decision.limit);
+        assert!(report.run_stats.aborted);
+
+        // The recompute must leave exactly the batch fixpoint.
+        let (fresh, _) = SsspState::batch(&g, 0);
+        assert_eq!(state.distances(), fresh.distances());
+        // The budget is a per-guarded-call override, not sticky state.
+        let mut refill = UpdateBatch::new();
+        refill.insert(0, 1, 1);
+        let applied = refill.apply(&mut g);
+        let report = state.update(&g, &applied);
+        assert!(
+            !report.run_stats.aborted,
+            "budget must be lifted afterwards"
+        );
+    }
+
+    #[test]
+    fn failed_audit_forces_recompute() {
+        let mut g = directed_path(16);
+        let (mut state, _) = SsspState::batch(&g, 0);
+        state.poison(5, 0); // true distance is 5
+
+        // A benign no-op batch: reinserting an existing edge with its
+        // existing weight applies nothing, so only the audit can notice.
+        let mut batch = UpdateBatch::new();
+        batch.insert(14, 15, 1);
+        let applied = batch.apply(&mut g);
+        assert!(applied.is_empty());
+
+        let policy = FallbackPolicy::default();
+        let audit = FixpointAudit::full();
+        let report = update_guarded(&mut state, &g, &applied, &policy, Some(&audit));
+        let decision = report.fallback.expect("corruption must be caught");
+        assert_eq!(decision.reason, FallbackReason::AuditFailed);
+        assert_eq!(state.distance(5), 5, "recompute heals the poisoned value");
+    }
+
+    #[test]
+    fn audit_action_ignore_keeps_corrupt_state() {
+        let mut g = directed_path(16);
+        let (mut state, _) = SsspState::batch(&g, 0);
+        state.poison(5, 0);
+        let mut batch = UpdateBatch::new();
+        batch.insert(14, 15, 1);
+        let applied = batch.apply(&mut g);
+
+        let policy = FallbackPolicy {
+            on_audit_failure: AuditAction::Ignore,
+            ..Default::default()
+        };
+        let audit = FixpointAudit::full();
+        let report = update_guarded(&mut state, &g, &applied, &policy, Some(&audit));
+        assert!(!report.fell_back());
+        assert_eq!(state.distance(5), 0, "Ignore keeps the observed state");
+        // The corruption is still *visible* to a caller who audits.
+        assert!(!state.audit(&g, &audit).is_clean());
+    }
+
+    #[test]
+    fn dfs_scope_check_degrades_without_an_engine() {
+        // Deleting the root's tree edge shifts every timestamp after the
+        // divergence point, so IncDFS replays nearly the whole forest.
+        // DFS has no engine budget; the post-run scope check must catch
+        // the blow-up and record ScopeExceeded.
+        let mut g = directed_path(32);
+        let (mut state, _) = DfsState::batch(&g);
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1);
+        let applied = batch.apply(&mut g);
+
+        let policy = FallbackPolicy {
+            max_scope_size: 4,
+            ..Default::default()
+        };
+        let report = update_guarded(&mut state, &g, &applied, &policy, None);
+        let decision = report.fallback.expect("near-total replay must degrade");
+        assert_eq!(decision.reason, FallbackReason::ScopeExceeded);
+        let (fresh, _) = DfsState::batch(&g);
+        for v in 0..32u32 {
+            assert_eq!(state.first(v), fresh.first(v), "node {v}");
+            assert_eq!(state.last(v), fresh.last(v), "node {v}");
+            assert_eq!(state.parent(v), fresh.parent(v), "node {v}");
+        }
+    }
+}

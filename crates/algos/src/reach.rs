@@ -159,21 +159,31 @@ impl ReachState {
         self.ensure_size(g);
         let spec = ReachSpec::new(g, self.source);
 
-        // Heads of changed edges, filtered: an insertion matters only if
-        // it newly reaches its head; a deletion only if the head was
-        // reached (its support may be gone).
+        // Heads of changed edges (both endpoints on undirected graphs,
+        // where the edge supports reachability in either direction),
+        // filtered: an insertion matters only if it newly reaches its
+        // head; a deletion only if the head was reached (its support may
+        // be gone).
         let mut touched: Vec<usize> = Vec::with_capacity(applied.len());
-        for op in applied.ops() {
-            let head = op.dst as usize;
-            let tail_reached = self.status.get(op.src as usize);
-            let head_reached = self.status.get(head);
-            let keep = if op.inserted {
-                tail_reached && !head_reached
-            } else {
-                head_reached
+        {
+            let status = &self.status;
+            let mut consider = |tail: NodeId, head: NodeId, inserted: bool| {
+                let tail_reached = status.get(tail as usize);
+                let head_reached = status.get(head as usize);
+                let keep = if inserted {
+                    tail_reached && !head_reached
+                } else {
+                    head_reached
+                };
+                if keep {
+                    touched.push(head as usize);
+                }
             };
-            if keep {
-                touched.push(head);
+            for op in applied.ops() {
+                consider(op.src, op.dst, op.inserted);
+                if !g.is_directed() {
+                    consider(op.dst, op.src, op.inserted);
+                }
             }
         }
         touched.sort_unstable();
@@ -198,6 +208,42 @@ impl ReachState {
             self.status.extend_to(n, |_| false);
             self.engine = Engine::new(n);
         }
+    }
+}
+
+impl crate::IncrementalState for ReachState {
+    fn name(&self) -> &'static str {
+        "reach"
+    }
+
+    fn total_vars(&self, g: &DynamicGraph) -> usize {
+        g.node_count()
+    }
+
+    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        ReachState::update(self, g, applied)
+    }
+
+    fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let (fresh, stats) = ReachState::batch(g, self.source);
+        *self = fresh;
+        stats
+    }
+
+    fn audit(
+        &self,
+        g: &DynamicGraph,
+        audit: &incgraph_core::audit::FixpointAudit,
+    ) -> incgraph_core::audit::AuditReport {
+        audit.run(&ReachSpec::new(g, self.source), &self.status)
+    }
+
+    fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.engine.set_work_budget(budget);
+    }
+
+    fn space_bytes(&self) -> usize {
+        ReachState::space_bytes(self)
     }
 }
 
@@ -257,6 +303,25 @@ mod tests {
     }
 
     #[test]
+    fn undirected_deletion_retracts_the_tail_side() {
+        // Regression: on undirected graphs an edge supports reachability
+        // in both directions, so a delete op oriented *away* from the
+        // source (src = far endpoint) must still retract that endpoint.
+        // Found by the post-run fixpoint audit in the fault-injection
+        // suite.
+        let mut g = DynamicGraph::new(false, 3);
+        g.insert_edge(0, 1, 1);
+        g.insert_edge(1, 2, 1);
+        let (mut state, _) = ReachState::batch(&g, 0);
+        assert!(state.reachable(2));
+        let mut b = UpdateBatch::new();
+        b.delete(2, 1);
+        let applied = b.apply(&mut g);
+        state.update(&g, &applied);
+        assert_eq!(state.reached(), &[true, true, false]);
+    }
+
+    #[test]
     fn cycle_support_is_not_self_sustaining() {
         // 0 -> 1 -> 2 -> 1 cycle: deleting (0,1) must un-reach the cycle
         // even though 1 and 2 mutually support each other — exactly what
@@ -276,10 +341,10 @@ mod tests {
 
     #[test]
     fn random_rounds_match_bfs() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(100, 350, true, 1, 1, 17);
         let (mut state, _) = ReachState::batch(&g, 0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut rng = SplitMix64::seed_from_u64(23);
         for round in 0..25 {
             let mut batch = UpdateBatch::new();
             for _ in 0..8 {

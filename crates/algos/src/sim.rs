@@ -173,7 +173,9 @@ impl SimState {
 
     /// Number of matching pairs `|Q(G)|`.
     pub fn match_count(&self) -> usize {
-        (0..self.status.len()).filter(|&x| self.status.get(x)).count()
+        (0..self.status.len())
+            .filter(|&x| self.status.get(x))
+            .count()
     }
 
     /// `IncSim`: bounded scope function over the timestamp order, then the
@@ -185,28 +187,42 @@ impl SimState {
         let spec = SimSpec::new(g, &q);
 
         // Evolved input sets: Y_{x[v,u]} ranges over out_nbr(v), so every
-        // changed edge (a, b) touches the tail's variables {x[a, u]}. Most
-        // of those provably cannot change and are filtered out up front:
+        // changed edge (a, b) touches the tail's variables {x[a, u]} —
+        // and on undirected graphs both endpoints are tails. Most of
+        // those provably cannot change and are filtered out up front:
         // a deletion only retracts matches (skip already-false vars), an
         // insertion only adds them (skip already-true vars and label
         // mismatches), and either way the edge is irrelevant to `x[a, u]`
         // unless some pattern successor of `u` carries `b`'s label.
         let mut touched: Vec<usize> = Vec::with_capacity(applied.len() * nq);
-        for op in applied.ops() {
-            let head_label = g.label(op.dst);
-            for u in 0..nq {
-                if !self.q.out_neighbors(u).iter().any(|&u2| self.q.label(u2) == head_label) {
-                    continue;
+        {
+            let status = &self.status;
+            let mut consider = |tail: NodeId, head: NodeId, inserted: bool| {
+                let head_label = g.label(head);
+                for u in 0..nq {
+                    if !q
+                        .out_neighbors(u)
+                        .iter()
+                        .any(|&u2| q.label(u2) == head_label)
+                    {
+                        continue;
+                    }
+                    let x = spec.var(tail, u);
+                    let cur = status.get(x);
+                    let keep = if inserted {
+                        !cur && g.label(tail) == q.label(u)
+                    } else {
+                        cur
+                    };
+                    if keep {
+                        touched.push(x);
+                    }
                 }
-                let x = spec.var(op.src, u);
-                let cur = self.status.get(x);
-                let keep = if op.inserted {
-                    !cur && g.label(op.src) == self.q.label(u)
-                } else {
-                    cur
-                };
-                if keep {
-                    touched.push(x);
+            };
+            for op in applied.ops() {
+                consider(op.src, op.dst, op.inserted);
+                if !g.is_directed() {
+                    consider(op.dst, op.src, op.inserted);
                 }
             }
         }
@@ -227,7 +243,11 @@ impl SimState {
     /// label-match value, and re-run — no timestamps consulted. Correct
     /// but floods far beyond the anchor-bounded scope of
     /// [`update`](Self::update).
-    pub fn update_pe_reset(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+    pub fn update_pe_reset(
+        &mut self,
+        g: &DynamicGraph,
+        applied: &AppliedBatch,
+    ) -> BoundednessReport {
         let nq = self.q.node_count();
         self.ensure_size(g);
         let q = self.q.clone();
@@ -236,6 +256,9 @@ impl SimState {
         for op in applied.ops() {
             for u in 0..nq {
                 touched.push(spec.var(op.src, u));
+                if !g.is_directed() {
+                    touched.push(spec.var(op.dst, u));
+                }
             }
         }
         touched.sort_unstable();
@@ -266,10 +289,65 @@ impl SimState {
     }
 }
 
+impl crate::IncrementalState for SimState {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn total_vars(&self, g: &DynamicGraph) -> usize {
+        g.node_count() * self.q.node_count()
+    }
+
+    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        SimState::update(self, g, applied)
+    }
+
+    fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let (fresh, stats) = SimState::batch(g, self.q.clone());
+        *self = fresh;
+        stats
+    }
+
+    fn audit(
+        &self,
+        g: &DynamicGraph,
+        audit: &incgraph_core::audit::FixpointAudit,
+    ) -> incgraph_core::audit::AuditReport {
+        audit.run(&SimSpec::new(g, &self.q), &self.status)
+    }
+
+    fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.engine.set_work_budget(budget);
+    }
+
+    fn space_bytes(&self) -> usize {
+        SimState::space_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use incgraph_graph::UpdateBatch;
+
+    #[test]
+    fn undirected_insertion_matches_the_dst_side() {
+        // Regression: on undirected graphs both endpoints of a changed
+        // edge are tails of evolved input sets, so an insert op oriented
+        // (1, 0) must also reconsider node 0's variables. Found by the
+        // post-run fixpoint audit in the fault-injection suite.
+        let mut g = DynamicGraph::with_labels(false, vec![0, 1]);
+        let q = Pattern::new(vec![0, 1], &[(0, 1)]);
+        let (mut state, _) = SimState::batch(&g, q.clone());
+        assert!(!state.matches(&g, 0, 0));
+        let mut b = UpdateBatch::new();
+        b.insert(1, 0, 1);
+        let applied = b.apply(&mut g);
+        state.update(&g, &applied);
+        assert!(state.matches(&g, 0, 0), "0 now simulates pattern node 0");
+        let (fresh, _) = SimState::batch(&g, q);
+        assert_eq!(state.relation(), fresh.relation());
+    }
 
     /// Reference: naive simulation fixpoint, O(rounds · n·nq · checks).
     fn sim_reference(g: &DynamicGraph, q: &Pattern) -> Vec<bool> {
@@ -381,11 +459,11 @@ mod tests {
 
     #[test]
     fn repeated_rounds_match_reference() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(60, 240, true, 1, 3, 77);
         let q = tri_pattern();
         let (mut state, _) = SimState::batch(&g, q);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut rng = SplitMix64::seed_from_u64(13);
         for round in 0..20 {
             let mut batch = UpdateBatch::new();
             for _ in 0..6 {
@@ -412,13 +490,10 @@ mod tests {
     fn cyclic_pattern_on_cyclic_data_rounds() {
         // Stress the cyclic-anchor case the paper singles out: pattern
         // cycle b <-> c, data cycles breaking and reforming.
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let q = Pattern::new(vec![1, 2], &[(0, 1), (1, 0)]);
-        let mut g = DynamicGraph::with_labels(
-            true,
-            (0..40).map(|i| 1 + (i % 2) as u32).collect(),
-        );
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut g = DynamicGraph::with_labels(true, (0..40).map(|i| 1 + (i % 2) as u32).collect());
+        let mut rng = SplitMix64::seed_from_u64(3);
         for i in 0..40u32 {
             g.insert_edge(i, (i + 1) % 40, 1);
         }

@@ -241,7 +241,11 @@ impl SsspState {
     /// PE variables through dependency edges — i.e. everything reachable
     /// from the touched nodes — reset them to `∞`, and re-run. Correct
     /// but unbounded: contrast with [`update`](Self::update).
-    pub fn update_pe_reset(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+    pub fn update_pe_reset(
+        &mut self,
+        g: &DynamicGraph,
+        applied: &AppliedBatch,
+    ) -> BoundednessReport {
         self.ensure_size(g);
         let spec = SsspSpec::new(g, self.source);
         let mut touched: Vec<usize> = Vec::with_capacity(applied.len());
@@ -275,6 +279,49 @@ impl SsspState {
             self.status.extend_to(n, |_| INF_DIST);
             self.engine = Engine::new(n);
         }
+    }
+
+    /// Test hook: corrupt one stored distance without restamping, to
+    /// exercise the audit/fallback machinery.
+    #[cfg(test)]
+    pub(crate) fn poison(&mut self, v: NodeId, d: Dist) {
+        self.status.set_unstamped(v as usize, d);
+    }
+}
+
+impl crate::IncrementalState for SsspState {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn total_vars(&self, g: &DynamicGraph) -> usize {
+        g.node_count()
+    }
+
+    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        SsspState::update(self, g, applied)
+    }
+
+    fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let (fresh, stats) = SsspState::batch(g, self.source);
+        *self = fresh;
+        stats
+    }
+
+    fn audit(
+        &self,
+        g: &DynamicGraph,
+        audit: &incgraph_core::audit::FixpointAudit,
+    ) -> incgraph_core::audit::AuditReport {
+        audit.run(&SsspSpec::new(g, self.source), &self.status)
+    }
+
+    fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.engine.set_work_budget(budget);
+    }
+
+    fn space_bytes(&self) -> usize {
+        SsspState::space_bytes(self)
     }
 }
 
@@ -369,15 +416,15 @@ pub(crate) mod tests {
     fn incremental_equals_recompute_random_mixed_updates() {
         let mut g = incgraph_graph::gen::uniform(200, 1000, true, 10, 5, 7);
         let (mut state, _) = SsspState::batch(&g, 0);
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use incgraph_graph::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(99);
         for round in 0..10 {
             let mut batch = UpdateBatch::new();
             for _ in 0..20 {
                 let u = rng.gen_range(0..200) as NodeId;
                 let v = rng.gen_range(0..200) as NodeId;
                 if rng.gen_bool(0.5) {
-                    batch.insert(u, v, rng.gen_range(1..=10));
+                    batch.insert(u, v, rng.gen_range(1u32..=10));
                 } else {
                     batch.delete(u, v);
                 }

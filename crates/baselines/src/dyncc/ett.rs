@@ -181,8 +181,7 @@ impl EulerForest {
             let p = self.nodes[x as usize].p;
             let g = self.nodes[p as usize].p;
             if g != NIL {
-                let zigzig =
-                    (self.nodes[g as usize].l == p) == (self.nodes[p as usize].l == x);
+                let zigzig = (self.nodes[g as usize].l == p) == (self.nodes[p as usize].l == x);
                 if zigzig {
                     self.rotate(p);
                 } else {
@@ -460,9 +459,9 @@ mod tests {
 
     #[test]
     fn long_chain_and_random_cuts_match_oracle() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let n = 60usize;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::seed_from_u64(42);
         let mut f = EulerForest::new(n);
         // Maintain a parallel naive forest as oracle.
         let mut edges: Vec<(NodeId, NodeId, (Id, Id))> = Vec::new();

@@ -171,7 +171,10 @@ impl DynCc {
             .nontree
             .iter()
             .flat_map(|lvl| lvl.iter())
-            .map(|s| s.capacity() * std::mem::size_of::<NodeId>() + std::mem::size_of::<HashSet<NodeId>>())
+            .map(|s| {
+                s.capacity() * std::mem::size_of::<NodeId>()
+                    + std::mem::size_of::<HashSet<NodeId>>()
+            })
             .sum();
         let map = self.edges.capacity()
             * (std::mem::size_of::<(NodeId, NodeId)>() + std::mem::size_of::<EdgeInfo>());
@@ -317,9 +320,9 @@ mod tests {
 
     #[test]
     fn randomized_against_bfs_oracle() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let n = 50usize;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        let mut rng = SplitMix64::seed_from_u64(2024);
         let mut cc = DynCc::with_capacity(n);
         let mut adj: Vec<HashSet<NodeId>> = vec![HashSet::new(); n];
         let mut live: Vec<(NodeId, NodeId)> = Vec::new();

@@ -81,9 +81,7 @@ impl DynDfs {
             }
             0
         } else {
-            if self.parent[v as usize] == u
-                || (!g.is_directed() && self.parent[u as usize] == v)
-            {
+            if self.parent[v as usize] == u || (!g.is_directed() && self.parent[u as usize] == v) {
                 let anchor = if self.parent[v as usize] == u { u } else { v };
                 let t = self.root_time_of(anchor);
                 return self.rebuild_from(g, t);
@@ -262,10 +260,10 @@ mod tests {
 
     #[test]
     fn random_stream_stays_valid() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(80, 300, true, 1, 1, 44);
         let mut s = DynDfs::new(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::seed_from_u64(9);
         for step in 0..150 {
             let u = rng.gen_range(0..80) as NodeId;
             let v = rng.gen_range(0..80) as NodeId;
@@ -288,10 +286,10 @@ mod tests {
 
     #[test]
     fn undirected_stream_stays_valid() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::grid(6, 6, 1, 1);
         let mut s = DynDfs::new(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut rng = SplitMix64::seed_from_u64(10);
         for step in 0..100 {
             let u = rng.gen_range(0..36) as NodeId;
             let v = rng.gen_range(0..36) as NodeId;

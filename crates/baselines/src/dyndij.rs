@@ -125,7 +125,11 @@ impl DynDij {
         // from the *final* graph's adjacency, not the op's payload.
         for (u, v, _) in applied.inserted() {
             let both = [(u, v), (v, u)];
-            let dirs = if g.is_directed() { &both[..1] } else { &both[..] };
+            let dirs = if g.is_directed() {
+                &both[..1]
+            } else {
+                &both[..]
+            };
             for &(a, b) in dirs {
                 let Some(w) = g.edge_weight(a, b) else {
                     continue;
@@ -215,17 +219,17 @@ mod tests {
 
     #[test]
     fn random_batches_match_reference() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(200, 900, true, 10, 5, 14);
         let mut d = DynDij::new(&g, 5);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut rng = SplitMix64::seed_from_u64(23);
         for round in 0..15 {
             let mut batch = UpdateBatch::new();
             for _ in 0..25 {
                 let u = rng.gen_range(0..200) as NodeId;
                 let v = rng.gen_range(0..200) as NodeId;
                 if rng.gen_bool(0.5) {
-                    batch.insert(u, v, rng.gen_range(1..=10));
+                    batch.insert(u, v, rng.gen_range(1u32..=10));
                 } else {
                     batch.delete(u, v);
                 }

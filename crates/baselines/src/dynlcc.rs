@@ -65,7 +65,14 @@ impl DynLcc {
     /// neighborhood of `u` and `v` is identical before and after the
     /// update (the edge `(u,v)` itself is never a *common* neighbor), so
     /// both directions can be computed on the post-update graph.
-    pub fn apply_unit(&mut self, g: &DynamicGraph, inserted: bool, u: NodeId, v: NodeId, _w: Weight) {
+    pub fn apply_unit(
+        &mut self,
+        g: &DynamicGraph,
+        inserted: bool,
+        u: NodeId,
+        v: NodeId,
+        _w: Weight,
+    ) {
         self.ensure_size(g);
         let nu = g.out_neighbors(u);
         let nv = g.out_neighbors(v);
@@ -214,7 +221,14 @@ impl BloomLcc {
     }
 
     /// Applies one unit update using Bloom-filter membership probes.
-    pub fn apply_unit(&mut self, g: &DynamicGraph, inserted: bool, u: NodeId, v: NodeId, _w: Weight) {
+    pub fn apply_unit(
+        &mut self,
+        g: &DynamicGraph,
+        inserted: bool,
+        u: NodeId,
+        v: NodeId,
+        _w: Weight,
+    ) {
         if g.node_count() > self.degree.len() {
             self.degree.resize(g.node_count(), 0);
             self.triangles.resize(g.node_count(), 0);
@@ -222,7 +236,11 @@ impl BloomLcc {
         let nu = g.out_neighbors(u);
         let nv = g.out_neighbors(v);
         // Filter over the smaller list, probe with the larger.
-        let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+        let (small, large) = if nu.len() <= nv.len() {
+            (nu, nv)
+        } else {
+            (nv, nu)
+        };
         let mut bloom = Bloom::new(small.len());
         for &(x, _) in small {
             bloom.insert(x);
@@ -267,10 +285,10 @@ mod tests {
 
     #[test]
     fn unit_stream_tracks_reference() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(70, 300, false, 1, 1, 66);
         let mut s = DynLcc::new(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut rng = SplitMix64::seed_from_u64(17);
         for step in 0..200 {
             let u = rng.gen_range(0..70) as NodeId;
             let v = rng.gen_range(0..70) as NodeId;
@@ -309,11 +327,11 @@ mod tests {
 
     #[test]
     fn bloom_mode_overestimates_within_bound() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::power_law(120, 600, 2.3, false, 1, 1, 5);
         let mut approx = BloomLcc::new(&g);
         let mut exact = DynLcc::new(&g);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut rng = SplitMix64::seed_from_u64(31);
         for _ in 0..150 {
             let u = rng.gen_range(0..120) as NodeId;
             let v = rng.gen_range(0..120) as NodeId;

@@ -162,8 +162,9 @@ impl IncMatch {
         for x in 0..self.matches.len() {
             self.matches[x] = self.label_ok(g, x);
         }
-        let mut queue: VecDeque<usize> =
-            (0..self.matches.len()).filter(|&x| self.matches[x]).collect();
+        let mut queue: VecDeque<usize> = (0..self.matches.len())
+            .filter(|&x| self.matches[x])
+            .collect();
         while let Some(x) = queue.pop_front() {
             if !self.matches[x] || self.condition(g, x) {
                 continue;
@@ -270,11 +271,11 @@ mod tests {
 
     #[test]
     fn mixed_random_batches_match_reference() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(60, 240, true, 1, 3, 91);
         let q = tri_pattern();
         let mut s = IncMatch::new(&g, q.clone());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = SplitMix64::seed_from_u64(6);
         for round in 0..25 {
             let mut batch = UpdateBatch::new();
             for _ in 0..8 {
@@ -298,15 +299,14 @@ mod tests {
 
     #[test]
     fn cyclic_pattern_cyclic_data() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let q = Pattern::new(vec![1, 2], &[(0, 1), (1, 0)]);
-        let mut g =
-            DynamicGraph::with_labels(true, (0..30).map(|i| 1 + (i % 2) as u32).collect());
+        let mut g = DynamicGraph::with_labels(true, (0..30).map(|i| 1 + (i % 2) as u32).collect());
         for i in 0..30u32 {
             g.insert_edge(i, (i + 1) % 30, 1);
         }
         let mut s = IncMatch::new(&g, q.clone());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        let mut rng = SplitMix64::seed_from_u64(18);
         for round in 0..20 {
             let mut batch = UpdateBatch::new();
             for _ in 0..4 {

@@ -52,7 +52,14 @@ impl RrSssp {
 
     /// Handles one unit update. `g` must already reflect the update.
     /// For undirected graphs the edge is processed in both directions.
-    pub fn apply_unit(&mut self, g: &DynamicGraph, inserted: bool, u: NodeId, v: NodeId, w: Weight) {
+    pub fn apply_unit(
+        &mut self,
+        g: &DynamicGraph,
+        inserted: bool,
+        u: NodeId,
+        v: NodeId,
+        w: Weight,
+    ) {
         self.ensure_size(g);
         if inserted {
             self.inserted(g, u, v, w);
@@ -228,16 +235,16 @@ mod tests {
 
     #[test]
     fn random_unit_sequence_matches_dijkstra() {
-        use rand::{Rng, SeedableRng};
+        use incgraph_graph::rng::SplitMix64;
         let mut g = incgraph_graph::gen::uniform(150, 700, true, 10, 5, 55);
         let mut rr = RrSssp::new(&g, 3);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = SplitMix64::seed_from_u64(4);
         for step in 0..120 {
             let u = rng.gen_range(0..150) as NodeId;
             let v = rng.gen_range(0..150) as NodeId;
             let mut batch = UpdateBatch::new();
             if rng.gen_bool(0.5) {
-                batch.insert(u, v, rng.gen_range(1..=10));
+                batch.insert(u, v, rng.gen_range(1u32..=10));
             } else {
                 batch.delete(u, v);
             }

@@ -1,61 +1,44 @@
-//! Criterion microbench: CC batch vs deduced incremental (timestamped and
+//! Microbench: CC batch vs deduced incremental (timestamped and
 //! PE-reset strategies) vs the HDT baseline at |ΔG| = 1% on the OKT
 //! stand-in (paper Fig. 7(c) in miniature).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use incgraph_algos::CcState;
 use incgraph_baselines::DynCc;
+use incgraph_bench::microbench::Group;
 use incgraph_workloads::{random_batch_pct, Dataset};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let g0 = Dataset::Orkut.graph(false, 0.15);
     let batch = random_batch_pct(&g0, 1.0, 1, 42);
     let mut g1 = g0.clone();
     let applied = batch.apply(&mut g1);
 
-    let mut group = c.benchmark_group("cc");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut group = Group::new("cc");
 
-    group.bench_function("batch_cc_fp", |b| {
-        b.iter(|| std::hint::black_box(CcState::batch(&g1)))
-    });
-    group.bench_function("inc_cc", |b| {
-        b.iter_batched(
-            || CcState::batch(&g0).0,
-            |mut state| {
-                state.update(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("inc_cc_pe_reset", |b| {
-        b.iter_batched(
-            || CcState::batch(&g0).0,
-            |mut state| {
-                state.update_pe_reset(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("dyncc_hdt", |b| {
-        b.iter_batched(
-            || DynCc::new(&g0),
-            |mut state| {
-                state.apply_batch(&applied);
-                std::hint::black_box(state.components());
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    group.bench("batch_cc_fp", || std::hint::black_box(CcState::batch(&g1)));
+    group.bench_batched(
+        "inc_cc",
+        || CcState::batch(&g0).0,
+        |mut state| {
+            state.update(&g1, &applied);
+            state
+        },
+    );
+    group.bench_batched(
+        "inc_cc_pe_reset",
+        || CcState::batch(&g0).0,
+        |mut state| {
+            state.update_pe_reset(&g1, &applied);
+            state
+        },
+    );
+    group.bench_batched(
+        "dyncc_hdt",
+        || DynCc::new(&g0),
+        |mut state| {
+            state.apply_batch(&applied);
+            std::hint::black_box(state.components());
+            state
+        },
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

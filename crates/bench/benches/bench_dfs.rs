@@ -1,55 +1,42 @@
-//! Criterion microbench: DFS batch vs deduced incremental vs DynDFS at a
+//! Microbench: DFS batch vs deduced incremental vs DynDFS at a
 //! small |ΔG| (0.25%), where the paper places IncDFS's winning regime.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use incgraph_algos::DfsState;
 use incgraph_baselines::DynDfs;
+use incgraph_bench::microbench::Group;
 use incgraph_workloads::{random_batch_pct, Dataset};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let g0 = Dataset::Orkut.graph(true, 0.15);
     let batch = random_batch_pct(&g0, 0.25, 100, 42);
     let mut g1 = g0.clone();
     let applied = batch.apply(&mut g1);
 
-    let mut group = c.benchmark_group("dfs");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut group = Group::new("dfs");
 
-    group.bench_function("batch_dfs_fp", |b| {
-        b.iter(|| std::hint::black_box(DfsState::batch(&g1)))
+    group.bench("batch_dfs_fp", || {
+        std::hint::black_box(DfsState::batch(&g1))
     });
-    group.bench_function("inc_dfs", |b| {
-        b.iter_batched(
-            || DfsState::batch(&g0).0,
-            |mut state| {
-                state.update(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("dyndfs_unit_replay", |b| {
-        b.iter_batched(
-            || DynDfs::new(&g0),
-            |mut state| {
-                let mut g = g0.clone();
-                for unit in batch.as_units() {
-                    let applied = unit.apply(&mut g);
-                    for op in applied.ops() {
-                        state.apply_unit(&g, op.inserted, op.src, op.dst);
-                    }
+    group.bench_batched(
+        "inc_dfs",
+        || DfsState::batch(&g0).0,
+        |mut state| {
+            state.update(&g1, &applied);
+            state
+        },
+    );
+    group.bench_batched(
+        "dyndfs_unit_replay",
+        || DynDfs::new(&g0),
+        |mut state| {
+            let mut g = g0.clone();
+            for unit in batch.as_units() {
+                let applied = unit.apply(&mut g);
+                for op in applied.ops() {
+                    state.apply_unit(&g, op.inserted, op.src, op.dst);
                 }
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+            }
+            state
+        },
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,35 +1,26 @@
-//! Criterion microbench: fixpoint-engine overhead — the generic engine
+//! Microbench: fixpoint-engine overhead — the generic engine
 //! running batch Dijkstra / CC versus hand-rolled implementations (the
 //! RR/DynDij constructors double as the hand-rolled references).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use incgraph_algos::{CcState, SsspState};
 use incgraph_baselines::RrSssp;
+use incgraph_bench::microbench::Group;
 use incgraph_workloads::{sample_sources, Dataset};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let g = Dataset::LiveJournal.graph(true, 0.15);
     let gu = Dataset::LiveJournal.graph(false, 0.15);
     let src = sample_sources(&g, 1, 1)[0];
 
-    let mut group = c.benchmark_group("engine");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut group = Group::new("engine");
 
-    group.bench_function("generic_engine_dijkstra", |b| {
-        b.iter(|| std::hint::black_box(SsspState::batch(&g, src)))
+    group.bench("generic_engine_dijkstra", || {
+        std::hint::black_box(SsspState::batch(&g, src))
     });
-    group.bench_function("handrolled_dijkstra", |b| {
-        b.iter(|| std::hint::black_box(RrSssp::new(&g, src)))
+    group.bench("handrolled_dijkstra", || {
+        std::hint::black_box(RrSssp::new(&g, src))
     });
-    group.bench_function("generic_engine_cc", |b| {
-        b.iter(|| std::hint::black_box(CcState::batch(&gu)))
+    group.bench("generic_engine_cc", || {
+        std::hint::black_box(CcState::batch(&gu))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

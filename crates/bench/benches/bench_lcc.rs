@@ -1,72 +1,57 @@
-//! Criterion microbench: LCC batch vs deduced incremental vs the exact
+//! Microbench: LCC batch vs deduced incremental vs the exact
 //! and Bloom-approximate streaming baselines at |ΔG| = 1% on the LJ
 //! stand-in (paper Fig. 7(f) in miniature).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use incgraph_algos::LccState;
 use incgraph_baselines::{BloomLcc, DynLcc};
+use incgraph_bench::microbench::Group;
 use incgraph_workloads::{random_batch_pct, Dataset};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let g0 = Dataset::LiveJournal.graph(false, 0.15);
     let batch = random_batch_pct(&g0, 1.0, 1, 42);
     let mut g1 = g0.clone();
     let applied = batch.apply(&mut g1);
 
-    let mut group = c.benchmark_group("lcc");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+    let mut group = Group::new("lcc");
 
-    group.bench_function("batch_lcc_fp", |b| {
-        b.iter(|| std::hint::black_box(LccState::batch(&g1)))
+    group.bench("batch_lcc_fp", || {
+        std::hint::black_box(LccState::batch(&g1))
     });
-    group.bench_function("inc_lcc", |b| {
-        b.iter_batched(
-            || LccState::batch(&g0).0,
-            |mut state| {
-                state.update(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("dynlcc_exact_unit_replay", |b| {
-        b.iter_batched(
-            || DynLcc::new(&g0),
-            |mut state| {
-                let mut g = g0.clone();
-                for unit in batch.as_units() {
-                    let applied = unit.apply(&mut g);
-                    for op in applied.ops() {
-                        state.apply_unit(&g, op.inserted, op.src, op.dst, op.weight);
-                    }
+    group.bench_batched(
+        "inc_lcc",
+        || LccState::batch(&g0).0,
+        |mut state| {
+            state.update(&g1, &applied);
+            state
+        },
+    );
+    group.bench_batched(
+        "dynlcc_exact_unit_replay",
+        || DynLcc::new(&g0),
+        |mut state| {
+            let mut g = g0.clone();
+            for unit in batch.as_units() {
+                let applied = unit.apply(&mut g);
+                for op in applied.ops() {
+                    state.apply_unit(&g, op.inserted, op.src, op.dst, op.weight);
                 }
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("dynlcc_bloom_unit_replay", |b| {
-        b.iter_batched(
-            || BloomLcc::new(&g0),
-            |mut state| {
-                let mut g = g0.clone();
-                for unit in batch.as_units() {
-                    let applied = unit.apply(&mut g);
-                    for op in applied.ops() {
-                        state.apply_unit(&g, op.inserted, op.src, op.dst, op.weight);
-                    }
+            }
+            state
+        },
+    );
+    group.bench_batched(
+        "dynlcc_bloom_unit_replay",
+        || BloomLcc::new(&g0),
+        |mut state| {
+            let mut g = g0.clone();
+            for unit in batch.as_units() {
+                let applied = unit.apply(&mut g);
+                for op in applied.ops() {
+                    state.apply_unit(&g, op.inserted, op.src, op.dst, op.weight);
                 }
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+            }
+            state
+        },
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

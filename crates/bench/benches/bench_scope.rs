@@ -1,56 +1,43 @@
-//! Criterion microbench: cost split between the initial scope function
+//! Microbench: cost split between the initial scope function
 //! `h` and the resumed step function (the paper's Exp-2(2d) measures h's
 //! share of total incremental cost). The full update is measured against
 //! a variant that is forced to do everything through `h`'s conservative
 //! sibling (PE reset), isolating how much the bounded scope saves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use incgraph_algos::sssp::SsspSpec;
 use incgraph_algos::SsspState;
+use incgraph_bench::microbench::Group;
 use incgraph_core::run_fixpoint;
 use incgraph_core::Status;
 use incgraph_workloads::{random_batch_pct, sample_sources, Dataset};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let g0 = Dataset::WikiDe.graph(true, 0.15);
     let src = sample_sources(&g0, 1, 1)[0];
     let batch = random_batch_pct(&g0, 1.0, 100, 9);
     let mut g1 = g0.clone();
     let applied = batch.apply(&mut g1);
 
-    let mut group = c.benchmark_group("scope");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut group = Group::new("scope");
 
-    group.bench_function("inc_update_total", |b| {
-        b.iter_batched(
-            || SsspState::batch(&g0, src).0,
-            |mut state| {
-                state.update(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
+    group.bench_batched(
+        "inc_update_total",
+        || SsspState::batch(&g0, src).0,
+        |mut state| {
+            state.update(&g1, &applied);
+            state
+        },
+    );
     // Step-function-only lower bound: re-run the fixpoint from the true
     // final status with an empty scope (pure engine setup cost).
-    group.bench_function("engine_resume_empty_scope", |b| {
-        let spec = SsspSpec::new(&g1, src);
-        let (final_state, _) = SsspState::batch(&g1, src);
-        b.iter_batched(
-            || Status::from_values(final_state.distances().to_vec()),
-            |mut status| {
-                run_fixpoint(&spec, &mut status, std::iter::empty());
-                status
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    let spec = SsspSpec::new(&g1, src);
+    let (final_state, _) = SsspState::batch(&g1, src);
+    group.bench_batched(
+        "engine_resume_empty_scope",
+        || Status::from_values(final_state.distances().to_vec()),
+        |mut status| {
+            run_fixpoint(&spec, &mut status, std::iter::empty());
+            status
+        },
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,60 +1,45 @@
-//! Criterion microbench: Sim batch vs deduced incremental vs IncMatch at
+//! Microbench: Sim batch vs deduced incremental vs IncMatch at
 //! |ΔG| = 1% on the DP stand-in (paper Fig. 7(d,e) in miniature).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use incgraph_algos::SimState;
 use incgraph_baselines::IncMatch;
+use incgraph_bench::microbench::Group;
 use incgraph_workloads::{random_batch_pct, random_pattern, Dataset};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let g0 = Dataset::DbPedia.graph(true, 0.15);
     let q = random_pattern(&g0, 4, 6, 7);
     let batch = random_batch_pct(&g0, 1.0, 100, 42);
     let mut g1 = g0.clone();
     let applied = batch.apply(&mut g1);
 
-    let mut group = c.benchmark_group("sim");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut group = Group::new("sim");
 
-    group.bench_function("batch_sim_fp", |b| {
-        b.iter(|| std::hint::black_box(SimState::batch(&g1, q.clone())))
+    group.bench("batch_sim_fp", || {
+        std::hint::black_box(SimState::batch(&g1, q.clone()))
     });
-    group.bench_function("inc_sim", |b| {
-        b.iter_batched(
-            || SimState::batch(&g0, q.clone()).0,
-            |mut state| {
-                state.update(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("inc_sim_pe_reset", |b| {
-        b.iter_batched(
-            || SimState::batch(&g0, q.clone()).0,
-            |mut state| {
-                state.update_pe_reset(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("incmatch", |b| {
-        b.iter_batched(
-            || IncMatch::new(&g0, q.clone()),
-            |mut state| {
-                state.apply_batch(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    group.bench_batched(
+        "inc_sim",
+        || SimState::batch(&g0, q.clone()).0,
+        |mut state| {
+            state.update(&g1, &applied);
+            state
+        },
+    );
+    group.bench_batched(
+        "inc_sim_pe_reset",
+        || SimState::batch(&g0, q.clone()).0,
+        |mut state| {
+            state.update_pe_reset(&g1, &applied);
+            state
+        },
+    );
+    group.bench_batched(
+        "incmatch",
+        || IncMatch::new(&g0, q.clone()),
+        |mut state| {
+            state.apply_batch(&g1, &applied);
+            state
+        },
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

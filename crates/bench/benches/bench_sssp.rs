@@ -1,60 +1,45 @@
-//! Criterion microbench: SSSP batch vs deduced incremental vs baselines
+//! Microbench: SSSP batch vs deduced incremental vs baselines
 //! at |ΔG| = 1% on the LJ stand-in (paper Fig. 7(a,b) in miniature).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use incgraph_algos::SsspState;
 use incgraph_baselines::DynDij;
+use incgraph_bench::microbench::Group;
 use incgraph_workloads::{random_batch_pct, sample_sources, Dataset};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let g0 = Dataset::LiveJournal.graph(true, 0.15);
     let src = sample_sources(&g0, 1, 1)[0];
     let batch = random_batch_pct(&g0, 1.0, 100, 42);
     let mut g1 = g0.clone();
     let applied = batch.apply(&mut g1);
 
-    let mut group = c.benchmark_group("sssp");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut group = Group::new("sssp");
 
-    group.bench_function("batch_dijkstra", |b| {
-        b.iter(|| std::hint::black_box(SsspState::batch(&g1, src)))
+    group.bench("batch_dijkstra", || {
+        std::hint::black_box(SsspState::batch(&g1, src))
     });
-    group.bench_function("inc_sssp", |b| {
-        b.iter_batched(
-            || SsspState::batch(&g0, src).0,
-            |mut state| {
-                state.update(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("inc_sssp_pe_reset", |b| {
-        b.iter_batched(
-            || SsspState::batch(&g0, src).0,
-            |mut state| {
-                state.update_pe_reset(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("dyndij", |b| {
-        b.iter_batched(
-            || DynDij::new(&g0, src),
-            |mut state| {
-                state.apply_batch(&g1, &applied);
-                state
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    group.bench_batched(
+        "inc_sssp",
+        || SsspState::batch(&g0, src).0,
+        |mut state| {
+            state.update(&g1, &applied);
+            state
+        },
+    );
+    group.bench_batched(
+        "inc_sssp_pe_reset",
+        || SsspState::batch(&g0, src).0,
+        |mut state| {
+            state.update_pe_reset(&g1, &applied);
+            state
+        },
+    );
+    group.bench_batched(
+        "dyndij",
+        || DynDij::new(&g0, src),
+        |mut state| {
+            state.apply_batch(&g1, &applied);
+            state
+        },
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

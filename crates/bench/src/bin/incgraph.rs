@@ -10,16 +10,99 @@
 //! `--source`). Graph files use the SNAP/KONECT edge-list format of
 //! `incgraph_graph::io`; update streams use `+ u v [w]` / `- u v` lines.
 //! With `--updates`, the batch result is computed first, the stream is
-//! applied as one `ΔG`, and the incremental algorithm reports its
-//! affected-area statistics — the library's two-phase shape, end to end.
+//! validated and applied transactionally as one `ΔG`
+//! ([`UpdateBatch::apply_validated`]), and the incremental algorithm runs
+//! through the hardened pipeline ([`incgraph_algos::update_guarded`]) —
+//! opt into its degradation and auditing knobs with `--max-aff-frac F`
+//! (fall back to batch recompute past that affected fraction),
+//! `--max-scope N` (absolute cap), and `--audit` / `--audit-stride K`
+//! (post-run fixpoint re-check).
+//!
+//! Failures map to distinct exit codes so scripts can tell them apart:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 2    | usage error (bad flags, missing class/graph) |
+//! | 3    | file unreadable / output unwritable |
+//! | 4    | parse error (reported with its line number) |
+//! | 5    | invalid update stream (rejected by validation, graph rolled back) |
 
-use incgraph_algos::{BcState, CcState, DfsState, LccState, ReachState, SimState, SsspState};
+use incgraph_algos::{
+    update_guarded, BcState, CcState, DfsState, IncrementalState, LccState, ReachState, SimState,
+    SsspState,
+};
+use incgraph_core::audit::FixpointAudit;
+use incgraph_core::fallback::FallbackPolicy;
 use incgraph_core::metrics::BoundednessReport;
-use incgraph_graph::io::{read_graph, read_updates};
-use incgraph_graph::DynamicGraph;
+use incgraph_graph::io::{read_graph, read_updates, IoError, ParseError};
+use incgraph_graph::{BatchError, DynamicGraph, UpdateBatch};
 use incgraph_workloads::random_pattern;
 use std::io::Write;
 use std::time::Instant;
+
+/// Everything that can end a run early, with its process exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown flag/class, missing argument.
+    Usage(String),
+    /// A named input could not be opened or read.
+    FileUnreadable {
+        path: String,
+        source: std::io::Error,
+    },
+    /// A named input was readable but malformed.
+    Parse { path: String, source: ParseError },
+    /// The update stream parsed but failed batch validation; the graph
+    /// was rolled back to its pre-batch state before exiting.
+    InvalidUpdates { path: String, source: BatchError },
+    /// The output destination could not be written.
+    Output {
+        path: String,
+        source: std::io::Error,
+    },
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::FileUnreadable { .. } | CliError::Output { .. } => 3,
+            CliError::Parse { .. } => 4,
+            CliError::InvalidUpdates { .. } => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::FileUnreadable { path, source } => write!(f, "{path}: {source}"),
+            CliError::Parse { path, source } => {
+                write!(f, "{path}:{}: {}", source.line, source.message)
+            }
+            CliError::InvalidUpdates { path, source } => {
+                write!(f, "{path}: invalid update stream: {source}")
+            }
+            CliError::Output { path, source } => write!(f, "{path}: {source}"),
+        }
+    }
+}
+
+/// Splits an [`IoError`] from reading `path` into the two exit classes.
+fn read_error(path: &str, e: IoError) -> CliError {
+    match e {
+        IoError::Io(source) => CliError::FileUnreadable {
+            path: path.to_string(),
+            source,
+        },
+        IoError::Parse(source) => CliError::Parse {
+            path: path.to_string(),
+            source,
+        },
+    }
+}
 
 struct Args {
     class: String,
@@ -29,9 +112,17 @@ struct Args {
     source: u32,
     seed: u64,
     out: Option<String>,
+    max_aff_frac: f64,
+    max_scope: usize,
+    audit: bool,
+    audit_stride: usize,
 }
 
-fn parse_args() -> Args {
+const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.txt \
+                     [--updates D.txt] [--directed] [--source N] [--seed S] [--out F] \
+                     [--max-aff-frac F] [--max-scope N] [--audit] [--audit-stride K]";
+
+fn parse_args() -> Result<Args, CliError> {
     let mut args = Args {
         class: String::new(),
         graph: String::new(),
@@ -40,120 +131,202 @@ fn parse_args() -> Args {
         source: 0,
         seed: 42,
         out: None,
+        max_aff_frac: 1.0,
+        max_scope: usize::MAX,
+        audit: false,
+        audit_stride: 1,
     };
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--graph" => args.graph = it.next().unwrap_or_else(|| die("--graph needs a path")),
-            "--updates" => args.updates = Some(it.next().unwrap_or_else(|| die("--updates needs a path"))),
+            "--graph" => args.graph = it.next().ok_or_else(|| usage("--graph needs a path"))?,
+            "--updates" => {
+                args.updates = Some(it.next().ok_or_else(|| usage("--updates needs a path"))?)
+            }
             "--directed" => args.directed = true,
+            "--audit" => args.audit = true,
             "--source" => {
                 args.source = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--source needs a node id"))
+                    .ok_or_else(|| usage("--source needs a node id"))?
             }
             "--seed" => {
                 args.seed = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs an integer"))
+                    .ok_or_else(|| usage("--seed needs an integer"))?
             }
-            "--out" => args.out = Some(it.next().unwrap_or_else(|| die("--out needs a path"))),
-            flag if flag.starts_with('-') => die(&format!("unknown flag {flag}")),
+            "--max-aff-frac" => {
+                args.max_aff_frac = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .ok_or_else(|| usage("--max-aff-frac needs a fraction in [0, 1]"))?
+            }
+            "--max-scope" => {
+                args.max_scope = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--max-scope needs a variable count"))?
+            }
+            "--audit-stride" => {
+                args.audit_stride = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .ok_or_else(|| usage("--audit-stride needs an integer ≥ 1"))?
+            }
+            "--out" => args.out = Some(it.next().ok_or_else(|| usage("--out needs a path"))?),
+            flag if flag.starts_with('-') => return Err(usage(&format!("unknown flag {flag}"))),
             class if args.class.is_empty() => args.class = class.to_string(),
-            extra => die(&format!("unexpected argument {extra}")),
+            extra => return Err(usage(&format!("unexpected argument {extra}"))),
         }
     }
     if args.class.is_empty() || args.graph.is_empty() {
-        eprintln!(
-            "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.txt \
-             [--updates D.txt] [--directed] [--source N] [--seed S] [--out F]"
-        );
-        std::process::exit(2);
+        return Err(CliError::Usage(USAGE.to_string()));
     }
-    args
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2);
+    Ok(args)
 }
 
 fn report(phase: &str, secs: f64, rep: Option<&BoundednessReport>) {
     match rep {
-        Some(r) => eprintln!(
-            "{phase}: {:.3} ms | scope {} | inspected {} of {} vars ({:.4}%)",
-            secs * 1e3,
-            r.scope_size,
-            r.inspected_vars,
-            r.total_vars,
-            100.0 * r.aff_fraction()
-        ),
+        Some(r) => {
+            eprintln!(
+                "{phase}: {:.3} ms | scope {} | inspected {} of {} vars ({:.4}%)",
+                secs * 1e3,
+                r.scope_size,
+                r.inspected_vars,
+                r.total_vars,
+                100.0 * r.aff_fraction()
+            );
+            if let Some(d) = r.fallback {
+                eprintln!(
+                    "fell back to batch recompute: {:?} (observed {} > limit {})",
+                    d.reason, d.observed, d.limit
+                );
+            }
+        }
         None => eprintln!("{phase}: {:.3} ms", secs * 1e3),
     }
 }
 
-fn write_out(path: &Option<String>, lines: impl Iterator<Item = String>) {
+fn write_out(path: &Option<String>, lines: impl Iterator<Item = String>) -> Result<(), CliError> {
+    let out_err = |p: &str, e: std::io::Error| CliError::Output {
+        path: p.to_string(),
+        source: e,
+    };
     match path {
         Some(p) => {
-            let f = std::fs::File::create(p).unwrap_or_else(|e| die(&format!("{p}: {e}")));
+            let f = std::fs::File::create(p).map_err(|e| out_err(p, e))?;
             let mut w = std::io::BufWriter::new(f);
             for l in lines {
-                writeln!(w, "{l}").expect("write");
+                writeln!(w, "{l}").map_err(|e| out_err(p, e))?;
             }
+            w.flush().map_err(|e| out_err(p, e))
         }
         None => {
             let stdout = std::io::stdout();
             let mut w = std::io::BufWriter::new(stdout.lock());
             for l in lines {
-                writeln!(w, "{l}").expect("write");
+                writeln!(w, "{l}").map_err(|e| out_err("<stdout>", e))?;
             }
+            w.flush().map_err(|e| out_err("<stdout>", e))
         }
     }
 }
 
-fn load(args: &Args) -> (DynamicGraph, Option<incgraph_graph::UpdateBatch>) {
-    let f = std::fs::File::open(&args.graph).unwrap_or_else(|e| die(&format!("{}: {e}", args.graph)));
-    let g = read_graph(f, args.directed).unwrap_or_else(|e| die(&format!("{}: {e}", args.graph)));
+fn load(args: &Args) -> Result<(DynamicGraph, Option<UpdateBatch>), CliError> {
+    let f = std::fs::File::open(&args.graph).map_err(|e| CliError::FileUnreadable {
+        path: args.graph.clone(),
+        source: e,
+    })?;
+    let g = read_graph(f, args.directed).map_err(|e| read_error(&args.graph, e))?;
     eprintln!(
         "loaded {}: |V|={}, |E|={}, {}",
         args.graph,
         g.node_count(),
         g.edge_count(),
-        if args.directed { "directed" } else { "undirected" }
+        if args.directed {
+            "directed"
+        } else {
+            "undirected"
+        }
     );
-    let updates = args.updates.as_ref().map(|p| {
-        let f = std::fs::File::open(p).unwrap_or_else(|e| die(&format!("{p}: {e}")));
-        read_updates(f).unwrap_or_else(|e| die(&format!("{p}: {e}")))
-    });
-    (g, updates)
+    let updates = match &args.updates {
+        Some(p) => {
+            let f = std::fs::File::open(p).map_err(|e| CliError::FileUnreadable {
+                path: p.clone(),
+                source: e,
+            })?;
+            Some(read_updates(f).map_err(|e| read_error(p, e))?)
+        }
+        None => None,
+    };
+    Ok((g, updates))
 }
 
 fn main() {
-    let args = parse_args();
-    let (mut g, updates) = load(&args);
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let args = parse_args()?;
+    let (mut g, updates) = load(&args)?;
+
+    let policy = FallbackPolicy {
+        max_aff_fraction: args.max_aff_frac,
+        max_scope_size: args.max_scope,
+        ..Default::default()
+    };
+    let audit = if args.audit {
+        Some(if args.audit_stride > 1 {
+            FixpointAudit::sampled(args.audit_stride, args.seed as usize)
+        } else {
+            FixpointAudit::full()
+        })
+    } else {
+        None
+    };
+
+    // Validate-then-apply: a poisoned stream rolls the graph back and
+    // exits 5 before any algorithm state is touched.
+    let apply_updates =
+        |g: &mut DynamicGraph, state: &mut dyn IncrementalState| -> Result<(), CliError> {
+            let Some(batch) = &updates else {
+                return Ok(());
+            };
+            let path = args.updates.as_deref().unwrap_or("<updates>");
+            let applied = batch
+                .apply_validated(g)
+                .map_err(|source| CliError::InvalidUpdates {
+                    path: path.to_string(),
+                    source,
+                })?;
+            eprintln!("applying ΔG: {} effective unit updates", applied.len());
+            let t = Instant::now();
+            let rep = update_guarded(state, g, &applied, &policy, audit.as_ref());
+            report("incremental", t.elapsed().as_secs_f64(), Some(&rep));
+            Ok(())
+        };
 
     macro_rules! run {
-        ($batch:expr, $update:expr, $emit:expr) => {{
+        ($batch:expr, $emit:expr) => {{
             let t = Instant::now();
             let mut state = $batch;
             report("batch", t.elapsed().as_secs_f64(), None);
-            if let Some(batch) = &updates {
-                let applied = batch.apply(&mut g);
-                eprintln!("applying ΔG: {} effective unit updates", applied.len());
-                let t = Instant::now();
-                let rep = $update(&mut state, &g, &applied);
-                report("incremental", t.elapsed().as_secs_f64(), Some(&rep));
-            }
-            write_out(&args.out, $emit(&state, &g));
+            apply_updates(&mut g, &mut state)?;
+            write_out(&args.out, $emit(&state, &g))?;
         }};
     }
 
     match args.class.as_str() {
         "sssp" => run!(
             SsspState::batch(&g, args.source).0,
-            |s: &mut SsspState, g: &_, a: &_| s.update(g, a),
             |s: &SsspState, _g: &DynamicGraph| {
                 let d = s.distances().to_vec();
                 d.into_iter().enumerate().map(|(v, d)| {
@@ -167,7 +340,6 @@ fn main() {
         ),
         "reach" => run!(
             ReachState::batch(&g, args.source).0,
-            |s: &mut ReachState, g: &_, a: &_| s.update(g, a),
             |s: &ReachState, _g: &DynamicGraph| {
                 let r = s.reached().to_vec();
                 r.into_iter()
@@ -175,69 +347,57 @@ fn main() {
                     .map(|(v, b)| format!("{v} {}", b as u8))
             }
         ),
-        "cc" => run!(
-            CcState::batch(&g).0,
-            |s: &mut CcState, g: &_, a: &_| s.update(g, a),
-            |s: &CcState, _g: &DynamicGraph| {
-                let c = s.components().to_vec();
-                c.into_iter().enumerate().map(|(v, c)| format!("{v} {c}"))
-            }
-        ),
-        "dfs" => run!(
-            DfsState::batch(&g).0,
-            |s: &mut DfsState, g: &_, a: &_| s.update(g, a),
-            |s: &DfsState, g: &DynamicGraph| {
-                let rows: Vec<String> = (0..g.node_count() as u32)
-                    .map(|v| format!("{v} {} {} {}", s.first(v), s.last(v), s.parent(v)))
-                    .collect();
-                rows.into_iter()
-            }
-        ),
-        "lcc" => run!(
-            LccState::batch(&g).0,
-            |s: &mut LccState, g: &_, a: &_| s.update(g, a),
-            |s: &LccState, g: &DynamicGraph| {
-                let rows: Vec<String> = (0..g.node_count() as u32)
-                    .map(|v| format!("{v} {:.6}", s.coefficient(v)))
-                    .collect();
-                rows.into_iter()
-            }
-        ),
-        "bc" => run!(
-            BcState::batch(&g).0,
-            |s: &mut BcState, g: &_, a: &_| s.update(g, a),
-            |s: &BcState, g: &DynamicGraph| {
-                let mut rows = vec![format!(
+        "cc" => run!(CcState::batch(&g).0, |s: &CcState, _g: &DynamicGraph| {
+            let c = s.components().to_vec();
+            c.into_iter().enumerate().map(|(v, c)| format!("{v} {c}"))
+        }),
+        "dfs" => run!(DfsState::batch(&g).0, |s: &DfsState, g: &DynamicGraph| {
+            let rows: Vec<String> = (0..g.node_count() as u32)
+                .map(|v| format!("{v} {} {} {}", s.first(v), s.last(v), s.parent(v)))
+                .collect();
+            rows.into_iter()
+        }),
+        "lcc" => run!(LccState::batch(&g).0, |s: &LccState, g: &DynamicGraph| {
+            let rows: Vec<String> = (0..g.node_count() as u32)
+                .map(|v| format!("{v} {:.6}", s.coefficient(v)))
+                .collect();
+            rows.into_iter()
+        }),
+        "bc" => run!(BcState::batch(&g).0, |s: &BcState, g: &DynamicGraph| {
+            let rows = vec![
+                format!(
                     "articulation_points {}",
                     s.articulation_points(g)
                         .iter()
                         .map(|v| v.to_string())
                         .collect::<Vec<_>>()
                         .join(",")
-                )];
-                rows.push(format!(
+                ),
+                format!(
                     "bridges {}",
                     s.bridges(g)
                         .iter()
                         .map(|(a, b)| format!("{a}-{b}"))
                         .collect::<Vec<_>>()
                         .join(",")
-                ));
-                rows.into_iter()
-            }
-        ),
+                ),
+            ];
+            rows.into_iter()
+        }),
         "sim" => {
             let q = random_pattern(&g, 4, 6, args.seed);
             eprintln!("pattern |Q|=(4,6), seed {}", args.seed);
             run!(
                 SimState::batch(&g, q.clone()).0,
-                |s: &mut SimState, g: &_, a: &_| s.update(g, a),
                 |s: &SimState, _g: &DynamicGraph| {
                     let rel = s.relation();
                     rel.into_iter().map(|(v, u)| format!("{v} {u}"))
                 }
             )
         }
-        other => die(&format!("unknown class {other}")),
+        other => {
+            return Err(CliError::Usage(format!("unknown class {other}\n{USAGE}")));
+        }
     }
+    Ok(())
 }

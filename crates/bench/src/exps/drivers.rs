@@ -50,9 +50,13 @@ fn unit_replay<S>(
 /// SSSP: Dijkstra / IncSSSP / IncSSSP_n / DynDij.
 pub fn sssp_suite(reps: usize, g0: &DynamicGraph, batch: &UpdateBatch, src: NodeId) -> Timings {
     let g1 = updated(g0, batch);
-    let batch_t = measure(reps, || (), |_| {
-        std::hint::black_box(SsspState::batch(&g1, src));
-    });
+    let batch_t = measure(
+        reps,
+        || (),
+        |_| {
+            std::hint::black_box(SsspState::batch(&g1, src));
+        },
+    );
     let inc = measure(
         reps,
         || {
@@ -98,9 +102,13 @@ pub fn sssp_suite(reps: usize, g0: &DynamicGraph, batch: &UpdateBatch, src: Node
 /// CC: CC_fp / IncCC / IncCC_n / DynCC.
 pub fn cc_suite(reps: usize, g0: &DynamicGraph, batch: &UpdateBatch) -> Timings {
     let g1 = updated(g0, batch);
-    let batch_t = measure(reps, || (), |_| {
-        std::hint::black_box(CcState::batch(&g1));
-    });
+    let batch_t = measure(
+        reps,
+        || (),
+        |_| {
+            std::hint::black_box(CcState::batch(&g1));
+        },
+    );
     let inc = measure(
         reps,
         || {
@@ -148,9 +156,13 @@ pub fn cc_suite(reps: usize, g0: &DynamicGraph, batch: &UpdateBatch) -> Timings 
 /// Sim: Sim_fp / IncSim / IncSim_n / IncMatch.
 pub fn sim_suite(reps: usize, g0: &DynamicGraph, batch: &UpdateBatch, q: &Pattern) -> Timings {
     let g1 = updated(g0, batch);
-    let batch_t = measure(reps, || (), |_| {
-        std::hint::black_box(SimState::batch(&g1, q.clone()));
-    });
+    let batch_t = measure(
+        reps,
+        || (),
+        |_| {
+            std::hint::black_box(SimState::batch(&g1, q.clone()));
+        },
+    );
     let inc = measure(
         reps,
         || {
@@ -196,9 +208,13 @@ pub fn sim_suite(reps: usize, g0: &DynamicGraph, batch: &UpdateBatch, q: &Patter
 /// DFS: DFS_fp / IncDFS / IncDFS_n / DynDFS.
 pub fn dfs_suite(reps: usize, g0: &DynamicGraph, batch: &UpdateBatch) -> Timings {
     let g1 = updated(g0, batch);
-    let batch_t = measure(reps, || (), |_| {
-        std::hint::black_box(DfsState::batch(&g1));
-    });
+    let batch_t = measure(
+        reps,
+        || (),
+        |_| {
+            std::hint::black_box(DfsState::batch(&g1));
+        },
+    );
     let inc = measure(
         reps,
         || {
@@ -245,9 +261,13 @@ pub fn dfs_suite(reps: usize, g0: &DynamicGraph, batch: &UpdateBatch) -> Timings
 /// LCC: LCC_fp / IncLCC / IncLCC_n / DynLCC.
 pub fn lcc_suite(reps: usize, g0: &DynamicGraph, batch: &UpdateBatch) -> Timings {
     let g1 = updated(g0, batch);
-    let batch_t = measure(reps, || (), |_| {
-        std::hint::black_box(LccState::batch(&g1));
-    });
+    let batch_t = measure(
+        reps,
+        || (),
+        |_| {
+            std::hint::black_box(LccState::batch(&g1));
+        },
+    );
     let inc = measure(
         reps,
         || {

@@ -87,7 +87,14 @@ pub fn run_aff(ctx: &mut Ctx) {
             sum += st.update(&g, &applied).aff_fraction();
             n += 1;
         }
-        ctx.record(exp, "IncSSSP", &format!("OKT/{label}"), x, sum / n.max(1) as f64, "fraction");
+        ctx.record(
+            exp,
+            "IncSSSP",
+            &format!("OKT/{label}"),
+            x,
+            sum / n.max(1) as f64,
+            "fraction",
+        );
 
         // CC.
         let batch = incgraph_workloads::random_batch(&gu, count, frac, 1, seed ^ 1);
@@ -103,7 +110,14 @@ pub fn run_aff(ctx: &mut Ctx) {
             sum += st.update(&g, &applied).aff_fraction();
             n += 1;
         }
-        ctx.record(exp, "IncCC", &format!("OKT/{label}"), x, sum / n.max(1) as f64, "fraction");
+        ctx.record(
+            exp,
+            "IncCC",
+            &format!("OKT/{label}"),
+            x,
+            sum / n.max(1) as f64,
+            "fraction",
+        );
 
         // Sim.
         let q = random_pattern(&gd, 4, 6, seed ^ 2);
@@ -120,7 +134,14 @@ pub fn run_aff(ctx: &mut Ctx) {
             sum += st.update(&g, &applied).aff_fraction();
             n += 1;
         }
-        ctx.record(exp, "IncSim", &format!("OKT/{label}"), x, sum / n.max(1) as f64, "fraction");
+        ctx.record(
+            exp,
+            "IncSim",
+            &format!("OKT/{label}"),
+            x,
+            sum / n.max(1) as f64,
+            "fraction",
+        );
 
         // DFS.
         let batch = incgraph_workloads::random_batch(&gd, count, frac, MAX_WEIGHT, seed ^ 4);
@@ -136,7 +157,14 @@ pub fn run_aff(ctx: &mut Ctx) {
             sum += st.update(&g, &applied).aff_fraction();
             n += 1;
         }
-        ctx.record(exp, "IncDFS", &format!("OKT/{label}"), x, sum / n.max(1) as f64, "fraction");
+        ctx.record(
+            exp,
+            "IncDFS",
+            &format!("OKT/{label}"),
+            x,
+            sum / n.max(1) as f64,
+            "fraction",
+        );
 
         // LCC.
         let batch = incgraph_workloads::random_batch(&gu, count, frac, 1, seed ^ 5);
@@ -152,6 +180,13 @@ pub fn run_aff(ctx: &mut Ctx) {
             sum += st.update(&g, &applied).aff_fraction();
             n += 1;
         }
-        ctx.record(exp, "IncLCC", &format!("OKT/{label}"), x, sum / n.max(1) as f64, "fraction");
+        ctx.record(
+            exp,
+            "IncLCC",
+            &format!("OKT/{label}"),
+            x,
+            sum / n.max(1) as f64,
+            "fraction",
+        );
     }
 }

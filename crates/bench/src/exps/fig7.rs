@@ -113,26 +113,41 @@ pub fn wd(ctx: &mut Ctx) {
             scope_share += rep.scope_share() / t.windows.len() as f64;
         }
         ctx.record(exp, "IncSSSP", "WD", 5.0, inc_total, "s");
-        ctx.record(exp, "IncSSSP scope-share", "WD", 5.0, scope_share, "fraction");
+        ctx.record(
+            exp,
+            "IncSSSP scope-share",
+            "WD",
+            5.0,
+            scope_share,
+            "fraction",
+        );
         // Batch recompute per window.
-        let batch_total = measure(1, || (), |_| {
-            let mut g = g0.clone();
-            for w in &t.windows {
-                w.apply(&mut g);
-                std::hint::black_box(SsspState::batch(&g, src));
-            }
-        });
+        let batch_total = measure(
+            1,
+            || (),
+            |_| {
+                let mut g = g0.clone();
+                for w in &t.windows {
+                    w.apply(&mut g);
+                    std::hint::black_box(SsspState::batch(&g, src));
+                }
+            },
+        );
         ctx.record(exp, "Dijkstra", "WD", 5.0, batch_total, "s");
         // DynDij.
-        let dd_total = measure(1, || (), |_| {
-            let mut g = g0.clone();
-            let mut dd = DynDij::new(&g, src);
-            for w in &t.windows {
-                let applied = w.apply(&mut g);
-                dd.apply_batch(&g, &applied);
-            }
-            std::hint::black_box(dd.distances().len());
-        });
+        let dd_total = measure(
+            1,
+            || (),
+            |_| {
+                let mut g = g0.clone();
+                let mut dd = DynDij::new(&g, src);
+                for w in &t.windows {
+                    let applied = w.apply(&mut g);
+                    dd.apply_batch(&g, &applied);
+                }
+                std::hint::black_box(dd.distances().len());
+            },
+        );
         ctx.record(exp, "DynDij", "WD", 5.0, dd_total, "s");
     }
 
@@ -153,25 +168,33 @@ pub fn wd(ctx: &mut Ctx) {
         }
         ctx.record(exp, "IncCC", "WD", 5.0, inc_total, "s");
         ctx.record(exp, "IncCC scope-share", "WD", 5.0, scope_share, "fraction");
-        let batch_total = measure(1, || (), |_| {
-            let mut g = g0.clone();
-            for w in &t.windows {
-                w.apply(&mut g);
-                std::hint::black_box(CcState::batch(&g));
-            }
-        });
-        ctx.record(exp, "CC_fp", "WD", 5.0, batch_total, "s");
-        let dyn_total = measure(1, || (), |_| {
-            let mut g = g0.clone();
-            let mut dc = DynCc::new(&g);
-            for w in &t.windows {
-                for unit in w.as_units() {
-                    let applied = unit.apply(&mut g);
-                    dc.apply_batch(&applied);
+        let batch_total = measure(
+            1,
+            || (),
+            |_| {
+                let mut g = g0.clone();
+                for w in &t.windows {
+                    w.apply(&mut g);
+                    std::hint::black_box(CcState::batch(&g));
                 }
-                std::hint::black_box(dc.components());
-            }
-        });
+            },
+        );
+        ctx.record(exp, "CC_fp", "WD", 5.0, batch_total, "s");
+        let dyn_total = measure(
+            1,
+            || (),
+            |_| {
+                let mut g = g0.clone();
+                let mut dc = DynCc::new(&g);
+                for w in &t.windows {
+                    for unit in w.as_units() {
+                        let applied = unit.apply(&mut g);
+                        dc.apply_batch(&applied);
+                    }
+                    std::hint::black_box(dc.components());
+                }
+            },
+        );
         ctx.record(exp, "DynCC", "WD", 5.0, dyn_total, "s");
     }
 
@@ -191,24 +214,39 @@ pub fn wd(ctx: &mut Ctx) {
             scope_share += rep.scope_share() / t.windows.len() as f64;
         }
         ctx.record(exp, "IncSim", "WD", 5.0, inc_total, "s");
-        ctx.record(exp, "IncSim scope-share", "WD", 5.0, scope_share, "fraction");
-        let batch_total = measure(1, || (), |_| {
-            let mut g = g0.clone();
-            for w in &t.windows {
-                w.apply(&mut g);
-                std::hint::black_box(SimState::batch(&g, q.clone()));
-            }
-        });
+        ctx.record(
+            exp,
+            "IncSim scope-share",
+            "WD",
+            5.0,
+            scope_share,
+            "fraction",
+        );
+        let batch_total = measure(
+            1,
+            || (),
+            |_| {
+                let mut g = g0.clone();
+                for w in &t.windows {
+                    w.apply(&mut g);
+                    std::hint::black_box(SimState::batch(&g, q.clone()));
+                }
+            },
+        );
         ctx.record(exp, "Sim_fp", "WD", 5.0, batch_total, "s");
-        let im_total = measure(1, || (), |_| {
-            let mut g = g0.clone();
-            let mut im = IncMatch::new(&g, q.clone());
-            for w in &t.windows {
-                let applied = w.apply(&mut g);
-                im.apply_batch(&g, &applied);
-            }
-            std::hint::black_box(im.match_count());
-        });
+        let im_total = measure(
+            1,
+            || (),
+            |_| {
+                let mut g = g0.clone();
+                let mut im = IncMatch::new(&g, q.clone());
+                for w in &t.windows {
+                    let applied = w.apply(&mut g);
+                    im.apply_batch(&g, &applied);
+                }
+                std::hint::black_box(im.match_count());
+            },
+        );
         ctx.record(exp, "IncMatch", "WD", 5.0, im_total, "s");
     }
 }

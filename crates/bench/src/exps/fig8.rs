@@ -10,8 +10,8 @@ use crate::report::Ctx;
 use incgraph_algos::cc::CcSpec;
 use incgraph_algos::sim::SimSpec;
 use incgraph_algos::{CcState, DfsState, LccState, SimState, SsspState};
-use incgraph_core::{run_fixpoint, Status};
 use incgraph_baselines::{DynCc, DynDfs, DynDij, DynLcc, IncMatch, RrSssp};
+use incgraph_core::{run_fixpoint, Status};
 use incgraph_workloads::datasets::MAX_WEIGHT;
 use incgraph_workloads::{random_batch_pct, random_pattern, sample_sources, Dataset};
 
@@ -34,8 +34,22 @@ pub fn run(ctx: &mut Ctx) {
         // Batch Dijkstra's working state = one distance array; model it
         // with a fresh batch run's status only.
         let (batch_state, _) = SsspState::batch(&g, src);
-        ctx.record(EXP, "Dijkstra", "OKT", 0.0, batch_state.space_bytes() as f64, "bytes");
-        ctx.record(EXP, "IncSSSP", "OKT", 0.0, inc.space_bytes() as f64, "bytes");
+        ctx.record(
+            EXP,
+            "Dijkstra",
+            "OKT",
+            0.0,
+            batch_state.space_bytes() as f64,
+            "bytes",
+        );
+        ctx.record(
+            EXP,
+            "IncSSSP",
+            "OKT",
+            0.0,
+            inc.space_bytes() as f64,
+            "bytes",
+        );
         let mut rr = RrSssp::new(&gd0, src);
         let mut g = gd0.clone();
         for unit in batch.as_units() {
@@ -118,7 +132,14 @@ pub fn run(ctx: &mut Ctx) {
         let mut g = gd0.clone();
         let applied = batch.apply(&mut g);
         im.apply_batch(&g, &applied);
-        ctx.record(EXP, "IncMatch", "OKT", 0.0, im.space_bytes() as f64, "bytes");
+        ctx.record(
+            EXP,
+            "IncMatch",
+            "OKT",
+            0.0,
+            im.space_bytes() as f64,
+            "bytes",
+        );
     }
 
     // DFS.
@@ -129,7 +150,14 @@ pub fn run(ctx: &mut Ctx) {
         let applied = batch.apply(&mut g);
         inc.update(&g, &applied);
         let (batch_state, _) = DfsState::batch(&g);
-        ctx.record(EXP, "DFS_fp", "OKT", 0.0, batch_state.space_bytes() as f64, "bytes");
+        ctx.record(
+            EXP,
+            "DFS_fp",
+            "OKT",
+            0.0,
+            batch_state.space_bytes() as f64,
+            "bytes",
+        );
         ctx.record(EXP, "IncDFS", "OKT", 0.0, inc.space_bytes() as f64, "bytes");
         let mut dd = DynDfs::new(&gd0);
         let mut g = gd0.clone();
@@ -150,7 +178,14 @@ pub fn run(ctx: &mut Ctx) {
         let applied = batch.apply(&mut g);
         inc.update(&g, &applied);
         let (batch_state, _) = LccState::batch(&g);
-        ctx.record(EXP, "LCC_fp", "OKT", 0.0, batch_state.space_bytes() as f64, "bytes");
+        ctx.record(
+            EXP,
+            "LCC_fp",
+            "OKT",
+            0.0,
+            batch_state.space_bytes() as f64,
+            "bytes",
+        );
         ctx.record(EXP, "IncLCC", "OKT", 0.0, inc.space_bytes() as f64, "bytes");
         let mut dl = DynLcc::new(&gu0);
         let mut g = gu0.clone();

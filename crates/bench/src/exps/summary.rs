@@ -17,14 +17,28 @@ pub fn run(ctx: &mut Ctx) {
         let batch = random_batch_pct(&g, pct, MAX_WEIGHT, 0x90 ^ pct as u64);
         let t = drivers::sssp_suite(ctx.reps, &g, &batch, src);
         ctx.record(EXP, "SSSP vs batch", "FS", pct, t.batch / t.inc, "x");
-        ctx.record(EXP, "SSSP vs competitor", "FS", pct, t.competitor / t.inc, "x");
+        ctx.record(
+            EXP,
+            "SSSP vs competitor",
+            "FS",
+            pct,
+            t.competitor / t.inc,
+            "x",
+        );
 
         // CC on OKT.
         let g = Dataset::Orkut.graph(false, ctx.scale);
         let batch = random_batch_pct(&g, pct, 1, 0x91 ^ pct as u64);
         let t = drivers::cc_suite(ctx.reps, &g, &batch);
         ctx.record(EXP, "CC vs batch", "OKT", pct, t.batch / t.inc, "x");
-        ctx.record(EXP, "CC vs competitor", "OKT", pct, t.competitor / t.inc, "x");
+        ctx.record(
+            EXP,
+            "CC vs competitor",
+            "OKT",
+            pct,
+            t.competitor / t.inc,
+            "x",
+        );
 
         // Sim on DP.
         let g = Dataset::DbPedia.graph(true, ctx.scale);
@@ -32,20 +46,41 @@ pub fn run(ctx: &mut Ctx) {
         let batch = random_batch_pct(&g, pct, MAX_WEIGHT, 0x93 ^ pct as u64);
         let t = drivers::sim_suite(ctx.reps, &g, &batch, &q);
         ctx.record(EXP, "Sim vs batch", "DP", pct, t.batch / t.inc, "x");
-        ctx.record(EXP, "Sim vs competitor", "DP", pct, t.competitor / t.inc, "x");
+        ctx.record(
+            EXP,
+            "Sim vs competitor",
+            "DP",
+            pct,
+            t.competitor / t.inc,
+            "x",
+        );
 
         // DFS on OKT.
         let g = Dataset::Orkut.graph(true, ctx.scale);
         let batch = random_batch_pct(&g, pct, MAX_WEIGHT, 0x94 ^ pct as u64);
         let t = drivers::dfs_suite(ctx.reps, &g, &batch);
         ctx.record(EXP, "DFS vs batch", "OKT", pct, t.batch / t.inc, "x");
-        ctx.record(EXP, "DFS vs competitor", "OKT", pct, t.competitor / t.inc, "x");
+        ctx.record(
+            EXP,
+            "DFS vs competitor",
+            "OKT",
+            pct,
+            t.competitor / t.inc,
+            "x",
+        );
 
         // LCC on LJ.
         let g = Dataset::LiveJournal.graph(false, ctx.scale);
         let batch = random_batch_pct(&g, pct, 1, 0x95 ^ pct as u64);
         let t = drivers::lcc_suite(ctx.reps, &g, &batch);
         ctx.record(EXP, "LCC vs batch", "LJ", pct, t.batch / t.inc, "x");
-        ctx.record(EXP, "LCC vs competitor", "LJ", pct, t.competitor / t.inc, "x");
+        ctx.record(
+            EXP,
+            "LCC vs competitor",
+            "LJ",
+            pct,
+            t.competitor / t.inc,
+            "x",
+        );
     }
 }

@@ -20,7 +20,14 @@ pub fn run(ctx: &mut Ctx) {
     let src = sample_sources(&g, 1, 0xB1)[0];
     let t = drivers::sssp_suite(reps, &g, &batch, src);
     ctx.record(EXP, "Batch (Dijkstra)", "LJ/SSSP", 4.0, t.batch, "s");
-    ctx.record(EXP, "Competitor (DynDij)", "LJ/SSSP", 4.0, t.competitor, "s");
+    ctx.record(
+        EXP,
+        "Competitor (DynDij)",
+        "LJ/SSSP",
+        4.0,
+        t.competitor,
+        "s",
+    );
     ctx.record(EXP, "Deduced (IncSSSP)", "LJ/SSSP", 4.0, t.inc, "s");
 
     // Sim on the directed LJ stand-in, |Q| = (4, 6).
@@ -28,7 +35,14 @@ pub fn run(ctx: &mut Ctx) {
     let batch = random_batch_pct(&g, 4.0, MAX_WEIGHT, 0xA2);
     let t = drivers::sim_suite(reps, &g, &batch, &q);
     ctx.record(EXP, "Batch (Sim_fp)", "LJ/Sim", 4.0, t.batch, "s");
-    ctx.record(EXP, "Competitor (IncMatch)", "LJ/Sim", 4.0, t.competitor, "s");
+    ctx.record(
+        EXP,
+        "Competitor (IncMatch)",
+        "LJ/Sim",
+        4.0,
+        t.competitor,
+        "s",
+    );
     ctx.record(EXP, "Deduced (IncSim)", "LJ/Sim", 4.0, t.inc, "s");
 
     // LCC on the undirected LJ stand-in.

@@ -8,6 +8,7 @@
 //! and EXPERIMENTS.md for paper-vs-measured outcomes.
 
 pub mod exps;
+pub mod microbench;
 pub mod report;
 
 pub use report::{measure, Ctx, Record, Sink};

@@ -1,0 +1,112 @@
+//! Self-contained microbenchmark harness.
+//!
+//! The workspace builds on machines without crates.io access, so the
+//! `benches/` targets cannot use Criterion. This module provides the
+//! narrow slice they need: named groups, per-sample timing with either a
+//! plain closure or a fresh-state-per-sample (`bench_batched`) shape, and
+//! a median/min/mean report on stdout. Sample count defaults to 10 and is
+//! overridable via `INCGRAPH_BENCH_SAMPLES`.
+//!
+//! This is a smoke-level harness (no warm-up modeling, no outlier
+//! rejection); for paper-grade numbers, raise the sample count and pin
+//! the CPU frequency governor.
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks, printed as `group/name` rows.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// New group with the sample count from `INCGRAPH_BENCH_SAMPLES`
+    /// (default 10).
+    pub fn new(name: &str) -> Self {
+        let samples = std::env::var("INCGRAPH_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(10);
+        println!("== {name} ({samples} samples) ==");
+        Group {
+            name: name.to_string(),
+            samples,
+        }
+    }
+
+    /// Times `f` over the group's sample count. The closure's return
+    /// value is passed through `black_box` so the work is not elided.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        let mut times = Vec::with_capacity(self.samples);
+        // One untimed warm-up run to populate caches/allocator state.
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            let out = f();
+            times.push(t.elapsed());
+            std::hint::black_box(out);
+        }
+        self.report(name, &mut times);
+    }
+
+    /// Times `run` on a fresh product of `setup` per sample, excluding
+    /// setup time — the replacement for Criterion's `iter_batched`.
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut run: impl FnMut(S) -> R,
+    ) {
+        let mut times = Vec::with_capacity(self.samples);
+        std::hint::black_box(run(setup()));
+        for _ in 0..self.samples {
+            let s = setup();
+            let t = Instant::now();
+            let out = run(s);
+            times.push(t.elapsed());
+            std::hint::black_box(out);
+        }
+        self.report(name, &mut times);
+    }
+
+    fn report(&self, name: &str, times: &mut [Duration]) {
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{name}: median {median:?}  min {min:?}  mean {mean:?}",
+            self.name
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closures() {
+        let mut g = Group::new("unit-test");
+        let mut calls = 0u32;
+        g.bench("plain", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls >= 10, "warm-up + samples ran: {calls}");
+
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        g.bench_batched(
+            "batched",
+            || {
+                setups += 1;
+            },
+            |()| {
+                runs += 1;
+            },
+        );
+        assert_eq!(setups, runs, "one setup per run");
+    }
+}

@@ -1,12 +1,11 @@
 //! Measurement records, timing helpers and table rendering.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// One measured data point of an experiment: a `(series, dataset, x) → y`
 /// tuple, e.g. `("IncSSSP", "FS", 4.0) → 0.0123 s`.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Record {
     /// Experiment id (e.g. `fig7-sssp`).
     pub experiment: String,
@@ -44,7 +43,15 @@ impl Ctx {
     }
 
     /// Records a data point.
-    pub fn record(&mut self, experiment: &str, series: &str, dataset: &str, x: f64, y: f64, unit: &str) {
+    pub fn record(
+        &mut self,
+        experiment: &str,
+        series: &str,
+        dataset: &str,
+        x: f64,
+        y: f64,
+        unit: &str,
+    ) {
         self.sink.records.push(Record {
             experiment: experiment.to_string(),
             series: series.to_string(),
@@ -130,7 +137,23 @@ impl Sink {
             .iter()
             .filter(|r| r.experiment == experiment)
             .collect();
-        let json = serde_json::to_string_pretty(&recs).expect("serializable");
+        let mut json = String::from("[");
+        for (i, r) in recs.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let _ = write!(
+                json,
+                "\n  {{\n    \"experiment\": {},\n    \"series\": {},\n    \"dataset\": {},\n    \"x\": {},\n    \"y\": {},\n    \"unit\": {}\n  }}",
+                json_str(&r.experiment),
+                json_str(&r.series),
+                json_str(&r.dataset),
+                json_f64(r.x),
+                json_f64(r.y),
+                json_str(&r.unit),
+            );
+        }
+        json.push_str("\n]");
         std::fs::write(dir.join(format!("{experiment}.json")), json)
     }
 
@@ -143,6 +166,38 @@ impl Sink {
             }
         }
         ids
+    }
+}
+
+/// JSON string literal with the escapes our record fields can contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number for an f64; non-finite values have no JSON literal, so
+/// they serialize as null.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // Shortest representation that round-trips.
+        format!("{x}")
+    } else {
+        "null".to_string()
     }
 }
 

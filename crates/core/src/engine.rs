@@ -48,6 +48,10 @@ pub struct RunStats {
     /// Distinct status variables inspected in this run — the empirical
     /// affected-area size.
     pub distinct_vars: u64,
+    /// Whether the run was aborted by the engine's work budget before
+    /// reaching a fixpoint. An aborted run leaves the status mid-fixpoint;
+    /// the caller must recompute from scratch (see `FallbackPolicy`).
+    pub aborted: bool,
 }
 
 impl RunStats {
@@ -60,6 +64,7 @@ impl RunStats {
         self.pushes += other.pushes;
         self.reads += other.reads;
         self.distinct_vars += other.distinct_vars;
+        self.aborted |= other.aborted;
     }
 }
 
@@ -84,6 +89,13 @@ pub struct Engine {
     /// Whether the variable was inspected this run (for `distinct_vars`).
     seen: Vec<bool>,
     epoch: u32,
+    /// Abort a run once it has inspected this many distinct variables
+    /// (`None` = unbounded). The degradation hook of `FallbackPolicy`:
+    /// an incremental run that stops paying for itself is cut short
+    /// mid-flight instead of grinding through an `|AFF| ≈ |Ψ|` scope.
+    work_budget: Option<u64>,
+    /// Peak heap length of the current/last run, for capacity policy.
+    peak_heap: usize,
 }
 
 impl Engine {
@@ -97,7 +109,29 @@ impl Engine {
             epoch_of: vec![0; num_vars],
             seen: vec![false; num_vars],
             epoch: 0,
+            work_budget: None,
+            peak_heap: 0,
         }
+    }
+
+    /// Sets (or clears) the distinct-variable work budget for subsequent
+    /// runs. When a run inspects more than `budget` distinct variables it
+    /// aborts: the worklist is dropped, `RunStats::aborted` is set, and
+    /// the status is left mid-fixpoint — callers must then fall back to a
+    /// batch recompute.
+    pub fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.work_budget = budget;
+    }
+
+    /// The configured work budget, if any.
+    pub fn work_budget(&self) -> Option<u64> {
+        self.work_budget
+    }
+
+    /// Current capacity of the worklist heap (regression hook for the
+    /// shrink policy).
+    pub fn heap_capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Number of variables this engine was sized for.
@@ -137,6 +171,7 @@ impl Engine {
             "engine sized for a different variable count"
         );
         self.advance_epoch();
+        self.peak_heap = 0;
         let mut stats = RunStats::default();
 
         for x in scope {
@@ -155,6 +190,18 @@ impl Engine {
             if !self.seen[x] {
                 self.seen[x] = true;
                 stats.distinct_vars += 1;
+                if let Some(budget) = self.work_budget {
+                    if stats.distinct_vars > budget {
+                        // Budget blown: this run's affected area is too
+                        // large for incremental maintenance to pay off.
+                        // Drop the remaining work and report the abort;
+                        // the status is now mid-fixpoint and must be
+                        // rebuilt by a batch run.
+                        self.heap.clear();
+                        stats.aborted = true;
+                        break;
+                    }
+                }
             }
 
             if kind & PEND_EVAL != 0 {
@@ -187,10 +234,14 @@ impl Engine {
                 self.propagate(spec, status, x, &v, &mut stats);
             }
         }
-        // The heap is empty here; dropping its peak capacity keeps the
-        // state's resident size proportional to steady-state work (a
-        // batch run would otherwise pin its high-water mark forever).
-        self.heap.shrink_to_fit();
+        // The heap is empty here. A one-off spike (a batch run, one huge
+        // update) should not pin its high-water mark forever, but under a
+        // steady update stream shrinking every run just forces realloc
+        // churn on the next one — so capacity is dropped only when it
+        // overshoots the run's actual peak by more than 4x.
+        if self.heap.capacity() > 4 * self.peak_heap.max(1) {
+            self.heap.shrink_to(self.peak_heap);
+        }
         stats
     }
 
@@ -254,6 +305,7 @@ impl Engine {
         if rank < self.best[x] {
             self.best[x] = rank;
             self.heap.push(Reverse((rank, x)));
+            self.peak_heap = self.peak_heap.max(self.heap.len());
         }
     }
 
@@ -430,6 +482,72 @@ mod tests {
         let stats = run_fixpoint(&spec, &mut status, 0..6);
         assert_eq!(status.values(), &[0; 6]);
         assert_eq!(stats.changes, 5, "each non-zero label settles once");
+    }
+
+    #[test]
+    fn work_budget_aborts_runaway_run() {
+        let spec = MiniCc::new();
+        let mut engine = Engine::new(spec.num_vars());
+        engine.set_work_budget(Some(2));
+        let mut status = Status::init(&spec, false);
+        let stats = engine.run(&spec, &mut status, 0..6);
+        assert!(stats.aborted, "6-var scope must blow a 2-var budget");
+        assert!(stats.distinct_vars <= 3);
+        // Clearing the budget restores normal convergence on the same
+        // engine instance.
+        engine.set_work_budget(None);
+        let mut s2 = Status::init(&spec, false);
+        let st = engine.run(&spec, &mut s2, 0..6);
+        assert!(!st.aborted);
+        assert_eq!(s2.values(), &[0, 0, 0, 0, 4, 4]);
+    }
+
+    #[test]
+    fn budget_within_limit_completes() {
+        let spec = MiniCc::new();
+        let mut engine = Engine::new(spec.num_vars());
+        engine.set_work_budget(Some(64));
+        let mut status = Status::init(&spec, false);
+        let stats = engine.run(&spec, &mut status, 0..6);
+        assert!(!stats.aborted);
+        assert_eq!(status.values(), &[0, 0, 0, 0, 4, 4]);
+    }
+
+    #[test]
+    fn aborted_flag_merges_sticky() {
+        let mut a = RunStats::default();
+        let b = RunStats {
+            aborted: true,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert!(a.aborted);
+        a.merge(&RunStats::default());
+        assert!(a.aborted, "abort is sticky across merges");
+    }
+
+    #[test]
+    fn heap_capacity_stable_across_repeated_incremental_runs() {
+        // A big batch run sets a high-water mark; repeated small runs must
+        // not oscillate between shrink-to-zero and re-grow (the realloc
+        // churn the old unconditional shrink_to_fit caused).
+        let spec = MiniCc::new();
+        let mut engine = Engine::new(spec.num_vars());
+        let mut status = Status::init(&spec, false);
+        engine.run(&spec, &mut status, 0..6);
+        // First small run may release the one-off spike.
+        let mut s = Status::init(&spec, false);
+        engine.run(&spec, &mut s, [4usize]);
+        let settled = engine.heap_capacity();
+        for _ in 0..10 {
+            let mut s = Status::init(&spec, false);
+            engine.run(&spec, &mut s, [4usize]);
+            assert_eq!(
+                engine.heap_capacity(),
+                settled,
+                "steady-state runs must not churn heap capacity"
+            );
+        }
     }
 
     #[test]

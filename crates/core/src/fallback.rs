@@ -1,0 +1,226 @@
+//! Graceful degradation: fall back to batch recomputation when the
+//! incremental run stops paying for itself.
+//!
+//! The paper's speedups materialize only when the affected area `AFF` is
+//! small relative to `|Ψ|`; Layph (PAPERS.md) makes the same observation
+//! for asynchronous graph systems. When a batch update rewires a large
+//! share of the graph — a flash crowd, a partition heal — the bounded
+//! scope `H⁰` approaches `|Ψ|` and the incremental run does strictly more
+//! work than a from-scratch batch run (scope bookkeeping on top of full
+//! re-evaluation). A production pipeline must detect that regime and
+//! degrade: abandon the incremental path, recompute batch, and *record*
+//! the decision so experiment drivers can report fallback rates.
+//!
+//! [`FallbackPolicy`] encodes three triggers:
+//! 1. **Pre-run**: the initial scope `|H⁰|` already exceeds
+//!    `max_scope_size` or `max_aff_fraction · |Ψ|`.
+//! 2. **Mid-run**: the engine's distinct-variable work budget (derived
+//!    from the same limits) is blown and the run aborts.
+//! 3. **Post-run**: an opt-in [`FixpointAudit`](crate::audit::FixpointAudit)
+//!    finds violated statements and `on_audit_failure` says to recompute.
+
+use crate::metrics::BoundednessReport;
+
+/// What to do when a post-run audit reports violations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AuditAction {
+    /// Recompute from scratch, discarding the (provably wrong) state.
+    #[default]
+    Recompute,
+    /// Record the failure in the report but keep the incremental result
+    /// (for measurement/debugging runs that want to observe corruption).
+    Ignore,
+}
+
+/// Why an incremental run was abandoned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// `|H⁰|` exceeded the policy's limits before the step function ran.
+    ScopeExceeded,
+    /// The engine's mid-run work budget was exhausted
+    /// (`RunStats::aborted`).
+    WorkExceeded,
+    /// A post-run fixpoint audit found violated statements.
+    AuditFailed,
+}
+
+/// A recorded degradation decision: the trigger plus the observed value
+/// and the limit it crossed (violation count vs. 0 for audits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FallbackDecision {
+    /// What triggered the fallback.
+    pub reason: FallbackReason,
+    /// Observed magnitude: scope size, distinct vars, or violation count.
+    pub observed: u64,
+    /// The limit that was crossed.
+    pub limit: u64,
+}
+
+/// Degradation thresholds for one incremental pipeline.
+///
+/// The default policy never falls back (fraction 1.0, unbounded scope),
+/// matching the pre-hardening behaviour; services opt in to limits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FallbackPolicy {
+    /// Abandon when `|H⁰|` (or mid-run distinct vars) exceeds this
+    /// fraction of `|Ψ|`, in `[0, 1]`. `1.0` disables the check.
+    pub max_aff_fraction: f64,
+    /// Absolute cap on `|H⁰|` / distinct vars; `usize::MAX` disables.
+    pub max_scope_size: usize,
+    /// Reaction to a failed post-run audit.
+    pub on_audit_failure: AuditAction,
+}
+
+impl Default for FallbackPolicy {
+    fn default() -> Self {
+        FallbackPolicy {
+            max_aff_fraction: 1.0,
+            max_scope_size: usize::MAX,
+            on_audit_failure: AuditAction::Recompute,
+        }
+    }
+}
+
+impl FallbackPolicy {
+    /// A policy with the given AFF-fraction cap and defaults elsewhere.
+    pub fn with_max_aff_fraction(fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction {fraction} outside [0, 1]"
+        );
+        FallbackPolicy {
+            max_aff_fraction: fraction,
+            ..Default::default()
+        }
+    }
+
+    /// The distinct-variable limit this policy implies for a universe of
+    /// `total_vars`, or `None` when the policy is unbounded. This is both
+    /// the pre-run `|H⁰|` check and the engine's mid-run work budget.
+    pub fn var_limit(&self, total_vars: usize) -> Option<u64> {
+        let frac_limit = if self.max_aff_fraction < 1.0 {
+            Some((self.max_aff_fraction * total_vars as f64).floor() as u64)
+        } else {
+            None
+        };
+        let size_limit = if self.max_scope_size != usize::MAX {
+            Some(self.max_scope_size as u64)
+        } else {
+            None
+        };
+        match (frac_limit, size_limit) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Pre-run check: should a run with initial scope `|H⁰| = scope_size`
+    /// over `total_vars` variables be abandoned outright?
+    pub fn check_scope(&self, scope_size: usize, total_vars: usize) -> Option<FallbackDecision> {
+        let limit = self.var_limit(total_vars)?;
+        if scope_size as u64 > limit {
+            Some(FallbackDecision {
+                reason: FallbackReason::ScopeExceeded,
+                observed: scope_size as u64,
+                limit,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Mid-run check: decision for an engine run that blew its budget.
+    pub fn work_exceeded(&self, distinct_vars: u64, total_vars: usize) -> FallbackDecision {
+        FallbackDecision {
+            reason: FallbackReason::WorkExceeded,
+            observed: distinct_vars,
+            limit: self.var_limit(total_vars).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Post-run check: decision for a failed audit, if the policy says a
+    /// failed audit forces a recompute.
+    pub fn check_audit(&self, violations: usize) -> Option<FallbackDecision> {
+        if violations > 0 && self.on_audit_failure == AuditAction::Recompute {
+            Some(FallbackDecision {
+                reason: FallbackReason::AuditFailed,
+                observed: violations as u64,
+                limit: 0,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Convenience: stamp a fallback decision into a report.
+pub fn record_fallback(report: &mut BoundednessReport, decision: FallbackDecision) {
+    report.fallback = Some(decision);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_never_triggers() {
+        let p = FallbackPolicy::default();
+        assert_eq!(p.var_limit(1000), None);
+        assert!(p.check_scope(1000, 1000).is_none());
+        // Audit failures still recompute by default.
+        assert!(p.check_audit(3).is_some());
+        assert!(p.check_audit(0).is_none());
+    }
+
+    #[test]
+    fn fraction_limit_trips_scope_check() {
+        let p = FallbackPolicy::with_max_aff_fraction(0.1);
+        assert_eq!(p.var_limit(1000), Some(100));
+        assert!(p.check_scope(100, 1000).is_none(), "at the limit is fine");
+        let d = p.check_scope(101, 1000).expect("over the limit");
+        assert_eq!(d.reason, FallbackReason::ScopeExceeded);
+        assert_eq!(d.observed, 101);
+        assert_eq!(d.limit, 100);
+    }
+
+    #[test]
+    fn absolute_cap_composes_with_fraction() {
+        let p = FallbackPolicy {
+            max_aff_fraction: 0.5,
+            max_scope_size: 64,
+            on_audit_failure: AuditAction::Recompute,
+        };
+        // min(0.5 * 1000, 64) = 64.
+        assert_eq!(p.var_limit(1000), Some(64));
+        // min(0.5 * 100, 64) = 50.
+        assert_eq!(p.var_limit(100), Some(50));
+    }
+
+    #[test]
+    fn audit_action_ignore_suppresses_recompute() {
+        let p = FallbackPolicy {
+            on_audit_failure: AuditAction::Ignore,
+            ..Default::default()
+        };
+        assert!(p.check_audit(5).is_none());
+    }
+
+    #[test]
+    fn decisions_are_recordable() {
+        let mut report = BoundednessReport::default();
+        assert!(report.fallback.is_none());
+        let p = FallbackPolicy::with_max_aff_fraction(0.0);
+        let d = p.check_scope(1, 10).unwrap();
+        record_fallback(&mut report, d);
+        assert_eq!(
+            report.fallback.unwrap().reason,
+            FallbackReason::ScopeExceeded
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_fraction_is_rejected() {
+        let _ = FallbackPolicy::with_max_aff_fraction(1.5);
+    }
+}

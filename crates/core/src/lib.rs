@@ -47,14 +47,18 @@
 //! are recorded by [`status::Status`] as a byproduct of the batch run and
 //! consumed by contributor oracles of CC and Sim.
 
+pub mod audit;
 pub mod engine;
+pub mod fallback;
 pub mod lattice;
 pub mod metrics;
 pub mod scope;
 pub mod spec;
 pub mod status;
 
+pub use audit::{AuditMode, AuditReport, AuditViolation, FixpointAudit};
 pub use engine::{run_fixpoint, RunStats};
+pub use fallback::{AuditAction, FallbackDecision, FallbackPolicy, FallbackReason};
 pub use metrics::{BoundednessReport, SpaceUsage};
 pub use scope::{bounded_scope, pe_reset_scope, ContributorOracle, ScopeResult, ScopeStats};
 pub use spec::FixpointSpec;

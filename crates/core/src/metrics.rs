@@ -2,6 +2,7 @@
 //! (Exp-1) and space costs (Fig. 8).
 
 use crate::engine::RunStats;
+use crate::fallback::FallbackDecision;
 use crate::scope::ScopeStats;
 
 /// Anything whose resident structure size can be reported; the Fig. 8
@@ -28,6 +29,11 @@ pub struct BoundednessReport {
     pub scope_stats: ScopeStats,
     /// Work spent resuming the step function.
     pub run_stats: RunStats,
+    /// Degradation decision, when the incremental run was abandoned for a
+    /// batch recompute (scope blow-up, work-budget abort, failed audit);
+    /// `None` for a run that completed incrementally. Lets Exp-style
+    /// drivers report fallback rates alongside `|AFF|` fractions.
+    pub fallback: Option<FallbackDecision>,
 }
 
 impl BoundednessReport {
@@ -45,7 +51,19 @@ impl BoundednessReport {
             total_vars,
             scope_stats,
             run_stats,
+            fallback: None,
         }
+    }
+
+    /// The same report with a degradation decision stamped in.
+    pub fn with_fallback(mut self, decision: FallbackDecision) -> Self {
+        self.fallback = Some(decision);
+        self
+    }
+
+    /// Whether this run degraded to a batch recompute.
+    pub fn fell_back(&self) -> bool {
+        self.fallback.is_some()
     }
 
     /// Inspected fraction of the variable universe, in `\[0, 1\]` — the

@@ -6,16 +6,15 @@
 //! shortest-path structure.
 
 use crate::ids::{NodeId, Weight};
+use crate::rng::SplitMix64;
 use crate::store::DynamicGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates an undirected `rows × cols` grid whose lattice edges carry
 /// random weights in `1..=max_weight`. Node `(r, c)` has id `r * cols + c`.
 pub fn grid(rows: usize, cols: usize, max_weight: Weight, seed: u64) -> DynamicGraph {
     assert!(rows >= 1 && cols >= 1, "grid must be non-empty");
     assert!(max_weight >= 1, "weights start at 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut g = DynamicGraph::new(false, rows * cols);
     let id = |r: usize, c: usize| (r * cols + c) as NodeId;
     for r in 0..rows {

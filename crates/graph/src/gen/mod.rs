@@ -28,11 +28,11 @@ pub use temporal::{temporal, TemporalGraph};
 pub use uniform::uniform;
 
 use crate::ids::Label;
-use rand::Rng;
+use crate::rng::SplitMix64;
 
 /// Draws `n` labels uniformly from an alphabet of `alphabet` symbols,
 /// matching the paper's synthetic-label setup (`alphabet = 5` there).
-pub(crate) fn random_labels<R: Rng>(rng: &mut R, n: usize, alphabet: u32) -> Vec<Label> {
+pub(crate) fn random_labels(rng: &mut SplitMix64, n: usize, alphabet: u32) -> Vec<Label> {
     assert!(alphabet > 0, "label alphabet must be non-empty");
     (0..n).map(|_| rng.gen_range(0..alphabet)).collect()
 }
@@ -40,12 +40,10 @@ pub(crate) fn random_labels<R: Rng>(rng: &mut R, n: usize, alphabet: u32) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn labels_within_alphabet() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let labels = random_labels(&mut rng, 1000, 5);
         assert_eq!(labels.len(), 1000);
         assert!(labels.iter().all(|&l| l < 5));

@@ -10,9 +10,8 @@
 
 use crate::gen::random_labels;
 use crate::ids::{NodeId, Weight};
+use crate::rng::SplitMix64;
 use crate::store::DynamicGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates a power-law graph with `n` nodes and up to `m` edges.
 ///
@@ -31,7 +30,7 @@ pub fn power_law(
     assert!(n >= 2, "need at least two nodes");
     assert!(gamma > 1.0, "degree exponent must exceed 1");
     assert!(max_weight >= 1, "weights start at 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let labels = random_labels(&mut rng, n, alphabet);
     let mut g = DynamicGraph::with_labels(directed, labels);
 
@@ -44,7 +43,7 @@ pub fn power_law(
         cum.push(total);
     }
 
-    let sample = |rng: &mut StdRng| -> NodeId {
+    let sample = |rng: &mut SplitMix64| -> NodeId {
         let x = rng.gen_range(0.0..total);
         cum.partition_point(|&c| c <= x) as NodeId
     };

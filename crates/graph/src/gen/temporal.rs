@@ -11,10 +11,9 @@
 
 use crate::gen::power_law;
 use crate::ids::{NodeId, Weight};
+use crate::rng::SplitMix64;
 use crate::store::DynamicGraph;
 use crate::update::UpdateBatch;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A graph with a timestamped update history, replayable window by window.
 #[derive(Clone, Debug)]
@@ -53,7 +52,7 @@ pub fn temporal(
 ) -> TemporalGraph {
     assert!((0.0..=1.0).contains(&insert_frac), "insert_frac in [0,1]");
     let initial = power_law(n, m, 2.3, true, max_weight, alphabet, seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e3aa7a1);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x7e3aa7a1);
 
     // Working state for sampling: the live graph and a sampleable edge list.
     let mut live = initial.clone();

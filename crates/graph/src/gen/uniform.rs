@@ -2,9 +2,8 @@
 
 use crate::gen::random_labels;
 use crate::ids::{NodeId, Weight};
+use crate::rng::SplitMix64;
 use crate::store::DynamicGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates a graph with `n` nodes and (up to) `m` distinct edges chosen
 /// uniformly at random, labels drawn from `alphabet` symbols and weights
@@ -24,7 +23,7 @@ pub fn uniform(
 ) -> DynamicGraph {
     assert!(n >= 2, "need at least two nodes");
     assert!(max_weight >= 1, "weights start at 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let labels = random_labels(&mut rng, n, alphabet);
     let mut g = DynamicGraph::with_labels(directed, labels);
     let mut inserted = 0usize;

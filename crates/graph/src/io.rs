@@ -92,7 +92,11 @@ pub fn read_graph<R: Read>(reader: R, directed: bool) -> Result<DynamicGraph, Io
             continue;
         }
         let mut it = line.split_whitespace();
-        let first = it.next().expect("non-empty line");
+        // A trimmed non-empty line always yields a token, but a parse
+        // error beats a panic if the filtering above ever drifts.
+        let first = it
+            .next()
+            .ok_or_else(|| perr(lineno, "expected `n`, `l`, or an edge line"))?;
         match first {
             "n" => {
                 let n: usize = it
@@ -179,7 +183,10 @@ pub fn read_updates<R: Read>(reader: R) -> Result<UpdateBatch, IoError> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let op = it.next().expect("non-empty");
+        // Same defensive stance as `read_graph`: never panic on input.
+        let op = it
+            .next()
+            .ok_or_else(|| perr(lineno, "expected `(+|-) <src> <dst> [w]`"))?;
         let u: NodeId = it
             .next()
             .and_then(|t| t.parse().ok())

@@ -19,6 +19,7 @@ pub mod gen;
 pub mod ids;
 pub mod io;
 pub mod pattern;
+pub mod rng;
 pub mod store;
 pub mod update;
 
@@ -26,4 +27,4 @@ pub use csr::CsrSnapshot;
 pub use ids::{Label, NodeId, Weight};
 pub use pattern::Pattern;
 pub use store::DynamicGraph;
-pub use update::{AppliedBatch, AppliedOp, Update, UpdateBatch};
+pub use update::{AppliedBatch, AppliedOp, BatchError, Update, UpdateBatch};

@@ -42,7 +42,11 @@ impl DynamicGraph {
             directed,
             labels,
             out: vec![Vec::new(); n],
-            inn: if directed { vec![Vec::new(); n] } else { Vec::new() },
+            inn: if directed {
+                vec![Vec::new(); n]
+            } else {
+                Vec::new()
+            },
             num_edges: 0,
         }
     }

@@ -8,8 +8,95 @@
 //! inverted to restore the original graph, a facility the experiment
 //! harness and the property tests lean on.
 
-use crate::ids::{NodeId, Weight};
+use crate::ids::{NodeId, Weight, INF_DIST};
 use crate::store::DynamicGraph;
+use std::fmt;
+
+/// Why a batch was rejected by [`UpdateBatch::apply_validated`].
+///
+/// Every variant names the offending unit's position in the batch so
+/// callers (the CLI, a streaming ingestor) can point at the poisoned
+/// update rather than the whole ΔG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// A unit update references a node id outside `0..node_count`.
+    /// Unvalidated, this is the `insert_edge` range assertion — a panic.
+    NodeOutOfRange {
+        /// Position of the offending unit in the batch.
+        index: usize,
+        /// The out-of-range node id.
+        node: NodeId,
+        /// The graph's node count at validation time.
+        node_count: usize,
+    },
+    /// An insertion's weight is large enough that a simple path of
+    /// `node_count - 1` such edges could overflow the [`Dist`] domain
+    /// (`u64`), wrapping SSSP distances past [`INF_DIST`]. Weights are
+    /// integral, so this is the analogue of a non-finite float weight.
+    ///
+    /// [`Dist`]: crate::ids::Dist
+    WeightOverflow {
+        /// Position of the offending unit in the batch.
+        index: usize,
+        /// The rejected weight.
+        weight: Weight,
+        /// The largest weight the graph's size admits.
+        max_weight: Weight,
+    },
+    /// The batch inserts the same live edge twice with different weights
+    /// (no intervening delete). Under plain [`UpdateBatch::apply`] the
+    /// second insert silently no-ops and its weight is lost; validated
+    /// application rejects the ambiguity instead.
+    ConflictingInsert {
+        /// Position of the second, conflicting insert.
+        index: usize,
+        /// Source endpoint of the edge.
+        src: NodeId,
+        /// Destination endpoint of the edge.
+        dst: NodeId,
+        /// Weight the edge already carries at this point of the batch.
+        existing: Weight,
+        /// Weight the conflicting insert asked for.
+        requested: Weight,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BatchError::NodeOutOfRange {
+                index,
+                node,
+                node_count,
+            } => write!(
+                f,
+                "update #{index}: node {node} out of range (graph has {node_count} nodes)"
+            ),
+            BatchError::WeightOverflow {
+                index,
+                weight,
+                max_weight,
+            } => write!(
+                f,
+                "update #{index}: weight {weight} exceeds the overflow-safe maximum \
+                 {max_weight} for this graph size"
+            ),
+            BatchError::ConflictingInsert {
+                index,
+                src,
+                dst,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "update #{index}: insert of live edge ({src}, {dst}) with weight \
+                 {requested} conflicts with its current weight {existing}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// A unit update: one edge insertion or deletion.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -121,6 +208,115 @@ impl UpdateBatch {
             }
         }
         AppliedBatch { ops }
+    }
+
+    /// Applies the batch transactionally: every unit update is validated
+    /// against the live graph state at its position, and on the first
+    /// invalid unit the already-applied prefix is rolled back via
+    /// [`AppliedBatch::invert`], leaving the graph bit-identical to its
+    /// pre-call state. Since no [`AppliedBatch`] escapes on failure, no
+    /// algorithm state can observe a poisoned ΔG either.
+    ///
+    /// Validation per unit (in order):
+    /// - both endpoints are `< node_count` (the panic path of
+    ///   `insert_edge` becomes [`BatchError::NodeOutOfRange`]);
+    /// - insertion weights fit the overflow-safe bound
+    ///   [`UpdateBatch::max_safe_weight`] ([`BatchError::WeightOverflow`]);
+    /// - an insert of an edge that is already live *with a different
+    ///   weight* is rejected as [`BatchError::ConflictingInsert`] — under
+    ///   plain [`apply`](UpdateBatch::apply) it would silently no-op and
+    ///   drop the new weight.
+    ///
+    /// Benign no-ops keep their `apply` semantics: re-inserting an edge
+    /// with its current weight, deleting an absent edge, and undirected
+    /// self-loops are skipped, not errors. Insert-then-delete of the same
+    /// edge within one batch remains legal (order-sensitive semantics).
+    pub fn apply_validated(&self, g: &mut DynamicGraph) -> Result<AppliedBatch, BatchError> {
+        let n = g.node_count();
+        let max_weight = Self::max_safe_weight(n);
+        let mut ops = Vec::with_capacity(self.updates.len());
+        for (index, u) in self.updates.iter().enumerate() {
+            let err = match *u {
+                Update::Insert { src, dst, weight } => {
+                    if (src as usize) >= n || (dst as usize) >= n {
+                        let node = if (src as usize) >= n { src } else { dst };
+                        Some(BatchError::NodeOutOfRange {
+                            index,
+                            node,
+                            node_count: n,
+                        })
+                    } else if weight > max_weight {
+                        Some(BatchError::WeightOverflow {
+                            index,
+                            weight,
+                            max_weight,
+                        })
+                    } else {
+                        match g.edge_weight(src, dst) {
+                            Some(existing) if existing != weight => {
+                                Some(BatchError::ConflictingInsert {
+                                    index,
+                                    src,
+                                    dst,
+                                    existing,
+                                    requested: weight,
+                                })
+                            }
+                            _ => {
+                                if g.insert_edge(src, dst, weight) {
+                                    ops.push(AppliedOp {
+                                        inserted: true,
+                                        src,
+                                        dst,
+                                        weight,
+                                    });
+                                }
+                                None
+                            }
+                        }
+                    }
+                }
+                Update::Delete { src, dst } => {
+                    if (src as usize) >= n || (dst as usize) >= n {
+                        let node = if (src as usize) >= n { src } else { dst };
+                        Some(BatchError::NodeOutOfRange {
+                            index,
+                            node,
+                            node_count: n,
+                        })
+                    } else {
+                        if let Some(w) = g.delete_edge(src, dst) {
+                            ops.push(AppliedOp {
+                                inserted: false,
+                                src,
+                                dst,
+                                weight: w,
+                            });
+                        }
+                        None
+                    }
+                }
+            };
+            if let Some(err) = err {
+                // Roll back the applied prefix; inversion replays the
+                // effective ops in reverse, restoring weights too.
+                AppliedBatch { ops }.invert().apply(g);
+                return Err(err);
+            }
+        }
+        Ok(AppliedBatch { ops })
+    }
+
+    /// The largest insertion weight that keeps SSSP distance sums
+    /// representable: a simple path has at most `node_count - 1` edges,
+    /// so any weight `w` with `(node_count - 1) * w < INF_DIST` cannot
+    /// wrap the `u64` distance domain. For small graphs this admits the
+    /// full `u32` weight range; it only bites near the ~4-billion-node
+    /// addressing limit.
+    pub fn max_safe_weight(node_count: usize) -> Weight {
+        let hops = node_count.saturating_sub(1).max(1) as u64;
+        let bound = (INF_DIST - 1) / hops;
+        bound.min(Weight::MAX as u64) as Weight
     }
 
     /// Splits the batch into singleton batches, for the `Inc*_n` variants
@@ -242,7 +438,11 @@ mod tests {
         let mut g = path_graph(5);
         let original = g.clone();
         let mut batch = UpdateBatch::new();
-        batch.insert(4, 0, 3).delete(0, 1).delete(2, 3).insert(1, 3, 7);
+        batch
+            .insert(4, 0, 3)
+            .delete(0, 1)
+            .delete(2, 3)
+            .insert(1, 3, 7);
         let applied = batch.apply(&mut g);
         applied.invert().apply(&mut g);
         let mut a: Vec<_> = g.edges().collect();
@@ -284,6 +484,123 @@ mod tests {
         batch.delete(0, 1).insert(1, 3, 1);
         let applied = batch.apply(&mut g);
         assert_eq!(applied.touched_nodes(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn apply_validated_matches_apply_on_clean_batches() {
+        let mut g1 = path_graph(5);
+        let mut g2 = g1.clone();
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(4, 0, 3)
+            .delete(0, 1)
+            .insert(0, 1, 5) // reinsert after delete: legal
+            .delete(3, 0) // absent edge: benign no-op
+            .insert(1, 2, 1); // re-insert with current weight: benign no-op
+        let a = batch.apply(&mut g1);
+        let b = batch.apply_validated(&mut g2).expect("clean batch");
+        assert_eq!(a, b);
+        let mut e1: Vec<_> = g1.edges().collect();
+        let mut e2: Vec<_> = g2.edges().collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn apply_validated_rejects_out_of_range_and_rolls_back() {
+        let mut g = path_graph(4);
+        let before: Vec<_> = g.edges().collect();
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 2, 9).delete(1, 2).insert(0, 99, 1);
+        let err = batch.apply_validated(&mut g).unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::NodeOutOfRange {
+                index: 2,
+                node: 99,
+                node_count: 4
+            }
+        );
+        let after: Vec<_> = g.edges().collect();
+        assert_eq!(before, after, "applied prefix rolled back");
+    }
+
+    #[test]
+    fn apply_validated_rejects_out_of_range_delete() {
+        let mut g = path_graph(4);
+        let mut batch = UpdateBatch::new();
+        batch.delete(u32::MAX, 0);
+        let err = batch.apply_validated(&mut g).unwrap_err();
+        assert!(matches!(
+            err,
+            BatchError::NodeOutOfRange { node: u32::MAX, .. }
+        ));
+    }
+
+    #[test]
+    fn apply_validated_rejects_conflicting_insert() {
+        let mut g = path_graph(3);
+        let before: Vec<_> = g.edges().collect();
+        let mut batch = UpdateBatch::new();
+        batch.insert(2, 0, 4).insert(0, 1, 7); // (0,1) is live with weight 1
+        let err = batch.apply_validated(&mut g).unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::ConflictingInsert {
+                index: 1,
+                src: 0,
+                dst: 1,
+                existing: 1,
+                requested: 7
+            }
+        );
+        let after: Vec<_> = g.edges().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn apply_validated_detects_conflicts_within_the_batch() {
+        let mut g = DynamicGraph::new(true, 3);
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 1, 2).insert(0, 1, 3);
+        let err = batch.apply_validated(&mut g).unwrap_err();
+        assert!(matches!(
+            err,
+            BatchError::ConflictingInsert { index: 1, .. }
+        ));
+        assert!(!g.has_edge(0, 1), "first insert rolled back");
+        // With an intervening delete the re-insert is legal.
+        let mut ok = UpdateBatch::new();
+        ok.insert(0, 1, 2).delete(0, 1).insert(0, 1, 3);
+        let applied = ok.apply_validated(&mut g).expect("legal sequence");
+        assert_eq!(applied.len(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn apply_validated_insert_then_delete_stays_legal() {
+        let mut g = DynamicGraph::new(true, 24);
+        g.insert_edge(0, 22, 1);
+        let mut batch = UpdateBatch::new();
+        batch.insert(22, 23, 1).delete(22, 23);
+        let applied = batch.apply_validated(&mut g).expect("legal");
+        assert_eq!(applied.len(), 2);
+        assert!(!g.has_edge(22, 23));
+    }
+
+    #[test]
+    fn max_safe_weight_admits_full_range_on_small_graphs() {
+        assert_eq!(UpdateBatch::max_safe_weight(0), Weight::MAX);
+        assert_eq!(UpdateBatch::max_safe_weight(1000), Weight::MAX);
+        // For huge node counts the bound bites: (n-1) * max must stay
+        // below INF_DIST, and the bound is tight once it drops under the
+        // u32 clamp.
+        let n = 1usize << 34;
+        let m = UpdateBatch::max_safe_weight(n) as u64;
+        assert!(m < Weight::MAX as u64);
+        assert!((n as u128 - 1) * (m as u128) < INF_DIST as u128);
+        assert!((n as u128 - 1) * (m as u128 + 1) >= INF_DIST as u128);
     }
 
     #[test]

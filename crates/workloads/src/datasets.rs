@@ -96,7 +96,16 @@ impl Dataset {
         let n = ((n as f64 * scale) as usize).max(16);
         let m = ((m as f64 * scale) as usize).max(32);
         let window_size = (((n + m) as f64) * window_pct / 100.0) as usize;
-        temporal(n, m, windows, window_size.max(1), 0.81, MAX_WEIGHT, ALPHABET, seed)
+        temporal(
+            n,
+            m,
+            windows,
+            window_size.max(1),
+            0.81,
+            MAX_WEIGHT,
+            ALPHABET,
+            seed,
+        )
     }
 }
 

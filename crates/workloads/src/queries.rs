@@ -3,14 +3,13 @@
 //! queries; for Sim, we constructed 5 patterns ... with labels drawn from
 //! the data graphs", fixing `|Q| = (4, 6)`).
 
+use incgraph_graph::rng::SplitMix64;
 use incgraph_graph::{DynamicGraph, Label, NodeId, Pattern};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Samples `k` distinct source nodes with non-zero out-degree (sources
 /// with no outgoing edges make degenerate SSSP queries).
 pub fn sample_sources(g: &DynamicGraph, k: usize, seed: u64) -> Vec<NodeId> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let n = g.node_count();
     let mut out = Vec::with_capacity(k);
     let mut attempts = 0;
@@ -34,7 +33,7 @@ pub fn random_pattern(g: &DynamicGraph, nodes: usize, edges: usize, seed: u64) -
         edges <= nodes * (nodes - 1),
         "too many edges for a simple pattern"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // Labels drawn from the data graph so matches exist.
     let labels: Vec<Label> = (0..nodes)
         .map(|_| {

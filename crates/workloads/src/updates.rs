@@ -8,9 +8,8 @@
 //! modified; apply the returned batch explicitly.
 
 use incgraph_graph::ids::Weight;
+use incgraph_graph::rng::SplitMix64;
 use incgraph_graph::{DynamicGraph, NodeId, UpdateBatch};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates a batch of `count` unit updates against `g`, a fraction
 /// `insert_frac` of which are insertions. Deterministic in `seed`.
@@ -24,7 +23,7 @@ pub fn random_batch(
     assert!((0.0..=1.0).contains(&insert_frac));
     let n = g.node_count();
     assert!(n >= 2, "graph too small for updates");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut live = g.clone();
     let mut edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
     let mut batch = UpdateBatch::new();
@@ -75,7 +74,7 @@ pub fn clustered_batch(
     seed: u64,
 ) -> UpdateBatch {
     assert!((0.0..=1.0).contains(&insert_frac));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
 
     // BFS ball around the center (both edge directions so directed
     // graphs get a meaningful neighborhood).

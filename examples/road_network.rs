@@ -10,9 +10,8 @@
 use incgraph::algos::SsspState;
 use incgraph::graph::gen::grid;
 use incgraph::graph::ids::INF_DIST;
+use incgraph::graph::rng::SplitMix64;
 use incgraph::graph::UpdateBatch;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 fn main() {
@@ -33,7 +32,7 @@ fn main() {
     );
 
     // Stream 20 rounds of road closures/openings (0.1% of |G| each).
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SplitMix64::seed_from_u64(99);
     let mut inc_total = std::time::Duration::ZERO;
     let mut inspected_total = 0u64;
     for round in 0..20 {
@@ -52,7 +51,7 @@ fn main() {
             if rng.gen_bool(0.5) {
                 delta.delete(v, u); // closure
             } else {
-                delta.insert(v, u, rng.gen_range(1..=30)); // (re)opening
+                delta.insert(v, u, rng.gen_range(1u32..=30)); // (re)opening
             }
         }
         let applied = delta.apply(&mut g);

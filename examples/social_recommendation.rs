@@ -62,11 +62,7 @@ fn main() {
 
     // A concrete recommendation query: which nodes currently play the
     // "reviewer in a feedback loop" role?
-    let reviewers = fresh
-        .relation()
-        .iter()
-        .filter(|&&(_, u)| u == 1)
-        .count();
+    let reviewers = fresh.relation().iter().filter(|&&(_, u)| u == 1).count();
     println!("nodes matching the reviewer role right now: {reviewers}");
     let _ = UpdateBatch::new(); // (re-exported API surface used above)
 }

@@ -97,10 +97,7 @@ fn localized_updates_inspect_a_vanishing_fraction() {
     let (mut cc, _) = CcState::batch(&gu);
     let mut g = gu.clone();
     let mut b = UpdateBatch::new();
-    b.delete(
-        g.out_neighbors(0)[0].0,
-        0,
-    );
+    b.delete(g.out_neighbors(0)[0].0, 0);
     let applied = b.apply(&mut g);
     let r = cc.update(&g, &applied);
     assert!(

@@ -4,8 +4,8 @@
 //! workloads larger than the per-crate unit tests.
 
 use incgraph::algos::{CcState, DfsState, LccState, SimState, SsspState};
-use incgraph::baselines::{DynCc, DynDfs, DynDij, DynLcc, IncMatch, RrSssp};
 use incgraph::baselines::dyndfs::is_valid_dfs_forest;
+use incgraph::baselines::{DynCc, DynDfs, DynDij, DynLcc, IncMatch, RrSssp};
 use incgraph::graph::DynamicGraph;
 use incgraph::workloads::{random_batch, random_pattern, sample_sources, Dataset};
 
@@ -37,7 +37,11 @@ fn sssp_all_strategies_track_batch() {
         let (fresh, _) = SsspState::batch(&g, src);
         assert_eq!(inc.distances(), fresh.distances(), "IncSSSP round {round}");
         assert_eq!(pe.distances(), fresh.distances(), "PE-reset round {round}");
-        assert_eq!(dyndij.distances(), fresh.distances(), "DynDij round {round}");
+        assert_eq!(
+            dyndij.distances(),
+            fresh.distances(),
+            "DynDij round {round}"
+        );
     }
     // RR per-unit protocol over a fresh history.
     let mut g = g0.clone();
@@ -67,11 +71,7 @@ fn cc_all_strategies_track_batch() {
         let (fresh, _) = CcState::batch(&g);
         assert_eq!(inc.components(), fresh.components(), "IncCC round {round}");
         assert_eq!(pe.components(), fresh.components(), "PE round {round}");
-        assert_eq!(
-            hdt.components(),
-            fresh.components(),
-            "DynCC round {round}"
-        );
+        assert_eq!(hdt.components(), fresh.components(), "DynCC round {round}");
     }
 }
 
@@ -117,9 +117,17 @@ fn dfs_strategies_track_batch_or_stay_valid() {
         inc.update(&g, &applied);
         let (fresh, _) = DfsState::batch(&g);
         for v in 0..g.node_count() as u32 {
-            assert_eq!(inc.first(v), fresh.first(v), "IncDFS round {round} node {v}");
+            assert_eq!(
+                inc.first(v),
+                fresh.first(v),
+                "IncDFS round {round} node {v}"
+            );
             assert_eq!(inc.last(v), fresh.last(v), "IncDFS round {round} node {v}");
-            assert_eq!(inc.parent(v), fresh.parent(v), "IncDFS round {round} node {v}");
+            assert_eq!(
+                inc.parent(v),
+                fresh.parent(v),
+                "IncDFS round {round} node {v}"
+            );
         }
         is_valid_dfs_forest(&g, &dyn_dfs).unwrap_or_else(|e| panic!("DynDFS round {round}: {e}"));
     }
@@ -145,9 +153,17 @@ fn lcc_all_strategies_track_batch() {
         let (fresh, _) = LccState::batch(&g);
         for v in 0..g.node_count() as u32 {
             assert_eq!(inc.degree(v), fresh.degree(v), "IncLCC d round {round}");
-            assert_eq!(inc.triangles(v), fresh.triangles(v), "IncLCC λ round {round}");
+            assert_eq!(
+                inc.triangles(v),
+                fresh.triangles(v),
+                "IncLCC λ round {round}"
+            );
             assert_eq!(stream.degree(v), fresh.degree(v), "DynLCC d round {round}");
-            assert_eq!(stream.triangles(v), fresh.triangles(v), "DynLCC λ round {round}");
+            assert_eq!(
+                stream.triangles(v),
+                fresh.triangles(v),
+                "DynLCC λ round {round}"
+            );
         }
     }
 }
