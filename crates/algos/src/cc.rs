@@ -19,24 +19,26 @@
 
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
+use incgraph_core::par::ParEngine;
 use incgraph_core::scope::{bounded_scope, pe_reset_scope, ContributorOracle};
 use incgraph_core::spec::{FixpointSpec, Relax};
 use incgraph_core::status::Status;
-use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId};
+use incgraph_graph::{AppliedBatch, CsrSnapshot, DynamicGraph, GraphView, NodeId};
 
 /// Component label type (a node id).
 pub type CompId = u32;
 
-/// The CC fixpoint specification over an (undirected) graph snapshot.
-pub struct CcSpec<'g> {
-    g: &'g DynamicGraph,
+/// The CC fixpoint specification over an (undirected) graph snapshot,
+/// generic over the storage layout (live adjacency, CSR, CSR + overlay).
+pub struct CcSpec<'g, G: GraphView = DynamicGraph> {
+    g: &'g G,
 }
 
-impl<'g> CcSpec<'g> {
+impl<'g, G: GraphView> CcSpec<'g, G> {
     /// Specification over `g`. CC is defined on undirected graphs; for a
     /// directed graph this computes weakly connected components using the
     /// union of both adjacency directions.
-    pub fn new(g: &'g DynamicGraph) -> Self {
+    pub fn new(g: &'g G) -> Self {
         CcSpec { g }
     }
 
@@ -52,7 +54,7 @@ impl<'g> CcSpec<'g> {
     }
 }
 
-impl FixpointSpec for CcSpec<'_> {
+impl<G: GraphView> FixpointSpec for CcSpec<'_, G> {
     type Value = CompId;
 
     fn num_vars(&self) -> usize {
@@ -142,6 +144,8 @@ impl ContributorOracle<CompId> for CcOracle<'_> {
 pub struct CcState {
     status: Status<CompId>,
     engine: Engine,
+    threads: usize,
+    par: Option<ParEngine>,
 }
 
 impl CcState {
@@ -152,7 +156,59 @@ impl CcState {
         let mut status = Status::init(&spec, true);
         let mut engine = Engine::new(spec.num_vars());
         let stats = engine.run(&spec, &mut status, 0..spec.num_vars());
-        (CcState { status, engine }, stats)
+        (
+            CcState {
+                status,
+                engine,
+                threads: 1,
+                par: None,
+            },
+            stats,
+        )
+    }
+
+    /// Runs batch `CC_fp` with the sharded parallel engine over a flat
+    /// CSR snapshot of `g`; subsequent updates keep using `threads`
+    /// shards. Fixpoint values are identical to [`batch`](Self::batch).
+    pub fn batch_par(g: &DynamicGraph, threads: usize) -> (Self, RunStats) {
+        let threads = threads.max(1);
+        let csr = CsrSnapshot::new(g);
+        let spec = CcSpec::new(&csr);
+        let mut status = Status::init(&spec, true);
+        let mut par = ParEngine::new(spec.num_vars(), threads);
+        let stats = par.run(&spec, &mut status, 0..spec.num_vars());
+        (
+            CcState {
+                status,
+                engine: Engine::new(g.node_count()),
+                threads,
+                par: Some(par),
+            },
+            stats,
+        )
+    }
+
+    /// Sets the number of worker shards for subsequent fixpoint runs
+    /// (1 = the sequential engine).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Resumes the step function over `scope` on the configured engine.
+    fn resume<G: GraphView>(&mut self, spec: &CcSpec<'_, G>, scope: &[usize]) -> RunStats {
+        if self.threads > 1 {
+            let fresh = !matches!(&self.par,
+                Some(p) if p.num_vars() == spec.num_vars() && p.nthreads() == self.threads);
+            if fresh {
+                self.par = Some(ParEngine::new(spec.num_vars(), self.threads));
+            }
+            let par = self.par.as_mut().expect("just ensured");
+            par.set_work_budget(self.engine.work_budget());
+            par.run(spec, &mut self.status, scope.iter().copied())
+        } else {
+            self.engine
+                .run(spec, &mut self.status, scope.iter().copied())
+        }
     }
 
     /// Component id (= minimum node id of the component) of every node.
@@ -213,9 +269,7 @@ impl CcState {
         // restamps, so these are the previous run's); no snapshots.
         let oracle = CcOracle { g };
         let scope = bounded_scope(&spec, &oracle, &mut self.status, touched);
-        let run = self
-            .engine
-            .run(&spec, &mut self.status, scope.scope.iter().copied());
+        let run = self.resume(&spec, &scope.scope);
         BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
     }
 
@@ -231,16 +285,16 @@ impl CcState {
         let spec = CcSpec::new(g);
         let touched = Self::touched(applied);
         let scope = pe_reset_scope(&spec, &mut self.status, touched);
-        let run = self
-            .engine
-            .run(&spec, &mut self.status, scope.scope.iter().copied());
+        let run = self.resume(&spec, &scope.scope);
         BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
     }
 
     /// Resident bytes of the algorithm's state (Fig. 8). Includes the
     /// timestamp array — the weakly-deducible overhead.
     pub fn space_bytes(&self) -> usize {
-        self.status.space_bytes() + self.engine.space_bytes()
+        self.status.space_bytes()
+            + self.engine.space_bytes()
+            + self.par.as_ref().map_or(0, |p| p.space_bytes())
     }
 
     fn touched(applied: &AppliedBatch) -> Vec<usize> {
@@ -277,8 +331,10 @@ impl crate::IncrementalState for CcState {
     }
 
     fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let threads = self.threads;
         let (fresh, stats) = CcState::batch(g);
         *self = fresh;
+        self.threads = threads; // a fallback must not undo the thread config
         stats
     }
 
@@ -292,6 +348,10 @@ impl crate::IncrementalState for CcState {
 
     fn set_work_budget(&mut self, budget: Option<u64>) {
         self.engine.set_work_budget(budget);
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        CcState::set_threads(self, threads);
     }
 
     fn space_bytes(&self) -> usize {

@@ -19,10 +19,11 @@
 
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
+use incgraph_core::par::ParEngine;
 use incgraph_core::scope::ScopeStats;
 use incgraph_core::spec::FixpointSpec;
 use incgraph_core::status::Status;
-use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId, Weight};
+use incgraph_graph::{AppliedBatch, CsrSnapshot, DynamicGraph, GraphView, NodeId, Weight};
 
 /// Count type for degrees and triangle counts.
 pub type Count = u64;
@@ -44,21 +45,22 @@ pub(crate) fn sorted_intersect_count(a: &[(NodeId, Weight)], b: &[(NodeId, Weigh
     n
 }
 
-/// The LCC fixpoint specification over an undirected graph snapshot.
+/// The LCC fixpoint specification over an undirected graph snapshot,
+/// generic over the storage layout (live adjacency, CSR, CSR + overlay).
 /// Variable `2v` is `d_v`; variable `2v + 1` is `λ_v`.
-pub struct LccSpec<'g> {
-    g: &'g DynamicGraph,
+pub struct LccSpec<'g, G: GraphView = DynamicGraph> {
+    g: &'g G,
 }
 
-impl<'g> LccSpec<'g> {
+impl<'g, G: GraphView> LccSpec<'g, G> {
     /// Specification over `g`, which must be undirected.
-    pub fn new(g: &'g DynamicGraph) -> Self {
+    pub fn new(g: &'g G) -> Self {
         assert!(!g.is_directed(), "LCC is defined on undirected graphs");
         LccSpec { g }
     }
 }
 
-impl FixpointSpec for LccSpec<'_> {
+impl<G: GraphView> FixpointSpec for LccSpec<'_, G> {
     type Value = Count;
 
     fn num_vars(&self) -> usize {
@@ -104,6 +106,8 @@ impl FixpointSpec for LccSpec<'_> {
 pub struct LccState {
     status: Status<Count>,
     engine: Engine,
+    threads: usize,
+    par: Option<ParEngine>,
 }
 
 impl LccState {
@@ -113,7 +117,59 @@ impl LccState {
         let mut status = Status::init(&spec, false);
         let mut engine = Engine::new(spec.num_vars());
         let stats = engine.run(&spec, &mut status, 0..spec.num_vars());
-        (LccState { status, engine }, stats)
+        (
+            LccState {
+                status,
+                engine,
+                threads: 1,
+                par: None,
+            },
+            stats,
+        )
+    }
+
+    /// Runs batch `LCC_fp` with the sharded parallel engine over a flat
+    /// CSR snapshot of `g` (the triangle-counting scans benefit most from
+    /// the flat layout); subsequent updates keep using `threads` shards.
+    pub fn batch_par(g: &DynamicGraph, threads: usize) -> (Self, RunStats) {
+        let threads = threads.max(1);
+        let csr = CsrSnapshot::new(g);
+        let spec = LccSpec::new(&csr);
+        let mut status = Status::init(&spec, false);
+        let mut par = ParEngine::new(spec.num_vars(), threads);
+        let stats = par.run(&spec, &mut status, 0..spec.num_vars());
+        (
+            LccState {
+                status,
+                engine: Engine::new(g.node_count() * 2),
+                threads,
+                par: Some(par),
+            },
+            stats,
+        )
+    }
+
+    /// Sets the number of worker shards for subsequent fixpoint runs
+    /// (1 = the sequential engine).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Resumes the step function over `scope` on the configured engine.
+    fn resume<G: GraphView>(&mut self, spec: &LccSpec<'_, G>, scope: &[usize]) -> RunStats {
+        if self.threads > 1 {
+            let fresh = !matches!(&self.par,
+                Some(p) if p.num_vars() == spec.num_vars() && p.nthreads() == self.threads);
+            if fresh {
+                self.par = Some(ParEngine::new(spec.num_vars(), self.threads));
+            }
+            let par = self.par.as_mut().expect("just ensured");
+            par.set_work_budget(self.engine.work_budget());
+            par.run(spec, &mut self.status, scope.iter().copied())
+        } else {
+            self.engine
+                .run(spec, &mut self.status, scope.iter().copied())
+        }
     }
 
     /// Degree of `v` as maintained by the fixpoint.
@@ -197,14 +253,16 @@ impl LccState {
         scope.sort_unstable();
         scope.dedup();
         let scope_len = scope.len();
-        let run = self.engine.run(&spec, &mut self.status, scope);
+        let run = self.resume(&spec, &scope);
         BoundednessReport::new(spec.num_vars(), scope_len, ScopeStats::default(), run)
     }
 
     /// Resident bytes of the algorithm's state (Fig. 8). No timestamps —
     /// IncLCC is deducible.
     pub fn space_bytes(&self) -> usize {
-        self.status.space_bytes() + self.engine.space_bytes()
+        self.status.space_bytes()
+            + self.engine.space_bytes()
+            + self.par.as_ref().map_or(0, |p| p.space_bytes())
     }
 
     fn ensure_size(&mut self, g: &DynamicGraph) {
@@ -230,8 +288,10 @@ impl crate::IncrementalState for LccState {
     }
 
     fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let threads = self.threads;
         let (fresh, stats) = LccState::batch(g);
         *self = fresh;
+        self.threads = threads; // a fallback must not undo the thread config
         stats
     }
 
@@ -245,6 +305,10 @@ impl crate::IncrementalState for LccState {
 
     fn set_work_budget(&mut self, budget: Option<u64>) {
         self.engine.set_work_budget(budget);
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        LccState::set_threads(self, threads);
     }
 
     fn space_bytes(&self) -> usize {

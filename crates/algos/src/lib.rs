@@ -82,6 +82,11 @@ pub trait IncrementalState {
     /// and rely on [`update_guarded`]'s post-run scope check instead.
     fn set_work_budget(&mut self, budget: Option<u64>);
 
+    /// Number of worker shards for subsequent fixpoint runs (1 = the
+    /// sequential engine). Inherently sequential states (DFS, BC) keep
+    /// the default no-op and always run single-threaded.
+    fn set_threads(&mut self, _threads: usize) {}
+
     /// Resident bytes of the algorithm's state (Fig. 8).
     fn space_bytes(&self) -> usize;
 }

@@ -17,26 +17,28 @@
 
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
+use incgraph_core::par::ParEngine;
 use incgraph_core::scope::{bounded_scope, ContributorOracle};
 use incgraph_core::spec::{FixpointSpec, Relax};
 use incgraph_core::status::Status;
-use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId};
+use incgraph_graph::{AppliedBatch, CsrSnapshot, DynamicGraph, GraphView, NodeId};
 
-/// The reachability fixpoint specification over a graph snapshot.
-pub struct ReachSpec<'g> {
-    g: &'g DynamicGraph,
+/// The reachability fixpoint specification over a graph snapshot,
+/// generic over the storage layout (live adjacency, CSR, CSR + overlay).
+pub struct ReachSpec<'g, G: GraphView = DynamicGraph> {
+    g: &'g G,
     source: NodeId,
 }
 
-impl<'g> ReachSpec<'g> {
+impl<'g, G: GraphView> ReachSpec<'g, G> {
     /// Specification for reachability from `source` in (directed) `g`.
-    pub fn new(g: &'g DynamicGraph, source: NodeId) -> Self {
+    pub fn new(g: &'g G, source: NodeId) -> Self {
         assert!((source as usize) < g.node_count(), "source out of range");
         ReachSpec { g, source }
     }
 }
 
-impl FixpointSpec for ReachSpec<'_> {
+impl<G: GraphView> FixpointSpec for ReachSpec<'_, G> {
     type Value = bool;
 
     fn num_vars(&self) -> usize {
@@ -114,6 +116,8 @@ pub struct ReachState {
     source: NodeId,
     status: Status<bool>,
     engine: Engine,
+    threads: usize,
+    par: Option<ParEngine>,
 }
 
 impl ReachState {
@@ -133,9 +137,61 @@ impl ReachState {
                 source,
                 status,
                 engine,
+                threads: 1,
+                par: None,
             },
             stats,
         )
+    }
+
+    /// Runs the batch fixpoint with the sharded parallel engine over a
+    /// flat CSR snapshot of `g`; subsequent updates keep using `threads`
+    /// shards. Fixpoint values are identical to [`batch`](Self::batch).
+    pub fn batch_par(g: &DynamicGraph, source: NodeId, threads: usize) -> (Self, RunStats) {
+        let threads = threads.max(1);
+        let csr = CsrSnapshot::new(g);
+        let spec = ReachSpec::new(&csr, source);
+        let mut status = Status::init(&spec, true);
+        let mut par = ParEngine::new(spec.num_vars(), threads);
+        let scope: Vec<usize> = csr
+            .out_neighbors(source)
+            .iter()
+            .map(|&(v, _)| v as usize)
+            .collect();
+        let stats = par.run(&spec, &mut status, scope);
+        (
+            ReachState {
+                source,
+                status,
+                engine: Engine::new(g.node_count()),
+                threads,
+                par: Some(par),
+            },
+            stats,
+        )
+    }
+
+    /// Sets the number of worker shards for subsequent fixpoint runs
+    /// (1 = the sequential engine).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Resumes the step function over `scope` on the configured engine.
+    fn resume<G: GraphView>(&mut self, spec: &ReachSpec<'_, G>, scope: &[usize]) -> RunStats {
+        if self.threads > 1 {
+            let fresh = !matches!(&self.par,
+                Some(p) if p.num_vars() == spec.num_vars() && p.nthreads() == self.threads);
+            if fresh {
+                self.par = Some(ParEngine::new(spec.num_vars(), self.threads));
+            }
+            let par = self.par.as_mut().expect("just ensured");
+            par.set_work_budget(self.engine.work_budget());
+            par.run(spec, &mut self.status, scope.iter().copied())
+        } else {
+            self.engine
+                .run(spec, &mut self.status, scope.iter().copied())
+        }
     }
 
     /// Whether `v` is reachable from the source.
@@ -191,15 +247,15 @@ impl ReachState {
 
         let oracle = ReachOracle { g };
         let scope = bounded_scope(&spec, &oracle, &mut self.status, touched);
-        let run = self
-            .engine
-            .run(&spec, &mut self.status, scope.scope.iter().copied());
+        let run = self.resume(&spec, &scope.scope);
         BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
     }
 
     /// Resident bytes (weakly deducible: bitmap + timestamps).
     pub fn space_bytes(&self) -> usize {
-        self.status.space_bytes() + self.engine.space_bytes()
+        self.status.space_bytes()
+            + self.engine.space_bytes()
+            + self.par.as_ref().map_or(0, |p| p.space_bytes())
     }
 
     fn ensure_size(&mut self, g: &DynamicGraph) {
@@ -225,8 +281,10 @@ impl crate::IncrementalState for ReachState {
     }
 
     fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let threads = self.threads;
         let (fresh, stats) = ReachState::batch(g, self.source);
         *self = fresh;
+        self.threads = threads; // a fallback must not undo the thread config
         stats
     }
 
@@ -240,6 +298,10 @@ impl crate::IncrementalState for ReachState {
 
     fn set_work_budget(&mut self, budget: Option<u64>) {
         self.engine.set_work_budget(budget);
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        ReachState::set_threads(self, threads);
     }
 
     fn space_bytes(&self) -> usize {

@@ -22,20 +22,22 @@
 
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
+use incgraph_core::par::ParEngine;
 use incgraph_core::scope::{bounded_scope, ContributorOracle};
 use incgraph_core::spec::FixpointSpec;
 use incgraph_core::status::Status;
-use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId, Pattern};
+use incgraph_graph::{AppliedBatch, CsrSnapshot, DynamicGraph, GraphView, NodeId, Pattern};
 
-/// The Sim fixpoint specification over a graph + pattern snapshot.
-pub struct SimSpec<'g, 'p> {
-    g: &'g DynamicGraph,
+/// The Sim fixpoint specification over a graph + pattern snapshot,
+/// generic over the storage layout (live adjacency, CSR, CSR + overlay).
+pub struct SimSpec<'g, 'p, G: GraphView = DynamicGraph> {
+    g: &'g G,
     q: &'p Pattern,
 }
 
-impl<'g, 'p> SimSpec<'g, 'p> {
+impl<'g, 'p, G: GraphView> SimSpec<'g, 'p, G> {
     /// Specification for matching pattern `q` in (directed) graph `g`.
-    pub fn new(g: &'g DynamicGraph, q: &'p Pattern) -> Self {
+    pub fn new(g: &'g G, q: &'p Pattern) -> Self {
         assert!(q.node_count() > 0, "empty pattern");
         SimSpec { g, q }
     }
@@ -58,7 +60,7 @@ impl<'g, 'p> SimSpec<'g, 'p> {
     }
 }
 
-impl FixpointSpec for SimSpec<'_, '_> {
+impl<G: GraphView> FixpointSpec for SimSpec<'_, '_, G> {
     type Value = bool;
 
     fn num_vars(&self) -> usize {
@@ -136,6 +138,8 @@ pub struct SimState {
     q: Pattern,
     status: Status<bool>,
     engine: Engine,
+    threads: usize,
+    par: Option<ParEngine>,
 }
 
 impl SimState {
@@ -148,7 +152,63 @@ impl SimState {
         // start false and stay false.
         let scope: Vec<usize> = (0..spec.num_vars()).filter(|&x| status.get(x)).collect();
         let stats = engine.run(&spec, &mut status, scope);
-        (SimState { q, status, engine }, stats)
+        (
+            SimState {
+                q,
+                status,
+                engine,
+                threads: 1,
+                par: None,
+            },
+            stats,
+        )
+    }
+
+    /// Runs batch `Sim_fp` with the sharded parallel engine over a flat
+    /// CSR snapshot of `g`; subsequent updates keep using `threads`
+    /// shards. Fixpoint values are identical to [`batch`](Self::batch).
+    pub fn batch_par(g: &DynamicGraph, q: Pattern, threads: usize) -> (Self, RunStats) {
+        let threads = threads.max(1);
+        let csr = CsrSnapshot::new(g);
+        let spec = SimSpec::new(&csr, &q);
+        let mut status = Status::init(&spec, true);
+        let mut par = ParEngine::new(spec.num_vars(), threads);
+        let scope: Vec<usize> = (0..spec.num_vars()).filter(|&x| status.get(x)).collect();
+        let stats = par.run(&spec, &mut status, scope);
+        let num_vars = spec.num_vars();
+        (
+            SimState {
+                q,
+                status,
+                engine: Engine::new(num_vars),
+                threads,
+                par: Some(par),
+            },
+            stats,
+        )
+    }
+
+    /// Sets the number of worker shards for subsequent fixpoint runs
+    /// (1 = the sequential engine).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Resumes the step function over `scope` on the configured engine.
+    fn resume<G: GraphView>(&mut self, spec: &SimSpec<'_, '_, G>, scope: &[usize]) -> RunStats {
+        if self.threads > 1 {
+            let fresh = !matches!(&self.par,
+                Some(p) if p.num_vars() == spec.num_vars() && p.nthreads() == self.threads);
+            if fresh {
+                self.par = Some(ParEngine::new(spec.num_vars(), self.threads));
+            }
+            let par = self.par.as_mut().expect("just ensured");
+            par.set_work_budget(self.engine.work_budget());
+            par.run(spec, &mut self.status, scope.iter().copied())
+        } else {
+            self.engine
+                .run(spec, &mut self.status, scope.iter().copied())
+        }
     }
 
     /// The pattern being matched.
@@ -232,9 +292,7 @@ impl SimState {
         // Weakly deducible: <_C from the live timestamps; no snapshots.
         let oracle = SimOracle { spec: &spec };
         let scope = bounded_scope(&spec, &oracle, &mut self.status, touched);
-        let run = self
-            .engine
-            .run(&spec, &mut self.status, scope.scope.iter().copied());
+        let run = self.resume(&spec, &scope.scope);
         BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
     }
 
@@ -264,16 +322,16 @@ impl SimState {
         touched.sort_unstable();
         touched.dedup();
         let scope = incgraph_core::scope::pe_reset_scope(&spec, &mut self.status, touched);
-        let run = self
-            .engine
-            .run(&spec, &mut self.status, scope.scope.iter().copied());
+        let run = self.resume(&spec, &scope.scope);
         BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
     }
 
     /// Resident bytes of the algorithm's state (Fig. 8): the Boolean
     /// match matrix plus its timestamps plus the engine scratch.
     pub fn space_bytes(&self) -> usize {
-        self.status.space_bytes() + self.engine.space_bytes()
+        self.status.space_bytes()
+            + self.engine.space_bytes()
+            + self.par.as_ref().map_or(0, |p| p.space_bytes())
     }
 
     fn ensure_size(&mut self, g: &DynamicGraph) {
@@ -303,8 +361,10 @@ impl crate::IncrementalState for SimState {
     }
 
     fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let threads = self.threads;
         let (fresh, stats) = SimState::batch(g, self.q.clone());
         *self = fresh;
+        self.threads = threads; // a fallback must not undo the thread config
         stats
     }
 
@@ -318,6 +378,10 @@ impl crate::IncrementalState for SimState {
 
     fn set_work_budget(&mut self, budget: Option<u64>) {
         self.engine.set_work_budget(budget);
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        SimState::set_threads(self, threads);
     }
 
     fn space_bytes(&self) -> usize {

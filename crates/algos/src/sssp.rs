@@ -18,30 +18,34 @@
 
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
+use incgraph_core::par::ParEngine;
 use incgraph_core::scope::{bounded_scope, ContributorOracle};
 use incgraph_core::spec::{FixpointSpec, Relax};
 use incgraph_core::status::Status;
 use incgraph_graph::ids::{Dist, INF_DIST};
-use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId};
+use incgraph_graph::{AppliedBatch, CsrSnapshot, DynamicGraph, GraphView, NodeId};
 
 /// The SSSP fixpoint specification over a graph snapshot.
 ///
+/// Generic over the storage layout: the incremental path runs it on the
+/// live [`DynamicGraph`], the parallel batch path on a flat
+/// [`CsrSnapshot`] (or a [`CsrOverlay`](incgraph_graph::CsrOverlay)).
 /// Exposed so the bench crate can drive the raw engine (`bench_engine`);
 /// normal users go through [`SsspState`].
-pub struct SsspSpec<'g> {
-    g: &'g DynamicGraph,
+pub struct SsspSpec<'g, G: GraphView = DynamicGraph> {
+    g: &'g G,
     source: NodeId,
 }
 
-impl<'g> SsspSpec<'g> {
+impl<'g, G: GraphView> SsspSpec<'g, G> {
     /// Specification for the given graph and source.
-    pub fn new(g: &'g DynamicGraph, source: NodeId) -> Self {
+    pub fn new(g: &'g G, source: NodeId) -> Self {
         assert!((source as usize) < g.node_count(), "source out of range");
         SsspSpec { g, source }
     }
 }
 
-impl FixpointSpec for SsspSpec<'_> {
+impl<G: GraphView> FixpointSpec for SsspSpec<'_, G> {
     type Value = Dist;
 
     fn num_vars(&self) -> usize {
@@ -144,6 +148,8 @@ pub struct SsspState {
     source: NodeId,
     status: Status<Dist>,
     engine: Engine,
+    threads: usize,
+    par: Option<ParEngine>,
 }
 
 impl SsspState {
@@ -165,9 +171,65 @@ impl SsspState {
                 source,
                 status,
                 engine,
+                threads: 1,
+                par: None,
             },
             stats,
         )
+    }
+
+    /// Runs the batch fixpoint with the sharded parallel engine over a
+    /// flat CSR snapshot of `g`, and leaves the state configured to keep
+    /// using `threads` shards for subsequent updates. The fixpoint values
+    /// are identical to [`batch`](Self::batch) (C2 uniqueness).
+    pub fn batch_par(g: &DynamicGraph, source: NodeId, threads: usize) -> (Self, RunStats) {
+        let threads = threads.max(1);
+        let csr = CsrSnapshot::new(g);
+        let spec = SsspSpec::new(&csr, source);
+        let mut status = Status::init(&spec, false);
+        let mut par = ParEngine::new(spec.num_vars(), threads);
+        let scope: Vec<usize> = csr
+            .out_neighbors(source)
+            .iter()
+            .map(|&(v, _)| v as usize)
+            .collect();
+        let stats = par.run(&spec, &mut status, scope);
+        (
+            SsspState {
+                source,
+                status,
+                engine: Engine::new(g.node_count()),
+                threads,
+                par: Some(par),
+            },
+            stats,
+        )
+    }
+
+    /// Sets the number of worker shards for subsequent fixpoint runs
+    /// (1 = the sequential engine).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Resumes the step function over `scope` on the configured engine:
+    /// the sharded parallel engine when `threads > 1`, the sequential
+    /// worklist otherwise. The mid-run work budget installed on the
+    /// sequential engine applies to both.
+    fn resume<G: GraphView>(&mut self, spec: &SsspSpec<'_, G>, scope: &[usize]) -> RunStats {
+        if self.threads > 1 {
+            let fresh = !matches!(&self.par,
+                Some(p) if p.num_vars() == spec.num_vars() && p.nthreads() == self.threads);
+            if fresh {
+                self.par = Some(ParEngine::new(spec.num_vars(), self.threads));
+            }
+            let par = self.par.as_mut().expect("just ensured");
+            par.set_work_budget(self.engine.work_budget());
+            par.run(spec, &mut self.status, scope.iter().copied())
+        } else {
+            self.engine
+                .run(spec, &mut self.status, scope.iter().copied())
+        }
     }
 
     /// The query source.
@@ -231,9 +293,7 @@ impl SsspState {
         // values themselves; no snapshot and no timestamps.
         let oracle = SsspOracle { g };
         let scope = bounded_scope(&spec, &oracle, &mut self.status, touched);
-        let run = self
-            .engine
-            .run(&spec, &mut self.status, scope.scope.iter().copied());
+        let run = self.resume(&spec, &scope.scope);
         BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
     }
 
@@ -262,13 +322,15 @@ impl SsspState {
         // the engine with the region plus the sources feeding into it.
         let mut seeds: Vec<usize> = scope.scope.clone();
         seeds.push(self.source as usize);
-        let run = self.engine.run(&spec, &mut self.status, seeds);
+        let run = self.resume(&spec, &seeds);
         BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
     }
 
     /// Resident bytes of the algorithm's state (Fig. 8 space experiment).
     pub fn space_bytes(&self) -> usize {
-        self.status.space_bytes() + self.engine.space_bytes()
+        self.status.space_bytes()
+            + self.engine.space_bytes()
+            + self.par.as_ref().map_or(0, |p| p.space_bytes())
     }
 
     /// Extends the state when nodes were added to the graph (vertex
@@ -303,8 +365,10 @@ impl crate::IncrementalState for SsspState {
     }
 
     fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        let threads = self.threads;
         let (fresh, stats) = SsspState::batch(g, self.source);
         *self = fresh;
+        self.threads = threads; // a fallback must not undo the thread config
         stats
     }
 
@@ -318,6 +382,10 @@ impl crate::IncrementalState for SsspState {
 
     fn set_work_budget(&mut self, budget: Option<u64>) {
         self.engine.set_work_budget(budget);
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        SsspState::set_threads(self, threads);
     }
 
     fn space_bytes(&self) -> usize {

@@ -1,0 +1,228 @@
+//! Determinism property test for the parallel fixpoint engine.
+//!
+//! For every parallel-eligible query class (SSSP, CC, Reach, Sim, LCC),
+//! the sharded engine must reach the *same* fixpoint as the sequential
+//! engine — C2 (contracting + monotonic) guarantees a unique fixpoint
+//! under any schedule, and this test pins the implementation to it:
+//! seeded random graphs, multi-round update streams, and every thread
+//! count in `INCGRAPH_TEST_THREADS` (default `1,2,4`), with the full
+//! fixpoint audit re-checking `σ_x` after every round.
+
+use incgraph_algos::{CcState, IncrementalState, LccState, ReachState, SimState, SsspState};
+use incgraph_core::FixpointAudit;
+use incgraph_graph::rng::SplitMix64;
+use incgraph_graph::{DynamicGraph, NodeId, Pattern, UpdateBatch};
+
+/// Thread counts under test; override with e.g. `INCGRAPH_TEST_THREADS=1,8`.
+fn thread_counts() -> Vec<usize> {
+    std::env::var("INCGRAPH_TEST_THREADS")
+        .unwrap_or_else(|_| "1,2,4".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+/// A seeded stream of mixed insert/delete rounds over `n` nodes.
+fn update_stream(
+    n: usize,
+    rounds: usize,
+    per_round: usize,
+    max_weight: u32,
+    seed: u64,
+) -> Vec<UpdateBatch> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..rounds)
+        .map(|_| {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..per_round {
+                let u = rng.gen_range(0..n) as NodeId;
+                let v = rng.gen_range(0..n) as NodeId;
+                if rng.gen_bool(0.55) {
+                    batch.insert(u, v, rng.gen_range(1..=max_weight));
+                } else {
+                    batch.delete(u, v);
+                }
+            }
+            batch
+        })
+        .collect()
+}
+
+/// Drives one class through the stream at each thread count and asserts
+/// the per-round digests are identical to the 1-thread (sequential) run,
+/// with the audit clean after every round.
+///
+/// `init(g, threads)` builds the state (parallel batch for threads > 1),
+/// `digest` captures the fixpoint values.
+fn assert_deterministic<S, D>(
+    name: &str,
+    g0: &DynamicGraph,
+    stream: &[UpdateBatch],
+    mut init: impl FnMut(&DynamicGraph, usize) -> S,
+    digest: impl Fn(&S) -> D,
+) where
+    S: IncrementalState,
+    D: PartialEq + std::fmt::Debug,
+{
+    let audit = FixpointAudit::full();
+
+    // Sequential baseline: per-round digests.
+    let mut g = g0.clone();
+    let mut state = init(&g, 1);
+    let mut baseline = vec![digest(&state)];
+    for batch in stream {
+        let applied = batch.apply(&mut g);
+        state.update(&g, &applied);
+        assert!(
+            state.audit(&g, &audit).is_clean(),
+            "{name}: sequential audit failed"
+        );
+        baseline.push(digest(&state));
+    }
+
+    for &threads in &thread_counts() {
+        let mut g = g0.clone();
+        let mut state = init(&g, threads);
+        assert_eq!(
+            digest(&state),
+            baseline[0],
+            "{name}: batch fixpoint diverges at {threads} threads"
+        );
+        for (round, batch) in stream.iter().enumerate() {
+            let applied = batch.apply(&mut g);
+            state.update(&g, &applied);
+            let report = state.audit(&g, &audit);
+            assert!(
+                report.is_clean(),
+                "{name}: audit failed at {threads} threads, round {round}: {report:?}"
+            );
+            assert_eq!(
+                digest(&state),
+                baseline[round + 1],
+                "{name}: fixpoint diverges at {threads} threads, round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sssp_parallel_matches_sequential() {
+    let g = incgraph_graph::gen::uniform(300, 1400, true, 10, 4, 41);
+    let stream = update_stream(300, 6, 16, 10, 141);
+    assert_deterministic(
+        "sssp",
+        &g,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                SsspState::batch_par(g, 0, t).0
+            } else {
+                SsspState::batch(g, 0).0
+            }
+        },
+        |s| s.distances().to_vec(),
+    );
+}
+
+#[test]
+fn cc_parallel_matches_sequential() {
+    let g = incgraph_graph::gen::uniform(250, 500, false, 1, 1, 42);
+    let stream = update_stream(250, 6, 12, 1, 142);
+    assert_deterministic(
+        "cc",
+        &g,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                CcState::batch_par(g, t).0
+            } else {
+                CcState::batch(g).0
+            }
+        },
+        |s| s.components().to_vec(),
+    );
+}
+
+#[test]
+fn reach_parallel_matches_sequential() {
+    let g = incgraph_graph::gen::uniform(300, 900, true, 1, 1, 43);
+    let stream = update_stream(300, 6, 14, 1, 143);
+    assert_deterministic(
+        "reach",
+        &g,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                ReachState::batch_par(g, 0, t).0
+            } else {
+                ReachState::batch(g, 0).0
+            }
+        },
+        |s| s.reached().to_vec(),
+    );
+}
+
+#[test]
+fn sim_parallel_matches_sequential() {
+    // Cyclic pattern on a labeled graph: the hardest anchor case.
+    let pattern = Pattern::new(vec![0, 1, 2], &[(0, 1), (1, 2), (2, 1)]);
+    let g = incgraph_graph::gen::uniform(120, 500, true, 1, 3, 44);
+    let stream = update_stream(120, 6, 8, 1, 144);
+    assert_deterministic(
+        "sim",
+        &g,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                SimState::batch_par(g, pattern.clone(), t).0
+            } else {
+                SimState::batch(g, pattern.clone()).0
+            }
+        },
+        |s| s.relation(),
+    );
+}
+
+#[test]
+fn lcc_parallel_matches_sequential() {
+    let g = incgraph_graph::gen::uniform(200, 900, false, 1, 1, 45);
+    let stream = update_stream(200, 6, 12, 1, 145);
+    assert_deterministic(
+        "lcc",
+        &g,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                LccState::batch_par(g, t).0
+            } else {
+                LccState::batch(g).0
+            }
+        },
+        |s| {
+            (0..s.coefficients().len() as NodeId)
+                .map(|v| (s.degree(v), s.triangles(v)))
+                .collect::<Vec<_>>()
+        },
+    );
+}
+
+#[test]
+fn parallel_runs_are_reproducible() {
+    // Same thread count + same input → bit-identical digests, twice.
+    let g = incgraph_graph::gen::uniform(200, 900, true, 10, 4, 46);
+    let stream = update_stream(200, 4, 12, 10, 146);
+    let run = |threads: usize| {
+        let mut g = g.clone();
+        let (mut state, _) = SsspState::batch_par(&g, 0, threads);
+        let mut digests = vec![state.distances().to_vec()];
+        for batch in &stream {
+            let applied = batch.apply(&mut g);
+            state.update(&g, &applied);
+            digests.push(state.distances().to_vec());
+        }
+        digests
+    };
+    for threads in thread_counts() {
+        assert_eq!(run(threads), run(threads), "threads = {threads}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Microbench: sequential engine (binary heap over `Vec<Vec<_>>` rows)
+//! vs the parallel engine (bucket queue + epoch bitmaps over flat CSR),
+//! batch and incremental, plus a CSR-overlay variant that patches ΔG
+//! onto an immutable snapshot instead of re-flattening the graph.
+//!
+//! Thread count comes from `INCGRAPH_BENCH_THREADS` (default 1; with 1
+//! shard the parallel engine runs inline, isolating the bucket-queue and
+//! CSR gains from the sharding itself).
+
+use incgraph_algos::cc::CcSpec;
+use incgraph_algos::{CcState, LccState, SsspState};
+use incgraph_bench::microbench::Group;
+use incgraph_core::{FixpointSpec, ParEngine, Status};
+use incgraph_graph::{CsrOverlay, CsrSnapshot};
+use incgraph_workloads::{random_batch_pct, sample_sources, Dataset};
+
+fn threads() -> usize {
+    std::env::var("INCGRAPH_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
+fn main() {
+    let t = threads();
+    println!("threads: {t}");
+
+    // SSSP: directed, weighted.
+    {
+        let g0 = Dataset::LiveJournal.graph(true, 1.0);
+        let delta = random_batch_pct(&g0, 1.0, 100, 42);
+        let mut g1 = g0.clone();
+        let applied = delta.apply(&mut g1);
+        let src = sample_sources(&g0, 1, 7)[0];
+
+        let mut group = Group::new("sssp");
+        group.bench("batch_seq", || SsspState::batch(&g1, src));
+        group.bench("batch_par", || SsspState::batch_par(&g1, src, t));
+        group.bench_batched(
+            "inc_seq",
+            || SsspState::batch(&g0, src).0,
+            |mut s| {
+                s.update(&g1, &applied);
+                s
+            },
+        );
+        group.bench_batched(
+            "inc_par",
+            || SsspState::batch_par(&g0, src, t).0,
+            |mut s| {
+                s.update(&g1, &applied);
+                s
+            },
+        );
+    }
+
+    // CC: undirected, plus the ΔG-overlay variant of the parallel batch.
+    {
+        let g0 = Dataset::LiveJournal.graph(false, 1.0);
+        let delta = random_batch_pct(&g0, 1.0, 1, 43);
+        let mut g1 = g0.clone();
+        let applied = delta.apply(&mut g1);
+        let csr0 = CsrSnapshot::new(&g0);
+
+        let mut group = Group::new("cc");
+        group.bench("batch_seq", || CcState::batch(&g1));
+        group.bench("batch_par", || CcState::batch_par(&g1, t));
+        // Same fixpoint over base-snapshot + ΔG patch rows: the overlay
+        // skips the O(|G|) CSR rebuild that `batch_par` pays on g1.
+        group.bench("batch_par_overlay", || {
+            let mut ov = CsrOverlay::new(&csr0);
+            ov.apply(&applied);
+            let spec = CcSpec::new(&ov);
+            let mut status = Status::init(&spec, true);
+            let mut par = ParEngine::new(spec.num_vars(), t);
+            par.run(&spec, &mut status, 0..spec.num_vars());
+            status
+        });
+        group.bench_batched(
+            "inc_seq",
+            || CcState::batch(&g0).0,
+            |mut s| {
+                s.update(&g1, &applied);
+                s
+            },
+        );
+        group.bench_batched(
+            "inc_par",
+            || CcState::batch_par(&g0, t).0,
+            |mut s| {
+                s.update(&g1, &applied);
+                s
+            },
+        );
+    }
+
+    // LCC: undirected, triangle-heavy; smaller slice.
+    {
+        let g0 = Dataset::LiveJournal.graph(false, 0.25);
+        let delta = random_batch_pct(&g0, 1.0, 1, 44);
+        let mut g1 = g0.clone();
+        let applied = delta.apply(&mut g1);
+
+        let mut group = Group::new("lcc");
+        group.bench("batch_seq", || LccState::batch(&g1));
+        group.bench("batch_par", || LccState::batch_par(&g1, t));
+        group.bench_batched(
+            "inc_seq",
+            || LccState::batch(&g0).0,
+            |mut s| {
+                s.update(&g1, &applied);
+                s
+            },
+        );
+        group.bench_batched(
+            "inc_par",
+            || LccState::batch_par(&g0, t).0,
+            |mut s| {
+                s.update(&g1, &applied);
+                s
+            },
+        );
+    }
+}

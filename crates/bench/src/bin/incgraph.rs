@@ -116,11 +116,15 @@ struct Args {
     max_scope: usize,
     audit: bool,
     audit_stride: usize,
+    threads: usize,
+    scale: f64,
 }
 
 const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.txt \
                      [--updates D.txt] [--directed] [--source N] [--seed S] [--out F] \
-                     [--max-aff-frac F] [--max-scope N] [--audit] [--audit-stride K]";
+                     [--threads N] [--max-aff-frac F] [--max-scope N] [--audit] \
+                     [--audit-stride K]\n\
+                     \u{20}      incgraph bench [--threads N] [--scale F] [--out BENCH.json]";
 
 fn parse_args() -> Result<Args, CliError> {
     let mut args = Args {
@@ -135,6 +139,8 @@ fn parse_args() -> Result<Args, CliError> {
         max_scope: usize::MAX,
         audit: false,
         audit_stride: 1,
+        threads: 1,
+        scale: 1.0,
     };
     let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
     let mut it = std::env::args().skip(1);
@@ -171,6 +177,20 @@ fn parse_args() -> Result<Args, CliError> {
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| usage("--max-scope needs a variable count"))?
             }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .ok_or_else(|| usage("--threads needs an integer ≥ 1"))?
+            }
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&f| f > 0.0)
+                    .ok_or_else(|| usage("--scale needs a positive factor"))?
+            }
             "--audit-stride" => {
                 args.audit_stride = it
                     .next()
@@ -184,7 +204,7 @@ fn parse_args() -> Result<Args, CliError> {
             extra => return Err(usage(&format!("unexpected argument {extra}"))),
         }
     }
-    if args.class.is_empty() || args.graph.is_empty() {
+    if args.class.is_empty() || (args.graph.is_empty() && args.class != "bench") {
         return Err(CliError::Usage(USAGE.to_string()));
     }
     Ok(args)
@@ -274,8 +294,47 @@ fn main() {
     }
 }
 
+/// `incgraph bench`: runs the parallel-engine suite and writes the
+/// machine-readable `BENCH_<date>.json` datapoint (see
+/// [`incgraph_bench::parbench`]).
+fn run_bench(args: &Args) -> Result<(), CliError> {
+    use incgraph_bench::parbench;
+    let reps = std::env::var("INCGRAPH_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5);
+    eprintln!(
+        "parallel-engine bench: {} thread(s), {reps} sample(s) per point",
+        args.threads
+    );
+    let results = parbench::run_suite(args.threads, args.scale, reps);
+    print!("{}", parbench::render_table(&results));
+    let date = parbench::today_utc();
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("results/BENCH_{date}.json"));
+    let out_err = |e: std::io::Error| CliError::Output {
+        path: path.clone(),
+        source: e,
+    };
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(out_err)?;
+        }
+    }
+    let json = parbench::to_json(&date, args.threads, reps, &results);
+    std::fs::write(&path, json).map_err(out_err)?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let args = parse_args()?;
+    if args.class == "bench" {
+        return run_bench(&args);
+    }
     let (mut g, updates) = load(&args)?;
 
     let policy = FallbackPolicy {
@@ -319,6 +378,9 @@ fn run() -> Result<(), CliError> {
             let t = Instant::now();
             let mut state = $batch;
             report("batch", t.elapsed().as_secs_f64(), None);
+            // Route incremental resumes through the sharded parallel
+            // engine (no-op for the inherently sequential DFS/BC).
+            state.set_threads(args.threads);
             apply_updates(&mut g, &mut state)?;
             write_out(&args.out, $emit(&state, &g))?;
         }};

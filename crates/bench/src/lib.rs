@@ -9,6 +9,7 @@
 
 pub mod exps;
 pub mod microbench;
+pub mod parbench;
 pub mod report;
 
 pub use report::{measure, Ctx, Record, Sink};

@@ -1,0 +1,433 @@
+//! Parallel-engine benchmark suite: per-class sequential vs parallel
+//! timings and the machine-readable `BENCH_<date>.json` report.
+//!
+//! The suite runs the five parallel-eligible classes (SSSP, CC, Reach,
+//! Sim, LCC) on their dataset stand-ins and measures four numbers each:
+//! sequential batch, parallel batch (`batch_par`: CSR snapshot + bucket
+//! queue + sharded worklists), sequential incremental, and parallel
+//! incremental (the same state with `set_threads` routing `resume`
+//! through [`incgraph_core::ParEngine`]). With `threads = 1` the parallel
+//! engine runs inline — no spawn, no barriers — so the speedup isolates
+//! the algorithmic wins (O(1) bucket queue instead of a binary heap,
+//! flat CSR scans instead of `Vec<Vec<_>>` rows); higher thread counts
+//! add sharding on top. Shared by `benches/bench_par.rs` and the
+//! `incgraph bench` subcommand.
+
+use crate::report::measure;
+use incgraph_algos::{CcState, LccState, ReachState, SimState, SsspState};
+use incgraph_workloads::{random_batch_pct, random_pattern, sample_sources, Dataset};
+use std::fmt::Write as _;
+
+/// Maximum edge weight for the weighted (SSSP) workload.
+const MAX_WEIGHT: u32 = 100;
+
+/// |ΔG| as a percentage of |G| for the incremental measurements.
+const DELTA_PCT: f64 = 1.0;
+
+/// Timings for one query class, in nanoseconds per operation.
+#[derive(Clone, Debug)]
+pub struct ClassResult {
+    /// Query class tag (`sssp`, `cc`, `reach`, `sim`, `lcc`).
+    pub class: &'static str,
+    /// Dataset stand-in tag (LJ, DP, ...).
+    pub dataset: &'static str,
+    /// Node count of the benchmarked graph.
+    pub nodes: usize,
+    /// Edge count of the benchmarked graph.
+    pub edges: usize,
+    /// Sequential engine, batch fixpoint from scratch.
+    pub seq_batch_ns: f64,
+    /// Parallel engine, batch fixpoint from scratch.
+    pub par_batch_ns: f64,
+    /// Sequential engine, incremental resume over a 1% ΔG.
+    pub seq_inc_ns: f64,
+    /// Parallel engine, incremental resume over the same ΔG.
+    pub par_inc_ns: f64,
+}
+
+impl ClassResult {
+    /// Sequential over parallel batch time (>1 means parallel is faster).
+    pub fn batch_speedup(&self) -> f64 {
+        self.seq_batch_ns / self.par_batch_ns
+    }
+
+    /// Sequential over parallel incremental time.
+    pub fn inc_speedup(&self) -> f64 {
+        self.seq_inc_ns / self.par_inc_ns
+    }
+}
+
+/// Runs the five-class suite at the given thread count. `scale`
+/// multiplies the stand-in sizes (1.0 = the DESIGN.md base; Sim and LCC
+/// use a reduced slice of it to keep their heavier kernels in budget),
+/// `reps` is the repetition count per measurement (setup excluded).
+pub fn run_suite(threads: usize, scale: f64, reps: usize) -> Vec<ClassResult> {
+    let secs = |s: f64| s * 1e9;
+    let mut out = Vec::new();
+
+    // SSSP on the LiveJournal stand-in (directed, weighted).
+    {
+        let g0 = Dataset::LiveJournal.graph(true, scale);
+        let delta = random_batch_pct(&g0, DELTA_PCT, MAX_WEIGHT, 42);
+        let mut g1 = g0.clone();
+        let applied = delta.apply(&mut g1);
+        let src = sample_sources(&g0, 1, 7)[0];
+        out.push(ClassResult {
+            class: "sssp",
+            dataset: Dataset::LiveJournal.tag(),
+            nodes: g1.node_count(),
+            edges: g1.edge_count(),
+            seq_batch_ns: secs(measure(
+                reps,
+                || (),
+                |_| {
+                    std::hint::black_box(SsspState::batch(&g1, src));
+                },
+            )),
+            par_batch_ns: secs(measure(
+                reps,
+                || (),
+                |_| {
+                    std::hint::black_box(SsspState::batch_par(&g1, src, threads));
+                },
+            )),
+            seq_inc_ns: secs(measure(
+                reps,
+                || SsspState::batch(&g0, src).0,
+                |s| {
+                    s.update(&g1, &applied);
+                },
+            )),
+            par_inc_ns: secs(measure(
+                reps,
+                || SsspState::batch_par(&g0, src, threads).0,
+                |s| {
+                    s.update(&g1, &applied);
+                },
+            )),
+        });
+    }
+
+    // CC on the LiveJournal stand-in (undirected).
+    {
+        let g0 = Dataset::LiveJournal.graph(false, scale);
+        let delta = random_batch_pct(&g0, DELTA_PCT, 1, 43);
+        let mut g1 = g0.clone();
+        let applied = delta.apply(&mut g1);
+        out.push(ClassResult {
+            class: "cc",
+            dataset: Dataset::LiveJournal.tag(),
+            nodes: g1.node_count(),
+            edges: g1.edge_count(),
+            seq_batch_ns: secs(measure(
+                reps,
+                || (),
+                |_| {
+                    std::hint::black_box(CcState::batch(&g1));
+                },
+            )),
+            par_batch_ns: secs(measure(
+                reps,
+                || (),
+                |_| {
+                    std::hint::black_box(CcState::batch_par(&g1, threads));
+                },
+            )),
+            seq_inc_ns: secs(measure(
+                reps,
+                || CcState::batch(&g0).0,
+                |s| {
+                    s.update(&g1, &applied);
+                },
+            )),
+            par_inc_ns: secs(measure(
+                reps,
+                || CcState::batch_par(&g0, threads).0,
+                |s| {
+                    s.update(&g1, &applied);
+                },
+            )),
+        });
+    }
+
+    // Reach on the DBPedia stand-in (directed).
+    {
+        let g0 = Dataset::DbPedia.graph(true, scale);
+        let delta = random_batch_pct(&g0, DELTA_PCT, 1, 44);
+        let mut g1 = g0.clone();
+        let applied = delta.apply(&mut g1);
+        let src = sample_sources(&g0, 1, 9)[0];
+        out.push(ClassResult {
+            class: "reach",
+            dataset: Dataset::DbPedia.tag(),
+            nodes: g1.node_count(),
+            edges: g1.edge_count(),
+            seq_batch_ns: secs(measure(
+                reps,
+                || (),
+                |_| {
+                    std::hint::black_box(ReachState::batch(&g1, src));
+                },
+            )),
+            par_batch_ns: secs(measure(
+                reps,
+                || (),
+                |_| {
+                    std::hint::black_box(ReachState::batch_par(&g1, src, threads));
+                },
+            )),
+            seq_inc_ns: secs(measure(
+                reps,
+                || ReachState::batch(&g0, src).0,
+                |s| {
+                    s.update(&g1, &applied);
+                },
+            )),
+            par_inc_ns: secs(measure(
+                reps,
+                || ReachState::batch_par(&g0, src, threads).0,
+                |s| {
+                    s.update(&g1, &applied);
+                },
+            )),
+        });
+    }
+
+    // Sim on the DBPedia stand-in (directed, labeled; half scale — the
+    // per-variable work is quadratic in pattern fan-in).
+    {
+        let g0 = Dataset::DbPedia.graph(true, scale * 0.5);
+        let q = random_pattern(&g0, 4, 6, 11);
+        let delta = random_batch_pct(&g0, DELTA_PCT, 1, 45);
+        let mut g1 = g0.clone();
+        let applied = delta.apply(&mut g1);
+        out.push(ClassResult {
+            class: "sim",
+            dataset: Dataset::DbPedia.tag(),
+            nodes: g1.node_count(),
+            edges: g1.edge_count(),
+            seq_batch_ns: secs(measure(
+                reps,
+                || (),
+                |_| {
+                    std::hint::black_box(SimState::batch(&g1, q.clone()));
+                },
+            )),
+            par_batch_ns: secs(measure(
+                reps,
+                || (),
+                |_| {
+                    std::hint::black_box(SimState::batch_par(&g1, q.clone(), threads));
+                },
+            )),
+            seq_inc_ns: secs(measure(
+                reps,
+                || SimState::batch(&g0, q.clone()).0,
+                |s| {
+                    s.update(&g1, &applied);
+                },
+            )),
+            par_inc_ns: secs(measure(
+                reps,
+                || SimState::batch_par(&g0, q.clone(), threads).0,
+                |s| {
+                    s.update(&g1, &applied);
+                },
+            )),
+        });
+    }
+
+    // LCC on the LiveJournal stand-in (undirected; quarter scale — the
+    // triangle kernel is O(Σ deg²)).
+    {
+        let g0 = Dataset::LiveJournal.graph(false, scale * 0.25);
+        let delta = random_batch_pct(&g0, DELTA_PCT, 1, 46);
+        let mut g1 = g0.clone();
+        let applied = delta.apply(&mut g1);
+        out.push(ClassResult {
+            class: "lcc",
+            dataset: Dataset::LiveJournal.tag(),
+            nodes: g1.node_count(),
+            edges: g1.edge_count(),
+            seq_batch_ns: secs(measure(
+                reps,
+                || (),
+                |_| {
+                    std::hint::black_box(LccState::batch(&g1));
+                },
+            )),
+            par_batch_ns: secs(measure(
+                reps,
+                || (),
+                |_| {
+                    std::hint::black_box(LccState::batch_par(&g1, threads));
+                },
+            )),
+            seq_inc_ns: secs(measure(
+                reps,
+                || LccState::batch(&g0).0,
+                |s| {
+                    s.update(&g1, &applied);
+                },
+            )),
+            par_inc_ns: secs(measure(
+                reps,
+                || LccState::batch_par(&g0, threads).0,
+                |s| {
+                    s.update(&g1, &applied);
+                },
+            )),
+        });
+    }
+
+    out
+}
+
+/// Renders the suite as an aligned text table (one row per class).
+pub fn render_table(results: &[ClassResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:<4} {:>7} {:>8} {:>13} {:>13} {:>6} {:>13} {:>13} {:>6}",
+        "class", "data", "|V|", "|E|", "seq_batch", "par_batch", "x", "seq_inc", "par_inc", "x"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<4} {:>7} {:>8} {:>13} {:>13} {:>5.2}x {:>13} {:>13} {:>5.2}x",
+            r.class,
+            r.dataset,
+            r.nodes,
+            r.edges,
+            fmt_ns(r.seq_batch_ns),
+            fmt_ns(r.par_batch_ns),
+            r.batch_speedup(),
+            fmt_ns(r.seq_inc_ns),
+            fmt_ns(r.par_inc_ns),
+            r.inc_speedup(),
+        );
+    }
+    out
+}
+
+/// Human-readable nanoseconds (`1.23ms`, `456µs`, ...).
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Serializes the suite as the `BENCH_<date>.json` document.
+pub fn to_json(date: &str, threads: usize, reps: usize, results: &[ClassResult]) -> String {
+    let num = |x: f64| {
+        if x.is_finite() {
+            format!("{x:.1}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"date\": \"{date}\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"samples\": {reps},");
+    let _ = writeln!(json, "  \"delta_pct\": {DELTA_PCT},");
+    json.push_str("  \"classes\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{ \"class\": \"{}\", \"dataset\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+             \"seq_batch_ns\": {}, \"par_batch_ns\": {}, \"batch_speedup\": {:.3}, \
+             \"seq_inc_ns\": {}, \"par_inc_ns\": {}, \"inc_speedup\": {:.3} }}",
+            r.class,
+            r.dataset,
+            r.nodes,
+            r.edges,
+            num(r.seq_batch_ns),
+            num(r.par_batch_ns),
+            r.batch_speedup(),
+            num(r.seq_inc_ns),
+            num(r.par_inc_ns),
+            r.inc_speedup(),
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no external
+/// date crates offline; civil-from-days per Howard Hinnant's algorithm).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Converts days since 1970-01-01 to a (year, month, day) civil date.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (yoe + era * 400 + i64::from(m <= 2), m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates_round_trip_known_points() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(20_671), (2026, 8, 6));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let r = ClassResult {
+            class: "sssp",
+            dataset: "LJ",
+            nodes: 100,
+            edges: 400,
+            seq_batch_ns: 2000.0,
+            par_batch_ns: 1000.0,
+            seq_inc_ns: 300.0,
+            par_inc_ns: 200.0,
+        };
+        let json = to_json("2026-08-06", 4, 5, std::slice::from_ref(&r));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"batch_speedup\": 2.000"));
+        assert!(json.contains("\"inc_speedup\": 1.500"));
+        assert!((r.batch_speedup() - 2.0).abs() < 1e-9);
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn suite_smoke_runs_tiny() {
+        let results = run_suite(2, 0.02, 1);
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.seq_batch_ns > 0.0 && r.par_batch_ns > 0.0, "{r:?}");
+        }
+    }
+}

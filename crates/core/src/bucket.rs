@@ -1,0 +1,241 @@
+//! Radix bucket queue for rank-ordered worklists.
+//!
+//! The sequential engine schedules with a `BinaryHeap`, paying `O(log n)`
+//! per push and pop plus a comparison-heavy pop path. Ranks, however, are
+//! a *performance hint*, not a correctness requirement — for C2
+//! (monotone and contracting) step functions the fixpoint is unique under any
+//! schedule (paper Lemma 2) — so a coarse delta-stepping style bucket
+//! queue is enough: ranks map to one of [`NUM_BUCKETS`] buckets by a
+//! configurable right shift, pushes append to the target bucket in O(1),
+//! and pops scan a cursor over the bucket array. Entries within a bucket
+//! come out FIFO, which keeps the schedule deterministic for a given push
+//! sequence — the property the parallel engine's stamp replay relies on.
+//!
+//! Non-monotone rank sequences are legal (a CC label can drop below the
+//! current cursor); the cursor simply moves backward on such pushes.
+//! Ranks at or above `NUM_BUCKETS << shift` all land in the final
+//! overflow bucket and are served FIFO among themselves.
+
+/// Number of buckets; ranks beyond the addressable range share the last
+/// (overflow) bucket.
+pub const NUM_BUCKETS: usize = 1024;
+
+/// A monotone-cursor bucket queue mapping `rank >> shift` to a bucket.
+///
+/// Popped prefixes of each bucket are tracked with a head index so a pop
+/// is O(1) amortized; a bucket's storage is reclaimed the moment its last
+/// entry is served.
+#[derive(Clone, Debug)]
+pub struct BucketQueue {
+    buckets: Vec<Vec<(u64, usize)>>,
+    /// Index of the first unserved entry in each bucket.
+    heads: Vec<usize>,
+    shift: u32,
+    /// Lowest bucket that may be non-empty.
+    cursor: usize,
+    len: usize,
+}
+
+impl Default for BucketQueue {
+    /// An exact-binning queue (`shift = 0`).
+    fn default() -> Self {
+        BucketQueue::new(0)
+    }
+}
+
+impl BucketQueue {
+    /// Creates an empty queue; ranks are binned as `rank >> shift`.
+    ///
+    /// A shift of 0 gives exact ordering for ranks `< NUM_BUCKETS`; larger
+    /// shifts trade scheduling precision for range. Correctness never
+    /// depends on the choice.
+    pub fn new(shift: u32) -> Self {
+        BucketQueue {
+            buckets: vec![Vec::new(); NUM_BUCKETS],
+            heads: vec![0; NUM_BUCKETS],
+            shift,
+            cursor: NUM_BUCKETS,
+            len: 0,
+        }
+    }
+
+    /// The bucket a rank maps to.
+    #[inline]
+    pub fn bucket_of(&self, rank: u64) -> usize {
+        ((rank >> self.shift) as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Number of queued (unserved) entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues `var` at `rank` in O(1).
+    #[inline]
+    pub fn push(&mut self, rank: u64, var: usize) {
+        let b = self.bucket_of(rank);
+        self.buckets[b].push((rank, var));
+        self.len += 1;
+        if b < self.cursor {
+            self.cursor = b;
+        }
+    }
+
+    /// Index of the lowest non-empty bucket, advancing the cursor past
+    /// drained buckets (and reclaiming their storage) as a side effect.
+    pub fn min_bucket(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            self.cursor = NUM_BUCKETS;
+            return None;
+        }
+        while self.cursor < NUM_BUCKETS {
+            let b = self.cursor;
+            if self.heads[b] < self.buckets[b].len() {
+                return Some(b);
+            }
+            if self.heads[b] > 0 {
+                self.buckets[b].clear();
+                self.heads[b] = 0;
+            }
+            self.cursor += 1;
+        }
+        debug_assert!(false, "len > 0 but all buckets drained");
+        None
+    }
+
+    /// Pops the next `(rank, var)` in bucket order (FIFO within a bucket).
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, usize)> {
+        self.pop_at_most(NUM_BUCKETS - 1)
+    }
+
+    /// Pops the next entry whose bucket is `<= max_bucket`, or `None` if
+    /// every queued entry sits in a higher bucket. Used by the parallel
+    /// engine to bound a round to the globally minimal bucket.
+    pub fn pop_at_most(&mut self, max_bucket: usize) -> Option<(u64, usize)> {
+        let b = self.min_bucket()?;
+        if b > max_bucket {
+            return None;
+        }
+        let e = self.buckets[b][self.heads[b]];
+        self.heads[b] += 1;
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// Drops all queued entries, keeping allocated bucket storage.
+    pub fn clear(&mut self) {
+        for b in 0..NUM_BUCKETS {
+            self.buckets[b].clear();
+            self.heads[b] = 0;
+        }
+        self.cursor = NUM_BUCKETS;
+        self.len = 0;
+    }
+
+    /// Heap bytes held by the bucket storage.
+    pub fn space_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.buckets
+            .iter()
+            .map(|b| b.capacity() * size_of::<(u64, usize)>())
+            .sum::<usize>()
+            + self.buckets.capacity() * size_of::<Vec<(u64, usize)>>()
+            + self.heads.capacity() * size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_bucket_order_fifo_within_bucket() {
+        let mut q = BucketQueue::new(0);
+        q.push(5, 50);
+        q.push(2, 20);
+        q.push(5, 51);
+        q.push(0, 0);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(0, 0), (2, 20), (5, 50), (5, 51)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cursor_moves_backward_on_lower_push() {
+        let mut q = BucketQueue::new(0);
+        q.push(9, 1);
+        assert_eq!(q.pop(), Some((9, 1)));
+        q.push(3, 2); // below the drained cursor position
+        q.push(9, 3);
+        assert_eq!(q.pop(), Some((3, 2)));
+        assert_eq!(q.pop(), Some((9, 3)));
+    }
+
+    #[test]
+    fn shift_coarsens_binning() {
+        let mut q = BucketQueue::new(4);
+        // Ranks 0..16 share bucket 0 and come out FIFO.
+        q.push(15, 1);
+        q.push(0, 2);
+        q.push(16, 3); // bucket 1
+        assert_eq!(q.pop(), Some((15, 1)));
+        assert_eq!(q.pop(), Some((0, 2)));
+        assert_eq!(q.pop(), Some((16, 3)));
+    }
+
+    #[test]
+    fn overflow_ranks_share_last_bucket() {
+        let mut q = BucketQueue::new(0);
+        q.push(u64::MAX - 1, 1);
+        q.push(NUM_BUCKETS as u64 * 7, 2);
+        q.push(3, 3);
+        assert_eq!(q.pop(), Some((3, 3)));
+        // Both overflow entries are in the last bucket, FIFO.
+        assert_eq!(q.pop(), Some((u64::MAX - 1, 1)));
+        assert_eq!(q.pop(), Some((NUM_BUCKETS as u64 * 7, 2)));
+    }
+
+    #[test]
+    fn pop_at_most_respects_bound() {
+        let mut q = BucketQueue::new(0);
+        q.push(8, 1);
+        q.push(2, 2);
+        assert_eq!(q.pop_at_most(4), Some((2, 2)));
+        assert_eq!(q.pop_at_most(4), None, "bucket 8 is out of bound");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_at_most(8), Some((8, 1)));
+    }
+
+    #[test]
+    fn min_bucket_tracks_lowest_nonempty() {
+        let mut q = BucketQueue::new(0);
+        assert_eq!(q.min_bucket(), None);
+        q.push(7, 1);
+        assert_eq!(q.min_bucket(), Some(7));
+        q.push(4, 2);
+        assert_eq!(q.min_bucket(), Some(4));
+        q.pop();
+        assert_eq!(q.min_bucket(), Some(7));
+    }
+
+    #[test]
+    fn clear_resets_but_reuses() {
+        let mut q = BucketQueue::new(0);
+        for i in 0..100u64 {
+            q.push(i % 10, i as usize);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(1, 42);
+        assert_eq!(q.pop(), Some((1, 42)));
+    }
+}

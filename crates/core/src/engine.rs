@@ -43,6 +43,11 @@ pub struct RunStats {
     pub changes: u64,
     /// Dependent enqueue attempts.
     pub pushes: u64,
+    /// Worklist entries discarded on pop because a lower-ranked or
+    /// re-entrant push superseded them (lazy deletion). Pure scheduling
+    /// overhead: each stale pop is a heap/queue operation that did no
+    /// fixpoint work.
+    pub stale_pops: u64,
     /// Input-variable reads performed by update functions.
     pub reads: u64,
     /// Distinct status variables inspected in this run — the empirical
@@ -62,6 +67,7 @@ impl RunStats {
         self.evals += other.evals;
         self.changes += other.changes;
         self.pushes += other.pushes;
+        self.stale_pops += other.stale_pops;
         self.reads += other.reads;
         self.distinct_vars += other.distinct_vars;
         self.aborted |= other.aborted;
@@ -181,7 +187,8 @@ impl Engine {
 
         while let Some(Reverse((r, x))) = self.heap.pop() {
             if self.epoch_of[x] != self.epoch || self.best[x] != r || self.pend[x] == PEND_NONE {
-                continue; // stale entry
+                stats.stale_pops += 1; // lazy-deleted entry: pure overhead
+                continue;
             }
             let kind = self.pend[x];
             self.pend[x] = PEND_NONE;
@@ -482,6 +489,20 @@ mod tests {
         let stats = run_fixpoint(&spec, &mut status, 0..6);
         assert_eq!(status.values(), &[0; 6]);
         assert_eq!(stats.changes, 5, "each non-zero label settles once");
+    }
+
+    #[test]
+    fn stale_pops_account_for_lazy_deletion() {
+        let spec = MiniCc::new();
+        let mut status = Status::init(&spec, false);
+        let stats = run_fixpoint(&spec, &mut status, 0..6);
+        assert!(
+            stats.stale_pops > 0,
+            "rank-lowering pushes must strand superseded entries"
+        );
+        // Every queued entry is eventually popped as processed or stale,
+        // and dedup never queues more entries than push attempts.
+        assert!(stats.pops + stats.stale_pops <= stats.pushes);
     }
 
     #[test]

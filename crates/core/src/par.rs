@@ -1,0 +1,983 @@
+//! Round-synchronized parallel fixpoint engine.
+//!
+//! [`ParEngine`] runs the same step function as [`crate::engine::Engine`]
+//! over a frontier **sharded by owner-computes**: variable `x` belongs to
+//! thread `x % nthreads`, and only its owner ever writes it. Threads
+//! process their shard's worklist in synchronized *rounds*, each bounded
+//! to the globally minimal rank bucket of a [`BucketQueue`]; values
+//! changed during a round become visible to other shards only at the
+//! round barrier, and cross-shard activations travel through per-pair
+//! mailboxes drained in a fixed order. This is safe for exactly the
+//! algorithms the paper proves C2 for: contracting + monotonic update
+//! functions reach a *unique* fixpoint under any schedule (Lemma 2,
+//! Church–Rosser), so splitting the worklist changes the schedule but
+//! never the answer. DFS — the paper's order-dependent, non-monotonic
+//! case — must stay on the sequential engine.
+//!
+//! # Determinism
+//!
+//! Every source of scheduling order is fixed: bucket queues are FIFO
+//! within a bucket, the round's bucket bound is a global minimum, and
+//! mailboxes are drained sender-by-sender. Given the same spec, status
+//! and scope, a run produces the same pop sequence per thread regardless
+//! of barrier timing — so parallel fixpoints are reproducible, which the
+//! determinism property test pins across 1/2/4 threads.
+//!
+//! # Timestamps
+//!
+//! Weakly deducible classes (CC, Sim, Reach) need the status stamps to be
+//! a linearization of the contributor order `<_C`. The engine therefore
+//! records, for every changed variable, the `(round, thread, seq)` of its
+//! *last* change and replays the changes into [`Status`] in that order
+//! after the workers join. The key invariant making this sound: a value
+//! computed in round `r` only ever reads own-shard values (same thread,
+//! smaller seq) or values published at a barrier before `r` (smaller
+//! round) — never a same-round foreign write — so sorting by
+//! `(round, thread, seq)` stamps every change after all inputs that
+//! justify it, exactly what the contributor oracles assume of a
+//! sequential run.
+
+use crate::bucket::BucketQueue;
+use crate::engine::RunStats;
+use crate::spec::{FixpointSpec, Relax};
+use crate::status::Status;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::{Barrier, Mutex};
+
+/// Largest usable rank; `u64::MAX` is the "not enqueued" sentinel.
+const RANK_CAP: u64 = u64::MAX - 1;
+
+const PEND_NONE: u8 = 0;
+const PEND_PROP: u8 = 1;
+const PEND_EVAL: u8 = 2;
+
+/// A status value that fits in a `u64`, so shards can share it through
+/// an atomic word. All five parallel-eligible classes qualify: distances
+/// (`u64`), component labels (`u32`), reachability/simulation Booleans
+/// (`bool`) and triangle counts (`u64`).
+pub trait PackedValue: Copy + PartialEq + std::fmt::Debug + Send + Sync {
+    /// Encodes the value into a word.
+    fn pack(self) -> u64;
+    /// Decodes a word produced by [`pack`](Self::pack).
+    fn unpack(bits: u64) -> Self;
+}
+
+impl PackedValue for u64 {
+    fn pack(self) -> u64 {
+        self
+    }
+    fn unpack(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl PackedValue for u32 {
+    fn pack(self) -> u64 {
+        self as u64
+    }
+    fn unpack(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl PackedValue for bool {
+    fn pack(self) -> u64 {
+        self as u64
+    }
+    fn unpack(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+/// A cross-shard activation: dependent variable, trigger variable, and
+/// the trigger's packed value at publication time (used for the push
+/// rank on the receiving side).
+type Msg = (usize, usize, u64);
+
+/// Per-thread scratch state; all arrays are indexed by the *local* index
+/// `x / nthreads` of the owned variable `x`.
+#[derive(Debug, Default)]
+struct Worker {
+    queue: BucketQueue,
+    /// Rank of the live queue entry, `u64::MAX` = none; valid when
+    /// `mark == epoch`.
+    best: Vec<u64>,
+    /// `PEND_*` bits of the live entry; valid when `mark == epoch`.
+    pend: Vec<u8>,
+    /// Epoch in which `best`/`pend`/`seen` were last written.
+    mark: Vec<u32>,
+    /// Whether the variable was inspected this run.
+    seen: Vec<bool>,
+    /// Round and per-thread sequence number of the variable's last
+    /// change; meaningful only for members of `dirty`.
+    last_round: Vec<u32>,
+    last_seq: Vec<u32>,
+    /// Membership flags for `dirty` / `round_dirty` (reset by draining).
+    in_dirty: Vec<bool>,
+    in_round: Vec<bool>,
+    /// Variables changed at least once this run (global ids).
+    dirty: Vec<usize>,
+    /// Variables changed in the current round, to publish at the barrier.
+    round_dirty: Vec<usize>,
+    dep_buf: Vec<usize>,
+    /// Per-run change sequence counter (the `seq` of the stamp replay).
+    seq: u32,
+    stats: RunStats,
+}
+
+/// Shared per-run context handed to every worker.
+struct Shared<'a> {
+    nthreads: usize,
+    epoch: u32,
+    budget: Option<u64>,
+    /// Working value bits per variable, written only by the owner; valid
+    /// when `cur_epoch == epoch`, else the base `Status` value stands.
+    cur: &'a [AtomicU64],
+    cur_epoch: &'a [AtomicU32],
+    /// Value bits visible to *other* shards: copied from `cur` at the
+    /// round barrier; valid when `pub_epoch == epoch`.
+    published: &'a [AtomicU64],
+    pub_epoch: &'a [AtomicU32],
+    /// Double-buffered global minimum bucket of the next round
+    /// (`u64::MAX` = no work anywhere, terminate).
+    cells: &'a [AtomicU64; 2],
+    barrier: &'a Barrier,
+    abort: &'a AtomicBool,
+    /// Run-wide distinct-variable count, for the work budget.
+    distinct: &'a AtomicU64,
+    /// `mailboxes[dest][sender]`: cross-shard activations, drained by
+    /// `dest` in sender order for determinism.
+    mailboxes: &'a [Vec<Mutex<Vec<Msg>>>],
+}
+
+/// The parallel step function: a reusable, sharded fixpoint driver.
+///
+/// Construction is `O(|Ψ_A|)`; like the sequential [`Engine`]
+/// (`crate::engine::Engine`), all scratch state is epoch-versioned so a
+/// run touches memory proportional to what it inspects. The engine
+/// composes with the PR-1 robustness layer unchanged: the work budget
+/// aborts runs the same way (`RunStats::aborted`), and `FixpointAudit`
+/// checks the written-back status exactly as for sequential runs.
+#[derive(Debug)]
+pub struct ParEngine {
+    nthreads: usize,
+    num_vars: usize,
+    rank_shift: u32,
+    work_budget: Option<u64>,
+    epoch: u32,
+    cur: Vec<AtomicU64>,
+    cur_epoch: Vec<AtomicU32>,
+    published: Vec<AtomicU64>,
+    pub_epoch: Vec<AtomicU32>,
+    workers: Vec<Worker>,
+}
+
+impl Clone for ParEngine {
+    /// Clones the configuration, not the (per-run, epoch-invalidated)
+    /// scratch contents — a fresh engine is observationally identical.
+    fn clone(&self) -> Self {
+        let mut e = ParEngine::with_rank_shift(self.num_vars, self.nthreads, self.rank_shift);
+        e.work_budget = self.work_budget;
+        e
+    }
+}
+
+impl ParEngine {
+    /// Creates an engine for `num_vars` variables sharded over `nthreads`
+    /// worker threads (clamped to at least 1). The bucket-queue shift
+    /// defaults to spreading ranks up to ~`num_vars` across the bucket
+    /// range, the right shape for value-ranked specs like CC.
+    pub fn new(num_vars: usize, nthreads: usize) -> Self {
+        let bits = u64::BITS - (num_vars as u64).leading_zeros();
+        Self::with_rank_shift(num_vars, nthreads, bits.saturating_sub(10))
+    }
+
+    /// Creates an engine with an explicit bucket shift (ranks are binned
+    /// as `rank >> shift`; precision is a performance knob only).
+    pub fn with_rank_shift(num_vars: usize, nthreads: usize, rank_shift: u32) -> Self {
+        let nthreads = nthreads.max(1);
+        let local = num_vars.div_ceil(nthreads);
+        let workers = (0..nthreads)
+            .map(|_| Worker {
+                queue: BucketQueue::new(rank_shift),
+                best: vec![u64::MAX; local],
+                pend: vec![PEND_NONE; local],
+                mark: vec![0; local],
+                seen: vec![false; local],
+                last_round: vec![0; local],
+                last_seq: vec![0; local],
+                in_dirty: vec![false; local],
+                in_round: vec![false; local],
+                ..Default::default()
+            })
+            .collect();
+        ParEngine {
+            nthreads,
+            num_vars,
+            rank_shift,
+            work_budget: None,
+            epoch: 0,
+            cur: (0..num_vars).map(|_| AtomicU64::new(0)).collect(),
+            cur_epoch: (0..num_vars).map(|_| AtomicU32::new(0)).collect(),
+            published: (0..num_vars).map(|_| AtomicU64::new(0)).collect(),
+            pub_epoch: (0..num_vars).map(|_| AtomicU32::new(0)).collect(),
+            workers,
+        }
+    }
+
+    /// Number of variables this engine is sized for.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of worker threads.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Sets (or clears) the distinct-variable work budget, with the same
+    /// abort contract as the sequential engine: a blown budget stops the
+    /// run mid-fixpoint with `RunStats::aborted` set.
+    pub fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.work_budget = budget;
+    }
+
+    /// The configured work budget, if any.
+    pub fn work_budget(&self) -> Option<u64> {
+        self.work_budget
+    }
+
+    /// Heap bytes held by the engine's scratch structures.
+    pub fn space_bytes(&self) -> usize {
+        let per_var = 2 * std::mem::size_of::<AtomicU64>() + 2 * std::mem::size_of::<AtomicU32>();
+        let workers: usize = self
+            .workers
+            .iter()
+            .map(|w| {
+                w.queue.space_bytes()
+                    + w.best.capacity() * 8
+                    + w.pend.capacity()
+                    + w.mark.capacity() * 4
+                    + w.seen.capacity()
+                    + w.last_round.capacity() * 4
+                    + w.last_seq.capacity() * 4
+                    + w.in_dirty.capacity()
+                    + w.in_round.capacity()
+                    + (w.dirty.capacity() + w.round_dirty.capacity() + w.dep_buf.capacity()) * 8
+            })
+            .sum();
+        self.num_vars * per_var + workers
+    }
+
+    /// Runs the step function to a fixpoint from the given initial scope
+    /// and writes the result (values *and* replayed stamps) back into
+    /// `status`. Semantics match [`Engine::run`](crate::engine::Engine::run):
+    /// identical final values (C2 uniqueness), identical abort contract.
+    pub fn run<S>(
+        &mut self,
+        spec: &S,
+        status: &mut Status<S::Value>,
+        scope: impl IntoIterator<Item = usize>,
+    ) -> RunStats
+    where
+        S: FixpointSpec + Sync,
+        S::Value: PackedValue,
+    {
+        assert_eq!(
+            spec.num_vars(),
+            self.num_vars,
+            "engine sized for a different variable count"
+        );
+        self.advance_epoch();
+        for w in &mut self.workers {
+            w.stats = RunStats::default();
+            w.seq = 0;
+            if !w.queue.is_empty() {
+                w.queue.clear(); // leftovers from an aborted run
+            }
+            debug_assert!(w.dirty.is_empty() && w.round_dirty.is_empty());
+        }
+
+        let (nthreads, epoch) = (self.nthreads, self.epoch);
+        for x in scope {
+            let r = spec.rank(x, &status.get(x)).min(RANK_CAP);
+            let w = &mut self.workers[x % nthreads];
+            push_local(w, epoch, nthreads, x, r, PEND_EVAL);
+        }
+        let mut min_bucket = u64::MAX;
+        for w in &mut self.workers {
+            if let Some(b) = w.queue.min_bucket() {
+                min_bucket = min_bucket.min(b as u64);
+            }
+        }
+        if min_bucket == u64::MAX {
+            // Empty scope: nothing to do, and the seed pushes (none)
+            // already cost nothing.
+            let mut stats = RunStats::default();
+            for w in &self.workers {
+                stats.merge(&w.stats);
+            }
+            return stats;
+        }
+
+        if nthreads == 1 {
+            // Single shard: there is no cross-shard visibility to stage,
+            // so the round scaffolding (barriers, publish, mailboxes,
+            // stamp replay) is dropped entirely. This is the sequential
+            // step loop driven by the O(1) bucket queue and the
+            // epoch-versioned dedup arrays instead of a binary heap.
+            return self.run_single(spec, status);
+        }
+
+        let cells = [AtomicU64::new(min_bucket), AtomicU64::new(u64::MAX)];
+        let barrier = Barrier::new(nthreads);
+        let abort = AtomicBool::new(false);
+        let distinct = AtomicU64::new(0);
+        let mailboxes: Vec<Vec<Mutex<Vec<Msg>>>> = (0..nthreads)
+            .map(|_| (0..nthreads).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+
+        let mut workers = std::mem::take(&mut self.workers);
+        let shared = Shared {
+            nthreads,
+            epoch,
+            budget: self.work_budget,
+            cur: &self.cur,
+            cur_epoch: &self.cur_epoch,
+            published: &self.published,
+            pub_epoch: &self.pub_epoch,
+            cells: &cells,
+            barrier: &barrier,
+            abort: &abort,
+            distinct: &distinct,
+            mailboxes: &mailboxes,
+        };
+        if nthreads == 1 {
+            // Single shard: run inline, no thread spawn, no cross-shard
+            // traffic — this is the bucket-queue engine.
+            worker_body(0, &mut workers[0], &shared, spec, status);
+        } else {
+            let status_ref: &Status<S::Value> = status;
+            std::thread::scope(|ts| {
+                for (t, w) in workers.iter_mut().enumerate() {
+                    let sh = &shared;
+                    ts.spawn(move || worker_body(t, w, sh, spec, status_ref));
+                }
+            });
+        }
+
+        let mut stats = RunStats::default();
+        for w in &workers {
+            stats.merge(&w.stats);
+        }
+
+        // Stamp replay: apply final values in (round, thread, seq) order
+        // of each variable's last change — a valid linearization of the
+        // causal order (see module docs).
+        let mut order: Vec<(u32, usize, u32, usize)> = Vec::new();
+        for (tid, w) in workers.iter().enumerate() {
+            for &x in &w.dirty {
+                let lx = x / nthreads;
+                order.push((w.last_round[lx], tid, w.last_seq[lx], x));
+            }
+        }
+        order.sort_unstable();
+        for &(_, _, _, x) in &order {
+            let v = <S::Value as PackedValue>::unpack(self.cur[x].load(Relaxed));
+            status.set(x, v);
+        }
+        for w in &mut workers {
+            let dirty = std::mem::take(&mut w.dirty);
+            for &x in &dirty {
+                w.in_dirty[x / nthreads] = false;
+            }
+            w.dirty = dirty;
+            w.dirty.clear();
+        }
+        self.workers = workers;
+        stats
+    }
+
+    /// The one-shard fast path of [`run`](Self::run): pops the global
+    /// minimum until the queue drains, reading and writing `status`
+    /// directly. Values *and* stamps land in processing order, exactly as
+    /// [`crate::engine::Engine::run`] would produce them — the schedule
+    /// is a valid linearization of `<_C` by construction, so no replay is
+    /// needed. The queue is seeded by the caller.
+    fn run_single<S>(&mut self, spec: &S, status: &mut Status<S::Value>) -> RunStats
+    where
+        S: FixpointSpec,
+        S::Value: PackedValue,
+    {
+        let epoch = self.epoch;
+        let budget = self.work_budget;
+        let w = &mut self.workers[0];
+        let mut deps = std::mem::take(&mut w.dep_buf);
+        while let Some((rank, x)) = w.queue.pop() {
+            if w.mark[x] != epoch || w.best[x] != rank || w.pend[x] == PEND_NONE {
+                w.stats.stale_pops += 1;
+                continue;
+            }
+            let kind = w.pend[x];
+            w.pend[x] = PEND_NONE;
+            w.best[x] = u64::MAX;
+            w.stats.pops += 1;
+            if !w.seen[x] {
+                w.seen[x] = true;
+                w.stats.distinct_vars += 1;
+                if let Some(b) = budget {
+                    if w.stats.distinct_vars > b {
+                        w.queue.clear();
+                        w.stats.aborted = true;
+                        break;
+                    }
+                }
+            }
+            let vx = if kind & PEND_EVAL != 0 {
+                let cur = status.get(x);
+                let mut reads = 0u64;
+                let newv = spec.eval(x, &mut |y| {
+                    reads += 1;
+                    status.get(y)
+                });
+                w.stats.evals += 1;
+                w.stats.reads += reads;
+                if newv != cur {
+                    debug_assert!(
+                        !spec.is_contracting() || spec.preceq(&newv, &cur),
+                        "non-contracting step on var {x}: {cur:?} -> {newv:?}"
+                    );
+                    status.set(x, newv);
+                    w.stats.changes += 1;
+                    newv
+                } else if kind & PEND_PROP != 0 {
+                    cur
+                } else {
+                    continue;
+                }
+            } else {
+                status.get(x)
+            };
+            deps.clear();
+            spec.dependents(x, &mut |z| deps.push(z));
+            for &z in &deps {
+                let zv = status.get(z);
+                w.stats.reads += 1;
+                match spec.relax(z, &zv, x, &vx) {
+                    Relax::Skip => {}
+                    Relax::Set(cand) => {
+                        if cand != zv {
+                            debug_assert!(
+                                !spec.is_contracting() || spec.preceq(&cand, &zv),
+                                "non-contracting relax on var {z}: {zv:?} -> {cand:?}"
+                            );
+                            status.set(z, cand);
+                            w.stats.changes += 1;
+                            let zr = spec.rank(z, &cand).min(RANK_CAP);
+                            push_local(w, epoch, 1, z, zr, PEND_PROP);
+                        }
+                    }
+                    Relax::Eval => {
+                        let zr = spec.push_rank(z, &zv, x, &vx).min(RANK_CAP);
+                        push_local(w, epoch, 1, z, zr, PEND_EVAL);
+                    }
+                }
+            }
+        }
+        w.dep_buf = deps;
+        w.stats
+    }
+
+    fn advance_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            self.cur_epoch.iter_mut().for_each(|e| *e.get_mut() = 0);
+            self.pub_epoch.iter_mut().for_each(|e| *e.get_mut() = 0);
+            for w in &mut self.workers {
+                w.mark.iter_mut().for_each(|m| *m = 0);
+            }
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+}
+
+/// Reads variable `y` as seen by thread `t`: own-shard variables come
+/// from the working array, foreign ones from the *published* array (both
+/// falling back to the base status when untouched this run). Foreign
+/// working values are never visible — the invariant the stamp replay and
+/// determinism guarantees rest on.
+#[inline]
+fn shard_read<V: PackedValue>(y: usize, t: usize, sh: &Shared<'_>, status: &Status<V>) -> V {
+    if y % sh.nthreads == t {
+        if sh.cur_epoch[y].load(Relaxed) == sh.epoch {
+            return V::unpack(sh.cur[y].load(Relaxed));
+        }
+    } else if sh.pub_epoch[y].load(Relaxed) == sh.epoch {
+        return V::unpack(sh.published[y].load(Relaxed));
+    }
+    status.get(y)
+}
+
+/// Records a change to owned variable `x`: stores the working value,
+/// stamps the (round, seq) of the change, and tracks run/round dirty
+/// sets.
+#[inline]
+fn apply_change<V: PackedValue>(w: &mut Worker, sh: &Shared<'_>, x: usize, round: u32, v: V) {
+    sh.cur[x].store(v.pack(), Relaxed);
+    sh.cur_epoch[x].store(sh.epoch, Relaxed);
+    w.stats.changes += 1;
+    w.seq += 1;
+    let lx = x / sh.nthreads;
+    w.last_round[lx] = round;
+    w.last_seq[lx] = w.seq;
+    if !w.in_dirty[lx] {
+        w.in_dirty[lx] = true;
+        w.dirty.push(x);
+    }
+    if !w.in_round[lx] {
+        w.in_round[lx] = true;
+        w.round_dirty.push(x);
+    }
+}
+
+/// Queues owned variable `x` (mirror of the sequential engine's dedup
+/// push: kinds join upward, ranks join downward).
+#[inline]
+fn push_local(w: &mut Worker, epoch: u32, nthreads: usize, x: usize, rank: u64, kind: u8) {
+    w.stats.pushes += 1;
+    let lx = x / nthreads;
+    if w.mark[lx] != epoch {
+        w.mark[lx] = epoch;
+        w.best[lx] = u64::MAX;
+        w.pend[lx] = PEND_NONE;
+        w.seen[lx] = false;
+    }
+    w.pend[lx] |= kind;
+    if rank < w.best[lx] {
+        w.best[lx] = rank;
+        w.queue.push(rank, x);
+    }
+}
+
+/// Propagates a change of owned `x` to its *local* dependents (relax
+/// fast path included); remote dependents are notified via the round's
+/// publish phase instead.
+#[allow(clippy::too_many_arguments)] // hot path: flat args, no per-call context struct
+fn propagate_local<S>(
+    w: &mut Worker,
+    sh: &Shared<'_>,
+    spec: &S,
+    status: &Status<S::Value>,
+    t: usize,
+    round: u32,
+    x: usize,
+    vx: &S::Value,
+) where
+    S: FixpointSpec,
+    S::Value: PackedValue,
+{
+    let mut deps = std::mem::take(&mut w.dep_buf);
+    deps.clear();
+    spec.dependents(x, &mut |z| deps.push(z));
+    for &z in &deps {
+        if z % sh.nthreads != t {
+            continue;
+        }
+        let zv = shard_read(z, t, sh, status);
+        w.stats.reads += 1;
+        match spec.relax(z, &zv, x, vx) {
+            Relax::Skip => {}
+            Relax::Set(cand) => {
+                if cand != zv {
+                    debug_assert!(
+                        !spec.is_contracting() || spec.preceq(&cand, &zv),
+                        "non-contracting relax on var {z}: {zv:?} -> {cand:?}"
+                    );
+                    apply_change(w, sh, z, round, cand);
+                    let zr = spec.rank(z, &cand).min(RANK_CAP);
+                    push_local(w, sh.epoch, sh.nthreads, z, zr, PEND_PROP);
+                }
+            }
+            Relax::Eval => {
+                let zr = spec.push_rank(z, &zv, x, vx).min(RANK_CAP);
+                push_local(w, sh.epoch, sh.nthreads, z, zr, PEND_EVAL);
+            }
+        }
+    }
+    w.dep_buf = deps;
+}
+
+/// One round's process phase: drain owned entries whose bucket is within
+/// the global bound, Gauss–Seidel style within the shard.
+fn process_round<S>(
+    w: &mut Worker,
+    sh: &Shared<'_>,
+    spec: &S,
+    status: &Status<S::Value>,
+    t: usize,
+    round: u32,
+    target_bucket: usize,
+) where
+    S: FixpointSpec,
+    S::Value: PackedValue,
+{
+    while let Some((rank, x)) = w.queue.pop_at_most(target_bucket) {
+        let lx = x / sh.nthreads;
+        if w.mark[lx] != sh.epoch || w.best[lx] != rank || w.pend[lx] == PEND_NONE {
+            w.stats.stale_pops += 1;
+            continue;
+        }
+        let kind = w.pend[lx];
+        w.pend[lx] = PEND_NONE;
+        w.best[lx] = u64::MAX;
+        w.stats.pops += 1;
+        if !w.seen[lx] {
+            w.seen[lx] = true;
+            w.stats.distinct_vars += 1;
+            if let Some(budget) = sh.budget {
+                if sh.distinct.fetch_add(1, Relaxed) + 1 > budget {
+                    sh.abort.store(true, Relaxed);
+                    return;
+                }
+            }
+        }
+        if kind & PEND_EVAL != 0 {
+            let cur = shard_read(x, t, sh, status);
+            let mut reads = 0u64;
+            let newv = spec.eval(x, &mut |y| {
+                reads += 1;
+                shard_read(y, t, sh, status)
+            });
+            w.stats.evals += 1;
+            w.stats.reads += reads;
+            if newv != cur {
+                debug_assert!(
+                    !spec.is_contracting() || spec.preceq(&newv, &cur),
+                    "non-contracting step on var {x}: {cur:?} -> {newv:?}"
+                );
+                apply_change(w, sh, x, round, newv);
+                propagate_local(w, sh, spec, status, t, round, x, &newv);
+            } else if kind & PEND_PROP != 0 {
+                propagate_local(w, sh, spec, status, t, round, x, &cur);
+            }
+        } else {
+            let v = shard_read(x, t, sh, status);
+            propagate_local(w, sh, spec, status, t, round, x, &v);
+        }
+        if sh.abort.load(Relaxed) {
+            return;
+        }
+    }
+}
+
+/// One round's publish phase: expose this round's changes to other
+/// shards and queue one activation per remote dependent per changed
+/// variable.
+fn publish_round<S>(w: &mut Worker, sh: &Shared<'_>, spec: &S, t: usize, outboxes: &mut [Vec<Msg>])
+where
+    S: FixpointSpec,
+    S::Value: PackedValue,
+{
+    let round_dirty = std::mem::take(&mut w.round_dirty);
+    for &x in &round_dirty {
+        w.in_round[x / sh.nthreads] = false;
+        if sh.nthreads > 1 {
+            let bits = sh.cur[x].load(Relaxed);
+            sh.published[x].store(bits, Relaxed);
+            sh.pub_epoch[x].store(sh.epoch, Relaxed);
+            spec.dependents(x, &mut |z| {
+                let dest = z % sh.nthreads;
+                if dest != t {
+                    outboxes[dest].push((z, x, bits));
+                }
+            });
+        }
+    }
+    w.round_dirty = round_dirty;
+    w.round_dirty.clear();
+    for (dest, out) in outboxes.iter_mut().enumerate() {
+        if !out.is_empty() {
+            sh.mailboxes[dest][t].lock().unwrap().append(out);
+        }
+    }
+}
+
+/// Drains incoming activations (in sender order, for determinism) into
+/// the local queue as EVAL requests, ranked exactly as the sequential
+/// engine would rank the push.
+fn drain_mailboxes<S>(
+    w: &mut Worker,
+    sh: &Shared<'_>,
+    spec: &S,
+    status: &Status<S::Value>,
+    t: usize,
+) where
+    S: FixpointSpec,
+    S::Value: PackedValue,
+{
+    for s in 0..sh.nthreads {
+        let msgs = std::mem::take(&mut *sh.mailboxes[t][s].lock().unwrap());
+        for (z, x, bits) in msgs {
+            let vx = <S::Value as PackedValue>::unpack(bits);
+            let zv = shard_read(z, t, sh, status);
+            w.stats.reads += 1;
+            let zr = spec.push_rank(z, &zv, x, &vx).min(RANK_CAP);
+            push_local(w, sh.epoch, sh.nthreads, z, zr, PEND_EVAL);
+        }
+    }
+}
+
+/// The per-thread round loop. Three barriers per round separate the
+/// phases whose overlap would break the visibility invariant:
+///
+/// ```text
+/// read global bucket ── process (own shard, ≤ bucket) ──┤ barrier P
+/// publish round's changes + queue remote activations  ──┤ barrier A
+/// abort check · drain mailboxes · propose next bucket ──┤ barrier B
+/// ```
+///
+/// `P` keeps same-round foreign writes invisible to evals; `A` ensures
+/// every mailbox is complete before anyone drains; `B` ensures the next
+/// round's global bucket is final before anyone reads it.
+fn worker_body<S>(t: usize, w: &mut Worker, sh: &Shared<'_>, spec: &S, status: &Status<S::Value>)
+where
+    S: FixpointSpec + Sync,
+    S::Value: PackedValue,
+{
+    let mut outboxes: Vec<Vec<Msg>> = vec![Vec::new(); sh.nthreads];
+    let mut round: u32 = 0;
+    loop {
+        let cell = (round & 1) as usize;
+        let next = cell ^ 1;
+        let target = sh.cells[cell].load(Relaxed);
+        if target == u64::MAX {
+            break; // no work anywhere: global fixpoint
+        }
+        if t == 0 {
+            sh.cells[next].store(u64::MAX, Relaxed);
+        }
+        process_round(w, sh, spec, status, t, round, target as usize);
+        sh.barrier.wait(); // P
+        publish_round(w, sh, spec, t, &mut outboxes);
+        sh.barrier.wait(); // A
+        if sh.abort.load(Relaxed) {
+            w.stats.aborted = true;
+            break; // uniform: every thread checks at this same point
+        }
+        drain_mailboxes(w, sh, spec, status, t);
+        let mine = w.queue.min_bucket().map_or(u64::MAX, |b| b as u64);
+        sh.cells[next].fetch_min(mine, Relaxed);
+        sh.barrier.wait(); // B
+        round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_fixpoint, Engine};
+
+    /// Min-label propagation over a fixed undirected graph — a miniature
+    /// CC with two components.
+    struct MiniCc {
+        adj: Vec<Vec<usize>>,
+    }
+
+    impl MiniCc {
+        fn new(n: usize, edges: &[(usize, usize)]) -> Self {
+            let mut adj = vec![Vec::new(); n];
+            for &(a, b) in edges {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+            MiniCc { adj }
+        }
+    }
+
+    impl FixpointSpec for MiniCc {
+        type Value = u32;
+        fn num_vars(&self) -> usize {
+            self.adj.len()
+        }
+        fn bottom(&self, x: usize) -> u32 {
+            x as u32
+        }
+        fn eval<R: FnMut(usize) -> u32>(&self, x: usize, read: &mut R) -> u32 {
+            let mut m = x as u32;
+            for &y in &self.adj[x] {
+                m = m.min(read(y));
+            }
+            m
+        }
+        fn dependents<P: FnMut(usize)>(&self, x: usize, push: &mut P) {
+            for &y in &self.adj[x] {
+                push(y);
+            }
+        }
+        fn preceq(&self, a: &u32, b: &u32) -> bool {
+            a <= b
+        }
+        fn rank(&self, _x: usize, v: &u32) -> u64 {
+            *v as u64
+        }
+        fn push_rank(&self, _z: usize, _zv: &u32, _t: usize, tv: &u32) -> u64 {
+            *tv as u64
+        }
+    }
+
+    fn ring_with_chords(n: usize) -> MiniCc {
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        for i in (0..n).step_by(7) {
+            edges.push((i, (i * 3 + 1) % n));
+        }
+        MiniCc::new(n, &edges)
+    }
+
+    #[test]
+    fn matches_sequential_on_full_batch() {
+        for threads in [1, 2, 4] {
+            let spec = ring_with_chords(101);
+            let mut seq = Status::init(&spec, false);
+            run_fixpoint(&spec, &mut seq, 0..spec.num_vars());
+            let mut par = Status::init(&spec, false);
+            let mut engine = ParEngine::new(spec.num_vars(), threads);
+            let stats = engine.run(&spec, &mut par, 0..spec.num_vars());
+            assert_eq!(seq.values(), par.values(), "threads={threads}");
+            assert!(!stats.aborted);
+            assert!(stats.changes > 0);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_partial_scope() {
+        let spec = MiniCc::new(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        for threads in [1, 2, 3] {
+            let mut par = Status::init(&spec, false);
+            let mut engine = ParEngine::new(6, threads);
+            engine.run(&spec, &mut par, [4usize, 5]);
+            assert_eq!(
+                par.values(),
+                &[0, 1, 2, 3, 4, 4],
+                "untouched region stays (threads={threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_scope_is_a_noop() {
+        let spec = MiniCc::new(4, &[(0, 1)]);
+        let mut engine = ParEngine::new(4, 2);
+        let mut status = Status::init(&spec, false);
+        let stats = engine.run(&spec, &mut status, std::iter::empty());
+        assert_eq!(stats.pops, 0);
+        assert_eq!(status.values(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn engine_reuse_isolates_runs() {
+        let spec = MiniCc::new(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let mut engine = ParEngine::new(6, 2);
+        let mut s1 = Status::init(&spec, false);
+        engine.run(&spec, &mut s1, 0..6);
+        let mut s2 = Status::init(&spec, false);
+        let stats2 = engine.run(&spec, &mut s2, [4usize, 5]);
+        assert_eq!(s2.values(), &[0, 1, 2, 3, 4, 4]);
+        assert!(stats2.distinct_vars <= 2);
+    }
+
+    #[test]
+    fn stamps_are_replayed_in_causal_order() {
+        // On a path seeded at one end, every node's min-label change is
+        // justified by its predecessor — stamps must strictly increase
+        // along the chain regardless of sharding.
+        let n = 40;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let spec = MiniCc::new(n, &edges);
+        for threads in [1, 2, 4] {
+            let mut status = Status::init(&spec, true);
+            let mut engine = ParEngine::new(n, threads);
+            engine.run(&spec, &mut status, 0..n);
+            for i in 1..n {
+                assert_eq!(status.get(i), 0);
+                assert!(
+                    status.stamp(i) > status.stamp(i - 1),
+                    "stamp({i}) must follow stamp({}) (threads={threads})",
+                    i - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_budget_aborts_runaway_run() {
+        let spec = ring_with_chords(64);
+        let mut engine = ParEngine::new(64, 2);
+        engine.set_work_budget(Some(4));
+        let mut status = Status::init(&spec, false);
+        let stats = engine.run(&spec, &mut status, 0..64);
+        assert!(stats.aborted, "64-var scope must blow a 4-var budget");
+        // Clearing the budget restores convergence on the same engine.
+        engine.set_work_budget(None);
+        let mut s2 = Status::init(&spec, false);
+        let st2 = engine.run(&spec, &mut s2, 0..64);
+        assert!(!st2.aborted);
+        let mut seq = Status::init(&spec, false);
+        run_fixpoint(&spec, &mut seq, 0..64);
+        assert_eq!(s2.values(), seq.values());
+    }
+
+    #[test]
+    fn deterministic_across_repeated_runs() {
+        let spec = ring_with_chords(97);
+        let mut engine = ParEngine::new(97, 3);
+        let mut base: Option<(Vec<u32>, Vec<u64>)> = None;
+        for _ in 0..3 {
+            let mut status = Status::init(&spec, true);
+            engine.run(&spec, &mut status, 0..97);
+            let stamps: Vec<u64> = (0..97).map(|x| status.stamp(x)).collect();
+            let snap = (status.values().to_vec(), stamps);
+            match &base {
+                None => base = Some(snap),
+                Some(b) => assert_eq!(b, &snap, "replay must be bit-identical"),
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_vars() {
+        let spec = MiniCc::new(3, &[(0, 1), (1, 2)]);
+        let mut engine = ParEngine::new(3, 8);
+        let mut status = Status::init(&spec, false);
+        engine.run(&spec, &mut status, 0..3);
+        assert_eq!(status.values(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn epoch_wrap_preserves_isolation() {
+        let spec = MiniCc::new(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let mut engine = ParEngine::new(6, 2);
+        engine.epoch = u32::MAX - 1;
+        let mut s1 = Status::init(&spec, false);
+        engine.run(&spec, &mut s1, 0..6); // epoch MAX
+        let mut s2 = Status::init(&spec, false);
+        engine.run(&spec, &mut s2, 0..6); // wraps
+        assert_eq!(s1.values(), s2.values());
+        let mut s3 = Status::init(&spec, false);
+        engine.run(&spec, &mut s3, [4usize, 5]);
+        assert_eq!(s3.values(), &[0, 1, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn matches_sequential_engine_stats_contract() {
+        // Not the same schedule, but the same convergence: both engines
+        // agree on final values and both report nonzero work.
+        let spec = ring_with_chords(50);
+        let mut seq_status = Status::init(&spec, false);
+        let seq_stats = Engine::new(50).run(&spec, &mut seq_status, 0..50);
+        let mut par_status = Status::init(&spec, false);
+        let par_stats = ParEngine::new(50, 4).run(&spec, &mut par_status, 0..50);
+        assert_eq!(seq_status.values(), par_status.values());
+        assert!(seq_stats.evals > 0 && par_stats.evals > 0);
+        assert_eq!(par_stats.distinct_vars, 50, "full batch inspects every var");
+    }
+}

@@ -27,8 +27,16 @@ impl CsrSnapshot {
     /// Freezes `g` into CSR form.
     pub fn new(g: &DynamicGraph) -> Self {
         let n = g.node_count();
+        // Exact arc counts up front: the row copies below must never
+        // trigger a doubling realloc (they dominate snapshot cost on
+        // batch-over-CSR paths).
+        let arcs = if g.is_directed() {
+            g.edge_count()
+        } else {
+            2 * g.edge_count()
+        };
         let mut out_offsets = Vec::with_capacity(n + 1);
-        let mut out_targets = Vec::new();
+        let mut out_targets = Vec::with_capacity(arcs);
         out_offsets.push(0);
         for v in 0..n as NodeId {
             out_targets.extend_from_slice(g.out_neighbors(v));
@@ -36,7 +44,7 @@ impl CsrSnapshot {
         }
         let (in_offsets, in_targets) = if g.is_directed() {
             let mut offs = Vec::with_capacity(n + 1);
-            let mut tgts = Vec::new();
+            let mut tgts = Vec::with_capacity(arcs);
             offs.push(0);
             for v in 0..n as NodeId {
                 tgts.extend_from_slice(g.in_neighbors(v));

@@ -1,0 +1,299 @@
+//! Copy-on-write ΔG overlay on a CSR snapshot.
+//!
+//! The parallel engine wants the flat, cache-friendly scans of a
+//! [`CsrSnapshot`], but an incremental run mutates the graph between
+//! fixpoints. Rebuilding the snapshot per batch would cost `O(|G|)` —
+//! exactly the bound incrementalization exists to avoid. [`CsrOverlay`]
+//! keeps the snapshot immutable and patches only the adjacency rows ΔG
+//! touches: the first update to a node's row copies it out of the CSR
+//! (copy-on-write), later updates edit the copy in place. Reads hit the
+//! patch map once per *row*, not per edge, so the unpatched majority of
+//! the graph is still served straight from the flat arrays.
+
+use crate::csr::CsrSnapshot;
+use crate::ids::{Label, NodeId, Weight};
+use crate::update::AppliedBatch;
+use crate::view::GraphView;
+use std::collections::HashMap;
+
+/// A [`CsrSnapshot`] plus a sparse set of patched adjacency rows.
+///
+/// Rows stay sorted by neighbor id, preserving the [`GraphView`]
+/// contract. Node additions are not supported — an overlay covers edge
+/// updates on a fixed node set, which is the shape of every ΔG in this
+/// workspace (batches that add nodes rebuild the snapshot instead).
+#[derive(Clone, Debug)]
+pub struct CsrOverlay<'a> {
+    base: &'a CsrSnapshot,
+    /// Patched outgoing rows (full neighbor set when undirected).
+    out_patch: HashMap<NodeId, Vec<(NodeId, Weight)>>,
+    /// Patched incoming rows (directed graphs only).
+    in_patch: HashMap<NodeId, Vec<(NodeId, Weight)>>,
+    /// Net edge delta vs. the base snapshot (insertions − deletions).
+    edge_delta: isize,
+}
+
+impl<'a> CsrOverlay<'a> {
+    /// An overlay with no patches: reads are identical to `base`.
+    pub fn new(base: &'a CsrSnapshot) -> Self {
+        CsrOverlay {
+            base,
+            out_patch: HashMap::new(),
+            in_patch: HashMap::new(),
+            edge_delta: 0,
+        }
+    }
+
+    /// The underlying snapshot.
+    pub fn base(&self) -> &'a CsrSnapshot {
+        self.base
+    }
+
+    /// Number of rows that have been copied out of the CSR.
+    pub fn patched_rows(&self) -> usize {
+        self.out_patch.len() + self.in_patch.len()
+    }
+
+    /// Net edge-count change relative to the base snapshot.
+    pub fn edge_delta(&self) -> isize {
+        self.edge_delta
+    }
+
+    /// Inserts edge `(u, v)` with weight `w`; same semantics as
+    /// [`DynamicGraph::insert_edge`](crate::store::DynamicGraph::insert_edge)
+    /// (no-op on duplicates, undirected self-loops rejected).
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> bool {
+        let n = self.base.node_count();
+        assert!((u as usize) < n, "node {u} out of range");
+        assert!((v as usize) < n, "node {v} out of range");
+        let directed = self.base.is_directed();
+        if !directed && u == v {
+            return false;
+        }
+        if !Self::insert_sorted(self.out_row_mut(u), v, w) {
+            return false;
+        }
+        let ok = if directed {
+            Self::insert_sorted(self.in_row_mut(v), u, w)
+        } else {
+            Self::insert_sorted(self.out_row_mut(v), u, w)
+        };
+        debug_assert!(ok, "overlay adjacency diverged");
+        self.edge_delta += 1;
+        true
+    }
+
+    /// Deletes edge `(u, v)`, returning its weight if it was present.
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Option<Weight> {
+        if !self.has_edge(u, v) {
+            return None; // avoid copying rows for a no-op delete
+        }
+        let directed = self.base.is_directed();
+        let w = Self::remove_sorted(self.out_row_mut(u), v)?;
+        let w2 = if directed {
+            Self::remove_sorted(self.in_row_mut(v), u)
+        } else {
+            Self::remove_sorted(self.out_row_mut(v), u)
+        };
+        debug_assert_eq!(w2, Some(w), "overlay adjacency diverged");
+        self.edge_delta -= 1;
+        Some(w)
+    }
+
+    /// Replays the effective ops of an applied batch onto the overlay, so
+    /// the overlay reads identically to the [`DynamicGraph`] the batch was
+    /// applied to (on the same node set).
+    ///
+    /// [`DynamicGraph`]: crate::store::DynamicGraph
+    pub fn apply(&mut self, batch: &AppliedBatch) {
+        for op in batch.ops() {
+            if op.inserted {
+                let ok = self.insert_edge(op.src, op.dst, op.weight);
+                debug_assert!(ok, "applied op re-inserted a live edge");
+            } else {
+                let w = self.delete_edge(op.src, op.dst);
+                debug_assert!(w.is_some(), "applied op deleted a missing edge");
+            }
+        }
+    }
+
+    /// Drops all patches, reverting reads to the base snapshot.
+    pub fn reset(&mut self) {
+        self.out_patch.clear();
+        self.in_patch.clear();
+        self.edge_delta = 0;
+    }
+
+    /// Heap bytes held by the patch rows.
+    pub fn space_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let entry = size_of::<(NodeId, Weight)>();
+        let row = size_of::<(NodeId, Vec<(NodeId, Weight)>)>();
+        self.out_patch
+            .iter()
+            .chain(self.in_patch.iter())
+            .map(|(_, r)| r.capacity() * entry + row)
+            .sum()
+    }
+
+    fn out_row_mut(&mut self, v: NodeId) -> &mut Vec<(NodeId, Weight)> {
+        let base = self.base;
+        self.out_patch
+            .entry(v)
+            .or_insert_with(|| base.out_neighbors(v).to_vec())
+    }
+
+    fn in_row_mut(&mut self, v: NodeId) -> &mut Vec<(NodeId, Weight)> {
+        let base = self.base;
+        self.in_patch
+            .entry(v)
+            .or_insert_with(|| base.in_neighbors(v).to_vec())
+    }
+
+    fn insert_sorted(adj: &mut Vec<(NodeId, Weight)>, t: NodeId, w: Weight) -> bool {
+        match adj.binary_search_by_key(&t, |&(x, _)| x) {
+            Ok(_) => false,
+            Err(pos) => {
+                adj.insert(pos, (t, w));
+                true
+            }
+        }
+    }
+
+    fn remove_sorted(adj: &mut Vec<(NodeId, Weight)>, t: NodeId) -> Option<Weight> {
+        match adj.binary_search_by_key(&t, |&(x, _)| x) {
+            Ok(pos) => Some(adj.remove(pos).1),
+            Err(_) => None,
+        }
+    }
+}
+
+impl GraphView for CsrOverlay<'_> {
+    fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+    fn is_directed(&self) -> bool {
+        self.base.is_directed()
+    }
+    fn label(&self, v: NodeId) -> Label {
+        self.base.label(v)
+    }
+    fn out_neighbors(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        match self.out_patch.get(&v) {
+            Some(row) => row,
+            None => self.base.out_neighbors(v),
+        }
+    }
+    fn in_neighbors(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        if self.base.is_directed() {
+            match self.in_patch.get(&v) {
+                Some(row) => row,
+                None => self.base.in_neighbors(v),
+            }
+        } else {
+            self.out_neighbors(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform;
+    use crate::store::DynamicGraph;
+    use crate::update::UpdateBatch;
+
+    fn assert_view_matches(overlay: &CsrOverlay<'_>, g: &DynamicGraph) {
+        assert_eq!(overlay.node_count(), g.node_count());
+        for v in 0..g.node_count() as NodeId {
+            assert_eq!(overlay.out_neighbors(v), g.out_neighbors(v), "out({v})");
+            assert_eq!(
+                overlay.in_neighbors(v),
+                GraphView::in_neighbors(g, v),
+                "in({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn untouched_overlay_reads_like_base() {
+        let g = uniform(60, 240, true, 5, 2, 21);
+        let csr = CsrSnapshot::new(&g);
+        let overlay = CsrOverlay::new(&csr);
+        assert_view_matches(&overlay, &g);
+        assert_eq!(overlay.patched_rows(), 0);
+    }
+
+    #[test]
+    fn overlay_tracks_applied_batch_directed() {
+        let mut g = uniform(80, 320, true, 5, 2, 22);
+        let csr = CsrSnapshot::new(&g);
+        let mut overlay = CsrOverlay::new(&csr);
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(0, 50, 3)
+            .delete(0, 50)
+            .insert(7, 7, 2) // directed self-loop
+            .insert(12, 40, 9);
+        // Delete a few edges that actually exist.
+        let existing: Vec<_> = g.edges().take(5).collect();
+        for (u, v, _) in existing {
+            batch.delete(u, v);
+        }
+        let applied = batch.apply(&mut g);
+        overlay.apply(&applied);
+        assert_view_matches(&overlay, &g);
+        // Directed CSR: one arc per edge.
+        assert_eq!(
+            overlay.edge_delta(),
+            g.edge_count() as isize - csr.arc_count() as isize
+        );
+    }
+
+    #[test]
+    fn overlay_tracks_applied_batch_undirected() {
+        let mut g = uniform(80, 320, false, 5, 2, 23);
+        let csr = CsrSnapshot::new(&g);
+        let mut overlay = CsrOverlay::new(&csr);
+        let mut batch = UpdateBatch::new();
+        batch.insert(3, 3, 1); // undirected self-loop: no-op everywhere
+        batch.insert(1, 70, 4);
+        let existing: Vec<_> = g.edges().take(4).collect();
+        for (u, v, _) in existing {
+            batch.delete(u, v);
+        }
+        let applied = batch.apply(&mut g);
+        overlay.apply(&applied);
+        assert_view_matches(&overlay, &g);
+    }
+
+    #[test]
+    fn noop_delete_copies_no_rows() {
+        let g = uniform(40, 100, true, 5, 2, 24);
+        let csr = CsrSnapshot::new(&g);
+        let mut overlay = CsrOverlay::new(&csr);
+        assert_eq!(overlay.delete_edge(0, 39), g.edge_weight(0, 39));
+        if !g.has_edge(0, 39) {
+            assert_eq!(overlay.patched_rows(), 0);
+        }
+        // Duplicate insert of an existing edge is also a no-op, but it has
+        // to copy the row to find that out — patched_rows may grow.
+        let first = g.edges().next();
+        if let Some((u, v, w)) = first {
+            assert!(!overlay.insert_edge(u, v, w));
+            assert_eq!(overlay.edge_delta(), 0);
+        }
+    }
+
+    #[test]
+    fn reset_reverts_to_base() {
+        let g = uniform(40, 100, false, 5, 2, 25);
+        let csr = CsrSnapshot::new(&g);
+        let mut overlay = CsrOverlay::new(&csr);
+        overlay.insert_edge(0, 20, 9);
+        assert!(overlay.has_edge(0, 20) || g.has_edge(0, 20));
+        overlay.reset();
+        assert_view_matches(&overlay, &g);
+        assert_eq!(overlay.space_bytes(), 0);
+    }
+}

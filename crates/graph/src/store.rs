@@ -160,13 +160,28 @@ impl DynamicGraph {
     /// permitted on directed graphs and rejected on undirected ones (they
     /// would double-insert into one adjacency list).
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> bool {
+        matches!(self.try_insert_edge(u, v, w), Ok(true))
+    }
+
+    /// Inserts edge `(u, v)` with weight `w`, reporting the weight of an
+    /// already-present edge instead of silently refusing.
+    ///
+    /// One binary search on `out[u]` resolves everything: `Ok(i)` is the
+    /// existing edge (returned as `Err(weight)`), `Err(pos)` is the
+    /// insertion point. Returns `Ok(true)` on insertion and `Ok(false)`
+    /// for a rejected undirected self-loop. Callers that need to
+    /// distinguish "already there with which weight" (batch validation)
+    /// get it without a separate `edge_weight` probe.
+    pub fn try_insert_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<bool, Weight> {
         assert!((u as usize) < self.labels.len(), "node {u} out of range");
         assert!((v as usize) < self.labels.len(), "node {v} out of range");
         if !self.directed && u == v {
-            return false;
+            return Ok(false);
         }
-        if !Self::insert_sorted(&mut self.out[u as usize], v, w) {
-            return false;
+        let adj = &mut self.out[u as usize];
+        match adj.binary_search_by_key(&v, |&(t, _)| t) {
+            Ok(i) => return Err(adj[i].1),
+            Err(pos) => adj.insert(pos, (v, w)),
         }
         if self.directed {
             let ok = Self::insert_sorted(&mut self.inn[v as usize], u, w);
@@ -176,7 +191,7 @@ impl DynamicGraph {
             debug_assert!(ok, "mirrored adjacency diverged");
         }
         self.num_edges += 1;
-        true
+        Ok(true)
     }
 
     /// Deletes edge `(u, v)`, returning its weight if it was present.
@@ -281,6 +296,17 @@ mod tests {
         assert!(g.insert_edge(1, 1, 3));
         assert_eq!(g.out_neighbors(1), &[(1, 3)]);
         assert_eq!(g.in_neighbors(1), &[(1, 3)]);
+    }
+
+    #[test]
+    fn try_insert_reports_existing_weight() {
+        let mut g = DynamicGraph::new(true, 3);
+        assert_eq!(g.try_insert_edge(0, 1, 5), Ok(true));
+        assert_eq!(g.try_insert_edge(0, 1, 9), Err(5));
+        assert_eq!(g.edge_weight(0, 1), Some(5), "losing insert is a no-op");
+        let mut u = DynamicGraph::new(false, 3);
+        assert_eq!(u.try_insert_edge(2, 2, 1), Ok(false), "self-loop rejected");
+        assert_eq!(u.edge_count(), 0);
     }
 
     #[test]

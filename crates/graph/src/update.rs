@@ -252,27 +252,29 @@ impl UpdateBatch {
                             max_weight,
                         })
                     } else {
-                        match g.edge_weight(src, dst) {
-                            Some(existing) if existing != weight => {
-                                Some(BatchError::ConflictingInsert {
-                                    index,
+                        // One `try_insert_edge` search both detects the
+                        // conflict and performs the insertion.
+                        match g.try_insert_edge(src, dst, weight) {
+                            Ok(true) => {
+                                ops.push(AppliedOp {
+                                    inserted: true,
                                     src,
                                     dst,
-                                    existing,
-                                    requested: weight,
-                                })
-                            }
-                            _ => {
-                                if g.insert_edge(src, dst, weight) {
-                                    ops.push(AppliedOp {
-                                        inserted: true,
-                                        src,
-                                        dst,
-                                        weight,
-                                    });
-                                }
+                                    weight,
+                                });
                                 None
                             }
+                            // Undirected self-loop: benign no-op, as in `apply`.
+                            Ok(false) => None,
+                            // Re-insert with the current weight: benign no-op.
+                            Err(existing) if existing == weight => None,
+                            Err(existing) => Some(BatchError::ConflictingInsert {
+                                index,
+                                src,
+                                dst,
+                                existing,
+                                requested: weight,
+                            }),
                         }
                     }
                 }

@@ -1,0 +1,150 @@
+//! Read-only graph access, abstracted over storage layout.
+//!
+//! The step functions and specs only ever *read* a graph: labels, sorted
+//! adjacency slices, degrees. [`GraphView`] captures exactly that
+//! surface, so an algorithm can be specified once and run over the
+//! pointer-per-row [`DynamicGraph`] (the update-stream substrate), a flat
+//! [`CsrSnapshot`] (batch scans), or a [`CsrOverlay`](crate::overlay::CsrOverlay)
+//! (a snapshot plus a small ΔG patch). `Sync` is a supertrait because the
+//! parallel engine shares the view across worker threads.
+
+use crate::csr::CsrSnapshot;
+use crate::ids::{Label, NodeId, Weight};
+use crate::store::DynamicGraph;
+
+/// Read-only view of a labeled, weighted graph with sorted adjacency.
+///
+/// Implementations must return neighbor slices **sorted by neighbor id**
+/// (the invariant every storage type in this crate maintains); the
+/// default `edge_weight` binary-searches under that assumption.
+pub trait GraphView: Sync {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+
+    /// Whether edges are directed.
+    fn is_directed(&self) -> bool;
+
+    /// Label of node `v`.
+    fn label(&self, v: NodeId) -> Label;
+
+    /// Outgoing neighbors of `v` as `(target, weight)`, sorted by target.
+    /// For undirected graphs this is the full neighbor set.
+    fn out_neighbors(&self, v: NodeId) -> &[(NodeId, Weight)];
+
+    /// Incoming neighbors of `v` as `(source, weight)`, sorted by source.
+    /// For undirected graphs this is the same set as
+    /// [`out_neighbors`](Self::out_neighbors).
+    fn in_neighbors(&self, v: NodeId) -> &[(NodeId, Weight)];
+
+    /// Out-degree of `v`.
+    #[inline]
+    fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Degree of `v` in an undirected graph.
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        debug_assert!(!self.is_directed(), "degree() is for undirected graphs");
+        self.out_neighbors(v).len()
+    }
+
+    /// Weight of edge `(u, v)`, if present (`O(log d)` binary search).
+    fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        let adj = self.out_neighbors(u);
+        adj.binary_search_by_key(&v, |&(t, _)| t)
+            .ok()
+            .map(|i| adj[i].1)
+    }
+
+    /// Whether edge `(u, v)` exists.
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+}
+
+impl GraphView for DynamicGraph {
+    fn node_count(&self) -> usize {
+        DynamicGraph::node_count(self)
+    }
+    fn is_directed(&self) -> bool {
+        DynamicGraph::is_directed(self)
+    }
+    fn label(&self, v: NodeId) -> Label {
+        DynamicGraph::label(self, v)
+    }
+    fn out_neighbors(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        DynamicGraph::out_neighbors(self, v)
+    }
+    fn in_neighbors(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        DynamicGraph::in_neighbors(self, v)
+    }
+    fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        DynamicGraph::edge_weight(self, u, v)
+    }
+}
+
+impl GraphView for CsrSnapshot {
+    fn node_count(&self) -> usize {
+        CsrSnapshot::node_count(self)
+    }
+    fn is_directed(&self) -> bool {
+        CsrSnapshot::is_directed(self)
+    }
+    fn label(&self, v: NodeId) -> Label {
+        CsrSnapshot::label(self, v)
+    }
+    fn out_neighbors(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        CsrSnapshot::out_neighbors(self, v)
+    }
+    fn in_neighbors(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        CsrSnapshot::in_neighbors(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exercise a view only through the trait, so both storage types are
+    /// checked against the same contract.
+    fn digest<G: GraphView>(g: &G) -> (usize, usize, Vec<Vec<(NodeId, Weight)>>) {
+        let n = g.node_count();
+        let arcs = (0..n as NodeId).map(|v| g.out_degree(v)).sum();
+        let rows = (0..n as NodeId)
+            .map(|v| {
+                let mut row = g.out_neighbors(v).to_vec();
+                row.extend_from_slice(g.in_neighbors(v));
+                row
+            })
+            .collect();
+        (n, arcs, rows)
+    }
+
+    #[test]
+    fn dynamic_and_csr_views_agree() {
+        let g = crate::gen::uniform(120, 600, true, 8, 3, 11);
+        let csr = CsrSnapshot::new(&g);
+        assert_eq!(digest(&g), digest(&csr));
+        for v in 0..120u32 {
+            assert_eq!(GraphView::label(&g, v), GraphView::label(&csr, v));
+        }
+    }
+
+    #[test]
+    fn default_edge_weight_binary_search() {
+        let mut g = DynamicGraph::new(true, 4);
+        g.insert_edge(0, 3, 7);
+        g.insert_edge(0, 1, 2);
+        let csr = CsrSnapshot::new(&g);
+        assert_eq!(GraphView::edge_weight(&csr, 0, 3), Some(7));
+        assert_eq!(GraphView::edge_weight(&csr, 0, 2), None);
+        assert!(GraphView::has_edge(&csr, 0, 1));
+    }
+}
