@@ -477,6 +477,35 @@ mod tests {
     }
 
     #[test]
+    fn successive_bridge_deletions_keep_stamps_honest() {
+        // Found by `incgraph fuzz` (minimized to 2 updates; see
+        // tests/corpus/). Edges 0-2, 1-5, 2-5: one component labeled 0.
+        // Deleting 0-2 makes {1,2,5} re-label to 1; the scope function
+        // raises 1 and 5 to values the engine then confirms unchanged.
+        // If those raises had kept the refined value with its stale
+        // timestamp, the change order would claim 5 settled before its
+        // witness 1, and the next deletion (1-5) would pick node 1 as the
+        // only possibly-affected endpoint, leaving 5's label stale at 1
+        // instead of 2.
+        let mut g = DynamicGraph::new(false, 6);
+        g.insert_edge(0, 2, 2);
+        g.insert_edge(1, 5, 1);
+        g.insert_edge(2, 5, 6);
+        let (mut state, _) = CcState::batch(&g);
+        for (u, v) in [(0, 2), (1, 5)] {
+            let mut batch = UpdateBatch::new();
+            batch.delete(u, v);
+            let applied = batch.apply(&mut g);
+            state.update(&g, &applied);
+            assert_eq!(
+                state.components(),
+                cc_reference(&g).as_slice(),
+                "divergence after deleting ({u}, {v})"
+            );
+        }
+    }
+
+    #[test]
     fn repeated_rounds_stay_correct() {
         // Multi-round incremental runs exercise timestamp maintenance
         // across rounds (stamp drift would silently corrupt later rounds).

@@ -11,7 +11,9 @@
 use incgraph_algos::{CcState, IncrementalState, LccState, ReachState, SimState, SsspState};
 use incgraph_core::FixpointAudit;
 use incgraph_graph::rng::SplitMix64;
-use incgraph_graph::{DynamicGraph, NodeId, Pattern, UpdateBatch};
+use incgraph_graph::{
+    CsrOverlay, CsrSnapshot, DynamicGraph, GraphView, NodeId, Pattern, UpdateBatch,
+};
 
 /// Thread counts under test; override with e.g. `INCGRAPH_TEST_THREADS=1,8`.
 fn thread_counts() -> Vec<usize> {
@@ -204,6 +206,202 @@ fn lcc_parallel_matches_sequential() {
                 .collect::<Vec<_>>()
         },
     );
+}
+
+/// A stream dominated by self-loop churn, with enough ordinary edges
+/// mixed in that the fixpoints actually move between rounds.
+fn self_loop_stream(n: usize, rounds: usize, seed: u64) -> Vec<UpdateBatch> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..rounds)
+        .map(|_| {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..8 {
+                let v = rng.gen_range(0..n) as NodeId;
+                if rng.gen_bool(0.6) {
+                    batch.insert(v, v, rng.gen_range(1..=5u32));
+                } else {
+                    batch.delete(v, v);
+                }
+                let u = rng.gen_range(0..n) as NodeId;
+                let w = rng.gen_range(0..n) as NodeId;
+                if rng.gen_bool(0.5) {
+                    batch.insert(u, w, rng.gen_range(1..=5u32));
+                } else {
+                    batch.delete(u, w);
+                }
+            }
+            batch
+        })
+        .collect()
+}
+
+#[test]
+fn zero_node_graph_parallel_matches_sequential() {
+    // No status variables at all: the engines must agree on the empty
+    // fixpoint without touching a single shard.
+    let g = DynamicGraph::new(false, 0);
+    assert_deterministic(
+        "cc/0-nodes",
+        &g,
+        &[],
+        |g, t| {
+            if t > 1 {
+                CcState::batch_par(g, t).0
+            } else {
+                CcState::batch(g).0
+            }
+        },
+        |s| s.components().to_vec(),
+    );
+    assert_deterministic(
+        "lcc/0-nodes",
+        &g,
+        &[],
+        |g, t| {
+            if t > 1 {
+                LccState::batch_par(g, t).0
+            } else {
+                LccState::batch(g).0
+            }
+        },
+        |s| s.coefficients().to_vec(),
+    );
+}
+
+#[test]
+fn single_node_graph_parallel_matches_sequential() {
+    // One node, a stream that only churns its (directed) self-loop. The
+    // undirected classes see every op rejected as a no-op.
+    let stream = self_loop_stream(1, 4, 900);
+    let gd = DynamicGraph::new(true, 1);
+    assert_deterministic(
+        "sssp/1-node",
+        &gd,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                SsspState::batch_par(g, 0, t).0
+            } else {
+                SsspState::batch(g, 0).0
+            }
+        },
+        |s| s.distances().to_vec(),
+    );
+    assert_deterministic(
+        "reach/1-node",
+        &gd,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                ReachState::batch_par(g, 0, t).0
+            } else {
+                ReachState::batch(g, 0).0
+            }
+        },
+        |s| s.reached().to_vec(),
+    );
+    let pattern = Pattern::new(vec![0], &[]);
+    assert_deterministic(
+        "sim/1-node",
+        &gd,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                SimState::batch_par(g, pattern.clone(), t).0
+            } else {
+                SimState::batch(g, pattern.clone()).0
+            }
+        },
+        |s| s.relation(),
+    );
+    let gu = DynamicGraph::new(false, 1);
+    assert_deterministic(
+        "cc/1-node",
+        &gu,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                CcState::batch_par(g, t).0
+            } else {
+                CcState::batch(g).0
+            }
+        },
+        |s| s.components().to_vec(),
+    );
+}
+
+#[test]
+fn self_loop_churn_parallel_matches_sequential() {
+    // Directed graphs keep self-loops as real arcs; they must neither
+    // shorten SSSP distances nor create spurious reachability, at any
+    // thread count.
+    let g = incgraph_graph::gen::uniform(60, 150, true, 5, 2, 47);
+    let stream = self_loop_stream(60, 6, 947);
+    assert_deterministic(
+        "sssp/self-loops",
+        &g,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                SsspState::batch_par(g, 0, t).0
+            } else {
+                SsspState::batch(g, 0).0
+            }
+        },
+        |s| s.distances().to_vec(),
+    );
+    assert_deterministic(
+        "reach/self-loops",
+        &g,
+        &stream,
+        |g, t| {
+            if t > 1 {
+                ReachState::batch_par(g, 0, t).0
+            } else {
+                ReachState::batch(g, 0).0
+            }
+        },
+        |s| s.reached().to_vec(),
+    );
+}
+
+#[test]
+fn csr_overlay_views_track_update_stream() {
+    // The parallel engine reads ΔG through a copy-on-write CsrOverlay;
+    // its row views must stay byte-identical to the mutated DynamicGraph
+    // across a whole multi-round stream, and reset() must revert to the
+    // base snapshot exactly.
+    for directed in [true, false] {
+        let mut g = incgraph_graph::gen::uniform(80, 300, directed, 5, 2, 48);
+        let base = g.clone();
+        let csr = CsrSnapshot::new(&base);
+        let mut overlay = CsrOverlay::new(&csr);
+        let stream = update_stream(80, 5, 20, 5, 148);
+        for (round, batch) in stream.iter().enumerate() {
+            let applied = batch.apply(&mut g);
+            overlay.apply(&applied);
+            for v in 0..g.node_count() as NodeId {
+                assert_eq!(
+                    overlay.out_neighbors(v),
+                    g.out_neighbors(v),
+                    "directed={directed} round {round}: out({v})"
+                );
+                assert_eq!(
+                    overlay.in_neighbors(v),
+                    GraphView::in_neighbors(&g, v),
+                    "directed={directed} round {round}: in({v})"
+                );
+            }
+        }
+        overlay.reset();
+        for v in 0..base.node_count() as NodeId {
+            assert_eq!(
+                overlay.out_neighbors(v),
+                base.out_neighbors(v),
+                "directed={directed}: reset must revert out({v}) to base"
+            );
+        }
+    }
 }
 
 #[test]

@@ -44,6 +44,10 @@ use std::time::Instant;
 /// Everything that can end a run early, with its process exit code.
 #[derive(Debug)]
 enum CliError {
+    /// A fuzz/replay run observed an unexpected oracle outcome (a real
+    /// divergence during `fuzz`, a corpus case violating its
+    /// expectation during `replay`).
+    Oracle(String),
     /// Bad invocation: unknown flag/class, missing argument.
     Usage(String),
     /// A named input could not be opened or read.
@@ -66,6 +70,7 @@ enum CliError {
 impl CliError {
     fn exit_code(&self) -> i32 {
         match self {
+            CliError::Oracle(_) => 1,
             CliError::Usage(_) => 2,
             CliError::FileUnreadable { .. } | CliError::Output { .. } => 3,
             CliError::Parse { .. } => 4,
@@ -77,6 +82,7 @@ impl CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            CliError::Oracle(msg) => write!(f, "{msg}"),
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::FileUnreadable { path, source } => write!(f, "{path}: {source}"),
             CliError::Parse { path, source } => {
@@ -124,7 +130,10 @@ const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.tx
                      [--updates D.txt] [--directed] [--source N] [--seed S] [--out F] \
                      [--threads N] [--max-aff-frac F] [--max-scope N] [--audit] \
                      [--audit-stride K]\n\
-                     \u{20}      incgraph bench [--threads N] [--scale F] [--out BENCH.json]";
+                     \u{20}      incgraph bench [--threads N] [--scale F] [--out BENCH.json]\n\
+                     \u{20}      incgraph fuzz [--seed S] [--cases N] [--budget-secs T] \
+                     [--inject-fault skip-op|drop-deletes] [--corpus DIR] [--max-nodes N]\n\
+                     \u{20}      incgraph replay <FILE.case|DIR>...";
 
 fn parse_args() -> Result<Args, CliError> {
     let mut args = Args {
@@ -330,7 +339,214 @@ fn run_bench(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `incgraph fuzz`: a differential-fuzzing campaign over generated
+/// cases (see `crates/oracle`). Exit codes: 0 = campaign met its goal,
+/// 1 = a real divergence was found (clean mode) or the injected fault
+/// escaped the oracles (`--inject-fault` mode).
+fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
+    use incgraph_oracle::{fuzz, Fault, FuzzConfig};
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+    let mut cfg = FuzzConfig::new(1, 100);
+    cfg.corpus_dir = Some(std::path::PathBuf::from("tests/corpus"));
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--seed needs an integer"))?
+            }
+            "--cases" => {
+                cfg.cases = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| usage("--cases needs an integer ≥ 1"))?
+            }
+            "--budget-secs" => {
+                let secs: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0.0)
+                    .ok_or_else(|| usage("--budget-secs needs a positive number"))?;
+                cfg.time_budget = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--inject-fault" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| usage("--inject-fault needs a fault name"))?;
+                cfg.inject_fault = Some(
+                    Fault::from_name(name)
+                        .ok_or_else(|| usage(&format!("unknown fault `{name}`")))?,
+                );
+            }
+            "--corpus" => {
+                cfg.corpus_dir = Some(std::path::PathBuf::from(
+                    it.next().ok_or_else(|| usage("--corpus needs a dir"))?,
+                ))
+            }
+            "--no-corpus" => cfg.corpus_dir = None,
+            "--max-nodes" => {
+                cfg.gen.max_nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 6)
+                    .ok_or_else(|| usage("--max-nodes needs an integer ≥ 6"))?
+            }
+            flag => return Err(usage(&format!("unknown fuzz flag {flag}"))),
+        }
+    }
+    match cfg.inject_fault {
+        Some(f) => eprintln!(
+            "fuzz: seed {}, up to {} cases, injecting fault `{}`",
+            cfg.seed,
+            cfg.cases,
+            f.name()
+        ),
+        None => eprintln!("fuzz: seed {}, up to {} cases", cfg.seed, cfg.cases),
+    }
+    let report = fuzz(&cfg);
+    let classes: Vec<&str> = report.classes_exercised.iter().map(|c| c.name()).collect();
+    eprintln!(
+        "fuzz: ran {} cases / {} oracle checks; classes exercised: {}",
+        report.cases_run,
+        report.checks,
+        classes.join(",")
+    );
+    for rec in &report.failures {
+        eprintln!(
+            "fuzz: case seed {}: {} — minimized to {} updates / {} edges in {} attempts{}",
+            rec.case_seed,
+            rec.failure,
+            rec.minimized.schedule_len(),
+            rec.minimized.edges.len(),
+            rec.shrink.attempts,
+            match &rec.path {
+                Some(p) => format!(" → {}", p.display()),
+                None => String::new(),
+            }
+        );
+    }
+    match cfg.inject_fault {
+        None => {
+            if report.clean() {
+                eprintln!("fuzz: all oracles held");
+                Ok(())
+            } else {
+                Err(CliError::Oracle(format!(
+                    "fuzz: {} divergence(s) found — minimized reproducers written above",
+                    report.failures.len()
+                )))
+            }
+        }
+        Some(fault) => {
+            // Validation mode: the fault MUST be caught and shrink small.
+            let smallest = report
+                .failures
+                .iter()
+                .map(|r| r.minimized.schedule_len())
+                .min();
+            match smallest {
+                None => Err(CliError::Oracle(format!(
+                    "fuzz: injected fault `{}` escaped all oracles over {} cases",
+                    fault.name(),
+                    report.cases_run
+                ))),
+                Some(n) if n > 10 => Err(CliError::Oracle(format!(
+                    "fuzz: injected fault `{}` caught but only minimized to {n} updates (> 10)",
+                    fault.name()
+                ))),
+                Some(n) => {
+                    eprintln!(
+                        "fuzz: injected fault `{}` caught and minimized to {n} update(s)",
+                        fault.name()
+                    );
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// `incgraph replay`: re-run corpus case files through the full oracle
+/// stack. A case recording an `inject-fault` must still fail (the fault
+/// is re-injected — it proves the oracles have teeth); a case without
+/// one is a fixed-bug regression test and must pass.
+fn run_replay(argv: &[String]) -> Result<(), CliError> {
+    use incgraph_oracle::{run_case, Case};
+    if argv.is_empty() {
+        return Err(CliError::Usage(format!(
+            "replay needs case files or directories\n{USAGE}"
+        )));
+    }
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for arg in argv {
+        let path = std::path::PathBuf::from(arg);
+        if path.is_dir() {
+            let entries = std::fs::read_dir(&path).map_err(|e| CliError::FileUnreadable {
+                path: arg.clone(),
+                source: e,
+            })?;
+            let mut cases: Vec<_> = entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "case"))
+                .collect();
+            cases.sort();
+            files.extend(cases);
+        } else {
+            files.push(path);
+        }
+    }
+    if files.is_empty() {
+        return Err(CliError::Usage("replay: no .case files found".into()));
+    }
+    let mut bad: Vec<String> = Vec::new();
+    for path in &files {
+        let shown = path.display();
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::FileUnreadable {
+            path: shown.to_string(),
+            source: e,
+        })?;
+        let case = Case::parse(&text).map_err(|e| CliError::Parse {
+            path: shown.to_string(),
+            source: ParseError {
+                line: e.line,
+                message: e.message,
+            },
+        })?;
+        let outcome = run_case(&case, case.fault);
+        match (case.fault, outcome.failure) {
+            (Some(fault), Some(f)) => {
+                eprintln!(
+                    "replay {shown}: fault `{}` still caught ({f})",
+                    fault.name()
+                )
+            }
+            (Some(fault), None) => bad.push(format!(
+                "{shown}: recorded fault `{}` no longer trips any oracle",
+                fault.name()
+            )),
+            (None, Some(f)) => bad.push(format!("{shown}: regression: {f}")),
+            (None, None) => eprintln!("replay {shown}: ok ({} checks)", outcome.checks),
+        }
+    }
+    if bad.is_empty() {
+        eprintln!("replay: {} case(s) verified", files.len());
+        Ok(())
+    } else {
+        Err(CliError::Oracle(bad.join("\n")))
+    }
+}
+
 fn run() -> Result<(), CliError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("fuzz") => return run_fuzz(&argv[1..]),
+        Some("replay") => return run_replay(&argv[1..]),
+        _ => {}
+    }
     let args = parse_args()?;
     if args.class == "bench" {
         return run_bench(&args);

@@ -180,7 +180,9 @@ impl Engine {
         self.peak_heap = 0;
         let mut stats = RunStats::default();
 
+        let mut scope_len = 0usize;
         for x in scope {
+            scope_len += 1;
             let r = spec.rank(x, &status.get(x)).min(RANK_CAP);
             self.push(x, r, PEND_EVAL, &mut stats);
         }
@@ -249,6 +251,7 @@ impl Engine {
         if self.heap.capacity() > 4 * self.peak_heap.max(1) {
             self.heap.shrink_to(self.peak_heap);
         }
+        crate::trace::record("seq", 1, scope_len, &stats);
         stats
     }
 

@@ -75,6 +75,16 @@ impl VisitEpoch {
         self.count = 0;
     }
 
+    /// Test-only: jumps the current epoch so wraparound behaviour can be
+    /// exercised without `u32::MAX` real clears. Membership is recomputed
+    /// against the new epoch, so the set's invariants stay intact.
+    #[doc(hidden)]
+    pub fn jump_to_epoch(&mut self, epoch: u32) {
+        assert!(epoch > 0, "epoch 0 is reserved for never-inserted slots");
+        self.epoch = epoch;
+        self.count = self.mark.iter().filter(|&&m| m == epoch).count();
+    }
+
     /// Grows the universe to `len` slots (no-op if already that large).
     /// Fresh slots are non-members.
     pub fn grow_to(&mut self, len: usize) {

@@ -58,6 +58,7 @@ pub mod par;
 pub mod scope;
 pub mod spec;
 pub mod status;
+pub mod trace;
 
 pub use audit::{AuditMode, AuditReport, AuditViolation, FixpointAudit};
 pub use bucket::BucketQueue;
@@ -69,3 +70,4 @@ pub use par::{PackedValue, ParEngine};
 pub use scope::{bounded_scope, pe_reset_scope, ContributorOracle, ScopeResult, ScopeStats};
 pub use spec::FixpointSpec;
 pub use status::Status;
+pub use trace::{CaseTrace, TraceEvent};

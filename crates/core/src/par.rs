@@ -299,7 +299,9 @@ impl ParEngine {
         }
 
         let (nthreads, epoch) = (self.nthreads, self.epoch);
+        let mut scope_len = 0usize;
         for x in scope {
+            scope_len += 1;
             let r = spec.rank(x, &status.get(x)).min(RANK_CAP);
             let w = &mut self.workers[x % nthreads];
             push_local(w, epoch, nthreads, x, r, PEND_EVAL);
@@ -317,6 +319,7 @@ impl ParEngine {
             for w in &self.workers {
                 stats.merge(&w.stats);
             }
+            crate::trace::record("par", nthreads, scope_len, &stats);
             return stats;
         }
 
@@ -326,7 +329,9 @@ impl ParEngine {
             // stamp replay) is dropped entirely. This is the sequential
             // step loop driven by the O(1) bucket queue and the
             // epoch-versioned dedup arrays instead of a binary heap.
-            return self.run_single(spec, status);
+            let stats = self.run_single(spec, status);
+            crate::trace::record("par", 1, scope_len, &stats);
+            return stats;
         }
 
         let cells = [AtomicU64::new(min_bucket), AtomicU64::new(u64::MAX)];
@@ -395,6 +400,7 @@ impl ParEngine {
             w.dirty.clear();
         }
         self.workers = workers;
+        crate::trace::record("par", nthreads, scope_len, &stats);
         stats
     }
 

@@ -94,12 +94,25 @@ pub struct ScopeResult {
 /// (`order_key ≥ order_key(x)`) read as their `⊥` value (lines 5–6). If
 /// the recomputation shows `x ≺ f_x(Ȳ)` — the stored value is more
 /// advanced than anything the surviving contributors justify — `x` is
-/// raised to `f_x(Ȳ)`, added to `H⁰`, and the variables it contributed to
-/// are enqueued (lines 7–9).
+/// raised, added to `H⁰`, and the variables it contributed to are enqueued
+/// (lines 7–9).
 ///
-/// Raises use [`Status::set_unstamped`]: timestamps must keep describing
-/// the change order of the underlying contracting run, and a raise is a
-/// rollback, not a step, of that run.
+/// A raise stores `⊥`, not the refined `f_x(Ȳ)`. The refined value is
+/// tempting (it can spare the engine a re-derivation) but it corrupts the
+/// weakly-deducible timestamp order: when the resumed engine *confirms*
+/// the refined value without a change, the variable keeps its pre-update
+/// stamp, which may now be smaller than the stamp of the very neighbor
+/// that witnesses it — and a later round's `<_C` then misidentifies which
+/// endpoint of a deleted edge can be affected (found by differential
+/// fuzzing: two successive bridge deletions in CC left a stale component
+/// label behind). Resetting to `⊥` restores the invariant by
+/// construction: every surviving non-`⊥` value was either untouched (its
+/// old stamp and witness are intact) or freshly lowered by the engine
+/// (stamped in change order).
+///
+/// Raises use [`Status::set_unstamped`]: a raise is a rollback, not a
+/// step, of the underlying contracting run, and the reset-to-`⊥` above
+/// guarantees any value the engine keeps is restamped when re-derived.
 pub fn bounded_scope<S: FixpointSpec, O: ContributorOracle<S::Value>>(
     spec: &S,
     oracle: &O,
@@ -151,8 +164,10 @@ pub fn bounded_scope<S: FixpointSpec, O: ContributorOracle<S::Value>>(
         stats.reads += reads;
 
         // `x ≺ f_x(Ȳ)` (or incomparable): the stored value is potentially
-        // infeasible for G ⊕ ΔG — raise it. Contributors are collected
-        // *before* the raise lands so the oracle sees x's pre-raise value.
+        // infeasible for G ⊕ ΔG — raise it, all the way to `⊥` (see the
+        // function docs for why the refined value must not be stored).
+        // Contributors are collected *before* the raise lands so the
+        // oracle sees x's pre-raise value.
         if newv != cur && !spec.preceq(&newv, &cur) {
             oracle.contributes_to(x, status, &mut |z| {
                 if !done[z] {
@@ -160,7 +175,7 @@ pub fn bounded_scope<S: FixpointSpec, O: ContributorOracle<S::Value>>(
                     stats.pushes += 1;
                 }
             });
-            status.set_unstamped(x, newv);
+            status.set_unstamped(x, spec.bottom(x));
             stats.raised += 1;
             if !std::mem::replace(&mut in_scope[x], true) {
                 scope.push(x);

@@ -1,0 +1,173 @@
+//! Schedule tracing for failure diagnosis ([`CaseTrace`]).
+//!
+//! When the differential fuzzing oracle (`incgraph-oracle`) reproduces a
+//! divergence, the *values* alone rarely explain it — the interesting
+//! question is what schedule the engines ran: how many variables each
+//! fixpoint resumed from, how much work each run did, and whether the
+//! sequential worklist or the sharded parallel engine produced it. This
+//! module is the hook the engines report through: tracing is off by
+//! default (one relaxed atomic load per fixpoint run), and when a
+//! harness turns it on via [`CaseTrace::start`], every
+//! [`Engine::run`](crate::engine::Engine::run) and
+//! [`ParEngine::run`](crate::par::ParEngine::run) appends a
+//! [`TraceEvent`] summarizing its schedule, which
+//! [`CaseTrace::finish`] collects for embedding into a replayable case
+//! file.
+//!
+//! The recorder is process-global (the engines are buried inside
+//! algorithm states and threading a handle through every layer would
+//! distort the APIs the paper mandates); keep at most one trace active
+//! at a time.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::RunStats;
+
+/// One fixpoint run as the engines saw it.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Which driver ran: `"seq"` ([`crate::engine::Engine`]) or `"par"`
+    /// ([`crate::par::ParEngine`]).
+    pub engine: &'static str,
+    /// Worker shards (always 1 for the sequential engine).
+    pub threads: usize,
+    /// Variables seeded into the initial scope `H⁰`.
+    pub scope: usize,
+    /// Work counters of the run.
+    pub stats: RunStats,
+}
+
+impl TraceEvent {
+    /// Compact one-line rendering for case-file comments.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}[t={}] scope={} pops={} evals={} changes={} distinct={}{}",
+            self.engine,
+            self.threads,
+            self.scope,
+            self.stats.pops,
+            self.stats.evals,
+            self.stats.changes,
+            self.stats.distinct_vars,
+            if self.stats.aborted { " ABORTED" } else { "" }
+        )
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+/// Handle for collecting the engines' schedule summaries.
+pub struct CaseTrace;
+
+impl CaseTrace {
+    /// Starts recording, discarding any events from a previous trace.
+    pub fn start() {
+        let mut events = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+        events.clear();
+        ENABLED.store(true, Ordering::Release);
+    }
+
+    /// Stops recording and returns the events in arrival order.
+    pub fn finish() -> Vec<TraceEvent> {
+        ENABLED.store(false, Ordering::Release);
+        let mut events = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *events)
+    }
+
+    /// Whether a trace is active (the engines' fast-path check).
+    #[inline]
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+}
+
+/// Appends an event if tracing is active. The engines call this once per
+/// completed run, never per pop, so the mutex is off every hot path.
+pub(crate) fn record(engine: &'static str, threads: usize, scope: usize, stats: &RunStats) {
+    if !CaseTrace::enabled() {
+        return;
+    }
+    let mut events = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    events.push(TraceEvent {
+        engine,
+        threads,
+        scope,
+        stats: *stats,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_fixpoint;
+    use crate::spec::FixpointSpec;
+    use crate::status::Status;
+
+    /// Trace tests share the process-global recorder; serialize them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    struct Chain;
+    impl FixpointSpec for Chain {
+        type Value = u32;
+        fn num_vars(&self) -> usize {
+            4
+        }
+        fn bottom(&self, x: usize) -> u32 {
+            x as u32
+        }
+        fn eval<R: FnMut(usize) -> u32>(&self, x: usize, read: &mut R) -> u32 {
+            if x > 0 {
+                (x as u32).min(read(x - 1))
+            } else {
+                0
+            }
+        }
+        fn dependents<P: FnMut(usize)>(&self, x: usize, push: &mut P) {
+            if x + 1 < 4 {
+                push(x + 1);
+            }
+        }
+        fn preceq(&self, a: &u32, b: &u32) -> bool {
+            a <= b
+        }
+        fn rank(&self, _x: usize, v: &u32) -> u64 {
+            *v as u64
+        }
+        fn push_rank(&self, _z: usize, _zv: &u32, _t: usize, tv: &u32) -> u64 {
+            *tv as u64
+        }
+    }
+
+    #[test]
+    fn sequential_runs_are_recorded() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        CaseTrace::start();
+        let spec = Chain;
+        let mut status = Status::init(&spec, false);
+        run_fixpoint(&spec, &mut status, 0..4);
+        let events = CaseTrace::finish();
+        let ours: Vec<_> = events
+            .iter()
+            .filter(|e| e.engine == "seq" && e.scope == 4)
+            .collect();
+        assert!(!ours.is_empty(), "run not traced: {events:?}");
+        assert!(ours[0].stats.pops >= 4);
+        assert!(ours[0].summary().contains("seq[t=1] scope=4"));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Drain anything a previous trace left behind.
+        CaseTrace::start();
+        let _ = CaseTrace::finish();
+        let spec = Chain;
+        let mut status = Status::init(&spec, false);
+        run_fixpoint(&spec, &mut status, 0..4);
+        CaseTrace::start();
+        let events = CaseTrace::finish();
+        assert!(events.is_empty(), "untracked run leaked: {events:?}");
+    }
+}

@@ -351,6 +351,16 @@ pub struct AppliedBatch {
 }
 
 impl AppliedBatch {
+    /// Assembles an applied batch from explicit effective ops. Normal
+    /// callers get their `AppliedBatch` from [`UpdateBatch::apply`]; this
+    /// constructor exists for testing harnesses (the differential fuzzing
+    /// oracle) that need to present an algorithm state with a *doctored*
+    /// ΔG — e.g. one with an op dropped — to model bugs like the
+    /// undirected-mirror misses PR 1's audit caught.
+    pub fn from_ops(ops: Vec<AppliedOp>) -> Self {
+        AppliedBatch { ops }
+    }
+
     /// Effective unit updates in application order.
     pub fn ops(&self) -> &[AppliedOp] {
         &self.ops
@@ -589,6 +599,106 @@ mod tests {
         let applied = batch.apply_validated(&mut g).expect("legal");
         assert_eq!(applied.len(), 2);
         assert!(!g.has_edge(22, 23));
+    }
+
+    /// The store's full `Debug` rendering covers every field, including
+    /// adjacency order and weights, so equal renderings mean the rollback
+    /// left no observable trace — the "byte-identical" contract of
+    /// [`UpdateBatch::apply_validated`].
+    fn render(g: &DynamicGraph) -> String {
+        format!("{g:?}")
+    }
+
+    #[test]
+    fn partially_invalid_batch_rolls_back_byte_identical() {
+        // A batch that is mostly valid — effective inserts, an effective
+        // delete, a benign duplicate re-insert — and then hits an invalid
+        // node. Every applied prefix op must be undone exactly.
+        let mut g = path_graph(6);
+        g.insert_edge(5, 0, 7);
+        let before = render(&g);
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(0, 3, 9) // effective insert
+            .insert(0, 1, 1) // duplicate of a live edge, same weight: no-op
+            .delete(2, 3) // effective delete
+            .delete(5, 2) // absent edge: no-op
+            .insert(1, 4, 2) // effective insert
+            .insert(3, 600, 1); // invalid node: triggers rollback
+        let err = batch.apply_validated(&mut g).unwrap_err();
+        assert!(matches!(
+            err,
+            BatchError::NodeOutOfRange {
+                index: 5,
+                node: 600,
+                ..
+            }
+        ));
+        assert_eq!(render(&g), before, "store must be byte-identical");
+    }
+
+    #[test]
+    fn duplicate_then_invalid_node_in_one_batch_rolls_back() {
+        // The satellite case: a conflicting duplicate insert *and* an
+        // invalid node in one batch. Validation stops at the first bad
+        // unit (the conflict), and the rollback must restore the store
+        // even though a later unit is also poisoned.
+        let mut g = path_graph(4);
+        let before = render(&g);
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(3, 0, 2) // effective
+            .insert(0, 1, 9) // conflicting duplicate: (0,1) is live at weight 1
+            .insert(0, 99, 1); // invalid node, never reached
+        let err = batch.apply_validated(&mut g).unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::ConflictingInsert {
+                index: 1,
+                src: 0,
+                dst: 1,
+                existing: 1,
+                requested: 9
+            }
+        );
+        assert_eq!(render(&g), before, "store must be byte-identical");
+    }
+
+    #[test]
+    fn delete_then_invalid_rolls_back_weight_exactly() {
+        // Rollback of a deletion must reinstate the original weight, not
+        // a default; the byte-level comparison would catch a drifted one.
+        let mut g = DynamicGraph::new(false, 3);
+        g.insert_edge(0, 1, 42);
+        g.insert_edge(1, 2, 7);
+        let before = render(&g);
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1).insert(2, 77, 1);
+        let err = batch.apply_validated(&mut g).unwrap_err();
+        assert!(matches!(err, BatchError::NodeOutOfRange { index: 1, .. }));
+        assert_eq!(render(&g), before);
+        assert_eq!(g.edge_weight(0, 1), Some(42));
+    }
+
+    #[test]
+    fn from_ops_roundtrips_through_accessors() {
+        let ops = vec![
+            AppliedOp {
+                inserted: true,
+                src: 1,
+                dst: 2,
+                weight: 5,
+            },
+            AppliedOp {
+                inserted: false,
+                src: 0,
+                dst: 1,
+                weight: 3,
+            },
+        ];
+        let applied = AppliedBatch::from_ops(ops.clone());
+        assert_eq!(applied.ops(), ops.as_slice());
+        assert_eq!(applied.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! The fuzzing campaign driver: seed → generate → oracle → shrink →
+//! corpus.
+//!
+//! A campaign expands a master seed into per-case seeds with the shared
+//! [`SplitMix64`](incgraph_graph::rng::SplitMix64) stream, runs every
+//! case through [`run_case`], and on a violation minimizes the case with
+//! [`shrink_case`] and renders a self-contained `.case` file annotated
+//! with provenance and the engine-level [`CaseTrace`] of the minimized
+//! run. Checked into `tests/corpus/`, such a file is re-run forever by
+//! the corpus-replay integration test.
+//!
+//! `--inject-fault` campaigns doctor the ΔG presented to the states (see
+//! [`Fault`]) to prove end-to-end that the oracles and the shrinker have
+//! teeth; the driver treats "fault caught and minimized to a handful of
+//! updates" as the *success* criterion for that mode.
+
+use crate::case::Case;
+use crate::gencase::{gen_case, GenConfig};
+use crate::runner::{run_case, ClassId, Fault, OracleFailure};
+use crate::shrink::{shrink_case, ShrinkStats};
+use incgraph_core::CaseTrace;
+use incgraph_graph::rng::SplitMix64;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Master seed; each case's seed is drawn from this stream.
+    pub seed: u64,
+    /// Maximum number of cases.
+    pub cases: usize,
+    /// Optional wall-clock budget; the campaign stops at whichever of
+    /// `cases`/`time_budget` is hit first.
+    pub time_budget: Option<Duration>,
+    /// Doctored-ΔG fault to inject into every case (validation mode).
+    pub inject_fault: Option<Fault>,
+    /// Where to write minimized `.case` files; `None` disables writing.
+    pub corpus_dir: Option<PathBuf>,
+    /// Case size knobs.
+    pub gen: GenConfig,
+}
+
+impl FuzzConfig {
+    /// A small default campaign under `seed`.
+    pub fn new(seed: u64, cases: usize) -> Self {
+        FuzzConfig {
+            seed,
+            cases,
+            time_budget: None,
+            inject_fault: None,
+            corpus_dir: None,
+            gen: GenConfig::default(),
+        }
+    }
+}
+
+/// One caught-and-minimized violation.
+#[derive(Debug)]
+pub struct FailureRecord {
+    /// Seed of the generated case that tripped the oracle.
+    pub case_seed: u64,
+    /// The violation, as observed on the *original* case.
+    pub failure: OracleFailure,
+    /// The minimized, certified reproducer.
+    pub minimized: Case,
+    /// Shrink work accounting.
+    pub shrink: ShrinkStats,
+    /// Corpus file the reproducer was written to, if writing is enabled.
+    pub path: Option<PathBuf>,
+}
+
+/// Campaign outcome.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Cases fully driven through the oracles.
+    pub cases_run: usize,
+    /// Total oracle comparisons across the campaign.
+    pub checks: u64,
+    /// Union of query classes exercised, in canonical order (directed
+    /// cases skip the undirected-only classes, so coverage is a campaign
+    /// property, not a per-case one).
+    pub classes_exercised: Vec<ClassId>,
+    /// Violations, in discovery order.
+    pub failures: Vec<FailureRecord>,
+}
+
+impl FuzzReport {
+    /// Whether the campaign saw no violations.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs a fuzzing campaign. Deterministic in `cfg.seed` (the time budget
+/// can only truncate the case sequence, never reorder it). Failing cases
+/// are minimized and, when `cfg.corpus_dir` is set, rendered to
+/// `case-<class>-<oracle>-<seed>.case` in that directory; I/O errors
+/// writing the corpus are reported on the record's `path: None` rather
+/// than aborting the campaign.
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let started = Instant::now();
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
+    let mut report = FuzzReport::default();
+    for _ in 0..cfg.cases {
+        if let Some(budget) = cfg.time_budget {
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        let case_seed = rng.next_u64();
+        let case = gen_case(case_seed, &cfg.gen);
+        let outcome = run_case(&case, cfg.inject_fault);
+        report.cases_run += 1;
+        report.checks += outcome.checks;
+        for &c in &case.classes {
+            if !report.classes_exercised.contains(&c) {
+                report.classes_exercised.push(c);
+            }
+        }
+        report.classes_exercised.sort_unstable();
+        if let Some(failure) = outcome.failure {
+            let (minimized, shrink) = shrink_case(&case, cfg.inject_fault, &failure);
+            let path = cfg
+                .corpus_dir
+                .as_ref()
+                .and_then(|dir| write_corpus_file(dir, cfg, case_seed, &failure, &minimized));
+            report.failures.push(FailureRecord {
+                case_seed,
+                failure,
+                minimized,
+                shrink,
+                path,
+            });
+        }
+    }
+    report
+}
+
+/// Renders `minimized` with full provenance comments — including the
+/// engine-level trace of the minimized run — and writes it under `dir`.
+fn write_corpus_file(
+    dir: &std::path::Path,
+    cfg: &FuzzConfig,
+    case_seed: u64,
+    failure: &OracleFailure,
+    minimized: &Case,
+) -> Option<PathBuf> {
+    // Stamp the injected fault into the file so replay re-injects it
+    // (and so its presence marks the case as expected-to-fail).
+    let mut minimized = minimized.clone();
+    minimized.fault = cfg.inject_fault;
+    let minimized = &minimized;
+    let mut comments = vec![
+        format!("found by `incgraph fuzz --seed {}`", cfg.seed),
+        format!("case seed {case_seed}"),
+        format!("failure: {failure}"),
+    ];
+    if let Some(fault) = cfg.inject_fault {
+        comments.push(format!(
+            "intentional fault `{}` — this case is EXPECTED to keep failing on replay",
+            fault.name()
+        ));
+    }
+    CaseTrace::start();
+    let _ = run_case(minimized, cfg.inject_fault);
+    let events = CaseTrace::finish();
+    for e in events.iter().take(16) {
+        comments.push(format!("trace: {}", e.summary()));
+    }
+    if events.len() > 16 {
+        comments.push(format!("trace: … {} more engine runs", events.len() - 16));
+    }
+
+    let name = format!(
+        "case-{}-{}-{case_seed:016x}.case",
+        failure.class.name(),
+        failure.kind.name()
+    );
+    let path = dir.join(name);
+    if std::fs::create_dir_all(dir).is_err() {
+        return None;
+    }
+    match std::fs::write(&path, minimized.render(&comments)) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_campaign_is_deterministic_and_covers_everything() {
+        let cfg = FuzzConfig::new(1, 12);
+        let a = fuzz(&cfg);
+        let b = fuzz(&cfg);
+        assert_eq!(a.cases_run, 12);
+        assert_eq!(a.checks, b.checks, "campaigns are deterministic");
+        assert!(
+            a.clean(),
+            "seed 1 must be a clean campaign, got {:?}",
+            a.failures.first().map(|f| &f.failure)
+        );
+        assert_eq!(
+            a.classes_exercised,
+            ClassId::ALL.to_vec(),
+            "a mixed campaign must exercise all seven classes"
+        );
+    }
+
+    #[test]
+    fn injected_fault_campaign_catches_and_minimizes() {
+        let dir = std::env::temp_dir().join(format!("incgraph-fuzz-test-{}", std::process::id()));
+        let mut cfg = FuzzConfig::new(7, 30);
+        cfg.inject_fault = Some(Fault::SkipOp);
+        cfg.corpus_dir = Some(dir.clone());
+        let report = fuzz(&cfg);
+        assert!(
+            !report.clean(),
+            "a 30-case skip-op campaign must trip an oracle"
+        );
+        let rec = &report.failures[0];
+        assert!(
+            rec.minimized.schedule_len() <= 10,
+            "minimized to {} updates",
+            rec.minimized.schedule_len()
+        );
+        let path = rec.path.as_ref().expect("corpus file written");
+        let text = std::fs::read_to_string(path).expect("readable corpus file");
+        let parsed = Case::parse(&text).expect("corpus file parses");
+        assert_eq!(parsed.schedule_len(), rec.minimized.schedule_len());
+        assert!(text.contains("failure:"), "provenance comments present");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn time_budget_truncates() {
+        let mut cfg = FuzzConfig::new(3, 10_000);
+        cfg.time_budget = Some(Duration::from_millis(50));
+        let report = fuzz(&cfg);
+        assert!(report.cases_run < 10_000, "budget must truncate the run");
+        assert!(report.cases_run > 0);
+    }
+}

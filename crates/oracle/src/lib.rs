@@ -1,0 +1,37 @@
+//! Differential fuzzing oracle for the incremental graph engine.
+//!
+//! The paper's central claims — the incremental algorithm `A_Δ` computes
+//! exactly the batch fixpoint (Theorems 1 & 3), parallel resumption is
+//! schedule-independent under C2, and the work is bounded by the affected
+//! area — are *differential* properties: each one equates two independent
+//! computations. This crate turns them into executable oracles and hunts
+//! for divergence with seeded random campaigns:
+//!
+//! * [`gencase`] expands one `u64` seed into a self-contained [`case::Case`]
+//!   (graph topology, labels, query parameters, and a long schedule of
+//!   effective `ΔG` batches);
+//! * [`runner`] drives a case through all seven query classes, checking
+//!   incremental-vs-batch value equality, sequential-vs-parallel equality
+//!   at the case's thread counts, and boundedness-accounting invariants
+//!   after every batch;
+//! * [`shrink`] minimizes a failing case ddmin-style while preserving the
+//!   failure fingerprint, producing a certified reproducer;
+//! * [`fuzz`] is the campaign loop gluing these together and writing
+//!   minimized cases — annotated with provenance and the engine-level
+//!   [`CaseTrace`](incgraph_core::CaseTrace) — into a replayable corpus.
+//!
+//! The `incgraph fuzz` / `incgraph replay` subcommands (crates/bench) are
+//! thin CLI shells over this crate; the corpus-replay integration test
+//! re-runs every checked-in case on every build.
+
+pub mod case;
+pub mod fuzz;
+pub mod gencase;
+pub mod runner;
+pub mod shrink;
+
+pub use case::{Case, CaseParseError};
+pub use fuzz::{fuzz, FailureRecord, FuzzConfig, FuzzReport};
+pub use gencase::{gen_case, GenConfig};
+pub use runner::{run_case, ClassId, Fault, OracleFailure, OracleKind, RunOutcome};
+pub use shrink::{shrink_case, ShrinkStats};

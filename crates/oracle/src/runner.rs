@@ -1,0 +1,619 @@
+//! The differential oracles: drive a [`Case`](crate::case::Case) through
+//! every query class under test and cross-check three properties after
+//! every `ΔG` batch.
+//!
+//! 1. **Incremental vs. batch recompute** (Theorems 1 & 3): the
+//!    incremental state resumed from `h(D^r, ΔG)` must hold exactly the
+//!    fixpoint a from-scratch batch run computes on `G ⊕ ΔG`. The batch
+//!    run is the ground truth — it never touches the incremental path.
+//! 2. **Sequential vs. parallel** (C2 schedule independence): states
+//!    resuming through the sharded [`ParEngine`](incgraph_core::ParEngine)
+//!    at every thread count in the case must match the sequential state,
+//!    both at the initial batch fixpoint and after every update.
+//! 3. **Boundedness accounting** (`|H⁰| ≤ |AFF|`-style invariants): the
+//!    [`BoundednessReport`] of each incremental run must be internally
+//!    consistent, and every variable the recompute diff proves *changed*
+//!    must have been inspected by the incremental run
+//!    (`|AFF_diff| ≤ inspected`) — an incremental run that changes a
+//!    variable it never inspected is mis-accounting the very quantity
+//!    the paper's boundedness claims are stated over.
+//!
+//! Faults ([`Fault`]) model the bug shapes PR 1's audit caught in the
+//! wild (missed undirected mirrors): they doctor the `AppliedBatch`
+//! *presented to the states* while the ground-truth graph keeps the real
+//! ΔG, so the oracles must notice.
+
+use crate::case::Case;
+use incgraph_algos::{
+    BcState, CcState, DfsState, IncrementalState, LccState, ReachState, SimState, SsspState,
+};
+use incgraph_core::metrics::BoundednessReport;
+use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId, Pattern};
+
+/// The seven query classes, in canonical order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ClassId {
+    /// Single-source shortest paths.
+    Sssp,
+    /// Connected components.
+    Cc,
+    /// Graph simulation.
+    Sim,
+    /// Source reachability.
+    Reach,
+    /// Local clustering coefficient.
+    Lcc,
+    /// Depth-first search forest.
+    Dfs,
+    /// Biconnectivity (lowpoints, articulation points, bridges).
+    Bc,
+}
+
+impl ClassId {
+    /// All seven classes, canonical order.
+    pub const ALL: [ClassId; 7] = [
+        ClassId::Sssp,
+        ClassId::Cc,
+        ClassId::Sim,
+        ClassId::Reach,
+        ClassId::Lcc,
+        ClassId::Dfs,
+        ClassId::Bc,
+    ];
+
+    /// Short lowercase name, matching the CLI class argument.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassId::Sssp => "sssp",
+            ClassId::Cc => "cc",
+            ClassId::Sim => "sim",
+            ClassId::Reach => "reach",
+            ClassId::Lcc => "lcc",
+            ClassId::Dfs => "dfs",
+            ClassId::Bc => "bc",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<ClassId> {
+        ClassId::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Whether the class resumes through the sharded parallel engine
+    /// (DFS and BC are inherently sequential).
+    pub fn par_capable(self) -> bool {
+        !matches!(self, ClassId::Dfs | ClassId::Bc)
+    }
+
+    /// Whether the class runs through the generic worklist engine, whose
+    /// work accounting supports the strict `|AFF_diff| ≤ inspected`
+    /// boundedness check (DFS/BC traverse outside the engine and report
+    /// coarser counters).
+    pub fn engine_backed(self) -> bool {
+        self.par_capable()
+    }
+
+    /// Whether the class is only defined on undirected graphs (LCC's
+    /// triangle counting and BC's biconnectivity both are).
+    pub fn requires_undirected(self) -> bool {
+        matches!(self, ClassId::Lcc | ClassId::Bc)
+    }
+}
+
+/// Which oracle rejected the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OracleKind {
+    /// The incremental state diverged from the batch recompute.
+    IncVsBatch,
+    /// A parallel resume diverged from the sequential one.
+    SeqVsPar {
+        /// The offending thread count.
+        threads: usize,
+    },
+    /// The boundedness accounting is inconsistent.
+    Boundedness,
+}
+
+impl OracleKind {
+    /// Short stable name for case files and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OracleKind::IncVsBatch => "inc-vs-batch",
+            OracleKind::SeqVsPar { .. } => "seq-vs-par",
+            OracleKind::Boundedness => "boundedness",
+        }
+    }
+
+    /// Same oracle, ignoring parameters — the shrinker's notion of "the
+    /// same failure".
+    pub fn same_kind(&self, other: &OracleKind) -> bool {
+        self.name() == other.name()
+    }
+}
+
+/// One oracle violation: the first mismatch [`run_case`] hit.
+#[derive(Clone, Debug)]
+pub struct OracleFailure {
+    /// Query class that diverged.
+    pub class: ClassId,
+    /// Schedule position: `None` = at the initial batch fixpoint,
+    /// `Some(r)` = after applying batch `r` (0-based).
+    pub round: Option<usize>,
+    /// Which oracle fired.
+    pub kind: OracleKind,
+    /// Human-readable detail (first differing variable, counters, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.round {
+            Some(r) => write!(
+                f,
+                "{} oracle failed for {} after batch {}: {}",
+                self.kind.name(),
+                self.class.name(),
+                r,
+                self.detail
+            ),
+            None => write!(
+                f,
+                "{} oracle failed for {} at the initial fixpoint: {}",
+                self.kind.name(),
+                self.class.name(),
+                self.detail
+            ),
+        }
+    }
+}
+
+/// Outcome of driving one case through all oracles.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Total oracle comparisons performed.
+    pub checks: u64,
+    /// First violation, if any ([`run_case`] stops at the first).
+    pub failure: Option<OracleFailure>,
+}
+
+impl RunOutcome {
+    /// Whether every oracle held.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// An artificially injected fault, for validating that the oracles and
+/// the shrinker actually have teeth (and for seeding the regression
+/// corpus with known-shape failures).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Drop the last effective op from every `AppliedBatch` handed to the
+    /// algorithm states (the graph keeps it): models the PR-1 class of
+    /// bugs where an update path misses one unit update — e.g. the
+    /// undirected mirror of an edge.
+    SkipOp,
+    /// Strip every deletion from the ΔG handed to the states: models an
+    /// update path that handles insertions but forgets deletions (values
+    /// go stale because the scope function never learns what vanished —
+    /// the engine alone cannot repair variables it was never pointed at).
+    DropDeletes,
+}
+
+impl Fault {
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::SkipOp => "skip-op",
+            Fault::DropDeletes => "drop-deletes",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Fault> {
+        match name {
+            "skip-op" => Some(Fault::SkipOp),
+            "drop-deletes" => Some(Fault::DropDeletes),
+            _ => None,
+        }
+    }
+
+    /// The doctored ΔG the states will see.
+    fn doctor(self, applied: &AppliedBatch) -> AppliedBatch {
+        let mut ops = applied.ops().to_vec();
+        match self {
+            Fault::SkipOp => {
+                ops.pop();
+            }
+            Fault::DropDeletes => {
+                ops.retain(|o| o.inserted);
+            }
+        }
+        AppliedBatch::from_ops(ops)
+    }
+}
+
+/// One concrete algorithm state, tagged by class — the oracle needs the
+/// concrete accessors for digests, which the object-safe
+/// [`IncrementalState`] deliberately does not expose.
+enum AnyState {
+    Sssp(SsspState),
+    Cc(CcState),
+    Sim(SimState),
+    Reach(ReachState),
+    Lcc(LccState),
+    Dfs(DfsState),
+    Bc(BcState),
+}
+
+impl AnyState {
+    /// Fresh batch fixpoint for `class` on `g` (sequential engine).
+    fn batch(class: ClassId, g: &DynamicGraph, source: NodeId, pattern: Option<&Pattern>) -> Self {
+        match class {
+            ClassId::Sssp => AnyState::Sssp(SsspState::batch(g, source).0),
+            ClassId::Cc => AnyState::Cc(CcState::batch(g).0),
+            ClassId::Sim => {
+                let p = pattern.expect("sim case without a pattern").clone();
+                AnyState::Sim(SimState::batch(g, p).0)
+            }
+            ClassId::Reach => AnyState::Reach(ReachState::batch(g, source).0),
+            ClassId::Lcc => AnyState::Lcc(LccState::batch(g).0),
+            ClassId::Dfs => AnyState::Dfs(DfsState::batch(g).0),
+            ClassId::Bc => AnyState::Bc(BcState::batch(g).0),
+        }
+    }
+
+    /// Fresh batch fixpoint built through the sharded parallel engine,
+    /// configured to keep resuming on `threads` shards. Only valid for
+    /// [`ClassId::par_capable`] classes.
+    fn batch_par(
+        class: ClassId,
+        g: &DynamicGraph,
+        source: NodeId,
+        pattern: Option<&Pattern>,
+        threads: usize,
+    ) -> Self {
+        match class {
+            ClassId::Sssp => AnyState::Sssp(SsspState::batch_par(g, source, threads).0),
+            ClassId::Cc => AnyState::Cc(CcState::batch_par(g, threads).0),
+            ClassId::Sim => {
+                let p = pattern.expect("sim case without a pattern").clone();
+                AnyState::Sim(SimState::batch_par(g, p, threads).0)
+            }
+            ClassId::Reach => AnyState::Reach(ReachState::batch_par(g, source, threads).0),
+            ClassId::Lcc => AnyState::Lcc(LccState::batch_par(g, threads).0),
+            ClassId::Dfs | ClassId::Bc => unreachable!("not par-capable"),
+        }
+    }
+
+    /// One incremental step.
+    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        match self {
+            AnyState::Sssp(s) => s.update(g, applied),
+            AnyState::Cc(s) => s.update(g, applied),
+            AnyState::Sim(s) => s.update(g, applied),
+            AnyState::Reach(s) => s.update(g, applied),
+            AnyState::Lcc(s) => s.update(g, applied),
+            AnyState::Dfs(s) => s.update(g, applied),
+            AnyState::Bc(s) => s.update(g, applied),
+        }
+    }
+
+    /// Total status variables `|Ψ|`, via the shared trait.
+    fn total_vars(&self, g: &DynamicGraph) -> usize {
+        match self {
+            AnyState::Sssp(s) => IncrementalState::total_vars(s, g),
+            AnyState::Cc(s) => IncrementalState::total_vars(s, g),
+            AnyState::Sim(s) => IncrementalState::total_vars(s, g),
+            AnyState::Reach(s) => IncrementalState::total_vars(s, g),
+            AnyState::Lcc(s) => IncrementalState::total_vars(s, g),
+            AnyState::Dfs(s) => IncrementalState::total_vars(s, g),
+            AnyState::Bc(s) => IncrementalState::total_vars(s, g),
+        }
+    }
+
+    /// Canonical value digest: one `u64` stream, index-aligned to the
+    /// class's status variables where the class is engine-backed (the
+    /// basis of the AFF diff), value-complete for all seven.
+    fn digest(&self, g: &DynamicGraph) -> Vec<u64> {
+        let n = g.node_count();
+        match self {
+            AnyState::Sssp(s) => s.distances().to_vec(),
+            AnyState::Cc(s) => s.components().iter().map(|&c| c as u64).collect(),
+            AnyState::Sim(s) => {
+                let q = s.pattern().node_count();
+                let mut out = Vec::with_capacity(n * q);
+                for v in 0..n as NodeId {
+                    for u in 0..q {
+                        out.push(s.matches(g, v, u) as u64);
+                    }
+                }
+                out
+            }
+            AnyState::Reach(s) => s.reached().iter().map(|&b| b as u64).collect(),
+            AnyState::Lcc(s) => (0..n as NodeId)
+                .map(|v| (s.degree(v) << 32) | (s.triangles(v) & 0xffff_ffff))
+                .collect(),
+            AnyState::Dfs(s) => (0..n as NodeId)
+                .flat_map(|v| [s.first(v) as u64, s.last(v) as u64, s.parent(v) as u64])
+                .collect(),
+            AnyState::Bc(s) => {
+                let mut out: Vec<u64> = (0..n as NodeId)
+                    .map(|v| ((s.low(v) as u64) << 1) | s.is_articulation(g, v) as u64)
+                    .collect();
+                for (a, b) in s.bridges(g) {
+                    out.push(((a as u64) << 32) | b as u64);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// One class's states under test: the sequential baseline plus one state
+/// per parallel thread count.
+struct ClassUnderTest {
+    class: ClassId,
+    seq: AnyState,
+    /// `(threads, state)` pairs for the seq-vs-par oracle.
+    par: Vec<(usize, AnyState)>,
+    /// Batch-fixpoint digest of the previous round, for the AFF diff.
+    prev_full: Vec<u64>,
+}
+
+/// First index at which two digests differ, with both values. A length
+/// mismatch reports the lengths instead.
+fn first_diff(a: &[u64], b: &[u64]) -> Option<(usize, u64, u64)> {
+    if a.len() != b.len() {
+        return Some((a.len().min(b.len()), a.len() as u64, b.len() as u64));
+    }
+    a.iter()
+        .zip(b)
+        .enumerate()
+        .find(|(_, (x, y))| x != y)
+        .map(|(i, (&x, &y))| (i, x, y))
+}
+
+/// Number of differing positions (the `|AFF|` diff of oracle 3).
+fn diff_count(a: &[u64], b: &[u64]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// The boundedness accounting checks for one incremental run.
+fn check_boundedness(
+    class: ClassId,
+    report: &BoundednessReport,
+    aff_diff: usize,
+    total_vars: usize,
+) -> Result<(), String> {
+    if report.scope_size as u64 > report.inspected_vars {
+        return Err(format!(
+            "initial scope |H0|={} exceeds inspected vars {}",
+            report.scope_size, report.inspected_vars
+        ));
+    }
+    if report.inspected_vars as usize > total_vars {
+        return Err(format!(
+            "inspected {} vars of a {}-var universe",
+            report.inspected_vars, total_vars
+        ));
+    }
+    if report.run_stats.aborted {
+        return Err("un-budgeted oracle run reported an abort".into());
+    }
+    // Strict AFF accounting only where the generic engine runs: every
+    // variable the recompute diff proves changed must have been inspected.
+    if class.engine_backed() && aff_diff as u64 > report.inspected_vars {
+        return Err(format!(
+            "recompute diff changed {aff_diff} vars but the incremental run inspected only {}",
+            report.inspected_vars
+        ));
+    }
+    Ok(())
+}
+
+/// Clamps an out-of-range source to node 0 (shrinking can drop nodes).
+fn clamp_source(source: NodeId, g: &DynamicGraph) -> NodeId {
+    if (source as usize) < g.node_count() {
+        source
+    } else {
+        0
+    }
+}
+
+/// Drives `case` through all oracles; `fault` doctors the ΔG the states
+/// see (the ground-truth graph always gets the real one). Stops at the
+/// first violation.
+pub fn run_case(case: &Case, fault: Option<Fault>) -> RunOutcome {
+    let mut g = case.build_graph();
+    let source = clamp_source(case.source, &g);
+    let pattern = case.pattern.as_ref();
+    let mut checks = 0u64;
+
+    // Initial batch fixpoints: sequential baseline + parallel builds.
+    let mut classes: Vec<ClassUnderTest> = Vec::with_capacity(case.classes.len());
+    for &class in &case.classes {
+        let seq = AnyState::batch(class, &g, source, pattern);
+        let prev_full = seq.digest(&g);
+        let mut par = Vec::new();
+        if class.par_capable() {
+            for &t in &case.threads {
+                if t <= 1 {
+                    continue;
+                }
+                let state = AnyState::batch_par(class, &g, source, pattern, t);
+                checks += 1;
+                let d = state.digest(&g);
+                if let Some((i, a, b)) = first_diff(&prev_full, &d) {
+                    return RunOutcome {
+                        checks,
+                        failure: Some(OracleFailure {
+                            class,
+                            round: None,
+                            kind: OracleKind::SeqVsPar { threads: t },
+                            detail: format!("var {i}: seq={a} par={b}"),
+                        }),
+                    };
+                }
+                par.push((t, state));
+            }
+        }
+        classes.push(ClassUnderTest {
+            class,
+            seq,
+            par,
+            prev_full,
+        });
+    }
+
+    for (round, batch) in case.schedule.iter().enumerate() {
+        let applied = batch.apply(&mut g);
+        let presented = match fault {
+            Some(f) => f.doctor(&applied),
+            None => applied.clone(),
+        };
+        for cut in &mut classes {
+            let class = cut.class;
+            // Incremental step on the sequential baseline.
+            let report = cut.seq.update(&g, &presented);
+
+            // Ground truth: a from-scratch batch run on the updated graph.
+            let fresh = AnyState::batch(class, &g, source, pattern);
+            let full = fresh.digest(&g);
+
+            checks += 1;
+            let inc = cut.seq.digest(&g);
+            if let Some((i, a, b)) = first_diff(&full, &inc) {
+                return RunOutcome {
+                    checks,
+                    failure: Some(OracleFailure {
+                        class,
+                        round: Some(round),
+                        kind: OracleKind::IncVsBatch,
+                        detail: format!("var {i}: batch={a} incremental={b}"),
+                    }),
+                };
+            }
+
+            checks += 1;
+            let aff_diff = if full.len() == cut.prev_full.len() {
+                diff_count(&cut.prev_full, &full)
+            } else {
+                0 // digest resized (e.g. bridge list); skip the diff
+            };
+            if let Err(detail) = check_boundedness(class, &report, aff_diff, cut.seq.total_vars(&g))
+            {
+                return RunOutcome {
+                    checks,
+                    failure: Some(OracleFailure {
+                        class,
+                        round: Some(round),
+                        kind: OracleKind::Boundedness,
+                        detail,
+                    }),
+                };
+            }
+
+            for (t, state) in &mut cut.par {
+                state.update(&g, &presented);
+                checks += 1;
+                let d = state.digest(&g);
+                if let Some((i, a, b)) = first_diff(&full, &d) {
+                    return RunOutcome {
+                        checks,
+                        failure: Some(OracleFailure {
+                            class,
+                            round: Some(round),
+                            kind: OracleKind::SeqVsPar { threads: *t },
+                            detail: format!("var {i}: batch={a} par={b}"),
+                        }),
+                    };
+                }
+            }
+            cut.prev_full = full;
+        }
+    }
+    RunOutcome {
+        checks,
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incgraph_graph::UpdateBatch;
+
+    fn small_case(classes: Vec<ClassId>) -> Case {
+        let mut b1 = UpdateBatch::new();
+        b1.insert(0, 3, 2).delete(1, 2);
+        let mut b2 = UpdateBatch::new();
+        b2.insert(2, 4, 1).insert(4, 0, 3);
+        Case {
+            seed: 7,
+            directed: false,
+            nodes: 5,
+            labels: None,
+            edges: vec![(0, 1, 1), (1, 2, 2), (2, 3, 1), (3, 4, 2)],
+            schedule: vec![b1, b2],
+            classes,
+            source: 0,
+            pattern: Some(Pattern::new(vec![0, 0], &[(0, 1)])),
+            threads: vec![1, 2],
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn clean_case_passes_all_oracles_for_all_classes() {
+        let outcome = run_case(&small_case(ClassId::ALL.to_vec()), None);
+        assert!(outcome.passed(), "{:?}", outcome.failure);
+        // init par checks (5 par classes) + per-round: 7 value + 7
+        // boundedness + 5 par, times 2 rounds.
+        assert_eq!(outcome.checks, 5 + 2 * (7 + 7 + 5));
+    }
+
+    #[test]
+    fn skip_op_fault_is_caught() {
+        let outcome = run_case(&small_case(vec![ClassId::Sssp]), Some(Fault::SkipOp));
+        let failure = outcome.failure.expect("fault must be caught");
+        assert_eq!(failure.class, ClassId::Sssp);
+        assert!(failure.kind.same_kind(&OracleKind::IncVsBatch));
+    }
+
+    #[test]
+    fn drop_deletes_fault_is_caught() {
+        // Directed path 0→1→2→3→4; deleting the first edge makes every
+        // downstream distance infinite. A state that never sees the
+        // delete keeps them finite — unmissable for inc-vs-batch.
+        let mut b = UpdateBatch::new();
+        b.delete(0, 1);
+        let case = Case {
+            seed: 11,
+            directed: true,
+            nodes: 5,
+            labels: None,
+            edges: vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)],
+            schedule: vec![b],
+            classes: vec![ClassId::Sssp],
+            source: 0,
+            pattern: None,
+            threads: vec![1],
+            fault: None,
+        };
+        let outcome = run_case(&case, Some(Fault::DropDeletes));
+        let failure = outcome.failure.expect("fault must be caught");
+        assert!(failure.kind.same_kind(&OracleKind::IncVsBatch));
+    }
+
+    #[test]
+    fn class_names_roundtrip() {
+        for c in ClassId::ALL {
+            assert_eq!(ClassId::from_name(c.name()), Some(c));
+        }
+        assert_eq!(ClassId::from_name("nope"), None);
+        for f in [Fault::SkipOp, Fault::DropDeletes] {
+            assert_eq!(Fault::from_name(f.name()), Some(f));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Corpus replay: every minimized `.case` file checked into
+//! `tests/corpus/` is re-run through the full oracle stack on every test
+//! run.
+//!
+//! Two kinds of files live in the corpus:
+//!
+//! * **Regression cases** (no `inject-fault` line) — minimized
+//!   reproducers of fixed divergences. They must pass all oracles; a
+//!   failure means the bug they pinned down has come back.
+//! * **Intentional-fault reproducers** (`inject-fault <name>`) — cases
+//!   that catch a doctored ΔG. They must keep *failing* on replay; a
+//!   pass means the oracles lost their teeth.
+
+use incgraph_oracle::{run_case, Case};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_nonempty() {
+    assert!(
+        !corpus_files().is_empty(),
+        "the corpus must retain at least the seed cases"
+    );
+}
+
+#[test]
+fn corpus_cases_replay_as_recorded() {
+    let mut regressions = 0usize;
+    let mut reproducers = 0usize;
+    for path in corpus_files() {
+        let shown = path.display();
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{shown}: {e}"));
+        let case = Case::parse(&text).unwrap_or_else(|e| panic!("{shown}: {e}"));
+        let outcome = run_case(&case, case.fault);
+        match (case.fault, outcome.failure) {
+            (Some(_), Some(_)) => reproducers += 1,
+            (Some(fault), None) => panic!(
+                "{shown}: recorded fault `{}` no longer trips any oracle — \
+                 the differential oracles lost coverage",
+                fault.name()
+            ),
+            (None, Some(f)) => panic!("{shown}: fixed bug regressed: {f}"),
+            (None, None) => regressions += 1,
+        }
+    }
+    // The seed corpus ships both kinds; keep both populated so each
+    // replay direction stays exercised.
+    assert!(regressions > 0, "no fault-free regression cases replayed");
+    assert!(reproducers > 0, "no intentional-fault reproducers replayed");
+}
