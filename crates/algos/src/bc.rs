@@ -28,6 +28,7 @@
 //! (negated) preorder number.
 
 use crate::dfs::{DfsState, ROOT};
+use crate::persist::{self, StateLoadError};
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_core::scope::ScopeStats;
@@ -258,6 +259,49 @@ impl BcState {
             self.engine = Engine::new(n);
         }
     }
+
+    /// Serializes the durable essence (`SaveState`): the DFS substrate
+    /// plus the lowpoint status. Deducible — no timestamps.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = persist::header("bc");
+        self.dfs.save_payload(&mut out);
+        persist::put_status(&mut out, &self.low, |v| v as u64);
+        out
+    }
+
+    /// Rebuilds a state from [`save_state`](Self::save_state) bytes
+    /// without re-traversing or re-lowering (`LoadState`).
+    pub fn restore(g: &DynamicGraph, bytes: &[u8]) -> Result<Self, StateLoadError> {
+        if g.is_directed() {
+            return Err(StateLoadError::Malformed(
+                "BC is defined on undirected graphs".into(),
+            ));
+        }
+        let n = g.node_count();
+        let mut r = persist::expect_header("bc", bytes)?;
+        let dfs = DfsState::restore_payload(&mut r, n)?;
+        let low = persist::read_status(&mut r, |b| {
+            u32::try_from(b)
+                .map_err(|_| StateLoadError::Malformed(format!("lowpoint {b} exceeds u32")))
+        })?;
+        r.finish()?;
+        if low.len() != n {
+            return Err(StateLoadError::SizeMismatch {
+                expected: n,
+                found: low.len(),
+            });
+        }
+        if low.tracks_stamps() {
+            return Err(StateLoadError::Malformed(
+                "bc is deducible and stores no timestamps".into(),
+            ));
+        }
+        Ok(BcState {
+            dfs,
+            low,
+            engine: Engine::new(n),
+        })
+    }
 }
 
 impl crate::IncrementalState for BcState {
@@ -312,6 +356,15 @@ impl crate::IncrementalState for BcState {
 
     fn space_bytes(&self) -> usize {
         BcState::space_bytes(self)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        BcState::save_state(self)
+    }
+
+    fn load_state(&mut self, g: &DynamicGraph, bytes: &[u8]) -> Result<(), StateLoadError> {
+        *self = BcState::restore(g, bytes)?;
+        Ok(())
     }
 }
 

@@ -17,6 +17,7 @@
 //! Both strategies are exposed; the PE one backs the `abl-scope`/`abl-ts`
 //! ablations.
 
+use crate::persist::{self, StateLoadError};
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_core::par::ParEngine;
@@ -204,7 +205,23 @@ impl CcState {
             }
             let par = self.par.as_mut().expect("just ensured");
             par.set_work_budget(self.engine.work_budget());
-            par.run(spec, &mut self.status, scope.iter().copied())
+            let stats = par.run(spec, &mut self.status, scope.iter().copied());
+            if !stats.poisoned {
+                return stats;
+            }
+            // A shard panicked; nothing was written back. Degrade to the
+            // sequential engine permanently and resume from the same
+            // pre-run state (C2 gives the same fixpoint); `poisoned`
+            // survives in the merged stats.
+            self.par = None;
+            self.threads = 1;
+            let mut out = stats;
+            out.merge(
+                &self
+                    .engine
+                    .run(spec, &mut self.status, scope.iter().copied()),
+            );
+            out
         } else {
             self.engine
                 .run(spec, &mut self.status, scope.iter().copied())
@@ -297,6 +314,47 @@ impl CcState {
             + self.par.as_ref().map_or(0, |p| p.space_bytes())
     }
 
+    /// Serializes the durable essence (`SaveState`): the label status
+    /// *with its timestamps* — `IncCC` derives `<_C` from them, so a
+    /// restore that dropped stamps would corrupt every later update.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = persist::header("cc");
+        persist::put_status(&mut out, &self.status, |v| v as u64);
+        out
+    }
+
+    /// Rebuilds a state from [`save_state`](Self::save_state) bytes
+    /// without running any fixpoint (`LoadState`).
+    pub fn restore(g: &DynamicGraph, bytes: &[u8]) -> Result<Self, StateLoadError> {
+        let mut r = persist::expect_header("cc", bytes)?;
+        let status = persist::read_status(&mut r, |b| {
+            u32::try_from(b)
+                .map_err(|_| StateLoadError::Malformed(format!("label {b} exceeds u32")))
+        })?;
+        r.finish()?;
+        let n = g.node_count();
+        if status.len() != n {
+            return Err(StateLoadError::SizeMismatch {
+                expected: n,
+                found: status.len(),
+            });
+        }
+        if !status.tracks_stamps() {
+            return Err(StateLoadError::Malformed(
+                "cc is weakly deducible and requires timestamps".into(),
+            ));
+        }
+        if status.values().iter().any(|&v| v as usize >= n) {
+            return Err(StateLoadError::Malformed("label beyond node range".into()));
+        }
+        Ok(CcState {
+            status,
+            engine: Engine::new(n),
+            threads: 1,
+            par: None,
+        })
+    }
+
     fn touched(applied: &AppliedBatch) -> Vec<usize> {
         let mut t: Vec<usize> = applied
             .ops()
@@ -356,6 +414,17 @@ impl crate::IncrementalState for CcState {
 
     fn space_bytes(&self) -> usize {
         CcState::space_bytes(self)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        CcState::save_state(self)
+    }
+
+    fn load_state(&mut self, g: &DynamicGraph, bytes: &[u8]) -> Result<(), StateLoadError> {
+        let threads = self.threads;
+        *self = CcState::restore(g, bytes)?;
+        self.threads = threads;
+        Ok(())
     }
 }
 

@@ -361,6 +361,71 @@ impl DfsState {
             self.visited_mark.resize(n, 0);
         }
     }
+
+    /// Writes the durable payload (intervals + parents); the visited
+    /// marks and epoch are replay scratch and restart at zero. Shared
+    /// with BC, whose blob embeds its DFS substrate.
+    pub(crate) fn save_payload(&self, out: &mut Vec<u8>) {
+        crate::persist::put_u64(out, self.first.len() as u64);
+        for &f in &self.first {
+            crate::persist::put_u32(out, f);
+        }
+        for &l in &self.last {
+            crate::persist::put_u32(out, l);
+        }
+        for &p in &self.parent {
+            crate::persist::put_u32(out, p);
+        }
+    }
+
+    /// Reads a payload written by [`save_payload`](Self::save_payload).
+    pub(crate) fn restore_payload(
+        r: &mut crate::persist::ByteReader<'_>,
+        n: usize,
+    ) -> Result<Self, crate::persist::StateLoadError> {
+        let stored = r.len(12)?;
+        if stored != n {
+            return Err(crate::persist::StateLoadError::SizeMismatch {
+                expected: n,
+                found: stored,
+            });
+        }
+        let read_vec = |r: &mut crate::persist::ByteReader<'_>| {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.u32()?);
+            }
+            Ok::<_, crate::persist::StateLoadError>(v)
+        };
+        let first = read_vec(r)?;
+        let last = read_vec(r)?;
+        let parent = read_vec(r)?;
+        Ok(DfsState {
+            first,
+            last,
+            parent,
+            visited_mark: vec![0; n],
+            epoch: 0,
+        })
+    }
+
+    /// Serializes the durable essence (`SaveState`): the interval
+    /// labelling and the tree. Deducible — the preorder numbers *are* the
+    /// order `<_C`.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = crate::persist::header("dfs");
+        self.save_payload(&mut out);
+        out
+    }
+
+    /// Rebuilds a state from [`save_state`](Self::save_state) bytes
+    /// without re-traversing (`LoadState`).
+    pub fn restore(g: &DynamicGraph, bytes: &[u8]) -> Result<Self, crate::persist::StateLoadError> {
+        let mut r = crate::persist::expect_header("dfs", bytes)?;
+        let state = Self::restore_payload(&mut r, g.node_count())?;
+        r.finish()?;
+        Ok(state)
+    }
 }
 
 impl crate::IncrementalState for DfsState {
@@ -396,6 +461,19 @@ impl crate::IncrementalState for DfsState {
 
     fn space_bytes(&self) -> usize {
         DfsState::space_bytes(self)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        DfsState::save_state(self)
+    }
+
+    fn load_state(
+        &mut self,
+        g: &DynamicGraph,
+        bytes: &[u8],
+    ) -> Result<(), crate::persist::StateLoadError> {
+        *self = DfsState::restore(g, bytes)?;
+        Ok(())
     }
 }
 

@@ -17,6 +17,7 @@
 //! by construction, which is why `IncLCC` is deducible *and* relatively
 //! bounded without timestamps.
 
+use crate::persist::{self, StateLoadError};
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_core::par::ParEngine;
@@ -165,7 +166,23 @@ impl LccState {
             }
             let par = self.par.as_mut().expect("just ensured");
             par.set_work_budget(self.engine.work_budget());
-            par.run(spec, &mut self.status, scope.iter().copied())
+            let stats = par.run(spec, &mut self.status, scope.iter().copied());
+            if !stats.poisoned {
+                return stats;
+            }
+            // A shard panicked; nothing was written back. Degrade to the
+            // sequential engine permanently and resume from the same
+            // pre-run state (C2 gives the same fixpoint); `poisoned`
+            // survives in the merged stats.
+            self.par = None;
+            self.threads = 1;
+            let mut out = stats;
+            out.merge(
+                &self
+                    .engine
+                    .run(spec, &mut self.status, scope.iter().copied()),
+            );
+            out
         } else {
             self.engine
                 .run(spec, &mut self.status, scope.iter().copied())
@@ -265,6 +282,45 @@ impl LccState {
             + self.par.as_ref().map_or(0, |p| p.space_bytes())
     }
 
+    /// Serializes the durable essence (`SaveState`): the interleaved
+    /// degree/triangle status. Deducible — no timestamps.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = persist::header("lcc");
+        persist::put_status(&mut out, &self.status, |c| c);
+        out
+    }
+
+    /// Rebuilds a state from [`save_state`](Self::save_state) bytes
+    /// without running any fixpoint (`LoadState`).
+    pub fn restore(g: &DynamicGraph, bytes: &[u8]) -> Result<Self, StateLoadError> {
+        if g.is_directed() {
+            return Err(StateLoadError::Malformed(
+                "LCC is defined on undirected graphs".into(),
+            ));
+        }
+        let mut r = persist::expect_header("lcc", bytes)?;
+        let status = persist::read_status(&mut r, Ok)?;
+        r.finish()?;
+        let expected = g.node_count() * 2;
+        if status.len() != expected {
+            return Err(StateLoadError::SizeMismatch {
+                expected,
+                found: status.len(),
+            });
+        }
+        if status.tracks_stamps() {
+            return Err(StateLoadError::Malformed(
+                "lcc is deducible and stores no timestamps".into(),
+            ));
+        }
+        Ok(LccState {
+            status,
+            engine: Engine::new(expected),
+            threads: 1,
+            par: None,
+        })
+    }
+
     fn ensure_size(&mut self, g: &DynamicGraph) {
         let n = g.node_count() * 2;
         if n > self.status.len() {
@@ -313,6 +369,17 @@ impl crate::IncrementalState for LccState {
 
     fn space_bytes(&self) -> usize {
         LccState::space_bytes(self)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        LccState::save_state(self)
+    }
+
+    fn load_state(&mut self, g: &DynamicGraph, bytes: &[u8]) -> Result<(), StateLoadError> {
+        let threads = self.threads;
+        *self = LccState::restore(g, bytes)?;
+        self.threads = threads;
+        Ok(())
     }
 }
 

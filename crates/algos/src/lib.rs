@@ -30,6 +30,7 @@ pub mod bc;
 pub mod cc;
 pub mod dfs;
 pub mod lcc;
+pub mod persist;
 pub mod reach;
 pub mod sim;
 pub mod sssp;
@@ -38,6 +39,7 @@ pub use bc::BcState;
 pub use cc::CcState;
 pub use dfs::DfsState;
 pub use lcc::LccState;
+pub use persist::StateLoadError;
 pub use reach::ReachState;
 pub use sim::SimState;
 pub use sssp::SsspState;
@@ -89,6 +91,44 @@ pub trait IncrementalState {
 
     /// Resident bytes of the algorithm's state (Fig. 8).
     fn space_bytes(&self) -> usize;
+
+    /// Serializes the state's durable essence (`SaveState`): the stored
+    /// query parameters plus the status `D^r` — values, and for weakly
+    /// deducible classes the timestamps and logical clock that linearize
+    /// `<_C`. Engine scratch is excluded; it is rebuilt on load. The blob
+    /// is self-describing (see [`persist`]) and routable via
+    /// [`restore_state`].
+    fn save_state(&self) -> Vec<u8>;
+
+    /// Replaces this state's durable essence with a previously saved blob
+    /// (`LoadState`), validated against `g`. No fixpoint is run — the
+    /// blob *is* the fixpoint; engines restart with fresh scratch and the
+    /// state runs sequentially until reconfigured (thread configuration is
+    /// preserved where the class supports it).
+    fn load_state(&mut self, g: &DynamicGraph, bytes: &[u8]) -> Result<(), StateLoadError>;
+}
+
+/// Rebuilds a boxed state from a blob produced by
+/// [`IncrementalState::save_state`], routed on the class name embedded in
+/// the blob. No fixpoint is run. This is the recovery path's entry point:
+/// a checkpointed `D^r` comes back as a live state ready for incremental
+/// WAL replay.
+pub fn restore_state(
+    g: &DynamicGraph,
+    bytes: &[u8],
+) -> Result<Box<dyn IncrementalState>, StateLoadError> {
+    match persist::peek_class(bytes)?.as_str() {
+        "sssp" => Ok(Box::new(SsspState::restore(g, bytes)?)),
+        "cc" => Ok(Box::new(CcState::restore(g, bytes)?)),
+        "sim" => Ok(Box::new(SimState::restore(g, bytes)?)),
+        "reach" => Ok(Box::new(ReachState::restore(g, bytes)?)),
+        "lcc" => Ok(Box::new(LccState::restore(g, bytes)?)),
+        "dfs" => Ok(Box::new(DfsState::restore(g, bytes)?)),
+        "bc" => Ok(Box::new(BcState::restore(g, bytes)?)),
+        other => Err(StateLoadError::Malformed(format!(
+            "unknown class `{other}`"
+        ))),
+    }
 }
 
 /// The hardened update path: one incremental step under a
@@ -284,6 +324,77 @@ mod guarded_tests {
         assert_eq!(state.distance(5), 0, "Ignore keeps the observed state");
         // The corruption is still *visible* to a caller who audits.
         assert!(!state.audit(&g, &audit).is_clean());
+    }
+
+    #[test]
+    fn save_restore_roundtrip_preserves_future_updates() {
+        // The durable essence must capture everything the incremental
+        // algorithms consult: a restored state has to produce *bit-equal*
+        // essences on every later update, or the weakly deducible classes
+        // would silently drift once their stamps were dropped.
+        let g0 = ring(16);
+        let mut states: Vec<Box<dyn IncrementalState>> = vec![
+            Box::new(SsspState::batch(&g0, 0).0),
+            Box::new(CcState::batch(&g0).0),
+            Box::new(SimState::batch(&g0, Pattern::new(vec![0], &[])).0),
+            Box::new(ReachState::batch(&g0, 0).0),
+            Box::new(LccState::batch(&g0).0),
+            Box::new(DfsState::batch(&g0).0),
+            Box::new(BcState::batch(&g0).0),
+        ];
+        let mut g = g0.clone();
+        let mut batch = UpdateBatch::new();
+        batch.insert(2, 10, 2).delete(5, 6);
+        let applied = batch.apply(&mut g);
+        for state in &mut states {
+            state.update(&g, &applied);
+        }
+
+        let mut restored: Vec<Box<dyn IncrementalState>> = states
+            .iter()
+            .map(|s| restore_state(&g, &s.save_state()).expect("restore"))
+            .collect();
+        for (a, b) in states.iter().zip(&restored) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(
+                a.save_state(),
+                b.save_state(),
+                "{} essence differs",
+                a.name()
+            );
+        }
+
+        let mut batch = UpdateBatch::new();
+        batch.delete(2, 10).insert(4, 12, 1).delete(0, 8);
+        let applied = batch.apply(&mut g);
+        for (a, b) in states.iter_mut().zip(restored.iter_mut()) {
+            a.update(&g, &applied);
+            b.update(&g, &applied);
+            assert_eq!(
+                a.save_state(),
+                b.save_state(),
+                "{} diverged after restore",
+                a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_blobs_are_rejected() {
+        let g = ring(8);
+        let (state, _) = CcState::batch(&g);
+        let blob = CcState::save_state(&state);
+        let small = ring(6);
+        assert!(matches!(
+            CcState::restore(&small, &blob),
+            Err(StateLoadError::SizeMismatch { .. })
+        ));
+        assert!(CcState::restore(&g, &blob[..blob.len() - 1]).is_err());
+        assert!(matches!(
+            SsspState::restore(&g, &blob),
+            Err(StateLoadError::WrongClass { .. })
+        ));
+        assert!(restore_state(&g, b"garbage").is_err());
     }
 
     #[test]

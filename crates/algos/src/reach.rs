@@ -15,6 +15,7 @@
 //! Like CC and Sim, `IncReach` is *weakly deducible*: the order `<_C` is
 //! the turn-`true` timestamp recorded by the batch run.
 
+use crate::persist::{self, StateLoadError};
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_core::par::ParEngine;
@@ -187,7 +188,23 @@ impl ReachState {
             }
             let par = self.par.as_mut().expect("just ensured");
             par.set_work_budget(self.engine.work_budget());
-            par.run(spec, &mut self.status, scope.iter().copied())
+            let stats = par.run(spec, &mut self.status, scope.iter().copied());
+            if !stats.poisoned {
+                return stats;
+            }
+            // A shard panicked; nothing was written back. Degrade to the
+            // sequential engine permanently and resume from the same
+            // pre-run state (C2 gives the same fixpoint); `poisoned`
+            // survives in the merged stats.
+            self.par = None;
+            self.threads = 1;
+            let mut out = stats;
+            out.merge(
+                &self
+                    .engine
+                    .run(spec, &mut self.status, scope.iter().copied()),
+            );
+            out
         } else {
             self.engine
                 .run(spec, &mut self.status, scope.iter().copied())
@@ -258,6 +275,46 @@ impl ReachState {
             + self.par.as_ref().map_or(0, |p| p.space_bytes())
     }
 
+    /// Serializes the durable essence (`SaveState`): the source plus the
+    /// reachability status with its discovery-order timestamps.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = persist::header("reach");
+        persist::put_u32(&mut out, self.source);
+        persist::put_status(&mut out, &self.status, |b| b as u64);
+        out
+    }
+
+    /// Rebuilds a state from [`save_state`](Self::save_state) bytes
+    /// without running any fixpoint (`LoadState`).
+    pub fn restore(g: &DynamicGraph, bytes: &[u8]) -> Result<Self, StateLoadError> {
+        let mut r = persist::expect_header("reach", bytes)?;
+        let source = r.u32()?;
+        let status = persist::read_status(&mut r, persist::dec_bool)?;
+        r.finish()?;
+        let n = g.node_count();
+        if status.len() != n {
+            return Err(StateLoadError::SizeMismatch {
+                expected: n,
+                found: status.len(),
+            });
+        }
+        if !status.tracks_stamps() {
+            return Err(StateLoadError::Malformed(
+                "reach is weakly deducible and requires timestamps".into(),
+            ));
+        }
+        if (source as usize) >= n {
+            return Err(StateLoadError::Malformed("source out of range".into()));
+        }
+        Ok(ReachState {
+            source,
+            status,
+            engine: Engine::new(n),
+            threads: 1,
+            par: None,
+        })
+    }
+
     fn ensure_size(&mut self, g: &DynamicGraph) {
         let n = g.node_count();
         if n > self.status.len() {
@@ -306,6 +363,17 @@ impl crate::IncrementalState for ReachState {
 
     fn space_bytes(&self) -> usize {
         ReachState::space_bytes(self)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        ReachState::save_state(self)
+    }
+
+    fn load_state(&mut self, g: &DynamicGraph, bytes: &[u8]) -> Result<(), StateLoadError> {
+        let threads = self.threads;
+        *self = ReachState::restore(g, bytes)?;
+        self.threads = threads;
+        Ok(())
     }
 }
 

@@ -20,6 +20,7 @@
 //! The union of all true variables at the fixpoint is the unique maximum
 //! simulation `Q(G)`.
 
+use crate::persist::{self, StateLoadError};
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_core::par::ParEngine;
@@ -204,7 +205,23 @@ impl SimState {
             }
             let par = self.par.as_mut().expect("just ensured");
             par.set_work_budget(self.engine.work_budget());
-            par.run(spec, &mut self.status, scope.iter().copied())
+            let stats = par.run(spec, &mut self.status, scope.iter().copied());
+            if !stats.poisoned {
+                return stats;
+            }
+            // A shard panicked; nothing was written back. Degrade to the
+            // sequential engine permanently and resume from the same
+            // pre-run state (C2 gives the same fixpoint); `poisoned`
+            // survives in the merged stats.
+            self.par = None;
+            self.threads = 1;
+            let mut out = stats;
+            out.merge(
+                &self
+                    .engine
+                    .run(spec, &mut self.status, scope.iter().copied()),
+            );
+            out
         } else {
             self.engine
                 .run(spec, &mut self.status, scope.iter().copied())
@@ -334,6 +351,80 @@ impl SimState {
             + self.par.as_ref().map_or(0, |p| p.space_bytes())
     }
 
+    /// Serializes the durable essence (`SaveState`): the pattern plus the
+    /// match matrix with its turn-false timestamps.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = persist::header("sim");
+        let nq = self.q.node_count();
+        persist::put_u32(&mut out, nq as u32);
+        for u in 0..nq {
+            persist::put_u32(&mut out, self.q.label(u));
+        }
+        let edges: Vec<(usize, usize)> = self.q.edges().collect();
+        persist::put_u32(&mut out, edges.len() as u32);
+        for (u, v) in edges {
+            persist::put_u32(&mut out, u as u32);
+            persist::put_u32(&mut out, v as u32);
+        }
+        persist::put_status(&mut out, &self.status, |b| b as u64);
+        out
+    }
+
+    /// Rebuilds a state from [`save_state`](Self::save_state) bytes
+    /// without running any fixpoint (`LoadState`).
+    pub fn restore(g: &DynamicGraph, bytes: &[u8]) -> Result<Self, StateLoadError> {
+        let mut r = persist::expect_header("sim", bytes)?;
+        let nq = r.u32()? as usize;
+        if nq == 0 {
+            return Err(StateLoadError::Malformed("empty pattern".into()));
+        }
+        let mut labels = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            labels.push(r.u32()?);
+        }
+        let ne = r.u32()? as usize;
+        let mut edges = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let u = r.u32()? as usize;
+            let v = r.u32()? as usize;
+            if u >= nq || v >= nq {
+                return Err(StateLoadError::Malformed(
+                    "pattern edge beyond pattern nodes".into(),
+                ));
+            }
+            edges.push((u, v));
+        }
+        {
+            let mut sorted = edges.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != edges.len() {
+                return Err(StateLoadError::Malformed("duplicate pattern edge".into()));
+            }
+        }
+        let status = persist::read_status(&mut r, persist::dec_bool)?;
+        r.finish()?;
+        let expected = g.node_count() * nq;
+        if status.len() != expected {
+            return Err(StateLoadError::SizeMismatch {
+                expected,
+                found: status.len(),
+            });
+        }
+        if !status.tracks_stamps() {
+            return Err(StateLoadError::Malformed(
+                "sim is weakly deducible and requires timestamps".into(),
+            ));
+        }
+        Ok(SimState {
+            q: Pattern::new(labels, &edges),
+            status,
+            engine: Engine::new(expected),
+            threads: 1,
+            par: None,
+        })
+    }
+
     fn ensure_size(&mut self, g: &DynamicGraph) {
         let n = g.node_count() * self.q.node_count();
         if n > self.status.len() {
@@ -386,6 +477,17 @@ impl crate::IncrementalState for SimState {
 
     fn space_bytes(&self) -> usize {
         SimState::space_bytes(self)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        SimState::save_state(self)
+    }
+
+    fn load_state(&mut self, g: &DynamicGraph, bytes: &[u8]) -> Result<(), StateLoadError> {
+        let threads = self.threads;
+        *self = SimState::restore(g, bytes)?;
+        self.threads = threads;
+        Ok(())
     }
 }
 

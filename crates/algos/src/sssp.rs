@@ -16,6 +16,7 @@
 //! x_v}` (Example 3): the contributor oracle pushes only the tightly
 //! supported out-neighbors.
 
+use crate::persist::{self, StateLoadError};
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_core::par::ParEngine;
@@ -225,7 +226,25 @@ impl SsspState {
             }
             let par = self.par.as_mut().expect("just ensured");
             par.set_work_budget(self.engine.work_budget());
-            par.run(spec, &mut self.status, scope.iter().copied())
+            let stats = par.run(spec, &mut self.status, scope.iter().copied());
+            if !stats.poisoned {
+                return stats;
+            }
+            // A shard panicked. The poisoned run wrote nothing back, so
+            // the status is still the feasible pre-run state; degrade to
+            // the sequential engine (permanently — the panic would only
+            // recur) and resume from the same scope. C2 uniqueness gives
+            // the same fixpoint, and `poisoned` survives in the merged
+            // stats as the record of the degradation.
+            self.par = None;
+            self.threads = 1;
+            let mut out = stats;
+            out.merge(
+                &self
+                    .engine
+                    .run(spec, &mut self.status, scope.iter().copied()),
+            );
+            out
         } else {
             self.engine
                 .run(spec, &mut self.status, scope.iter().copied())
@@ -333,6 +352,46 @@ impl SsspState {
             + self.par.as_ref().map_or(0, |p| p.space_bytes())
     }
 
+    /// Serializes the durable essence of the state (`SaveState`): the
+    /// source plus the distance status. See [`crate::persist`].
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = persist::header("sssp");
+        persist::put_u32(&mut out, self.source);
+        persist::put_status(&mut out, &self.status, |d| d);
+        out
+    }
+
+    /// Rebuilds a state from [`save_state`](Self::save_state) bytes
+    /// without running any fixpoint (`LoadState`): the blob *is* the
+    /// fixpoint. The engine starts fresh and sequential.
+    pub fn restore(g: &DynamicGraph, bytes: &[u8]) -> Result<Self, StateLoadError> {
+        let mut r = persist::expect_header("sssp", bytes)?;
+        let source = r.u32()?;
+        let status = persist::read_status(&mut r, Ok)?;
+        r.finish()?;
+        if status.len() != g.node_count() {
+            return Err(StateLoadError::SizeMismatch {
+                expected: g.node_count(),
+                found: status.len(),
+            });
+        }
+        if status.tracks_stamps() {
+            return Err(StateLoadError::Malformed(
+                "sssp is deducible and stores no timestamps".into(),
+            ));
+        }
+        if (source as usize) >= g.node_count() {
+            return Err(StateLoadError::Malformed("source out of range".into()));
+        }
+        Ok(SsspState {
+            source,
+            status,
+            engine: Engine::new(g.node_count()),
+            threads: 1,
+            par: None,
+        })
+    }
+
     /// Extends the state when nodes were added to the graph (vertex
     /// insertions are edge updates plus fresh `⊥` variables, §4).
     fn ensure_size(&mut self, g: &DynamicGraph) {
@@ -390,6 +449,17 @@ impl crate::IncrementalState for SsspState {
 
     fn space_bytes(&self) -> usize {
         SsspState::space_bytes(self)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        SsspState::save_state(self)
+    }
+
+    fn load_state(&mut self, g: &DynamicGraph, bytes: &[u8]) -> Result<(), StateLoadError> {
+        let threads = self.threads;
+        *self = SsspState::restore(g, bytes)?;
+        self.threads = threads;
+        Ok(())
     }
 }
 
@@ -568,6 +638,39 @@ pub(crate) mod tests {
         let report = state.update(&g, &applied);
         assert_eq!(report.scope_size, 0);
         assert_eq!(report.run_stats.pops, 0);
+    }
+
+    #[test]
+    fn poisoned_parallel_run_degrades_to_sequential() {
+        // An injected shard panic must poison the parallel run (which
+        // writes nothing back) and fall through to the sequential engine,
+        // landing on the exact batch fixpoint instead of aborting.
+        let mut g = DynamicGraph::new(true, 64);
+        for v in 0..63u32 {
+            g.insert_edge(v, v + 1, 1);
+        }
+        let (mut state, _) = SsspState::batch_par(&g, 0, 4);
+        state
+            .par
+            .as_mut()
+            .expect("batch_par keeps its engine")
+            .inject_panic_on(Some(3));
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1);
+        let applied = batch.apply(&mut g);
+        let report = state.update(&g, &applied);
+        assert!(report.run_stats.poisoned, "panic must be recorded");
+        assert!(!report.run_stats.aborted);
+        assert_eq!(state.threads, 1, "degradation is permanent");
+        assert!(state.par.is_none());
+        assert_eq!(state.distances(), dijkstra_reference(&g, 0).as_slice());
+        // Subsequent updates run sequentially and stay correct.
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 1, 2);
+        let applied = batch.apply(&mut g);
+        let report = state.update(&g, &applied);
+        assert!(!report.run_stats.poisoned);
+        assert_eq!(state.distances(), dijkstra_reference(&g, 0).as_slice());
     }
 
     #[test]

@@ -18,15 +18,29 @@
 //! `--max-scope N` (absolute cap), and `--audit` / `--audit-stride K`
 //! (post-run fixpoint re-check).
 //!
+//! Durability lives behind two subcommands over a *store* directory
+//! (WAL + checkpoints + manifest, see `crates/durable`):
+//! `incgraph checkpoint --store DIR` creates the store from `--graph` on
+//! first use, WAL-logs an optional `--updates` batch, and forces a
+//! checkpoint; `incgraph recover --store DIR` rebuilds the live state
+//! from the newest valid checkpoint plus incremental WAL replay and
+//! prints the recovery report with per-class state digests. The
+//! `DURABLE_CRASH_AT` environment variable (`pre-fsync`, `post-fsync`,
+//! `mid-checkpoint`, `post-rename`) arms a one-shot injected crash at
+//! that point — the process dies mid-pipeline exactly as `kill -9`
+//! would, which is how the crash-injection CI matrix exercises recovery
+//! end to end.
+//!
 //! Failures map to distinct exit codes so scripts can tell them apart:
 //!
 //! | code | meaning |
 //! |------|---------|
 //! | 0    | success |
 //! | 2    | usage error (bad flags, missing class/graph) |
-//! | 3    | file unreadable / output unwritable |
+//! | 3    | file unreadable / output unwritable / durable store corrupt |
 //! | 4    | parse error (reported with its line number) |
 //! | 5    | invalid update stream (rejected by validation, graph rolled back) |
+//! | 6    | injected crash fired (`DURABLE_CRASH_AT`) |
 
 use incgraph_algos::{
     update_guarded, BcState, CcState, DfsState, IncrementalState, LccState, ReachState, SimState,
@@ -35,6 +49,7 @@ use incgraph_algos::{
 use incgraph_core::audit::FixpointAudit;
 use incgraph_core::fallback::FallbackPolicy;
 use incgraph_core::metrics::BoundednessReport;
+use incgraph_durable::{crc::crc32, CrashPoint, DurableError, DurableOptions, DurableSession};
 use incgraph_graph::io::{read_graph, read_updates, IoError, ParseError};
 use incgraph_graph::{BatchError, DynamicGraph, UpdateBatch};
 use incgraph_workloads::random_pattern;
@@ -65,6 +80,12 @@ enum CliError {
         path: String,
         source: std::io::Error,
     },
+    /// A durable-store operation failed (I/O, corruption beyond
+    /// recovery, …).
+    Durable { store: String, source: DurableError },
+    /// The one-shot crash armed via `DURABLE_CRASH_AT` fired; the store
+    /// was left exactly as a real mid-pipeline kill would leave it.
+    InjectedCrash(CrashPoint),
 }
 
 impl CliError {
@@ -72,9 +93,12 @@ impl CliError {
         match self {
             CliError::Oracle(_) => 1,
             CliError::Usage(_) => 2,
-            CliError::FileUnreadable { .. } | CliError::Output { .. } => 3,
+            CliError::FileUnreadable { .. }
+            | CliError::Output { .. }
+            | CliError::Durable { .. } => 3,
             CliError::Parse { .. } => 4,
             CliError::InvalidUpdates { .. } => 5,
+            CliError::InjectedCrash(_) => 6,
         }
     }
 }
@@ -92,7 +116,25 @@ impl std::fmt::Display for CliError {
                 write!(f, "{path}: invalid update stream: {source}")
             }
             CliError::Output { path, source } => write!(f, "{path}: {source}"),
+            CliError::Durable { store, source } => write!(f, "{store}: {source}"),
+            CliError::InjectedCrash(p) => write!(f, "injected crash fired at {p}"),
         }
+    }
+}
+
+/// Wraps a durable-store failure, routing the two cases with their own
+/// exit codes (invalid ΔG → 5, injected crash → 6) past the generic 3.
+fn durable_error(store: &str, e: DurableError) -> CliError {
+    match e {
+        DurableError::InvalidBatch(source) => CliError::InvalidUpdates {
+            path: store.to_string(),
+            source,
+        },
+        DurableError::InjectedCrash(p) => CliError::InjectedCrash(p),
+        source => CliError::Durable {
+            store: store.to_string(),
+            source,
+        },
     }
 }
 
@@ -132,8 +174,12 @@ const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.tx
                      [--audit-stride K]\n\
                      \u{20}      incgraph bench [--threads N] [--scale F] [--out BENCH.json]\n\
                      \u{20}      incgraph fuzz [--seed S] [--cases N] [--budget-secs T] \
-                     [--inject-fault skip-op|drop-deletes] [--corpus DIR] [--max-nodes N]\n\
-                     \u{20}      incgraph replay <FILE.case|DIR>...";
+                     [--inject-fault skip-op|drop-deletes] [--crash] [--corpus DIR] \
+                     [--max-nodes N]\n\
+                     \u{20}      incgraph replay <FILE.case|DIR>...\n\
+                     \u{20}      incgraph checkpoint --store DIR [--graph G.txt] [--updates D.txt] \
+                     [--directed] [--source N] [--seed S] [--classes c1,c2,…]\n\
+                     \u{20}      incgraph recover --store DIR [--out F]";
 
 fn parse_args() -> Result<Args, CliError> {
     let mut args = Args {
@@ -387,6 +433,7 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
                 ))
             }
             "--no-corpus" => cfg.corpus_dir = None,
+            "--crash" => cfg.crash = true,
             "--max-nodes" => {
                 cfg.gen.max_nodes = it
                     .next()
@@ -397,6 +444,14 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
             flag => return Err(usage(&format!("unknown fuzz flag {flag}"))),
         }
     }
+    // Create the corpus directory up front so a campaign that finds a
+    // failure hours in cannot lose its reproducer to a missing dir.
+    if let Some(dir) = &cfg.corpus_dir {
+        std::fs::create_dir_all(dir).map_err(|source| CliError::Output {
+            path: dir.display().to_string(),
+            source,
+        })?;
+    }
     match cfg.inject_fault {
         Some(f) => eprintln!(
             "fuzz: seed {}, up to {} cases, injecting fault `{}`",
@@ -404,7 +459,16 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
             cfg.cases,
             f.name()
         ),
-        None => eprintln!("fuzz: seed {}, up to {} cases", cfg.seed, cfg.cases),
+        None => eprintln!(
+            "fuzz: seed {}, up to {} cases{}",
+            cfg.seed,
+            cfg.cases,
+            if cfg.crash {
+                ", sweeping crash-recovery"
+            } else {
+                ""
+            }
+        ),
     }
     let report = fuzz(&cfg);
     let classes: Vec<&str> = report.classes_exercised.iter().map(|c| c.name()).collect();
@@ -414,6 +478,23 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
         report.checks,
         classes.join(",")
     );
+    if cfg.crash {
+        eprintln!(
+            "fuzz: {} kill-and-recover cycles verified",
+            report.recoveries
+        );
+    }
+    for rec in &report.crash_failures {
+        eprintln!(
+            "fuzz: case seed {}: {}{}",
+            rec.case_seed,
+            rec.failure,
+            match &rec.path {
+                Some(p) => format!(" → {}", p.display()),
+                None => String::new(),
+            }
+        );
+    }
     for rec in &report.failures {
         eprintln!(
             "fuzz: case seed {}: {} — minimized to {} updates / {} edges in {} attempts{}",
@@ -435,8 +516,8 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
                 Ok(())
             } else {
                 Err(CliError::Oracle(format!(
-                    "fuzz: {} divergence(s) found — minimized reproducers written above",
-                    report.failures.len()
+                    "fuzz: {} divergence(s) found — reproducers written above",
+                    report.failures.len() + report.crash_failures.len()
                 )))
             }
         }
@@ -540,11 +621,260 @@ fn run_replay(argv: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// Flags shared by the two durable-store subcommands.
+struct StoreArgs {
+    store: String,
+    graph: Option<String>,
+    updates: Option<String>,
+    directed: bool,
+    source: u32,
+    seed: u64,
+    classes: Option<Vec<String>>,
+    out: Option<String>,
+}
+
+fn parse_store_args(cmd: &str, argv: &[String]) -> Result<StoreArgs, CliError> {
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+    let mut args = StoreArgs {
+        store: String::new(),
+        graph: None,
+        updates: None,
+        directed: false,
+        source: 0,
+        seed: 42,
+        classes: None,
+        out: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                args.store = it
+                    .next()
+                    .ok_or_else(|| usage("--store needs a dir"))?
+                    .clone()
+            }
+            "--graph" => {
+                args.graph = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--graph needs a path"))?
+                        .clone(),
+                )
+            }
+            "--updates" => {
+                args.updates = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--updates needs a path"))?
+                        .clone(),
+                )
+            }
+            "--directed" => args.directed = true,
+            "--source" => {
+                args.source = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--source needs a node id"))?
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--seed needs an integer"))?
+            }
+            "--classes" => {
+                let list = it.next().ok_or_else(|| usage("--classes needs a list"))?;
+                args.classes = Some(list.split(',').map(str::to_string).collect());
+            }
+            "--out" => {
+                args.out = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--out needs a path"))?
+                        .clone(),
+                )
+            }
+            flag => return Err(usage(&format!("unknown {cmd} flag {flag}"))),
+        }
+    }
+    if args.store.is_empty() {
+        return Err(usage(&format!("{cmd} needs --store DIR")));
+    }
+    Ok(args)
+}
+
+/// Builds fresh batch states for a new store. Default class set is every
+/// class defined on the graph's direction regime.
+fn store_states(
+    g: &DynamicGraph,
+    args: &StoreArgs,
+) -> Result<Vec<Box<dyn IncrementalState>>, CliError> {
+    let names: Vec<String> = match &args.classes {
+        Some(list) => list.clone(),
+        None => {
+            let mut all = vec!["sssp", "cc", "sim", "reach"];
+            if !g.is_directed() {
+                all.extend(["lcc", "dfs", "bc"]);
+            } else {
+                all.push("dfs");
+            }
+            all.into_iter().map(str::to_string).collect()
+        }
+    };
+    let mut states: Vec<Box<dyn IncrementalState>> = Vec::with_capacity(names.len());
+    for name in &names {
+        states.push(match name.as_str() {
+            "sssp" => Box::new(SsspState::batch(g, args.source).0),
+            "cc" => Box::new(CcState::batch(g).0),
+            "sim" => {
+                let q = random_pattern(g, 4, 6, args.seed);
+                Box::new(SimState::batch(g, q).0)
+            }
+            "reach" => Box::new(ReachState::batch(g, args.source).0),
+            "lcc" => Box::new(LccState::batch(g).0),
+            "dfs" => Box::new(DfsState::batch(g).0),
+            "bc" => Box::new(BcState::batch(g).0),
+            other => return Err(CliError::Usage(format!("unknown class {other}\n{USAGE}"))),
+        });
+    }
+    Ok(states)
+}
+
+/// One digest line per state: class name + CRC-32 of the essence, the
+/// same equality the crash oracle checks — two stores printing the same
+/// digests hold value-identical worlds.
+fn state_digests(session: &DurableSession) -> Vec<String> {
+    session
+        .states()
+        .iter()
+        .map(|s| format!("{} {:08x}", s.name(), crc32(&s.save_state())))
+        .collect()
+}
+
+/// `incgraph checkpoint`: open (or create, from `--graph`) the durable
+/// store, WAL-log the optional `--updates` batch through the hardened
+/// incremental pipeline, and force a checkpoint. `DURABLE_CRASH_AT`
+/// arms a one-shot injected crash at the named pipeline point.
+fn run_checkpoint(argv: &[String]) -> Result<(), CliError> {
+    let args = parse_store_args("checkpoint", argv)?;
+    let store = args.store.as_str();
+    let crash = CrashPoint::from_env()
+        .map_err(|e| CliError::Usage(format!("DURABLE_CRASH_AT: {e}\n{USAGE}")))?;
+
+    let manifest_exists = std::path::Path::new(store)
+        .join(incgraph_durable::checkpoint::MANIFEST_NAME)
+        .exists();
+    let mut session = if manifest_exists {
+        let (session, report) =
+            incgraph_durable::recover(std::path::Path::new(store), DurableOptions::default())
+                .map_err(|e| durable_error(store, e))?;
+        eprintln!(
+            "opened {store}: checkpoint seq {}, {} WAL record(s) replayed",
+            report.checkpoint_seq, report.wal_records_replayed
+        );
+        session
+    } else {
+        let graph_path = args.graph.as_deref().ok_or_else(|| {
+            CliError::Usage(format!("checkpoint on a new store needs --graph\n{USAGE}"))
+        })?;
+        let f = std::fs::File::open(graph_path).map_err(|e| CliError::FileUnreadable {
+            path: graph_path.to_string(),
+            source: e,
+        })?;
+        let g = read_graph(f, args.directed).map_err(|e| read_error(graph_path, e))?;
+        eprintln!(
+            "creating {store} from {graph_path}: |V|={}, |E|={}",
+            g.node_count(),
+            g.edge_count()
+        );
+        let states = store_states(&g, &args)?;
+        DurableSession::create(
+            std::path::Path::new(store),
+            g,
+            states,
+            DurableOptions::default(),
+        )
+        .map_err(|e| durable_error(store, e))?
+    };
+
+    session.arm_crash(crash);
+    if let Some(path) = &args.updates {
+        let f = std::fs::File::open(path).map_err(|e| CliError::FileUnreadable {
+            path: path.clone(),
+            source: e,
+        })?;
+        let batch = read_updates(f).map_err(|e| read_error(path, e))?;
+        let reports = session.apply(&batch).map_err(|e| durable_error(store, e))?;
+        let fallbacks = reports.iter().filter(|r| r.fallback.is_some()).count();
+        eprintln!(
+            "applied ΔG as WAL record {} ({} state(s), {} fallback(s))",
+            session.last_seq(),
+            reports.len(),
+            fallbacks
+        );
+    }
+    let seq = session.checkpoint().map_err(|e| durable_error(store, e))?;
+    eprintln!("checkpoint covering seq {seq} written");
+    for line in state_digests(&session) {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+/// `incgraph recover`: rebuild live state from the store and print the
+/// recovery report plus per-class digests (to `--out` if given).
+fn run_recover(argv: &[String]) -> Result<(), CliError> {
+    let args = parse_store_args("recover", argv)?;
+    let store = args.store.as_str();
+    let t = Instant::now();
+    let (session, report) =
+        incgraph_durable::recover(std::path::Path::new(store), DurableOptions::default())
+            .map_err(|e| durable_error(store, e))?;
+    eprintln!(
+        "recovered {store} in {:.3} ms: checkpoint seq {} ({}), {} WAL record(s) replayed, \
+         {} fallback(s)",
+        t.elapsed().as_secs_f64() * 1e3,
+        report.checkpoint_seq,
+        if report.used_manifest {
+            "via manifest"
+        } else {
+            "via directory scan"
+        },
+        report.wal_records_replayed,
+        report.fallbacks
+    );
+    if report.checkpoints_skipped > 0 {
+        eprintln!(
+            "recover: skipped {} invalid/stale checkpoint(s)",
+            report.checkpoints_skipped
+        );
+    }
+    if report.wal_truncated_bytes > 0 {
+        eprintln!(
+            "recover: truncated {} torn byte(s) from the WAL tail",
+            report.wal_truncated_bytes
+        );
+    }
+    if report.wal_records_dropped > 0 {
+        eprintln!(
+            "recover: dropped {} corrupt WAL record(s)",
+            report.wal_records_dropped
+        );
+    }
+    eprintln!(
+        "live state: |V|={}, |E|={}, seq {}",
+        session.graph().node_count(),
+        session.graph().edge_count(),
+        session.last_seq()
+    );
+    write_out(&args.out, state_digests(&session).into_iter())
+}
+
 fn run() -> Result<(), CliError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("fuzz") => return run_fuzz(&argv[1..]),
         Some("replay") => return run_replay(&argv[1..]),
+        Some("checkpoint") => return run_checkpoint(&argv[1..]),
+        Some("recover") => return run_recover(&argv[1..]),
         _ => {}
     }
     let args = parse_args()?;

@@ -57,6 +57,12 @@ pub struct RunStats {
     /// reaching a fixpoint. An aborted run leaves the status mid-fixpoint;
     /// the caller must recompute from scratch (see `FallbackPolicy`).
     pub aborted: bool,
+    /// Whether a parallel shard panicked during the run. A poisoned run
+    /// writes nothing back to the status; the caller degrades to the
+    /// sequential engine (see `crate::par::ParEngine`), whose completed
+    /// stats are merged on top so the flag survives as a record of the
+    /// degradation.
+    pub poisoned: bool,
 }
 
 impl RunStats {
@@ -71,6 +77,7 @@ impl RunStats {
         self.reads += other.reads;
         self.distinct_vars += other.distinct_vars;
         self.aborted |= other.aborted;
+        self.poisoned |= other.poisoned;
     }
 }
 

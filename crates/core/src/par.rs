@@ -143,6 +143,12 @@ struct Shared<'a> {
     cells: &'a [AtomicU64; 2],
     barrier: &'a Barrier,
     abort: &'a AtomicBool,
+    /// Set when a shard body panicked. Poison implies abort (the run must
+    /// stop), but not vice versa: a budget abort leaves the partial run's
+    /// values intact, a poisoned run is discarded wholesale.
+    poisoned: &'a AtomicBool,
+    /// Test-only injection: panic when processing this variable.
+    panic_var: Option<usize>,
     /// Run-wide distinct-variable count, for the work budget.
     distinct: &'a AtomicU64,
     /// `mailboxes[dest][sender]`: cross-shard activations, drained by
@@ -164,6 +170,8 @@ pub struct ParEngine {
     num_vars: usize,
     rank_shift: u32,
     work_budget: Option<u64>,
+    /// Test-only injection: panic when a worker processes this variable.
+    panic_var: Option<usize>,
     epoch: u32,
     cur: Vec<AtomicU64>,
     cur_epoch: Vec<AtomicU32>,
@@ -216,6 +224,7 @@ impl ParEngine {
             num_vars,
             rank_shift,
             work_budget: None,
+            panic_var: None,
             epoch: 0,
             cur: (0..num_vars).map(|_| AtomicU64::new(0)).collect(),
             cur_epoch: (0..num_vars).map(|_| AtomicU32::new(0)).collect(),
@@ -245,6 +254,16 @@ impl ParEngine {
     /// The configured work budget, if any.
     pub fn work_budget(&self) -> Option<u64> {
         self.work_budget
+    }
+
+    /// Makes the next multi-shard runs panic when a worker processes
+    /// `var` — the fault injector behind the panic-isolation tests.
+    /// Only honoured on the sharded path (`nthreads > 1`); the
+    /// single-shard fast path is the sequential engine in disguise and
+    /// keeps sequential panic semantics.
+    #[doc(hidden)]
+    pub fn inject_panic_on(&mut self, var: Option<usize>) {
+        self.panic_var = var;
     }
 
     /// Heap bytes held by the engine's scratch structures.
@@ -337,6 +356,7 @@ impl ParEngine {
         let cells = [AtomicU64::new(min_bucket), AtomicU64::new(u64::MAX)];
         let barrier = Barrier::new(nthreads);
         let abort = AtomicBool::new(false);
+        let poisoned = AtomicBool::new(false);
         let distinct = AtomicU64::new(0);
         let mailboxes: Vec<Vec<Mutex<Vec<Msg>>>> = (0..nthreads)
             .map(|_| (0..nthreads).map(|_| Mutex::new(Vec::new())).collect())
@@ -354,6 +374,8 @@ impl ParEngine {
             cells: &cells,
             barrier: &barrier,
             abort: &abort,
+            poisoned: &poisoned,
+            panic_var: self.panic_var,
             distinct: &distinct,
             mailboxes: &mailboxes,
         };
@@ -374,6 +396,22 @@ impl ParEngine {
         let mut stats = RunStats::default();
         for w in &workers {
             stats.merge(&w.stats);
+        }
+
+        if poisoned.load(Relaxed) {
+            // A shard body panicked: discard the run. Nothing was written
+            // back to `status` (workers only stage values in the engine's
+            // scratch), so the caller can resume on the sequential engine
+            // from the exact pre-run state. The panic may have fired while
+            // worker scratch invariants were mid-flight (dirty lists taken,
+            // membership flags half-cleared), so the scratch is rebuilt
+            // rather than drained.
+            self.workers = workers;
+            self.reset_workers();
+            stats.poisoned = true;
+            stats.aborted = false;
+            crate::trace::record("par", nthreads, scope_len, &stats);
+            return stats;
         }
 
         // Stamp replay: apply final values in (round, thread, seq) order
@@ -492,6 +530,27 @@ impl ParEngine {
         }
         w.dep_buf = deps;
         w.stats
+    }
+
+    /// Rebuilds every worker's scratch from scratch — the recovery path
+    /// after a poisoned run, whose unwound shard may have left dirty-list
+    /// membership flags inconsistent with the (taken) lists themselves.
+    fn reset_workers(&mut self) {
+        let local = self.num_vars.div_ceil(self.nthreads);
+        for w in &mut self.workers {
+            *w = Worker {
+                queue: BucketQueue::new(self.rank_shift),
+                best: vec![u64::MAX; local],
+                pend: vec![PEND_NONE; local],
+                mark: vec![0; local],
+                seen: vec![false; local],
+                last_round: vec![0; local],
+                last_seq: vec![0; local],
+                in_dirty: vec![false; local],
+                in_round: vec![false; local],
+                ..Default::default()
+            };
+        }
     }
 
     fn advance_epoch(&mut self) {
@@ -637,6 +696,9 @@ fn process_round<S>(
         w.pend[lx] = PEND_NONE;
         w.best[lx] = u64::MAX;
         w.stats.pops += 1;
+        if sh.panic_var == Some(x) {
+            panic!("injected shard panic on var {x}");
+        }
         if !w.seen[lx] {
             w.seen[lx] = true;
             w.stats.distinct_vars += 1;
@@ -703,7 +765,13 @@ where
     w.round_dirty.clear();
     for (dest, out) in outboxes.iter_mut().enumerate() {
         if !out.is_empty() {
-            sh.mailboxes[dest][t].lock().unwrap().append(out);
+            // A mutex poisoned by another shard's caught panic is still
+            // structurally sound (appends are atomic within the lock);
+            // recover the guard instead of cascading the panic.
+            sh.mailboxes[dest][t]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .append(out);
         }
     }
 }
@@ -722,7 +790,11 @@ fn drain_mailboxes<S>(
     S::Value: PackedValue,
 {
     for s in 0..sh.nthreads {
-        let msgs = std::mem::take(&mut *sh.mailboxes[t][s].lock().unwrap());
+        let msgs = std::mem::take(
+            &mut *sh.mailboxes[t][s]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for (z, x, bits) in msgs {
             let vx = <S::Value as PackedValue>::unpack(bits);
             let zv = shard_read(z, t, sh, status);
@@ -745,11 +817,32 @@ fn drain_mailboxes<S>(
 /// `P` keeps same-round foreign writes invisible to evals; `A` ensures
 /// every mailbox is complete before anyone drains; `B` ensures the next
 /// round's global bucket is final before anyone reads it.
+///
+/// # Panic isolation
+///
+/// Each phase that runs spec code (process / publish / drain) is wrapped
+/// in [`std::panic::catch_unwind`]: a panicking shard poisons the run
+/// (`Shared::poisoned` + `Shared::abort`) **and keeps participating in
+/// the barriers**, so the remaining shards never deadlock — everyone
+/// exits together at the post-`A` abort check. The poisoned run's staged
+/// values are discarded by [`ParEngine::run`]; the caller degrades to
+/// the sequential engine, which reaches the same fixpoint (C2
+/// uniqueness) or surfaces the panic under sequential semantics.
 fn worker_body<S>(t: usize, w: &mut Worker, sh: &Shared<'_>, spec: &S, status: &Status<S::Value>)
 where
     S: FixpointSpec + Sync,
     S::Value: PackedValue,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    // The closures borrow `w` mutably across the unwind boundary; that is
+    // sound here because a caught panic poisons the run and the engine
+    // rebuilds every worker's scratch before it is read again.
+    let guard = |sh: &Shared<'_>, f: &mut dyn FnMut()| {
+        if catch_unwind(AssertUnwindSafe(f)).is_err() {
+            sh.poisoned.store(true, Relaxed);
+            sh.abort.store(true, Relaxed);
+        }
+    };
     let mut outboxes: Vec<Vec<Msg>> = vec![Vec::new(); sh.nthreads];
     let mut round: u32 = 0;
     loop {
@@ -762,15 +855,21 @@ where
         if t == 0 {
             sh.cells[next].store(u64::MAX, Relaxed);
         }
-        process_round(w, sh, spec, status, t, round, target as usize);
+        guard(sh, &mut || {
+            process_round(w, sh, spec, status, t, round, target as usize)
+        });
         sh.barrier.wait(); // P
-        publish_round(w, sh, spec, t, &mut outboxes);
+        guard(sh, &mut || publish_round(w, sh, spec, t, &mut outboxes));
         sh.barrier.wait(); // A
         if sh.abort.load(Relaxed) {
-            w.stats.aborted = true;
+            // Poison discards the run wholesale; only a genuine budget
+            // abort is reported as such.
+            if !sh.poisoned.load(Relaxed) {
+                w.stats.aborted = true;
+            }
             break; // uniform: every thread checks at this same point
         }
-        drain_mailboxes(w, sh, spec, status, t);
+        guard(sh, &mut || drain_mailboxes(w, sh, spec, status, t));
         let mine = w.queue.min_bucket().map_or(u64::MAX, |b| b as u64);
         sh.cells[next].fetch_min(mine, Relaxed);
         sh.barrier.wait(); // B
@@ -971,6 +1070,32 @@ mod tests {
         let mut s3 = Status::init(&spec, false);
         engine.run(&spec, &mut s3, [4usize, 5]);
         assert_eq!(s3.values(), &[0, 1, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn injected_panic_poisons_run_without_writeback() {
+        let spec = ring_with_chords(64);
+        let mut engine = ParEngine::new(64, 2);
+        engine.inject_panic_on(Some(10));
+        let mut status = Status::init(&spec, true);
+        let before = status.values().to_vec();
+        let stats = engine.run(&spec, &mut status, 0..64);
+        assert!(stats.poisoned, "shard panic must poison the run");
+        assert!(!stats.aborted, "poison is not a budget abort");
+        assert_eq!(
+            status.values(),
+            before.as_slice(),
+            "a poisoned run writes nothing back"
+        );
+        assert_eq!(status.clock(), 0, "no stamps replayed either");
+        // Clearing the injection restores convergence on the same engine:
+        // the rebuilt scratch must not remember the abandoned run.
+        engine.inject_panic_on(None);
+        let st2 = engine.run(&spec, &mut status, 0..64);
+        assert!(!st2.poisoned);
+        let mut seq = Status::init(&spec, false);
+        run_fixpoint(&spec, &mut seq, 0..64);
+        assert_eq!(status.values(), seq.values());
     }
 
     #[test]

@@ -40,6 +40,33 @@ impl<V: Copy + PartialEq> Status<V> {
         }
     }
 
+    /// Rebuilds a status from its serialized parts: values, timestamps
+    /// (empty = not tracked) and the logical clock. The checkpoint/restore
+    /// path needs this because weakly deducible classes derive the
+    /// contributor order `<_C` from the stamps — a restore that dropped
+    /// them would silently degrade every later incremental run.
+    ///
+    /// # Panics
+    /// Panics if `stamps` is non-empty with a length other than
+    /// `vals.len()`, or if any stamp exceeds `clock`.
+    pub fn from_parts(vals: Vec<V>, stamps: Vec<u64>, clock: u64) -> Self {
+        assert!(
+            stamps.is_empty() || stamps.len() == vals.len(),
+            "stamp vector length {} does not match {} values",
+            stamps.len(),
+            vals.len()
+        );
+        assert!(
+            stamps.iter().all(|&s| s <= clock),
+            "stamp beyond the logical clock {clock}"
+        );
+        Status {
+            vals,
+            stamps,
+            clock,
+        }
+    }
+
     /// Number of variables.
     pub fn len(&self) -> usize {
         self.vals.len()
@@ -107,6 +134,12 @@ impl<V: Copy + PartialEq> Status<V> {
     #[inline]
     pub fn stamp(&self, x: usize) -> u64 {
         self.stamps[x]
+    }
+
+    /// All timestamps, in variable order (empty when not tracked). The
+    /// serialization counterpart of [`from_parts`](Self::from_parts).
+    pub fn stamps(&self) -> &[u64] {
+        &self.stamps
     }
 
     /// Current logical clock (total number of stamped changes).

@@ -1,0 +1,354 @@
+//! Checkpoints of the full incremental state, and the manifest that
+//! points at the newest one.
+//!
+//! A checkpoint file is
+//!
+//! ```text
+//! [magic: 8 bytes][payload][crc: u32 over payload]
+//! ```
+//!
+//! whose payload captures everything recovery needs: the WAL sequence
+//! number the checkpoint covers, the graph at that point (direction flag,
+//! labels, edges), and one self-describing `SaveState` blob per tracked
+//! query class (see `incgraph_algos::persist`). The CRC is over the whole
+//! payload, so *any* corruption — graph bytes, a single state blob —
+//! invalidates the file as a unit and the recovery ladder moves on to an
+//! older checkpoint rather than trusting a half-good one.
+//!
+//! **Atomicity**: checkpoints are written to a `.tmp` sibling, fsynced,
+//! and atomically renamed into place, then the directory is fsynced so
+//! the rename itself is durable. The manifest (`MANIFEST`) is replaced
+//! the same way. A crash at any point leaves either the old world or the
+//! new world, never a half-written visible file; a crash between rename
+//! and manifest update leaves a valid checkpoint the manifest does not
+//! know about, which recovery finds anyway by scanning the directory.
+//!
+//! Checkpoint 0 — the *genesis* checkpoint written when a durable
+//! directory is created — is never rotated out: together with the
+//! append-only WAL it guarantees full replay remains possible even if
+//! every later checkpoint is lost.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use incgraph_algos::{restore_state, IncrementalState};
+use incgraph_graph::DynamicGraph;
+
+use crate::bytes::{put_bytes, put_u32, put_u64, put_u8, Reader};
+use crate::crc::crc32;
+use crate::{CrashPoint, DurableError};
+
+/// Magic prefix of a checkpoint file.
+pub const CKPT_MAGIC: &[u8; 8] = b"ICKP0001";
+/// Magic prefix of the manifest.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"IMAN0001";
+/// File name of the manifest inside a durable directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Path of the checkpoint covering WAL sequence `seq`.
+pub fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{seq:020}.ckpt"))
+}
+
+/// Sequence numbers of all well-named checkpoint files in `dir`, sorted
+/// descending (newest first). Purely name-based; validity is decided by
+/// [`load_checkpoint`].
+pub fn list_checkpoints(dir: &Path) -> Vec<u64> {
+    let mut seqs = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return seqs;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(rest) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|r| r.strip_suffix(".ckpt"))
+        {
+            if let Ok(seq) = rest.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable_by(|a, b| b.cmp(a));
+    seqs.dedup();
+    seqs
+}
+
+/// Serializes the checkpoint payload (everything between magic and CRC).
+pub fn encode_payload(
+    covered_seq: u64,
+    g: &DynamicGraph,
+    states: &[Box<dyn IncrementalState>],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, covered_seq);
+    put_u8(&mut out, g.is_directed() as u8);
+    put_u64(&mut out, g.node_count() as u64);
+    for v in g.nodes() {
+        put_u32(&mut out, g.label(v));
+    }
+    put_u64(&mut out, g.edge_count() as u64);
+    for (u, v, w) in g.edges() {
+        put_u32(&mut out, u);
+        put_u32(&mut out, v);
+        put_u32(&mut out, w);
+    }
+    put_u32(&mut out, states.len() as u32);
+    for s in states {
+        put_bytes(&mut out, &s.save_state());
+    }
+    out
+}
+
+/// A fully validated checkpoint: the WAL sequence it covers, the graph,
+/// and one restored state per saved blob.
+pub type LoadedCheckpoint = (u64, DynamicGraph, Vec<Box<dyn IncrementalState>>);
+
+/// Deserializes a checkpoint payload back into a [`LoadedCheckpoint`].
+/// Every structural or semantic violation is an error — the ladder
+/// treats the file as a unit.
+pub fn decode_payload(payload: &[u8]) -> Result<LoadedCheckpoint, DurableError> {
+    let mut r = Reader::new(payload);
+    let covered_seq = r.u64()?;
+    let directed = match r.u8()? {
+        0 => false,
+        1 => true,
+        b => return Err(DurableError::Corrupt(format!("direction flag {b}"))),
+    };
+    let n = r.len(4)?;
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push(r.u32()?);
+    }
+    let mut g = DynamicGraph::with_labels(directed, labels);
+    let m = r.len(12)?;
+    for _ in 0..m {
+        let u = r.u32()?;
+        let v = r.u32()?;
+        let w = r.u32()?;
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(DurableError::Corrupt(format!(
+                "edge ({u}, {v}) out of range for {n} nodes"
+            )));
+        }
+        if !g.insert_edge(u, v, w) {
+            return Err(DurableError::Corrupt(format!("duplicate edge ({u}, {v})")));
+        }
+    }
+    let k = r.u32()? as usize;
+    let mut states = Vec::with_capacity(k.min(64));
+    for _ in 0..k {
+        let blob = r.bytes()?;
+        states.push(restore_state(&g, blob)?);
+    }
+    r.finish()?;
+    Ok((covered_seq, g, states))
+}
+
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Writes the checkpoint covering `covered_seq` via temp-file + fsync +
+/// atomic rename + directory fsync, returning the final path.
+///
+/// `crash` injects a failure for the recovery harness:
+/// [`CrashPoint::MidCheckpoint`] dies with a half-written temp file (no
+/// rename — the previous checkpoint world is untouched);
+/// [`CrashPoint::PostRename`] completes the rename, then dies before the
+/// caller can update the manifest (the new checkpoint is on disk but
+/// unannounced). Other crash points are ignored here.
+pub fn write_checkpoint(
+    dir: &Path,
+    covered_seq: u64,
+    g: &DynamicGraph,
+    states: &[Box<dyn IncrementalState>],
+    crash: Option<CrashPoint>,
+) -> Result<PathBuf, DurableError> {
+    let payload = encode_payload(covered_seq, g, states);
+    let mut bytes = Vec::with_capacity(12 + payload.len());
+    bytes.extend_from_slice(CKPT_MAGIC);
+    bytes.extend_from_slice(&payload);
+    put_u32(&mut bytes, crc32(&payload));
+
+    let final_path = checkpoint_path(dir, covered_seq);
+    let tmp_path = final_path.with_extension("ckpt.tmp");
+    let mut tmp = File::create(&tmp_path)?;
+    if crash == Some(CrashPoint::MidCheckpoint) {
+        // Torn temp file, never renamed: the visible world is unchanged.
+        tmp.write_all(&bytes[..bytes.len() / 2])?;
+        tmp.flush()?;
+        return Err(DurableError::InjectedCrash(CrashPoint::MidCheckpoint));
+    }
+    tmp.write_all(&bytes)?;
+    tmp.sync_all()?;
+    drop(tmp);
+    fs::rename(&tmp_path, &final_path)?;
+    fsync_dir(dir)?;
+    if crash == Some(CrashPoint::PostRename) {
+        // Checkpoint durable, manifest stale: recovery must find it by
+        // directory scan.
+        return Err(DurableError::InjectedCrash(CrashPoint::PostRename));
+    }
+    Ok(final_path)
+}
+
+/// Loads and fully validates the checkpoint at `path`: magic, whole-file
+/// CRC, then payload decoding (which itself restores every state blob).
+pub fn load_checkpoint(path: &Path) -> Result<LoadedCheckpoint, DurableError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < CKPT_MAGIC.len() + 4 || &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        return Err(DurableError::Corrupt(format!(
+            "{} is not a checkpoint",
+            path.display()
+        )));
+    }
+    let payload = &bytes[CKPT_MAGIC.len()..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc32(payload) != stored {
+        return Err(DurableError::Corrupt(format!(
+            "{}: checksum mismatch",
+            path.display()
+        )));
+    }
+    decode_payload(payload)
+}
+
+/// Atomically (re)writes the manifest to point at checkpoint `seq`.
+pub fn write_manifest(dir: &Path, seq: u64) -> Result<(), DurableError> {
+    let mut bytes = Vec::with_capacity(20);
+    bytes.extend_from_slice(MANIFEST_MAGIC);
+    put_u64(&mut bytes, seq);
+    put_u32(&mut bytes, crc32(&seq.to_le_bytes()));
+    let final_path = dir.join(MANIFEST_NAME);
+    let tmp_path = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    let mut tmp = File::create(&tmp_path)?;
+    tmp.write_all(&bytes)?;
+    tmp.sync_all()?;
+    drop(tmp);
+    fs::rename(&tmp_path, &final_path)?;
+    fsync_dir(dir)?;
+    Ok(())
+}
+
+/// Reads the manifest's checkpoint pointer. `None` means missing or
+/// unusable — recovery then falls back to a directory scan, so a corrupt
+/// manifest costs a scan, never the data.
+pub fn read_manifest(dir: &Path) -> Option<u64> {
+    let bytes = fs::read(dir.join(MANIFEST_NAME)).ok()?;
+    if bytes.len() != 20 || &bytes[..8] != MANIFEST_MAGIC {
+        return None;
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let stored = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    (crc32(&seq.to_le_bytes()) == stored).then_some(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incgraph_algos::{CcState, SsspState};
+
+    fn ring(n: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new(false, n);
+        for v in 0..n as u32 {
+            g.insert_edge(v, (v + 1) % n as u32, 1);
+        }
+        g
+    }
+
+    fn states_for(g: &DynamicGraph) -> Vec<Box<dyn IncrementalState>> {
+        vec![
+            Box::new(SsspState::batch(g, 0).0),
+            Box::new(CcState::batch(g).0),
+        ]
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("incgraph-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let g = ring(12);
+        let states = states_for(&g);
+        let path = write_checkpoint(&dir, 7, &g, &states, None).unwrap();
+        let (seq, g2, states2) = load_checkpoint(&path).unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(g2.node_count(), 12);
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(states2.len(), 2);
+        for (a, b) in states.iter().zip(&states2) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.save_state(), b.save_state());
+        }
+        assert_eq!(list_checkpoints(&dir), vec![7]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn any_corrupted_byte_invalidates_the_file() {
+        let dir = temp_dir("corrupt");
+        let g = ring(8);
+        let states = states_for(&g);
+        let path = write_checkpoint(&dir, 3, &g, &states, None).unwrap();
+        let clean = fs::read(&path).unwrap();
+        // Flip a byte in several regions: graph bytes, state blob, CRC.
+        for &i in &[10usize, clean.len() / 2, clean.len() - 2] {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x40;
+            fs::write(&path, &bad).unwrap();
+            assert!(
+                load_checkpoint(&path).is_err(),
+                "flip at byte {i} went unnoticed"
+            );
+        }
+        fs::write(&path, &clean).unwrap();
+        assert!(load_checkpoint(&path).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_corruption() {
+        let dir = temp_dir("manifest");
+        assert_eq!(read_manifest(&dir), None);
+        write_manifest(&dir, 42).unwrap();
+        assert_eq!(read_manifest(&dir), Some(42));
+        let path = dir.join(MANIFEST_NAME);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[12] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            read_manifest(&dir),
+            None,
+            "corrupt manifest must be ignored"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_checkpoint_crash_leaves_old_world_intact() {
+        let dir = temp_dir("midckpt");
+        let g = ring(8);
+        let states = states_for(&g);
+        write_checkpoint(&dir, 1, &g, &states, None).unwrap();
+        let err = write_checkpoint(&dir, 2, &g, &states, Some(CrashPoint::MidCheckpoint));
+        assert!(matches!(
+            err,
+            Err(DurableError::InjectedCrash(CrashPoint::MidCheckpoint))
+        ));
+        // Only the torn temp file exists for seq 2; the scan sees seq 1.
+        assert_eq!(list_checkpoints(&dir), vec![1]);
+        assert!(load_checkpoint(&checkpoint_path(&dir, 1)).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

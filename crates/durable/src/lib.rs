@@ -1,0 +1,561 @@
+//! Crash-safe durability for the incremental pipeline: a write-ahead log
+//! of applied `ΔG` batches, periodic checkpoints of the full fixpoint
+//! state, and verified recovery that replays the WAL suffix *through the
+//! normal incremental engine*.
+//!
+//! The design follows the classic ARIES-style split, specialized to the
+//! paper's model where the durable state is tiny and deterministic:
+//!
+//! - **WAL** ([`wal`]): every applied [`UpdateBatch`] is appended and
+//!   fsynced *before* the in-memory state machine advances past it. The
+//!   log is the ground truth of which `ΔG` are part of history.
+//! - **Checkpoints** ([`checkpoint`]): the graph plus every tracked
+//!   class's `SaveState` essence (`D^r`, stamps, clock, query params),
+//!   written atomically and CRC-verified as a unit. Checkpoints only
+//!   accelerate recovery; the *genesis* checkpoint (sequence 0) is never
+//!   rotated out, so full replay always remains possible.
+//! - **Recovery** ([`recover`]): newest valid checkpoint + incremental
+//!   replay of the WAL suffix via `update_guarded`, so even recovery
+//!   enjoys the paper's bounded incremental cost — and inherits the
+//!   [`FallbackPolicy`] degradation ladder (incremental replay → batch
+//!   recompute) when a replayed batch turns out unbounded.
+//!
+//! Because every algorithm here is deterministic, recovery is *verifiable*:
+//! replaying `r` logged batches from any checkpoint must produce a state
+//! whose essence is bit-identical to the uninterrupted run after `r`
+//! batches. The differential oracle's crash mode checks exactly that at
+//! every [`CrashPoint`].
+
+mod bytes;
+pub mod checkpoint;
+pub mod crc;
+pub mod recover;
+pub mod wal;
+
+pub use recover::{recover, RecoveryReport};
+pub use wal::{encode_record, scan_records, Scan, ScannedRecord, Wal, FIRST_SEQ};
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use incgraph_algos::{update_guarded, IncrementalState, StateLoadError};
+use incgraph_core::fallback::FallbackPolicy;
+use incgraph_core::metrics::BoundednessReport;
+use incgraph_graph::{BatchError, DynamicGraph, UpdateBatch};
+
+/// File name of the write-ahead log inside a durable directory.
+pub const WAL_NAME: &str = "wal.log";
+
+/// Injectable crash sites, exercised by the crash-recovery harness and
+/// the `DURABLE_CRASH_AT` environment variable.
+///
+/// Each point pins down a durability contract:
+///
+/// | point | batch durable? | recovery must see |
+/// |-------|----------------|-------------------|
+/// | [`WalPreFsync`](Self::WalPreFsync) | no — record torn, not fsynced | history *without* the in-flight batch |
+/// | [`WalPostFsync`](Self::WalPostFsync) | yes — record fsynced | history *with* the in-flight batch |
+/// | [`MidCheckpoint`](Self::MidCheckpoint) | n/a — temp file torn | the previous checkpoint world, unchanged |
+/// | [`PostRename`](Self::PostRename) | n/a — checkpoint durable, manifest stale | the new checkpoint, found by directory scan |
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Die mid-append: half the WAL record written, no fsync.
+    WalPreFsync,
+    /// Die right after the WAL append was fsynced.
+    WalPostFsync,
+    /// Die with the checkpoint temp file half-written, before the rename.
+    MidCheckpoint,
+    /// Die after the checkpoint rename but before the manifest update.
+    PostRename,
+}
+
+impl CrashPoint {
+    /// All injection points, in pipeline order.
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::WalPreFsync,
+        CrashPoint::WalPostFsync,
+        CrashPoint::MidCheckpoint,
+        CrashPoint::PostRename,
+    ];
+
+    /// Stable external name (CLI flag / env var / case-file syntax).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::WalPreFsync => "pre-fsync",
+            CrashPoint::WalPostFsync => "post-fsync",
+            CrashPoint::MidCheckpoint => "mid-checkpoint",
+            CrashPoint::PostRename => "post-rename",
+        }
+    }
+
+    /// Parses an external name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pre-fsync" => Some(CrashPoint::WalPreFsync),
+            "post-fsync" => Some(CrashPoint::WalPostFsync),
+            "mid-checkpoint" => Some(CrashPoint::MidCheckpoint),
+            "post-rename" => Some(CrashPoint::PostRename),
+            _ => None,
+        }
+    }
+
+    /// Reads `DURABLE_CRASH_AT` from the environment. Unset or empty
+    /// means no injection; an unknown name is reported as an error so a
+    /// typo cannot silently disable a fault-injection run.
+    pub fn from_env() -> Result<Option<Self>, DurableError> {
+        match std::env::var("DURABLE_CRASH_AT") {
+            Ok(v) if v.is_empty() => Ok(None),
+            Ok(v) => Self::parse(&v).map(Some).ok_or_else(|| {
+                DurableError::Corrupt(format!(
+                    "DURABLE_CRASH_AT={v}: expected one of pre-fsync, post-fsync, \
+                     mid-checkpoint, post-rename"
+                ))
+            }),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Whether this point fires inside [`DurableSession::apply`] (as
+    /// opposed to [`DurableSession::checkpoint`]).
+    pub fn is_wal_point(self) -> bool {
+        matches!(self, CrashPoint::WalPreFsync | CrashPoint::WalPostFsync)
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors of the durability layer.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// On-disk bytes violate a format or semantic invariant.
+    Corrupt(String),
+    /// The batch handed to [`DurableSession::apply`] failed validation;
+    /// nothing was logged and the graph is unchanged.
+    InvalidBatch(BatchError),
+    /// A checkpointed state blob failed to restore.
+    State(StateLoadError),
+    /// An armed [`CrashPoint`] fired: the process is considered dead and
+    /// the session must be dropped and recovered from disk.
+    InjectedCrash(CrashPoint),
+    /// No valid checkpoint exists — not even genesis — so recovery has
+    /// no base state to replay from.
+    Unrecoverable(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "io error: {e}"),
+            DurableError::Corrupt(d) => write!(f, "corrupt durable state: {d}"),
+            DurableError::InvalidBatch(e) => write!(f, "invalid batch: {e}"),
+            DurableError::State(e) => write!(f, "state blob rejected: {e}"),
+            DurableError::InjectedCrash(p) => write!(f, "injected crash at {p}"),
+            DurableError::Unrecoverable(d) => write!(f, "unrecoverable: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(e) => Some(e),
+            DurableError::InvalidBatch(e) => Some(e),
+            DurableError::State(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<StateLoadError> for DurableError {
+    fn from(e: StateLoadError) -> Self {
+        DurableError::State(e)
+    }
+}
+
+/// Configuration of a durable session.
+#[derive(Clone, Debug, Default)]
+pub struct DurableOptions {
+    /// Fallback policy governing incremental updates — both live ones and
+    /// the replayed ones during recovery.
+    pub policy: FallbackPolicy,
+    /// Take a checkpoint automatically every `n` applied batches
+    /// (`None` = only on explicit [`DurableSession::checkpoint`] calls).
+    pub checkpoint_every: Option<u64>,
+}
+
+/// A live graph + incremental states bound to a durable directory.
+///
+/// The commit protocol of [`apply`](Self::apply) is:
+///
+/// 1. validate and apply `ΔG` to the in-memory graph
+///    ([`UpdateBatch::apply_validated`] — an invalid batch is rejected
+///    before anything touches the log);
+/// 2. append the batch to the WAL and **fsync** — this is the commit
+///    point; a crash before it loses the batch (by design: it was never
+///    acknowledged), a crash after it preserves the batch across
+///    recovery;
+/// 3. run the incremental update on every tracked state via
+///    [`update_guarded`] under the session's [`FallbackPolicy`].
+///
+/// Recovery rebuilds the exact same in-memory world from the newest valid
+/// checkpoint plus the logged suffix — see [`recover`].
+pub struct DurableSession {
+    pub(crate) dir: PathBuf,
+    pub(crate) wal: Wal,
+    pub(crate) graph: DynamicGraph,
+    pub(crate) states: Vec<Box<dyn IncrementalState>>,
+    pub(crate) options: DurableOptions,
+    pub(crate) next_seq: u64,
+    pub(crate) crash: Option<CrashPoint>,
+}
+
+impl DurableSession {
+    /// Initializes a fresh durable directory: genesis checkpoint
+    /// (sequence 0, holding `graph` and the current essence of every
+    /// state), manifest, and an empty WAL. Fails if the directory already
+    /// holds a durable store — re-initializing would orphan its history.
+    pub fn create(
+        dir: &Path,
+        graph: DynamicGraph,
+        states: Vec<Box<dyn IncrementalState>>,
+        options: DurableOptions,
+    ) -> Result<Self, DurableError> {
+        std::fs::create_dir_all(dir)?;
+        if dir.join(checkpoint::MANIFEST_NAME).exists() || dir.join(WAL_NAME).exists() {
+            return Err(DurableError::Corrupt(format!(
+                "{} already holds a durable store; recover it instead",
+                dir.display()
+            )));
+        }
+        checkpoint::write_checkpoint(dir, 0, &graph, &states, None)?;
+        checkpoint::write_manifest(dir, 0)?;
+        let opened = Wal::open(&dir.join(WAL_NAME))?;
+        Ok(DurableSession {
+            dir: dir.to_path_buf(),
+            wal: opened.wal,
+            graph,
+            states,
+            options,
+            next_seq: FIRST_SEQ,
+            crash: None,
+        })
+    }
+
+    /// The durable directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The tracked incremental states, in creation order.
+    pub fn states(&self) -> &[Box<dyn IncrementalState>] {
+        &self.states
+    }
+
+    /// Sequence number of the last durably applied batch (0 = none yet).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Arms a one-shot crash injection: the next operation that reaches
+    /// the given point dies there. WAL points fire in [`apply`](Self::apply),
+    /// checkpoint points in [`checkpoint`](Self::checkpoint).
+    pub fn arm_crash(&mut self, point: Option<CrashPoint>) {
+        self.crash = point;
+    }
+
+    fn take_crash(&mut self, wal_point: bool) -> Option<CrashPoint> {
+        if self.crash.is_some_and(|p| p.is_wal_point() == wal_point) {
+            self.crash.take()
+        } else {
+            None
+        }
+    }
+
+    /// Applies one batch durably (see the type-level docs for the commit
+    /// protocol), returning one [`BoundednessReport`] per tracked state.
+    ///
+    /// On [`DurableError::InvalidBatch`] and real I/O errors the
+    /// in-memory graph is rolled back and the log untouched — the session
+    /// stays usable. On [`DurableError::InjectedCrash`] the session is
+    /// dead by definition and must be dropped.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<Vec<BoundednessReport>, DurableError> {
+        let applied = batch
+            .apply_validated(&mut self.graph)
+            .map_err(DurableError::InvalidBatch)?;
+        let crash = self.take_crash(true);
+        let seq = self.next_seq;
+        if let Err(e) = self.wal.append(seq, batch, crash) {
+            if !matches!(e, DurableError::InjectedCrash(_)) {
+                // Real I/O failure: undo the in-memory application so the
+                // session still mirrors the durable history exactly.
+                applied.invert().apply(&mut self.graph);
+            }
+            return Err(e);
+        }
+        self.next_seq += 1;
+        let reports = self
+            .states
+            .iter_mut()
+            .map(|s| {
+                update_guarded(
+                    s.as_mut(),
+                    &self.graph,
+                    &applied,
+                    &self.options.policy,
+                    None,
+                )
+            })
+            .collect();
+        if let Some(every) = self.options.checkpoint_every {
+            if every > 0 && self.last_seq().is_multiple_of(every) {
+                self.checkpoint()?;
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Writes a checkpoint covering everything applied so far and points
+    /// the manifest at it. Returns the covered WAL sequence number.
+    pub fn checkpoint(&mut self) -> Result<u64, DurableError> {
+        let covered = self.last_seq();
+        let crash = self.take_crash(false);
+        checkpoint::write_checkpoint(&self.dir, covered, &self.graph, &self.states, crash)?;
+        checkpoint::write_manifest(&self.dir, covered)?;
+        Ok(covered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incgraph_algos::{CcState, ReachState, SsspState};
+    use incgraph_graph::UpdateBatch;
+    use std::fs;
+
+    fn ring(n: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new(false, n);
+        for v in 0..n as u32 {
+            g.insert_edge(v, (v + 1) % n as u32, 1);
+        }
+        g
+    }
+
+    fn states_for(g: &DynamicGraph) -> Vec<Box<dyn IncrementalState>> {
+        vec![
+            Box::new(SsspState::batch(g, 0).0),
+            Box::new(CcState::batch(g).0),
+            Box::new(ReachState::batch(g, 0).0),
+        ]
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("incgraph-durable-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn schedule() -> Vec<UpdateBatch> {
+        let mut batches = Vec::new();
+        let mut b = UpdateBatch::new();
+        b.insert(0, 5, 2).delete(2, 3);
+        batches.push(b);
+        let mut b = UpdateBatch::new();
+        b.delete(0, 5).insert(2, 3, 4).insert(1, 7, 1);
+        batches.push(b);
+        let mut b = UpdateBatch::new();
+        b.delete(7, 8).delete(1, 7);
+        batches.push(b);
+        batches
+    }
+
+    fn essences(states: &[Box<dyn IncrementalState>]) -> Vec<Vec<u8>> {
+        states.iter().map(|s| s.save_state()).collect()
+    }
+
+    #[test]
+    fn create_apply_recover_is_value_identical() {
+        let dir = temp_dir("e2e");
+        let g0 = ring(12);
+        let mut session =
+            DurableSession::create(&dir, g0.clone(), states_for(&g0), DurableOptions::default())
+                .unwrap();
+        for b in schedule() {
+            session.apply(&b).unwrap();
+        }
+        session.checkpoint().unwrap();
+        let mut b = UpdateBatch::new();
+        b.insert(4, 9, 3);
+        session.apply(&b).unwrap();
+        let live = essences(session.states());
+        let live_edges: Vec<_> = session.graph().edges().collect();
+        drop(session);
+
+        let (recovered, report) = recover(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(report.checkpoint_seq, 3, "newest checkpoint covers seq 3");
+        assert_eq!(report.wal_records_replayed, 1, "only the suffix replays");
+        assert_eq!(essences(recovered.states()), live);
+        assert_eq!(recovered.graph().edges().collect::<Vec<_>>(), live_edges);
+        assert_eq!(recovered.last_seq(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber_an_existing_store() {
+        let dir = temp_dir("clobber");
+        let g0 = ring(8);
+        let s =
+            DurableSession::create(&dir, g0.clone(), states_for(&g0), DurableOptions::default())
+                .unwrap();
+        drop(s);
+        assert!(matches!(
+            DurableSession::create(&dir, g0.clone(), states_for(&g0), DurableOptions::default()),
+            Err(DurableError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_batch_leaves_session_usable_and_log_clean() {
+        let dir = temp_dir("invalid");
+        let g0 = ring(8);
+        let mut session =
+            DurableSession::create(&dir, g0.clone(), states_for(&g0), DurableOptions::default())
+                .unwrap();
+        let edges_before: Vec<_> = session.graph().edges().collect();
+        let mut bad = UpdateBatch::new();
+        bad.insert(0, 3, 1).insert(0, 99, 1); // out-of-range node
+        assert!(matches!(
+            session.apply(&bad),
+            Err(DurableError::InvalidBatch(_))
+        ));
+        assert_eq!(session.graph().edges().collect::<Vec<_>>(), edges_before);
+        assert_eq!(session.last_seq(), 0, "nothing was logged");
+        let mut ok = UpdateBatch::new();
+        ok.insert(0, 3, 1);
+        session.apply(&ok).unwrap();
+        assert_eq!(session.last_seq(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn periodic_checkpoints_fire_on_the_interval() {
+        let dir = temp_dir("periodic");
+        let g0 = ring(10);
+        let options = DurableOptions {
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        let mut session =
+            DurableSession::create(&dir, g0.clone(), states_for(&g0), options).unwrap();
+        for b in schedule() {
+            session.apply(&b).unwrap();
+        }
+        // Genesis (0) + automatic checkpoint at seq 2.
+        assert_eq!(checkpoint::list_checkpoints(&dir), vec![2, 0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_points_round_trip_their_names() {
+        for p in CrashPoint::ALL {
+            assert_eq!(CrashPoint::parse(p.name()), Some(p));
+        }
+        assert_eq!(CrashPoint::parse("nope"), None);
+    }
+
+    #[test]
+    fn kill_and_recover_at_every_crash_point() {
+        // The core durability contract, in miniature (the oracle's crash
+        // mode scales this to every round of a fuzzed schedule): crash at
+        // each injection point, recover, and the recovered world must be
+        // value-identical to an uninterrupted run over the surviving
+        // prefix of the history.
+        let batches = schedule();
+        for point in CrashPoint::ALL {
+            let dir = temp_dir(point.name());
+            let g0 = ring(12);
+            let mut session = DurableSession::create(
+                &dir,
+                g0.clone(),
+                states_for(&g0),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            // Two clean rounds, then the faulty operation.
+            session.apply(&batches[0]).unwrap();
+            session.apply(&batches[1]).unwrap();
+            session.arm_crash(Some(point));
+            let survived = if point.is_wal_point() {
+                let err = session.apply(&batches[2]).unwrap_err();
+                assert!(matches!(err, DurableError::InjectedCrash(p) if p == point));
+                // Pre-fsync: the in-flight batch dies with the process.
+                // Post-fsync: it committed first.
+                if point == CrashPoint::WalPostFsync {
+                    3
+                } else {
+                    2
+                }
+            } else {
+                let err = session.checkpoint().unwrap_err();
+                assert!(matches!(err, DurableError::InjectedCrash(p) if p == point));
+                2
+            };
+            drop(session);
+
+            // Uninterrupted reference over the surviving prefix.
+            let mut ref_g = g0.clone();
+            let mut ref_states = states_for(&ref_g);
+            for b in &batches[..survived] {
+                let applied = b.apply(&mut ref_g);
+                for s in &mut ref_states {
+                    s.update(&ref_g, &applied);
+                }
+            }
+
+            let (recovered, report) = recover(&dir, DurableOptions::default()).unwrap();
+            assert_eq!(
+                recovered.last_seq(),
+                survived as u64,
+                "{point}: wrong history length"
+            );
+            assert_eq!(
+                essences(recovered.states()),
+                essences(&ref_states),
+                "{point}: recovered essence diverges"
+            );
+            assert_eq!(
+                recovered.graph().edges().collect::<Vec<_>>(),
+                ref_g.edges().collect::<Vec<_>>(),
+                "{point}: recovered graph diverges"
+            );
+            if point == CrashPoint::WalPreFsync {
+                assert!(report.wal_truncated_bytes > 0, "torn tail must be cut");
+            }
+            if point == CrashPoint::PostRename {
+                // The renamed checkpoint is durable even though the
+                // manifest never learned about it.
+                assert_eq!(report.checkpoint_seq, 2);
+                assert!(!report.used_manifest);
+            }
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}

@@ -28,6 +28,7 @@
 //! ```
 
 use crate::runner::{ClassId, Fault};
+use incgraph_durable::CrashPoint;
 use incgraph_graph::{DynamicGraph, Label, NodeId, Pattern, UpdateBatch, Weight};
 use std::fmt::Write as _;
 
@@ -77,6 +78,10 @@ pub struct Case {
     /// teeth); `None` marks a real-divergence regression case (expected
     /// to *pass* once the bug is fixed).
     pub fault: Option<Fault>,
+    /// When set, replay runs the crash-recovery oracle
+    /// ([`run_crash_case`](crate::crash::run_crash_case)) at this
+    /// injection point instead of sweeping all four.
+    pub crash_at: Option<CrashPoint>,
 }
 
 impl Case {
@@ -129,6 +134,9 @@ impl Case {
         if let Some(fault) = self.fault {
             let _ = writeln!(out, "inject-fault {}", fault.name());
         }
+        if let Some(point) = self.crash_at {
+            let _ = writeln!(out, "crash-at {}", point.name());
+        }
         let threads: Vec<String> = self.threads.iter().map(|t| t.to_string()).collect();
         let _ = writeln!(out, "threads {}", threads.join(","));
         for &(u, v, w) in &self.edges {
@@ -166,6 +174,7 @@ impl Case {
         let mut pattern_edges: Vec<(usize, usize)> = Vec::new();
         let mut threads: Vec<usize> = Vec::new();
         let mut fault: Option<Fault> = None;
+        let mut crash_at: Option<CrashPoint> = None;
         let mut saw_header = false;
         let mut saw_end = false;
 
@@ -229,6 +238,15 @@ impl Case {
                     fault = Some(
                         Fault::from_name(name)
                             .ok_or_else(|| err(lineno, format!("unknown fault `{name}`")))?,
+                    );
+                }
+                "crash-at" => {
+                    let name = it
+                        .next()
+                        .ok_or_else(|| err(lineno, "expected crash point name".into()))?;
+                    crash_at = Some(
+                        CrashPoint::parse(name)
+                            .ok_or_else(|| err(lineno, format!("unknown crash point `{name}`")))?,
                     );
                 }
                 "threads" => {
@@ -315,6 +333,7 @@ impl Case {
             pattern,
             threads,
             fault,
+            crash_at,
         })
     }
 }
@@ -340,6 +359,7 @@ mod tests {
             pattern: Some(Pattern::new(vec![0, 1], &[(0, 1)])),
             threads: vec![1, 2, 4],
             fault: Some(Fault::SkipOp),
+            crash_at: Some(CrashPoint::WalPostFsync),
         }
     }
 
@@ -359,6 +379,7 @@ mod tests {
         assert_eq!(parsed.source, case.source);
         assert_eq!(parsed.threads, case.threads);
         assert_eq!(parsed.fault, case.fault);
+        assert_eq!(parsed.crash_at, case.crash_at);
         let (p, q) = (parsed.pattern.unwrap(), case.pattern.unwrap());
         assert_eq!(p.node_count(), q.node_count());
         assert_eq!(p.edges().collect::<Vec<_>>(), q.edges().collect::<Vec<_>>());

@@ -15,6 +15,7 @@
 //! updates" as the *success* criterion for that mode.
 
 use crate::case::Case;
+use crate::crash::{run_crash_case, CrashFailure};
 use crate::gencase::{gen_case, GenConfig};
 use crate::runner::{run_case, ClassId, Fault, OracleFailure};
 use crate::shrink::{shrink_case, ShrinkStats};
@@ -35,6 +36,10 @@ pub struct FuzzConfig {
     pub time_budget: Option<Duration>,
     /// Doctored-ΔG fault to inject into every case (validation mode).
     pub inject_fault: Option<Fault>,
+    /// Also sweep the crash-recovery oracle over every case: kill the
+    /// durable pipeline at every (round, injection point) and verify the
+    /// recovered world. Much slower per case; meant for the nightly job.
+    pub crash: bool,
     /// Where to write minimized `.case` files; `None` disables writing.
     pub corpus_dir: Option<PathBuf>,
     /// Case size knobs.
@@ -49,6 +54,7 @@ impl FuzzConfig {
             cases,
             time_budget: None,
             inject_fault: None,
+            crash: false,
             corpus_dir: None,
             gen: GenConfig::default(),
         }
@@ -70,6 +76,21 @@ pub struct FailureRecord {
     pub path: Option<PathBuf>,
 }
 
+/// One crash-recovery violation caught by a `--crash` campaign. Crash
+/// failures are not shrunk — the differential shrinker re-checks
+/// candidates through [`run_case`], which cannot reproduce a durability
+/// divergence — so the full case is written to the corpus with its
+/// `crash-at` point stamped for targeted replay.
+#[derive(Debug)]
+pub struct CrashRecord {
+    /// Seed of the generated case that tripped the oracle.
+    pub case_seed: u64,
+    /// The violation.
+    pub failure: CrashFailure,
+    /// Corpus file the case was written to, if writing is enabled.
+    pub path: Option<PathBuf>,
+}
+
 /// Campaign outcome.
 #[derive(Debug, Default)]
 pub struct FuzzReport {
@@ -77,18 +98,22 @@ pub struct FuzzReport {
     pub cases_run: usize,
     /// Total oracle comparisons across the campaign.
     pub checks: u64,
+    /// Kill-and-recover cycles performed (crash campaigns only).
+    pub recoveries: u64,
     /// Union of query classes exercised, in canonical order (directed
     /// cases skip the undirected-only classes, so coverage is a campaign
     /// property, not a per-case one).
     pub classes_exercised: Vec<ClassId>,
     /// Violations, in discovery order.
     pub failures: Vec<FailureRecord>,
+    /// Crash-recovery violations, in discovery order.
+    pub crash_failures: Vec<CrashRecord>,
 }
 
 impl FuzzReport {
     /// Whether the campaign saw no violations.
     pub fn clean(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.crash_failures.is_empty()
     }
 }
 
@@ -133,8 +158,52 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 path,
             });
         }
+        if cfg.crash {
+            let crash = run_crash_case(&case);
+            report.checks += crash.checks;
+            report.recoveries += crash.recoveries;
+            if let Some(failure) = crash.failure {
+                let path = cfg
+                    .corpus_dir
+                    .as_ref()
+                    .and_then(|dir| write_crash_corpus_file(dir, cfg, case_seed, &failure, &case));
+                report.crash_failures.push(CrashRecord {
+                    case_seed,
+                    failure,
+                    path,
+                });
+            }
+        }
     }
     report
+}
+
+/// Renders a crash-oracle reproducer — the *unshrunk* case with the
+/// failing injection point stamped as `crash-at` — and writes it under
+/// `dir`.
+fn write_crash_corpus_file(
+    dir: &std::path::Path,
+    cfg: &FuzzConfig,
+    case_seed: u64,
+    failure: &CrashFailure,
+    case: &Case,
+) -> Option<PathBuf> {
+    let mut case = case.clone();
+    case.crash_at = Some(failure.point);
+    let comments = vec![
+        format!("found by `incgraph fuzz --crash --seed {}`", cfg.seed),
+        format!("case seed {case_seed}"),
+        format!("failure: {failure}"),
+    ];
+    let name = format!("case-crash-{}-{case_seed:016x}.case", failure.point.name());
+    let path = dir.join(name);
+    if std::fs::create_dir_all(dir).is_err() {
+        return None;
+    }
+    match std::fs::write(&path, case.render(&comments)) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
 }
 
 /// Renders `minimized` with full provenance comments — including the
@@ -233,6 +302,22 @@ mod tests {
         assert_eq!(parsed.schedule_len(), rec.minimized.schedule_len());
         assert!(text.contains("failure:"), "provenance comments present");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_campaign_is_clean_and_counts_recoveries() {
+        let mut cfg = FuzzConfig::new(5, 2);
+        cfg.crash = true;
+        let report = fuzz(&cfg);
+        assert!(
+            report.clean(),
+            "crash campaign violation: {}",
+            report.crash_failures[0].failure
+        );
+        assert!(
+            report.recoveries > 0,
+            "the sweep must actually kill-and-recover"
+        );
     }
 
     #[test]

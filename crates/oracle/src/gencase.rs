@@ -161,6 +161,7 @@ pub fn gen_case(seed: u64, cfg: &GenConfig) -> Case {
         pattern,
         threads: vec![1, 2, 4],
         fault: None,
+        crash_at: None,
     }
 }
 

@@ -14,6 +14,10 @@
 //!   incremental-vs-batch value equality, sequential-vs-parallel equality
 //!   at the case's thread counts, and boundedness-accounting invariants
 //!   after every batch;
+//! * [`crash`] sweeps kill-and-recover over a case's schedule at every
+//!   durability injection point, demanding the recovered world is
+//!   value-identical to an uninterrupted run (the determinism of the
+//!   paper's algorithms makes recovery *verifiable*, not just plausible);
 //! * [`shrink`] minimizes a failing case ddmin-style while preserving the
 //!   failure fingerprint, producing a certified reproducer;
 //! * [`fuzz`] is the campaign loop gluing these together and writing
@@ -25,13 +29,15 @@
 //! re-runs every checked-in case on every build.
 
 pub mod case;
+pub mod crash;
 pub mod fuzz;
 pub mod gencase;
 pub mod runner;
 pub mod shrink;
 
 pub use case::{Case, CaseParseError};
-pub use fuzz::{fuzz, FailureRecord, FuzzConfig, FuzzReport};
+pub use crash::{run_crash_case, CrashFailure, CrashOutcome};
+pub use fuzz::{fuzz, CrashRecord, FailureRecord, FuzzConfig, FuzzReport};
 pub use gencase::{gen_case, GenConfig};
 pub use runner::{run_case, ClassId, Fault, OracleFailure, OracleKind, RunOutcome};
 pub use shrink::{shrink_case, ShrinkStats};

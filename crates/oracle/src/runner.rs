@@ -561,6 +561,7 @@ mod tests {
             pattern: Some(Pattern::new(vec![0, 0], &[(0, 1)])),
             threads: vec![1, 2],
             fault: None,
+            crash_at: None,
         }
     }
 
@@ -600,6 +601,7 @@ mod tests {
             pattern: None,
             threads: vec![1],
             fault: None,
+            crash_at: None,
         };
         let outcome = run_case(&case, Some(Fault::DropDeletes));
         let failure = outcome.failure.expect("fault must be caught");

@@ -2,7 +2,7 @@
 //! `tests/corpus/` is re-run through the full oracle stack on every test
 //! run.
 //!
-//! Two kinds of files live in the corpus:
+//! Three kinds of files live in the corpus:
 //!
 //! * **Regression cases** (no `inject-fault` line) — minimized
 //!   reproducers of fixed divergences. They must pass all oracles; a
@@ -10,8 +10,12 @@
 //! * **Intentional-fault reproducers** (`inject-fault <name>`) — cases
 //!   that catch a doctored ΔG. They must keep *failing* on replay; a
 //!   pass means the oracles lost their teeth.
+//! * **Crash-recovery cases** (`crash-at <point>`) — schedules replayed
+//!   through the kill-and-recover oracle ([`run_crash_case`]) at the
+//!   recorded durability injection point. They must pass: the recovered
+//!   world has to be value-identical to the uninterrupted run.
 
-use incgraph_oracle::{run_case, Case};
+use incgraph_oracle::{run_case, run_crash_case, Case};
 use std::path::PathBuf;
 
 fn corpus_dir() -> PathBuf {
@@ -41,10 +45,20 @@ fn corpus_is_nonempty() {
 fn corpus_cases_replay_as_recorded() {
     let mut regressions = 0usize;
     let mut reproducers = 0usize;
+    let mut crash_cases = 0usize;
     for path in corpus_files() {
         let shown = path.display();
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{shown}: {e}"));
         let case = Case::parse(&text).unwrap_or_else(|e| panic!("{shown}: {e}"));
+        if case.crash_at.is_some() {
+            let outcome = run_crash_case(&case);
+            if let Some(f) = outcome.failure {
+                panic!("{shown}: crash-recovery regressed: {f}");
+            }
+            assert!(outcome.recoveries > 0, "{shown}: sweep ran no recoveries");
+            crash_cases += 1;
+            continue;
+        }
         let outcome = run_case(&case, case.fault);
         match (case.fault, outcome.failure) {
             (Some(_), Some(_)) => reproducers += 1,
@@ -57,8 +71,9 @@ fn corpus_cases_replay_as_recorded() {
             (None, None) => regressions += 1,
         }
     }
-    // The seed corpus ships both kinds; keep both populated so each
+    // The seed corpus ships all three kinds; keep each populated so every
     // replay direction stays exercised.
     assert!(regressions > 0, "no fault-free regression cases replayed");
     assert!(reproducers > 0, "no intentional-fault reproducers replayed");
+    assert!(crash_cases > 0, "no crash-recovery cases replayed");
 }
