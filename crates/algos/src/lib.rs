@@ -32,6 +32,7 @@ pub mod dfs;
 pub mod lcc;
 pub mod persist;
 pub mod reach;
+pub mod session;
 pub mod sim;
 pub mod sssp;
 
@@ -41,12 +42,13 @@ pub use dfs::DfsState;
 pub use lcc::LccState;
 pub use persist::StateLoadError;
 pub use reach::ReachState;
+pub use session::{QueryClass, Session, SessionBuilder, SessionError};
 pub use sim::SimState;
 pub use sssp::SsspState;
 
 use incgraph_core::audit::{AuditReport, FixpointAudit};
 use incgraph_core::engine::RunStats;
-use incgraph_core::fallback::FallbackPolicy;
+use incgraph_core::fallback::{FallbackDecision, FallbackPolicy};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_graph::{AppliedBatch, DynamicGraph};
 
@@ -131,8 +133,31 @@ pub fn restore_state(
     }
 }
 
-/// The hardened update path: one incremental step under a
-/// [`FallbackPolicy`], with an optional post-run [`FixpointAudit`].
+/// Everything a guarded update run is configured by, in one value: the
+/// engine shard count, the degradation policy, and the optional fixpoint
+/// audit. This replaces the former spread of `set_threads` calls plus
+/// per-call `(&FallbackPolicy, Option<&FixpointAudit>)` argument pairs —
+/// one options struct travels from the session builder through every
+/// update.
+///
+/// `Copy`, so callers stash it by value (a [`Session`] does) and the
+/// defaults are the conservative pre-existing ones: leave the state's
+/// thread configuration untouched, default policy, no audit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Worker shards for fixpoint resumes; `None` leaves the state's
+    /// current configuration untouched (the historical behavior of
+    /// [`update_guarded`], and what keeps a `batch_par`-built state on
+    /// its shards).
+    pub threads: Option<usize>,
+    /// Degradation policy for the guarded run.
+    pub policy: FallbackPolicy,
+    /// Post-run fixpoint audit; `None` skips auditing.
+    pub audit: Option<FixpointAudit>,
+}
+
+/// The hardened update path: one incremental step under an
+/// [`ExecOptions`] bundle (policy + optional audit + thread override).
 ///
 /// 1. The policy's [`var_limit`](FallbackPolicy::var_limit) is installed
 ///    as the engine's mid-run work budget; a blown budget aborts the run
@@ -142,7 +167,7 @@ pub fn restore_state(
 ///    against the same limit (this is what catches states without an
 ///    engine budget, like DFS); a violation recomputes and records
 ///    [`ScopeExceeded`](incgraph_core::fallback::FallbackReason::ScopeExceeded).
-/// 3. If `audit` is given and the run stayed incremental, `σ_x` is
+/// 3. If an audit is configured and the run stayed incremental, `σ_x` is
 ///    re-checked; violations recompute (unless the policy says
 ///    [`Ignore`](incgraph_core::fallback::AuditAction::Ignore)) and
 ///    record [`AuditFailed`](incgraph_core::fallback::FallbackReason::AuditFailed).
@@ -152,13 +177,38 @@ pub fn restore_state(
 /// abandoned run's stats with the recompute's, and
 /// [`BoundednessReport::fallback`] carries the decision so experiment
 /// drivers can report fallback rates.
-pub fn update_guarded<S: IncrementalState + ?Sized>(
+///
+/// The whole call runs under an ambient observability class scope named
+/// after the state and an `update.guarded` span; fallback decisions and
+/// failed audits surface as discrete events, and the final report's
+/// totals flow into the registry (all of it one relaxed atomic load when
+/// no recorder is installed).
+pub fn update_with<S: IncrementalState + ?Sized>(
     state: &mut S,
     g: &DynamicGraph,
     applied: &AppliedBatch,
-    policy: &FallbackPolicy,
-    audit: Option<&FixpointAudit>,
+    options: &ExecOptions,
 ) -> BoundednessReport {
+    let _class = incgraph_obs::class_scope(state.name());
+    let report = {
+        let _span = incgraph_obs::span("update.guarded");
+        run_guarded(state, g, applied, options)
+    };
+    report.record_obs();
+    report
+}
+
+/// The guarded-run core; see [`update_with`] for the contract.
+fn run_guarded<S: IncrementalState + ?Sized>(
+    state: &mut S,
+    g: &DynamicGraph,
+    applied: &AppliedBatch,
+    options: &ExecOptions,
+) -> BoundednessReport {
+    if let Some(threads) = options.threads {
+        state.set_threads(threads);
+    }
+    let policy = &options.policy;
     let total = state.total_vars(g);
     state.set_work_budget(policy.var_limit(total));
     let mut report = state.update(g, applied);
@@ -166,24 +216,75 @@ pub fn update_guarded<S: IncrementalState + ?Sized>(
 
     if report.run_stats.aborted {
         let decision = policy.work_exceeded(report.run_stats.distinct_vars, total);
+        fallback_event(&decision);
         let run = state.recompute(g);
         report.run_stats.merge(&run);
         return report.with_fallback(decision);
     }
     if let Some(decision) = policy.check_scope(report.inspected_vars as usize, total) {
+        fallback_event(&decision);
         let run = state.recompute(g);
         report.run_stats.merge(&run);
         return report.with_fallback(decision);
     }
-    if let Some(cfg) = audit {
+    if let Some(cfg) = &options.audit {
         let audit_report = state.audit(g, cfg);
+        if incgraph_obs::enabled() && !audit_report.is_clean() {
+            incgraph_obs::event(
+                "audit.failed",
+                &format!(
+                    "{} of {} checked vars violated",
+                    audit_report.violations.len(),
+                    audit_report.checked
+                ),
+            );
+        }
         if let Some(decision) = policy.check_audit(audit_report.violations.len()) {
+            fallback_event(&decision);
             let run = state.recompute(g);
             report.run_stats.merge(&run);
             return report.with_fallback(decision);
         }
     }
     report
+}
+
+/// Surfaces a degradation decision as a discrete observability event;
+/// gated on [`incgraph_obs::enabled`] so the disabled path never formats.
+fn fallback_event(decision: &FallbackDecision) {
+    if incgraph_obs::enabled() {
+        incgraph_obs::event(
+            "fallback",
+            &format!(
+                "{:?}: observed {} > limit {}",
+                decision.reason, decision.observed, decision.limit
+            ),
+        );
+    }
+}
+
+/// The pre-[`ExecOptions`] guarded entry point, kept for one PR as a thin
+/// shim so existing callers (and the fuzz corpus replay, which must stay
+/// byte-identical) keep compiling unchanged. New code should call
+/// [`update_with`]; this forwards with `threads: None`, which is exactly
+/// the old behavior.
+pub fn update_guarded<S: IncrementalState + ?Sized>(
+    state: &mut S,
+    g: &DynamicGraph,
+    applied: &AppliedBatch,
+    policy: &FallbackPolicy,
+    audit: Option<&FixpointAudit>,
+) -> BoundednessReport {
+    update_with(
+        state,
+        g,
+        applied,
+        &ExecOptions {
+            threads: None,
+            policy: *policy,
+            audit: audit.copied(),
+        },
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,486 @@
+//! One construction path for the seven query classes.
+//!
+//! Every driver in the repo — the CLI, the differential oracle, the
+//! crash oracle, durable recovery — used to carry its own seven-way
+//! `match` over the class enum to pick the right `batch`/`batch_par`
+//! constructor and thread the policy/audit arguments through. This
+//! module centralizes that: [`QueryClass`] names the class,
+//! [`Session::builder`] collects the query parameters
+//! (source, pattern, threads) and the execution options
+//! ([`ExecOptions`]: policy, audit, shards), and [`Session::build`]
+//! produces a ready state holding its own options.
+//!
+//! A [`Session`] is itself an [`IncrementalState`] (by delegation to the
+//! concrete state), so everything that consumed
+//! `Box<dyn IncrementalState>` — the durable pipeline, the crash oracle —
+//! consumes a `Session` unchanged, and its durable essence is
+//! byte-identical to the bare state's. On top of the trait it exposes
+//! the class-aware extras the oracles need: [`Session::update_guarded`]
+//! (the hardened path under the stored options) and [`Session::digest`]
+//! (the canonical value digest the differential oracle compares).
+
+use crate::{
+    update_with, BcState, CcState, DfsState, ExecOptions, IncrementalState, LccState, ReachState,
+    SimState, SsspState, StateLoadError,
+};
+use incgraph_core::audit::{AuditReport, FixpointAudit};
+use incgraph_core::engine::RunStats;
+use incgraph_core::fallback::FallbackPolicy;
+use incgraph_core::metrics::BoundednessReport;
+use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId, Pattern};
+
+/// The seven query classes, in canonical order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QueryClass {
+    /// Single-source shortest paths.
+    Sssp,
+    /// Connected components.
+    Cc,
+    /// Graph simulation.
+    Sim,
+    /// Source reachability.
+    Reach,
+    /// Local clustering coefficient.
+    Lcc,
+    /// Depth-first search forest.
+    Dfs,
+    /// Biconnectivity (lowpoints, articulation points, bridges).
+    Bc,
+}
+
+impl QueryClass {
+    /// All seven classes, canonical order.
+    pub const ALL: [QueryClass; 7] = [
+        QueryClass::Sssp,
+        QueryClass::Cc,
+        QueryClass::Sim,
+        QueryClass::Reach,
+        QueryClass::Lcc,
+        QueryClass::Dfs,
+        QueryClass::Bc,
+    ];
+
+    /// Short lowercase name, matching the CLI class argument.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Sssp => "sssp",
+            QueryClass::Cc => "cc",
+            QueryClass::Sim => "sim",
+            QueryClass::Reach => "reach",
+            QueryClass::Lcc => "lcc",
+            QueryClass::Dfs => "dfs",
+            QueryClass::Bc => "bc",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<QueryClass> {
+        QueryClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Whether the class resumes through the sharded parallel engine
+    /// (DFS and BC are inherently sequential).
+    pub fn par_capable(self) -> bool {
+        !matches!(self, QueryClass::Dfs | QueryClass::Bc)
+    }
+
+    /// Whether the class runs through the generic worklist engine, whose
+    /// work accounting supports the strict `|AFF_diff| ≤ inspected`
+    /// boundedness check (DFS/BC traverse outside the engine and report
+    /// coarser counters).
+    pub fn engine_backed(self) -> bool {
+        self.par_capable()
+    }
+
+    /// Whether the class is only defined on undirected graphs (LCC's
+    /// triangle counting and BC's biconnectivity both are).
+    pub fn requires_undirected(self) -> bool {
+        matches!(self, QueryClass::Lcc | QueryClass::Bc)
+    }
+}
+
+/// Why a [`SessionBuilder`] refused to build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// [`QueryClass::Sim`] needs a pattern; none was supplied.
+    MissingPattern,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::MissingPattern => write!(f, "sim session built without a pattern"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Collects a class's query parameters and execution options before the
+/// batch fixpoint is run. See the module docs; obtained from
+/// [`Session::builder`].
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    class: QueryClass,
+    source: NodeId,
+    pattern: Option<Pattern>,
+    threads: usize,
+    policy: FallbackPolicy,
+    audit: Option<FixpointAudit>,
+}
+
+impl SessionBuilder {
+    /// Source node for SSSP/Reach (ignored by the other classes;
+    /// defaults to node 0).
+    pub fn source(mut self, source: NodeId) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Pattern for Sim (required for that class, ignored by the rest).
+    pub fn pattern(mut self, pattern: Pattern) -> Self {
+        self.pattern = Some(pattern);
+        self
+    }
+
+    /// Worker shards. `> 1` on a [`par_capable`](QueryClass::par_capable)
+    /// class builds the initial fixpoint through the sharded parallel
+    /// engine and keeps resuming on that many shards; otherwise the
+    /// sequential engine runs (the default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Degradation policy for guarded updates (default
+    /// [`FallbackPolicy::default`]).
+    pub fn policy(mut self, policy: FallbackPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Post-update fixpoint audit for guarded updates (default: none).
+    pub fn audit(mut self, audit: FixpointAudit) -> Self {
+        self.audit = Some(audit);
+        self
+    }
+
+    /// Runs the batch fixpoint on `g` and returns the live session.
+    pub fn build(self, g: &DynamicGraph) -> Result<Session, SessionError> {
+        let par = self.threads > 1 && self.class.par_capable();
+        let state = match self.class {
+            QueryClass::Sssp => {
+                if par {
+                    ClassState::Sssp(SsspState::batch_par(g, self.source, self.threads).0)
+                } else {
+                    ClassState::Sssp(SsspState::batch(g, self.source).0)
+                }
+            }
+            QueryClass::Cc => {
+                if par {
+                    ClassState::Cc(CcState::batch_par(g, self.threads).0)
+                } else {
+                    ClassState::Cc(CcState::batch(g).0)
+                }
+            }
+            QueryClass::Sim => {
+                let p = self.pattern.ok_or(SessionError::MissingPattern)?;
+                if par {
+                    ClassState::Sim(SimState::batch_par(g, p, self.threads).0)
+                } else {
+                    ClassState::Sim(SimState::batch(g, p).0)
+                }
+            }
+            QueryClass::Reach => {
+                if par {
+                    ClassState::Reach(ReachState::batch_par(g, self.source, self.threads).0)
+                } else {
+                    ClassState::Reach(ReachState::batch(g, self.source).0)
+                }
+            }
+            QueryClass::Lcc => {
+                if par {
+                    ClassState::Lcc(LccState::batch_par(g, self.threads).0)
+                } else {
+                    ClassState::Lcc(LccState::batch(g).0)
+                }
+            }
+            QueryClass::Dfs => ClassState::Dfs(DfsState::batch(g).0),
+            QueryClass::Bc => ClassState::Bc(BcState::batch(g).0),
+        };
+        Ok(Session {
+            class: self.class,
+            // `batch_par` already configured the state's resume shards,
+            // so the options don't need to re-apply them on every update.
+            exec: ExecOptions {
+                threads: None,
+                policy: self.policy,
+                audit: self.audit,
+            },
+            state,
+        })
+    }
+}
+
+/// One concrete algorithm state, tagged by class. Kept private: the
+/// class-aware surface (digests, guarded updates) lives on [`Session`].
+enum ClassState {
+    Sssp(SsspState),
+    Cc(CcState),
+    Sim(SimState),
+    Reach(ReachState),
+    Lcc(LccState),
+    Dfs(DfsState),
+    Bc(BcState),
+}
+
+/// A live query-class state plus the [`ExecOptions`] it runs under.
+/// Built by [`Session::builder`]; see the module docs.
+pub struct Session {
+    class: QueryClass,
+    exec: ExecOptions,
+    state: ClassState,
+}
+
+impl Session {
+    /// Starts a builder for `class` with the defaults: source 0, no
+    /// pattern, sequential, default policy, no audit.
+    pub fn builder(class: QueryClass) -> SessionBuilder {
+        SessionBuilder {
+            class,
+            source: 0,
+            pattern: None,
+            threads: 1,
+            policy: FallbackPolicy::default(),
+            audit: None,
+        }
+    }
+
+    /// The session's query class.
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+
+    /// The execution options guarded updates run under.
+    pub fn options(&self) -> &ExecOptions {
+        &self.exec
+    }
+
+    /// Replaces the execution options for subsequent guarded updates.
+    pub fn set_options(&mut self, exec: ExecOptions) {
+        self.exec = exec;
+    }
+
+    /// One hardened incremental step under the stored options — the
+    /// session-flavored [`update_with`](crate::update_with).
+    pub fn update_guarded(
+        &mut self,
+        g: &DynamicGraph,
+        applied: &AppliedBatch,
+    ) -> BoundednessReport {
+        let exec = self.exec;
+        update_with(self, g, applied, &exec)
+    }
+
+    fn inner(&self) -> &dyn IncrementalState {
+        match &self.state {
+            ClassState::Sssp(s) => s,
+            ClassState::Cc(s) => s,
+            ClassState::Sim(s) => s,
+            ClassState::Reach(s) => s,
+            ClassState::Lcc(s) => s,
+            ClassState::Dfs(s) => s,
+            ClassState::Bc(s) => s,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn IncrementalState {
+        match &mut self.state {
+            ClassState::Sssp(s) => s,
+            ClassState::Cc(s) => s,
+            ClassState::Sim(s) => s,
+            ClassState::Reach(s) => s,
+            ClassState::Lcc(s) => s,
+            ClassState::Dfs(s) => s,
+            ClassState::Bc(s) => s,
+        }
+    }
+
+    /// Canonical value digest: one `u64` stream, index-aligned to the
+    /// class's status variables where the class is engine-backed (the
+    /// basis of the differential oracle's AFF diff), value-complete for
+    /// all seven.
+    pub fn digest(&self, g: &DynamicGraph) -> Vec<u64> {
+        let n = g.node_count();
+        match &self.state {
+            ClassState::Sssp(s) => s.distances().to_vec(),
+            ClassState::Cc(s) => s.components().iter().map(|&c| c as u64).collect(),
+            ClassState::Sim(s) => {
+                let q = s.pattern().node_count();
+                let mut out = Vec::with_capacity(n * q);
+                for v in 0..n as NodeId {
+                    for u in 0..q {
+                        out.push(s.matches(g, v, u) as u64);
+                    }
+                }
+                out
+            }
+            ClassState::Reach(s) => s.reached().iter().map(|&b| b as u64).collect(),
+            ClassState::Lcc(s) => (0..n as NodeId)
+                .map(|v| (s.degree(v) << 32) | (s.triangles(v) & 0xffff_ffff))
+                .collect(),
+            ClassState::Dfs(s) => (0..n as NodeId)
+                .flat_map(|v| [s.first(v) as u64, s.last(v) as u64, s.parent(v) as u64])
+                .collect(),
+            ClassState::Bc(s) => {
+                let mut out: Vec<u64> = (0..n as NodeId)
+                    .map(|v| ((s.low(v) as u64) << 1) | s.is_articulation(g, v) as u64)
+                    .collect();
+                for (a, b) in s.bridges(g) {
+                    out.push(((a as u64) << 32) | b as u64);
+                }
+                out
+            }
+        }
+    }
+}
+
+impl IncrementalState for Session {
+    fn name(&self) -> &'static str {
+        self.class.name()
+    }
+
+    fn total_vars(&self, g: &DynamicGraph) -> usize {
+        self.inner().total_vars(g)
+    }
+
+    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        self.inner_mut().update(g, applied)
+    }
+
+    fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
+        self.inner_mut().recompute(g)
+    }
+
+    fn audit(&self, g: &DynamicGraph, audit: &FixpointAudit) -> AuditReport {
+        self.inner().audit(g, audit)
+    }
+
+    fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.inner_mut().set_work_budget(budget);
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.inner_mut().set_threads(threads);
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.inner().space_bytes()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        self.inner().save_state()
+    }
+
+    fn load_state(&mut self, g: &DynamicGraph, bytes: &[u8]) -> Result<(), StateLoadError> {
+        self.inner_mut().load_state(g, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incgraph_graph::UpdateBatch;
+
+    fn ring(n: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new(false, n);
+        for v in 0..n as u32 {
+            g.insert_edge(v, (v + 1) % n as u32, 1);
+        }
+        g.insert_edge(0, n as u32 / 2, 3);
+        g
+    }
+
+    #[test]
+    fn builder_covers_all_seven_classes() {
+        let g = ring(12);
+        for class in QueryClass::ALL {
+            let session = Session::builder(class)
+                .source(0)
+                .pattern(Pattern::new(vec![0], &[]))
+                .build(&g)
+                .expect("build");
+            assert_eq!(session.class(), class);
+            assert_eq!(session.name(), class.name());
+            assert!(!session.digest(&g).is_empty());
+            assert!(session.space_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn sim_without_pattern_is_rejected() {
+        let g = ring(8);
+        assert_eq!(
+            Session::builder(QueryClass::Sim).build(&g).err(),
+            Some(SessionError::MissingPattern)
+        );
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_digest() {
+        let g = ring(16);
+        for class in QueryClass::ALL.into_iter().filter(|c| c.par_capable()) {
+            let seq = Session::builder(class)
+                .pattern(Pattern::new(vec![0], &[]))
+                .build(&g)
+                .unwrap();
+            let par = Session::builder(class)
+                .pattern(Pattern::new(vec![0], &[]))
+                .threads(2)
+                .build(&g)
+                .unwrap();
+            assert_eq!(seq.digest(&g), par.digest(&g), "{}", class.name());
+        }
+    }
+
+    #[test]
+    fn guarded_update_through_the_session_stays_incremental() {
+        let g0 = ring(16);
+        let mut g = g0.clone();
+        let mut batch = UpdateBatch::new();
+        batch.insert(2, 10, 2).delete(5, 6);
+        let applied = batch.apply(&mut g);
+        for class in QueryClass::ALL {
+            let mut session = Session::builder(class)
+                .pattern(Pattern::new(vec![0], &[]))
+                .audit(FixpointAudit::full())
+                .build(&g0)
+                .unwrap();
+            let report = session.update_guarded(&g, &applied);
+            assert!(
+                !report.fell_back(),
+                "{}: {:?}",
+                class.name(),
+                report.fallback
+            );
+        }
+    }
+
+    #[test]
+    fn session_essence_matches_the_bare_state() {
+        // The durable pipeline swaps `Box<dyn IncrementalState>`s for
+        // sessions; checkpoints written by one must restore via the other.
+        let g = ring(10);
+        let session = Session::builder(QueryClass::Cc).build(&g).unwrap();
+        let bare = CcState::batch(&g).0;
+        assert_eq!(session.save_state(), IncrementalState::save_state(&bare));
+    }
+
+    #[test]
+    fn class_names_roundtrip() {
+        for c in QueryClass::ALL {
+            assert_eq!(QueryClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(QueryClass::from_name("nope"), None);
+    }
+}

@@ -159,6 +159,7 @@ impl DynCc {
     /// Processes a batch by replaying its unit updates one by one — the
     /// behaviour the paper observes (and penalizes) in Exp-2.
     pub fn apply_batch(&mut self, applied: &AppliedBatch) {
+        let _span = incgraph_obs::span("baseline.update");
         for op in applied.ops() {
             self.apply_unit(op.inserted, op.src, op.dst);
         }

@@ -52,6 +52,7 @@ impl DynDij {
 
     /// Processes a whole batch. `g` must already be `G ⊕ ΔG`.
     pub fn apply_batch(&mut self, g: &DynamicGraph, applied: &AppliedBatch) {
+        let _span = incgraph_obs::span("baseline.update");
         self.ensure_size(g);
 
         // 1) Suspect roots: heads of deleted SPT tree edges.

@@ -48,6 +48,7 @@ impl IncMatch {
     /// Processes a batch: deletion phase then insertion phase, both on
     /// the updated graph.
     pub fn apply_batch(&mut self, g: &DynamicGraph, applied: &AppliedBatch) {
+        let _span = incgraph_obs::span("baseline.update");
         self.ensure_size(g);
         let nq = self.q.node_count();
 

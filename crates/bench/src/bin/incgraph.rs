@@ -12,11 +12,20 @@
 //! With `--updates`, the batch result is computed first, the stream is
 //! validated and applied transactionally as one `ΔG`
 //! ([`UpdateBatch::apply_validated`]), and the incremental algorithm runs
-//! through the hardened pipeline ([`incgraph_algos::update_guarded`]) —
+//! through the hardened pipeline ([`incgraph_algos::update_with`]) —
 //! opt into its degradation and auditing knobs with `--max-aff-frac F`
 //! (fall back to batch recompute past that affected fraction),
 //! `--max-scope N` (absolute cap), and `--audit` / `--audit-stride K`
 //! (post-run fixpoint re-check).
+//!
+//! Every subcommand accepts `--metrics PATH` and `--trace PATH`
+//! (see `crates/obs` and docs/OBSERVABILITY.md): `--metrics` installs
+//! the metrics registry and writes the aggregate counters, gauges, and
+//! phase-latency histograms as canonical JSON-lines at exit; `--trace`
+//! additionally keeps every completed span and writes the full snapshot
+//! (raw spans included) to its own file. Either flag also prints the
+//! human-readable summary to stderr. Without them the no-op recorder
+//! stays installed and the pipeline pays one atomic load per site.
 //!
 //! Durability lives behind two subcommands over a *store* directory
 //! (WAL + checkpoints + manifest, see `crates/durable`):
@@ -43,8 +52,8 @@
 //! | 6    | injected crash fired (`DURABLE_CRASH_AT`) |
 
 use incgraph_algos::{
-    update_guarded, BcState, CcState, DfsState, IncrementalState, LccState, ReachState, SimState,
-    SsspState,
+    update_with, BcState, CcState, DfsState, ExecOptions, IncrementalState, LccState, QueryClass,
+    ReachState, Session, SimState, SsspState,
 };
 use incgraph_core::audit::FixpointAudit;
 use incgraph_core::fallback::FallbackPolicy;
@@ -52,8 +61,10 @@ use incgraph_core::metrics::BoundednessReport;
 use incgraph_durable::{crc::crc32, CrashPoint, DurableError, DurableOptions, DurableSession};
 use incgraph_graph::io::{read_graph, read_updates, IoError, ParseError};
 use incgraph_graph::{BatchError, DynamicGraph, UpdateBatch};
+use incgraph_obs::Registry;
 use incgraph_workloads::random_pattern;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything that can end a run early, with its process exit code.
@@ -179,9 +190,10 @@ const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.tx
                      \u{20}      incgraph replay <FILE.case|DIR>...\n\
                      \u{20}      incgraph checkpoint --store DIR [--graph G.txt] [--updates D.txt] \
                      [--directed] [--source N] [--seed S] [--classes c1,c2,…]\n\
-                     \u{20}      incgraph recover --store DIR [--out F]";
+                     \u{20}      incgraph recover --store DIR [--out F]\n\
+                     every subcommand also accepts: [--metrics METRICS.jsonl] [--trace TRACE.jsonl]";
 
-fn parse_args() -> Result<Args, CliError> {
+fn parse_args(argv: &[String]) -> Result<Args, CliError> {
     let mut args = Args {
         class: String::new(),
         graph: String::new(),
@@ -198,7 +210,7 @@ fn parse_args() -> Result<Args, CliError> {
         scale: 1.0,
     };
     let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter().cloned();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--graph" => args.graph = it.next().ok_or_else(|| usage("--graph needs a path"))?,
@@ -342,6 +354,88 @@ fn load(args: &Args) -> Result<(DynamicGraph, Option<UpdateBatch>), CliError> {
     Ok((g, updates))
 }
 
+/// The `--metrics` / `--trace` observability flags, shared by every
+/// subcommand: they are stripped out of `argv` *before* dispatch so the
+/// per-subcommand strict parsers never see them, and when either is
+/// present the process-wide metrics registry is installed for the whole
+/// run.
+struct ObsSetup {
+    metrics: Option<String>,
+    trace: Option<String>,
+    registry: Option<Arc<Registry>>,
+}
+
+impl ObsSetup {
+    fn extract(argv: &mut Vec<String>) -> Result<ObsSetup, CliError> {
+        let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+        let mut metrics = None;
+        let mut trace = None;
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--metrics" | "--trace" => {
+                    if i + 1 >= argv.len() {
+                        return Err(usage(&format!("{} needs a path", argv[i])));
+                    }
+                    let flag = argv.remove(i);
+                    let path = argv.remove(i);
+                    if flag == "--metrics" {
+                        metrics = Some(path);
+                    } else {
+                        trace = Some(path);
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        let registry = if metrics.is_some() || trace.is_some() {
+            let r = Arc::new(if trace.is_some() {
+                Registry::with_trace()
+            } else {
+                Registry::new()
+            });
+            incgraph_obs::install(r.clone());
+            Some(r)
+        } else {
+            None
+        };
+        Ok(ObsSetup {
+            metrics,
+            trace,
+            registry,
+        })
+    }
+
+    /// Writes the collected telemetry and prints the human summary to
+    /// stderr. Runs even when the subcommand failed, so a failing run
+    /// still leaves its metrics behind for postmortems.
+    fn export(&self) -> Result<(), CliError> {
+        let Some(registry) = &self.registry else {
+            return Ok(());
+        };
+        let snap = registry.snapshot();
+        let out_err = |p: &str, e: std::io::Error| CliError::Output {
+            path: p.to_string(),
+            source: e,
+        };
+        if let Some(path) = &self.metrics {
+            // The metrics file carries the aggregate view; raw spans
+            // (when traced) belong to the --trace file.
+            let mut aggregate = snap.clone();
+            aggregate.spans.clear();
+            std::fs::write(path, incgraph_obs::to_jsonl(&aggregate))
+                .map_err(|e| out_err(path, e))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        if let Some(path) = &self.trace {
+            std::fs::write(path, incgraph_obs::to_jsonl(&snap)).map_err(|e| out_err(path, e))?;
+            eprintln!("wrote trace to {path}");
+        }
+        eprint!("{}", incgraph_obs::render_summary(&snap));
+        Ok(())
+    }
+}
+
 fn main() {
     if let Err(e) = run() {
         eprintln!("error: {e}");
@@ -349,11 +443,15 @@ fn main() {
     }
 }
 
-/// `incgraph bench`: runs the parallel-engine suite and writes the
+/// `incgraph bench`: runs the parallel-engine suite, writes the
 /// machine-readable `BENCH_<date>.json` datapoint (see
-/// [`incgraph_bench::parbench`]).
-fn run_bench(args: &Args) -> Result<(), CliError> {
-    use incgraph_bench::parbench;
+/// [`incgraph_bench::parbench`]), then runs the instrumented per-phase
+/// pass ([`incgraph_bench::phasebench`]) and prints its breakdown
+/// table. The phase metrics are written as JSON-lines next to the
+/// datapoint (`<path>.metrics.jsonl`), in addition to whatever
+/// `--metrics`/`--trace` requested.
+fn run_bench(args: &Args, registry: &Option<Arc<Registry>>) -> Result<(), CliError> {
+    use incgraph_bench::{parbench, phasebench};
     let reps = std::env::var("INCGRAPH_BENCH_SAMPLES")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
@@ -370,18 +468,45 @@ fn run_bench(args: &Args) -> Result<(), CliError> {
         .out
         .clone()
         .unwrap_or_else(|| format!("results/BENCH_{date}.json"));
-    let out_err = |e: std::io::Error| CliError::Output {
-        path: path.clone(),
+    let out_err = |p: &str, e: std::io::Error| CliError::Output {
+        path: p.to_string(),
         source: e,
     };
     if let Some(dir) = std::path::Path::new(&path).parent() {
         if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(out_err)?;
+            std::fs::create_dir_all(dir).map_err(|e| out_err(&path, e))?;
         }
     }
     let json = parbench::to_json(&date, args.threads, reps, &results);
-    std::fs::write(&path, json).map_err(out_err)?;
+    std::fs::write(&path, json).map_err(|e| out_err(&path, e))?;
     eprintln!("wrote {path}");
+
+    // Per-phase pass: reuse the `--metrics` registry when one is live
+    // (the pass then also lands in the exported file); otherwise
+    // install a bench-local one just for this pass.
+    let phase_registry = match registry {
+        Some(r) => r.clone(),
+        None => {
+            let r = Arc::new(Registry::new());
+            incgraph_obs::install(r.clone());
+            r
+        }
+    };
+    phasebench::run_phases(args.threads, args.scale);
+    let snap = phase_registry.snapshot();
+    if registry.is_none() {
+        incgraph_obs::uninstall();
+    }
+    print!("{}", phasebench::render_phase_table(&snap));
+    let metrics_path = format!(
+        "{}.metrics.jsonl",
+        path.strip_suffix(".json").unwrap_or(&path)
+    );
+    let mut aggregate = snap;
+    aggregate.spans.clear();
+    std::fs::write(&metrics_path, incgraph_obs::to_jsonl(&aggregate))
+        .map_err(|e| out_err(&metrics_path, e))?;
+    eprintln!("wrote {metrics_path}");
     Ok(())
 }
 
@@ -721,19 +846,14 @@ fn store_states(
     };
     let mut states: Vec<Box<dyn IncrementalState>> = Vec::with_capacity(names.len());
     for name in &names {
-        states.push(match name.as_str() {
-            "sssp" => Box::new(SsspState::batch(g, args.source).0),
-            "cc" => Box::new(CcState::batch(g).0),
-            "sim" => {
-                let q = random_pattern(g, 4, 6, args.seed);
-                Box::new(SimState::batch(g, q).0)
-            }
-            "reach" => Box::new(ReachState::batch(g, args.source).0),
-            "lcc" => Box::new(LccState::batch(g).0),
-            "dfs" => Box::new(DfsState::batch(g).0),
-            "bc" => Box::new(BcState::batch(g).0),
-            other => return Err(CliError::Usage(format!("unknown class {other}\n{USAGE}"))),
-        });
+        let class = QueryClass::from_name(name)
+            .ok_or_else(|| CliError::Usage(format!("unknown class {name}\n{USAGE}")))?;
+        let mut builder = Session::builder(class).source(args.source);
+        if class == QueryClass::Sim {
+            builder = builder.pattern(random_pattern(g, 4, 6, args.seed));
+        }
+        let session = builder.build(g).expect("sim pattern supplied above");
+        states.push(Box::new(session));
     }
     Ok(states)
 }
@@ -869,7 +989,19 @@ fn run_recover(argv: &[String]) -> Result<(), CliError> {
 }
 
 fn run() -> Result<(), CliError> {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsSetup::extract(&mut argv)?;
+    let result = dispatch(&argv, &obs);
+    // Telemetry export happens after the subcommand, success or not, so
+    // a failing run still leaves its metrics behind; an export failure
+    // only surfaces when the run itself was clean.
+    match obs.export() {
+        Ok(()) => result,
+        Err(e) => result.and(Err(e)),
+    }
+}
+
+fn dispatch(argv: &[String], obs: &ObsSetup) -> Result<(), CliError> {
     match argv.first().map(String::as_str) {
         Some("fuzz") => return run_fuzz(&argv[1..]),
         Some("replay") => return run_replay(&argv[1..]),
@@ -877,9 +1009,9 @@ fn run() -> Result<(), CliError> {
         Some("recover") => return run_recover(&argv[1..]),
         _ => {}
     }
-    let args = parse_args()?;
+    let args = parse_args(argv)?;
     if args.class == "bench" {
-        return run_bench(&args);
+        return run_bench(&args, &obs.registry);
     }
     let (mut g, updates) = load(&args)?;
 
@@ -896,6 +1028,15 @@ fn run() -> Result<(), CliError> {
         })
     } else {
         None
+    };
+    // One knob struct for the whole guarded pipeline: thread routing
+    // (incremental resumes go through the sharded parallel engine — a
+    // no-op for the inherently sequential DFS/BC), degradation policy,
+    // and auditing.
+    let exec = ExecOptions {
+        threads: Some(args.threads),
+        policy,
+        audit,
     };
 
     // Validate-then-apply: a poisoned stream rolls the graph back and
@@ -914,7 +1055,7 @@ fn run() -> Result<(), CliError> {
                 })?;
             eprintln!("applying ΔG: {} effective unit updates", applied.len());
             let t = Instant::now();
-            let rep = update_guarded(state, g, &applied, &policy, audit.as_ref());
+            let rep = update_with(state, g, &applied, &exec);
             report("incremental", t.elapsed().as_secs_f64(), Some(&rep));
             Ok(())
         };
@@ -924,9 +1065,6 @@ fn run() -> Result<(), CliError> {
             let t = Instant::now();
             let mut state = $batch;
             report("batch", t.elapsed().as_secs_f64(), None);
-            // Route incremental resumes through the sharded parallel
-            // engine (no-op for the inherently sequential DFS/BC).
-            state.set_threads(args.threads);
             apply_updates(&mut g, &mut state)?;
             write_out(&args.out, $emit(&state, &g))?;
         }};

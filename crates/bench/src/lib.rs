@@ -10,6 +10,7 @@
 pub mod exps;
 pub mod microbench;
 pub mod parbench;
+pub mod phasebench;
 pub mod report;
 
 pub use report::{measure, Ctx, Record, Sink};

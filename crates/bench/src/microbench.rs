@@ -4,8 +4,10 @@
 //! `benches/` targets cannot use Criterion. This module provides the
 //! narrow slice they need: named groups, per-sample timing with either a
 //! plain closure or a fresh-state-per-sample (`bench_batched`) shape, and
-//! a median/min/mean report on stdout. Sample count defaults to 10 and is
-//! overridable via `INCGRAPH_BENCH_SAMPLES`.
+//! a median/min/mean report on stderr (progress and human-readable rows
+//! never pollute stdout, which is reserved for machine-parseable
+//! results). Sample count defaults to 10 and is overridable via
+//! `INCGRAPH_BENCH_SAMPLES`.
 //!
 //! This is a smoke-level harness (no warm-up modeling, no outlier
 //! rejection); for paper-grade numbers, raise the sample count and pin
@@ -28,7 +30,7 @@ impl Group {
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or(10);
-        println!("== {name} ({samples} samples) ==");
+        eprintln!("== {name} ({samples} samples) ==");
         Group {
             name: name.to_string(),
             samples,
@@ -75,7 +77,7 @@ impl Group {
         let median = times[times.len() / 2];
         let min = times[0];
         let mean = times.iter().sum::<Duration>() / times.len() as u32;
-        println!(
+        eprintln!(
             "{}/{name}: median {median:?}  min {min:?}  mean {mean:?}",
             self.name
         );

@@ -311,7 +311,7 @@ pub fn render_table(results: &[ClassResult]) -> String {
 }
 
 /// Human-readable nanoseconds (`1.23ms`, `456µs`, ...).
-fn fmt_ns(ns: f64) -> String {
+pub(crate) fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.2}s", ns / 1e9)
     } else if ns >= 1e6 {

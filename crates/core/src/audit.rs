@@ -105,6 +105,7 @@ impl FixpointAudit {
     /// Re-checks `σ_x : x = f_x(Y_x)` for the configured variable set
     /// against `status`, which is read-only here.
     pub fn run<S: FixpointSpec>(&self, spec: &S, status: &Status<S::Value>) -> AuditReport {
+        let _span = incgraph_obs::span("audit.run");
         let n = spec.num_vars();
         let (stride, start) = match self.mode {
             AuditMode::Full => (1, 0),
@@ -133,6 +134,8 @@ impl FixpointAudit {
             }
             x += stride;
         }
+        incgraph_obs::counter("audit.checked", report.checked as u64);
+        incgraph_obs::counter("audit.violations", report.violations.len() as u64);
         report
     }
 }

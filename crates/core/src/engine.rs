@@ -183,6 +183,7 @@ impl Engine {
             self.best.len(),
             "engine sized for a different variable count"
         );
+        let _span = incgraph_obs::span("engine.run");
         self.advance_epoch();
         self.peak_heap = 0;
         let mut stats = RunStats::default();
@@ -258,6 +259,7 @@ impl Engine {
         if self.heap.capacity() > 4 * self.peak_heap.max(1) {
             self.heap.shrink_to(self.peak_heap);
         }
+        incgraph_obs::gauge("engine.seq.heap_peak", self.peak_heap as u64);
         crate::trace::record("seq", 1, scope_len, &stats);
         stats
     }

@@ -1,5 +1,15 @@
 //! Instrumentation for the paper's empirical claims: affected-area sizes
 //! (Exp-1) and space costs (Fig. 8).
+//!
+//! These structs are per-run *views*: each carries the counters of the
+//! one run that produced it, by value, with no synchronization — which
+//! is what the paper-facing APIs return and what the oracle asserts on.
+//! Cross-run aggregation is not done here: the same counters flow into
+//! the `incgraph-obs` registry at the seams that produce them (the
+//! engines' completion hook, the scope functions, the guarded update
+//! path), so there is exactly one recording path and the registry is the
+//! single cross-run aggregate. [`BoundednessReport::record_obs`] is that
+//! seam for the per-update totals.
 
 use crate::engine::RunStats;
 use crate::fallback::FallbackDecision;
@@ -74,6 +84,25 @@ impl BoundednessReport {
             0.0
         } else {
             self.inspected_vars as f64 / self.total_vars as f64
+        }
+    }
+
+    /// Forwards this report's per-update totals to the observability
+    /// registry under the ambient class label. Called once per guarded
+    /// update by `algos::update_with`; costs one atomic load when no
+    /// recorder is installed.
+    pub fn record_obs(&self) {
+        use incgraph_obs as obs;
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter("update.runs", 1);
+        obs::observe("update.scope_size", self.scope_size as u64);
+        obs::observe("update.inspected", self.inspected_vars);
+        obs::observe("update.changed", self.changed_vars);
+        obs::gauge("update.total_vars", self.total_vars as u64);
+        if self.fell_back() {
+            obs::counter("update.fallbacks", 1);
         }
     }
 

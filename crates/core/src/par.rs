@@ -307,6 +307,7 @@ impl ParEngine {
             self.num_vars,
             "engine sized for a different variable count"
         );
+        let _span = incgraph_obs::span("engine.run");
         self.advance_epoch();
         for w in &mut self.workers {
             w.stats = RunStats::default();
@@ -330,6 +331,9 @@ impl ParEngine {
             if let Some(b) = w.queue.min_bucket() {
                 min_bucket = min_bucket.min(b as u64);
             }
+        }
+        if min_bucket != u64::MAX {
+            incgraph_obs::gauge("engine.par.seed_min_bucket", min_bucket);
         }
         if min_bucket == u64::MAX {
             // Empty scope: nothing to do, and the seed pushes (none)

@@ -119,6 +119,7 @@ pub fn bounded_scope<S: FixpointSpec, O: ContributorOracle<S::Value>>(
     status: &mut Status<S::Value>,
     touched: impl IntoIterator<Item = usize>,
 ) -> ScopeResult {
+    let _span = incgraph_obs::span("scope.h");
     let mut stats = ScopeStats::default();
     let n = spec.num_vars();
     let mut queue: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -184,7 +185,24 @@ pub fn bounded_scope<S: FixpointSpec, O: ContributorOracle<S::Value>>(
     }
 
     scope.sort_unstable();
+    record_scope_obs(&stats, scope.len());
     ScopeResult { scope, stats }
+}
+
+/// Forwards one scope-function invocation's counters to the
+/// observability layer (one `enabled` check when no recorder is
+/// installed — the scope functions run once per update, not per pop).
+fn record_scope_obs(stats: &ScopeStats, scope_len: usize) {
+    use incgraph_obs as obs;
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter("scope.pops", stats.pops);
+    obs::counter("scope.evals", stats.evals);
+    obs::counter("scope.reads", stats.reads);
+    obs::counter("scope.raised", stats.raised);
+    obs::counter("scope.pushes", stats.pushes);
+    obs::observe("scope.size", scope_len as u64);
 }
 
 /// The Theorem 1 construction: flood the *potentially affected* variables
@@ -202,6 +220,7 @@ pub fn pe_reset_scope<S: FixpointSpec>(
     status: &mut Status<S::Value>,
     touched: impl IntoIterator<Item = usize>,
 ) -> ScopeResult {
+    let _span = incgraph_obs::span("scope.pe_reset");
     let mut stats = ScopeStats::default();
     // Dense epoch bitmap instead of a HashSet: membership is one compare,
     // and the flood is the hot loop of the ablation baseline.
@@ -233,6 +252,7 @@ pub fn pe_reset_scope<S: FixpointSpec>(
             stats.raised += 1;
         }
     }
+    record_scope_obs(&stats, scope.len());
     ScopeResult { scope, stats }
 }
 

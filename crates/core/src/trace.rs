@@ -85,7 +85,12 @@ impl CaseTrace {
 
 /// Appends an event if tracing is active. The engines call this once per
 /// completed run, never per pop, so the mutex is off every hot path.
+/// The observability registry taps the same seam: it wants exactly the
+/// per-run schedule summary this hook already sees.
 pub(crate) fn record(engine: &'static str, threads: usize, scope: usize, stats: &RunStats) {
+    if incgraph_obs::enabled() {
+        forward_obs(engine, threads, scope, stats);
+    }
     if !CaseTrace::enabled() {
         return;
     }
@@ -96,6 +101,55 @@ pub(crate) fn record(engine: &'static str, threads: usize, scope: usize, stats: 
         scope,
         stats: *stats,
     });
+}
+
+/// Forwards one completed run's counters to the observability layer.
+/// Names are static per engine (`engine.seq.*` / `engine.par.*`) so
+/// recording allocates nothing; the ambient class label set by the
+/// guarded-update path attributes the run to its query class.
+fn forward_obs(engine: &'static str, threads: usize, scope: usize, stats: &RunStats) {
+    use incgraph_obs as obs;
+    let par = engine == "par";
+    let pick = |seq: &'static str, par_name: &'static str| if par { par_name } else { seq };
+    obs::counter(pick("engine.seq.runs", "engine.par.runs"), 1);
+    obs::counter(pick("engine.seq.pops", "engine.par.pops"), stats.pops);
+    obs::counter(pick("engine.seq.evals", "engine.par.evals"), stats.evals);
+    obs::counter(
+        pick("engine.seq.changes", "engine.par.changes"),
+        stats.changes,
+    );
+    obs::counter(pick("engine.seq.pushes", "engine.par.pushes"), stats.pushes);
+    obs::counter(
+        pick("engine.seq.stale_pops", "engine.par.stale_pops"),
+        stats.stale_pops,
+    );
+    obs::counter(pick("engine.seq.reads", "engine.par.reads"), stats.reads);
+    obs::counter(
+        pick("engine.seq.inspected", "engine.par.inspected"),
+        stats.distinct_vars,
+    );
+    if stats.aborted {
+        obs::counter(pick("engine.seq.aborts", "engine.par.aborts"), 1);
+    }
+    if stats.poisoned {
+        obs::counter(pick("engine.seq.poisoned", "engine.par.poisoned"), 1);
+    }
+    obs::gauge(
+        pick("engine.seq.threads", "engine.par.threads"),
+        threads as u64,
+    );
+    obs::observe(pick("engine.seq.scope", "engine.par.scope"), scope as u64);
+    obs::observe(
+        pick(
+            "engine.seq.inspected_per_run",
+            "engine.par.inspected_per_run",
+        ),
+        stats.distinct_vars,
+    );
+    obs::observe(
+        pick("engine.seq.changed_per_run", "engine.par.changed_per_run"),
+        stats.changes,
+    );
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //!   accelerate recovery; the *genesis* checkpoint (sequence 0) is never
 //!   rotated out, so full replay always remains possible.
 //! - **Recovery** ([`recover`]): newest valid checkpoint + incremental
-//!   replay of the WAL suffix via `update_guarded`, so even recovery
+//!   replay of the WAL suffix via `update_with`, so even recovery
 //!   enjoys the paper's bounded incremental cost — and inherits the
 //!   [`FallbackPolicy`] degradation ladder (incremental replay → batch
 //!   recompute) when a replayed batch turns out unbounded.
@@ -38,7 +38,7 @@ pub use wal::{encode_record, scan_records, Scan, ScannedRecord, Wal, FIRST_SEQ};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use incgraph_algos::{update_guarded, IncrementalState, StateLoadError};
+use incgraph_algos::{update_with, ExecOptions, IncrementalState, StateLoadError};
 use incgraph_core::fallback::FallbackPolicy;
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_graph::{BatchError, DynamicGraph, UpdateBatch};
@@ -207,7 +207,7 @@ pub struct DurableOptions {
 ///    acknowledged), a crash after it preserves the batch across
 ///    recovery;
 /// 3. run the incremental update on every tracked state via
-///    [`update_guarded`] under the session's [`FallbackPolicy`].
+///    [`update_with`] under the session's [`FallbackPolicy`].
 ///
 /// Recovery rebuilds the exact same in-memory world from the newest valid
 /// checkpoint plus the logged suffix — see [`recover`].
@@ -310,18 +310,14 @@ impl DurableSession {
             return Err(e);
         }
         self.next_seq += 1;
+        let exec = ExecOptions {
+            policy: self.options.policy,
+            ..Default::default()
+        };
         let reports = self
             .states
             .iter_mut()
-            .map(|s| {
-                update_guarded(
-                    s.as_mut(),
-                    &self.graph,
-                    &applied,
-                    &self.options.policy,
-                    None,
-                )
-            })
+            .map(|s| update_with(s.as_mut(), &self.graph, &applied, &exec))
             .collect();
         if let Some(every) = self.options.checkpoint_every {
             if every > 0 && self.last_seq().is_multiple_of(every) {
@@ -334,10 +330,13 @@ impl DurableSession {
     /// Writes a checkpoint covering everything applied so far and points
     /// the manifest at it. Returns the covered WAL sequence number.
     pub fn checkpoint(&mut self) -> Result<u64, DurableError> {
+        let _span = incgraph_obs::span("ckpt.write");
         let covered = self.last_seq();
         let crash = self.take_crash(false);
         checkpoint::write_checkpoint(&self.dir, covered, &self.graph, &self.states, crash)?;
         checkpoint::write_manifest(&self.dir, covered)?;
+        incgraph_obs::counter("ckpt.writes", 1);
+        incgraph_obs::gauge("ckpt.covered_seq", covered);
         Ok(covered)
     }
 }

@@ -16,7 +16,7 @@
 //! From the chosen base, the WAL suffix (records with sequence numbers
 //! beyond the checkpoint's coverage) is replayed through the *normal*
 //! incremental pipeline — `apply_validated` on the graph, then
-//! [`update_guarded`] per state under the session's [`FallbackPolicy`] —
+//! [`update_with`] per state under the session's [`FallbackPolicy`] —
 //! so replay cost is the paper's bounded incremental cost, and a replayed
 //! batch that turns out unbounded degrades to batch recompute exactly
 //! like a live one would. Torn WAL tails were already truncated by
@@ -27,7 +27,7 @@
 
 use std::path::Path;
 
-use incgraph_algos::update_guarded;
+use incgraph_algos::{update_with, ExecOptions};
 use incgraph_graph::DynamicGraph;
 
 use crate::checkpoint::{checkpoint_path, list_checkpoints, load_checkpoint, read_manifest};
@@ -111,6 +111,11 @@ pub fn recover(
     report.checkpoint_seq = covered;
 
     // Incremental replay of the suffix through the normal engine.
+    let replay_span = incgraph_obs::span("recover.replay");
+    let exec = ExecOptions {
+        policy: options.policy,
+        ..Default::default()
+    };
     let mut next_seq = covered + 1;
     for record in &records {
         if record.seq <= covered {
@@ -128,13 +133,23 @@ pub fn recover(
             }
         };
         for s in states.iter_mut() {
-            let r = update_guarded(s.as_mut(), &graph, &applied, &options.policy, None);
+            let r = update_with(s.as_mut(), &graph, &applied, &exec);
             if r.fell_back() {
                 report.fallbacks += 1;
             }
         }
         report.wal_records_replayed += 1;
         next_seq = record.seq + 1;
+    }
+    drop(replay_span);
+    if incgraph_obs::enabled() {
+        incgraph_obs::gauge("recover.checkpoint_seq", report.checkpoint_seq);
+        incgraph_obs::counter("recover.replayed", report.wal_records_replayed as u64);
+        incgraph_obs::counter("recover.fallbacks", report.fallbacks as u64);
+        incgraph_obs::counter(
+            "recover.skipped_checkpoints",
+            report.checkpoints_skipped as u64,
+        );
     }
 
     Ok((

@@ -285,11 +285,16 @@ impl Wal {
                 return Err(DurableError::InjectedCrash(CrashPoint::WalPreFsync));
             }
             _ => {
+                // The fsync-latency seam: `wal.commit` is the time one
+                // committed record spends reaching stable storage.
+                let _span = incgraph_obs::span("wal.commit");
                 self.file.write_all(&record)?;
                 self.file.sync_data()?;
             }
         }
         self.end += record.len() as u64;
+        incgraph_obs::counter("wal.records", 1);
+        incgraph_obs::counter("wal.bytes", record.len() as u64);
         if crash == Some(CrashPoint::WalPostFsync) {
             return Err(DurableError::InjectedCrash(CrashPoint::WalPostFsync));
         }

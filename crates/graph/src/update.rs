@@ -232,6 +232,7 @@ impl UpdateBatch {
     /// self-loops are skipped, not errors. Insert-then-delete of the same
     /// edge within one batch remains legal (order-sensitive semantics).
     pub fn apply_validated(&self, g: &mut DynamicGraph) -> Result<AppliedBatch, BatchError> {
+        let _span = incgraph_obs::span("graph.apply");
         let n = g.node_count();
         let max_weight = Self::max_safe_weight(n);
         let mut ops = Vec::with_capacity(self.updates.len());
@@ -303,8 +304,14 @@ impl UpdateBatch {
                 // Roll back the applied prefix; inversion replays the
                 // effective ops in reverse, restoring weights too.
                 AppliedBatch { ops }.invert().apply(g);
+                incgraph_obs::counter("graph.rollbacks", 1);
                 return Err(err);
             }
+        }
+        if incgraph_obs::enabled() {
+            let inserted = ops.iter().filter(|o| o.inserted).count() as u64;
+            incgraph_obs::counter("graph.edges_inserted", inserted);
+            incgraph_obs::counter("graph.edges_deleted", ops.len() as u64 - inserted);
         }
         Ok(AppliedBatch { ops })
     }

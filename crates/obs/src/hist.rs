@@ -1,0 +1,209 @@
+//! Log₂-bucketed histogram for latencies and per-run sizes.
+//!
+//! 65 fixed buckets cover the whole `u64` range: bucket 0 holds the
+//! exact value 0 and bucket `k` (1..=64) holds `[2^(k-1), 2^k - 1]`,
+//! so `index = 64 - v.leading_zeros()` for any nonzero `v`. Fixed
+//! power-of-two boundaries keep recording branch-free and make
+//! histograms from different runs mergeable bucket-by-bucket, at the
+//! cost of ~2x relative resolution — plenty for latency profiles.
+
+/// Number of buckets: one for zero plus one per bit of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram with saturating sum and exact min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive `[lo, hi]` range of values a bucket covers.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < BUCKETS, "bucket index out of range");
+        match index {
+            0 => (0, 0),
+            64 => (1u64 << 63, u64::MAX),
+            k => (1u64 << (k - 1), (1u64 << k) - 1),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty `(bucket_index, count)` pairs in index order — the
+    /// sparse form used by the JSON-lines exporter.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from exported parts (the JSON-lines parser).
+    pub fn from_parts(count: u64, sum: u64, min: u64, max: u64, pairs: &[(usize, u64)]) -> Self {
+        let mut h = Histogram::new();
+        for &(i, c) in pairs {
+            assert!(i < BUCKETS, "bucket index out of range");
+            h.buckets[i] += c;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_across_u64_range() {
+        // Bucket 0 is exactly {0}.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        // Every other bucket k covers [2^(k-1), 2^k - 1]; both edges land
+        // in-bucket and the values straddling an edge split correctly.
+        for k in 1..=64usize {
+            let (lo, hi) = Histogram::bucket_bounds(k);
+            assert_eq!(lo, 1u64 << (k - 1));
+            assert_eq!(hi, if k == 64 { u64::MAX } else { (1u64 << k) - 1 });
+            assert_eq!(Histogram::bucket_index(lo), k, "low edge of bucket {k}");
+            assert_eq!(Histogram::bucket_index(hi), k, "high edge of bucket {k}");
+            if k < 64 {
+                assert_eq!(Histogram::bucket_index(hi + 1), k + 1, "first of {k}+1");
+            }
+        }
+        // Spot checks at the extremes.
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_index(1u64 << 63), 64);
+        assert_eq!(Histogram::bucket_index((1u64 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        for v in [0u64, 1, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (10, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn merge_and_from_parts_round_trip() {
+        let mut a = Histogram::new();
+        a.record(5);
+        a.record(700);
+        let mut b = Histogram::new();
+        b.record(5);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum(), 710);
+
+        let rebuilt = Histogram::from_parts(
+            merged.count(),
+            merged.sum(),
+            merged.min(),
+            merged.max(),
+            &merged.nonzero_buckets(),
+        );
+        assert_eq!(rebuilt, merged);
+    }
+}

@@ -25,11 +25,7 @@
 //! exercises the checkpoint-plus-WAL-suffix path, not just full replay.
 
 use crate::case::Case;
-use crate::runner::ClassId;
-use incgraph_algos::{
-    update_guarded, BcState, CcState, DfsState, IncrementalState, LccState, ReachState, SimState,
-    SsspState,
-};
+use incgraph_algos::{update_with, ExecOptions, IncrementalState, Session};
 use incgraph_durable::{recover, CrashPoint, DurableError, DurableOptions, DurableSession};
 use incgraph_graph::{DynamicGraph, NodeId};
 use std::path::PathBuf;
@@ -83,23 +79,19 @@ fn clamp_source(source: NodeId, nodes: usize) -> NodeId {
     }
 }
 
-/// Fresh sequential batch states for the case's classes, in case order.
+/// Fresh sequential batch states for the case's classes, in case order —
+/// one [`Session::builder`] call per class instead of a local seven-way
+/// `match`. Sessions delegate `save_state`, so the durable essences are
+/// byte-identical to the bare states' the pipeline used to box.
 fn build_states(case: &Case, g: &DynamicGraph, source: NodeId) -> Vec<Box<dyn IncrementalState>> {
     case.classes
         .iter()
         .map(|&c| -> Box<dyn IncrementalState> {
-            match c {
-                ClassId::Sssp => Box::new(SsspState::batch(g, source).0),
-                ClassId::Cc => Box::new(CcState::batch(g).0),
-                ClassId::Sim => {
-                    let p = case.pattern.clone().expect("sim case without a pattern");
-                    Box::new(SimState::batch(g, p).0)
-                }
-                ClassId::Reach => Box::new(ReachState::batch(g, source).0),
-                ClassId::Lcc => Box::new(LccState::batch(g).0),
-                ClassId::Dfs => Box::new(DfsState::batch(g).0),
-                ClassId::Bc => Box::new(BcState::batch(g).0),
+            let mut builder = Session::builder(c).source(source);
+            if let Some(p) = &case.pattern {
+                builder = builder.pattern(p.clone());
             }
+            Box::new(builder.build(g).expect("sim case without a pattern"))
         })
         .collect()
 }
@@ -144,8 +136,12 @@ fn build_reference(case: &Case, options: &DurableOptions) -> Reference {
     for batch in &case.schedule {
         match batch.apply_validated(&mut g) {
             Ok(applied) => {
+                let exec = ExecOptions {
+                    policy: options.policy,
+                    ..Default::default()
+                };
                 for s in states.iter_mut() {
-                    update_guarded(s.as_mut(), &g, &applied, &options.policy, None);
+                    update_with(s.as_mut(), &g, &applied, &exec);
                 }
                 committed += 1;
                 reference.valid.push(true);
@@ -332,6 +328,7 @@ pub fn run_crash_case(case: &Case) -> CrashOutcome {
 mod tests {
     use super::*;
     use crate::gencase::{gen_case, GenConfig};
+    use crate::runner::ClassId;
     use incgraph_graph::{Pattern, UpdateBatch};
 
     fn small_case() -> Case {

@@ -24,81 +24,15 @@
 //! ΔG, so the oracles must notice.
 
 use crate::case::Case;
-use incgraph_algos::{
-    BcState, CcState, DfsState, IncrementalState, LccState, ReachState, SimState, SsspState,
-};
+use incgraph_algos::{IncrementalState, Session};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId, Pattern};
 
-/// The seven query classes, in canonical order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum ClassId {
-    /// Single-source shortest paths.
-    Sssp,
-    /// Connected components.
-    Cc,
-    /// Graph simulation.
-    Sim,
-    /// Source reachability.
-    Reach,
-    /// Local clustering coefficient.
-    Lcc,
-    /// Depth-first search forest.
-    Dfs,
-    /// Biconnectivity (lowpoints, articulation points, bridges).
-    Bc,
-}
-
-impl ClassId {
-    /// All seven classes, canonical order.
-    pub const ALL: [ClassId; 7] = [
-        ClassId::Sssp,
-        ClassId::Cc,
-        ClassId::Sim,
-        ClassId::Reach,
-        ClassId::Lcc,
-        ClassId::Dfs,
-        ClassId::Bc,
-    ];
-
-    /// Short lowercase name, matching the CLI class argument.
-    pub fn name(self) -> &'static str {
-        match self {
-            ClassId::Sssp => "sssp",
-            ClassId::Cc => "cc",
-            ClassId::Sim => "sim",
-            ClassId::Reach => "reach",
-            ClassId::Lcc => "lcc",
-            ClassId::Dfs => "dfs",
-            ClassId::Bc => "bc",
-        }
-    }
-
-    /// Inverse of [`name`](Self::name).
-    pub fn from_name(name: &str) -> Option<ClassId> {
-        ClassId::ALL.into_iter().find(|c| c.name() == name)
-    }
-
-    /// Whether the class resumes through the sharded parallel engine
-    /// (DFS and BC are inherently sequential).
-    pub fn par_capable(self) -> bool {
-        !matches!(self, ClassId::Dfs | ClassId::Bc)
-    }
-
-    /// Whether the class runs through the generic worklist engine, whose
-    /// work accounting supports the strict `|AFF_diff| ≤ inspected`
-    /// boundedness check (DFS/BC traverse outside the engine and report
-    /// coarser counters).
-    pub fn engine_backed(self) -> bool {
-        self.par_capable()
-    }
-
-    /// Whether the class is only defined on undirected graphs (LCC's
-    /// triangle counting and BC's biconnectivity both are).
-    pub fn requires_undirected(self) -> bool {
-        matches!(self, ClassId::Lcc | ClassId::Bc)
-    }
-}
+/// The seven query classes, in canonical order. Historically this enum
+/// lived here; it is now `incgraph_algos::QueryClass`, re-exported under
+/// the old name so corpus files, case parsing, and every oracle-facing
+/// signature keep working unchanged.
+pub use incgraph_algos::QueryClass as ClassId;
 
 /// Which oracle rejected the run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -233,130 +167,33 @@ impl Fault {
     }
 }
 
-/// One concrete algorithm state, tagged by class — the oracle needs the
-/// concrete accessors for digests, which the object-safe
-/// [`IncrementalState`] deliberately does not expose.
-enum AnyState {
-    Sssp(SsspState),
-    Cc(CcState),
-    Sim(SimState),
-    Reach(ReachState),
-    Lcc(LccState),
-    Dfs(DfsState),
-    Bc(BcState),
-}
-
-impl AnyState {
-    /// Fresh batch fixpoint for `class` on `g` (sequential engine).
-    fn batch(class: ClassId, g: &DynamicGraph, source: NodeId, pattern: Option<&Pattern>) -> Self {
-        match class {
-            ClassId::Sssp => AnyState::Sssp(SsspState::batch(g, source).0),
-            ClassId::Cc => AnyState::Cc(CcState::batch(g).0),
-            ClassId::Sim => {
-                let p = pattern.expect("sim case without a pattern").clone();
-                AnyState::Sim(SimState::batch(g, p).0)
-            }
-            ClassId::Reach => AnyState::Reach(ReachState::batch(g, source).0),
-            ClassId::Lcc => AnyState::Lcc(LccState::batch(g).0),
-            ClassId::Dfs => AnyState::Dfs(DfsState::batch(g).0),
-            ClassId::Bc => AnyState::Bc(BcState::batch(g).0),
-        }
+/// Fresh batch fixpoint for `class` on `g` through the one construction
+/// path ([`Session::builder`]); `threads > 1` on a par-capable class
+/// builds through the sharded parallel engine and keeps resuming on that
+/// many shards. The oracle drives sessions with the *unguarded*
+/// [`IncrementalState::update`] — degradation would mask exactly the
+/// divergences it exists to find.
+fn build_session(
+    class: ClassId,
+    g: &DynamicGraph,
+    source: NodeId,
+    pattern: Option<&Pattern>,
+    threads: usize,
+) -> Session {
+    let mut builder = Session::builder(class).source(source).threads(threads);
+    if let Some(p) = pattern {
+        builder = builder.pattern(p.clone());
     }
-
-    /// Fresh batch fixpoint built through the sharded parallel engine,
-    /// configured to keep resuming on `threads` shards. Only valid for
-    /// [`ClassId::par_capable`] classes.
-    fn batch_par(
-        class: ClassId,
-        g: &DynamicGraph,
-        source: NodeId,
-        pattern: Option<&Pattern>,
-        threads: usize,
-    ) -> Self {
-        match class {
-            ClassId::Sssp => AnyState::Sssp(SsspState::batch_par(g, source, threads).0),
-            ClassId::Cc => AnyState::Cc(CcState::batch_par(g, threads).0),
-            ClassId::Sim => {
-                let p = pattern.expect("sim case without a pattern").clone();
-                AnyState::Sim(SimState::batch_par(g, p, threads).0)
-            }
-            ClassId::Reach => AnyState::Reach(ReachState::batch_par(g, source, threads).0),
-            ClassId::Lcc => AnyState::Lcc(LccState::batch_par(g, threads).0),
-            ClassId::Dfs | ClassId::Bc => unreachable!("not par-capable"),
-        }
-    }
-
-    /// One incremental step.
-    fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
-        match self {
-            AnyState::Sssp(s) => s.update(g, applied),
-            AnyState::Cc(s) => s.update(g, applied),
-            AnyState::Sim(s) => s.update(g, applied),
-            AnyState::Reach(s) => s.update(g, applied),
-            AnyState::Lcc(s) => s.update(g, applied),
-            AnyState::Dfs(s) => s.update(g, applied),
-            AnyState::Bc(s) => s.update(g, applied),
-        }
-    }
-
-    /// Total status variables `|Ψ|`, via the shared trait.
-    fn total_vars(&self, g: &DynamicGraph) -> usize {
-        match self {
-            AnyState::Sssp(s) => IncrementalState::total_vars(s, g),
-            AnyState::Cc(s) => IncrementalState::total_vars(s, g),
-            AnyState::Sim(s) => IncrementalState::total_vars(s, g),
-            AnyState::Reach(s) => IncrementalState::total_vars(s, g),
-            AnyState::Lcc(s) => IncrementalState::total_vars(s, g),
-            AnyState::Dfs(s) => IncrementalState::total_vars(s, g),
-            AnyState::Bc(s) => IncrementalState::total_vars(s, g),
-        }
-    }
-
-    /// Canonical value digest: one `u64` stream, index-aligned to the
-    /// class's status variables where the class is engine-backed (the
-    /// basis of the AFF diff), value-complete for all seven.
-    fn digest(&self, g: &DynamicGraph) -> Vec<u64> {
-        let n = g.node_count();
-        match self {
-            AnyState::Sssp(s) => s.distances().to_vec(),
-            AnyState::Cc(s) => s.components().iter().map(|&c| c as u64).collect(),
-            AnyState::Sim(s) => {
-                let q = s.pattern().node_count();
-                let mut out = Vec::with_capacity(n * q);
-                for v in 0..n as NodeId {
-                    for u in 0..q {
-                        out.push(s.matches(g, v, u) as u64);
-                    }
-                }
-                out
-            }
-            AnyState::Reach(s) => s.reached().iter().map(|&b| b as u64).collect(),
-            AnyState::Lcc(s) => (0..n as NodeId)
-                .map(|v| (s.degree(v) << 32) | (s.triangles(v) & 0xffff_ffff))
-                .collect(),
-            AnyState::Dfs(s) => (0..n as NodeId)
-                .flat_map(|v| [s.first(v) as u64, s.last(v) as u64, s.parent(v) as u64])
-                .collect(),
-            AnyState::Bc(s) => {
-                let mut out: Vec<u64> = (0..n as NodeId)
-                    .map(|v| ((s.low(v) as u64) << 1) | s.is_articulation(g, v) as u64)
-                    .collect();
-                for (a, b) in s.bridges(g) {
-                    out.push(((a as u64) << 32) | b as u64);
-                }
-                out
-            }
-        }
-    }
+    builder.build(g).expect("sim case without a pattern")
 }
 
 /// One class's states under test: the sequential baseline plus one state
 /// per parallel thread count.
 struct ClassUnderTest {
     class: ClassId,
-    seq: AnyState,
+    seq: Session,
     /// `(threads, state)` pairs for the seq-vs-par oracle.
-    par: Vec<(usize, AnyState)>,
+    par: Vec<(usize, Session)>,
     /// Batch-fixpoint digest of the previous round, for the AFF diff.
     prev_full: Vec<u64>,
 }
@@ -433,7 +270,7 @@ pub fn run_case(case: &Case, fault: Option<Fault>) -> RunOutcome {
     // Initial batch fixpoints: sequential baseline + parallel builds.
     let mut classes: Vec<ClassUnderTest> = Vec::with_capacity(case.classes.len());
     for &class in &case.classes {
-        let seq = AnyState::batch(class, &g, source, pattern);
+        let seq = build_session(class, &g, source, pattern, 1);
         let prev_full = seq.digest(&g);
         let mut par = Vec::new();
         if class.par_capable() {
@@ -441,7 +278,7 @@ pub fn run_case(case: &Case, fault: Option<Fault>) -> RunOutcome {
                 if t <= 1 {
                     continue;
                 }
-                let state = AnyState::batch_par(class, &g, source, pattern, t);
+                let state = build_session(class, &g, source, pattern, t);
                 checks += 1;
                 let d = state.digest(&g);
                 if let Some((i, a, b)) = first_diff(&prev_full, &d) {
@@ -478,7 +315,7 @@ pub fn run_case(case: &Case, fault: Option<Fault>) -> RunOutcome {
             let report = cut.seq.update(&g, &presented);
 
             // Ground truth: a from-scratch batch run on the updated graph.
-            let fresh = AnyState::batch(class, &g, source, pattern);
+            let fresh = build_session(class, &g, source, pattern, 1);
             let full = fresh.digest(&g);
 
             checks += 1;
