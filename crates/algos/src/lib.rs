@@ -61,7 +61,11 @@ use incgraph_graph::{AppliedBatch, DynamicGraph};
 /// state so they can reach private fields (the stored query parameters
 /// needed for [`recompute`](Self::recompute), the engine for
 /// [`set_work_budget`](Self::set_work_budget)).
-pub trait IncrementalState {
+///
+/// `Send + Sync` are supertraits: every state is plain owned data, and
+/// the service layer moves boxed states (and the [`Session`]s wrapping
+/// them) into its writer thread and reads digests from others.
+pub trait IncrementalState: Send + Sync {
     /// Short algorithm name for logs and reports (`"sssp"`, `"cc"`, …).
     fn name(&self) -> &'static str;
 

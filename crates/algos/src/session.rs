@@ -97,6 +97,12 @@ impl QueryClass {
     pub fn requires_undirected(self) -> bool {
         matches!(self, QueryClass::Lcc | QueryClass::Bc)
     }
+
+    /// Whether the class is rooted at a source node (and so needs the
+    /// builder's `source` to name a real node).
+    pub fn source_rooted(self) -> bool {
+        matches!(self, QueryClass::Sssp | QueryClass::Reach)
+    }
 }
 
 /// Why a [`SessionBuilder`] refused to build.
@@ -104,12 +110,31 @@ impl QueryClass {
 pub enum SessionError {
     /// [`QueryClass::Sim`] needs a pattern; none was supplied.
     MissingPattern,
+    /// The class is only defined on undirected graphs
+    /// ([`QueryClass::requires_undirected`]) but the graph is directed.
+    /// Every driver used to carry this gate itself; the builder now
+    /// refuses instead of silently computing a meaningless answer.
+    RequiresUndirected(QueryClass),
+    /// A [`source_rooted`](QueryClass::source_rooted) class was given a
+    /// source beyond the graph's node range. The per-class specs assert
+    /// on this; the builder turns it into a typed refusal so a remote
+    /// `REGISTER` with a bad source cannot panic the server.
+    SourceOutOfRange { source: NodeId, nodes: usize },
 }
 
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::MissingPattern => write!(f, "sim session built without a pattern"),
+            SessionError::RequiresUndirected(c) => write!(
+                f,
+                "{} is only defined on undirected graphs, but the graph is directed",
+                c.name()
+            ),
+            SessionError::SourceOutOfRange { source, nodes } => write!(
+                f,
+                "source {source} is out of range for a graph of {nodes} node(s)"
+            ),
         }
     }
 }
@@ -167,6 +192,15 @@ impl SessionBuilder {
 
     /// Runs the batch fixpoint on `g` and returns the live session.
     pub fn build(self, g: &DynamicGraph) -> Result<Session, SessionError> {
+        if self.class.requires_undirected() && g.is_directed() {
+            return Err(SessionError::RequiresUndirected(self.class));
+        }
+        if self.class.source_rooted() && self.source as usize >= g.node_count() {
+            return Err(SessionError::SourceOutOfRange {
+                source: self.source,
+                nodes: g.node_count(),
+            });
+        }
         let par = self.threads > 1 && self.class.par_capable();
         let state = match self.class {
             QueryClass::Sssp => {

@@ -1,0 +1,168 @@
+//! Error-path tests for the [`Session`]/[`QueryClass`] facade — the
+//! surface the service layer (crates/service) builds standing queries
+//! through. Every refusal here must be a typed error, not a panic or a
+//! silently wrong answer, because the server converts these directly
+//! into wire `ERR` replies.
+
+use incgraph_algos::{QueryClass, Session, SessionError};
+use incgraph_graph::{DynamicGraph, Pattern, UpdateBatch};
+
+fn tiny_pattern() -> Pattern {
+    Pattern::new(vec![0, 0], &[(0, 1)])
+}
+
+#[test]
+fn from_name_round_trips_and_rejects_unknown() {
+    for class in QueryClass::ALL {
+        assert_eq!(QueryClass::from_name(class.name()), Some(class));
+    }
+    for bogus in ["", "SSSP", "sssp ", "pagerank", "cc2", "sim\n"] {
+        assert_eq!(QueryClass::from_name(bogus), None, "accepted {bogus:?}");
+    }
+}
+
+#[test]
+fn sim_without_pattern_is_missing_pattern() {
+    let g = DynamicGraph::new(false, 4);
+    match Session::builder(QueryClass::Sim).build(&g) {
+        Err(SessionError::MissingPattern) => {}
+        Err(other) => panic!("expected MissingPattern, got {other:?}"),
+        Ok(_) => panic!("sim without a pattern built"),
+    }
+    // The same builder with a pattern succeeds — the refusal is about
+    // the missing input, not the class.
+    Session::builder(QueryClass::Sim)
+        .pattern(tiny_pattern())
+        .build(&g)
+        .expect("sim with pattern builds");
+}
+
+#[test]
+fn undirected_only_classes_refuse_directed_graphs() {
+    let directed = DynamicGraph::new(true, 4);
+    let undirected = DynamicGraph::new(false, 4);
+    for class in [QueryClass::Lcc, QueryClass::Bc] {
+        assert!(class.requires_undirected());
+        match Session::builder(class).build(&directed) {
+            Err(SessionError::RequiresUndirected(c)) => assert_eq!(c, class),
+            Err(other) => panic!(
+                "{}: expected RequiresUndirected, got {other:?}",
+                class.name()
+            ),
+            Ok(_) => panic!("{} built on a directed graph", class.name()),
+        }
+        Session::builder(class)
+            .build(&undirected)
+            .unwrap_or_else(|e| panic!("{} on undirected refused: {e}", class.name()));
+    }
+    // DFS is defined on both regimes and must keep building on directed.
+    for class in [
+        QueryClass::Sssp,
+        QueryClass::Cc,
+        QueryClass::Reach,
+        QueryClass::Dfs,
+    ] {
+        Session::builder(class)
+            .build(&directed)
+            .unwrap_or_else(|e| panic!("{} on directed refused: {e}", class.name()));
+    }
+}
+
+#[test]
+fn session_error_display_is_actionable() {
+    let msg = SessionError::MissingPattern.to_string();
+    assert!(msg.contains("pattern"), "unhelpful: {msg}");
+    let msg = SessionError::RequiresUndirected(QueryClass::Lcc).to_string();
+    assert!(
+        msg.contains("lcc") && msg.contains("undirected"),
+        "unhelpful: {msg}"
+    );
+    let msg = SessionError::SourceOutOfRange {
+        source: 7,
+        nodes: 3,
+    }
+    .to_string();
+    assert!(msg.contains('7') && msg.contains('3'), "unhelpful: {msg}");
+}
+
+#[test]
+fn empty_graph_sessions_build_and_digest_empty() {
+    let g = DynamicGraph::new(false, 0);
+    for class in QueryClass::ALL {
+        let mut builder = Session::builder(class);
+        if class == QueryClass::Sim {
+            builder = builder.pattern(tiny_pattern());
+        }
+        if class.source_rooted() {
+            // No node can serve as the root of an empty graph: a typed
+            // refusal, not a panic.
+            match builder.build(&g) {
+                Err(SessionError::SourceOutOfRange { nodes: 0, .. }) => continue,
+                Err(other) => panic!("{}: unexpected error {other:?}", class.name()),
+                Ok(_) => panic!("{} built rooted in an empty graph", class.name()),
+            }
+        }
+        let session = builder
+            .build(&g)
+            .unwrap_or_else(|e| panic!("{} on empty graph refused: {e}", class.name()));
+        assert!(
+            session.digest(&g).is_empty(),
+            "{}: non-empty digest on empty graph",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn single_node_graph_survives_an_update_cycle() {
+    for class in QueryClass::ALL {
+        let mut g = DynamicGraph::new(false, 1);
+        let mut builder = Session::builder(class).source(0);
+        if class == QueryClass::Sim {
+            builder = builder.pattern(tiny_pattern());
+        }
+        let mut session = builder
+            .build(&g)
+            .unwrap_or_else(|e| panic!("{} on 1-node graph refused: {e}", class.name()));
+        let before = session.digest(&g);
+        // The only legal ΔG on one node is empty; the hardened step must
+        // be a no-op, not a crash.
+        let applied = UpdateBatch::new()
+            .apply_validated(&mut g)
+            .expect("empty ΔG");
+        session.update_guarded(&g, &applied);
+        assert_eq!(
+            before,
+            session.digest(&g),
+            "{}: empty ΔG changed the digest",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn out_of_range_source_is_a_typed_refusal_not_a_panic() {
+    // The per-class specs assert on a bad source; the builder must turn
+    // a remote REGISTER's garbage into a typed error before they see it.
+    let g = DynamicGraph::new(false, 3);
+    for class in [QueryClass::Sssp, QueryClass::Reach] {
+        match Session::builder(class).source(99).build(&g) {
+            Err(SessionError::SourceOutOfRange {
+                source: 99,
+                nodes: 3,
+            }) => {}
+            Err(other) => panic!("{}: unexpected error {other:?}", class.name()),
+            Ok(_) => panic!("{} built with source 99 over 3 nodes", class.name()),
+        }
+        // The boundary value is legal.
+        Session::builder(class)
+            .source(2)
+            .build(&g)
+            .unwrap_or_else(|e| panic!("{} with source 2 refused: {e}", class.name()));
+    }
+    // Classes that ignore the source keep ignoring it.
+    Session::builder(QueryClass::Cc)
+        .source(99)
+        .build(&g)
+        .expect("cc ignores the source");
+}

@@ -40,16 +40,33 @@
 //! would, which is how the crash-injection CI matrix exercises recovery
 //! end to end.
 //!
+//! The long-running **service** (see `crates/service` and
+//! docs/SERVICE.md) gets three subcommands: `incgraph serve` binds the
+//! `incgraph-wire/1` TCP server over an in-memory store or a WAL-durable
+//! one (`--store DIR`, one writer per store — a second opener exits with
+//! code 7) and runs until a wire `SHUTDOWN` drains it; `incgraph load`
+//! drives many concurrent client sessions against a live server and
+//! prints per-class `UPDATE`→`ACK` latency percentiles; `incgraph chaos`
+//! runs the network-chaos oracle (byte-cutting proxy, abrupt server
+//! kill/restart cycles) and exits 1 on any exactly-once or recovery
+//! violation.
+//!
+//! Output paths (`--out`, `--metrics`, `--trace`, bench datapoints) get
+//! their parent directories created on demand, so pointing a run at
+//! `results/new/dir/out.txt` just works.
+//!
 //! Failures map to distinct exit codes so scripts can tell them apart:
 //!
 //! | code | meaning |
 //! |------|---------|
 //! | 0    | success |
+//! | 1    | oracle violation (`fuzz`, `replay`, `chaos`, failed `load` sessions) |
 //! | 2    | usage error (bad flags, missing class/graph) |
 //! | 3    | file unreadable / output unwritable / durable store corrupt |
 //! | 4    | parse error (reported with its line number) |
 //! | 5    | invalid update stream (rejected by validation, graph rolled back) |
 //! | 6    | injected crash fired (`DURABLE_CRASH_AT`) |
+//! | 7    | store busy: another live process holds the store's `LOCK` |
 
 use incgraph_algos::{
     update_with, BcState, CcState, DfsState, ExecOptions, IncrementalState, LccState, QueryClass,
@@ -97,6 +114,9 @@ enum CliError {
     /// The one-shot crash armed via `DURABLE_CRASH_AT` fired; the store
     /// was left exactly as a real mid-pipeline kill would leave it.
     InjectedCrash(CrashPoint),
+    /// Another live process holds the store's `LOCK` file; nothing was
+    /// touched and a retry after the owner exits will succeed.
+    StoreBusy { store: String, pid: u32 },
 }
 
 impl CliError {
@@ -110,6 +130,7 @@ impl CliError {
             CliError::Parse { .. } => 4,
             CliError::InvalidUpdates { .. } => 5,
             CliError::InjectedCrash(_) => 6,
+            CliError::StoreBusy { .. } => 7,
         }
     }
 }
@@ -129,12 +150,18 @@ impl std::fmt::Display for CliError {
             CliError::Output { path, source } => write!(f, "{path}: {source}"),
             CliError::Durable { store, source } => write!(f, "{store}: {source}"),
             CliError::InjectedCrash(p) => write!(f, "injected crash fired at {p}"),
+            CliError::StoreBusy { store, pid } => write!(
+                f,
+                "{store}: busy — locked by live process {pid} \
+                 (one writer per store; retry after it exits)"
+            ),
         }
     }
 }
 
-/// Wraps a durable-store failure, routing the two cases with their own
-/// exit codes (invalid ΔG → 5, injected crash → 6) past the generic 3.
+/// Wraps a durable-store failure, routing the cases with their own exit
+/// codes (invalid ΔG → 5, injected crash → 6, lock held → 7) past the
+/// generic 3.
 fn durable_error(store: &str, e: DurableError) -> CliError {
     match e {
         DurableError::InvalidBatch(source) => CliError::InvalidUpdates {
@@ -142,11 +169,27 @@ fn durable_error(store: &str, e: DurableError) -> CliError {
             source,
         },
         DurableError::InjectedCrash(p) => CliError::InjectedCrash(p),
+        DurableError::StoreBusy { dir, pid } => CliError::StoreBusy { store: dir, pid },
         source => CliError::Durable {
             store: store.to_string(),
             source,
         },
     }
+}
+
+/// Creates the parent directory of an output path on demand, so
+/// `--out results/new/dir/f.txt` (and `--metrics`/`--trace`/bench
+/// datapoints) never fail on a missing directory.
+fn ensure_parent(path: &str) -> Result<(), CliError> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| CliError::Output {
+                path: path.to_string(),
+                source: e,
+            })?;
+        }
+    }
+    Ok(())
 }
 
 /// Splits an [`IoError`] from reading `path` into the two exit classes.
@@ -191,6 +234,13 @@ const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.tx
                      \u{20}      incgraph checkpoint --store DIR [--graph G.txt] [--updates D.txt] \
                      [--directed] [--source N] [--seed S] [--classes c1,c2,…]\n\
                      \u{20}      incgraph recover --store DIR [--out F]\n\
+                     \u{20}      incgraph serve [--addr H:P] [--store DIR [--graph-name G] \
+                     [--nodes N] [--directed]] [--max-sessions N] [--max-pending N] \
+                     [--idle-timeout-secs S] [--retry-after-ms MS] [--no-remote-shutdown]\n\
+                     \u{20}      incgraph load --addr H:P [--sessions N] [--batches N] \
+                     [--units N] [--nodes N] [--seed S]\n\
+                     \u{20}      incgraph chaos --store DIR [--seed S] [--clients N] \
+                     [--batches N] [--kills N] [--no-proxy-faults]\n\
                      every subcommand also accepts: [--metrics METRICS.jsonl] [--trace TRACE.jsonl]";
 
 fn parse_args(argv: &[String]) -> Result<Args, CliError> {
@@ -306,6 +356,7 @@ fn write_out(path: &Option<String>, lines: impl Iterator<Item = String>) -> Resu
     };
     match path {
         Some(p) => {
+            ensure_parent(p)?;
             let f = std::fs::File::create(p).map_err(|e| out_err(p, e))?;
             let mut w = std::io::BufWriter::new(f);
             for l in lines {
@@ -423,11 +474,13 @@ impl ObsSetup {
             // (when traced) belong to the --trace file.
             let mut aggregate = snap.clone();
             aggregate.spans.clear();
+            ensure_parent(path)?;
             std::fs::write(path, incgraph_obs::to_jsonl(&aggregate))
                 .map_err(|e| out_err(path, e))?;
             eprintln!("wrote metrics to {path}");
         }
         if let Some(path) = &self.trace {
+            ensure_parent(path)?;
             std::fs::write(path, incgraph_obs::to_jsonl(&snap)).map_err(|e| out_err(path, e))?;
             eprintln!("wrote trace to {path}");
         }
@@ -472,11 +525,7 @@ fn run_bench(args: &Args, registry: &Option<Arc<Registry>>) -> Result<(), CliErr
         path: p.to_string(),
         source: e,
     };
-    if let Some(dir) = std::path::Path::new(&path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(|e| out_err(&path, e))?;
-        }
-    }
+    ensure_parent(&path)?;
     let json = parbench::to_json(&date, args.threads, reps, &results);
     std::fs::write(&path, json).map_err(|e| out_err(&path, e))?;
     eprintln!("wrote {path}");
@@ -852,7 +901,9 @@ fn store_states(
         if class == QueryClass::Sim {
             builder = builder.pattern(random_pattern(g, 4, 6, args.seed));
         }
-        let session = builder.build(g).expect("sim pattern supplied above");
+        let session = builder
+            .build(g)
+            .map_err(|e| CliError::Usage(format!("{name}: {e}\n{USAGE}")))?;
         states.push(Box::new(session));
     }
     Ok(states)
@@ -988,6 +1039,256 @@ fn run_recover(argv: &[String]) -> Result<(), CliError> {
     write_out(&args.out, state_digests(&session).into_iter())
 }
 
+/// `incgraph serve`: bind the `incgraph-wire/1` TCP server and run until
+/// a wire `SHUTDOWN` drains it. With `--store DIR` the named graph is
+/// WAL-durable (recovered if the store exists, initialized from
+/// `--nodes`/`--directed` otherwise) and protected by the store `LOCK` —
+/// a second server on the same store exits with code 7. Without it the
+/// store starts empty and clients create in-memory graphs over the wire.
+fn run_serve(argv: &[String]) -> Result<(), CliError> {
+    use incgraph_service::{Server, ServerConfig, Store, StoreLimits};
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+    let mut cfg = ServerConfig::default();
+    let mut store_dir: Option<String> = None;
+    let mut graph_name = "g0".to_string();
+    let mut nodes = 64usize;
+    let mut directed = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                cfg.addr = it
+                    .next()
+                    .ok_or_else(|| usage("--addr needs host:port"))?
+                    .clone()
+            }
+            "--store" => {
+                store_dir = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--store needs a dir"))?
+                        .clone(),
+                )
+            }
+            "--graph-name" => {
+                graph_name = it
+                    .next()
+                    .ok_or_else(|| usage("--graph-name needs a name"))?
+                    .clone()
+            }
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--nodes needs an integer"))?
+            }
+            "--directed" => directed = true,
+            "--max-sessions" => {
+                cfg.max_sessions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--max-sessions needs an integer"))?
+            }
+            "--max-pending" => {
+                cfg.max_pending = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--max-pending needs an integer"))?
+            }
+            "--idle-timeout-secs" => {
+                let secs: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--idle-timeout-secs needs an integer"))?;
+                cfg.idle_timeout = std::time::Duration::from_secs(secs);
+            }
+            "--retry-after-ms" => {
+                cfg.retry_after_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--retry-after-ms needs an integer"))?
+            }
+            "--no-remote-shutdown" => cfg.allow_remote_shutdown = false,
+            flag => return Err(usage(&format!("unknown serve flag {flag}"))),
+        }
+    }
+    let store = match &store_dir {
+        Some(dir) => {
+            if nodes == 0 {
+                return Err(usage("--store needs --nodes >= 1 to initialize a graph"));
+            }
+            let store = Store::open_durable(
+                std::path::Path::new(dir),
+                &graph_name,
+                nodes,
+                directed,
+                DurableOptions::default(),
+                StoreLimits::default(),
+            )
+            .map_err(|e| durable_error(dir, e))?;
+            eprintln!("durable graph {graph_name} mounted from {dir}");
+            store
+        }
+        None => Store::new(StoreLimits::default()),
+    };
+    if !cfg.allow_remote_shutdown {
+        eprintln!("serve: wire SHUTDOWN disabled — stop the process to exit");
+    }
+    let mut handle = Server::start(store, cfg).map_err(|e| CliError::Output {
+        path: "listener".to_string(),
+        source: e,
+    })?;
+    // Machine-readable bind line on stdout so scripts can discover an
+    // ephemeral port; everything else goes to stderr.
+    println!("incgraph-wire/1 listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.wait();
+    eprintln!("serve: drained and stopped");
+    Ok(())
+}
+
+/// `incgraph load`: drive many concurrent sessions (classes round-robin
+/// over all seven) against a live server and print per-class
+/// `UPDATE`→`ACK` percentiles. Any session failing is an oracle-grade
+/// error (exit 1) so CI smoke jobs fail loudly.
+fn run_load_cmd(argv: &[String]) -> Result<(), CliError> {
+    use incgraph_service::LoadConfig;
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+    let mut cfg = LoadConfig::default();
+    let mut addr: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--addr needs host:port"))?
+                        .clone(),
+                )
+            }
+            "--sessions" => {
+                cfg.sessions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--sessions needs an integer"))?
+            }
+            "--batches" => {
+                cfg.batches_per_session = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--batches needs an integer"))?
+            }
+            "--units" => {
+                cfg.units_per_batch = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--units needs an integer"))?
+            }
+            "--nodes" => {
+                cfg.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--nodes needs an integer"))?
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--seed needs an integer"))?
+            }
+            flag => return Err(usage(&format!("unknown load flag {flag}"))),
+        }
+    }
+    let addr = addr.ok_or_else(|| usage("load needs --addr HOST:PORT"))?;
+    cfg.addr = addr
+        .parse()
+        .map_err(|_| usage(&format!("--addr: cannot parse {addr}")))?;
+    eprintln!(
+        "load: {} sessions × {} batches × {} units against {}",
+        cfg.sessions, cfg.batches_per_session, cfg.units_per_batch, cfg.addr
+    );
+    let report = incgraph_service::run_load(&cfg);
+    print!("{report}");
+    if report.sessions_failed > 0 {
+        return Err(CliError::Oracle(format!(
+            "load: {} of {} sessions failed",
+            report.sessions_failed, cfg.sessions
+        )));
+    }
+    Ok(())
+}
+
+/// `incgraph chaos`: the network-chaos oracle from `crates/oracle` —
+/// real server, byte-cutting proxy, abrupt kill/restart cycles, then a
+/// WAL audit (exactly-once for every ack) and an essence check of the
+/// recovered store against genesis replay. Any violation exits 1.
+fn run_chaos_cmd(argv: &[String]) -> Result<(), CliError> {
+    use incgraph_oracle::ChaosConfig;
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+    let mut cfg = ChaosConfig::default();
+    let mut store: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                store = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--store needs a dir"))?
+                        .clone(),
+                )
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--seed needs an integer"))?
+            }
+            "--clients" => {
+                cfg.clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--clients needs an integer"))?
+            }
+            "--batches" => {
+                cfg.batches_per_client = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--batches needs an integer"))?
+            }
+            "--kills" => {
+                cfg.kills = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--kills needs an integer"))?
+            }
+            "--no-proxy-faults" => cfg.proxy_faults = false,
+            flag => return Err(usage(&format!("unknown chaos flag {flag}"))),
+        }
+    }
+    let store = store.ok_or_else(|| usage("chaos needs --store DIR"))?;
+    eprintln!(
+        "chaos: seed {:#x}, {} clients × {} batches, {} kill cycles, proxy faults {}",
+        cfg.seed,
+        cfg.clients,
+        cfg.batches_per_client,
+        cfg.kills,
+        if cfg.proxy_faults { "on" } else { "off" }
+    );
+    let report = incgraph_oracle::run_chaos(std::path::Path::new(&store), &cfg)
+        .map_err(|e| CliError::Oracle(format!("chaos violation: {e}")))?;
+    println!(
+        "chaos clean: {} acked ({} dup acks), {} reconnects, {} server deaths, \
+         {} WAL batches ({} committed-unacked), {} classes verified",
+        report.acked,
+        report.dup_acks,
+        report.reconnects,
+        report.server_deaths,
+        report.wal_batches,
+        report.committed_unacked,
+        report.classes_verified
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let obs = ObsSetup::extract(&mut argv)?;
@@ -1007,6 +1308,9 @@ fn dispatch(argv: &[String], obs: &ObsSetup) -> Result<(), CliError> {
         Some("replay") => return run_replay(&argv[1..]),
         Some("checkpoint") => return run_checkpoint(&argv[1..]),
         Some("recover") => return run_recover(&argv[1..]),
+        Some("serve") => return run_serve(&argv[1..]),
+        Some("load") => return run_load_cmd(&argv[1..]),
+        Some("chaos") => return run_chaos_cmd(&argv[1..]),
         _ => {}
     }
     let args = parse_args(argv)?;

@@ -29,9 +29,11 @@
 mod bytes;
 pub mod checkpoint;
 pub mod crc;
+pub mod lock;
 pub mod recover;
 pub mod wal;
 
+pub use lock::{StoreLock, LOCK_NAME};
 pub use recover::{recover, RecoveryReport};
 pub use wal::{encode_record, scan_records, Scan, ScannedRecord, Wal, FIRST_SEQ};
 
@@ -41,7 +43,7 @@ use std::path::{Path, PathBuf};
 use incgraph_algos::{update_with, ExecOptions, IncrementalState, StateLoadError};
 use incgraph_core::fallback::FallbackPolicy;
 use incgraph_core::metrics::BoundednessReport;
-use incgraph_graph::{BatchError, DynamicGraph, UpdateBatch};
+use incgraph_graph::{AppliedBatch, BatchError, DynamicGraph, UpdateBatch};
 
 /// File name of the write-ahead log inside a durable directory.
 pub const WAL_NAME: &str = "wal.log";
@@ -146,6 +148,15 @@ pub enum DurableError {
     /// No valid checkpoint exists — not even genesis — so recovery has
     /// no base state to replay from.
     Unrecoverable(String),
+    /// Another live process (or another session in this one) holds the
+    /// store's `LOCK` file. The store was not touched; retry after the
+    /// owner releases it. `pid` is the recorded owner (0 if unreadable).
+    StoreBusy {
+        /// The contested durable directory.
+        dir: String,
+        /// PID recorded in the lock file (0 when unreadable).
+        pid: u32,
+    },
 }
 
 impl fmt::Display for DurableError {
@@ -157,6 +168,11 @@ impl fmt::Display for DurableError {
             DurableError::State(e) => write!(f, "state blob rejected: {e}"),
             DurableError::InjectedCrash(p) => write!(f, "injected crash at {p}"),
             DurableError::Unrecoverable(d) => write!(f, "unrecoverable: {d}"),
+            DurableError::StoreBusy { dir, pid } => write!(
+                f,
+                "store busy: {dir} is locked by live process {pid} \
+                 (one writer per store; retry after it exits)"
+            ),
         }
     }
 }
@@ -219,6 +235,9 @@ pub struct DurableSession {
     pub(crate) options: DurableOptions,
     pub(crate) next_seq: u64,
     pub(crate) crash: Option<CrashPoint>,
+    /// Held for the session's whole lifetime; dropping the session
+    /// releases the store to the next opener.
+    pub(crate) lock: StoreLock,
 }
 
 impl DurableSession {
@@ -233,6 +252,7 @@ impl DurableSession {
         options: DurableOptions,
     ) -> Result<Self, DurableError> {
         std::fs::create_dir_all(dir)?;
+        let lock = StoreLock::acquire(dir)?;
         if dir.join(checkpoint::MANIFEST_NAME).exists() || dir.join(WAL_NAME).exists() {
             return Err(DurableError::Corrupt(format!(
                 "{} already holds a durable store; recover it instead",
@@ -250,6 +270,7 @@ impl DurableSession {
             options,
             next_seq: FIRST_SEQ,
             crash: None,
+            lock,
         })
     }
 
@@ -271,6 +292,12 @@ impl DurableSession {
     /// Sequence number of the last durably applied batch (0 = none yet).
     pub fn last_seq(&self) -> u64 {
         self.next_seq - 1
+    }
+
+    /// The lock guarding this store against concurrent writers; released
+    /// when the session drops.
+    pub fn lock(&self) -> &StoreLock {
+        &self.lock
     }
 
     /// Arms a one-shot crash injection: the next operation that reaches
@@ -296,9 +323,41 @@ impl DurableSession {
     /// stays usable. On [`DurableError::InjectedCrash`] the session is
     /// dead by definition and must be dropped.
     pub fn apply(&mut self, batch: &UpdateBatch) -> Result<Vec<BoundednessReport>, DurableError> {
+        self.apply_with(batch, |_| Ok(()))
+            .map(|(reports, _)| reports)
+    }
+
+    /// [`apply`](Self::apply) with a *pre-commit hook*: `pre_commit`
+    /// runs after the batch validated and applied in memory, immediately
+    /// before the WAL append that commits it, receiving the sequence
+    /// number the batch is about to take. The service layer uses this
+    /// seam to fsync its exactly-once intent record (client token +
+    /// client sequence → WAL sequence) strictly *before* the batch can
+    /// become durable: a crash between the two leaves an intent whose
+    /// WAL sequence was never written, which recovery discards, so a
+    /// client retry re-applies cleanly; a crash after the append leaves
+    /// both records, so the retry is deduplicated. If `pre_commit`
+    /// errors, the in-memory application is rolled back and nothing is
+    /// logged — exactly the invalid-batch contract.
+    ///
+    /// Also returns the effective [`AppliedBatch`], which callers that
+    /// maintain *additional* states outside the session (the service's
+    /// standing queries) feed to their own incremental updates.
+    pub fn apply_with<F>(
+        &mut self,
+        batch: &UpdateBatch,
+        pre_commit: F,
+    ) -> Result<(Vec<BoundednessReport>, AppliedBatch), DurableError>
+    where
+        F: FnOnce(u64) -> Result<(), DurableError>,
+    {
         let applied = batch
             .apply_validated(&mut self.graph)
             .map_err(DurableError::InvalidBatch)?;
+        if let Err(e) = pre_commit(self.next_seq) {
+            applied.invert().apply(&mut self.graph);
+            return Err(e);
+        }
         let crash = self.take_crash(true);
         let seq = self.next_seq;
         if let Err(e) = self.wal.append(seq, batch, crash) {
@@ -324,7 +383,7 @@ impl DurableSession {
                 self.checkpoint()?;
             }
         }
-        Ok(reports)
+        Ok((reports, applied))
     }
 
     /// Writes a checkpoint covering everything applied so far and points
@@ -469,6 +528,56 @@ mod tests {
         }
         // Genesis (0) + automatic checkpoint at seq 2.
         assert_eq!(checkpoint::list_checkpoints(&dir), vec![2, 0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_session_makes_concurrent_open_store_busy() {
+        let dir = temp_dir("lock");
+        let g0 = ring(8);
+        let session =
+            DurableSession::create(&dir, g0.clone(), states_for(&g0), DurableOptions::default())
+                .unwrap();
+        // A second writer — create or recover — must be refused while the
+        // first session lives, and succeed once it is dropped.
+        assert!(matches!(
+            recover(&dir, DurableOptions::default()),
+            Err(DurableError::StoreBusy { .. })
+        ));
+        assert!(matches!(
+            DurableSession::create(&dir, g0.clone(), states_for(&g0), DurableOptions::default()),
+            Err(DurableError::StoreBusy { .. })
+        ));
+        drop(session);
+        let (reopened, _) = recover(&dir, DurableOptions::default()).unwrap();
+        drop(reopened);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_commit_failure_rolls_back_and_logs_nothing() {
+        let dir = temp_dir("precommit");
+        let g0 = ring(8);
+        let mut session =
+            DurableSession::create(&dir, g0.clone(), states_for(&g0), DurableOptions::default())
+                .unwrap();
+        let edges_before: Vec<_> = session.graph().edges().collect();
+        let mut b = UpdateBatch::new();
+        b.insert(0, 3, 1);
+        let mut seen_seq = 0;
+        let err = session
+            .apply_with(&b, |seq| {
+                seen_seq = seq;
+                Err(DurableError::Corrupt("intent fsync failed".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Corrupt(_)));
+        assert_eq!(seen_seq, FIRST_SEQ, "hook sees the would-be sequence");
+        assert_eq!(session.graph().edges().collect::<Vec<_>>(), edges_before);
+        assert_eq!(session.last_seq(), 0, "nothing was logged");
+        // The session survives the refused commit.
+        session.apply(&b).unwrap();
+        assert_eq!(session.last_seq(), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,165 @@
+//! Single-opener store lock.
+//!
+//! A durable directory has exactly one writer protocol: one process (one
+//! [`DurableSession`](crate::DurableSession)) owns the WAL append position
+//! and the checkpoint/manifest rotation. Two processes appending to the
+//! same `wal.log` interleave records and corrupt the sequence chain; two
+//! writers rotating checkpoints race the manifest rename. Before this
+//! module that contract was only documented; a long-running `incgraph
+//! serve` plus a concurrent `incgraph recover` would silently violate it.
+//!
+//! The lock is a `LOCK` file created with `O_EXCL` inside the store
+//! directory, holding the owner's numeric PID. Acquisition fails with the
+//! typed [`DurableError::StoreBusy`](crate::DurableError::StoreBusy) when
+//! a *live* owner holds it. A stale lock — the owner PID no longer exists,
+//! the normal aftermath of `kill -9` or an injected crash — is broken and
+//! re-acquired automatically, so crash recovery never needs a manual
+//! `rm LOCK`.
+//!
+//! Liveness is probed via `/proc/<pid>` where that filesystem exists
+//! (Linux, which is where CI and the service run). On platforms without
+//! `/proc`, an existing lock is conservatively treated as live: breaking
+//! another process's lock is the one failure mode this module exists to
+//! prevent, so the fallback errs toward `StoreBusy`.
+
+use std::fs::OpenOptions;
+use std::io::{ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::DurableError;
+
+/// File name of the lock inside a durable directory.
+pub const LOCK_NAME: &str = "LOCK";
+
+/// An acquired store lock. Releasing is automatic: dropping the guard
+/// removes the lock file. A process killed before the drop leaves a
+/// stale file that the next acquirer breaks via the PID liveness probe.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+/// Whether a process with this PID is currently alive, as far as this
+/// platform lets us tell: `Some(true)`/`Some(false)` with `/proc`,
+/// `None` (unknowable) without it.
+fn pid_alive(pid: u32) -> Option<bool> {
+    if !Path::new("/proc").is_dir() {
+        return None;
+    }
+    Some(Path::new(&format!("/proc/{pid}")).exists())
+}
+
+impl StoreLock {
+    /// Acquires the lock for `dir`, breaking a stale one if its owner is
+    /// provably dead. Returns [`DurableError::StoreBusy`] when a live
+    /// owner (possibly this very process, via another session) holds it.
+    pub fn acquire(dir: &Path) -> Result<StoreLock, DurableError> {
+        let path = dir.join(LOCK_NAME);
+        // One break attempt is enough: if the file reappears after we
+        // removed a stale one, a concurrent acquirer won the race and is
+        // a live owner by definition.
+        for attempt in 0..2 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let pid = std::process::id();
+                    f.write_all(format!("{pid}\n").as_bytes())?;
+                    f.sync_all()?;
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    let owner = read_owner(&path);
+                    let stale = matches!(owner.map(pid_alive), Some(Some(false)));
+                    if stale && attempt == 0 {
+                        // Breaking a dead owner's lock; ignore a racing
+                        // removal by another acquirer.
+                        match std::fs::remove_file(&path) {
+                            Ok(()) => continue,
+                            Err(e) if e.kind() == ErrorKind::NotFound => continue,
+                            Err(e) => return Err(DurableError::Io(e)),
+                        }
+                    }
+                    return Err(DurableError::StoreBusy {
+                        dir: dir.display().to_string(),
+                        pid: owner.unwrap_or(0),
+                    });
+                }
+                Err(e) => return Err(DurableError::Io(e)),
+            }
+        }
+        unreachable!("second O_EXCL attempt either succeeds or returns");
+    }
+
+    /// The lock file's path (for diagnostics and tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn read_owner(path: &Path) -> Option<u32> {
+    let mut s = String::new();
+    std::fs::File::open(path)
+        .ok()?
+        .read_to_string(&mut s)
+        .ok()?;
+    s.trim().parse().ok()
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        // Best effort: a failed removal leaves a stale lock that the
+        // next acquirer's liveness probe breaks.
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("incgraph-lock-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn second_acquire_is_busy_and_drop_releases() {
+        let dir = temp_dir("busy");
+        let lock = StoreLock::acquire(&dir).unwrap();
+        match StoreLock::acquire(&dir) {
+            Err(DurableError::StoreBusy { pid, .. }) => {
+                assert_eq!(pid, std::process::id(), "owner pid is recorded")
+            }
+            other => panic!("expected StoreBusy, got {other:?}"),
+        }
+        drop(lock);
+        let relock = StoreLock::acquire(&dir).expect("released lock re-acquires");
+        drop(relock);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_of_a_dead_pid_is_broken() {
+        if Path::new("/proc").is_dir() {
+            let dir = temp_dir("stale");
+            // PIDs are sequential from low numbers; u32::MAX - 7 is not a
+            // live process on any sane system.
+            std::fs::write(dir.join(LOCK_NAME), format!("{}\n", u32::MAX - 7)).unwrap();
+            let lock = StoreLock::acquire(&dir).expect("stale lock must be broken");
+            drop(lock);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn unparsable_lock_is_treated_as_live() {
+        let dir = temp_dir("garbled");
+        std::fs::write(dir.join(LOCK_NAME), "not a pid").unwrap();
+        assert!(matches!(
+            StoreLock::acquire(&dir),
+            Err(DurableError::StoreBusy { pid: 0, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

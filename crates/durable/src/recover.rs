@@ -64,7 +64,13 @@ pub fn recover(
 ) -> Result<(DurableSession, RecoveryReport), DurableError> {
     let mut report = RecoveryReport::default();
 
-    // The log first: its valid prefix bounds which checkpoints are
+    // The lock first: recovery mutates the store (tail truncation,
+    // subsequent appends), so it needs the same exclusivity as a live
+    // session. A recover racing a running server fails fast with
+    // `StoreBusy` instead of corrupting the WAL under it.
+    let lock = crate::StoreLock::acquire(dir)?;
+
+    // The log next: its valid prefix bounds which checkpoints are
     // trustworthy (a checkpoint claiming to cover more history than the
     // log holds cannot be reconciled with full-replay semantics).
     let opened = Wal::open(&dir.join(WAL_NAME))?;
@@ -161,6 +167,7 @@ pub fn recover(
             options,
             next_seq,
             crash: None,
+            lock,
         },
         report,
     ))

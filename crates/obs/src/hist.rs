@@ -114,6 +114,36 @@ impl Histogram {
         }
     }
 
+    /// Approximate `q`-quantile (`q` in `[0, 1]`), linearly interpolated
+    /// inside the bucket where the cumulative count crosses `q · count`
+    /// and clamped to the exact recorded min/max. With log₂ buckets the
+    /// relative error is at most 2× inside one bucket — plenty for the
+    /// p50/p99 latency lines the service load harness reports. Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * (self.count as f64 - 1.0);
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = below + c;
+            if rank < upto as f64 {
+                let (lo, hi) = Self::bucket_bounds(i);
+                // Position of the rank inside this bucket, in [0, 1).
+                let frac = (rank - below as f64) / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).clamp(self.min(), self.max);
+            }
+            below = upto;
+        }
+        self.max
+    }
+
     /// Non-empty `(bucket_index, count)` pairs in index order — the
     /// sparse form used by the JSON-lines exporter.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
@@ -205,5 +235,23 @@ mod tests {
             &merged.nonzero_buckets(),
         );
         assert_eq!(rebuilt, merged);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Exact at the extremes, within one log₂ bucket in between.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((256..=1023).contains(&p50), "p50={p50} off by >1 bucket");
+        let p99 = h.quantile(0.99);
+        assert!((512..=1000).contains(&p99), "p99={p99} off by >1 bucket");
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.25) <= p50 && p50 <= h.quantile(0.9));
     }
 }

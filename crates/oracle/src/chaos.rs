@@ -1,0 +1,695 @@
+//! Network chaos harness for the incremental graph service.
+//!
+//! Drives a real [`Server`] through a byte-level fault-injecting TCP
+//! proxy while killing and restarting the server process-style (abrupt
+//! [`ServerHandle::kill`] plus armed [`CrashPoint`]s firing mid-commit),
+//! then audits the survivors' claims against the WAL itself:
+//!
+//! 1. **No accepted-then-lost**: every batch a client holds an `ACK` for
+//!    is present in the recovered WAL.
+//! 2. **No double-apply**: no batch appears in the WAL twice, no matter
+//!    how many times disconnects forced the client to retry it.
+//! 3. **Recovery equals genesis replay**: the essence
+//!    ([`IncrementalState::save_state`]) of every one of the seven query
+//!    classes after real recovery is byte-identical to a fresh state fed
+//!    the scanned WAL from an empty graph — checkpoints, incremental
+//!    replay, and fallback recomputes may take any path, but they must
+//!    all land on the same fixpoint.
+//!
+//! Batches are crafted so the audit is decidable offline: client `i`'s
+//! batch `k` inserts exactly one edge unique to `(i, k)`, so a WAL scan
+//! recovers the full application history without cooperation from the
+//! server.
+//!
+//! [`IncrementalState::save_state`]: incgraph_algos::IncrementalState::save_state
+
+use incgraph_durable::wal::Wal;
+use incgraph_durable::{CrashPoint, DurableError, DurableOptions, WAL_NAME};
+use incgraph_graph::{DynamicGraph, NodeId, Update, UpdateBatch};
+use incgraph_service::client::{Client, ClientError};
+use incgraph_service::server::{Server, ServerConfig, ServerHandle};
+use incgraph_service::store::{standing_states, Store, StoreLimits, DURABLE_PATTERN_SEED};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Chaos-run parameters.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed for every random decision (faults, kill timing).
+    pub seed: u64,
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Batches each client must get acked.
+    pub batches_per_client: usize,
+    /// Abrupt server kill/restart cycles injected during the run.
+    pub kills: usize,
+    /// Whether the proxy cuts connections at random byte offsets (on top
+    /// of the kills, which happen either way).
+    pub proxy_faults: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A05,
+            clients: 5,
+            batches_per_client: 10,
+            kills: 3,
+            proxy_faults: true,
+        }
+    }
+}
+
+/// What the run survived, for reporting.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Batches acked across all clients (equals `clients × batches`).
+    pub acked: usize,
+    /// Duplicate acks observed (retries of already-committed batches).
+    pub dup_acks: usize,
+    /// Connections the clients had to rebuild.
+    pub reconnects: usize,
+    /// Abrupt server deaths (kills plus fired crash points).
+    pub server_deaths: usize,
+    /// Committed batches found in the WAL by the audit.
+    pub wal_batches: usize,
+    /// Unacked batches present in the WAL (committed, ack lost in
+    /// flight): legal, and evidence the dropped-ack path was exercised.
+    pub committed_unacked: usize,
+    /// Query classes whose essences were verified against genesis replay.
+    pub classes_verified: usize,
+}
+
+/// An audit violation — any of these is a real robustness bug.
+#[derive(Clone, Debug)]
+pub enum ChaosFailure {
+    /// A client holds an ack for a batch the WAL does not contain.
+    AckedButLost {
+        /// Client index.
+        client: usize,
+        /// Client-side batch sequence.
+        batch: u64,
+    },
+    /// A batch appears in the WAL more than once.
+    DoubleApply {
+        /// Client index.
+        client: usize,
+        /// Client-side batch sequence.
+        batch: u64,
+        /// Occurrences found.
+        times: usize,
+    },
+    /// A WAL batch does not decode to any client's schedule.
+    ForeignBatch {
+        /// WAL sequence of the offending record.
+        wal_seq: u64,
+    },
+    /// A recovered class essence differs from genesis replay.
+    EssenceMismatch {
+        /// Class name.
+        class: &'static str,
+    },
+    /// Recovered graph shape differs from genesis replay.
+    GraphMismatch,
+    /// The harness itself could not finish (environment problem).
+    Harness(String),
+}
+
+impl std::fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosFailure::AckedButLost { client, batch } => {
+                write!(
+                    f,
+                    "client {client} batch {batch}: acked but absent from WAL"
+                )
+            }
+            ChaosFailure::DoubleApply {
+                client,
+                batch,
+                times,
+            } => write!(f, "client {client} batch {batch}: applied {times} times"),
+            ChaosFailure::ForeignBatch { wal_seq } => {
+                write!(f, "WAL record {wal_seq} matches no client batch")
+            }
+            ChaosFailure::EssenceMismatch { class } => {
+                write!(f, "{class}: recovered essence differs from genesis replay")
+            }
+            ChaosFailure::GraphMismatch => write!(f, "recovered graph differs from replay"),
+            ChaosFailure::Harness(s) => write!(f, "harness error: {s}"),
+        }
+    }
+}
+
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        Xorshift(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+const GRAPH: &str = "g0";
+
+/// The unique edge encoding batch `k` (1-based) of client `i`: endpoints
+/// are disjoint per client and per batch, so a WAL scan decodes the full
+/// history. Weight is a function of the edge (benign on re-insert).
+fn batch_edge(clients: usize, i: usize, k: u64) -> (NodeId, NodeId, u32) {
+    let u = i as NodeId;
+    let v = (clients as u64 + k) as NodeId;
+    (u, v, 1 + ((u + v) % 7))
+}
+
+fn graph_nodes(cfg: &ChaosConfig) -> usize {
+    cfg.clients + cfg.batches_per_client + 2
+}
+
+// ---------------------------------------------------------------------
+// The fault-injecting proxy
+// ---------------------------------------------------------------------
+
+struct Proxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Proxy {
+    /// Starts the proxy. Each accepted connection dials the *current*
+    /// target (servers change ports across restarts) and is assigned a
+    /// seeded fault: faithful, or cut at a byte offset in one or both
+    /// directions — partial writes, dropped acks, and mid-batch
+    /// disconnects all fall out of byte-offset cuts.
+    fn start(seed: u64, target: Arc<Mutex<SocketAddr>>, faults: bool) -> io::Result<Proxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("chaos-proxy".into())
+            .spawn(move || {
+                let mut conn_idx = 0u64;
+                loop {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((client_side, _)) => {
+                            conn_idx += 1;
+                            let t = *target.lock().unwrap_or_else(|e| e.into_inner());
+                            let server_side =
+                                match TcpStream::connect_timeout(&t, Duration::from_millis(250)) {
+                                    Ok(s) => s,
+                                    Err(_) => continue, // server mid-restart
+                                };
+                            let mut rng =
+                                Xorshift::new(seed ^ conn_idx.wrapping_mul(0x9E3779B97F4A7C15));
+                            // 0 = faithful; otherwise cut a direction
+                            // (or both) after 5..=404 bytes.
+                            let style = if faults { rng.below(4) } else { 0 };
+                            let cut = |rng: &mut Xorshift| Some(5 + rng.below(400) as usize);
+                            let (c2s_cut, s2c_cut) = match style {
+                                1 => (cut(&mut rng), None),
+                                2 => (None, cut(&mut rng)),
+                                3 => (cut(&mut rng), cut(&mut rng)),
+                                _ => (None, None),
+                            };
+                            pump_pair(client_side, server_side, c2s_cut, s2c_cut, &stop2);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })?;
+        Ok(Proxy {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Proxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn pump_pair(
+    client_side: TcpStream,
+    server_side: TcpStream,
+    c2s_cut: Option<usize>,
+    s2c_cut: Option<usize>,
+    stop: &Arc<AtomicBool>,
+) {
+    let c2 = client_side.try_clone();
+    let s2 = server_side.try_clone();
+    let (Ok(c2), Ok(s2)) = (c2, s2) else { return };
+    let stop_a = Arc::clone(stop);
+    let stop_b = Arc::clone(stop);
+    // Detached pumps: they exit on EOF, cut, error, or harness stop.
+    let _ = thread::Builder::new()
+        .name("chaos-c2s".into())
+        .stack_size(64 * 1024)
+        .spawn(move || pump(client_side, server_side, c2s_cut, stop_a));
+    let _ = thread::Builder::new()
+        .name("chaos-s2c".into())
+        .stack_size(64 * 1024)
+        .spawn(move || pump(s2, c2, s2c_cut, stop_b));
+}
+
+/// Copies bytes `from` → `to` until EOF, error, or the cut budget runs
+/// out; a cut resets both directions so the client sees a raw drop.
+fn pump(mut from: TcpStream, mut to: TcpStream, mut budget: Option<usize>, stop: Arc<AtomicBool>) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut buf = [0u8; 1024];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                let allowed = match budget {
+                    Some(b) => n.min(b),
+                    None => n,
+                };
+                if to.write_all(&buf[..allowed]).is_err() {
+                    break;
+                }
+                if let Some(b) = &mut budget {
+                    *b -= allowed;
+                    if allowed < n || *b == 0 {
+                        break; // the cut fires
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+// ---------------------------------------------------------------------
+// The chaos run
+// ---------------------------------------------------------------------
+
+fn durable_options() -> DurableOptions {
+    DurableOptions {
+        // Frequent automatic checkpoints put MidCheckpoint/PostRename
+        // crash points in the line of fire during the run.
+        checkpoint_every: Some(3),
+        ..DurableOptions::default()
+    }
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        read_poll: Duration::from_millis(10),
+        idle_timeout: Duration::from_secs(20),
+        ..ServerConfig::default()
+    }
+}
+
+fn open_server(dir: &Path, nodes: usize) -> Result<ServerHandle, ChaosFailure> {
+    // The previous incarnation's lock releases when its store drops;
+    // retry briefly to absorb scheduling slack.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match Store::open_durable(
+            dir,
+            GRAPH,
+            nodes,
+            false,
+            durable_options(),
+            StoreLimits::default(),
+        ) {
+            Ok(store) => {
+                return Server::start(store, server_config())
+                    .map_err(|e| ChaosFailure::Harness(format!("server start: {e}")));
+            }
+            Err(DurableError::StoreBusy { .. }) if Instant::now() < deadline => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(ChaosFailure::Harness(format!("open store: {e}"))),
+        }
+    }
+}
+
+/// Runs the full chaos schedule against `dir` (which must be an empty or
+/// fresh directory) and audits the outcome. Returns the report, or the
+/// first violation found.
+pub fn run_chaos(dir: &Path, cfg: &ChaosConfig) -> Result<ChaosReport, ChaosFailure> {
+    std::fs::create_dir_all(dir).map_err(|e| ChaosFailure::Harness(format!("create dir: {e}")))?;
+    let nodes = graph_nodes(cfg);
+    let server = Arc::new(Mutex::new(Some(open_server(dir, nodes)?)));
+    let target = {
+        let guard = server.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::new(Mutex::new(guard.as_ref().expect("just started").addr()))
+    };
+    let mut proxy = Proxy::start(cfg.seed, Arc::clone(&target), cfg.proxy_faults)
+        .map_err(|e| ChaosFailure::Harness(format!("proxy: {e}")))?;
+    let proxy_addr = proxy.addr;
+
+    let acked: Arc<Mutex<HashSet<(usize, u64)>>> = Arc::new(Mutex::new(HashSet::new()));
+    let dup_acks = Arc::new(AtomicUsize::new(0));
+    let reconnects = Arc::new(AtomicUsize::new(0));
+    let clients_done = Arc::new(AtomicUsize::new(0));
+
+    // Client threads: push every batch until acked, reconnecting through
+    // whatever the network does to them.
+    let mut workers = Vec::new();
+    for i in 0..cfg.clients {
+        let cfg = cfg.clone();
+        let acked = Arc::clone(&acked);
+        let dup_acks = Arc::clone(&dup_acks);
+        let reconnects = Arc::clone(&reconnects);
+        let clients_done = Arc::clone(&clients_done);
+        workers.push(
+            thread::Builder::new()
+                .name(format!("chaos-cl{i}"))
+                .spawn(move || {
+                    let r = chaos_client(i, proxy_addr, &cfg, &acked, &dup_acks, &reconnects);
+                    clients_done.fetch_add(1, Ordering::Relaxed);
+                    r
+                })
+                .map_err(|e| ChaosFailure::Harness(format!("spawn client: {e}")))?,
+        );
+    }
+
+    // The executioner: kill/restart cycles while clients are live. Even
+    // cycles arm a crash point (death mid-commit); odd cycles kill
+    // outright. Every death is abrupt: no checkpoint, no goodbyes.
+    let mut rng = Xorshift::new(cfg.seed ^ 0xDEAD);
+    let mut deaths = 0usize;
+    for cycle in 0..cfg.kills {
+        if clients_done.load(Ordering::Relaxed) == cfg.clients {
+            break;
+        }
+        thread::sleep(Duration::from_millis(40 + rng.below(120)));
+        let mut guard = server.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(mut handle) = guard.take() {
+            if cycle % 2 == 0 {
+                let point = CrashPoint::ALL[rng.below(CrashPoint::ALL.len() as u64) as usize];
+                handle.arm_crash(GRAPH, point);
+                // Give a commit a moment to walk into it; kill anyway if
+                // no client happened to write.
+                let deadline = Instant::now() + Duration::from_millis(400);
+                while !handle.is_stopped() && Instant::now() < deadline {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                if !handle.is_stopped() {
+                    handle.kill();
+                } else {
+                    handle.wait();
+                }
+            } else {
+                handle.kill();
+            }
+            deaths += 1;
+            let next = open_server(dir, nodes)?;
+            *target.lock().unwrap_or_else(|e| e.into_inner()) = next.addr();
+            *guard = Some(next);
+        }
+    }
+
+    let mut failure: Option<ChaosFailure> = None;
+    for w in workers {
+        match w.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(f)) => failure = failure.or(Some(f)),
+            Err(_) => failure = failure.or(Some(ChaosFailure::Harness("client panicked".into()))),
+        }
+    }
+    proxy.stop();
+    // Graceful final shutdown: drain + checkpoint, then release the dir.
+    if let Some(mut handle) = server.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        handle.shutdown();
+    }
+    if let Some(f) = failure {
+        return Err(f);
+    }
+
+    let acked = Arc::try_unwrap(acked)
+        .map_err(|_| ChaosFailure::Harness("acked set still shared".into()))?
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    let mut report = ChaosReport {
+        acked: acked.len(),
+        dup_acks: dup_acks.load(Ordering::Relaxed),
+        reconnects: reconnects.load(Ordering::Relaxed),
+        server_deaths: deaths,
+        ..ChaosReport::default()
+    };
+    audit(dir, cfg, &acked, &mut report)?;
+    Ok(report)
+}
+
+fn chaos_client(
+    i: usize,
+    proxy_addr: SocketAddr,
+    cfg: &ChaosConfig,
+    acked: &Mutex<HashSet<(usize, u64)>>,
+    dup_acks: &AtomicUsize,
+    reconnects: &AtomicUsize,
+) -> Result<(), ChaosFailure> {
+    let token = format!("chaos-{i}");
+    let mut client: Option<Client> = None;
+    for k in 1..=cfg.batches_per_client as u64 {
+        let (u, v, w) = batch_edge(cfg.clients, i, k);
+        let mut batch = UpdateBatch::new();
+        batch.insert(u, v, w);
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            if attempts > 500 {
+                return Err(ChaosFailure::Harness(format!(
+                    "client {i} gave up on batch {k}"
+                )));
+            }
+            let c = match client.as_mut() {
+                Some(c) => c,
+                None => {
+                    reconnects.fetch_add(1, Ordering::Relaxed);
+                    match Client::connect_timeout(proxy_addr, &token, Duration::from_secs(2)) {
+                        Ok(c) => client.insert(c),
+                        Err(_) => {
+                            thread::sleep(Duration::from_millis(20));
+                            continue;
+                        }
+                    }
+                }
+            };
+            match c.update(GRAPH, k, &batch) {
+                Ok(ack) => {
+                    if ack.dup {
+                        dup_acks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    acked
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert((i, k));
+                    break;
+                }
+                Err(ClientError::Busy { retry_after_ms }) => {
+                    thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 100)));
+                }
+                Err(ClientError::Server { code, detail }) => {
+                    // `readonly` clears on restart; anything else is a
+                    // protocol-level bug worth failing loudly on.
+                    if code == "readonly" {
+                        thread::sleep(Duration::from_millis(50));
+                    } else {
+                        return Err(ChaosFailure::Harness(format!(
+                            "client {i} batch {k}: unexpected ERR {code} {detail}"
+                        )));
+                    }
+                }
+                Err(_) => {
+                    // Disconnect, goodbye, timeout, torn reply — rebuild
+                    // the connection and retry the same sequence number.
+                    client = None;
+                    thread::sleep(Duration::from_millis(15));
+                }
+            }
+        }
+    }
+    if let Some(c) = client.take() {
+        let _ = c.bye();
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The audit
+// ---------------------------------------------------------------------
+
+fn audit(
+    dir: &Path,
+    cfg: &ChaosConfig,
+    acked: &HashSet<(usize, u64)>,
+    report: &mut ChaosReport,
+) -> Result<(), ChaosFailure> {
+    // 1 + 2: decode the WAL and count each client batch's occurrences.
+    let opened = Wal::open(&dir.join(WAL_NAME))
+        .map_err(|e| ChaosFailure::Harness(format!("wal open: {e}")))?;
+    let records = opened.records;
+    report.wal_batches = records.len();
+
+    let mut index: HashMap<(NodeId, NodeId), (usize, u64)> = HashMap::new();
+    for i in 0..cfg.clients {
+        for k in 1..=cfg.batches_per_client as u64 {
+            let (u, v, _) = batch_edge(cfg.clients, i, k);
+            index.insert((u, v), (i, k));
+        }
+    }
+    let mut seen: HashMap<(usize, u64), usize> = HashMap::new();
+    for rec in &records {
+        let ups = rec.batch.updates();
+        let key = match ups {
+            [Update::Insert { src, dst, .. }] => index.get(&(*src, *dst)),
+            _ => None,
+        };
+        match key {
+            Some(&ik) => *seen.entry(ik).or_insert(0) += 1,
+            None => return Err(ChaosFailure::ForeignBatch { wal_seq: rec.seq }),
+        }
+    }
+    for (&(i, k), &times) in &seen {
+        if times > 1 {
+            return Err(ChaosFailure::DoubleApply {
+                client: i,
+                batch: k,
+                times,
+            });
+        }
+        if !acked.contains(&(i, k)) {
+            // Committed but the ack never made it back — legal (the
+            // client retried into a dup ack, or gave up is impossible
+            // since all clients finished), and proof the dropped-ack
+            // path ran.
+            report.committed_unacked += 1;
+        }
+    }
+    for &(i, k) in acked {
+        if !seen.contains_key(&(i, k)) {
+            return Err(ChaosFailure::AckedButLost {
+                client: i,
+                batch: k,
+            });
+        }
+    }
+
+    // 3: real recovery vs genesis replay, essence by essence.
+    let (session, _report) = incgraph_durable::recover(dir, durable_options())
+        .map_err(|e| ChaosFailure::Harness(format!("recover: {e}")))?;
+    let mut replay_graph = DynamicGraph::new(false, graph_nodes(cfg));
+    let mut replay_states = standing_states(&replay_graph, DURABLE_PATTERN_SEED);
+    for rec in &records {
+        let applied = rec
+            .batch
+            .apply_validated(&mut replay_graph)
+            .map_err(|e| ChaosFailure::Harness(format!("replay: {e:?}")))?;
+        for s in replay_states.iter_mut() {
+            s.update(&replay_graph, &applied);
+        }
+    }
+    let g = session.graph();
+    if g.node_count() != replay_graph.node_count() || g.edge_count() != replay_graph.edge_count() {
+        return Err(ChaosFailure::GraphMismatch);
+    }
+    let recovered = session.states();
+    if recovered.len() != replay_states.len() {
+        return Err(ChaosFailure::Harness("state count mismatch".into()));
+    }
+    for (a, b) in recovered.iter().zip(replay_states.iter()) {
+        if a.save_state() != b.save_state() {
+            return Err(ChaosFailure::EssenceMismatch { class: a.name() });
+        }
+        report.classes_verified += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("incgraph-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn quiet_network_run_is_clean() {
+        let dir = temp_dir("quiet");
+        let report = run_chaos(
+            &dir,
+            &ChaosConfig {
+                seed: 11,
+                clients: 3,
+                batches_per_client: 4,
+                kills: 0,
+                proxy_faults: false,
+            },
+        )
+        .expect("quiet run must be clean");
+        assert_eq!(report.acked, 12);
+        assert_eq!(report.wal_batches, 12);
+        assert_eq!(report.server_deaths, 0);
+        assert_eq!(report.classes_verified, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaotic_run_survives_and_audits_clean() {
+        let dir = temp_dir("full");
+        let report = run_chaos(
+            &dir,
+            &ChaosConfig {
+                seed: 0xFEED,
+                clients: 4,
+                batches_per_client: 8,
+                kills: 3,
+                proxy_faults: true,
+            },
+        )
+        .unwrap_or_else(|f| panic!("chaos audit failed: {f}"));
+        assert_eq!(report.acked, 32, "{report:?}");
+        assert!(report.server_deaths >= 1, "{report:?}");
+        assert_eq!(report.classes_verified, 7, "{report:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -22,13 +22,19 @@
 //!   failure fingerprint, producing a certified reproducer;
 //! * [`fuzz`] is the campaign loop gluing these together and writing
 //!   minimized cases — annotated with provenance and the engine-level
-//!   [`CaseTrace`](incgraph_core::CaseTrace) — into a replayable corpus.
+//!   [`CaseTrace`](incgraph_core::CaseTrace) — into a replayable corpus;
+//! * [`chaos`] lifts the adversary to the network: it drives the real
+//!   TCP service (crates/service) through a byte-cutting proxy and
+//!   abrupt server kill/restart cycles, then audits the WAL for
+//!   exactly-once application of every acknowledged batch and checks
+//!   recovered per-class essences byte-for-byte against genesis replay.
 //!
 //! The `incgraph fuzz` / `incgraph replay` subcommands (crates/bench) are
 //! thin CLI shells over this crate; the corpus-replay integration test
 //! re-runs every checked-in case on every build.
 
 pub mod case;
+pub mod chaos;
 pub mod crash;
 pub mod fuzz;
 pub mod gencase;
@@ -36,6 +42,7 @@ pub mod runner;
 pub mod shrink;
 
 pub use case::{Case, CaseParseError};
+pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
 pub use crash::{run_crash_case, CrashFailure, CrashOutcome};
 pub use fuzz::{fuzz, CrashRecord, FailureRecord, FuzzConfig, FuzzReport};
 pub use gencase::{gen_case, GenConfig};

@@ -1,0 +1,246 @@
+//! Durable exactly-once intent log.
+//!
+//! The service acks an `UPDATE` only after the batch's WAL record is
+//! fsynced. A client whose ack was lost (cut connection, dropped bytes)
+//! retries the same `(token, client_seq)` — possibly against a restarted
+//! server — and the retry must be applied **exactly once**. The WAL
+//! itself cannot answer "was this client batch already committed?"
+//! because its records carry no client identity; this sidecar log does.
+//!
+//! One record per committed batch: `(wal_seq, client_seq, token)`,
+//! CRC-framed like the WAL. The commit protocol (enforced through
+//! [`DurableSession::apply_with`](incgraph_durable::DurableSession::apply_with))
+//! is *intent first*:
+//!
+//! 1. append + fsync the intent, naming the WAL sequence the batch is
+//!    about to take;
+//! 2. append + fsync the WAL record (the commit point);
+//! 3. ack the client.
+//!
+//! A crash between 1 and 2 leaves an intent whose WAL sequence was never
+//! committed; [`DedupLog::open`] discards any intent with
+//! `wal_seq > last committed WAL sequence`, so the client's retry
+//! re-applies cleanly. A crash between 2 and 3 leaves both records, so
+//! the retry is recognized and re-acked without re-applying. A WAL
+//! append that fails with a *real* I/O error flips the graph into
+//! degraded read-only mode (no further commits for the life of the
+//! process), which keeps the orphaned intent's WAL sequence from ever
+//! being claimed by a different batch.
+
+use incgraph_durable::crc::crc32;
+use incgraph_durable::DurableError;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the intent log inside a graph's durable directory.
+pub const DEDUP_NAME: &str = "dedup.log";
+
+/// File magic.
+pub const DEDUP_MAGIC: &[u8; 8] = b"IDUP0001";
+
+/// Last acknowledged batch of one client token on one graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct AckRecord {
+    /// Client-supplied sequence number (strictly increasing from 1).
+    pub client_seq: u64,
+    /// WAL sequence the batch committed under.
+    pub wal_seq: u64,
+}
+
+/// An open, append-position intent log.
+pub struct DedupLog {
+    file: File,
+    path: PathBuf,
+}
+
+fn encode_entry(token: &str, client_seq: u64, wal_seq: u64) -> Vec<u8> {
+    let t = token.as_bytes();
+    let mut payload = Vec::with_capacity(18 + t.len());
+    payload.extend_from_slice(&wal_seq.to_le_bytes());
+    payload.extend_from_slice(&client_seq.to_le_bytes());
+    payload.extend_from_slice(&(t.len() as u16).to_le_bytes());
+    payload.extend_from_slice(t);
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+impl DedupLog {
+    /// Opens (or creates) the intent log in `dir`, folding its valid
+    /// prefix into a token → last-ack index. Intents beyond
+    /// `committed_wal_seq` were never committed and are discarded; a torn
+    /// tail is truncated so subsequent appends extend a clean log.
+    pub fn open(
+        dir: &Path,
+        committed_wal_seq: u64,
+    ) -> Result<(DedupLog, HashMap<String, AckRecord>), DurableError> {
+        let path = dir.join(DEDUP_NAME);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let fresh = bytes.is_empty();
+        if fresh {
+            file.write_all(DEDUP_MAGIC)?;
+            file.sync_data()?;
+        } else if bytes.len() < 8 || &bytes[..8] != DEDUP_MAGIC {
+            return Err(DurableError::Corrupt(format!(
+                "{}: bad dedup log magic",
+                path.display()
+            )));
+        }
+        let body = if fresh { &[][..] } else { &bytes[8..] };
+        let mut index: HashMap<String, AckRecord> = HashMap::new();
+        let mut pos = 0usize;
+        while body.len() - pos >= 8 {
+            let len = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(body[pos + 4..pos + 8].try_into().unwrap());
+            let Some(end) = pos.checked_add(8 + len).filter(|&e| e <= body.len()) else {
+                break; // torn tail
+            };
+            let payload = &body[pos + 8..end];
+            if crc32(payload) != crc || len < 18 {
+                break;
+            }
+            let wal_seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
+            let client_seq = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+            let tlen = u16::from_le_bytes(payload[16..18].try_into().unwrap()) as usize;
+            if 18 + tlen != len {
+                break;
+            }
+            let Ok(token) = std::str::from_utf8(&payload[18..]) else {
+                break;
+            };
+            if wal_seq <= committed_wal_seq {
+                let rec = index.entry(token.to_string()).or_default();
+                if client_seq >= rec.client_seq {
+                    *rec = AckRecord {
+                        client_seq,
+                        wal_seq,
+                    };
+                }
+            }
+            pos = end;
+        }
+        // Truncate the torn/uncommitted tail so the next append starts at
+        // a record boundary.
+        let valid_end = 8 + pos as u64;
+        file.set_len(valid_end)?;
+        file.sync_data()?;
+        file.seek(SeekFrom::Start(valid_end))?;
+        Ok((DedupLog { file, path }, index))
+    }
+
+    /// Appends and fsyncs one intent. Called from the pre-commit hook:
+    /// after this returns, the intent is durable and the WAL append may
+    /// proceed.
+    pub fn append(
+        &mut self,
+        token: &str,
+        client_seq: u64,
+        wal_seq: u64,
+    ) -> Result<(), DurableError> {
+        let _span = incgraph_obs::span("service.intent");
+        let entry = encode_entry(token, client_seq, wal_seq);
+        self.file.write_all(&entry)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The log's path (diagnostics and tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("incgraph-dedup-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_reload_folds_to_latest_ack() {
+        let dir = temp_dir("fold");
+        {
+            let (mut log, index) = DedupLog::open(&dir, 0).unwrap();
+            assert!(index.is_empty());
+            log.append("alice", 1, 10).unwrap();
+            log.append("bob", 1, 11).unwrap();
+            log.append("alice", 2, 12).unwrap();
+        }
+        let (_, index) = DedupLog::open(&dir, 12).unwrap();
+        assert_eq!(
+            index["alice"],
+            AckRecord {
+                client_seq: 2,
+                wal_seq: 12
+            }
+        );
+        assert_eq!(
+            index["bob"],
+            AckRecord {
+                client_seq: 1,
+                wal_seq: 11
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_intents_are_discarded_on_open() {
+        let dir = temp_dir("uncommitted");
+        {
+            let (mut log, _) = DedupLog::open(&dir, 0).unwrap();
+            log.append("alice", 1, 10).unwrap();
+            // Intent for WAL seq 11 whose commit never happened.
+            log.append("alice", 2, 11).unwrap();
+        }
+        let (_, index) = DedupLog::open(&dir, 10).unwrap();
+        assert_eq!(
+            index["alice"],
+            AckRecord {
+                client_seq: 1,
+                wal_seq: 10
+            },
+            "the uncommitted intent must not count as acked"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_appendable() {
+        let dir = temp_dir("torn");
+        {
+            let (mut log, _) = DedupLog::open(&dir, 0).unwrap();
+            log.append("alice", 1, 10).unwrap();
+        }
+        // Tear the tail: append half a record's worth of garbage.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(DEDUP_NAME))
+                .unwrap();
+            f.write_all(&[0x55; 11]).unwrap();
+        }
+        let (mut log, index) = DedupLog::open(&dir, 10).unwrap();
+        assert_eq!(index["alice"].client_seq, 1);
+        log.append("alice", 2, 11).unwrap();
+        let (_, index) = DedupLog::open(&dir, 11).unwrap();
+        assert_eq!(index["alice"].client_seq, 2, "append after tear works");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

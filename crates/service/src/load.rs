@@ -1,0 +1,247 @@
+//! The `incgraph load` harness: many concurrent sessions, per-class
+//! latency percentiles.
+//!
+//! Each worker session owns a private named graph, registers one
+//! standing query (classes round-robin across the seven
+//! [`QueryClass`]es), and streams seeded random `ΔG` batches, timing
+//! each `UPDATE`→`ACK` round trip. Latencies are recorded through the
+//! observability registry under the class scope
+//! (`service.load.latency_us`), so the same [`Histogram`] machinery that
+//! powers profiling yields the p50/p99 per class here.
+//!
+//! `BUSY` sheds are retried with the server's hint and counted — under
+//! deliberate overload the report shows load shedding working instead of
+//! the harness failing.
+//!
+//! [`Histogram`]: incgraph_obs::Histogram
+
+use crate::client::{Client, ClientError};
+use incgraph_algos::QueryClass;
+use incgraph_graph::UpdateBatch;
+use incgraph_obs::Registry;
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent sessions to drive.
+    pub sessions: usize,
+    /// Batches each session sends.
+    pub batches_per_session: usize,
+    /// Unit updates per batch.
+    pub units_per_batch: usize,
+    /// Nodes in each session's private graph.
+    pub nodes: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            sessions: 64,
+            batches_per_session: 20,
+            units_per_batch: 8,
+            nodes: 64,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Latency summary for one query class.
+#[derive(Clone, Debug)]
+pub struct ClassPercentiles {
+    /// Class name (e.g. `sssp`).
+    pub class: &'static str,
+    /// Acked batches timed under this class.
+    pub count: u64,
+    /// Median `UPDATE`→`ACK` round trip, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile round trip, microseconds.
+    pub p99_us: u64,
+    /// Worst observed round trip, microseconds.
+    pub max_us: u64,
+}
+
+/// Outcome of one load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Sessions that completed their full schedule.
+    pub sessions_ok: usize,
+    /// Sessions that errored out.
+    pub sessions_failed: usize,
+    /// Total acknowledged batches.
+    pub batches_acked: u64,
+    /// Total `BUSY` sheds absorbed by retries.
+    pub busy_sheds: u64,
+    /// Total `DELTA` notifications received.
+    pub deltas_received: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-class latency percentiles.
+    pub classes: Vec<ClassPercentiles>,
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "load: {} ok / {} failed sessions, {} acked batches, {} busy sheds, \
+             {} deltas, {:.2}s",
+            self.sessions_ok,
+            self.sessions_failed,
+            self.batches_acked,
+            self.busy_sheds,
+            self.deltas_received,
+            self.elapsed.as_secs_f64()
+        )?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "  {:<6} n={:<7} p50={}us p99={}us max={}us",
+                c.class, c.count, c.p50_us, c.p99_us, c.max_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
+const LATENCY_METRIC: &str = "service.load.latency_us";
+
+struct Shared {
+    acked: AtomicU64,
+    busy: AtomicU64,
+    deltas: AtomicU64,
+}
+
+/// Runs the load harness against a live server and reports per-class
+/// percentiles. Installs its own observability registry for the run
+/// (restoring nothing afterwards — callers owning a recorder should
+/// snapshot it first).
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    let registry = Arc::new(Registry::new());
+    incgraph_obs::install(registry.clone());
+    let shared = Arc::new(Shared {
+        acked: AtomicU64::new(0),
+        busy: AtomicU64::new(0),
+        deltas: AtomicU64::new(0),
+    });
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.sessions);
+    for i in 0..cfg.sessions {
+        let cfg = cfg.clone();
+        let shared = Arc::clone(&shared);
+        let h = thread::Builder::new()
+            .name(format!("load-{i}"))
+            .stack_size(256 * 1024)
+            .spawn(move || worker(i, &cfg, &shared))
+            .expect("spawn load worker");
+        handles.push(h);
+    }
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(())) => ok += 1,
+            _ => failed += 1,
+        }
+    }
+    let elapsed = start.elapsed();
+    incgraph_obs::uninstall();
+    let snap = registry.snapshot();
+    let mut classes = Vec::new();
+    for class in QueryClass::ALL {
+        let key = (class.name().to_string(), LATENCY_METRIC.to_string());
+        if let Some(h) = snap.hists.get(&key) {
+            classes.push(ClassPercentiles {
+                class: class.name(),
+                count: h.count(),
+                p50_us: h.quantile(0.50),
+                p99_us: h.quantile(0.99),
+                max_us: h.max(),
+            });
+        }
+    }
+    LoadReport {
+        sessions_ok: ok,
+        sessions_failed: failed,
+        batches_acked: shared.acked.load(Ordering::Relaxed),
+        busy_sheds: shared.busy.load(Ordering::Relaxed),
+        deltas_received: shared.deltas.load(Ordering::Relaxed),
+        elapsed,
+        classes,
+    }
+}
+
+fn worker(i: usize, cfg: &LoadConfig, shared: &Shared) -> Result<(), ClientError> {
+    let class = QueryClass::ALL[i % QueryClass::ALL.len()];
+    let token = format!("load-{i}");
+    let mut client = Client::connect_retry(cfg.addr, &token, 50, Duration::from_millis(20))?;
+    let graph = format!("lg{i}");
+    // Undirected satisfies every class's shape requirement.
+    client.graph(&graph, cfg.nodes, false)?;
+    client.register("q0", &graph, class.name(), 0, Some(cfg.seed))?;
+    let mut rng = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for k in 1..=cfg.batches_per_session as u64 {
+        let mut batch = UpdateBatch::new();
+        for _ in 0..cfg.units_per_batch {
+            let u = (next() as usize % cfg.nodes) as u32;
+            let mut v = (next() as usize % cfg.nodes) as u32;
+            if v == u {
+                v = (v + 1) % cfg.nodes as u32;
+            }
+            if next() % 4 == 0 {
+                batch.delete(u, v);
+            } else {
+                // Weight is a function of the endpoints so re-inserting
+                // an existing edge is always the benign no-op case, never
+                // a conflicting-insert rejection.
+                batch.insert(u, v, 1 + (u + v) % 8);
+            }
+        }
+        let t0 = Instant::now();
+        let mut tries = 0usize;
+        loop {
+            match client.update(&graph, k, &batch) {
+                Ok(_) => break,
+                Err(ClientError::Busy { retry_after_ms }) => {
+                    shared.busy.fetch_add(1, Ordering::Relaxed);
+                    tries += 1;
+                    if tries > 200 {
+                        return Err(ClientError::Busy { retry_after_ms });
+                    }
+                    thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 200)));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        {
+            let _scope = incgraph_obs::class_scope(class.name());
+            incgraph_obs::observe(LATENCY_METRIC, us);
+        }
+        shared.acked.fetch_add(1, Ordering::Relaxed);
+        shared
+            .deltas
+            .fetch_add(client.take_deltas().len() as u64, Ordering::Relaxed);
+    }
+    shared
+        .deltas
+        .fetch_add(client.take_deltas().len() as u64, Ordering::Relaxed);
+    let _ = client.bye();
+    Ok(())
+}

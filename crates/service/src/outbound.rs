@@ -1,0 +1,339 @@
+//! Bounded per-session outbound queues with slow-consumer handling.
+//!
+//! Every session owns one [`Outbound`]: the session's reader thread
+//! pushes replies, the store's writer thread pushes `DELTA`
+//! notifications, and the session's sender thread drains to the socket.
+//! The queue is the server's backpressure boundary — a consumer that
+//! stops reading cannot pin server memory:
+//!
+//! - below `soft_cap` messages, everything queues verbatim;
+//! - between `soft_cap` and `hard_cap`, new `DELTA`s **coalesce** into
+//!   the queued delta for the same query (newest value per digest index
+//!   wins; an over-wide merge degrades to the `resync` form) — correct
+//!   because deltas are state differences, not events: the merged delta
+//!   carries the same final state;
+//! - a push that would exceed `hard_cap` declares the consumer dead: the
+//!   queue is dropped and replaced by `ERR slow-consumer` + `GOODBYE`,
+//!   after which the sender disconnects.
+
+use crate::protocol::{format_delta, ErrCode};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// One queued server→client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OutMsg {
+    /// A fully formatted wire line (no trailing newline).
+    Line(String),
+    /// A structured delta notification, kept structured so it can
+    /// coalesce under pressure.
+    Delta {
+        /// Standing query id.
+        qid: String,
+        /// WAL (or memory) sequence the notification reflects.
+        wal_seq: u64,
+        /// Changed digest entries, `None` = resync request.
+        changed: Option<BTreeMap<u32, u64>>,
+        /// Digest length, for the resync form.
+        resync_len: usize,
+    },
+    /// Final line; the sender writes it and closes the connection.
+    Goodbye(String),
+}
+
+impl OutMsg {
+    /// Renders the wire line (no newline).
+    pub fn render(&self) -> String {
+        match self {
+            OutMsg::Line(s) | OutMsg::Goodbye(s) => s.clone(),
+            OutMsg::Delta {
+                qid,
+                wal_seq,
+                changed,
+                resync_len,
+            } => match changed {
+                Some(map) => format_delta(qid, *wal_seq, map, None),
+                None => format_delta(qid, *wal_seq, &BTreeMap::new(), Some(*resync_len)),
+            },
+        }
+    }
+}
+
+struct Inner {
+    queue: VecDeque<OutMsg>,
+    /// No more pushes; the sender drains what is queued, then closes.
+    closing: bool,
+    /// The hard cap fired; used so the session reports one typed error.
+    slow_consumer: bool,
+}
+
+/// A bounded MPSC queue from server threads to one session's sender.
+pub struct Outbound {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    soft_cap: usize,
+    hard_cap: usize,
+    max_delta_entries: usize,
+}
+
+impl Outbound {
+    /// A queue with the given caps. `max_delta_entries` bounds a merged
+    /// delta before it degrades to `resync`.
+    pub fn new(soft_cap: usize, hard_cap: usize, max_delta_entries: usize) -> Self {
+        assert!(soft_cap <= hard_cap && hard_cap > 0);
+        Outbound {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closing: false,
+                slow_consumer: false,
+            }),
+            cv: Condvar::new(),
+            soft_cap,
+            hard_cap,
+            max_delta_entries,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Queues a reply line. Returns `false` if the session is closing
+    /// (the line is dropped — its socket is going away anyway).
+    pub fn push_line(&self, line: String) -> bool {
+        let mut g = self.lock();
+        if g.closing {
+            return false;
+        }
+        if g.queue.len() >= self.hard_cap {
+            self.overflow(&mut g);
+            return false;
+        }
+        g.queue.push_back(OutMsg::Line(line));
+        drop(g);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Queues the final line and stops accepting more.
+    pub fn push_goodbye(&self, reason: &str) {
+        let mut g = self.lock();
+        if g.closing {
+            return;
+        }
+        g.closing = true;
+        g.queue
+            .push_back(OutMsg::Goodbye(format!("GOODBYE {reason}")));
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Queues a delta notification, coalescing under pressure (see the
+    /// module docs). Returns `false` when the push killed the session.
+    pub fn push_delta(
+        &self,
+        qid: &str,
+        wal_seq: u64,
+        changed: Option<BTreeMap<u32, u64>>,
+        resync_len: usize,
+    ) -> bool {
+        let mut g = self.lock();
+        if g.closing {
+            return false;
+        }
+        if g.queue.len() >= self.soft_cap {
+            // Coalesce into the newest queued delta for the same query.
+            let merged = g.queue.iter_mut().rev().find_map(|m| match m {
+                OutMsg::Delta {
+                    qid: q,
+                    wal_seq: ws,
+                    changed: ch,
+                    resync_len: rl,
+                } if q == qid => {
+                    *ws = wal_seq;
+                    *rl = resync_len;
+                    match (ch.as_mut(), &changed) {
+                        (Some(into), Some(new)) => {
+                            into.extend(new.iter().map(|(&i, &v)| (i, v)));
+                            if into.len() > self.max_delta_entries {
+                                *ch = None;
+                            }
+                        }
+                        _ => *ch = None,
+                    }
+                    Some(true)
+                }
+                _ => None,
+            });
+            if merged.is_some() {
+                drop(g);
+                self.cv.notify_one();
+                incgraph_obs::counter("service.delta_coalesced", 1);
+                return true;
+            }
+        }
+        if g.queue.len() >= self.hard_cap {
+            self.overflow(&mut g);
+            return false;
+        }
+        g.queue.push_back(OutMsg::Delta {
+            qid: qid.to_string(),
+            wal_seq,
+            changed,
+            resync_len,
+        });
+        drop(g);
+        self.cv.notify_one();
+        true
+    }
+
+    fn overflow(&self, g: &mut Inner) {
+        g.queue.clear();
+        g.queue.push_back(OutMsg::Line(format!(
+            "ERR {} outbound queue exceeded {} messages",
+            ErrCode::SlowConsumer,
+            self.hard_cap
+        )));
+        g.queue
+            .push_back(OutMsg::Goodbye("GOODBYE slow-consumer".into()));
+        g.closing = true;
+        g.slow_consumer = true;
+        incgraph_obs::counter("service.slow_consumer", 1);
+        self.cv.notify_all();
+    }
+
+    /// Whether the hard cap killed this session.
+    pub fn was_slow_consumer(&self) -> bool {
+        self.lock().slow_consumer
+    }
+
+    /// Whether no further messages will be accepted.
+    pub fn is_closing(&self) -> bool {
+        self.lock().closing
+    }
+
+    /// Drops everything queued and wakes the sender so it exits at once
+    /// — the abrupt path (kill / injected crash), no `GOODBYE`.
+    pub fn close_now(&self) {
+        let mut g = self.lock();
+        g.queue.clear();
+        g.closing = true;
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Pops the next message, waiting up to `timeout`. `None` means
+    /// either timeout (check again) or closed-and-drained (`is_done`).
+    pub fn pop(&self, timeout: Duration) -> Option<OutMsg> {
+        let mut g = self.lock();
+        if g.queue.is_empty() && !g.closing {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+        }
+        g.queue.pop_front()
+    }
+
+    /// `true` once the queue is closing and fully drained.
+    pub fn is_done(&self) -> bool {
+        let g = self.lock();
+        g.closing && g.queue.is_empty()
+    }
+
+    /// Messages currently queued (tests and STATUS).
+    pub fn len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(i: u32, v: u64) -> Option<BTreeMap<u32, u64>> {
+        let mut m = BTreeMap::new();
+        m.insert(i, v);
+        Some(m)
+    }
+
+    #[test]
+    fn fifo_below_soft_cap() {
+        let q = Outbound::new(4, 8, 16);
+        assert!(q.push_line("OK PING".into()));
+        assert!(q.push_delta("q1", 1, delta(0, 5), 10));
+        assert_eq!(
+            q.pop(Duration::from_millis(1)),
+            Some(OutMsg::Line("OK PING".into()))
+        );
+        let d = q.pop(Duration::from_millis(1)).unwrap();
+        assert_eq!(d.render(), "DELTA q1 1 1 0:5");
+        assert!(q.pop(Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn deltas_coalesce_above_soft_cap_newest_value_wins() {
+        let q = Outbound::new(2, 10, 16);
+        assert!(q.push_delta("q1", 1, delta(0, 5), 10));
+        assert!(q.push_delta("q2", 1, delta(0, 6), 10));
+        // Soft cap reached: these merge into the queued q1 delta.
+        assert!(q.push_delta("q1", 2, delta(1, 7), 10));
+        assert!(q.push_delta("q1", 3, delta(1, 8), 10));
+        assert_eq!(q.len(), 2);
+        let d = q.pop(Duration::from_millis(1)).unwrap();
+        assert_eq!(d.render(), "DELTA q1 3 2 0:5 1:8");
+    }
+
+    #[test]
+    fn over_wide_merge_degrades_to_resync() {
+        let q = Outbound::new(1, 10, 2);
+        assert!(q.push_delta("q1", 1, delta(0, 1), 9));
+        for i in 1..4u32 {
+            assert!(q.push_delta("q1", 1 + i as u64, delta(i, 1), 9));
+        }
+        let d = q.pop(Duration::from_millis(1)).unwrap();
+        assert_eq!(d.render(), "DELTA q1 4 resync 9");
+    }
+
+    #[test]
+    fn hard_cap_kills_with_typed_error_then_goodbye() {
+        let q = Outbound::new(0, 3, 16);
+        // Lines never coalesce; the 4th push overflows.
+        for i in 0..3 {
+            assert!(q.push_line(format!("OK {i}")));
+        }
+        assert!(!q.push_line("OK 3".into()));
+        assert!(q.was_slow_consumer() && q.is_closing());
+        let err = q.pop(Duration::from_millis(1)).unwrap().render();
+        assert!(err.starts_with("ERR slow-consumer"), "{err}");
+        assert!(matches!(
+            q.pop(Duration::from_millis(1)),
+            Some(OutMsg::Goodbye(_))
+        ));
+        assert!(q.is_done());
+        // Later pushes are rejected without reviving the queue.
+        assert!(!q.push_delta("q", 1, delta(0, 1), 4));
+    }
+
+    #[test]
+    fn goodbye_then_drain_marks_done() {
+        let q = Outbound::new(4, 8, 16);
+        q.push_line("PONG".into());
+        q.push_goodbye("bye");
+        assert!(!q.push_line("late".into()));
+        assert!(!q.is_done(), "still has queued messages");
+        q.pop(Duration::from_millis(1)).unwrap();
+        assert_eq!(
+            q.pop(Duration::from_millis(1)),
+            Some(OutMsg::Goodbye("GOODBYE bye".into()))
+        );
+        assert!(q.is_done());
+    }
+}

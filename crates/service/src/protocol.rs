@@ -1,0 +1,513 @@
+//! The `incgraph-wire/1` protocol: line-oriented, UTF-8, space-separated.
+//!
+//! Every message is one `\n`-terminated line, except `UPDATE`, whose
+//! header line is followed by exactly `k` unit-update lines in the
+//! `+ u v w` / `- u v` syntax of `incgraph_graph::io::read_updates`.
+//! The full grammar, semantics tables, and the exactly-once retry
+//! cookbook live in `docs/SERVICE.md`; this module is the single
+//! parse/format authority both the server and the client use, so the two
+//! sides cannot drift.
+//!
+//! Client → server:
+//!
+//! ```text
+//! HELLO incgraph-wire/1 <token>
+//! GRAPH <name> <nodes> directed|undirected
+//! REGISTER <qid> <graph> <class> [source=<n>] [pattern=<seed>]
+//! UNREGISTER <qid>
+//! UPDATE <graph> <seq> <k>      (then k update lines)
+//! QUERY <qid>
+//! STATUS
+//! PING
+//! BYE
+//! SHUTDOWN
+//! ```
+//!
+//! Server → client:
+//!
+//! ```text
+//! WELCOME incgraph-wire/1 <session-id>
+//! BUSY <retry-after-ms>
+//! OK <cmd> <args...>
+//! ACK <seq> <wal-seq> <units> [dup]
+//! DELTA <qid> <wal-seq> <m> <i>:<v>...      (m changed digest entries)
+//! DELTA <qid> <wal-seq> resync <len>        (too many changes: re-QUERY)
+//! RESULT <qid> <wal-seq> <n> <v>...
+//! PONG
+//! ERR <code> <detail...>
+//! GOODBYE <reason>
+//! ```
+
+use incgraph_graph::{NodeId, UpdateBatch, Weight};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Protocol identifier exchanged in `HELLO`/`WELCOME`.
+pub const WIRE_VERSION: &str = "incgraph-wire/1";
+
+/// Hard cap on one wire line, defending the reader against an unbounded
+/// allocation from a hostile or broken peer.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Typed error codes carried on `ERR` lines. Stable wire names — scripts
+/// and the chaos harness match on them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// `HELLO` version or shape mismatch.
+    BadProto,
+    /// Unparsable or unknown command line.
+    BadCommand,
+    /// Any command other than `HELLO` before the handshake.
+    NeedHello,
+    /// A second `HELLO` on an established session.
+    AlreadyHello,
+    /// `UPDATE`/`REGISTER` named a graph this store does not hold.
+    UnknownGraph,
+    /// `GRAPH` re-opened an existing graph with a different shape.
+    GraphMismatch,
+    /// `REGISTER` named an unknown query class.
+    UnknownClass,
+    /// The class is undefined on a directed graph (LCC, BC).
+    UndirectedRequired,
+    /// `REGISTER` reused a live query id on this session.
+    DupQuery,
+    /// `QUERY`/`UNREGISTER` named an unregistered query id.
+    UnknownQuery,
+    /// Client sequence is neither `last` (retry) nor `last + 1` (next).
+    SeqGap,
+    /// The ΔG failed batch validation; the store is unchanged.
+    InvalidBatch,
+    /// The graph is in degraded read-only mode after a WAL write failure.
+    ReadOnly,
+    /// Batch or line exceeds the configured size limits.
+    TooLarge,
+    /// The session's outbound queue overflowed its hard cap; the server
+    /// disconnects right after delivering this.
+    SlowConsumer,
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+    /// The durable store is locked by another process (or still being
+    /// released); retry.
+    StoreBusy,
+    /// Internal store failure (I/O, corruption).
+    Store,
+}
+
+impl ErrCode {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrCode::BadProto => "bad-proto",
+            ErrCode::BadCommand => "bad-command",
+            ErrCode::NeedHello => "need-hello",
+            ErrCode::AlreadyHello => "already-hello",
+            ErrCode::UnknownGraph => "unknown-graph",
+            ErrCode::GraphMismatch => "graph-mismatch",
+            ErrCode::UnknownClass => "unknown-class",
+            ErrCode::UndirectedRequired => "undirected-required",
+            ErrCode::DupQuery => "dup-query",
+            ErrCode::UnknownQuery => "unknown-query",
+            ErrCode::SeqGap => "seq-gap",
+            ErrCode::InvalidBatch => "invalid-batch",
+            ErrCode::ReadOnly => "readonly",
+            ErrCode::TooLarge => "too-large",
+            ErrCode::SlowConsumer => "slow-consumer",
+            ErrCode::ShuttingDown => "shutting-down",
+            ErrCode::StoreBusy => "store-busy",
+            ErrCode::Store => "store",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(s: &str) -> Option<ErrCode> {
+        const ALL: [ErrCode; 18] = [
+            ErrCode::BadProto,
+            ErrCode::BadCommand,
+            ErrCode::NeedHello,
+            ErrCode::AlreadyHello,
+            ErrCode::UnknownGraph,
+            ErrCode::GraphMismatch,
+            ErrCode::UnknownClass,
+            ErrCode::UndirectedRequired,
+            ErrCode::DupQuery,
+            ErrCode::UnknownQuery,
+            ErrCode::SeqGap,
+            ErrCode::InvalidBatch,
+            ErrCode::ReadOnly,
+            ErrCode::TooLarge,
+            ErrCode::SlowConsumer,
+            ErrCode::ShuttingDown,
+            ErrCode::StoreBusy,
+            ErrCode::Store,
+        ];
+        ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parsed client command (the `UPDATE` header only names the batch;
+/// its unit lines are read separately by the session loop).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    Hello {
+        version: String,
+        token: String,
+    },
+    Graph {
+        name: String,
+        nodes: usize,
+        directed: bool,
+    },
+    Register {
+        qid: String,
+        graph: String,
+        class: String,
+        source: NodeId,
+        pattern_seed: u64,
+    },
+    Unregister {
+        qid: String,
+    },
+    UpdateHeader {
+        graph: String,
+        seq: u64,
+        k: usize,
+    },
+    Query {
+        qid: String,
+    },
+    Status,
+    Ping,
+    Bye,
+    Shutdown,
+}
+
+/// Why a command line failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommandError(pub String);
+
+fn ident_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 128
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+/// Parses one client command line. `UPDATE` yields only the header; the
+/// caller reads the following `k` unit lines via [`parse_update_line`].
+pub fn parse_command(line: &str) -> Result<Command, CommandError> {
+    let bad = |msg: &str| CommandError(msg.to_string());
+    let mut it = line.split_whitespace();
+    let cmd = it.next().ok_or_else(|| bad("empty line"))?;
+    let parsed = match cmd {
+        "HELLO" => {
+            let version = it.next().ok_or_else(|| bad("HELLO needs a version"))?;
+            let token = it.next().ok_or_else(|| bad("HELLO needs a token"))?;
+            if !ident_ok(token) {
+                return Err(bad("HELLO token must be a short identifier"));
+            }
+            Command::Hello {
+                version: version.to_string(),
+                token: token.to_string(),
+            }
+        }
+        "GRAPH" => {
+            let name = it.next().ok_or_else(|| bad("GRAPH needs a name"))?;
+            if !ident_ok(name) {
+                return Err(bad("GRAPH name must be a short identifier"));
+            }
+            let nodes: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("GRAPH needs a node count"))?;
+            let directed = match it.next() {
+                Some("directed") => true,
+                Some("undirected") => false,
+                _ => return Err(bad("GRAPH needs directed|undirected")),
+            };
+            Command::Graph {
+                name: name.to_string(),
+                nodes,
+                directed,
+            }
+        }
+        "REGISTER" => {
+            let qid = it.next().ok_or_else(|| bad("REGISTER needs a query id"))?;
+            let graph = it.next().ok_or_else(|| bad("REGISTER needs a graph"))?;
+            let class = it.next().ok_or_else(|| bad("REGISTER needs a class"))?;
+            if !ident_ok(qid) || !ident_ok(graph) || !ident_ok(class) {
+                return Err(bad("REGISTER ids must be short identifiers"));
+            }
+            let mut source: NodeId = 0;
+            let mut pattern_seed: u64 = 42;
+            for opt in it.by_ref() {
+                if let Some(v) = opt.strip_prefix("source=") {
+                    source = v.parse().map_err(|_| bad("bad source="))?;
+                } else if let Some(v) = opt.strip_prefix("pattern=") {
+                    pattern_seed = v.parse().map_err(|_| bad("bad pattern="))?;
+                } else {
+                    return Err(bad("unknown REGISTER option"));
+                }
+            }
+            Command::Register {
+                qid: qid.to_string(),
+                graph: graph.to_string(),
+                class: class.to_string(),
+                source,
+                pattern_seed,
+            }
+        }
+        "UNREGISTER" => Command::Unregister {
+            qid: it
+                .next()
+                .filter(|q| ident_ok(q))
+                .ok_or_else(|| bad("UNREGISTER needs a query id"))?
+                .to_string(),
+        },
+        "UPDATE" => {
+            let graph = it.next().ok_or_else(|| bad("UPDATE needs a graph"))?;
+            if !ident_ok(graph) {
+                return Err(bad("UPDATE graph must be a short identifier"));
+            }
+            let seq: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("UPDATE needs a client sequence"))?;
+            let k: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("UPDATE needs an update count"))?;
+            if seq == 0 {
+                return Err(bad("UPDATE sequence starts at 1"));
+            }
+            Command::UpdateHeader {
+                graph: graph.to_string(),
+                seq,
+                k,
+            }
+        }
+        "QUERY" => Command::Query {
+            qid: it
+                .next()
+                .filter(|q| ident_ok(q))
+                .ok_or_else(|| bad("QUERY needs a query id"))?
+                .to_string(),
+        },
+        "STATUS" => Command::Status,
+        "PING" => Command::Ping,
+        "BYE" => Command::Bye,
+        "SHUTDOWN" => Command::Shutdown,
+        other => return Err(bad(&format!("unknown command {other}"))),
+    };
+    if it.next().is_some() && !matches!(parsed, Command::Hello { .. }) {
+        return Err(bad("trailing arguments"));
+    }
+    Ok(parsed)
+}
+
+/// Parses one `+ u v [w]` / `- u v` unit line into `batch`.
+pub fn parse_update_line(line: &str, batch: &mut UpdateBatch) -> Result<(), CommandError> {
+    let bad = || CommandError(format!("bad update line `{line}`"));
+    let mut it = line.split_whitespace();
+    let op = it.next().ok_or_else(bad)?;
+    let u: NodeId = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    let v: NodeId = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    match op {
+        "+" => {
+            let w: Weight = match it.next() {
+                Some(t) => t.parse().map_err(|_| bad())?,
+                None => 1,
+            };
+            batch.insert(u, v, w);
+        }
+        "-" => {
+            batch.delete(u, v);
+        }
+        _ => return Err(bad()),
+    }
+    if it.next().is_some() {
+        return Err(bad());
+    }
+    Ok(())
+}
+
+/// Formats a `DELTA` notification line. `changed` maps digest index →
+/// new value; `resync_len` (the digest length past which the server
+/// stops enumerating) switches to the `resync` form.
+pub fn format_delta(
+    qid: &str,
+    wal_seq: u64,
+    changed: &BTreeMap<u32, u64>,
+    resync: Option<usize>,
+) -> String {
+    match resync {
+        Some(len) => format!("DELTA {qid} {wal_seq} resync {len}"),
+        None => {
+            let mut s = format!("DELTA {qid} {wal_seq} {}", changed.len());
+            for (i, v) in changed {
+                s.push(' ');
+                s.push_str(&format!("{i}:{v}"));
+            }
+            s
+        }
+    }
+}
+
+/// A parsed `DELTA` line, as seen by clients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delta {
+    pub qid: String,
+    pub wal_seq: u64,
+    /// `None` = resync requested (with the new digest length).
+    pub changed: Option<BTreeMap<u32, u64>>,
+    pub resync_len: usize,
+}
+
+/// Parses a server `DELTA` line (client side).
+pub fn parse_delta(line: &str) -> Result<Delta, CommandError> {
+    let bad = || CommandError(format!("bad DELTA line `{line}`"));
+    let mut it = line.split_whitespace();
+    if it.next() != Some("DELTA") {
+        return Err(bad());
+    }
+    let qid = it.next().ok_or_else(bad)?.to_string();
+    let wal_seq: u64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    match it.next().ok_or_else(bad)? {
+        "resync" => {
+            let len: usize = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+            Ok(Delta {
+                qid,
+                wal_seq,
+                changed: None,
+                resync_len: len,
+            })
+        }
+        m => {
+            let m: usize = m.parse().map_err(|_| bad())?;
+            let mut changed = BTreeMap::new();
+            for _ in 0..m {
+                let pair = it.next().ok_or_else(bad)?;
+                let (i, v) = pair.split_once(':').ok_or_else(bad)?;
+                changed.insert(i.parse().map_err(|_| bad())?, v.parse().map_err(|_| bad())?);
+            }
+            Ok(Delta {
+                qid,
+                wal_seq,
+                changed: Some(changed),
+                resync_len: 0,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_lines_round_trip() {
+        assert_eq!(
+            parse_command("HELLO incgraph-wire/1 alice"),
+            Ok(Command::Hello {
+                version: WIRE_VERSION.into(),
+                token: "alice".into()
+            })
+        );
+        assert_eq!(
+            parse_command("GRAPH g0 64 undirected"),
+            Ok(Command::Graph {
+                name: "g0".into(),
+                nodes: 64,
+                directed: false
+            })
+        );
+        assert_eq!(
+            parse_command("REGISTER q1 g0 sssp source=3"),
+            Ok(Command::Register {
+                qid: "q1".into(),
+                graph: "g0".into(),
+                class: "sssp".into(),
+                source: 3,
+                pattern_seed: 42
+            })
+        );
+        assert_eq!(
+            parse_command("UPDATE g0 7 2"),
+            Ok(Command::UpdateHeader {
+                graph: "g0".into(),
+                seq: 7,
+                k: 2
+            })
+        );
+        for line in ["STATUS", "PING", "BYE", "SHUTDOWN"] {
+            assert!(parse_command(line).is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_commands_are_rejected() {
+        for line in [
+            "",
+            "FROB x",
+            "HELLO",
+            "HELLO incgraph-wire/1",
+            "GRAPH g0 64",
+            "GRAPH g0 sixty-four undirected",
+            "GRAPH bad/name 4 undirected",
+            "UPDATE g0 0 1",
+            "UPDATE g0 1",
+            "REGISTER q g0 sssp frob=1",
+            "STATUS extra",
+        ] {
+            assert!(parse_command(line).is_err(), "{line:?} should fail");
+        }
+    }
+
+    #[test]
+    fn update_lines_parse_like_read_updates() {
+        let mut b = UpdateBatch::new();
+        parse_update_line("+ 1 2 9", &mut b).unwrap();
+        parse_update_line("+ 3 4", &mut b).unwrap();
+        parse_update_line("- 1 2", &mut b).unwrap();
+        assert_eq!(b.len(), 3);
+        assert!(parse_update_line("* 1 2", &mut b).is_err());
+        assert!(parse_update_line("+ 1", &mut b).is_err());
+        assert!(parse_update_line("+ 1 2 3 4", &mut b).is_err());
+    }
+
+    #[test]
+    fn delta_lines_round_trip() {
+        let mut changed = BTreeMap::new();
+        changed.insert(3u32, 77u64);
+        changed.insert(9, 0);
+        let line = format_delta("q1", 12, &changed, None);
+        assert_eq!(line, "DELTA q1 12 2 3:77 9:0");
+        let d = parse_delta(&line).unwrap();
+        assert_eq!(d.changed.as_ref().unwrap().len(), 2);
+        assert_eq!(d.wal_seq, 12);
+
+        let r = format_delta("q1", 5, &BTreeMap::new(), Some(640));
+        assert_eq!(r, "DELTA q1 5 resync 640");
+        let d = parse_delta(&r).unwrap();
+        assert!(d.changed.is_none());
+        assert_eq!(d.resync_len, 640);
+    }
+
+    #[test]
+    fn err_codes_round_trip() {
+        for code in [
+            ErrCode::BadProto,
+            ErrCode::SeqGap,
+            ErrCode::SlowConsumer,
+            ErrCode::StoreBusy,
+        ] {
+            assert_eq!(ErrCode::from_name(code.name()), Some(code));
+        }
+        assert_eq!(ErrCode::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,921 @@
+//! The threaded TCP server: sessions, deadlines, backpressure,
+//! admission control, graceful drain, and abrupt (chaos) death.
+//!
+//! # Threading model
+//!
+//! - **acceptor** — one thread polling the nonblocking listener. Each
+//!   accepted connection becomes a *session* with two small-stack
+//!   threads: a **reader** parsing commands off the socket and a
+//!   **sender** draining the session's bounded [`Outbound`] queue.
+//! - **writer** — exactly one thread owns all mutation of the shared
+//!   [`Store`]. Readers submit write jobs over an mpsc channel; `QUERY`
+//!   and `STATUS` read under the shared lock without queueing. Single
+//!   ownership of the commit path is what makes WAL append order, ack
+//!   bookkeeping, and standing-query notification race-free.
+//!
+//! # Robustness behaviors (the contract `docs/SERVICE.md` documents)
+//!
+//! - **Deadlines**: reads poll with a short timeout so a dead peer
+//!   cannot pin a thread; a session idle past `idle_timeout` is reaped
+//!   with `GOODBYE idle-timeout`. Writes carry `write_timeout`.
+//! - **Backpressure**: each session's outbound queue is bounded — past
+//!   the soft cap deltas coalesce, past the hard cap the session dies
+//!   with `ERR slow-consumer` (see [`outbound`](crate::outbound)).
+//! - **Admission control**: when the writer's queue exceeds
+//!   `max_pending` jobs, new write commands are shed with
+//!   `BUSY <retry-after-ms>` instead of growing the queue without bound.
+//!   A shed `UPDATE` was not applied; the client retries the same
+//!   sequence number and the dedup table keeps it exactly-once.
+//! - **Graceful shutdown** ([`ServerHandle::shutdown`]): stop accepting,
+//!   drain queued jobs (their acks still go out), checkpoint durable
+//!   graphs, `GOODBYE shutting-down` to every session.
+//! - **Abrupt death** ([`ServerHandle::kill`], or an armed
+//!   [`CrashPoint`] firing mid-commit): simulated `kill -9` — no drain,
+//!   no checkpoint, no goodbyes; sockets are reset and the store is
+//!   dropped where it stands. The chaos harness restarts on the same
+//!   directory and recovery must hold.
+
+use crate::outbound::{OutMsg, Outbound};
+use crate::protocol::{self, Command, ErrCode, MAX_LINE_BYTES, WIRE_VERSION};
+use crate::store::{Store, UpdateError};
+use incgraph_durable::CrashPoint;
+use incgraph_graph::{NodeId, UpdateBatch};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tunables of one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Socket read poll interval — the granularity at which idle and
+    /// shutdown checks run. Short keeps reaping prompt; it is *not* the
+    /// idle deadline itself.
+    pub read_poll: Duration,
+    /// Deadline for one socket write before the peer counts as dead.
+    pub write_timeout: Duration,
+    /// A session silent this long is reaped.
+    pub idle_timeout: Duration,
+    /// Max concurrent sessions; beyond it new connections get `BUSY`.
+    pub max_sessions: usize,
+    /// Max queued writer jobs before write commands get `BUSY`.
+    pub max_pending: usize,
+    /// Retry hint on `BUSY` lines, milliseconds.
+    pub retry_after_ms: u64,
+    /// Outbound queue soft cap (delta coalescing starts here).
+    pub out_soft: usize,
+    /// Outbound queue hard cap (slow-consumer disconnect).
+    pub out_hard: usize,
+    /// Whether the wire `SHUTDOWN` command is honored.
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            read_poll: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+            max_sessions: 4096,
+            max_pending: 1024,
+            retry_after_ms: 50,
+            out_soft: 64,
+            out_hard: 1024,
+            allow_remote_shutdown: true,
+        }
+    }
+}
+
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const KILLED: u8 = 2;
+
+enum Job {
+    Graph {
+        name: String,
+        nodes: usize,
+        directed: bool,
+        out: Arc<Outbound>,
+    },
+    Register {
+        sid: u64,
+        qid: String,
+        graph: String,
+        class: String,
+        source: NodeId,
+        pattern_seed: u64,
+        out: Arc<Outbound>,
+    },
+    Unregister {
+        sid: u64,
+        qid: String,
+        out: Arc<Outbound>,
+    },
+    Update {
+        graph: String,
+        token: String,
+        client_seq: u64,
+        batch: UpdateBatch,
+        out: Arc<Outbound>,
+    },
+    DropSession {
+        sid: u64,
+    },
+}
+
+struct SessionSlot {
+    out: Arc<Outbound>,
+    stream: TcpStream,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    /// `None` once the writer dropped the store (drain finished or
+    /// killed) — that drop releases the durable `LOCK` file.
+    store: RwLock<Option<Store>>,
+    jobs: mpsc::Sender<Job>,
+    pending: AtomicUsize,
+    phase: AtomicU8,
+    sessions: Mutex<HashMap<u64, SessionSlot>>,
+    next_sid: AtomicU64,
+}
+
+impl Shared {
+    fn phase(&self) -> u8 {
+        self.phase.load(Ordering::Acquire)
+    }
+
+    fn store(&self) -> std::sync::RwLockReadGuard<'_, Option<Store>> {
+        self.store.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn store_mut(&self) -> std::sync::RwLockWriteGuard<'_, Option<Store>> {
+        self.store.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, SessionSlot>> {
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Abrupt death: reset every session socket and drop queued output.
+    fn kill_sessions(&self) {
+        let mut sessions = self.sessions();
+        for (_, slot) in sessions.drain() {
+            slot.out.close_now();
+            let _ = slot.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Marker type: the namespace for [`Server::start`].
+pub struct Server;
+
+/// Handle to a running server: address, lifecycle, chaos hooks.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and writer threads, and returns the
+    /// handle. The store moves behind the handle's shared lock; dropping
+    /// the handle (or [`kill`](ServerHandle::kill) /
+    /// [`shutdown`](ServerHandle::shutdown)) releases it.
+    pub fn start(store: Store, cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::channel::<Job>();
+        let shared = Arc::new(Shared {
+            cfg,
+            store: RwLock::new(Some(store)),
+            jobs: tx,
+            pending: AtomicUsize::new(0),
+            phase: AtomicU8::new(RUNNING),
+            sessions: Mutex::new(HashMap::new()),
+            next_sid: AtomicU64::new(1),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("svc-accept".into())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+        let writer = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("svc-writer".into())
+                .spawn(move || writer_loop(rx, shared))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            writer: Some(writer),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful drain and blocks until it finishes: no new
+    /// connections or write jobs, queued jobs processed (their acks
+    /// delivered), durable graphs checkpointed, every session told
+    /// `GOODBYE shutting-down`, store dropped.
+    pub fn shutdown(&mut self) {
+        self.shared
+            .phase
+            .compare_exchange(RUNNING, DRAINING, Ordering::AcqRel, Ordering::Acquire)
+            .ok();
+        self.join();
+    }
+
+    /// Simulated `kill -9`: sockets reset, queued work and output
+    /// dropped, **no** checkpoint and no goodbyes. The store is dropped
+    /// where it stands, so a durable graph's next opener exercises real
+    /// recovery.
+    pub fn kill(&mut self) {
+        self.shared.phase.store(KILLED, Ordering::Release);
+        self.shared.kill_sessions();
+        self.join();
+    }
+
+    /// Blocks until the server exits by itself (wire `SHUTDOWN`, or an
+    /// injected crash firing).
+    pub fn wait(&mut self) {
+        self.join();
+    }
+
+    /// Whether the server has fully stopped.
+    pub fn is_stopped(&self) -> bool {
+        self.writer.is_none() || self.writer.as_ref().is_some_and(|w| w.is_finished())
+    }
+
+    /// Arms a one-shot [`CrashPoint`] on a durable graph: the next
+    /// commit that reaches the point dies as if the process were killed
+    /// there. Returns `false` if the graph is unknown or not durable.
+    pub fn arm_crash(&self, graph: &str, point: CrashPoint) -> bool {
+        match self.shared.store_mut().as_mut() {
+            Some(store) => store.arm_crash(graph, Some(point)),
+            None => false,
+        }
+    }
+
+    /// Whether the store entered degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        self.shared.store().as_ref().is_some_and(Store::is_degraded)
+    }
+
+    /// Live session count (tests and ops).
+    pub fn session_count(&self) -> usize {
+        self.shared.sessions().len()
+    }
+
+    fn join(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.writer.is_some() || self.acceptor.is_some() {
+            // Leaked handle: abrupt stop so the process can exit.
+            self.shared.phase.store(KILLED, Ordering::Release);
+            self.shared.kill_sessions();
+            self.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.phase() != RUNNING {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                incgraph_obs::counter("service.accepts", 1);
+                let sid = shared.next_sid.fetch_add(1, Ordering::Relaxed);
+                if !spawn_session(&shared, stream, sid) {
+                    incgraph_obs::counter("service.accept_shed", 1);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Dropping the listener closes the socket; in-flight sessions are
+    // finished by their own threads (or killed by the handle).
+}
+
+fn spawn_session(shared: &Arc<Shared>, stream: TcpStream, sid: u64) -> bool {
+    let cfg = &shared.cfg;
+    {
+        let sessions = shared.sessions();
+        if sessions.len() >= cfg.max_sessions {
+            // Shed at the door with the same BUSY shape commands get.
+            let mut s = stream;
+            let _ = s.set_write_timeout(Some(cfg.write_timeout));
+            let _ = s.write_all(format!("BUSY {}\n", cfg.retry_after_ms).as_bytes());
+            let _ = s.shutdown(Shutdown::Both);
+            return false;
+        }
+    }
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.read_poll));
+    let out = Arc::new(Outbound::new(
+        cfg.out_soft,
+        cfg.out_hard,
+        shared
+            .store()
+            .as_ref()
+            .map(|s| s.limits().max_delta_entries)
+            .unwrap_or(256),
+    ));
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    shared.sessions().insert(
+        sid,
+        SessionSlot {
+            out: Arc::clone(&out),
+            stream: match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return false,
+            },
+        },
+    );
+    incgraph_obs::gauge("service.sessions", shared.sessions().len() as u64);
+    let reader = {
+        let shared = Arc::clone(shared);
+        let out = Arc::clone(&out);
+        thread::Builder::new()
+            .name(format!("svc-r{sid}"))
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                reader_loop(shared, stream, sid, out);
+            })
+    };
+    let sender = {
+        let shared = Arc::clone(shared);
+        thread::Builder::new()
+            .name(format!("svc-w{sid}"))
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                sender_loop(shared, write_stream, out);
+            })
+    };
+    if reader.is_err() || sender.is_err() {
+        shared.sessions().remove(&sid);
+        return false;
+    }
+    true
+}
+
+/// One bounded line read. `buf` accumulates across timeout polls so a
+/// slowly-arriving line is not lost.
+enum LineStatus {
+    Line,
+    Eof,
+    Timeout,
+    TooLong,
+}
+
+fn poll_line(r: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> io::Result<LineStatus> {
+    loop {
+        let (consumed, status) = {
+            let avail = match r.fill_buf() {
+                Ok(a) => a,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(LineStatus::Timeout)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if avail.is_empty() {
+                return Ok(LineStatus::Eof);
+            }
+            match avail.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&avail[..pos]);
+                    (pos + 1, Some(LineStatus::Line))
+                }
+                None => {
+                    buf.extend_from_slice(avail);
+                    (avail.len(), None)
+                }
+            }
+        };
+        r.consume(consumed);
+        if buf.len() > MAX_LINE_BYTES {
+            return Ok(LineStatus::TooLong);
+        }
+        if let Some(s) = status {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return Ok(s);
+        }
+    }
+}
+
+struct SessionCtx {
+    sid: u64,
+    token: Option<String>,
+    out: Arc<Outbound>,
+}
+
+impl SessionCtx {
+    fn err(&self, code: ErrCode, detail: &str) {
+        self.out.push_line(format!("ERR {code} {detail}"));
+    }
+}
+
+fn reader_loop(shared: Arc<Shared>, stream: TcpStream, sid: u64, out: Arc<Outbound>) {
+    let mut reader = BufReader::with_capacity(16 * 1024, stream);
+    let mut ctx = SessionCtx {
+        sid,
+        token: None,
+        out,
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut last_activity = Instant::now();
+    loop {
+        match shared.phase() {
+            RUNNING => {}
+            DRAINING => break, // the writer sends the GOODBYE after the drain
+            _ => break,        // killed: socket is already reset
+        }
+        if ctx.out.is_closing() {
+            break; // slow-consumer or BYE already decided the ending
+        }
+        match poll_line(&mut reader, &mut buf) {
+            Ok(LineStatus::Timeout) => {
+                if last_activity.elapsed() >= shared.cfg.idle_timeout {
+                    incgraph_obs::counter("service.reaped", 1);
+                    ctx.out.push_goodbye("idle-timeout");
+                    break;
+                }
+            }
+            Ok(LineStatus::Eof) | Err(_) => break,
+            Ok(LineStatus::TooLong) => {
+                ctx.err(ErrCode::TooLarge, "line exceeds 1 MiB");
+                ctx.out.push_goodbye("protocol-error");
+                break;
+            }
+            Ok(LineStatus::Line) => {
+                last_activity = Instant::now();
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                buf.clear();
+                if !handle_line(&shared, &mut ctx, &line, &mut reader, &mut last_activity) {
+                    break;
+                }
+            }
+        }
+    }
+    // Session teardown. The DropSession send must mirror `submit`'s
+    // pending accounting: the writer decrements for every job received.
+    shared.pending.fetch_add(1, Ordering::Relaxed);
+    if shared.jobs.send(Job::DropSession { sid }).is_err() {
+        shared.pending.fetch_sub(1, Ordering::Relaxed);
+    }
+    if shared.phase() == DRAINING {
+        // The writer owns the final GOODBYE: leave the slot and the
+        // sender alive so the broadcast can reach this session.
+        return;
+    }
+    // Normal exit (BYE/EOF/reap/kill): make sure the sender terminates.
+    // A queued GOODBYE still drains; otherwise the queue closes cold.
+    if !ctx.out.is_closing() {
+        ctx.out.close_now();
+    }
+    shared.sessions().remove(&sid);
+    incgraph_obs::gauge("service.sessions", shared.sessions().len() as u64);
+}
+
+/// Handles one parsed line. Returns `false` to end the session.
+fn handle_line(
+    shared: &Arc<Shared>,
+    ctx: &mut SessionCtx,
+    line: &str,
+    reader: &mut BufReader<TcpStream>,
+    last_activity: &mut Instant,
+) -> bool {
+    if line.trim().is_empty() {
+        return true;
+    }
+    let cmd = match protocol::parse_command(line) {
+        Ok(c) => c,
+        Err(e) => {
+            ctx.err(ErrCode::BadCommand, &e.0);
+            return true;
+        }
+    };
+    if ctx.token.is_none() && !matches!(cmd, Command::Hello { .. }) {
+        ctx.err(ErrCode::NeedHello, "say HELLO first");
+        return true;
+    }
+    match cmd {
+        Command::Hello { version, token } => {
+            if ctx.token.is_some() {
+                ctx.err(ErrCode::AlreadyHello, "session already established");
+            } else if version != WIRE_VERSION {
+                ctx.err(ErrCode::BadProto, &format!("server speaks {WIRE_VERSION}"));
+                ctx.out.push_goodbye("protocol-error");
+                return false;
+            } else {
+                ctx.token = Some(token);
+                ctx.out
+                    .push_line(format!("WELCOME {WIRE_VERSION} {}", ctx.sid));
+            }
+            true
+        }
+        Command::Ping => {
+            ctx.out.push_line("PONG".into());
+            true
+        }
+        Command::Bye => {
+            ctx.out.push_goodbye("bye");
+            false
+        }
+        Command::Status => {
+            let pending = shared.pending.load(Ordering::Relaxed);
+            let sessions = shared.sessions().len();
+            match shared.store().as_ref() {
+                None => ctx.err(ErrCode::ShuttingDown, "store is gone"),
+                Some(store) => {
+                    let (graphs, queries) = store.counts();
+                    let phase = if shared.phase() == RUNNING {
+                        "running"
+                    } else {
+                        "draining"
+                    };
+                    ctx.out.push_line(format!(
+                        "OK STATUS graphs={graphs} queries={queries} sessions={sessions} \
+                         pending={pending} degraded={} phase={phase}",
+                        store.is_degraded() as u8
+                    ));
+                }
+            }
+            true
+        }
+        Command::Query { qid } => {
+            match shared.store().as_ref().and_then(|s| s.query(ctx.sid, &qid)) {
+                Some((digest, seq)) => {
+                    let mut line = format!("RESULT {qid} {seq} {}", digest.len());
+                    for v in &digest {
+                        line.push(' ');
+                        line.push_str(&v.to_string());
+                    }
+                    ctx.out.push_line(line);
+                }
+                None => ctx.err(ErrCode::UnknownQuery, &format!("no query {qid}")),
+            }
+            true
+        }
+        Command::Shutdown => {
+            if !shared.cfg.allow_remote_shutdown {
+                ctx.err(ErrCode::BadCommand, "SHUTDOWN is disabled on this server");
+                return true;
+            }
+            ctx.out.push_line("OK SHUTDOWN".into());
+            shared
+                .phase
+                .compare_exchange(RUNNING, DRAINING, Ordering::AcqRel, Ordering::Acquire)
+                .ok();
+            true
+        }
+        Command::Graph {
+            name,
+            nodes,
+            directed,
+        } => submit(
+            shared,
+            ctx,
+            Job::Graph {
+                name,
+                nodes,
+                directed,
+                out: Arc::clone(&ctx.out),
+            },
+        ),
+        Command::Register {
+            qid,
+            graph,
+            class,
+            source,
+            pattern_seed,
+        } => submit(
+            shared,
+            ctx,
+            Job::Register {
+                sid: ctx.sid,
+                qid,
+                graph,
+                class,
+                source,
+                pattern_seed,
+                out: Arc::clone(&ctx.out),
+            },
+        ),
+        Command::Unregister { qid } => submit(
+            shared,
+            ctx,
+            Job::Unregister {
+                sid: ctx.sid,
+                qid,
+                out: Arc::clone(&ctx.out),
+            },
+        ),
+        Command::UpdateHeader { graph, seq, k } => {
+            read_and_submit_update(shared, ctx, reader, last_activity, graph, seq, k)
+        }
+    }
+}
+
+/// Reads the `k` unit lines of an `UPDATE` body, then submits the batch.
+/// A malformed body is a framing violation — the stream position is no
+/// longer trustworthy, so the session ends.
+fn read_and_submit_update(
+    shared: &Arc<Shared>,
+    ctx: &mut SessionCtx,
+    reader: &mut BufReader<TcpStream>,
+    last_activity: &mut Instant,
+    graph: String,
+    client_seq: u64,
+    k: usize,
+) -> bool {
+    let max_units = shared
+        .store()
+        .as_ref()
+        .map(|s| s.limits().max_batch_units)
+        .unwrap_or(4096);
+    if k > max_units {
+        ctx.err(
+            ErrCode::TooLarge,
+            &format!("batch caps at {max_units} units"),
+        );
+        ctx.out.push_goodbye("protocol-error");
+        return false;
+    }
+    let mut batch = UpdateBatch::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut read = 0usize;
+    while read < k {
+        if shared.phase() == KILLED {
+            return false;
+        }
+        match poll_line(reader, &mut buf) {
+            Ok(LineStatus::Timeout) => {
+                if last_activity.elapsed() >= shared.cfg.idle_timeout {
+                    incgraph_obs::counter("service.reaped", 1);
+                    ctx.out.push_goodbye("idle-timeout");
+                    return false;
+                }
+            }
+            Ok(LineStatus::Eof) | Err(_) => return false,
+            Ok(LineStatus::TooLong) => {
+                ctx.err(ErrCode::TooLarge, "line exceeds 1 MiB");
+                ctx.out.push_goodbye("protocol-error");
+                return false;
+            }
+            Ok(LineStatus::Line) => {
+                *last_activity = Instant::now();
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                buf.clear();
+                if let Err(e) = protocol::parse_update_line(&line, &mut batch) {
+                    ctx.err(ErrCode::BadCommand, &e.0);
+                    ctx.out.push_goodbye("protocol-error");
+                    return false;
+                }
+                read += 1;
+            }
+        }
+    }
+    let token = ctx.token.clone().expect("checked before dispatch");
+    submit(
+        shared,
+        ctx,
+        Job::Update {
+            graph,
+            token,
+            client_seq,
+            batch,
+            out: Arc::clone(&ctx.out),
+        },
+    )
+}
+
+/// Admission-controlled submit to the writer.
+fn submit(shared: &Arc<Shared>, ctx: &SessionCtx, job: Job) -> bool {
+    if shared.phase() != RUNNING {
+        ctx.err(ErrCode::ShuttingDown, "server is draining");
+        return true;
+    }
+    if shared.pending.load(Ordering::Relaxed) >= shared.cfg.max_pending {
+        incgraph_obs::counter("service.busy", 1);
+        ctx.out
+            .push_line(format!("BUSY {}", shared.cfg.retry_after_ms));
+        return true;
+    }
+    shared.pending.fetch_add(1, Ordering::Relaxed);
+    if shared.jobs.send(job).is_err() {
+        shared.pending.fetch_sub(1, Ordering::Relaxed);
+        ctx.err(ErrCode::ShuttingDown, "writer is gone");
+    }
+    true
+}
+
+fn writer_loop(rx: mpsc::Receiver<Job>, shared: Arc<Shared>) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(job) => {
+                shared.pending.fetch_sub(1, Ordering::Relaxed);
+                match shared.phase() {
+                    KILLED => continue, // drop silently: simulated death
+                    _ => {
+                        if process_job(&shared, job) == JobOutcome::Crashed {
+                            // Simulated process death mid-commit.
+                            shared.phase.store(KILLED, Ordering::Release);
+                            shared.kill_sessions();
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => match shared.phase() {
+                KILLED => break,
+                DRAINING if shared.pending.load(Ordering::Relaxed) == 0 => break,
+                _ => {}
+            },
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Exit path. Graceful: checkpoint, then goodbye every session.
+    // Killed: drop everything where it stands.
+    let killed = shared.phase() == KILLED;
+    {
+        let mut guard = shared.store_mut();
+        if let Some(store) = guard.as_mut() {
+            if !killed {
+                store.checkpoint_all();
+            }
+        }
+        // Dropping the store releases the durable LOCK file.
+        *guard = None;
+    }
+    if !killed {
+        let sessions = shared.sessions();
+        for slot in sessions.values() {
+            slot.out.push_goodbye("shutting-down");
+        }
+    }
+    shared
+        .phase
+        .store(if killed { KILLED } else { DRAINING }, Ordering::Release);
+}
+
+#[derive(PartialEq, Eq)]
+enum JobOutcome {
+    Done,
+    Crashed,
+}
+
+fn process_job(shared: &Arc<Shared>, job: Job) -> JobOutcome {
+    let mut guard = shared.store_mut();
+    let Some(store) = guard.as_mut() else {
+        return JobOutcome::Done;
+    };
+    match job {
+        Job::Graph {
+            name,
+            nodes,
+            directed,
+            out,
+        } => {
+            match store.open_graph(&name, nodes, directed) {
+                Ok(()) => out.push_line(format!("OK GRAPH {name}")),
+                Err((c, d)) => out.push_line(format!("ERR {c} {d}")),
+            };
+        }
+        Job::Register {
+            sid,
+            qid,
+            graph,
+            class,
+            source,
+            pattern_seed,
+            out,
+        } => {
+            match store.register(
+                sid,
+                &qid,
+                &graph,
+                &class,
+                source,
+                pattern_seed,
+                Arc::clone(&out),
+            ) {
+                Ok(len) => out.push_line(format!("OK REGISTER {qid} {len}")),
+                Err((c, d)) => out.push_line(format!("ERR {c} {d}")),
+            };
+        }
+        Job::Unregister { sid, qid, out } => {
+            match store.unregister(sid, &qid) {
+                Ok(()) => out.push_line(format!("OK UNREGISTER {qid}")),
+                Err((c, d)) => out.push_line(format!("ERR {c} {d}")),
+            };
+        }
+        Job::Update {
+            graph,
+            token,
+            client_seq,
+            batch,
+            out,
+        } => match store.apply_update(&graph, &token, client_seq, &batch) {
+            Ok(ack) => {
+                let dup = if ack.dup { " dup" } else { "" };
+                out.push_line(format!(
+                    "ACK {} {} {}{dup}",
+                    ack.client_seq, ack.wal_seq, ack.units
+                ));
+            }
+            Err(UpdateError::Wire(c, d)) => {
+                out.push_line(format!("ERR {c} {d}"));
+            }
+            Err(UpdateError::Crashed(p)) => {
+                if incgraph_obs::enabled() {
+                    incgraph_obs::event("service.crash", p.name());
+                }
+                return JobOutcome::Crashed;
+            }
+        },
+        Job::DropSession { sid } => {
+            store.drop_session(sid);
+        }
+    }
+    JobOutcome::Done
+}
+
+fn sender_loop(shared: Arc<Shared>, stream: TcpStream, out: Arc<Outbound>) {
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let mut w = BufWriter::with_capacity(16 * 1024, stream);
+    loop {
+        match out.pop(Duration::from_millis(50)) {
+            Some(msg) => {
+                let goodbye = matches!(msg, OutMsg::Goodbye(_));
+                let mut line = msg.render();
+                line.push('\n');
+                if w.write_all(line.as_bytes()).is_err() {
+                    out.close_now();
+                    break;
+                }
+                if goodbye {
+                    let _ = w.flush();
+                    let _ = w.get_ref().shutdown(Shutdown::Both);
+                    break;
+                }
+                // Flush eagerly once the queue is drained; batches of
+                // queued messages ride one syscall.
+                if out.is_empty() && w.flush().is_err() {
+                    out.close_now();
+                    break;
+                }
+            }
+            None => {
+                if out.is_done() || shared.phase() == KILLED {
+                    let _ = w.flush();
+                    break;
+                }
+                if w.flush().is_err() {
+                    out.close_now();
+                    break;
+                }
+            }
+        }
+    }
+}

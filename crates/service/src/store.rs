@@ -1,0 +1,574 @@
+//! The shared store behind the service: named graphs, standing queries,
+//! and the single-writer commit path with exactly-once client retries.
+//!
+//! One process hosts one [`Store`]. A store holds **named graphs**, each
+//! either in-memory (created over the wire with `GRAPH`) or WAL-durable
+//! (the store the server was launched on). All mutation — graph
+//! creation, standing-query registration, `ΔG` application — happens on
+//! the server's single writer thread holding `&mut Store`, which is what
+//! makes the WAL commit protocol and the ack bookkeeping race-free by
+//! construction; reads (`QUERY`, `STATUS`) take the shared lock.
+//!
+//! **Standing queries** are live [`Session`]s owned by the store. After
+//! every committed batch the writer runs each affected query's
+//! incremental update (the paper's `A_Δ`, bounded by `|AFF|`) and pushes
+//! a `DELTA` carrying only the digest entries that changed — the wire
+//! analogue of the incremental contract: notification cost tracks the
+//! affected area, not `|G|`.
+//!
+//! **Exactly-once**: clients stamp each batch with a per-token sequence
+//! number. The store acks `seq == last` as a duplicate (the retry case)
+//! without re-applying, admits `seq == last + 1`, and rejects anything
+//! else as a gap. For durable graphs the `(token, seq → WAL seq)` intent
+//! is fsynced through [`DedupLog`] *before* the WAL commit (via
+//! [`DurableSession::apply_with`]), so the ack table survives crashes
+//! with the same once-only semantics — see the [`dedup`](crate::dedup)
+//! module docs for the crash analysis.
+
+use crate::dedup::{AckRecord, DedupLog};
+use crate::outbound::Outbound;
+use crate::protocol::ErrCode;
+use incgraph_algos::{IncrementalState, QueryClass, Session, SessionError};
+use incgraph_durable::{recover, CrashPoint, DurableError, DurableOptions, DurableSession};
+use incgraph_graph::{DynamicGraph, NodeId, UpdateBatch};
+use incgraph_workloads::random_pattern;
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Resource caps guarding the store against a hostile or buggy client.
+#[derive(Clone, Debug)]
+pub struct StoreLimits {
+    /// Max unit updates per `UPDATE` batch.
+    pub max_batch_units: usize,
+    /// Max nodes per `GRAPH`.
+    pub max_nodes: usize,
+    /// Max named graphs in the store.
+    pub max_graphs: usize,
+    /// Max standing queries per session.
+    pub max_queries_per_session: usize,
+    /// Max changed entries enumerated in one `DELTA`; wider changes (and
+    /// digest-length changes) send the `resync` form instead.
+    pub max_delta_entries: usize,
+}
+
+impl Default for StoreLimits {
+    fn default() -> Self {
+        StoreLimits {
+            max_batch_units: 4096,
+            max_nodes: 1 << 20,
+            max_graphs: 4096,
+            max_queries_per_session: 64,
+            max_delta_entries: 256,
+        }
+    }
+}
+
+/// A wire-typed refusal: the `ERR` code plus a human detail.
+pub type WireError = (ErrCode, String);
+
+/// How an `UPDATE` failed.
+#[derive(Debug)]
+pub enum UpdateError {
+    /// Refused; reply `ERR` and keep the session.
+    Wire(ErrCode, String),
+    /// An armed [`CrashPoint`] fired mid-commit: the store is dead and
+    /// the server must simulate process death (no replies, no drain).
+    Crashed(CrashPoint),
+}
+
+/// A successful `UPDATE`: what the `ACK` line carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ack {
+    /// Echo of the client sequence.
+    pub client_seq: u64,
+    /// Store sequence the batch committed under (WAL sequence for
+    /// durable graphs).
+    pub wal_seq: u64,
+    /// Unit updates in the batch.
+    pub units: usize,
+    /// `true` when this acked a retry without re-applying.
+    pub dup: bool,
+}
+
+/// The per-class states a durable store tracks from creation, in
+/// [`QueryClass::ALL`] order, skipping the undirected-only classes on
+/// directed graphs. Shared with the chaos harness so its full-replay
+/// reference builds *identical* states (same pattern seed, same source)
+/// and essence comparison is byte-exact.
+pub fn standing_states(g: &DynamicGraph, pattern_seed: u64) -> Vec<Box<dyn IncrementalState>> {
+    QueryClass::ALL
+        .into_iter()
+        .filter(|c| !(c.requires_undirected() && g.is_directed()))
+        .map(|c| {
+            let mut b = Session::builder(c);
+            if c == QueryClass::Sim {
+                b = b.pattern(random_pattern(g, 4, 6, pattern_seed));
+            }
+            Box::new(b.build(g).expect("direction-filtered class builds"))
+                as Box<dyn IncrementalState>
+        })
+        .collect()
+}
+
+/// One registered standing query: a live session plus the digest it last
+/// notified, and the owner's outbound queue.
+struct StandingQuery {
+    class: QueryClass,
+    session: Session,
+    digest: Vec<u64>,
+    out: Arc<Outbound>,
+}
+
+enum Backend {
+    /// Wire-created, lives and dies with the process.
+    Memory { graph: DynamicGraph, seq: u64 },
+    /// WAL-durable with an exactly-once intent log.
+    Durable {
+        session: DurableSession,
+        dedup: DedupLog,
+    },
+}
+
+impl Backend {
+    fn graph(&self) -> &DynamicGraph {
+        match self {
+            Backend::Memory { graph, .. } => graph,
+            Backend::Durable { session, .. } => session.graph(),
+        }
+    }
+
+    fn seq(&self) -> u64 {
+        match self {
+            Backend::Memory { seq, .. } => *seq,
+            Backend::Durable { session, .. } => session.last_seq(),
+        }
+    }
+}
+
+struct GraphEntry {
+    backend: Backend,
+    /// token → last acked batch.
+    acks: HashMap<String, AckRecord>,
+    /// `(session id, qid)` → standing query.
+    queries: BTreeMap<(u64, String), StandingQuery>,
+}
+
+/// The service's shared state. See the module docs.
+pub struct Store {
+    graphs: BTreeMap<String, GraphEntry>,
+    limits: StoreLimits,
+    /// Set on the first real WAL I/O failure; durable writes are refused
+    /// (`ERR readonly`) for the life of the process while reads keep
+    /// working. Process-lifetime by design: it also guarantees an
+    /// orphaned intent's WAL sequence is never reused (see [`DedupLog`]).
+    degraded: bool,
+}
+
+impl Store {
+    /// An empty store holding only wire-created in-memory graphs.
+    pub fn new(limits: StoreLimits) -> Self {
+        Store {
+            graphs: BTreeMap::new(),
+            limits,
+            degraded: false,
+        }
+    }
+
+    /// Opens (or initializes) a durable graph named `name` from `dir` and
+    /// mounts it into a fresh store. An existing store is recovered —
+    /// `nodes`/`directed` then describe the *expected* shape and are only
+    /// used when initializing. Tracks [`standing_states`] inside the
+    /// durable session so checkpoints and recovery carry all per-class
+    /// essences.
+    pub fn open_durable(
+        dir: &Path,
+        name: &str,
+        nodes: usize,
+        directed: bool,
+        options: DurableOptions,
+        limits: StoreLimits,
+    ) -> Result<Self, DurableError> {
+        let manifest = dir.join("MANIFEST");
+        let session = if manifest.exists() {
+            let (session, report) = recover(dir, options)?;
+            if incgraph_obs::enabled() {
+                incgraph_obs::event(
+                    "service.recovered",
+                    &format!(
+                        "graph={name} seq={} replayed={}",
+                        session.last_seq(),
+                        report.wal_records_replayed
+                    ),
+                );
+            }
+            session
+        } else {
+            let graph = DynamicGraph::new(directed, nodes);
+            let states = standing_states(&graph, DURABLE_PATTERN_SEED);
+            DurableSession::create(dir, graph, states, options)?
+        };
+        let (dedup, index) = DedupLog::open(dir, session.last_seq())?;
+        let mut store = Store::new(limits);
+        store.graphs.insert(
+            name.to_string(),
+            GraphEntry {
+                backend: Backend::Durable { session, dedup },
+                acks: index.into_iter().collect(),
+                queries: BTreeMap::new(),
+            },
+        );
+        Ok(store)
+    }
+
+    /// Creates the in-memory graph `name`, or attaches to an existing
+    /// graph of the **same shape** (idempotent, so clients can `GRAPH`
+    /// unconditionally after reconnecting).
+    pub fn open_graph(
+        &mut self,
+        name: &str,
+        nodes: usize,
+        directed: bool,
+    ) -> Result<(), WireError> {
+        if let Some(entry) = self.graphs.get(name) {
+            let g = entry.backend.graph();
+            return if g.node_count() == nodes && g.is_directed() == directed {
+                Ok(())
+            } else {
+                Err((
+                    ErrCode::GraphMismatch,
+                    format!(
+                        "{name} exists with {} nodes ({})",
+                        g.node_count(),
+                        if g.is_directed() {
+                            "directed"
+                        } else {
+                            "undirected"
+                        }
+                    ),
+                ))
+            };
+        }
+        if nodes == 0 || nodes > self.limits.max_nodes {
+            return Err((
+                ErrCode::TooLarge,
+                format!("nodes must be in 1..={}", self.limits.max_nodes),
+            ));
+        }
+        if self.graphs.len() >= self.limits.max_graphs {
+            return Err((
+                ErrCode::TooLarge,
+                format!("store caps at {} graphs", self.limits.max_graphs),
+            ));
+        }
+        self.graphs.insert(
+            name.to_string(),
+            GraphEntry {
+                backend: Backend::Memory {
+                    graph: DynamicGraph::new(directed, nodes),
+                    seq: 0,
+                },
+                acks: HashMap::new(),
+                queries: BTreeMap::new(),
+            },
+        );
+        incgraph_obs::counter("service.graphs_created", 1);
+        Ok(())
+    }
+
+    /// Registers a standing query for session `sid`, running the batch
+    /// fixpoint now. Returns the digest length (what a `RESULT` for this
+    /// query will carry).
+    #[allow(clippy::too_many_arguments)]
+    pub fn register(
+        &mut self,
+        sid: u64,
+        qid: &str,
+        graph: &str,
+        class_name: &str,
+        source: NodeId,
+        pattern_seed: u64,
+        out: Arc<Outbound>,
+    ) -> Result<usize, WireError> {
+        let Some(class) = QueryClass::from_name(class_name) else {
+            return Err((
+                ErrCode::UnknownClass,
+                format!("{class_name} is not one of the seven classes"),
+            ));
+        };
+        let Some(entry) = self.graphs.get_mut(graph) else {
+            return Err((ErrCode::UnknownGraph, format!("no graph {graph}")));
+        };
+        let key = (sid, qid.to_string());
+        if entry.queries.contains_key(&key) {
+            return Err((
+                ErrCode::DupQuery,
+                format!("{qid} is already registered on this session"),
+            ));
+        }
+        let owned = entry.queries.keys().filter(|(s, _)| *s == sid).count();
+        if owned >= self.limits.max_queries_per_session {
+            return Err((
+                ErrCode::TooLarge,
+                format!(
+                    "session caps at {} standing queries",
+                    self.limits.max_queries_per_session
+                ),
+            ));
+        }
+        let g = entry.backend.graph();
+        if source as usize >= g.node_count() {
+            return Err((
+                ErrCode::BadCommand,
+                format!("source {source} out of range for {graph}"),
+            ));
+        }
+        let _cls = incgraph_obs::class_scope(class.name());
+        let _span = incgraph_obs::span("service.register");
+        let mut builder = Session::builder(class).source(source);
+        if class == QueryClass::Sim {
+            builder = builder.pattern(random_pattern(g, 4, 6, pattern_seed));
+        }
+        let session = match builder.build(g) {
+            Ok(s) => s,
+            Err(SessionError::RequiresUndirected(c)) => {
+                return Err((
+                    ErrCode::UndirectedRequired,
+                    format!("{} needs an undirected graph", c.name()),
+                ))
+            }
+            Err(e) => return Err((ErrCode::BadCommand, e.to_string())),
+        };
+        let digest = session.digest(g);
+        let len = digest.len();
+        entry.queries.insert(
+            key,
+            StandingQuery {
+                class,
+                session,
+                digest,
+                out,
+            },
+        );
+        incgraph_obs::counter("service.registers", 1);
+        Ok(len)
+    }
+
+    /// Unregisters one standing query of session `sid`.
+    pub fn unregister(&mut self, sid: u64, qid: &str) -> Result<(), WireError> {
+        for entry in self.graphs.values_mut() {
+            if entry.queries.remove(&(sid, qid.to_string())).is_some() {
+                return Ok(());
+            }
+        }
+        Err((ErrCode::UnknownQuery, format!("no query {qid}")))
+    }
+
+    /// Drops every standing query of a disconnected session; returns how
+    /// many were removed.
+    pub fn drop_session(&mut self, sid: u64) -> usize {
+        let mut removed = 0;
+        for entry in self.graphs.values_mut() {
+            let before = entry.queries.len();
+            entry.queries.retain(|(s, _), _| *s != sid);
+            removed += before - entry.queries.len();
+        }
+        removed
+    }
+
+    /// Reads a standing query's current digest with the sequence it
+    /// reflects (`QUERY`, over the shared lock).
+    pub fn query(&self, sid: u64, qid: &str) -> Option<(Vec<u64>, u64)> {
+        self.graphs.values().find_map(|entry| {
+            entry
+                .queries
+                .get(&(sid, qid.to_string()))
+                .map(|q| (q.digest.clone(), entry.backend.seq()))
+        })
+    }
+
+    /// Applies one client batch: dedup/gap check, commit (WAL-durable
+    /// where the graph is), then incremental notification of every
+    /// standing query on the graph. See the module docs for the
+    /// exactly-once protocol.
+    pub fn apply_update(
+        &mut self,
+        graph: &str,
+        token: &str,
+        client_seq: u64,
+        batch: &UpdateBatch,
+    ) -> Result<Ack, UpdateError> {
+        let wire = |c: ErrCode, d: String| UpdateError::Wire(c, d);
+        let Some(entry) = self.graphs.get_mut(graph) else {
+            return Err(wire(ErrCode::UnknownGraph, format!("no graph {graph}")));
+        };
+        if batch.len() > self.limits.max_batch_units {
+            return Err(wire(
+                ErrCode::TooLarge,
+                format!("batch caps at {} units", self.limits.max_batch_units),
+            ));
+        }
+        let last = entry.acks.get(token).copied().unwrap_or_default();
+        if client_seq == last.client_seq {
+            // The retry of an acked batch: re-ack, never re-apply.
+            incgraph_obs::counter("service.dedup_hits", 1);
+            return Ok(Ack {
+                client_seq,
+                wal_seq: last.wal_seq,
+                units: batch.len(),
+                dup: true,
+            });
+        }
+        if client_seq != last.client_seq + 1 {
+            return Err(wire(
+                ErrCode::SeqGap,
+                format!(
+                    "expected seq {} or {}",
+                    last.client_seq,
+                    last.client_seq + 1
+                ),
+            ));
+        }
+        let _span = incgraph_obs::span("service.apply");
+        let (wal_seq, applied) = match &mut entry.backend {
+            Backend::Memory { graph: g, seq } => {
+                let applied = batch
+                    .apply_validated(g)
+                    .map_err(|e| wire(ErrCode::InvalidBatch, e.to_string()))?;
+                *seq += 1;
+                (*seq, applied)
+            }
+            Backend::Durable { session, dedup } => {
+                if self.degraded {
+                    return Err(wire(
+                        ErrCode::ReadOnly,
+                        "store is in degraded read-only mode after a WAL failure".into(),
+                    ));
+                }
+                match session.apply_with(batch, |wal_seq| dedup.append(token, client_seq, wal_seq))
+                {
+                    Ok((_, applied)) => (session.last_seq(), applied),
+                    Err(DurableError::InvalidBatch(e)) => {
+                        return Err(wire(ErrCode::InvalidBatch, e.to_string()))
+                    }
+                    Err(DurableError::InjectedCrash(p)) => return Err(UpdateError::Crashed(p)),
+                    Err(e) => {
+                        // Real I/O or corruption: the in-memory graph was
+                        // rolled back, but trust in the log is gone —
+                        // degrade to read-only for the process lifetime.
+                        self.degraded = true;
+                        if incgraph_obs::enabled() {
+                            incgraph_obs::event("service.degraded", &e.to_string());
+                        }
+                        return Err(wire(
+                            ErrCode::Store,
+                            format!("{e}; store degraded to read-only"),
+                        ));
+                    }
+                }
+            }
+        };
+        entry.acks.insert(
+            token.to_string(),
+            AckRecord {
+                client_seq,
+                wal_seq,
+            },
+        );
+        incgraph_obs::counter("service.batches", 1);
+
+        // Notify standing queries: incremental update + digest diff.
+        let _notify = incgraph_obs::span("service.notify");
+        let g = match &entry.backend {
+            Backend::Memory { graph, .. } => graph,
+            Backend::Durable { session, .. } => session.graph(),
+        };
+        let max_entries = self.limits.max_delta_entries;
+        for ((_, qid), q) in entry.queries.iter_mut() {
+            let _cls = incgraph_obs::class_scope(q.class.name());
+            q.session.update_guarded(g, &applied);
+            let new = q.session.digest(g);
+            if new == q.digest {
+                continue;
+            }
+            if new.len() != q.digest.len() {
+                // Digest geometry changed (BC's bridge list can grow):
+                // positional diffs are meaningless, ask for a re-QUERY.
+                q.out.push_delta(qid, wal_seq, None, new.len());
+            } else {
+                let changed: BTreeMap<u32, u64> = new
+                    .iter()
+                    .zip(q.digest.iter())
+                    .enumerate()
+                    .filter(|(_, (n, o))| n != o)
+                    .map(|(i, (n, _))| (i as u32, *n))
+                    .collect();
+                if changed.len() > max_entries {
+                    q.out.push_delta(qid, wal_seq, None, new.len());
+                } else {
+                    incgraph_obs::observe("service.delta_entries", changed.len() as u64);
+                    q.out.push_delta(qid, wal_seq, Some(changed), new.len());
+                }
+            }
+            q.digest = new;
+        }
+        Ok(Ack {
+            client_seq,
+            wal_seq,
+            units: batch.len(),
+            dup: false,
+        })
+    }
+
+    /// Whether durable writes are refused.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Checkpoints every durable graph (graceful shutdown). Best-effort:
+    /// failures degrade the store but the drain continues.
+    pub fn checkpoint_all(&mut self) {
+        for entry in self.graphs.values_mut() {
+            if let Backend::Durable { session, .. } = &mut entry.backend {
+                if let Err(e) = session.checkpoint() {
+                    self.degraded = true;
+                    if incgraph_obs::enabled() {
+                        incgraph_obs::event("service.degraded", &e.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    /// `(graphs, standing queries)` for `STATUS`.
+    pub fn counts(&self) -> (usize, usize) {
+        (
+            self.graphs.len(),
+            self.graphs.values().map(|e| e.queries.len()).sum(),
+        )
+    }
+
+    /// Arms a one-shot crash injection on the named durable graph (the
+    /// chaos harness's in-process "kill -9 mid-commit").
+    pub fn arm_crash(&mut self, graph: &str, point: Option<CrashPoint>) -> bool {
+        match self.graphs.get_mut(graph) {
+            Some(GraphEntry {
+                backend: Backend::Durable { session, .. },
+                ..
+            }) => {
+                session.arm_crash(point);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The store's resource caps.
+    pub fn limits(&self) -> &StoreLimits {
+        &self.limits
+    }
+}
+
+/// Pattern seed the durable store's built-in states use; the chaos
+/// harness must build its reference with the same seed.
+pub const DURABLE_PATTERN_SEED: u64 = 0x1A2B3C4D;
