@@ -8,22 +8,28 @@
 //! module that contract was only documented; a long-running `incgraph
 //! serve` plus a concurrent `incgraph recover` would silently violate it.
 //!
-//! The lock is a `LOCK` file created with `O_EXCL` inside the store
-//! directory, holding the owner's numeric PID. Acquisition fails with the
-//! typed [`DurableError::StoreBusy`](crate::DurableError::StoreBusy) when
-//! a *live* owner holds it. A stale lock — the owner PID no longer exists,
-//! the normal aftermath of `kill -9` or an injected crash — is broken and
-//! re-acquired automatically, so crash recovery never needs a manual
-//! `rm LOCK`.
+//! The lock is an OS advisory file lock (`File::try_lock`: `flock`-style
+//! on Unix, `LockFileEx` on Windows) held on a `LOCK` file inside the
+//! store directory. Acquisition fails with the typed
+//! [`DurableError::StoreBusy`](crate::DurableError::StoreBusy) while any
+//! live owner — including another session in this same process — holds
+//! it. The kernel releases the lock when the owner's file handle closes,
+//! so a `kill -9` or an injected crash frees it instantly: there is no
+//! stale-lock state and therefore no lock-breaking step to race on. (An
+//! earlier existence-based design probed `/proc/<pid>` and deleted dead
+//! owners' files; two concurrent breakers could each delete the other's
+//! freshly created lock, ending with two live writers — the exact
+//! corruption the lock exists to prevent.)
 //!
-//! Liveness is probed via `/proc/<pid>` where that filesystem exists
-//! (Linux, which is where CI and the service run). On platforms without
-//! `/proc`, an existing lock is conservatively treated as live: breaking
-//! another process's lock is the one failure mode this module exists to
-//! prevent, so the fallback errs toward `StoreBusy`.
+//! The file's content is purely diagnostic: the owner writes its PID
+//! after acquiring so a losing opener can report who holds the store.
+//! The file itself is left in place on release — existence means
+//! nothing, only the kernel lock does. Unlinking it would reopen a race
+//! (a waiter holding the old inode and a newcomer creating a fresh one
+//! could both acquire "the" lock on different inodes).
 
-use std::fs::OpenOptions;
-use std::io::{ErrorKind, Read, Write};
+use std::fs::{File, OpenOptions, TryLockError};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::DurableError;
@@ -31,62 +37,47 @@ use crate::DurableError;
 /// File name of the lock inside a durable directory.
 pub const LOCK_NAME: &str = "LOCK";
 
-/// An acquired store lock. Releasing is automatic: dropping the guard
-/// removes the lock file. A process killed before the drop leaves a
-/// stale file that the next acquirer breaks via the PID liveness probe.
+/// An acquired store lock. The OS lock is held for exactly as long as
+/// this guard (its file handle) lives; dropping it — or dying, however
+/// abruptly — releases it.
 #[derive(Debug)]
 pub struct StoreLock {
+    file: File,
     path: PathBuf,
 }
 
-/// Whether a process with this PID is currently alive, as far as this
-/// platform lets us tell: `Some(true)`/`Some(false)` with `/proc`,
-/// `None` (unknowable) without it.
-fn pid_alive(pid: u32) -> Option<bool> {
-    if !Path::new("/proc").is_dir() {
-        return None;
-    }
-    Some(Path::new(&format!("/proc/{pid}")).exists())
-}
-
 impl StoreLock {
-    /// Acquires the lock for `dir`, breaking a stale one if its owner is
-    /// provably dead. Returns [`DurableError::StoreBusy`] when a live
-    /// owner (possibly this very process, via another session) holds it.
+    /// Acquires the lock for `dir`. Returns [`DurableError::StoreBusy`]
+    /// when a live owner (possibly this very process, via another
+    /// session) holds it.
     pub fn acquire(dir: &Path) -> Result<StoreLock, DurableError> {
         let path = dir.join(LOCK_NAME);
-        // One break attempt is enough: if the file reappears after we
-        // removed a stale one, a concurrent acquirer won the race and is
-        // a live owner by definition.
-        for attempt in 0..2 {
-            match OpenOptions::new().write(true).create_new(true).open(&path) {
-                Ok(mut f) => {
-                    let pid = std::process::id();
-                    f.write_all(format!("{pid}\n").as_bytes())?;
-                    f.sync_all()?;
-                    return Ok(StoreLock { path });
-                }
-                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
-                    let owner = read_owner(&path);
-                    let stale = matches!(owner.map(pid_alive), Some(Some(false)));
-                    if stale && attempt == 0 {
-                        // Breaking a dead owner's lock; ignore a racing
-                        // removal by another acquirer.
-                        match std::fs::remove_file(&path) {
-                            Ok(()) => continue,
-                            Err(e) if e.kind() == ErrorKind::NotFound => continue,
-                            Err(e) => return Err(DurableError::Io(e)),
-                        }
-                    }
-                    return Err(DurableError::StoreBusy {
-                        dir: dir.display().to_string(),
-                        pid: owner.unwrap_or(0),
-                    });
-                }
-                Err(e) => return Err(DurableError::Io(e)),
+        // Never truncate on open: until the lock is ours the file's
+        // content is the current owner's PID advertisement.
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => {
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(format!("{}\n", std::process::id()).as_bytes())?;
+                file.sync_all()?;
+                Ok(StoreLock { file, path })
             }
+            Err(TryLockError::WouldBlock) => {
+                let mut s = String::new();
+                let _ = file.read_to_string(&mut s);
+                Err(DurableError::StoreBusy {
+                    dir: dir.display().to_string(),
+                    pid: s.trim().parse().unwrap_or(0),
+                })
+            }
+            Err(TryLockError::Error(e)) => Err(DurableError::Io(e)),
         }
-        unreachable!("second O_EXCL attempt either succeeds or returns");
     }
 
     /// The lock file's path (for diagnostics and tests).
@@ -95,20 +86,12 @@ impl StoreLock {
     }
 }
 
-fn read_owner(path: &Path) -> Option<u32> {
-    let mut s = String::new();
-    std::fs::File::open(path)
-        .ok()?
-        .read_to_string(&mut s)
-        .ok()?;
-    s.trim().parse().ok()
-}
-
 impl Drop for StoreLock {
     fn drop(&mut self) {
-        // Best effort: a failed removal leaves a stale lock that the
-        // next acquirer's liveness probe breaks.
-        let _ = std::fs::remove_file(&self.path);
+        // Clear the PID advertisement; the kernel lock itself is
+        // released when `file` closes. Deliberately no unlink — see the
+        // module docs.
+        let _ = self.file.set_len(0);
     }
 }
 
@@ -140,26 +123,46 @@ mod tests {
     }
 
     #[test]
-    fn stale_lock_of_a_dead_pid_is_broken() {
-        if Path::new("/proc").is_dir() {
-            let dir = temp_dir("stale");
-            // PIDs are sequential from low numbers; u32::MAX - 7 is not a
-            // live process on any sane system.
-            std::fs::write(dir.join(LOCK_NAME), format!("{}\n", u32::MAX - 7)).unwrap();
-            let lock = StoreLock::acquire(&dir).expect("stale lock must be broken");
-            drop(lock);
-            std::fs::remove_dir_all(&dir).unwrap();
-        }
+    fn leftover_lock_file_of_a_dead_owner_does_not_block() {
+        let dir = temp_dir("leftover");
+        // Simulate the aftermath of `kill -9`: the file (with the dead
+        // owner's pid) survives, but the kernel lock died with the
+        // process — acquisition must succeed without any manual cleanup.
+        std::fs::write(dir.join(LOCK_NAME), format!("{}\n", u32::MAX - 7)).unwrap();
+        let lock = StoreLock::acquire(&dir).expect("unlocked leftover must be ignorable");
+        drop(lock);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn unparsable_lock_is_treated_as_live() {
+    fn garbled_lock_content_is_diagnostic_only() {
         let dir = temp_dir("garbled");
+        // Content never gates acquisition: an unlocked file with garbage
+        // acquires fine...
         std::fs::write(dir.join(LOCK_NAME), "not a pid").unwrap();
-        assert!(matches!(
-            StoreLock::acquire(&dir),
-            Err(DurableError::StoreBusy { pid: 0, .. })
-        ));
+        let lock = StoreLock::acquire(&dir).unwrap();
+        // ...and while locked, a second opener is busy regardless of
+        // what it can parse out of the file.
+        match StoreLock::acquire(&dir) {
+            Err(DurableError::StoreBusy { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected StoreBusy, got {other:?}"),
+        }
+        drop(lock);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn release_leaves_the_file_but_clears_the_pid() {
+        let dir = temp_dir("release");
+        let lock = StoreLock::acquire(&dir).unwrap();
+        let path = lock.path().to_path_buf();
+        drop(lock);
+        assert!(path.exists(), "lock file is not unlinked on release");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            Vec::<u8>::new(),
+            "pid advertisement is cleared on release"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -18,8 +18,12 @@
 //! 3. ack the client.
 //!
 //! A crash between 1 and 2 leaves an intent whose WAL sequence was never
-//! committed; [`DedupLog::open`] discards any intent with
-//! `wal_seq > last committed WAL sequence`, so the client's retry
+//! committed; [`DedupLog::open`] *physically truncates* the log at the
+//! first intent with `wal_seq > last committed WAL sequence` (intents
+//! are appended in WAL order, so uncommitted ones are a suffix). The
+//! orphan must not merely be skipped: its WAL sequence will be reused by
+//! the next committed batch, and a retained orphan would then alias into
+//! a false ack on a later open. With it gone, the client's retry
 //! re-applies cleanly. A crash between 2 and 3 leaves both records, so
 //! the retry is recognized and re-acked without re-applying. A WAL
 //! append that fails with a *real* I/O error flips the graph into
@@ -119,14 +123,23 @@ impl DedupLog {
             let Ok(token) = std::str::from_utf8(&payload[18..]) else {
                 break;
             };
-            if wal_seq <= committed_wal_seq {
-                let rec = index.entry(token.to_string()).or_default();
-                if client_seq >= rec.client_seq {
-                    *rec = AckRecord {
-                        client_seq,
-                        wal_seq,
-                    };
-                }
+            if wal_seq > committed_wal_seq {
+                // Intents are appended in WAL-sequence order, so this
+                // record and everything after it is an uncommitted
+                // suffix. Stop *before* advancing `pos` so the
+                // truncation below physically discards it — if it were
+                // merely skipped here but kept in the file, a later
+                // batch could commit under the same WAL sequence and a
+                // subsequent open would fold the orphan in as acked,
+                // silently losing the original client's retry.
+                break;
+            }
+            let rec = index.entry(token.to_string()).or_default();
+            if client_seq >= rec.client_seq {
+                *rec = AckRecord {
+                    client_seq,
+                    wal_seq,
+                };
             }
             pos = end;
         }
@@ -217,6 +230,46 @@ mod tests {
                 wal_seq: 10
             },
             "the uncommitted intent must not count as acked"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphaned_intent_is_physically_discarded_not_just_skipped() {
+        let dir = temp_dir("orphan-alias");
+        {
+            let (mut log, _) = DedupLog::open(&dir, 0).unwrap();
+            log.append("alice", 1, 10).unwrap();
+            // Crash between intent fsync and WAL append: seq 11 is an
+            // orphan whose WAL slot the next committed batch will reuse.
+            log.append("alice", 2, 11).unwrap();
+        }
+        {
+            // Restart: the orphan must be cut out of the file, not
+            // merely excluded from the index.
+            let (mut log, index) = DedupLog::open(&dir, 10).unwrap();
+            assert_eq!(index["alice"].client_seq, 1);
+            // A different client commits under the recycled WAL seq 11.
+            log.append("bob", 1, 11).unwrap();
+        }
+        // Second restart, WAL now committed through 11. If the orphan
+        // had survived the first open, alice's seq 2 would now alias in
+        // as acked and her retry would be swallowed as a dup.
+        let (_, index) = DedupLog::open(&dir, 11).unwrap();
+        assert_eq!(
+            index["alice"],
+            AckRecord {
+                client_seq: 1,
+                wal_seq: 10
+            },
+            "orphaned intent must not resurrect once its wal_seq is recycled"
+        );
+        assert_eq!(
+            index["bob"],
+            AckRecord {
+                client_seq: 1,
+                wal_seq: 11
+            }
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

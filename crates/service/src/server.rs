@@ -332,11 +332,23 @@ fn spawn_session(shared: &Arc<Shared>, stream: TcpStream, sid: u64) -> bool {
     {
         let sessions = shared.sessions();
         if sessions.len() >= cfg.max_sessions {
-            // Shed at the door with the same BUSY shape commands get.
+            // Shed at the door with the same BUSY shape commands get —
+            // on a throwaway thread with a tight timeout, so a peer
+            // that connects and never reads cannot stall the accept
+            // loop for the full write_timeout per shed connection.
             let mut s = stream;
-            let _ = s.set_write_timeout(Some(cfg.write_timeout));
-            let _ = s.write_all(format!("BUSY {}\n", cfg.retry_after_ms).as_bytes());
-            let _ = s.shutdown(Shutdown::Both);
+            let retry_after_ms = cfg.retry_after_ms;
+            let spawned = thread::Builder::new()
+                .name("svc-shed".into())
+                .stack_size(64 * 1024)
+                .spawn(move || {
+                    let _ = s.set_write_timeout(Some(Duration::from_millis(100)));
+                    let _ = s.write_all(format!("BUSY {retry_after_ms}\n").as_bytes());
+                    let _ = s.shutdown(Shutdown::Both);
+                });
+            // If the spawn fails the socket just drops; the client sees
+            // a reset instead of BUSY, which is still a shed.
+            drop(spawned);
             return false;
         }
     }
@@ -570,10 +582,10 @@ fn handle_line(
                 None => ctx.err(ErrCode::ShuttingDown, "store is gone"),
                 Some(store) => {
                     let (graphs, queries) = store.counts();
-                    let phase = if shared.phase() == RUNNING {
-                        "running"
-                    } else {
-                        "draining"
+                    let phase = match shared.phase() {
+                        RUNNING => "running",
+                        DRAINING => "draining",
+                        _ => "killed",
                     };
                     ctx.out.push_line(format!(
                         "OK STATUS graphs={graphs} queries={queries} sessions={sessions} \
