@@ -21,7 +21,7 @@ use crate::persist::{self, StateLoadError};
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_core::par::ParEngine;
-use incgraph_core::scope::{bounded_scope, pe_reset_scope, ContributorOracle};
+use incgraph_core::scope::{bounded_scope_in, pe_reset_scope_in, ContributorOracle, ScopeScratch};
 use incgraph_core::spec::{FixpointSpec, Relax};
 use incgraph_core::status::Status;
 use incgraph_graph::{AppliedBatch, CsrSnapshot, DynamicGraph, GraphView, NodeId};
@@ -147,6 +147,9 @@ pub struct CcState {
     engine: Engine,
     threads: usize,
     par: Option<ParEngine>,
+    /// Reusable arena for the scope function: epoch-reset bitmaps and
+    /// high-water vectors make steady-state updates allocation-free.
+    scratch: ScopeScratch,
 }
 
 impl CcState {
@@ -163,6 +166,7 @@ impl CcState {
                 engine,
                 threads: 1,
                 par: None,
+                scratch: ScopeScratch::new(),
             },
             stats,
         )
@@ -184,6 +188,7 @@ impl CcState {
                 engine: Engine::new(g.node_count()),
                 threads,
                 par: Some(par),
+                scratch: ScopeScratch::new(),
             },
             stats,
         )
@@ -195,9 +200,11 @@ impl CcState {
         self.threads = threads.max(1);
     }
 
-    /// Resumes the step function over `scope` on the configured engine.
+    /// Resumes the step function over `scope` on the configured engine:
+    /// the parallel engine when `threads > 1` or one is already attached
+    /// (inline bucket-queue at 1 shard), the sequential heap otherwise.
     fn resume<G: GraphView>(&mut self, spec: &CcSpec<'_, G>, scope: &[usize]) -> RunStats {
-        if self.threads > 1 {
+        if self.threads > 1 || self.par.is_some() {
             let fresh = !matches!(&self.par,
                 Some(p) if p.num_vars() == spec.num_vars() && p.nthreads() == self.threads);
             if fresh {
@@ -259,14 +266,14 @@ impl CcState {
         // affected. An inserted edge can only lower the endpoint with the
         // larger old label. Equal-label insertions and distinct-label
         // deletions provably change nothing.
-        let mut touched: Vec<usize> = Vec::with_capacity(applied.len());
+        self.scratch.touched.clear();
         for op in applied.ops() {
             let (a, b) = (op.src as usize, op.dst as usize);
             let (va, vb) = (self.status.get(a), self.status.get(b));
             if op.inserted {
                 match va.cmp(&vb) {
-                    std::cmp::Ordering::Less => touched.push(b),
-                    std::cmp::Ordering::Greater => touched.push(a),
+                    std::cmp::Ordering::Less => self.scratch.touched.push(b),
+                    std::cmp::Ordering::Greater => self.scratch.touched.push(a),
                     std::cmp::Ordering::Equal => {}
                 }
             } else if va == vb {
@@ -276,18 +283,21 @@ impl CcState {
                     b
                 };
                 if self.status.get(e) != e as CompId {
-                    touched.push(e);
+                    self.scratch.touched.push(e);
                 }
             }
         }
-        touched.sort_unstable();
-        touched.dedup();
+        self.scratch.touched.sort_unstable();
+        self.scratch.touched.dedup();
         // Weakly deducible: <_C comes from the live timestamps (h never
         // restamps, so these are the previous run's); no snapshots.
         let oracle = CcOracle { g };
-        let scope = bounded_scope(&spec, &oracle, &mut self.status, touched);
-        let run = self.resume(&spec, &scope.scope);
-        BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
+        let stats = bounded_scope_in(&spec, &oracle, &mut self.status, &mut self.scratch);
+        let scope = std::mem::take(&mut self.scratch.scope);
+        let run = self.resume(&spec, &scope);
+        let report = BoundednessReport::new(spec.num_vars(), scope.len(), stats, run);
+        self.scratch.scope = scope;
+        report
     }
 
     /// The deducible-but-unbounded strategy of Example 2 (Theorem 1):
@@ -300,10 +310,21 @@ impl CcState {
     ) -> BoundednessReport {
         self.ensure_size(g);
         let spec = CcSpec::new(g);
-        let touched = Self::touched(applied);
-        let scope = pe_reset_scope(&spec, &mut self.status, touched);
-        let run = self.resume(&spec, &scope.scope);
-        BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
+        self.scratch.touched.clear();
+        self.scratch.touched.extend(
+            applied
+                .ops()
+                .iter()
+                .flat_map(|o| [o.src as usize, o.dst as usize]),
+        );
+        self.scratch.touched.sort_unstable();
+        self.scratch.touched.dedup();
+        let stats = pe_reset_scope_in(&spec, &mut self.status, &mut self.scratch);
+        let scope = std::mem::take(&mut self.scratch.scope);
+        let run = self.resume(&spec, &scope);
+        let report = BoundednessReport::new(spec.num_vars(), scope.len(), stats, run);
+        self.scratch.scope = scope;
+        report
     }
 
     /// Resident bytes of the algorithm's state (Fig. 8). Includes the
@@ -312,6 +333,7 @@ impl CcState {
         self.status.space_bytes()
             + self.engine.space_bytes()
             + self.par.as_ref().map_or(0, |p| p.space_bytes())
+            + self.scratch.space_bytes()
     }
 
     /// Serializes the durable essence (`SaveState`): the label status
@@ -352,18 +374,8 @@ impl CcState {
             engine: Engine::new(n),
             threads: 1,
             par: None,
+            scratch: ScopeScratch::new(),
         })
-    }
-
-    fn touched(applied: &AppliedBatch) -> Vec<usize> {
-        let mut t: Vec<usize> = applied
-            .ops()
-            .iter()
-            .flat_map(|o| [o.src as usize, o.dst as usize])
-            .collect();
-        t.sort_unstable();
-        t.dedup();
-        t
     }
 
     fn ensure_size(&mut self, g: &DynamicGraph) {

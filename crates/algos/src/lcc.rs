@@ -103,12 +103,61 @@ impl<G: GraphView> FixpointSpec for LccSpec<'_, G> {
     }
 }
 
+/// Reusable flat scratch for the `IncLCC` delta path: the batch-edge
+/// timeline overlay plus the λ delta accumulator. All lookups are binary
+/// searches over sorted arrays — no hashing — and every vector keeps its
+/// high-water capacity, so steady-state updates allocate nothing.
+#[derive(Clone, Debug, Default)]
+struct LccScratch {
+    /// Sorted canonical `(min << 32) | max` keys of the batch's edges.
+    keys: Vec<u64>,
+    /// Present/absent in the current timeline view, parallel to `keys`.
+    present: Vec<bool>,
+    /// Batch incidences `(node, partner, key index)`, sorted by node, so
+    /// batch-edge partners of a node are one range scan.
+    incid: Vec<(NodeId, NodeId, u32)>,
+    /// Accumulated `λ` deltas `(node, ±count)`, merged and applied once.
+    deltas: Vec<(NodeId, i64)>,
+    /// Distinct endpoint nodes of the batch (degree refresh).
+    endpoints: Vec<NodeId>,
+}
+
+impl LccScratch {
+    fn space_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u64>()
+            + self.present.capacity()
+            + self.incid.capacity() * std::mem::size_of::<(NodeId, NodeId, u32)>()
+            + self.deltas.capacity() * std::mem::size_of::<(NodeId, i64)>()
+            + self.endpoints.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+/// Canonical undirected key of `(a, b)`.
+#[inline]
+fn lcc_key(a: NodeId, b: NodeId) -> u64 {
+    let (x, y) = if a <= b { (a, b) } else { (b, a) };
+    ((x as u64) << 32) | y as u64
+}
+
+/// Whether edge `(a, b)` exists in the current timeline view: batch edges
+/// answer from the overlay, every other edge is identical in all views
+/// and answers from the final graph.
+#[inline]
+fn edge_in_view(g: &DynamicGraph, keys: &[u64], present: &[bool], a: NodeId, b: NodeId) -> bool {
+    match keys.binary_search(&lcc_key(a, b)) {
+        Ok(i) => present[i],
+        Err(_) => g.has_edge(a, b),
+    }
+}
+
 /// LCC state: the previous counts plus the reusable engine.
 pub struct LccState {
     status: Status<Count>,
     engine: Engine,
     threads: usize,
     par: Option<ParEngine>,
+    /// Flat scratch of the delta update path.
+    scratch: LccScratch,
 }
 
 impl LccState {
@@ -124,6 +173,7 @@ impl LccState {
                 engine,
                 threads: 1,
                 par: None,
+                scratch: LccScratch::default(),
             },
             stats,
         )
@@ -145,6 +195,7 @@ impl LccState {
                 engine: Engine::new(g.node_count() * 2),
                 threads,
                 par: Some(par),
+                scratch: LccScratch::default(),
             },
             stats,
         )
@@ -156,9 +207,11 @@ impl LccState {
         self.threads = threads.max(1);
     }
 
-    /// Resumes the step function over `scope` on the configured engine.
+    /// Resumes the step function over `scope` on the configured engine:
+    /// the parallel engine when `threads > 1` or one is already attached
+    /// (inline bucket-queue at 1 shard), the sequential heap otherwise.
     fn resume<G: GraphView>(&mut self, spec: &LccSpec<'_, G>, scope: &[usize]) -> RunStats {
-        if self.threads > 1 {
+        if self.threads > 1 || self.par.is_some() {
             let fresh = !matches!(&self.par,
                 Some(p) if p.num_vars() == spec.num_vars() && p.nthreads() == self.threads);
             if fresh {
@@ -216,30 +269,198 @@ impl LccState {
             .collect()
     }
 
-    /// `IncLCC`: mark the PE variables of each changed edge and re-run
-    /// the unchanged step function on them.
+    /// `IncLCC`, delta form: instead of re-evaluating `f_{λ_w}` (a full
+    /// neighborhood-intersection scan per affected node), maintain the
+    /// triangle counts *arithmetically*. A changed edge `(u, v)` with `c`
+    /// common neighbors in the graph state it was applied to changes
+    /// `λ_u` and `λ_v` by `±c` and each common neighbor's `λ_w` by `±1`;
+    /// degrees are re-read from the final graph. This is value-identical
+    /// to the re-evaluation path (kept as
+    /// [`update_reeval`](Self::update_reeval), the `abl` baseline) but
+    /// does one intersection per changed edge instead of one per affected
+    /// node — the difference between `O(Δ·d)` and `O(Δ·d²)` per batch.
+    ///
+    /// Intermediate graph states inside the batch are reconstructed by
+    /// walking the effective ops in *reverse* from the final graph with a
+    /// flat timeline overlay over just the batch's edges (everything else
+    /// is identical in every intermediate state). Deltas accumulate as
+    /// signed counts and are applied once at the end, so a transient
+    /// negative running sum (deltas arrive in reverse order) never
+    /// touches the unsigned status.
+    pub fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+        self.ensure_size(g);
+        let n_vars = g.node_count() * 2;
+
+        let s = &mut self.scratch;
+        s.keys.clear();
+        s.present.clear();
+        s.incid.clear();
+        s.deltas.clear();
+        s.endpoints.clear();
+        for op in applied.ops() {
+            s.keys.push(lcc_key(op.src, op.dst));
+        }
+        s.keys.sort_unstable();
+        s.keys.dedup();
+        for (i, &k) in s.keys.iter().enumerate() {
+            let a = (k >> 32) as NodeId;
+            let b = (k & 0xffff_ffff) as NodeId;
+            s.present.push(g.has_edge(a, b));
+            s.incid.push((a, b, i as u32));
+            s.incid.push((b, a, i as u32));
+        }
+        s.incid.sort_unstable();
+
+        let mut reads = 0u64;
+        for op in applied.ops().iter().rev() {
+            let (u, v) = (op.src, op.dst);
+            s.endpoints.push(u);
+            s.endpoints.push(v);
+            let ki = s
+                .keys
+                .binary_search(&lcc_key(u, v))
+                .expect("batch edge is keyed");
+            if !op.inserted {
+                // Undo the delete first: its Δ was computed on the
+                // pre-delete view. (The (u,v) edge itself never counts —
+                // no self-loops on undirected graphs.)
+                s.present[ki] = true;
+            }
+            let sign: i64 = if op.inserted { 1 } else { -1 };
+
+            // Probe the endpoint with the smaller candidate set: final
+            // adjacency plus batch partners.
+            let range = |x: NodeId| {
+                let lo = s.incid.partition_point(|&(n, _, _)| n < x);
+                let hi = s.incid.partition_point(|&(n, _, _)| n <= x);
+                lo..hi
+            };
+            let (ru, rv) = (range(u), range(v));
+            let (probe, other, rp) = if g.out_degree(u) + ru.len() <= g.out_degree(v) + rv.len() {
+                (u, v, ru)
+            } else {
+                (v, u, rv)
+            };
+            let mut c: i64 = 0;
+            for &(w, _) in g.out_neighbors(probe) {
+                if w == other {
+                    continue;
+                }
+                reads += 1;
+                if edge_in_view(g, &s.keys, &s.present, probe, w)
+                    && edge_in_view(g, &s.keys, &s.present, other, w)
+                {
+                    c += 1;
+                    s.deltas.push((w, sign));
+                }
+            }
+            // Batch partners absent from the final graph can still be
+            // neighbors in this view; partners present in the final graph
+            // were already scanned above.
+            for idx in rp {
+                let (_, w, kw) = s.incid[idx];
+                if w == other || g.has_edge(probe, w) {
+                    continue;
+                }
+                reads += 1;
+                if s.present[kw as usize] && edge_in_view(g, &s.keys, &s.present, other, w) {
+                    c += 1;
+                    s.deltas.push((w, sign));
+                }
+            }
+            if c != 0 {
+                s.deltas.push((u, sign * c));
+                s.deltas.push((v, sign * c));
+            }
+            if op.inserted {
+                s.present[ki] = false; // undo the insert
+            }
+        }
+
+        // Apply: merge λ deltas per node, then refresh endpoint degrees.
+        let mut changed = 0u64;
+        let mut lambda_vars = 0u64;
+        s.deltas.sort_unstable_by_key(|&(w, _)| w);
+        let mut i = 0;
+        while i < s.deltas.len() {
+            let w = s.deltas[i].0;
+            let mut d = 0i64;
+            while i < s.deltas.len() && s.deltas[i].0 == w {
+                d += s.deltas[i].1;
+                i += 1;
+            }
+            lambda_vars += 1;
+            if d != 0 {
+                let x = w as usize * 2 + 1;
+                let old = self.status.get(x) as i64;
+                // `old + d ≥ 0` whenever the applied ops match the graph;
+                // saturate instead of asserting so an injected-fault ΔG
+                // (oracle campaigns doctor batches on purpose) degrades to
+                // a wrong value the differential oracle can observe,
+                // rather than a panic.
+                self.status.set_unstamped(x, (old + d).max(0) as Count);
+                changed += 1;
+            }
+        }
+        s.endpoints.sort_unstable();
+        s.endpoints.dedup();
+        for &e in s.endpoints.iter() {
+            let x = e as usize * 2;
+            let new = g.degree(e) as Count;
+            if self.status.get(x) != new {
+                self.status.set_unstamped(x, new);
+                changed += 1;
+            }
+        }
+
+        // Every variable the delta path wrote or considered is counted as
+        // inspected, so the strict `|AFF_diff| ≤ inspected` boundedness
+        // accounting holds exactly as for the engine-backed path.
+        let distinct = s.endpoints.len() as u64 + lambda_vars;
+        let run = RunStats {
+            pops: applied.len() as u64,
+            evals: distinct,
+            changes: changed,
+            reads,
+            distinct_vars: distinct,
+            ..RunStats::default()
+        };
+        BoundednessReport::new(n_vars, distinct as usize, ScopeStats::default(), run)
+    }
+
+    /// `IncLCC`, re-evaluation form (the PR 2–6 implementation, kept as
+    /// the ablation baseline and differential cross-check): mark the PE
+    /// variables of each changed edge and re-run the unchanged step
+    /// function on them.
     ///
     /// The PE set per changed edge `(u, v)` is the *exact* affected set:
     /// `d_u`, `d_v`, `λ_u`, `λ_v`, plus `λ_w` for every common neighbor
     /// `w` of `u` and `v` — only nodes adjacent to both endpoints gain or
     /// lose a triangle (a refinement of the paper's conservative one-hop
     /// marking that keeps `H⁰ ⊆ AFF` tight). Common neighbors are taken
-    /// over the new adjacency *plus* the batch's deleted incidences, so
-    /// triangles destroyed by multiple deletions in one batch are still
-    /// caught.
-    pub fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
+    /// over the new adjacency *plus* the batch's deleted incidences
+    /// (tracked in a sorted flat pair list, not a hash map), so triangles
+    /// destroyed by multiple deletions in one batch are still caught.
+    pub fn update_reeval(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
         self.ensure_size(g);
         let spec = LccSpec::new(g);
 
-        // Batch-local deleted incidences: old-only adjacency.
-        let mut deleted_adj: std::collections::HashMap<NodeId, Vec<NodeId>> =
-            std::collections::HashMap::new();
+        // Batch-local deleted incidences: old-only adjacency, as sorted
+        // (node, partner) pairs.
+        let mut deleted: Vec<(NodeId, NodeId)> = Vec::new();
         for (u, v, _) in applied.deleted() {
-            deleted_adj.entry(u).or_default().push(v);
-            deleted_adj.entry(v).or_default().push(u);
+            deleted.push((u, v));
+            deleted.push((v, u));
         }
+        deleted.sort_unstable();
+        deleted.dedup();
+        let deleted_range = |x: NodeId| {
+            let lo = deleted.partition_point(|&(n, _)| n < x);
+            let hi = deleted.partition_point(|&(n, _)| n <= x);
+            lo..hi
+        };
         let neighbor = |x: NodeId, y: NodeId| -> bool {
-            g.has_edge(x, y) || deleted_adj.get(&x).map(|d| d.contains(&y)).unwrap_or(false)
+            g.has_edge(x, y) || deleted.binary_search(&(x, y)).is_ok()
         };
 
         let mut scope: Vec<usize> = Vec::new();
@@ -251,19 +472,19 @@ impl LccState {
             }
             // Common neighbors over new ∪ batch-deleted adjacency: probe
             // the smaller incidence list of u against v.
-            let du = g.out_neighbors(u).len() + deleted_adj.get(&u).map(|d| d.len()).unwrap_or(0);
-            let dv = g.out_neighbors(v).len() + deleted_adj.get(&v).map(|d| d.len()).unwrap_or(0);
-            let (probe, other) = if du <= dv { (u, v) } else { (v, u) };
+            let (ru, rv) = (deleted_range(u), deleted_range(v));
+            let du = g.out_degree(u) + ru.len();
+            let dv = g.out_degree(v) + rv.len();
+            let (probe, other, rp) = if du <= dv { (u, v, ru) } else { (v, u, rv) };
             for &(w, _) in g.out_neighbors(probe) {
                 if neighbor(w, other) {
                     scope.push(w as usize * 2 + 1);
                 }
             }
-            if let Some(dl) = deleted_adj.get(&probe) {
-                for &w in dl {
-                    if neighbor(w, other) {
-                        scope.push(w as usize * 2 + 1);
-                    }
+            for idx in rp {
+                let (_, w) = deleted[idx];
+                if neighbor(w, other) {
+                    scope.push(w as usize * 2 + 1);
                 }
             }
         }
@@ -280,6 +501,7 @@ impl LccState {
         self.status.space_bytes()
             + self.engine.space_bytes()
             + self.par.as_ref().map_or(0, |p| p.space_bytes())
+            + self.scratch.space_bytes()
     }
 
     /// Serializes the durable essence (`SaveState`): the interleaved
@@ -318,6 +540,7 @@ impl LccState {
             engine: Engine::new(expected),
             threads: 1,
             par: None,
+            scratch: LccScratch::default(),
         })
     }
 
@@ -530,6 +753,44 @@ mod tests {
         let report = state.update(&g, &applied);
         assert!(report.inspected_vars <= 12, "got {}", report.inspected_vars);
         assert_eq!(state.triangles(998), 1);
+    }
+
+    #[test]
+    fn delta_path_matches_reeval_path() {
+        // The arithmetic delta path and the PE re-evaluation ablation must
+        // land on identical counts after every round, including batches
+        // that churn the same edge repeatedly (timeline overlay) and
+        // batches that delete whole triangles.
+        use incgraph_graph::rng::SplitMix64;
+        let mut g1 = incgraph_graph::gen::uniform(60, 300, false, 1, 1, 44);
+        let mut g2 = g1.clone();
+        let (mut delta, _) = LccState::batch(&g1);
+        let (mut reeval, _) = LccState::batch(&g2);
+        let mut rng = SplitMix64::seed_from_u64(21);
+        for round in 0..15 {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..12 {
+                let u = rng.gen_range(0..60) as NodeId;
+                let v = rng.gen_range(0..60) as NodeId;
+                if rng.gen_bool(0.5) {
+                    batch.insert(u, v, 1);
+                } else {
+                    batch.delete(u, v);
+                }
+            }
+            // Churn one edge inside the same batch: ins/del/ins runs.
+            batch.delete(1, 2).insert(1, 2, 1).delete(1, 2);
+            let a1 = batch.clone().apply(&mut g1);
+            let a2 = batch.apply(&mut g2);
+            assert_eq!(a1.ops(), a2.ops());
+            delta.update(&g1, &a1);
+            reeval.update_reeval(&g2, &a2);
+            assert_eq!(
+                delta.status.values(),
+                reeval.status.values(),
+                "divergence at round {round}"
+            );
+        }
     }
 
     #[test]

@@ -158,6 +158,15 @@ pub struct ExecOptions {
     pub policy: FallbackPolicy,
     /// Post-run fixpoint audit; `None` skips auditing.
     pub audit: Option<FixpointAudit>,
+    /// Canonicalize the presented ΔG through the micro-batch
+    /// [`Coalescer`](incgraph_core::Coalescer) before dispatching it to
+    /// the class update. Within-batch churn on one edge (insert→delete,
+    /// delete→re-insert) collapses to its net effect, so the incremental
+    /// step sees at most one delete and one insert per edge. The net
+    /// batch is equivalent by construction — same pre-state, same
+    /// post-state — so results are unchanged; only wasted scope work on
+    /// self-cancelling ops is saved.
+    pub micro_batch: bool,
 }
 
 /// The hardened update path: one incremental step under an
@@ -212,6 +221,16 @@ fn run_guarded<S: IncrementalState + ?Sized>(
     if let Some(threads) = options.threads {
         state.set_threads(threads);
     }
+    // Micro-batch canonicalization: collapse within-batch churn to its
+    // net effect before the class update sees the ΔG. Only rebuilds the
+    // batch when it could actually shrink (≥2 ops).
+    let coalesced;
+    let applied = if options.micro_batch && applied.len() > 1 {
+        coalesced = incgraph_core::coalesce_batches(g.is_directed(), [applied]);
+        &coalesced
+    } else {
+        applied
+    };
     let policy = &options.policy;
     let total = state.total_vars(g);
     state.set_work_budget(policy.var_limit(total));
@@ -287,6 +306,7 @@ pub fn update_guarded<S: IncrementalState + ?Sized>(
             threads: None,
             policy: *policy,
             audit: audit.copied(),
+            micro_batch: false,
         },
     )
 }

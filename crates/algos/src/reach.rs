@@ -19,7 +19,7 @@ use crate::persist::{self, StateLoadError};
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_core::par::ParEngine;
-use incgraph_core::scope::{bounded_scope, ContributorOracle};
+use incgraph_core::scope::{bounded_scope_in, ContributorOracle, ScopeScratch};
 use incgraph_core::spec::{FixpointSpec, Relax};
 use incgraph_core::status::Status;
 use incgraph_graph::{AppliedBatch, CsrSnapshot, DynamicGraph, GraphView, NodeId};
@@ -119,6 +119,9 @@ pub struct ReachState {
     engine: Engine,
     threads: usize,
     par: Option<ParEngine>,
+    /// Reusable arena for the scope function: epoch-reset bitmaps and
+    /// high-water vectors make steady-state updates allocation-free.
+    scratch: ScopeScratch,
 }
 
 impl ReachState {
@@ -140,6 +143,7 @@ impl ReachState {
                 engine,
                 threads: 1,
                 par: None,
+                scratch: ScopeScratch::new(),
             },
             stats,
         )
@@ -167,6 +171,7 @@ impl ReachState {
                 engine: Engine::new(g.node_count()),
                 threads,
                 par: Some(par),
+                scratch: ScopeScratch::new(),
             },
             stats,
         )
@@ -178,9 +183,11 @@ impl ReachState {
         self.threads = threads.max(1);
     }
 
-    /// Resumes the step function over `scope` on the configured engine.
+    /// Resumes the step function over `scope` on the configured engine:
+    /// the parallel engine when `threads > 1` or one is already attached
+    /// (inline bucket-queue at 1 shard), the sequential heap otherwise.
     fn resume<G: GraphView>(&mut self, spec: &ReachSpec<'_, G>, scope: &[usize]) -> RunStats {
-        if self.threads > 1 {
+        if self.threads > 1 || self.par.is_some() {
             let fresh = !matches!(&self.par,
                 Some(p) if p.num_vars() == spec.num_vars() && p.nthreads() == self.threads);
             if fresh {
@@ -237,9 +244,10 @@ impl ReachState {
         // filtered: an insertion matters only if it newly reaches its
         // head; a deletion only if the head was reached (its support may
         // be gone).
-        let mut touched: Vec<usize> = Vec::with_capacity(applied.len());
+        self.scratch.touched.clear();
         {
             let status = &self.status;
+            let touched = &mut self.scratch.touched;
             let mut consider = |tail: NodeId, head: NodeId, inserted: bool| {
                 let tail_reached = status.get(tail as usize);
                 let head_reached = status.get(head as usize);
@@ -259,13 +267,16 @@ impl ReachState {
                 }
             }
         }
-        touched.sort_unstable();
-        touched.dedup();
+        self.scratch.touched.sort_unstable();
+        self.scratch.touched.dedup();
 
         let oracle = ReachOracle { g };
-        let scope = bounded_scope(&spec, &oracle, &mut self.status, touched);
-        let run = self.resume(&spec, &scope.scope);
-        BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
+        let stats = bounded_scope_in(&spec, &oracle, &mut self.status, &mut self.scratch);
+        let scope = std::mem::take(&mut self.scratch.scope);
+        let run = self.resume(&spec, &scope);
+        let report = BoundednessReport::new(spec.num_vars(), scope.len(), stats, run);
+        self.scratch.scope = scope;
+        report
     }
 
     /// Resident bytes (weakly deducible: bitmap + timestamps).
@@ -273,6 +284,7 @@ impl ReachState {
         self.status.space_bytes()
             + self.engine.space_bytes()
             + self.par.as_ref().map_or(0, |p| p.space_bytes())
+            + self.scratch.space_bytes()
     }
 
     /// Serializes the durable essence (`SaveState`): the source plus the
@@ -312,6 +324,7 @@ impl ReachState {
             engine: Engine::new(n),
             threads: 1,
             par: None,
+            scratch: ScopeScratch::new(),
         })
     }
 

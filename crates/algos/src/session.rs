@@ -152,6 +152,7 @@ pub struct SessionBuilder {
     threads: usize,
     policy: FallbackPolicy,
     audit: Option<FixpointAudit>,
+    micro_batch: bool,
 }
 
 impl SessionBuilder {
@@ -187,6 +188,14 @@ impl SessionBuilder {
     /// Post-update fixpoint audit for guarded updates (default: none).
     pub fn audit(mut self, audit: FixpointAudit) -> Self {
         self.audit = Some(audit);
+        self
+    }
+
+    /// Canonicalize each presented ΔG through the micro-batch coalescer
+    /// before the class update sees it (default: off). See
+    /// [`ExecOptions::micro_batch`].
+    pub fn micro_batch(mut self, on: bool) -> Self {
+        self.micro_batch = on;
         self
     }
 
@@ -250,6 +259,7 @@ impl SessionBuilder {
                 threads: None,
                 policy: self.policy,
                 audit: self.audit,
+                micro_batch: self.micro_batch,
             },
             state,
         })
@@ -287,6 +297,7 @@ impl Session {
             threads: 1,
             policy: FallbackPolicy::default(),
             audit: None,
+            micro_batch: false,
         }
     }
 

@@ -24,7 +24,7 @@ use crate::persist::{self, StateLoadError};
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_core::par::ParEngine;
-use incgraph_core::scope::{bounded_scope, ContributorOracle};
+use incgraph_core::scope::{bounded_scope_in, pe_reset_scope_in, ContributorOracle, ScopeScratch};
 use incgraph_core::spec::FixpointSpec;
 use incgraph_core::status::Status;
 use incgraph_graph::{AppliedBatch, CsrSnapshot, DynamicGraph, GraphView, NodeId, Pattern};
@@ -141,6 +141,9 @@ pub struct SimState {
     engine: Engine,
     threads: usize,
     par: Option<ParEngine>,
+    /// Reusable arena for the scope function: epoch-reset bitmaps and
+    /// high-water vectors make steady-state updates allocation-free.
+    scratch: ScopeScratch,
 }
 
 impl SimState {
@@ -160,6 +163,7 @@ impl SimState {
                 engine,
                 threads: 1,
                 par: None,
+                scratch: ScopeScratch::new(),
             },
             stats,
         )
@@ -184,6 +188,7 @@ impl SimState {
                 engine: Engine::new(num_vars),
                 threads,
                 par: Some(par),
+                scratch: ScopeScratch::new(),
             },
             stats,
         )
@@ -195,9 +200,11 @@ impl SimState {
         self.threads = threads.max(1);
     }
 
-    /// Resumes the step function over `scope` on the configured engine.
+    /// Resumes the step function over `scope` on the configured engine:
+    /// the parallel engine when `threads > 1` or one is already attached
+    /// (inline bucket-queue at 1 shard), the sequential heap otherwise.
     fn resume<G: GraphView>(&mut self, spec: &SimSpec<'_, '_, G>, scope: &[usize]) -> RunStats {
-        if self.threads > 1 {
+        if self.threads > 1 || self.par.is_some() {
             let fresh = !matches!(&self.par,
                 Some(p) if p.num_vars() == spec.num_vars() && p.nthreads() == self.threads);
             if fresh {
@@ -271,9 +278,10 @@ impl SimState {
         // insertion only adds them (skip already-true vars and label
         // mismatches), and either way the edge is irrelevant to `x[a, u]`
         // unless some pattern successor of `u` carries `b`'s label.
-        let mut touched: Vec<usize> = Vec::with_capacity(applied.len() * nq);
+        self.scratch.touched.clear();
         {
             let status = &self.status;
+            let touched = &mut self.scratch.touched;
             let mut consider = |tail: NodeId, head: NodeId, inserted: bool| {
                 let head_label = g.label(head);
                 for u in 0..nq {
@@ -303,14 +311,17 @@ impl SimState {
                 }
             }
         }
-        touched.sort_unstable();
-        touched.dedup();
+        self.scratch.touched.sort_unstable();
+        self.scratch.touched.dedup();
 
         // Weakly deducible: <_C from the live timestamps; no snapshots.
         let oracle = SimOracle { spec: &spec };
-        let scope = bounded_scope(&spec, &oracle, &mut self.status, touched);
-        let run = self.resume(&spec, &scope.scope);
-        BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
+        let stats = bounded_scope_in(&spec, &oracle, &mut self.status, &mut self.scratch);
+        let scope = std::mem::take(&mut self.scratch.scope);
+        let run = self.resume(&spec, &scope);
+        let report = BoundednessReport::new(spec.num_vars(), scope.len(), stats, run);
+        self.scratch.scope = scope;
+        report
     }
 
     /// The Theorem 1 construction for Sim (ablation `abl-ts`): flood PE
@@ -327,20 +338,23 @@ impl SimState {
         self.ensure_size(g);
         let q = self.q.clone();
         let spec = SimSpec::new(g, &q);
-        let mut touched: Vec<usize> = Vec::with_capacity(applied.len() * nq);
+        self.scratch.touched.clear();
         for op in applied.ops() {
             for u in 0..nq {
-                touched.push(spec.var(op.src, u));
+                self.scratch.touched.push(spec.var(op.src, u));
                 if !g.is_directed() {
-                    touched.push(spec.var(op.dst, u));
+                    self.scratch.touched.push(spec.var(op.dst, u));
                 }
             }
         }
-        touched.sort_unstable();
-        touched.dedup();
-        let scope = incgraph_core::scope::pe_reset_scope(&spec, &mut self.status, touched);
-        let run = self.resume(&spec, &scope.scope);
-        BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
+        self.scratch.touched.sort_unstable();
+        self.scratch.touched.dedup();
+        let stats = pe_reset_scope_in(&spec, &mut self.status, &mut self.scratch);
+        let scope = std::mem::take(&mut self.scratch.scope);
+        let run = self.resume(&spec, &scope);
+        let report = BoundednessReport::new(spec.num_vars(), scope.len(), stats, run);
+        self.scratch.scope = scope;
+        report
     }
 
     /// Resident bytes of the algorithm's state (Fig. 8): the Boolean
@@ -349,6 +363,7 @@ impl SimState {
         self.status.space_bytes()
             + self.engine.space_bytes()
             + self.par.as_ref().map_or(0, |p| p.space_bytes())
+            + self.scratch.space_bytes()
     }
 
     /// Serializes the durable essence (`SaveState`): the pattern plus the
@@ -422,6 +437,7 @@ impl SimState {
             engine: Engine::new(expected),
             threads: 1,
             par: None,
+            scratch: ScopeScratch::new(),
         })
     }
 

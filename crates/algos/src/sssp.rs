@@ -20,7 +20,7 @@ use crate::persist::{self, StateLoadError};
 use incgraph_core::engine::{Engine, RunStats};
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_core::par::ParEngine;
-use incgraph_core::scope::{bounded_scope, ContributorOracle};
+use incgraph_core::scope::{bounded_scope_in, pe_reset_scope_in, ContributorOracle, ScopeScratch};
 use incgraph_core::spec::{FixpointSpec, Relax};
 use incgraph_core::status::Status;
 use incgraph_graph::ids::{Dist, INF_DIST};
@@ -151,6 +151,9 @@ pub struct SsspState {
     engine: Engine,
     threads: usize,
     par: Option<ParEngine>,
+    /// Reusable arena for the scope function: epoch-reset bitmaps and
+    /// high-water vectors make steady-state updates allocation-free.
+    scratch: ScopeScratch,
 }
 
 impl SsspState {
@@ -174,6 +177,7 @@ impl SsspState {
                 engine,
                 threads: 1,
                 par: None,
+                scratch: ScopeScratch::new(),
             },
             stats,
         )
@@ -202,6 +206,7 @@ impl SsspState {
                 engine: Engine::new(g.node_count()),
                 threads,
                 par: Some(par),
+                scratch: ScopeScratch::new(),
             },
             stats,
         )
@@ -214,11 +219,13 @@ impl SsspState {
     }
 
     /// Resumes the step function over `scope` on the configured engine:
-    /// the sharded parallel engine when `threads > 1`, the sequential
-    /// worklist otherwise. The mid-run work budget installed on the
-    /// sequential engine applies to both.
+    /// the sharded parallel engine when `threads > 1` or when a parallel
+    /// engine is already attached (a `batch_par(_, 1)` state keeps its
+    /// inline bucket-queue engine rather than falling back to the binary
+    /// heap), the sequential worklist otherwise. The mid-run work budget
+    /// installed on the sequential engine applies to both.
     fn resume<G: GraphView>(&mut self, spec: &SsspSpec<'_, G>, scope: &[usize]) -> RunStats {
-        if self.threads > 1 {
+        if self.threads > 1 || self.par.is_some() {
             let fresh = !matches!(&self.par,
                 Some(p) if p.num_vars() == spec.num_vars() && p.nthreads() == self.threads);
             if fresh {
@@ -281,18 +288,19 @@ impl SsspState {
         // an inserted edge must *improve* on the stored distance, and a
         // deleted edge must have been *tight* (it supported the stored
         // distance). Anything else provably leaves f_x unchanged.
-        let mut touched: Vec<usize> = Vec::with_capacity(applied.len());
+        self.scratch.touched.clear();
         {
-            let dist = |x: NodeId| self.status.get(x as usize);
+            let status = &self.status;
+            let touched = &mut self.scratch.touched;
             let mut consider = |tail: NodeId, head: NodeId, w: u64, inserted: bool| {
-                let dt = dist(tail);
+                let dt = status.get(tail as usize);
                 if dt == INF_DIST {
                     return;
                 }
                 let keep = if inserted {
-                    dt + w < dist(head)
+                    dt + w < status.get(head as usize)
                 } else {
-                    dt + w == dist(head)
+                    dt + w == status.get(head as usize)
                 };
                 if keep {
                     touched.push(head as usize);
@@ -305,15 +313,20 @@ impl SsspState {
                 }
             }
         }
-        touched.sort_unstable();
-        touched.dedup();
+        self.scratch.touched.sort_unstable();
+        self.scratch.touched.dedup();
 
         // Deducible: the order <_C is read off the (live) distance
         // values themselves; no snapshot and no timestamps.
         let oracle = SsspOracle { g };
-        let scope = bounded_scope(&spec, &oracle, &mut self.status, touched);
-        let run = self.resume(&spec, &scope.scope);
-        BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
+        let stats = bounded_scope_in(&spec, &oracle, &mut self.status, &mut self.scratch);
+        // Take H⁰ out of the scratch around the resume (the engine needs
+        // &mut self); the scope functions re-clear it on entry.
+        let scope = std::mem::take(&mut self.scratch.scope);
+        let run = self.resume(&spec, &scope);
+        let report = BoundednessReport::new(spec.num_vars(), scope.len(), stats, run);
+        self.scratch.scope = scope;
+        report
     }
 
     /// The Theorem 1 construction for SSSP (ablation `abl-scope`): flood
@@ -327,22 +340,25 @@ impl SsspState {
     ) -> BoundednessReport {
         self.ensure_size(g);
         let spec = SsspSpec::new(g, self.source);
-        let mut touched: Vec<usize> = Vec::with_capacity(applied.len());
+        self.scratch.touched.clear();
         for op in applied.ops() {
-            touched.push(op.dst as usize);
+            self.scratch.touched.push(op.dst as usize);
             if !g.is_directed() {
-                touched.push(op.src as usize);
+                self.scratch.touched.push(op.src as usize);
             }
         }
-        touched.sort_unstable();
-        touched.dedup();
-        let scope = incgraph_core::scope::pe_reset_scope(&spec, &mut self.status, touched);
+        self.scratch.touched.sort_unstable();
+        self.scratch.touched.dedup();
+        let stats = pe_reset_scope_in(&spec, &mut self.status, &mut self.scratch);
         // The reset region must be re-reachable from its boundary: seed
         // the engine with the region plus the sources feeding into it.
-        let mut seeds: Vec<usize> = scope.scope.clone();
+        let scope_len = self.scratch.scope.len();
+        let mut seeds = std::mem::take(&mut self.scratch.scope);
         seeds.push(self.source as usize);
         let run = self.resume(&spec, &seeds);
-        BoundednessReport::new(spec.num_vars(), scope.scope.len(), scope.stats, run)
+        seeds.pop();
+        self.scratch.scope = seeds;
+        BoundednessReport::new(spec.num_vars(), scope_len, stats, run)
     }
 
     /// Resident bytes of the algorithm's state (Fig. 8 space experiment).
@@ -350,6 +366,7 @@ impl SsspState {
         self.status.space_bytes()
             + self.engine.space_bytes()
             + self.par.as_ref().map_or(0, |p| p.space_bytes())
+            + self.scratch.space_bytes()
     }
 
     /// Serializes the durable essence of the state (`SaveState`): the
@@ -389,6 +406,7 @@ impl SsspState {
             engine: Engine::new(g.node_count()),
             threads: 1,
             par: None,
+            scratch: ScopeScratch::new(),
         })
     }
 

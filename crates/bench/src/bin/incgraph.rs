@@ -218,17 +218,22 @@ struct Args {
     max_scope: usize,
     audit: bool,
     audit_stride: usize,
-    threads: usize,
+    /// Thread counts. Per-class runs use exactly one; `bench` sweeps
+    /// the whole list, one suite (and one BENCH entry) per count.
+    threads: Vec<usize>,
     scale: f64,
+    /// `bench` only: committed baseline JSON for the regression gate.
+    check_against: Option<String>,
 }
 
 const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.txt \
                      [--updates D.txt] [--directed] [--source N] [--seed S] [--out F] \
                      [--threads N] [--max-aff-frac F] [--max-scope N] [--audit] \
                      [--audit-stride K]\n\
-                     \u{20}      incgraph bench [--threads N] [--scale F] [--out BENCH.json]\n\
+                     \u{20}      incgraph bench [--threads N[,N…]] [--scale F] [--out BENCH.json] \
+                     [--check-against BASELINE.json]\n\
                      \u{20}      incgraph fuzz [--seed S] [--cases N] [--budget-secs T] \
-                     [--inject-fault skip-op|drop-deletes] [--crash] [--corpus DIR] \
+                     [--inject-fault skip-op|drop-deletes] [--crash] [--coalesce] [--corpus DIR] \
                      [--max-nodes N]\n\
                      \u{20}      incgraph replay <FILE.case|DIR>...\n\
                      \u{20}      incgraph checkpoint --store DIR [--graph G.txt] [--updates D.txt] \
@@ -236,7 +241,8 @@ const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.tx
                      \u{20}      incgraph recover --store DIR [--out F]\n\
                      \u{20}      incgraph serve [--addr H:P] [--store DIR [--graph-name G] \
                      [--nodes N] [--directed]] [--max-sessions N] [--max-pending N] \
-                     [--idle-timeout-secs S] [--retry-after-ms MS] [--no-remote-shutdown]\n\
+                     [--idle-timeout-secs S] [--retry-after-ms MS] [--no-remote-shutdown] \
+                     [--flush-ops N] [--flush-ms MS]\n\
                      \u{20}      incgraph load --addr H:P [--sessions N] [--batches N] \
                      [--units N] [--nodes N] [--seed S]\n\
                      \u{20}      incgraph chaos --store DIR [--seed S] [--clients N] \
@@ -256,8 +262,9 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
         max_scope: usize::MAX,
         audit: false,
         audit_stride: 1,
-        threads: 1,
+        threads: vec![1],
         scale: 1.0,
+        check_against: None,
     };
     let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
     let mut it = argv.iter().cloned();
@@ -295,11 +302,15 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
                     .ok_or_else(|| usage("--max-scope needs a variable count"))?
             }
             "--threads" => {
-                args.threads = it
+                let list = it
                     .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&t| t >= 1)
-                    .ok_or_else(|| usage("--threads needs an integer ≥ 1"))?
+                    .ok_or_else(|| usage("--threads needs an integer ≥ 1 (bench: N[,N…])"))?;
+                args.threads = list
+                    .split(',')
+                    .map(|v| v.trim().parse::<usize>().ok().filter(|&t| t >= 1))
+                    .collect::<Option<Vec<_>>>()
+                    .filter(|l| !l.is_empty())
+                    .ok_or_else(|| usage("--threads needs an integer ≥ 1 (bench: N[,N…])"))?;
             }
             "--scale" => {
                 args.scale = it
@@ -316,6 +327,12 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
                     .ok_or_else(|| usage("--audit-stride needs an integer ≥ 1"))?
             }
             "--out" => args.out = Some(it.next().ok_or_else(|| usage("--out needs a path"))?),
+            "--check-against" => {
+                args.check_against = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--check-against needs a path"))?,
+                )
+            }
             flag if flag.starts_with('-') => return Err(usage(&format!("unknown flag {flag}"))),
             class if args.class.is_empty() => args.class = class.to_string(),
             extra => return Err(usage(&format!("unexpected argument {extra}"))),
@@ -323,6 +340,9 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
     }
     if args.class.is_empty() || (args.graph.is_empty() && args.class != "bench") {
         return Err(CliError::Usage(USAGE.to_string()));
+    }
+    if args.class != "bench" && args.threads.len() > 1 {
+        return Err(usage("--threads N,N,… sweeps are bench-only"));
     }
     Ok(args)
 }
@@ -510,12 +530,13 @@ fn run_bench(args: &Args, registry: &Option<Arc<Registry>>) -> Result<(), CliErr
         .and_then(|s| s.parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or(5);
-    eprintln!(
-        "parallel-engine bench: {} thread(s), {reps} sample(s) per point",
-        args.threads
-    );
-    let results = parbench::run_suite(args.threads, args.scale, reps);
-    print!("{}", parbench::render_table(&results));
+    let mut sweep: Vec<(usize, Vec<parbench::ClassResult>)> = Vec::new();
+    for &threads in &args.threads {
+        eprintln!("parallel-engine bench: {threads} thread(s), {reps} sample(s) per point");
+        let results = parbench::run_suite(threads, args.scale, reps);
+        print!("{}", parbench::render_table(&results));
+        sweep.push((threads, results));
+    }
     let date = parbench::today_utc();
     let path = args
         .out
@@ -526,9 +547,31 @@ fn run_bench(args: &Args, registry: &Option<Arc<Registry>>) -> Result<(), CliErr
         source: e,
     };
     ensure_parent(&path)?;
-    let json = parbench::to_json(&date, args.threads, reps, &results);
+    let json = parbench::to_json_sweep(&date, reps, &sweep);
     std::fs::write(&path, json).map_err(|e| out_err(&path, e))?;
     eprintln!("wrote {path}");
+
+    // Regression gate (the CI smoke job): the single-thread
+    // incremental/batch min-ratio against the committed baseline, with
+    // 25% headroom — see `parbench::regressions` for why ratios of mins.
+    if let Some(baseline_path) = &args.check_against {
+        let baseline = std::fs::read_to_string(baseline_path).map_err(|e| CliError::Output {
+            path: baseline_path.clone(),
+            source: e,
+        })?;
+        let bad = parbench::regressions(&baseline, &sweep[0].1, 0.25);
+        if bad.is_empty() {
+            eprintln!("bench-regression gate vs {baseline_path}: ok");
+        } else {
+            for line in &bad {
+                eprintln!("bench-regression: {line}");
+            }
+            return Err(CliError::Usage(format!(
+                "bench-regression gate failed: {} class(es) slower than {baseline_path} + 25%",
+                bad.len()
+            )));
+        }
+    }
 
     // Per-phase pass: reuse the `--metrics` registry when one is live
     // (the pass then also lands in the exported file); otherwise
@@ -541,7 +584,8 @@ fn run_bench(args: &Args, registry: &Option<Arc<Registry>>) -> Result<(), CliErr
             r
         }
     };
-    phasebench::run_phases(args.threads, args.scale);
+    // The phase breakdown runs once, at the largest swept count.
+    phasebench::run_phases(args.threads.iter().copied().max().unwrap_or(1), args.scale);
     let snap = phase_registry.snapshot();
     if registry.is_none() {
         incgraph_obs::uninstall();
@@ -608,6 +652,7 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
             }
             "--no-corpus" => cfg.corpus_dir = None,
             "--crash" => cfg.crash = true,
+            "--coalesce" => cfg.coalesce = true,
             "--max-nodes" => {
                 cfg.gen.max_nodes = it
                     .next()
@@ -634,11 +679,16 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
             f.name()
         ),
         None => eprintln!(
-            "fuzz: seed {}, up to {} cases{}",
+            "fuzz: seed {}, up to {} cases{}{}",
             cfg.seed,
             cfg.cases,
             if cfg.crash {
                 ", sweeping crash-recovery"
+            } else {
+                ""
+            },
+            if cfg.coalesce {
+                ", with the coalesce oracle"
             } else {
                 ""
             }
@@ -1108,6 +1158,20 @@ fn run_serve(argv: &[String]) -> Result<(), CliError> {
                     .ok_or_else(|| usage("--retry-after-ms needs an integer"))?
             }
             "--no-remote-shutdown" => cfg.allow_remote_shutdown = false,
+            "--flush-ops" => {
+                cfg.flush_ops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| usage("--flush-ops needs an integer >= 1"))?
+            }
+            "--flush-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--flush-ms needs an integer"))?;
+                cfg.flush_window = std::time::Duration::from_millis(ms);
+            }
             flag => return Err(usage(&format!("unknown serve flag {flag}"))),
         }
     }
@@ -1338,9 +1402,10 @@ fn dispatch(argv: &[String], obs: &ObsSetup) -> Result<(), CliError> {
     // no-op for the inherently sequential DFS/BC), degradation policy,
     // and auditing.
     let exec = ExecOptions {
-        threads: Some(args.threads),
+        threads: Some(args.threads[0]),
         policy,
         audit,
+        micro_batch: false,
     };
 
     // Validate-then-apply: a poisoned stream rolls the graph back and

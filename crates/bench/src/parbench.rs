@@ -13,7 +13,7 @@
 //! add sharding on top. Shared by `benches/bench_par.rs` and the
 //! `incgraph bench` subcommand.
 
-use crate::report::measure;
+use crate::report::measure_stats;
 use incgraph_algos::{CcState, LccState, ReachState, SimState, SsspState};
 use incgraph_workloads::{random_batch_pct, random_pattern, sample_sources, Dataset};
 use std::fmt::Write as _;
@@ -43,17 +43,32 @@ pub struct ClassResult {
     pub seq_inc_ns: f64,
     /// Parallel engine, incremental resume over the same ΔG.
     pub par_inc_ns: f64,
+    /// Fastest sequential batch sample (noise floor, see
+    /// [`measure_stats`]).
+    pub seq_batch_min_ns: f64,
+    /// Fastest sequential incremental sample — the bench-regression
+    /// gate metric: mins shed scheduler noise that inflates the means
+    /// of µs-scale measurements.
+    pub seq_inc_min_ns: f64,
+    /// Fastest parallel batch sample.
+    pub par_batch_min_ns: f64,
+    /// Fastest parallel incremental sample.
+    pub par_inc_min_ns: f64,
 }
 
 impl ClassResult {
-    /// Sequential over parallel batch time (>1 means parallel is faster).
+    /// Sequential over parallel batch time (>1 means parallel is
+    /// faster). Computed from the fastest samples: scheduler hiccups
+    /// only ever add time, so a ratio of mins estimates the true engine
+    /// ratio while a ratio of means compounds the noise of both sides.
     pub fn batch_speedup(&self) -> f64 {
-        self.seq_batch_ns / self.par_batch_ns
+        self.seq_batch_min_ns / self.par_batch_min_ns
     }
 
-    /// Sequential over parallel incremental time.
+    /// Sequential over parallel incremental time (ratio of mins, as for
+    /// [`batch_speedup`](Self::batch_speedup)).
     pub fn inc_speedup(&self) -> f64 {
-        self.seq_inc_ns / self.par_inc_ns
+        self.seq_inc_min_ns / self.par_inc_min_ns
     }
 }
 
@@ -72,39 +87,47 @@ pub fn run_suite(threads: usize, scale: f64, reps: usize) -> Vec<ClassResult> {
         let mut g1 = g0.clone();
         let applied = delta.apply(&mut g1);
         let src = sample_sources(&g0, 1, 7)[0];
+        let (seq_batch, seq_batch_min) = measure_stats(
+            reps,
+            || (),
+            |_| {
+                std::hint::black_box(SsspState::batch(&g1, src));
+            },
+        );
+        let (seq_inc, seq_inc_min) = measure_stats(
+            reps,
+            || SsspState::batch(&g0, src).0,
+            |s| {
+                s.update(&g1, &applied);
+            },
+        );
+        let (par_batch, par_batch_min) = measure_stats(
+            reps,
+            || (),
+            |_| {
+                std::hint::black_box(SsspState::batch_par(&g1, src, threads));
+            },
+        );
+        let (par_inc, par_inc_min) = measure_stats(
+            reps,
+            || SsspState::batch_par(&g0, src, threads).0,
+            |s| {
+                s.update(&g1, &applied);
+            },
+        );
         out.push(ClassResult {
             class: "sssp",
             dataset: Dataset::LiveJournal.tag(),
             nodes: g1.node_count(),
             edges: g1.edge_count(),
-            seq_batch_ns: secs(measure(
-                reps,
-                || (),
-                |_| {
-                    std::hint::black_box(SsspState::batch(&g1, src));
-                },
-            )),
-            par_batch_ns: secs(measure(
-                reps,
-                || (),
-                |_| {
-                    std::hint::black_box(SsspState::batch_par(&g1, src, threads));
-                },
-            )),
-            seq_inc_ns: secs(measure(
-                reps,
-                || SsspState::batch(&g0, src).0,
-                |s| {
-                    s.update(&g1, &applied);
-                },
-            )),
-            par_inc_ns: secs(measure(
-                reps,
-                || SsspState::batch_par(&g0, src, threads).0,
-                |s| {
-                    s.update(&g1, &applied);
-                },
-            )),
+            seq_batch_ns: secs(seq_batch),
+            par_batch_ns: secs(par_batch),
+            seq_inc_ns: secs(seq_inc),
+            par_inc_ns: secs(par_inc),
+            seq_batch_min_ns: secs(seq_batch_min),
+            seq_inc_min_ns: secs(seq_inc_min),
+            par_batch_min_ns: secs(par_batch_min),
+            par_inc_min_ns: secs(par_inc_min),
         });
     }
 
@@ -114,39 +137,47 @@ pub fn run_suite(threads: usize, scale: f64, reps: usize) -> Vec<ClassResult> {
         let delta = random_batch_pct(&g0, DELTA_PCT, 1, 43);
         let mut g1 = g0.clone();
         let applied = delta.apply(&mut g1);
+        let (seq_batch, seq_batch_min) = measure_stats(
+            reps,
+            || (),
+            |_| {
+                std::hint::black_box(CcState::batch(&g1));
+            },
+        );
+        let (seq_inc, seq_inc_min) = measure_stats(
+            reps,
+            || CcState::batch(&g0).0,
+            |s| {
+                s.update(&g1, &applied);
+            },
+        );
+        let (par_batch, par_batch_min) = measure_stats(
+            reps,
+            || (),
+            |_| {
+                std::hint::black_box(CcState::batch_par(&g1, threads));
+            },
+        );
+        let (par_inc, par_inc_min) = measure_stats(
+            reps,
+            || CcState::batch_par(&g0, threads).0,
+            |s| {
+                s.update(&g1, &applied);
+            },
+        );
         out.push(ClassResult {
             class: "cc",
             dataset: Dataset::LiveJournal.tag(),
             nodes: g1.node_count(),
             edges: g1.edge_count(),
-            seq_batch_ns: secs(measure(
-                reps,
-                || (),
-                |_| {
-                    std::hint::black_box(CcState::batch(&g1));
-                },
-            )),
-            par_batch_ns: secs(measure(
-                reps,
-                || (),
-                |_| {
-                    std::hint::black_box(CcState::batch_par(&g1, threads));
-                },
-            )),
-            seq_inc_ns: secs(measure(
-                reps,
-                || CcState::batch(&g0).0,
-                |s| {
-                    s.update(&g1, &applied);
-                },
-            )),
-            par_inc_ns: secs(measure(
-                reps,
-                || CcState::batch_par(&g0, threads).0,
-                |s| {
-                    s.update(&g1, &applied);
-                },
-            )),
+            seq_batch_ns: secs(seq_batch),
+            par_batch_ns: secs(par_batch),
+            seq_inc_ns: secs(seq_inc),
+            par_inc_ns: secs(par_inc),
+            seq_batch_min_ns: secs(seq_batch_min),
+            seq_inc_min_ns: secs(seq_inc_min),
+            par_batch_min_ns: secs(par_batch_min),
+            par_inc_min_ns: secs(par_inc_min),
         });
     }
 
@@ -157,39 +188,47 @@ pub fn run_suite(threads: usize, scale: f64, reps: usize) -> Vec<ClassResult> {
         let mut g1 = g0.clone();
         let applied = delta.apply(&mut g1);
         let src = sample_sources(&g0, 1, 9)[0];
+        let (seq_batch, seq_batch_min) = measure_stats(
+            reps,
+            || (),
+            |_| {
+                std::hint::black_box(ReachState::batch(&g1, src));
+            },
+        );
+        let (seq_inc, seq_inc_min) = measure_stats(
+            reps,
+            || ReachState::batch(&g0, src).0,
+            |s| {
+                s.update(&g1, &applied);
+            },
+        );
+        let (par_batch, par_batch_min) = measure_stats(
+            reps,
+            || (),
+            |_| {
+                std::hint::black_box(ReachState::batch_par(&g1, src, threads));
+            },
+        );
+        let (par_inc, par_inc_min) = measure_stats(
+            reps,
+            || ReachState::batch_par(&g0, src, threads).0,
+            |s| {
+                s.update(&g1, &applied);
+            },
+        );
         out.push(ClassResult {
             class: "reach",
             dataset: Dataset::DbPedia.tag(),
             nodes: g1.node_count(),
             edges: g1.edge_count(),
-            seq_batch_ns: secs(measure(
-                reps,
-                || (),
-                |_| {
-                    std::hint::black_box(ReachState::batch(&g1, src));
-                },
-            )),
-            par_batch_ns: secs(measure(
-                reps,
-                || (),
-                |_| {
-                    std::hint::black_box(ReachState::batch_par(&g1, src, threads));
-                },
-            )),
-            seq_inc_ns: secs(measure(
-                reps,
-                || ReachState::batch(&g0, src).0,
-                |s| {
-                    s.update(&g1, &applied);
-                },
-            )),
-            par_inc_ns: secs(measure(
-                reps,
-                || ReachState::batch_par(&g0, src, threads).0,
-                |s| {
-                    s.update(&g1, &applied);
-                },
-            )),
+            seq_batch_ns: secs(seq_batch),
+            par_batch_ns: secs(par_batch),
+            seq_inc_ns: secs(seq_inc),
+            par_inc_ns: secs(par_inc),
+            seq_batch_min_ns: secs(seq_batch_min),
+            seq_inc_min_ns: secs(seq_inc_min),
+            par_batch_min_ns: secs(par_batch_min),
+            par_inc_min_ns: secs(par_inc_min),
         });
     }
 
@@ -201,39 +240,47 @@ pub fn run_suite(threads: usize, scale: f64, reps: usize) -> Vec<ClassResult> {
         let delta = random_batch_pct(&g0, DELTA_PCT, 1, 45);
         let mut g1 = g0.clone();
         let applied = delta.apply(&mut g1);
+        let (seq_batch, seq_batch_min) = measure_stats(
+            reps,
+            || (),
+            |_| {
+                std::hint::black_box(SimState::batch(&g1, q.clone()));
+            },
+        );
+        let (seq_inc, seq_inc_min) = measure_stats(
+            reps,
+            || SimState::batch(&g0, q.clone()).0,
+            |s| {
+                s.update(&g1, &applied);
+            },
+        );
+        let (par_batch, par_batch_min) = measure_stats(
+            reps,
+            || (),
+            |_| {
+                std::hint::black_box(SimState::batch_par(&g1, q.clone(), threads));
+            },
+        );
+        let (par_inc, par_inc_min) = measure_stats(
+            reps,
+            || SimState::batch_par(&g0, q.clone(), threads).0,
+            |s| {
+                s.update(&g1, &applied);
+            },
+        );
         out.push(ClassResult {
             class: "sim",
             dataset: Dataset::DbPedia.tag(),
             nodes: g1.node_count(),
             edges: g1.edge_count(),
-            seq_batch_ns: secs(measure(
-                reps,
-                || (),
-                |_| {
-                    std::hint::black_box(SimState::batch(&g1, q.clone()));
-                },
-            )),
-            par_batch_ns: secs(measure(
-                reps,
-                || (),
-                |_| {
-                    std::hint::black_box(SimState::batch_par(&g1, q.clone(), threads));
-                },
-            )),
-            seq_inc_ns: secs(measure(
-                reps,
-                || SimState::batch(&g0, q.clone()).0,
-                |s| {
-                    s.update(&g1, &applied);
-                },
-            )),
-            par_inc_ns: secs(measure(
-                reps,
-                || SimState::batch_par(&g0, q.clone(), threads).0,
-                |s| {
-                    s.update(&g1, &applied);
-                },
-            )),
+            seq_batch_ns: secs(seq_batch),
+            par_batch_ns: secs(par_batch),
+            seq_inc_ns: secs(seq_inc),
+            par_inc_ns: secs(par_inc),
+            seq_batch_min_ns: secs(seq_batch_min),
+            seq_inc_min_ns: secs(seq_inc_min),
+            par_batch_min_ns: secs(par_batch_min),
+            par_inc_min_ns: secs(par_inc_min),
         });
     }
 
@@ -244,39 +291,47 @@ pub fn run_suite(threads: usize, scale: f64, reps: usize) -> Vec<ClassResult> {
         let delta = random_batch_pct(&g0, DELTA_PCT, 1, 46);
         let mut g1 = g0.clone();
         let applied = delta.apply(&mut g1);
+        let (seq_batch, seq_batch_min) = measure_stats(
+            reps,
+            || (),
+            |_| {
+                std::hint::black_box(LccState::batch(&g1));
+            },
+        );
+        let (seq_inc, seq_inc_min) = measure_stats(
+            reps,
+            || LccState::batch(&g0).0,
+            |s| {
+                s.update(&g1, &applied);
+            },
+        );
+        let (par_batch, par_batch_min) = measure_stats(
+            reps,
+            || (),
+            |_| {
+                std::hint::black_box(LccState::batch_par(&g1, threads));
+            },
+        );
+        let (par_inc, par_inc_min) = measure_stats(
+            reps,
+            || LccState::batch_par(&g0, threads).0,
+            |s| {
+                s.update(&g1, &applied);
+            },
+        );
         out.push(ClassResult {
             class: "lcc",
             dataset: Dataset::LiveJournal.tag(),
             nodes: g1.node_count(),
             edges: g1.edge_count(),
-            seq_batch_ns: secs(measure(
-                reps,
-                || (),
-                |_| {
-                    std::hint::black_box(LccState::batch(&g1));
-                },
-            )),
-            par_batch_ns: secs(measure(
-                reps,
-                || (),
-                |_| {
-                    std::hint::black_box(LccState::batch_par(&g1, threads));
-                },
-            )),
-            seq_inc_ns: secs(measure(
-                reps,
-                || LccState::batch(&g0).0,
-                |s| {
-                    s.update(&g1, &applied);
-                },
-            )),
-            par_inc_ns: secs(measure(
-                reps,
-                || LccState::batch_par(&g0, threads).0,
-                |s| {
-                    s.update(&g1, &applied);
-                },
-            )),
+            seq_batch_ns: secs(seq_batch),
+            par_batch_ns: secs(par_batch),
+            seq_inc_ns: secs(seq_inc),
+            par_inc_ns: secs(par_inc),
+            seq_batch_min_ns: secs(seq_batch_min),
+            seq_inc_min_ns: secs(seq_inc_min),
+            par_batch_min_ns: secs(par_batch_min),
+            par_inc_min_ns: secs(par_inc_min),
         });
     }
 
@@ -346,7 +401,9 @@ pub fn to_json(date: &str, threads: usize, reps: usize, results: &[ClassResult])
             json,
             "\n    {{ \"class\": \"{}\", \"dataset\": \"{}\", \"nodes\": {}, \"edges\": {}, \
              \"seq_batch_ns\": {}, \"par_batch_ns\": {}, \"batch_speedup\": {:.3}, \
-             \"seq_inc_ns\": {}, \"par_inc_ns\": {}, \"inc_speedup\": {:.3} }}",
+             \"seq_inc_ns\": {}, \"par_inc_ns\": {}, \"inc_speedup\": {:.3}, \
+             \"seq_batch_min_ns\": {}, \"seq_inc_min_ns\": {}, \
+             \"par_batch_min_ns\": {}, \"par_inc_min_ns\": {} }}",
             r.class,
             r.dataset,
             r.nodes,
@@ -357,10 +414,134 @@ pub fn to_json(date: &str, threads: usize, reps: usize, results: &[ClassResult])
             num(r.seq_inc_ns),
             num(r.par_inc_ns),
             r.inc_speedup(),
+            num(r.seq_batch_min_ns),
+            num(r.seq_inc_min_ns),
+            num(r.par_batch_min_ns),
+            num(r.par_inc_min_ns),
         );
     }
     json.push_str("\n  ]\n}\n");
     json
+}
+
+/// Serializes a multi-thread-count sweep as one JSON document with a
+/// `"sweep"` array holding one `{ threads, classes }` entry per count.
+/// Single-count runs keep the flat [`to_json`] shape for continuity
+/// with the historical `BENCH_<date>.json` files.
+pub fn to_json_sweep(date: &str, reps: usize, sweep: &[(usize, Vec<ClassResult>)]) -> String {
+    if let [(threads, results)] = sweep {
+        return to_json(date, *threads, reps, results);
+    }
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"date\": \"{date}\",");
+    let _ = writeln!(json, "  \"samples\": {reps},");
+    let _ = writeln!(json, "  \"delta_pct\": {DELTA_PCT},");
+    json.push_str("  \"sweep\": [");
+    for (i, (threads, results)) in sweep.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        // Reuse the flat per-count document, reindented as an element.
+        let inner = to_json(date, *threads, reps, results);
+        json.push('\n');
+        for (j, line) in inner.trim_end().lines().enumerate() {
+            if j > 0 {
+                json.push('\n');
+            }
+            json.push_str("    ");
+            json.push_str(line);
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
+/// One baseline row the regression gate compares against:
+/// `(class, seq_inc_min_ns, seq_batch_min_ns)`.
+type BaselineRow = (String, f64, f64);
+
+/// Extracts the gate rows from a BENCH json document (flat or sweep
+/// form). Handwritten scan — the files are machine written one
+/// class-object per line, so no JSON dependency is needed. A class
+/// appearing under several thread counts keeps its *first* occurrence
+/// (the sweep writes ascending counts, so that is the single-thread
+/// row — the one the regression gate tracks). Pre-min documents fall
+/// back to the mean fields.
+pub fn parse_baseline(json: &str) -> Vec<BaselineRow> {
+    let mut out: Vec<BaselineRow> = Vec::new();
+    for line in json.lines() {
+        let Some(cls) = field_str(line, "\"class\": \"") else {
+            continue;
+        };
+        let inc =
+            field_num(line, "\"seq_inc_min_ns\": ").or_else(|| field_num(line, "\"seq_inc_ns\": "));
+        let batch = field_num(line, "\"seq_batch_min_ns\": ")
+            .or_else(|| field_num(line, "\"seq_batch_ns\": "));
+        let (Some(inc), Some(batch)) = (inc, batch) else {
+            continue;
+        };
+        if !out.iter().any(|(c, _, _)| c == cls) {
+            out.push((cls.to_string(), inc, batch));
+        }
+    }
+    out
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(['"', ','])
+        .unwrap_or_else(|| rest.trim_end().len());
+    Some(&rest[..end])
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    field_str(line, key)?
+        .trim_end_matches([' ', '}'])
+        .parse()
+        .ok()
+}
+
+/// Compares fresh single-thread results against a committed baseline
+/// document and returns one message per class whose incremental path
+/// regressed beyond `threshold` (0.25 = 25% slower). Classes absent
+/// from the baseline are ignored (new classes cannot fail the gate).
+///
+/// The compared metric is the *ratio* of the fastest incremental
+/// sample to the fastest batch sample, not raw nanoseconds: the batch
+/// fixpoint exercises the same kernels on the same machine, so
+/// dividing by it cancels host speed and lets one committed baseline
+/// gate runs on arbitrary CI hardware. Mins rather than means for
+/// both, because scheduler noise only ever adds time and a single
+/// inflated sample would otherwise dominate a µs-scale mean.
+pub fn regressions(baseline_json: &str, results: &[ClassResult], threshold: f64) -> Vec<String> {
+    let baseline = parse_baseline(baseline_json);
+    let mut out = Vec::new();
+    for r in results {
+        let Some((_, base_inc, base_batch)) = baseline.iter().find(|(c, _, _)| c == r.class) else {
+            continue;
+        };
+        if *base_inc <= 0.0 || *base_batch <= 0.0 || r.seq_batch_min_ns <= 0.0 {
+            continue;
+        }
+        let base_ratio = base_inc / base_batch;
+        let ratio = r.seq_inc_min_ns / r.seq_batch_min_ns;
+        if ratio > base_ratio * (1.0 + threshold) {
+            out.push(format!(
+                "{}: seq_inc/seq_batch {:.5} (inc {} / batch {}) vs baseline {:.5} \
+                 (+{:.0}%, limit +{:.0}%)",
+                r.class,
+                ratio,
+                fmt_ns(r.seq_inc_min_ns),
+                fmt_ns(r.seq_batch_min_ns),
+                base_ratio,
+                (ratio / base_ratio - 1.0) * 100.0,
+                threshold * 100.0,
+            ));
+        }
+    }
+    out
 }
 
 /// Today's UTC date as `YYYY-MM-DD`, from the system clock (no external
@@ -410,6 +591,10 @@ mod tests {
             par_batch_ns: 1000.0,
             seq_inc_ns: 300.0,
             par_inc_ns: 200.0,
+            seq_batch_min_ns: 1900.0,
+            seq_inc_min_ns: 300.0,
+            par_batch_min_ns: 950.0,
+            par_inc_min_ns: 200.0,
         };
         let json = to_json("2026-08-06", 4, 5, std::slice::from_ref(&r));
         assert!(json.contains("\"threads\": 4"));
@@ -420,6 +605,83 @@ mod tests {
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "{json}");
+    }
+
+    fn sample_result(class: &'static str, seq_inc_ns: f64) -> ClassResult {
+        ClassResult {
+            class,
+            dataset: "LJ",
+            nodes: 100,
+            edges: 400,
+            seq_batch_ns: 2000.0,
+            par_batch_ns: 1000.0,
+            seq_inc_ns,
+            par_inc_ns: seq_inc_ns / 2.0,
+            seq_batch_min_ns: 2000.0,
+            seq_inc_min_ns: seq_inc_ns,
+            par_batch_min_ns: 1000.0,
+            par_inc_min_ns: seq_inc_ns / 2.0,
+        }
+    }
+
+    #[test]
+    fn sweep_json_has_one_entry_per_thread_count_and_round_trips() {
+        let sweep = vec![
+            (1, vec![sample_result("sssp", 300.0)]),
+            (2, vec![sample_result("sssp", 200.0)]),
+            (4, vec![sample_result("sssp", 150.0)]),
+        ];
+        let json = to_json_sweep("2026-08-08", 5, &sweep);
+        assert_eq!(json.matches("\"threads\":").count(), 3, "{json}");
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{json}");
+        // First occurrence wins: the single-thread row is the gate's.
+        assert_eq!(
+            parse_baseline(&json),
+            vec![("sssp".to_string(), 300.0, 2000.0)]
+        );
+        // A single-count sweep keeps the historical flat shape.
+        let flat = to_json_sweep("2026-08-08", 5, &sweep[..1]);
+        assert!(flat.contains("\"classes\": ["), "{flat}");
+        assert!(!flat.contains("\"sweep\""), "{flat}");
+    }
+
+    #[test]
+    fn regression_gate_trips_only_past_threshold() {
+        let baseline = to_json(
+            "2026-08-08",
+            1,
+            5,
+            &[sample_result("sssp", 1000.0), sample_result("cc", 1000.0)],
+        );
+        let fresh = [
+            sample_result("sssp", 1200.0), // +20%: inside the 25% budget
+            sample_result("cc", 1300.0),   // +30%: regression
+            sample_result("lcc", 9999.0),  // not in baseline: ignored
+        ];
+        let bad = regressions(&baseline, &fresh, 0.25);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].starts_with("cc:"), "{bad:?}");
+        // Pre-min baseline documents gate on the mean fields instead.
+        let legacy: String = baseline
+            .lines()
+            .map(|l| {
+                let cut = l.find(", \"seq_batch_min_ns\"").unwrap_or(l.len());
+                if cut < l.len() {
+                    format!(
+                        "{} }}{}\n",
+                        &l[..cut],
+                        if l.ends_with(',') { "," } else { "" }
+                    )
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        assert!(!legacy.contains("seq_inc_min_ns"), "{legacy}");
+        let bad = regressions(&legacy, &fresh, 0.25);
+        assert_eq!(bad.len(), 1, "{bad:?}");
     }
 
     #[test]

@@ -203,17 +203,33 @@ fn json_f64(x: f64) -> String {
 
 /// Measures the average wall time of `run` over `reps` repetitions, with
 /// a fresh `setup()` product per repetition (setup time excluded).
-pub fn measure<S>(reps: usize, mut setup: impl FnMut() -> S, mut run: impl FnMut(&mut S)) -> f64 {
+pub fn measure<S>(reps: usize, setup: impl FnMut() -> S, run: impl FnMut(&mut S)) -> f64 {
+    measure_stats(reps, setup, run).0
+}
+
+/// Like [`measure`], but also returns the fastest sample. The min is
+/// the robust estimator for µs-scale operations — scheduler hiccups
+/// only ever add time, so the floor tracks the true cost while the
+/// mean absorbs every interrupt that landed inside a sample. The
+/// bench-regression gate compares mins for exactly that reason.
+pub fn measure_stats<S>(
+    reps: usize,
+    mut setup: impl FnMut() -> S,
+    mut run: impl FnMut(&mut S),
+) -> (f64, f64) {
     assert!(reps > 0);
     let mut total = 0.0;
+    let mut min = f64::INFINITY;
     for _ in 0..reps {
         let mut s = setup();
         let t = Instant::now();
         run(&mut s);
-        total += t.elapsed().as_secs_f64();
+        let dt = t.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
         std::hint::black_box(&mut s);
     }
-    total / reps as f64
+    (total / reps as f64, min)
 }
 
 #[cfg(test)]

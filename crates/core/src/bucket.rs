@@ -20,16 +20,29 @@
 /// (overflow) bucket.
 pub const NUM_BUCKETS: usize = 1024;
 
+/// Words in the occupancy bitmap (one bit per bucket).
+const OCC_WORDS: usize = NUM_BUCKETS / 64;
+
 /// A monotone-cursor bucket queue mapping `rank >> shift` to a bucket.
 ///
 /// Popped prefixes of each bucket are tracked with a head index so a pop
 /// is O(1) amortized; a bucket's storage is reclaimed the moment its last
-/// entry is served.
+/// entry is served. An occupancy bitmap (one bit per bucket) lets
+/// [`min_bucket`](Self::min_bucket) jump to the next non-empty bucket
+/// with a handful of `trailing_zeros` word scans instead of walking the
+/// bucket array slot by slot — on sparse incremental worklists, where a
+/// scope touches a few ranks scattered over the 1024-slot range, that
+/// linear sweep used to dominate the pop path.
 #[derive(Clone, Debug)]
 pub struct BucketQueue {
     buckets: Vec<Vec<(u64, usize)>>,
     /// Index of the first unserved entry in each bucket.
     heads: Vec<usize>,
+    /// Bit `b` is set iff bucket `b` has unserved entries.
+    occ: [u64; OCC_WORDS],
+    /// Rank subtracted (saturating) before binning, so the bucket range
+    /// can be re-centered on the band a run actually occupies.
+    base: u64,
     shift: u32,
     /// Lowest bucket that may be non-empty.
     cursor: usize,
@@ -53,16 +66,37 @@ impl BucketQueue {
         BucketQueue {
             buckets: vec![Vec::new(); NUM_BUCKETS],
             heads: vec![0; NUM_BUCKETS],
+            occ: [0; OCC_WORDS],
+            base: 0,
             shift,
             cursor: NUM_BUCKETS,
             len: 0,
         }
     }
 
+    /// Re-centers the binning window: ranks are binned as
+    /// `(rank - base) >> shift` (saturating below `base`). An incremental
+    /// run's seed ranks sit in a narrow absolute band — SSSP distances
+    /// after a small ΔG are all ≈ their converged values — and a fixed
+    /// `rank >> shift` collapses that band into a handful of buckets,
+    /// degrading the schedule toward FIFO and re-evaluating variables the
+    /// heap would have served exactly once. Centering the 1024 buckets on
+    /// the observed band restores near-exact ordering where it matters.
+    /// Binning precision is a performance knob only; correctness never
+    /// depends on it.
+    pub fn reconfigure(&mut self, base: u64, shift: u32) {
+        debug_assert!(
+            self.is_empty(),
+            "reconfiguring with queued entries would scramble their binning"
+        );
+        self.base = base;
+        self.shift = shift;
+    }
+
     /// The bucket a rank maps to.
     #[inline]
     pub fn bucket_of(&self, rank: u64) -> usize {
-        ((rank >> self.shift) as usize).min(NUM_BUCKETS - 1)
+        ((rank.saturating_sub(self.base) >> self.shift) as usize).min(NUM_BUCKETS - 1)
     }
 
     /// Number of queued (unserved) entries.
@@ -82,32 +116,39 @@ impl BucketQueue {
     pub fn push(&mut self, rank: u64, var: usize) {
         let b = self.bucket_of(rank);
         self.buckets[b].push((rank, var));
+        self.occ[b / 64] |= 1u64 << (b % 64);
         self.len += 1;
         if b < self.cursor {
             self.cursor = b;
         }
     }
 
-    /// Index of the lowest non-empty bucket, advancing the cursor past
-    /// drained buckets (and reclaiming their storage) as a side effect.
+    /// Index of the lowest non-empty bucket, advancing the cursor to it.
+    ///
+    /// Scans the occupancy bitmap from the cursor's word, so skipping an
+    /// arbitrary run of empty buckets costs at most [`OCC_WORDS`] word
+    /// tests rather than one test per bucket.
     pub fn min_bucket(&mut self) -> Option<usize> {
         if self.len == 0 {
             self.cursor = NUM_BUCKETS;
             return None;
         }
-        while self.cursor < NUM_BUCKETS {
-            let b = self.cursor;
-            if self.heads[b] < self.buckets[b].len() {
+        let mut w = self.cursor / 64;
+        let mut word = self.occ[w] & (u64::MAX << (self.cursor % 64));
+        loop {
+            if word != 0 {
+                let b = w * 64 + word.trailing_zeros() as usize;
+                self.cursor = b;
                 return Some(b);
             }
-            if self.heads[b] > 0 {
-                self.buckets[b].clear();
-                self.heads[b] = 0;
+            w += 1;
+            if w >= OCC_WORDS {
+                debug_assert!(false, "len > 0 but occupancy bitmap is empty");
+                self.cursor = NUM_BUCKETS;
+                return None;
             }
-            self.cursor += 1;
+            word = self.occ[w];
         }
-        debug_assert!(false, "len > 0 but all buckets drained");
-        None
     }
 
     /// Pops the next `(rank, var)` in bucket order (FIFO within a bucket).
@@ -127,6 +168,11 @@ impl BucketQueue {
         let e = self.buckets[b][self.heads[b]];
         self.heads[b] += 1;
         self.len -= 1;
+        if self.heads[b] == self.buckets[b].len() {
+            self.buckets[b].clear();
+            self.heads[b] = 0;
+            self.occ[b / 64] &= !(1u64 << (b % 64));
+        }
         Some(e)
     }
 
@@ -136,6 +182,7 @@ impl BucketQueue {
             self.buckets[b].clear();
             self.heads[b] = 0;
         }
+        self.occ = [0; OCC_WORDS];
         self.cursor = NUM_BUCKETS;
         self.len = 0;
     }
@@ -224,6 +271,18 @@ mod tests {
         assert_eq!(q.min_bucket(), Some(4));
         q.pop();
         assert_eq!(q.min_bucket(), Some(7));
+    }
+
+    #[test]
+    fn reconfigure_recenters_binning() {
+        let mut q = BucketQueue::new(0);
+        q.reconfigure(1_000_000, 2);
+        q.push(1_000_009, 1); // (9 >> 2) = bucket 2
+        q.push(1_000_001, 2); // bucket 0
+        q.push(999_000, 3); // below base saturates into bucket 0, FIFO
+        assert_eq!(q.pop(), Some((1_000_001, 2)));
+        assert_eq!(q.pop(), Some((999_000, 3)));
+        assert_eq!(q.pop(), Some((1_000_009, 1)));
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 pub mod audit;
 pub mod bucket;
+pub mod coalesce;
 pub mod engine;
 pub mod epoch;
 pub mod fallback;
@@ -62,12 +63,16 @@ pub mod trace;
 
 pub use audit::{AuditMode, AuditReport, AuditViolation, FixpointAudit};
 pub use bucket::BucketQueue;
+pub use coalesce::{coalesce_batches, Coalescer};
 pub use engine::{run_fixpoint, RunStats};
 pub use epoch::VisitEpoch;
 pub use fallback::{AuditAction, FallbackDecision, FallbackPolicy, FallbackReason};
 pub use metrics::{BoundednessReport, SpaceUsage};
 pub use par::{PackedValue, ParEngine};
-pub use scope::{bounded_scope, pe_reset_scope, ContributorOracle, ScopeResult, ScopeStats};
+pub use scope::{
+    bounded_scope, bounded_scope_in, pe_reset_scope, pe_reset_scope_in, ContributorOracle,
+    ScopeResult, ScopeScratch, ScopeStats,
+};
 pub use spec::FixpointSpec;
 pub use status::Status;
 pub use trace::{CaseTrace, TraceEvent};

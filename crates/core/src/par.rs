@@ -37,7 +37,7 @@
 //! justify it, exactly what the contributor oracles assume of a
 //! sequential run.
 
-use crate::bucket::BucketQueue;
+use crate::bucket::{BucketQueue, NUM_BUCKETS};
 use crate::engine::RunStats;
 use crate::spec::{FixpointSpec, Relax};
 use crate::status::Status;
@@ -46,6 +46,12 @@ use std::sync::{Barrier, Mutex};
 
 /// Largest usable rank; `u64::MAX` is the "not enqueued" sentinel.
 const RANK_CAP: u64 = u64::MAX - 1;
+
+/// Minimum rank-window width for the per-run bucket binning (see the
+/// seeding in [`ParEngine::run`]): 4× the bucket count, i.e. bins are
+/// never finer than 4 ranks, and a degenerate seed band (all seeds at
+/// one rank) still leaves headroom for ranks produced during the run.
+const MIN_BAND: u64 = 4 * NUM_BUCKETS as u64 - 1;
 
 const PEND_NONE: u8 = 0;
 const PEND_PROP: u8 = 1;
@@ -178,6 +184,10 @@ pub struct ParEngine {
     published: Vec<AtomicU64>,
     pub_epoch: Vec<AtomicU32>,
     workers: Vec<Worker>,
+    /// Reusable `(var, rank)` staging for the seed scope, so each run can
+    /// size and re-center the bucket binning from the observed rank band
+    /// before any push, without a steady-state allocation.
+    seed_buf: Vec<(usize, u64)>,
 }
 
 impl Clone for ParEngine {
@@ -231,6 +241,7 @@ impl ParEngine {
             published: (0..num_vars).map(|_| AtomicU64::new(0)).collect(),
             pub_epoch: (0..num_vars).map(|_| AtomicU32::new(0)).collect(),
             workers,
+            seed_buf: Vec::new(),
         }
     }
 
@@ -319,13 +330,58 @@ impl ParEngine {
         }
 
         let (nthreads, epoch) = (self.nthreads, self.epoch);
-        let mut scope_len = 0usize;
+        // Stage the seeds to learn the rank band before binning anything:
+        // incremental scopes sit in a narrow absolute band (converged SSSP
+        // distances, settled CC labels), and a binning window centered on
+        // that band keeps the bucket schedule near-exact instead of
+        // collapsing every seed into one coarse bucket. `seed_buf` is
+        // reused across runs, so the staging is allocation-free once warm.
+        let mut seeds = std::mem::take(&mut self.seed_buf);
+        seeds.clear();
+        // Sentinel-rank seeds (⊥ values awaiting their first eval — a
+        // batch run seeds *every* variable at rank cap) carry no band
+        // information and would stretch the window to the whole u64
+        // range; they simply land in the overflow bucket.
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
         for x in scope {
-            scope_len += 1;
             let r = spec.rank(x, &status.get(x)).min(RANK_CAP);
-            let w = &mut self.workers[x % nthreads];
-            push_local(w, epoch, nthreads, x, r, PEND_EVAL);
+            if r < RANK_CAP {
+                lo = lo.min(r);
+                hi = hi.max(r);
+            }
+            seeds.push((x, r));
         }
+        let scope_len = seeds.len();
+        if scope_len > 0 {
+            let lo = if lo == u64::MAX { 0 } else { lo };
+            // Smallest shift that spreads the seed band across the bucket
+            // range, floored so the window never drops below MIN_BAND:
+            // ranks produced *during* the run routinely overshoot the
+            // seed band (batch SSSP grows distances from a single rank-0
+            // source), and a too-narrow window would dump them all into
+            // the overflow bucket. Ranks past the window still land
+            // there, which is legal — binning is a performance hint.
+            let span = (hi.saturating_sub(lo)).max(MIN_BAND);
+            let shift =
+                (u64::BITS - span.leading_zeros()).saturating_sub(NUM_BUCKETS.trailing_zeros());
+            for w in &mut self.workers {
+                w.queue.reconfigure(lo, shift);
+            }
+        }
+        if nthreads == 1 {
+            // Literal shard count: the owner/local-index divisions in
+            // `push_local` fold away, which matters at a few ns per seed.
+            let w = &mut self.workers[0];
+            for &(x, r) in &seeds {
+                push_local(w, epoch, 1, x, r, PEND_EVAL);
+            }
+        } else {
+            for &(x, r) in &seeds {
+                let w = &mut self.workers[x % nthreads];
+                push_local(w, epoch, nthreads, x, r, PEND_EVAL);
+            }
+        }
+        self.seed_buf = seeds;
         let mut min_bucket = u64::MAX;
         for w in &mut self.workers {
             if let Some(b) = w.queue.min_bucket() {

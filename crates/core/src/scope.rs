@@ -12,6 +12,15 @@
 //! Both mutate the old fixpoint status in place into the feasible status
 //! `D⁰` and return the initial scope `H⁰` from which the ordinary engine
 //! ([`crate::engine::Engine::run`]) is resumed.
+//!
+//! Each construction comes in two forms: the allocating convenience form
+//! (`bounded_scope` / `pe_reset_scope`, which build their working sets per
+//! call) and the zero-allocation form (`bounded_scope_in` /
+//! `pe_reset_scope_in`) that runs entirely inside a caller-owned
+//! [`ScopeScratch`]. Incremental states keep one scratch per instance so a
+//! steady-state ΔG update performs no heap allocation in `h` at all — the
+//! epoch bitmaps reset in `O(1)` and the queue/scope buffers retain their
+//! high-water capacity the same way [`crate::engine::Engine`] does.
 
 use crate::epoch::VisitEpoch;
 use crate::spec::FixpointSpec;
@@ -81,6 +90,89 @@ pub struct ScopeResult {
     pub stats: ScopeStats,
 }
 
+/// Reusable working memory for the scope functions: the flat-state arena
+/// the zero-allocation ΔG path runs in.
+///
+/// One scratch per incremental state instance. The caller fills
+/// [`touched`](Self::touched) (the variables whose input sets evolved
+/// under ΔG — line 1 of Fig. 4), invokes [`bounded_scope_in`] or
+/// [`pe_reset_scope_in`], and reads the resulting `H⁰` from
+/// [`scope`](Self::scope). Between updates every structure keeps its
+/// backing storage: the epoch bitmaps clear with one counter bump, the
+/// vectors keep their high-water capacity, and the contributor queue
+/// follows the engine's 4× overshoot shrink policy — so a steady-state
+/// update allocates nothing.
+#[derive(Clone, Debug)]
+pub struct ScopeScratch {
+    /// Caller-filled input: variables with evolved input sets. The scope
+    /// functions only read it — callers clear and refill it before each
+    /// run (and may inspect it afterwards).
+    pub touched: Vec<usize>,
+    /// Output `H⁰`, sorted and deduplicated after a run. Callers may
+    /// `std::mem::take` it around the engine resume and put it back — the
+    /// scope functions re-clear it on entry.
+    pub scope: Vec<usize>,
+    queue: BinaryHeap<Reverse<(u64, usize)>>,
+    in_scope: VisitEpoch,
+    done: VisitEpoch,
+    frontier: Vec<usize>,
+    peak_queue: usize,
+}
+
+impl Default for ScopeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScopeScratch {
+    /// An empty scratch; structures grow lazily to the spec's size.
+    pub fn new() -> Self {
+        ScopeScratch {
+            touched: Vec::new(),
+            scope: Vec::new(),
+            queue: BinaryHeap::new(),
+            in_scope: VisitEpoch::new(0),
+            done: VisitEpoch::new(0),
+            frontier: Vec::new(),
+            peak_queue: 0,
+        }
+    }
+
+    /// Resets per-run state and sizes the bitmaps for `n` variables.
+    /// `touched` is *not* cleared — it is this run's input.
+    fn begin_run(&mut self, n: usize) {
+        self.in_scope.grow_to(n);
+        self.done.grow_to(n);
+        self.in_scope.clear();
+        self.done.clear();
+        self.queue.clear();
+        self.scope.clear();
+        self.frontier.clear();
+        self.peak_queue = 0;
+    }
+
+    /// Applies the engine's capacity policy: a one-off spike (one huge
+    /// update) should not pin the queue's high-water mark forever, but
+    /// shrinking every run would force realloc churn under a steady
+    /// update stream.
+    fn end_run(&mut self) {
+        if self.queue.capacity() > 4 * self.peak_queue.max(1) {
+            self.queue.shrink_to(self.peak_queue);
+        }
+    }
+
+    /// Heap bytes held by the scratch.
+    pub fn space_bytes(&self) -> usize {
+        self.touched.capacity() * std::mem::size_of::<usize>()
+            + self.scope.capacity() * std::mem::size_of::<usize>()
+            + self.queue.capacity() * std::mem::size_of::<Reverse<(u64, usize)>>()
+            + self.in_scope.space_bytes()
+            + self.done.space_bytes()
+            + self.frontier.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
 /// The paper's Fig. 4: a correct and bounded initial scope function for
 /// contracting, monotonic algorithms.
 ///
@@ -119,27 +211,49 @@ pub fn bounded_scope<S: FixpointSpec, O: ContributorOracle<S::Value>>(
     status: &mut Status<S::Value>,
     touched: impl IntoIterator<Item = usize>,
 ) -> ScopeResult {
+    let mut scratch = ScopeScratch::new();
+    scratch.touched.extend(touched);
+    let stats = bounded_scope_in(spec, oracle, status, &mut scratch);
+    ScopeResult {
+        scope: std::mem::take(&mut scratch.scope),
+        stats,
+    }
+}
+
+/// [`bounded_scope`] running entirely inside a caller-owned
+/// [`ScopeScratch`]: the caller fills `scratch.touched`, the resulting
+/// `H⁰` lands in `scratch.scope` (sorted, deduplicated). Performs no heap
+/// allocation once the scratch has reached its steady-state capacity.
+pub fn bounded_scope_in<S: FixpointSpec, O: ContributorOracle<S::Value>>(
+    spec: &S,
+    oracle: &O,
+    status: &mut Status<S::Value>,
+    scratch: &mut ScopeScratch,
+) -> ScopeStats {
     let _span = incgraph_obs::span("scope.h");
     let mut stats = ScopeStats::default();
-    let n = spec.num_vars();
-    let mut queue: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    // Dense scratch: zeroing two byte-vectors is far cheaper than hashing
-    // every queue operation, and the incremental states already keep
-    // O(|Ψ_A|) structures (status, engine) between updates.
-    let mut in_scope = vec![false; n];
-    let mut done = vec![false; n];
-    let mut scope: Vec<usize> = Vec::new();
+    scratch.begin_run(spec.num_vars());
+    let ScopeScratch {
+        touched,
+        scope,
+        queue,
+        in_scope,
+        done,
+        peak_queue,
+        ..
+    } = scratch;
 
-    for x in touched {
-        if !std::mem::replace(&mut in_scope[x], true) {
+    for &x in touched.iter() {
+        if in_scope.insert(x) {
             scope.push(x);
             queue.push(Reverse((oracle.order_key(x, status), x)));
+            *peak_queue = (*peak_queue).max(queue.len());
             stats.pushes += 1;
         }
     }
 
     while let Some(Reverse((key, x))) = queue.pop() {
-        if std::mem::replace(&mut done[x], true) {
+        if !done.insert(x) {
             continue;
         }
         stats.pops += 1;
@@ -171,22 +285,25 @@ pub fn bounded_scope<S: FixpointSpec, O: ContributorOracle<S::Value>>(
         // oracle sees x's pre-raise value.
         if newv != cur && !spec.preceq(&newv, &cur) {
             oracle.contributes_to(x, status, &mut |z| {
-                if !done[z] {
+                if !done.contains(z) {
                     queue.push(Reverse((oracle.order_key(z, status), z)));
                     stats.pushes += 1;
                 }
             });
+            *peak_queue = (*peak_queue).max(queue.len());
             status.set_unstamped(x, spec.bottom(x));
             stats.raised += 1;
-            if !std::mem::replace(&mut in_scope[x], true) {
+            if in_scope.insert(x) {
                 scope.push(x);
             }
         }
     }
 
     scope.sort_unstable();
-    record_scope_obs(&stats, scope.len());
-    ScopeResult { scope, stats }
+    let scope_len = scope.len();
+    scratch.end_run();
+    record_scope_obs(&stats, scope_len);
+    stats
 }
 
 /// Forwards one scope-function invocation's counters to the
@@ -212,23 +329,42 @@ fn record_scope_obs(stats: &ScopeStats, scope_len: usize) {
 /// Always correct for any fixpoint algorithm — the resulting status is
 /// trivially feasible and the scope valid — but the flood is not bounded
 /// by `AFF` (deleting one edge of a connected graph floods the whole
-/// component under CC). Used as the deduced strategy where the flood is
-/// inherently local (LCC's dependency graph has no edges) and as the
-/// `abl-scope` ablation baseline elsewhere.
+/// component under CC). Used as the `abl-scope` ablation baseline.
 pub fn pe_reset_scope<S: FixpointSpec>(
     spec: &S,
     status: &mut Status<S::Value>,
     touched: impl IntoIterator<Item = usize>,
 ) -> ScopeResult {
+    let mut scratch = ScopeScratch::new();
+    scratch.touched.extend(touched);
+    let stats = pe_reset_scope_in(spec, status, &mut scratch);
+    ScopeResult {
+        scope: std::mem::take(&mut scratch.scope),
+        stats,
+    }
+}
+
+/// [`pe_reset_scope`] running inside a caller-owned [`ScopeScratch`]:
+/// same contract as [`bounded_scope_in`].
+pub fn pe_reset_scope_in<S: FixpointSpec>(
+    spec: &S,
+    status: &mut Status<S::Value>,
+    scratch: &mut ScopeScratch,
+) -> ScopeStats {
     let _span = incgraph_obs::span("scope.pe_reset");
     let mut stats = ScopeStats::default();
+    scratch.begin_run(spec.num_vars());
+    let ScopeScratch {
+        touched,
+        scope,
+        in_scope,
+        frontier,
+        ..
+    } = scratch;
     // Dense epoch bitmap instead of a HashSet: membership is one compare,
     // and the flood is the hot loop of the ablation baseline.
-    let mut pe = VisitEpoch::new(spec.num_vars());
-    let mut scope: Vec<usize> = Vec::new();
-    let mut frontier: Vec<usize> = Vec::new();
-    for x in touched {
-        if pe.insert(x) {
+    for &x in touched.iter() {
+        if in_scope.insert(x) {
             scope.push(x);
             frontier.push(x);
             stats.pushes += 1;
@@ -237,7 +373,7 @@ pub fn pe_reset_scope<S: FixpointSpec>(
     while let Some(x) = frontier.pop() {
         stats.pops += 1;
         spec.dependents(x, &mut |z| {
-            if pe.insert(z) {
+            if in_scope.insert(z) {
                 scope.push(z);
                 frontier.push(z);
                 stats.pushes += 1;
@@ -245,15 +381,17 @@ pub fn pe_reset_scope<S: FixpointSpec>(
         });
     }
     scope.sort_unstable();
-    for &x in &scope {
+    for &x in scope.iter() {
         let bot = spec.bottom(x);
         if status.get(x) != bot {
             status.set_unstamped(x, bot);
             stats.raised += 1;
         }
     }
-    record_scope_obs(&stats, scope.len());
-    ScopeResult { scope, stats }
+    let scope_len = scope.len();
+    scratch.end_run();
+    record_scope_obs(&stats, scope_len);
+    stats
 }
 
 #[cfg(test)]
@@ -337,11 +475,11 @@ mod tests {
         let new = Cc::from_edges(4, &[(0, 1), (2, 3)]);
         // Oracle keys/stamps come from the old run, and contributor
         // expansion uses the old adjacency (the deleted edge carried the
-        // old change propagation).
-        let old_adj = old.adj.clone();
+        // old change propagation); `old` stays alive, so the oracle
+        // borrows its adjacency directly instead of cloning it.
         let res = bounded_scope(
             &new,
-            &StampOracle { adj: &old_adj },
+            &StampOracle { adj: &old.adj },
             &mut status,
             [1usize, 2],
         );
@@ -361,11 +499,10 @@ mod tests {
         let old = Cc::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
         let mut status = Status::init(&old, true);
         run_fixpoint(&old, &mut status, 0..3);
-        let old_adj = old.adj.clone();
         let new = Cc::from_edges(3, &[(0, 1), (1, 2)]);
         let res = bounded_scope(
             &new,
-            &StampOracle { adj: &old_adj },
+            &StampOracle { adj: &old.adj },
             &mut status,
             [0usize, 2],
         );
@@ -382,11 +519,10 @@ mod tests {
         let mut status = Status::init(&old, true);
         run_fixpoint(&old, &mut status, 0..4);
         assert_eq!(status.values(), &[0, 0, 2, 2]);
-        let old_adj = old.adj.clone();
         let new = Cc::from_edges(4, &[(0, 1), (2, 3), (1, 2)]);
         let res = bounded_scope(
             &new,
-            &StampOracle { adj: &old_adj },
+            &StampOracle { adj: &old.adj },
             &mut status,
             [1usize, 2],
         );
@@ -417,5 +553,59 @@ mod tests {
         run_fixpoint(&g, &mut status, 0..3);
         let res = pe_reset_scope(&g, &mut status, [1usize, 1, 0]);
         assert_eq!(res.scope, vec![0, 1]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_to_fresh_calls() {
+        // Repeated runs through one scratch must produce the same scope
+        // and raises as independent allocating calls, with no state
+        // bleeding between runs.
+        let old = Cc::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut s1 = Status::init(&old, true);
+        run_fixpoint(&old, &mut s1, 0..4);
+        let mut s2 = s1.clone();
+
+        let new = Cc::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut scratch = ScopeScratch::new();
+        for round in 0..3 {
+            let fresh = bounded_scope(
+                &new,
+                &StampOracle { adj: &old.adj },
+                &mut s1.clone(),
+                [1usize, 2],
+            );
+            scratch.touched.clear();
+            scratch.touched.extend([1usize, 2]);
+            let stats =
+                bounded_scope_in(&new, &StampOracle { adj: &old.adj }, &mut s2, &mut scratch);
+            if round == 0 {
+                // First round actually mutates s1 to compare statuses.
+                let res1 =
+                    bounded_scope(&new, &StampOracle { adj: &old.adj }, &mut s1, [1usize, 2]);
+                assert_eq!(res1.scope, scratch.scope);
+                assert_eq!(res1.stats, stats);
+                assert_eq!(s1.values(), s2.values());
+            } else {
+                // Later rounds: raises already applied, scope must be
+                // stable (idempotent h on a feasible status).
+                assert_eq!(fresh.scope.len(), scratch.scope.len());
+            }
+        }
+    }
+
+    #[test]
+    fn pe_reset_scratch_matches_allocating_form() {
+        let old = Cc::from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        let mut s1 = Status::init(&old, false);
+        run_fixpoint(&old, &mut s1, 0..5);
+        let mut s2 = s1.clone();
+        let new = Cc::from_edges(5, &[(0, 1), (2, 3)]);
+        let res = pe_reset_scope(&new, &mut s1, [1usize, 2]);
+        let mut scratch = ScopeScratch::new();
+        scratch.touched.extend([1usize, 2]);
+        let stats = pe_reset_scope_in(&new, &mut s2, &mut scratch);
+        assert_eq!(res.scope, scratch.scope);
+        assert_eq!(res.stats, stats);
+        assert_eq!(s1.values(), s2.values());
     }
 }

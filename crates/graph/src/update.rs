@@ -415,6 +415,22 @@ impl AppliedBatch {
         batch
     }
 
+    /// Re-expresses the effective ops as a requested [`UpdateBatch`], in
+    /// chronological order. Applying it to a graph in the pre-batch state
+    /// performs exactly these ops again — the replay form micro-batch
+    /// coalescing and the service writer use to apply a canonical ΔG.
+    pub fn to_update_batch(&self) -> UpdateBatch {
+        let mut batch = UpdateBatch::new();
+        for op in &self.ops {
+            if op.inserted {
+                batch.insert(op.src, op.dst, op.weight);
+            } else {
+                batch.delete(op.src, op.dst);
+            }
+        }
+        batch
+    }
+
     /// All endpoints touched by the effective updates, deduplicated.
     pub fn touched_nodes(&self) -> Vec<NodeId> {
         let mut nodes: Vec<NodeId> = self.ops.iter().flat_map(|o| [o.src, o.dst]).collect();

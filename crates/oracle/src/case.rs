@@ -82,6 +82,12 @@ pub struct Case {
     /// ([`run_crash_case`](crate::crash::run_crash_case)) at this
     /// injection point instead of sweeping all four.
     pub crash_at: Option<CrashPoint>,
+    /// Also drive the micro-batch coalescing oracle: a fourth session
+    /// per class sees the schedule's ΔG batches merged through the
+    /// [`Coalescer`](incgraph_core::Coalescer) every couple of rounds
+    /// and must still match the batch ground truth. Stamped into corpus
+    /// files so coalesce-mode reproducers replay in coalesce mode.
+    pub coalesce: bool,
 }
 
 impl Case {
@@ -137,6 +143,9 @@ impl Case {
         if let Some(point) = self.crash_at {
             let _ = writeln!(out, "crash-at {}", point.name());
         }
+        if self.coalesce {
+            let _ = writeln!(out, "coalesce 1");
+        }
         let threads: Vec<String> = self.threads.iter().map(|t| t.to_string()).collect();
         let _ = writeln!(out, "threads {}", threads.join(","));
         for &(u, v, w) in &self.edges {
@@ -175,6 +184,7 @@ impl Case {
         let mut threads: Vec<usize> = Vec::new();
         let mut fault: Option<Fault> = None;
         let mut crash_at: Option<CrashPoint> = None;
+        let mut coalesce = false;
         let mut saw_header = false;
         let mut saw_end = false;
 
@@ -249,6 +259,7 @@ impl Case {
                             .ok_or_else(|| err(lineno, format!("unknown crash point `{name}`")))?,
                     );
                 }
+                "coalesce" => coalesce = num("coalesce <0|1>")? != 0,
                 "threads" => {
                     let list = it
                         .next()
@@ -334,6 +345,7 @@ impl Case {
             threads,
             fault,
             crash_at,
+            coalesce,
         })
     }
 }
@@ -360,6 +372,7 @@ mod tests {
             threads: vec![1, 2, 4],
             fault: Some(Fault::SkipOp),
             crash_at: Some(CrashPoint::WalPostFsync),
+            coalesce: true,
         }
     }
 
@@ -380,6 +393,7 @@ mod tests {
         assert_eq!(parsed.threads, case.threads);
         assert_eq!(parsed.fault, case.fault);
         assert_eq!(parsed.crash_at, case.crash_at);
+        assert_eq!(parsed.coalesce, case.coalesce);
         let (p, q) = (parsed.pattern.unwrap(), case.pattern.unwrap());
         assert_eq!(p.node_count(), q.node_count());
         assert_eq!(p.edges().collect::<Vec<_>>(), q.edges().collect::<Vec<_>>());

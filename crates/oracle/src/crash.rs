@@ -351,6 +351,7 @@ mod tests {
             threads: vec![1],
             fault: None,
             crash_at: None,
+            coalesce: false,
         }
     }
 

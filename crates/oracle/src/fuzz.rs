@@ -42,6 +42,10 @@ pub struct FuzzConfig {
     pub crash: bool,
     /// Where to write minimized `.case` files; `None` disables writing.
     pub corpus_dir: Option<PathBuf>,
+    /// Also drive the micro-batch coalescing oracle on every case (see
+    /// [`Case::coalesce`]): a fourth session per class consumes the
+    /// schedule merged into net batches and must match the ground truth.
+    pub coalesce: bool,
     /// Case size knobs.
     pub gen: GenConfig,
 }
@@ -56,6 +60,7 @@ impl FuzzConfig {
             inject_fault: None,
             crash: false,
             corpus_dir: None,
+            coalesce: false,
             gen: GenConfig::default(),
         }
     }
@@ -134,7 +139,8 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
             }
         }
         let case_seed = rng.next_u64();
-        let case = gen_case(case_seed, &cfg.gen);
+        let mut case = gen_case(case_seed, &cfg.gen);
+        case.coalesce = cfg.coalesce;
         let outcome = run_case(&case, cfg.inject_fault);
         report.cases_run += 1;
         report.checks += outcome.checks;
@@ -221,7 +227,11 @@ fn write_corpus_file(
     minimized.fault = cfg.inject_fault;
     let minimized = &minimized;
     let mut comments = vec![
-        format!("found by `incgraph fuzz --seed {}`", cfg.seed),
+        format!(
+            "found by `incgraph fuzz --seed {}{}`",
+            cfg.seed,
+            if cfg.coalesce { " --coalesce" } else { "" }
+        ),
         format!("case seed {case_seed}"),
         format!("failure: {failure}"),
     ];
@@ -276,6 +286,25 @@ mod tests {
             a.classes_exercised,
             ClassId::ALL.to_vec(),
             "a mixed campaign must exercise all seven classes"
+        );
+    }
+
+    #[test]
+    fn coalesce_campaign_is_clean_and_checks_more() {
+        let plain = fuzz(&FuzzConfig::new(1, 6));
+        let mut cfg = FuzzConfig::new(1, 6);
+        cfg.coalesce = true;
+        let coal = fuzz(&cfg);
+        assert!(
+            coal.clean(),
+            "coalesce campaign violation: {}",
+            coal.failures[0].failure
+        );
+        assert!(
+            coal.checks > plain.checks,
+            "coalesce mode must add oracle checks ({} vs {})",
+            coal.checks,
+            plain.checks
         );
     }
 

@@ -162,6 +162,7 @@ pub fn gen_case(seed: u64, cfg: &GenConfig) -> Case {
         threads: vec![1, 2, 4],
         fault: None,
         crash_at: None,
+        coalesce: false,
     }
 }
 

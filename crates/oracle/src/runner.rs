@@ -46,6 +46,12 @@ pub enum OracleKind {
     },
     /// The boundedness accounting is inconsistent.
     Boundedness,
+    /// A session fed coalesced micro-batches diverged from the batch
+    /// ground truth (`--coalesce` campaigns only).
+    Coalesce {
+        /// How many ΔG batches were merged into the diverging net batch.
+        merged: usize,
+    },
 }
 
 impl OracleKind {
@@ -55,6 +61,7 @@ impl OracleKind {
             OracleKind::IncVsBatch => "inc-vs-batch",
             OracleKind::SeqVsPar { .. } => "seq-vs-par",
             OracleKind::Boundedness => "boundedness",
+            OracleKind::Coalesce { .. } => "coalesce",
         }
     }
 
@@ -194,6 +201,9 @@ struct ClassUnderTest {
     seq: Session,
     /// `(threads, state)` pairs for the seq-vs-par oracle.
     par: Vec<(usize, Session)>,
+    /// The coalesce-oracle session (`case.coalesce` only): sees the
+    /// pending ΔG batches merged into one net batch at every flush.
+    coal: Option<Session>,
     /// Batch-fixpoint digest of the previous round, for the AFF diff.
     prev_full: Vec<u64>,
 }
@@ -295,13 +305,24 @@ pub fn run_case(case: &Case, fault: Option<Fault>) -> RunOutcome {
                 par.push((t, state));
             }
         }
+        let coal = case
+            .coalesce
+            .then(|| build_session(class, &g, source, pattern, 1));
         classes.push(ClassUnderTest {
             class,
             seq,
             par,
+            coal,
             prev_full,
         });
     }
+
+    // Coalesce oracle: the *real* applied batches (never the doctored
+    // ones — the Coalescer's contract is effective ops from an actual
+    // graph) accumulate here and flush as one net batch every
+    // `COALESCE_EVERY` rounds and at the end of the schedule.
+    const COALESCE_EVERY: usize = 2;
+    let mut pending: Vec<AppliedBatch> = Vec::new();
 
     for (round, batch) in case.schedule.iter().enumerate() {
         let applied = batch.apply(&mut g);
@@ -309,6 +330,11 @@ pub fn run_case(case: &Case, fault: Option<Fault>) -> RunOutcome {
             Some(f) => f.doctor(&applied),
             None => applied.clone(),
         };
+        if case.coalesce {
+            pending.push(applied.clone());
+        }
+        let flush =
+            case.coalesce && (pending.len() >= COALESCE_EVERY || round + 1 == case.schedule.len());
         for cut in &mut classes {
             let class = cut.class;
             // Incremental step on the sequential baseline.
@@ -367,7 +393,31 @@ pub fn run_case(case: &Case, fault: Option<Fault>) -> RunOutcome {
                     };
                 }
             }
+
+            if flush {
+                let state = cut.coal.as_mut().expect("flush implies coalesce sessions");
+                let net = incgraph_core::coalesce_batches(g.is_directed(), &pending);
+                state.update(&g, &net);
+                checks += 1;
+                let d = state.digest(&g);
+                if let Some((i, a, b)) = first_diff(&full, &d) {
+                    return RunOutcome {
+                        checks,
+                        failure: Some(OracleFailure {
+                            class,
+                            round: Some(round),
+                            kind: OracleKind::Coalesce {
+                                merged: pending.len(),
+                            },
+                            detail: format!("var {i}: batch={a} coalesced={b}"),
+                        }),
+                    };
+                }
+            }
             cut.prev_full = full;
+        }
+        if flush {
+            pending.clear();
         }
     }
     RunOutcome {
@@ -399,6 +449,7 @@ mod tests {
             threads: vec![1, 2],
             fault: None,
             crash_at: None,
+            coalesce: false,
         }
     }
 
@@ -409,6 +460,26 @@ mod tests {
         // init par checks (5 par classes) + per-round: 7 value + 7
         // boundedness + 5 par, times 2 rounds.
         assert_eq!(outcome.checks, 5 + 2 * (7 + 7 + 5));
+    }
+
+    #[test]
+    fn coalesce_mode_adds_one_check_per_class_per_flush() {
+        let mut case = small_case(ClassId::ALL.to_vec());
+        case.coalesce = true;
+        let outcome = run_case(&case, None);
+        assert!(outcome.passed(), "{:?}", outcome.failure);
+        // The 2-round schedule flushes once (at round 1, when two ΔG
+        // batches are pending): plain-mode checks + 7 coalesce checks.
+        assert_eq!(outcome.checks, 5 + 2 * (7 + 7 + 5) + 7);
+    }
+
+    #[test]
+    fn coalesce_case_roundtrips_through_corpus_format() {
+        let mut case = small_case(vec![ClassId::Cc]);
+        case.coalesce = true;
+        let parsed = Case::parse(&case.render(&[])).expect("parse");
+        assert!(parsed.coalesce, "coalesce flag survives render/parse");
+        assert!(run_case(&parsed, None).passed());
     }
 
     #[test]
@@ -439,6 +510,7 @@ mod tests {
             threads: vec![1],
             fault: None,
             crash_at: None,
+            coalesce: false,
         };
         let outcome = run_case(&case, Some(Fault::DropDeletes));
         let failure = outcome.failure.expect("fault must be caught");

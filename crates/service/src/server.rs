@@ -73,6 +73,17 @@ pub struct ServerConfig {
     pub out_hard: usize,
     /// Whether the wire `SHUTDOWN` command is honored.
     pub allow_remote_shutdown: bool,
+    /// Micro-batch coalescing: buffer up to this many committed update
+    /// batches before running one coalesced standing-query notification
+    /// pass. `1` (the default) notifies after every batch, the
+    /// historical behavior. Commit, WAL fsync, and `ACK` always stay
+    /// per-batch — coalescing only amortizes the per-query incremental
+    /// fixpoint and `DELTA` push.
+    pub flush_ops: usize,
+    /// Micro-batch coalescing deadline: a partial buffer older than
+    /// this flushes even if `flush_ops` was never reached, bounding
+    /// `DELTA` staleness under a trickle of updates.
+    pub flush_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +99,8 @@ impl Default for ServerConfig {
             out_soft: 64,
             out_hard: 1024,
             allow_remote_shutdown: true,
+            flush_ops: 1,
+            flush_window: Duration::from_millis(10),
         }
     }
 }
@@ -763,16 +776,78 @@ fn submit(shared: &Arc<Shared>, ctx: &SessionCtx, job: Job) -> bool {
     true
 }
 
+/// Committed-but-unnotified ΔG batches, per graph, awaiting one
+/// coalesced standing-query pass. Owned by the writer thread.
+#[derive(Default)]
+struct PendingNotify {
+    /// `graph → applied batches`, oldest first. The graph list stays
+    /// tiny (one entry per graph updated inside the window).
+    by_graph: Vec<(String, Vec<incgraph_graph::AppliedBatch>)>,
+    /// Total buffered batches across graphs (the `flush_ops` counter).
+    batches: usize,
+    /// When the oldest buffered batch was committed (the `flush_window`
+    /// deadline anchor).
+    oldest: Option<Instant>,
+}
+
+impl PendingNotify {
+    fn push(&mut self, graph: &str, applied: incgraph_graph::AppliedBatch) {
+        match self.by_graph.iter_mut().find(|(g, _)| g == graph) {
+            Some((_, list)) => list.push(applied),
+            None => self.by_graph.push((graph.to_string(), vec![applied])),
+        }
+        self.batches += 1;
+        self.oldest.get_or_insert_with(Instant::now);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.batches == 0
+    }
+
+    fn deadline_due(&self, window: Duration) -> bool {
+        self.oldest.is_some_and(|t| t.elapsed() >= window)
+    }
+
+    /// Runs the coalesced notification pass and empties the buffer.
+    /// `store` is the caller's already-acquired write guard.
+    fn flush(&mut self, store: &mut Store) {
+        for (graph, batches) in self.by_graph.drain(..) {
+            store.notify_queries(&graph, &batches);
+        }
+        self.batches = 0;
+        self.oldest = None;
+    }
+
+    fn discard(&mut self) {
+        self.by_graph.clear();
+        self.batches = 0;
+        self.oldest = None;
+    }
+}
+
 fn writer_loop(rx: mpsc::Receiver<Job>, shared: Arc<Shared>) {
+    let flush_ops = shared.cfg.flush_ops.max(1);
+    let flush_window = shared.cfg.flush_window;
+    let mut pending_notify = PendingNotify::default();
     loop {
-        match rx.recv_timeout(Duration::from_millis(25)) {
+        // With batches buffered, wake early enough to honor the window.
+        let tick = Duration::from_millis(25);
+        let timeout = match pending_notify.oldest {
+            Some(t) => (flush_window.saturating_sub(t.elapsed())).min(tick),
+            None => tick,
+        };
+        match rx.recv_timeout(timeout) {
             Ok(job) => {
                 shared.pending.fetch_sub(1, Ordering::Relaxed);
                 match shared.phase() {
-                    KILLED => continue, // drop silently: simulated death
+                    KILLED => {
+                        pending_notify.discard(); // simulated death
+                        continue;
+                    }
                     _ => {
-                        if process_job(&shared, job) == JobOutcome::Crashed {
+                        if process_job(&shared, job, &mut pending_notify) == JobOutcome::Crashed {
                             // Simulated process death mid-commit.
+                            pending_notify.discard();
                             shared.phase.store(KILLED, Ordering::Release);
                             shared.kill_sessions();
                         }
@@ -781,10 +856,25 @@ fn writer_loop(rx: mpsc::Receiver<Job>, shared: Arc<Shared>) {
             }
             Err(mpsc::RecvTimeoutError::Timeout) => match shared.phase() {
                 KILLED => break,
-                DRAINING if shared.pending.load(Ordering::Relaxed) == 0 => break,
+                DRAINING
+                    if shared.pending.load(Ordering::Relaxed) == 0 && pending_notify.is_empty() =>
+                {
+                    break
+                }
                 _ => {}
             },
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        // Flush outside job processing so both the count trigger and the
+        // deadline trigger go through the same path.
+        if !pending_notify.is_empty()
+            && (pending_notify.batches >= flush_ops || pending_notify.deadline_due(flush_window))
+        {
+            let mut guard = shared.store_mut();
+            match guard.as_mut() {
+                Some(store) => pending_notify.flush(store),
+                None => pending_notify.discard(),
+            }
         }
     }
     // Exit path. Graceful: checkpoint, then goodbye every session.
@@ -794,6 +884,9 @@ fn writer_loop(rx: mpsc::Receiver<Job>, shared: Arc<Shared>) {
         let mut guard = shared.store_mut();
         if let Some(store) = guard.as_mut() {
             if !killed {
+                // Queued updates were acked; their DELTAs must go out
+                // before the goodbyes.
+                pending_notify.flush(store);
                 store.checkpoint_all();
             }
         }
@@ -817,11 +910,19 @@ enum JobOutcome {
     Crashed,
 }
 
-fn process_job(shared: &Arc<Shared>, job: Job) -> JobOutcome {
+fn process_job(shared: &Arc<Shared>, job: Job, pending_notify: &mut PendingNotify) -> JobOutcome {
     let mut guard = shared.store_mut();
     let Some(store) = guard.as_mut() else {
+        pending_notify.discard();
         return JobOutcome::Done;
     };
+    // Any non-Update job flushes buffered notifications first: a
+    // `REGISTER` snapshots the committed graph, so a standing query
+    // created mid-window must not later receive a DELTA for batches its
+    // initial digest already includes (double-apply).
+    if !pending_notify.is_empty() && !matches!(job, Job::Update { .. }) {
+        pending_notify.flush(store);
+    }
     match job {
         Job::Graph {
             name,
@@ -868,13 +969,18 @@ fn process_job(shared: &Arc<Shared>, job: Job) -> JobOutcome {
             client_seq,
             batch,
             out,
-        } => match store.apply_update(&graph, &token, client_seq, &batch) {
-            Ok(ack) => {
+        } => match store.apply_update_deferred(&graph, &token, client_seq, &batch) {
+            Ok((ack, applied)) => {
+                // The ACK rides the per-batch commit + fsync; only the
+                // standing-query notification is deferred to the flush.
                 let dup = if ack.dup { " dup" } else { "" };
                 out.push_line(format!(
                     "ACK {} {} {}{dup}",
                     ack.client_seq, ack.wal_seq, ack.units
                 ));
+                if let Some(applied) = applied {
+                    pending_notify.push(&graph, applied);
+                }
             }
             Err(UpdateError::Wire(c, d)) => {
                 out.push_line(format!("ERR {c} {d}"));

@@ -398,6 +398,33 @@ impl Store {
         client_seq: u64,
         batch: &UpdateBatch,
     ) -> Result<Ack, UpdateError> {
+        let (ack, applied) = self.apply_update_deferred(graph, token, client_seq, batch)?;
+        if let Some(applied) = applied {
+            self.notify_queries(graph, std::slice::from_ref(&applied));
+        }
+        Ok(ack)
+    }
+
+    /// The commit half of [`apply_update`]: dedup/gap check, graph
+    /// mutation, WAL + dedup-intent fsync, ack bookkeeping — everything
+    /// the exactly-once protocol depends on — but **no** standing-query
+    /// notification. The caller owns the returned effective ΔG and must
+    /// eventually hand it (alone or merged with later batches) to
+    /// [`notify_queries`](Self::notify_queries). Returns `None` ops for
+    /// a deduplicated retry, which re-acks without re-applying.
+    ///
+    /// This split is the writer's micro-batch coalescing hook: acks stay
+    /// per-batch (a client's durability guarantee must never wait on a
+    /// flush window), while the per-query incremental fixpoint and DELTA
+    /// push — the part whose cost scales with standing-query count — can
+    /// run once per flush over the coalesced net ΔG.
+    pub fn apply_update_deferred(
+        &mut self,
+        graph: &str,
+        token: &str,
+        client_seq: u64,
+        batch: &UpdateBatch,
+    ) -> Result<(Ack, Option<incgraph_graph::AppliedBatch>), UpdateError> {
         let wire = |c: ErrCode, d: String| UpdateError::Wire(c, d);
         let Some(entry) = self.graphs.get_mut(graph) else {
             return Err(wire(ErrCode::UnknownGraph, format!("no graph {graph}")));
@@ -412,12 +439,15 @@ impl Store {
         if client_seq == last.client_seq {
             // The retry of an acked batch: re-ack, never re-apply.
             incgraph_obs::counter("service.dedup_hits", 1);
-            return Ok(Ack {
-                client_seq,
-                wal_seq: last.wal_seq,
-                units: batch.len(),
-                dup: true,
-            });
+            return Ok((
+                Ack {
+                    client_seq,
+                    wal_seq: last.wal_seq,
+                    units: batch.len(),
+                    dup: true,
+                },
+                None,
+            ));
         }
         if client_seq != last.client_seq + 1 {
             return Err(wire(
@@ -476,17 +506,54 @@ impl Store {
             },
         );
         incgraph_obs::counter("service.batches", 1);
+        Ok((
+            Ack {
+                client_seq,
+                wal_seq,
+                units: batch.len(),
+                dup: false,
+            },
+            Some(applied),
+        ))
+    }
 
-        // Notify standing queries: incremental update + digest diff.
+    /// The notification half of [`apply_update`]: runs every standing
+    /// query's incremental update over the (coalesced) ΔG of `batches`
+    /// and pushes one `DELTA` per query that changed, stamped with the
+    /// graph's current committed sequence. `batches` must be the
+    /// *effective* applied ops of consecutive committed batches, oldest
+    /// first, with none skipped — the net batch the
+    /// [`Coalescer`](incgraph_core::Coalescer) builds from them is
+    /// equivalent by construction, so each query does one bounded
+    /// incremental step instead of one per batch.
+    pub fn notify_queries(&mut self, graph: &str, batches: &[incgraph_graph::AppliedBatch]) {
+        let Some(entry) = self.graphs.get_mut(graph) else {
+            return;
+        };
+        if batches.is_empty() || entry.queries.is_empty() {
+            return;
+        }
         let _notify = incgraph_obs::span("service.notify");
         let g = match &entry.backend {
             Backend::Memory { graph, .. } => graph,
             Backend::Durable { session, .. } => session.graph(),
         };
+        let wal_seq = match &entry.backend {
+            Backend::Memory { seq, .. } => *seq,
+            Backend::Durable { session, .. } => session.last_seq(),
+        };
+        let net;
+        let applied = if batches.len() == 1 {
+            &batches[0]
+        } else {
+            net = incgraph_core::coalesce_batches(g.is_directed(), batches);
+            incgraph_obs::observe("service.coalesced_ops", net.len() as u64);
+            &net
+        };
         let max_entries = self.limits.max_delta_entries;
         for ((_, qid), q) in entry.queries.iter_mut() {
             let _cls = incgraph_obs::class_scope(q.class.name());
-            q.session.update_guarded(g, &applied);
+            q.session.update_guarded(g, applied);
             let new = q.session.digest(g);
             if new == q.digest {
                 continue;
@@ -512,12 +579,6 @@ impl Store {
             }
             q.digest = new;
         }
-        Ok(Ack {
-            client_seq,
-            wal_seq,
-            units: batch.len(),
-            dup: false,
-        })
     }
 
     /// Whether durable writes are refused.

@@ -305,6 +305,103 @@ fn second_hello_is_rejected_but_session_survives() {
 }
 
 #[test]
+fn coalesced_flush_merges_deltas_and_stamps_final_seq() {
+    let cfg = ServerConfig {
+        flush_ops: 3,
+        // Park the deadline far out so only the count trigger fires.
+        flush_window: Duration::from_secs(30),
+        ..quick_cfg()
+    };
+    let mut server = memory_server(cfg);
+    let mut c = Client::connect(server.addr(), "iris").unwrap();
+    c.graph("g0", 16, false).unwrap();
+    c.register("q1", "g0", "sssp", 0, None).unwrap();
+    // Every batch is acked individually at its own wal_seq — the commit
+    // path is never deferred, only the standing-query notification.
+    for seq in 1..=3u64 {
+        let mut b = UpdateBatch::new();
+        b.insert(0, seq as u32, seq as u32);
+        let ack = c.update("g0", seq, &b).unwrap();
+        assert!(!ack.dup);
+        assert_eq!(ack.wal_seq, seq);
+    }
+    // One coalesced DELTA covers all three batches, stamped at the last
+    // committed sequence.
+    let delta = c
+        .poll_delta(Duration::from_secs(5))
+        .unwrap()
+        .expect("one coalesced DELTA after the third batch");
+    assert_eq!(delta.qid, "q1");
+    assert_eq!(delta.wal_seq, 3);
+    assert!(
+        c.poll_delta(Duration::from_millis(200)).unwrap().is_none(),
+        "batches inside one flush window must not produce extra DELTAs"
+    );
+    // The standing query caught up to the committed frontier.
+    let (seq, _) = c.query("q1").unwrap();
+    assert_eq!(seq, 3);
+    server.shutdown();
+}
+
+#[test]
+fn flush_window_bounds_delta_staleness_under_a_trickle() {
+    let cfg = ServerConfig {
+        // The count trigger is unreachable; only the deadline flushes.
+        flush_ops: 1000,
+        flush_window: Duration::from_millis(50),
+        ..quick_cfg()
+    };
+    let mut server = memory_server(cfg);
+    let mut c = Client::connect(server.addr(), "judy").unwrap();
+    c.graph("g0", 16, false).unwrap();
+    c.register("q1", "g0", "sssp", 0, None).unwrap();
+    let mut b = UpdateBatch::new();
+    b.insert(0, 1, 2);
+    assert_eq!(c.update("g0", 1, &b).unwrap().wal_seq, 1);
+    let delta = c
+        .poll_delta(Duration::from_secs(5))
+        .unwrap()
+        .expect("the window deadline must flush a partial buffer");
+    assert_eq!(delta.wal_seq, 1);
+    server.shutdown();
+}
+
+#[test]
+fn register_mid_window_flushes_first_and_never_double_applies() {
+    let cfg = ServerConfig {
+        flush_ops: 1000,
+        flush_window: Duration::from_secs(30),
+        ..quick_cfg()
+    };
+    let mut server = memory_server(cfg);
+    let mut c = Client::connect(server.addr(), "kate").unwrap();
+    c.graph("g0", 16, false).unwrap();
+    c.register("q1", "g0", "sssp", 0, None).unwrap();
+    let mut b = UpdateBatch::new();
+    b.insert(0, 1, 2).insert(1, 2, 3);
+    assert_eq!(c.update("g0", 1, &b).unwrap().wal_seq, 1);
+    // The REGISTER arrives with a batch still buffered: the writer must
+    // flush q1 first, then snapshot — so q2's initial digest already
+    // includes batch 1 and q1 still hears exactly one DELTA for it.
+    c.register("q2", "g0", "sssp", 0, None).unwrap();
+    let delta = c
+        .poll_delta(Duration::from_secs(5))
+        .unwrap()
+        .expect("q1 must be notified before the new registration");
+    assert_eq!(delta.qid, "q1");
+    assert_eq!(delta.wal_seq, 1);
+    assert!(
+        c.poll_delta(Duration::from_millis(200)).unwrap().is_none(),
+        "q2 registered after the flush and must not see batch 1 again"
+    );
+    let (s1, d1) = c.query("q1").unwrap();
+    let (s2, d2) = c.query("q2").unwrap();
+    assert_eq!((s1, s2), (1, 1));
+    assert_eq!(d1, d2, "both queries converge on the committed state");
+    server.shutdown();
+}
+
+#[test]
 fn load_harness_smoke_all_classes() {
     let mut server = memory_server(quick_cfg());
     let report = run_load(&LoadConfig {

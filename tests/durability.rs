@@ -46,6 +46,7 @@ fn all_classes_case() -> Case {
         threads: vec![1],
         fault: None,
         crash_at: None,
+        coalesce: false,
     }
 }
 
