@@ -247,6 +247,11 @@ const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.tx
                      [--units N] [--nodes N] [--seed S]\n\
                      \u{20}      incgraph chaos --store DIR [--seed S] [--clients N] \
                      [--batches N] [--kills N] [--no-proxy-faults]\n\
+                     \u{20}      incgraph stream [--store DIR] [--virtual-time] [--rate OPS_S] \
+                     [--flush-ops N] [--flush-ms MS] [--deadline-ms MS] [--max-lag-ms MS] \
+                     [--seed S] [--scale F] [--windows N] [--max-ops N] [--checkpoint-every N] \
+                     [--crash-at pre-fsync|post-fsync|mid-checkpoint|post-rename [--kill-at FRAC]] \
+                     [--ramp] [--out STREAM.json] [--check-against BASELINE.json]\n\
                      every subcommand also accepts: [--metrics METRICS.jsonl] [--trace TRACE.jsonl]";
 
 fn parse_args(argv: &[String]) -> Result<Args, CliError> {
@@ -1353,6 +1358,200 @@ fn run_chaos_cmd(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `incgraph stream`: the sustained-stream SLO harness
+/// (see [`incgraph_bench::stream`] and docs/STREAMING.md). Replays the
+/// temporal workload's timestamped history at a target rate against a
+/// WAL-durable store with standing queries over every class, measures
+/// steady-state p50/p99/p999 update latency per class, optionally
+/// injects a kill to measure recovery time, optionally ramps to find
+/// the throughput ceiling, audits the WAL for exactly-once application
+/// of every ack, and writes `results/STREAM_<date>.json` with a
+/// `--check-against` regression gate. `--virtual-time` drives a
+/// deterministic virtual clock: same seed + same schedule ⇒ identical
+/// final store digest and accounting.
+fn run_stream_cmd(argv: &[String], obs: &ObsSetup) -> Result<(), CliError> {
+    use incgraph_bench::stream::{
+        render_table, run_stream, stream_regressions, to_json, RampConfig, StreamConfig,
+        StreamCrash, StreamError,
+    };
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+    let scratch_store =
+        std::env::temp_dir().join(format!("incgraph-stream-{}", std::process::id()));
+    let mut cfg = StreamConfig::new(scratch_store.clone());
+    let mut out: Option<String> = None;
+    let mut check_against: Option<String> = None;
+    let mut crash_at: Option<CrashPoint> = None;
+    let mut kill_at = 0.5f64;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                cfg.store =
+                    std::path::PathBuf::from(it.next().ok_or_else(|| usage("--store needs a dir"))?)
+            }
+            "--virtual-time" => cfg.virtual_time = true,
+            "--rate" => {
+                cfg.rate_ops_s = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r: &f64| r > 0.0)
+                    .ok_or_else(|| usage("--rate needs a positive ops/sec"))?
+            }
+            "--flush-ops" => {
+                cfg.flush_ops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| usage("--flush-ops needs an integer >= 1"))?
+            }
+            "--flush-ms" => {
+                cfg.flush_wait_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&f: &f64| f >= 0.0)
+                    .ok_or_else(|| usage("--flush-ms needs a non-negative number"))?
+            }
+            "--deadline-ms" => {
+                cfg.deadline_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&f: &f64| f > 0.0)
+                    .ok_or_else(|| usage("--deadline-ms needs a positive number"))?
+            }
+            "--max-lag-ms" => {
+                cfg.max_lag_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&f: &f64| f > 0.0)
+                    .ok_or_else(|| usage("--max-lag-ms needs a positive number"))?
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--seed needs an integer"))?
+            }
+            "--scale" => {
+                cfg.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&f: &f64| f > 0.0)
+                    .ok_or_else(|| usage("--scale needs a positive factor"))?
+            }
+            "--windows" => {
+                cfg.windows = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| usage("--windows needs an integer >= 1"))?
+            }
+            "--max-ops" => {
+                cfg.max_ops = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| usage("--max-ops needs an integer >= 1"))?,
+                )
+            }
+            "--checkpoint-every" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--checkpoint-every needs an integer (0 = off)"))?;
+                cfg.checkpoint_every = (n > 0).then_some(n);
+            }
+            "--crash-at" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| usage("--crash-at needs a crash point name"))?;
+                crash_at = Some(
+                    CrashPoint::parse(name)
+                        .ok_or_else(|| usage(&format!("unknown crash point `{name}`")))?,
+                );
+            }
+            "--kill-at" => {
+                kill_at = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|f: &f64| (0.0..=1.0).contains(f))
+                    .ok_or_else(|| usage("--kill-at needs a fraction in [0, 1]"))?
+            }
+            "--ramp" => cfg.ramp = Some(RampConfig::default()),
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--out needs a path"))?
+                        .clone(),
+                )
+            }
+            "--check-against" => {
+                check_against = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--check-against needs a path"))?
+                        .clone(),
+                )
+            }
+            flag => return Err(usage(&format!("unknown stream flag {flag}"))),
+        }
+    }
+    cfg.crash = crash_at.map(|point| StreamCrash {
+        point,
+        at_frac: kill_at,
+    });
+    let store_shown = cfg.store.display().to_string();
+    eprintln!(
+        "stream: {} clock, target {:.0} ops/s, flush {} ops / {:.1} ms, SLO {:.0} ms, store {}",
+        if cfg.virtual_time {
+            "virtual"
+        } else {
+            "real-time"
+        },
+        cfg.rate_ops_s,
+        cfg.flush_ops,
+        cfg.flush_wait_ms,
+        cfg.deadline_ms,
+        store_shown
+    );
+    let result = run_stream(&cfg, obs.registry.clone());
+    // A scratch store (no --store) is throwaway; a named one is kept for
+    // postmortems.
+    if cfg.store == scratch_store {
+        let _ = std::fs::remove_dir_all(&scratch_store);
+    }
+    let report = result.map_err(|e| match e {
+        StreamError::Config(m) => usage(&m),
+        StreamError::Durable(d) => durable_error(&store_shown, d),
+        StreamError::Audit(a) => CliError::Oracle(format!("stream exactly-once audit: {a}")),
+    })?;
+    print!("{}", render_table(&report));
+    let path = out.unwrap_or_else(|| format!("results/STREAM_{}.json", report.date));
+    ensure_parent(&path)?;
+    std::fs::write(&path, to_json(&report)).map_err(|e| CliError::Output {
+        path: path.clone(),
+        source: e,
+    })?;
+    eprintln!("wrote {path}");
+    if let Some(baseline_path) = &check_against {
+        let baseline = std::fs::read_to_string(baseline_path).map_err(|e| CliError::Output {
+            path: baseline_path.clone(),
+            source: e,
+        })?;
+        let bad = stream_regressions(&baseline, &report, 1.0);
+        if bad.is_empty() {
+            eprintln!("stream-regression gate vs {baseline_path}: ok");
+        } else {
+            for line in &bad {
+                eprintln!("stream-regression: {line}");
+            }
+            return Err(CliError::Usage(format!(
+                "stream-regression gate failed: {} violation(s) vs {baseline_path}",
+                bad.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let obs = ObsSetup::extract(&mut argv)?;
@@ -1375,6 +1574,7 @@ fn dispatch(argv: &[String], obs: &ObsSetup) -> Result<(), CliError> {
         Some("serve") => return run_serve(&argv[1..]),
         Some("load") => return run_load_cmd(&argv[1..]),
         Some("chaos") => return run_chaos_cmd(&argv[1..]),
+        Some("stream") => return run_stream_cmd(&argv[1..], obs),
         _ => {}
     }
     let args = parse_args(argv)?;

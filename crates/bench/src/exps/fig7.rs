@@ -94,7 +94,7 @@ pub fn dfs(ctx: &mut Ctx) {
 /// incremental cost (Exp-2(2d)).
 pub fn wd(ctx: &mut Ctx) {
     let exp = "fig7-wd";
-    let t = Dataset::WikiDe.temporal(5, 1.9, ctx.scale);
+    let t = Dataset::WikiDe.temporal(true, 5, 1.9, ctx.scale);
 
     // SSSP over the window sequence.
     {

@@ -12,5 +12,7 @@ pub mod microbench;
 pub mod parbench;
 pub mod phasebench;
 pub mod report;
+pub mod sched;
+pub mod stream;
 
 pub use report::{measure, Ctx, Record, Sink};

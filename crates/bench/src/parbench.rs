@@ -487,7 +487,7 @@ pub fn parse_baseline(json: &str) -> Vec<BaselineRow> {
     out
 }
 
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let start = line.find(key)? + key.len();
     let rest = &line[start..];
     let end = rest
@@ -496,7 +496,7 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..end])
 }
 
-fn field_num(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn field_num(line: &str, key: &str) -> Option<f64> {
     field_str(line, key)?
         .trim_end_matches([' ', '}'])
         .parse()

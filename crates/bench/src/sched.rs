@@ -1,0 +1,354 @@
+//! Ingest scheduler for sustained-stream replay: pure, clock-agnostic
+//! admission and flush decisions.
+//!
+//! The temporal generator stamps every unit update with an admission tick
+//! ([`incgraph_graph::gen::TemporalGraph::timestamps`]); [`rate_schedule`]
+//! maps those ticks onto a nanosecond arrival schedule whose *mean* rate
+//! is a target ops/sec while preserving the history's relative burst
+//! shape. [`Scheduler`] then turns arrivals into flush decisions under an
+//! admission/batching policy — flush when the pending buffer reaches
+//! `max_ops` **or** when its oldest op has waited `max_wait_ns` — plus a
+//! drain rule at end of history.
+//!
+//! The scheduler never reads a clock: every decision is a pure function
+//! of `(arrivals, policy, now_ns)`, so the same state machine drives both
+//! the real-time soak (now = wall clock) and the deterministic
+//! virtual-clock mode (now = the instant the scheduler itself asked to
+//! wait for). That purity is what makes `incgraph stream --virtual-time`
+//! replay byte-identically: with processing taking zero virtual time, the
+//! flush partition depends only on the seed-derived arrivals and the
+//! policy, which `tests/stream_determinism.rs` pins.
+//!
+//! Backpressure is explicit rather than an unbounded queue: when the
+//! consumer falls behind the schedule by more than a configured lag, the
+//! driver calls [`Scheduler::shift_tail`] to push every not-yet-admitted
+//! arrival forward — the producer is throttled, the overload is counted,
+//! and the deadline-miss accounting still charges the ops that already
+//! slipped.
+
+/// Admission/batching policy: a pending buffer flushes when it holds
+/// `max_ops` updates or when its oldest update has waited `max_wait_ns`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush as soon as this many ops are pending (size trigger).
+    pub max_ops: usize,
+    /// Flush when the oldest pending op has waited this long (deadline
+    /// trigger), even if the buffer is not full.
+    pub max_wait_ns: u64,
+}
+
+impl FlushPolicy {
+    /// A policy that always flushes a full buffer of `max_ops`; the wait
+    /// bound keeps stragglers from idling at end of a burst.
+    pub fn new(max_ops: usize, max_wait_ns: u64) -> Self {
+        assert!(max_ops > 0, "flush size must be positive");
+        FlushPolicy {
+            max_ops,
+            max_wait_ns,
+        }
+    }
+}
+
+/// Why a flush fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// The pending buffer reached [`FlushPolicy::max_ops`].
+    Size,
+    /// The oldest pending op waited [`FlushPolicy::max_wait_ns`].
+    Deadline,
+    /// End of history: whatever is pending drains.
+    Drain,
+}
+
+impl FlushTrigger {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushTrigger::Size => "size",
+            FlushTrigger::Deadline => "deadline",
+            FlushTrigger::Drain => "drain",
+        }
+    }
+}
+
+/// One scheduler decision at a given `now`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Apply ops `[start, end)` now. The scheduler has already marked
+    /// them flushed; the driver must apply them before asking again.
+    Flush {
+        start: usize,
+        end: usize,
+        trigger: FlushTrigger,
+    },
+    /// Nothing to do until this instant (next arrival or oldest-pending
+    /// deadline, whichever is sooner).
+    WaitUntil(u64),
+    /// Every op has been admitted and flushed.
+    Done,
+}
+
+/// The admission state machine. See the module docs for the contract.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    arrivals: Vec<u64>,
+    policy: FlushPolicy,
+    /// Ops already handed out via [`Step::Flush`].
+    flushed: usize,
+    /// Ops admitted (arrival ≤ the last `now` seen); `flushed..admitted`
+    /// is the pending buffer.
+    admitted: usize,
+}
+
+impl Scheduler {
+    /// A scheduler over a non-decreasing arrival schedule (ns since
+    /// stream start).
+    pub fn new(arrivals: Vec<u64>, policy: FlushPolicy) -> Self {
+        debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        Scheduler {
+            arrivals,
+            policy,
+            flushed: 0,
+            admitted: 0,
+        }
+    }
+
+    /// Total ops in the schedule.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` when the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Ops flushed so far.
+    pub fn flushed(&self) -> usize {
+        self.flushed
+    }
+
+    /// Scheduled arrival of op `i`, ns since stream start.
+    pub fn arrival(&self, i: usize) -> u64 {
+        self.arrivals[i]
+    }
+
+    /// The next decision at instant `now_ns`. A returned
+    /// [`Step::Flush`] consumes its range immediately; the driver applies
+    /// it (taking however long that takes) and calls `step` again with
+    /// the new now.
+    pub fn step(&mut self, now_ns: u64) -> Step {
+        while self.admitted < self.arrivals.len() && self.arrivals[self.admitted] <= now_ns {
+            self.admitted += 1;
+        }
+        let pending = self.admitted - self.flushed;
+        if pending >= self.policy.max_ops {
+            return self.take_flush(FlushTrigger::Size);
+        }
+        if pending > 0 {
+            let oldest = self.arrivals[self.flushed];
+            if now_ns.saturating_sub(oldest) >= self.policy.max_wait_ns {
+                return self.take_flush(FlushTrigger::Deadline);
+            }
+            if self.admitted == self.arrivals.len() {
+                // End of history: nothing further can arrive, so waiting
+                // for the buffer to fill is pointless — drain now.
+                return self.take_flush(FlushTrigger::Drain);
+            }
+            return Step::WaitUntil(
+                (oldest + self.policy.max_wait_ns).min(self.arrivals[self.admitted]),
+            );
+        }
+        if self.admitted == self.arrivals.len() {
+            return Step::Done;
+        }
+        Step::WaitUntil(self.arrivals[self.admitted])
+    }
+
+    fn take_flush(&mut self, trigger: FlushTrigger) -> Step {
+        let start = self.flushed;
+        // Overload can pile up more than max_ops between two driver
+        // turns; hand the whole backlog to one coalesced flush rather
+        // than dribbling it out a bucket at a time.
+        let end = self.admitted;
+        self.flushed = end;
+        Step::Flush {
+            start,
+            end,
+            trigger,
+        }
+    }
+
+    /// Backpressure: delays every not-yet-admitted arrival so the next
+    /// one is no earlier than `to_ns`, returning the shift applied (0 if
+    /// the schedule was already beyond `to_ns`). Admitted ops keep their
+    /// original arrivals — they were already late, and the deadline-miss
+    /// accounting should say so.
+    pub fn shift_tail(&mut self, to_ns: u64) -> u64 {
+        let Some(&next) = self.arrivals.get(self.admitted) else {
+            return 0;
+        };
+        let shift = to_ns.saturating_sub(next);
+        if shift > 0 {
+            for a in &mut self.arrivals[self.admitted..] {
+                *a += shift;
+            }
+        }
+        shift
+    }
+}
+
+/// Maps admission ticks onto a nanosecond arrival schedule whose mean
+/// rate is `rate_ops_s`: `n` ops span `n / rate` seconds, with each
+/// arrival placed proportionally to its tick offset — relative bursts in
+/// the tick history survive the rescale. Integer interpolation keeps the
+/// schedule bit-exact for a given `(ticks, rate)`.
+pub fn rate_schedule(ticks: &[u64], rate_ops_s: f64) -> Vec<u64> {
+    assert!(
+        rate_ops_s.is_finite() && rate_ops_s > 0.0,
+        "rate must be positive"
+    );
+    let n = ticks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total_ns = (n as f64 / rate_ops_s * 1e9) as u128;
+    let t0 = ticks[0];
+    let span = ticks[n - 1] - t0;
+    if span == 0 {
+        return vec![0; n];
+    }
+    ticks
+        .iter()
+        .map(|&t| ((t - t0) as u128 * total_ns / span as u128) as u64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Virtual-clock driver: advances now exactly as the scheduler asks,
+    /// with zero processing time, returning the flush partition.
+    fn drive(arrivals: Vec<u64>, policy: FlushPolicy) -> Vec<(usize, usize, FlushTrigger)> {
+        let mut s = Scheduler::new(arrivals, policy);
+        let mut now = 0;
+        let mut out = Vec::new();
+        loop {
+            match s.step(now) {
+                Step::Flush {
+                    start,
+                    end,
+                    trigger,
+                } => out.push((start, end, trigger)),
+                Step::WaitUntil(t) => {
+                    assert!(t > now, "scheduler must make progress");
+                    now = t;
+                }
+                Step::Done => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn size_trigger_partitions_evenly() {
+        let arrivals: Vec<u64> = (0..10).map(|i| i * 100).collect();
+        let flushes = drive(arrivals, FlushPolicy::new(4, u64::MAX / 2));
+        assert_eq!(
+            flushes,
+            vec![
+                (0, 4, FlushTrigger::Size),
+                (4, 8, FlushTrigger::Size),
+                (8, 10, FlushTrigger::Drain),
+            ]
+        );
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_stragglers() {
+        // Two ops arrive close together, the third much later: the wait
+        // bound fires before the buffer fills.
+        let flushes = drive(vec![0, 10, 10_000], FlushPolicy::new(3, 100));
+        assert_eq!(
+            flushes,
+            vec![(0, 2, FlushTrigger::Deadline), (2, 3, FlushTrigger::Drain)]
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_done_immediately() {
+        let mut s = Scheduler::new(Vec::new(), FlushPolicy::new(8, 100));
+        assert_eq!(s.step(0), Step::Done);
+    }
+
+    #[test]
+    fn overload_backlog_flushes_as_one_batch() {
+        let mut s = Scheduler::new(vec![0, 1, 2, 3, 4, 5], FlushPolicy::new(2, 1_000));
+        // The driver was stuck until t=100: the whole backlog comes out
+        // in one flush, not three buckets.
+        assert_eq!(
+            s.step(100),
+            Step::Flush {
+                start: 0,
+                end: 6,
+                trigger: FlushTrigger::Size
+            }
+        );
+        assert_eq!(s.step(100), Step::Done);
+    }
+
+    #[test]
+    fn virtual_drive_is_deterministic() {
+        let arrivals: Vec<u64> = (0..50).map(|i| i * 37 % 1000 + i * 20).collect();
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let a = drive(sorted.clone(), FlushPolicy::new(7, 111));
+        let b = drive(sorted, FlushPolicy::new(7, 111));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shift_tail_delays_only_unadmitted_ops() {
+        let mut s = Scheduler::new(vec![0, 10, 20, 1000, 1010], FlushPolicy::new(3, 500));
+        assert!(matches!(
+            s.step(25),
+            Step::Flush {
+                start: 0,
+                end: 3,
+                ..
+            }
+        ));
+        let shifted = s.shift_tail(1500);
+        assert_eq!(shifted, 500);
+        assert_eq!(s.arrival(3), 1500);
+        assert_eq!(s.arrival(4), 1510);
+        // Already-admitted arrivals are untouched.
+        assert_eq!(s.arrival(0), 0);
+        assert_eq!(s.shift_tail(100), 0, "never pulls the schedule earlier");
+    }
+
+    #[test]
+    fn rate_schedule_hits_the_mean_rate_and_keeps_shape() {
+        // 11 ops at 1000 ops/s → 11 ms span.
+        let ticks: Vec<u64> = (0..11).map(|i| 5000 + i * 100).collect();
+        let ns = rate_schedule(&ticks, 1000.0);
+        assert_eq!(ns[0], 0);
+        assert_eq!(*ns.last().unwrap(), 11_000_000);
+        // Uniform ticks stay uniform.
+        for w in ns.windows(2) {
+            assert_eq!(w[1] - w[0], 1_100_000);
+        }
+        // A burst stays a burst: equal tick gaps map to equal ns gaps.
+        let bursty = vec![0, 1, 2, 1000];
+        let ns = rate_schedule(&bursty, 2000.0);
+        assert!(ns[1] - ns[0] < (ns[3] - ns[2]) / 100);
+    }
+
+    #[test]
+    fn degenerate_schedules_are_safe() {
+        assert!(rate_schedule(&[], 100.0).is_empty());
+        assert_eq!(rate_schedule(&[42], 100.0), vec![0]);
+        assert_eq!(rate_schedule(&[7, 7, 7], 100.0), vec![0, 0, 0]);
+    }
+}

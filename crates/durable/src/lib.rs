@@ -209,6 +209,13 @@ pub struct DurableOptions {
     /// Take a checkpoint automatically every `n` applied batches
     /// (`None` = only on explicit [`DurableSession::checkpoint`] calls).
     pub checkpoint_every: Option<u64>,
+    /// Coalesce each applied batch's effective ops before the incremental
+    /// updates run ([`ExecOptions::micro_batch`]). Ingest schedulers that
+    /// admit many unit updates per flush turn this on so cancelling
+    /// insert/delete pairs never reach the propagation engine. Replay
+    /// during [`recover`] uses the same setting, keeping the rebuilt
+    /// states byte-identical to the pre-crash ones.
+    pub micro_batch: bool,
 }
 
 /// A live graph + incremental states bound to a durable directory.
@@ -371,6 +378,7 @@ impl DurableSession {
         self.next_seq += 1;
         let exec = ExecOptions {
             policy: self.options.policy,
+            micro_batch: self.options.micro_batch,
             ..Default::default()
         };
         let reports = self

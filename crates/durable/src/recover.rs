@@ -120,6 +120,7 @@ pub fn recover(
     let replay_span = incgraph_obs::span("recover.replay");
     let exec = ExecOptions {
         policy: options.policy,
+        micro_batch: options.micro_batch,
         ..Default::default()
     };
     let mut next_seq = covered + 1;

@@ -24,7 +24,7 @@ mod uniform;
 
 pub use grid::grid;
 pub use powerlaw::power_law;
-pub use temporal::{temporal, TemporalGraph};
+pub use temporal::{temporal, TemporalGraph, WINDOW_TICKS};
 pub use uniform::uniform;
 
 use crate::ids::Label;

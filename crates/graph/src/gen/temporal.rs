@@ -15,6 +15,11 @@ use crate::rng::SplitMix64;
 use crate::store::DynamicGraph;
 use crate::update::UpdateBatch;
 
+/// Virtual ticks spanned by one update window: window `w` covers
+/// `[w * WINDOW_TICKS, (w + 1) * WINDOW_TICKS)`. The unit is abstract;
+/// replay harnesses map ticks to wall time by choosing a target rate.
+pub const WINDOW_TICKS: u64 = 1 << 20;
+
 /// A graph with a timestamped update history, replayable window by window.
 #[derive(Clone, Debug)]
 pub struct TemporalGraph {
@@ -22,6 +27,11 @@ pub struct TemporalGraph {
     pub initial: DynamicGraph,
     /// One update batch per time window (e.g. per month for Wiki-DE).
     pub windows: Vec<UpdateBatch>,
+    /// Per-window admission ticks, parallel to `windows`: `timestamps[w][i]`
+    /// is the arrival tick of the `i`-th unit update of window `w`. Strictly
+    /// increasing within a window and contained in the window's tick span,
+    /// so the concatenated history is globally monotone.
+    pub timestamps: Vec<Vec<u64>>,
 }
 
 impl TemporalGraph {
@@ -38,7 +48,11 @@ impl TemporalGraph {
 /// Generates a temporal graph: a power-law base with `n` nodes / `m` edges
 /// and `windows` update windows of `window_size` unit updates each, of
 /// which a fraction `insert_frac` are insertions (0.81 for the Wiki-DE
-/// stand-in). Deterministic in `seed`.
+/// stand-in). `directed` selects the base graph's orientation (the paper's
+/// Wiki-DE replay is directed; undirected bases let LCC/BC standing queries
+/// join the stream). Deterministic in `seed`; timestamps are drawn from an
+/// independent stream so the edge history for a given `(seed, directed)` is
+/// unchanged by their presence.
 #[allow(clippy::too_many_arguments)]
 pub fn temporal(
     n: usize,
@@ -46,20 +60,23 @@ pub fn temporal(
     windows: usize,
     window_size: usize,
     insert_frac: f64,
+    directed: bool,
     max_weight: Weight,
     alphabet: u32,
     seed: u64,
 ) -> TemporalGraph {
     assert!((0.0..=1.0).contains(&insert_frac), "insert_frac in [0,1]");
-    let initial = power_law(n, m, 2.3, true, max_weight, alphabet, seed);
+    let initial = power_law(n, m, 2.3, directed, max_weight, alphabet, seed);
     let mut rng = SplitMix64::seed_from_u64(seed ^ 0x7e3aa7a1);
+    let mut ts_rng = SplitMix64::seed_from_u64(seed ^ 0x51ab_17c3);
 
     // Working state for sampling: the live graph and a sampleable edge list.
     let mut live = initial.clone();
     let mut edges: Vec<(NodeId, NodeId)> = initial.edges().map(|(u, v, _)| (u, v)).collect();
 
     let mut out = Vec::with_capacity(windows);
-    for _ in 0..windows {
+    let mut ts = Vec::with_capacity(windows);
+    for w in 0..windows {
         let mut batch = UpdateBatch::new();
         for _ in 0..window_size {
             let do_insert = rng.gen_bool(insert_frac) || edges.is_empty();
@@ -84,12 +101,34 @@ pub fn temporal(
                 batch.delete(u, v);
             }
         }
+        ts.push(window_ticks(&mut ts_rng, w as u64, batch.len()));
         out.push(batch);
     }
     TemporalGraph {
         initial,
         windows: out,
+        timestamps: ts,
     }
+}
+
+/// Draws `count` strictly increasing admission ticks inside window `w`'s
+/// tick span: offsets are uniform in a span shrunk by `count`, sorted, and
+/// shifted by their rank — strict monotonicity without ever escaping the
+/// window.
+fn window_ticks(rng: &mut SplitMix64, w: u64, count: usize) -> Vec<u64> {
+    assert!(
+        (count as u64) < WINDOW_TICKS / 2,
+        "window of {count} updates cannot carry distinct ticks"
+    );
+    let base = w * WINDOW_TICKS;
+    let room = WINDOW_TICKS - count as u64;
+    let mut offsets: Vec<u64> = (0..count).map(|_| rng.gen_range(0..room)).collect();
+    offsets.sort_unstable();
+    offsets
+        .into_iter()
+        .enumerate()
+        .map(|(i, off)| base + off + i as u64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -99,7 +138,7 @@ mod tests {
 
     #[test]
     fn windows_replay_consistently() {
-        let t = temporal(200, 800, 5, 40, 0.81, 5, 5, 17);
+        let t = temporal(200, 800, 5, 40, 0.81, true, 5, 5, 17);
         assert_eq!(t.windows.len(), 5);
         // Replaying all windows must never hit a no-op (deletions always
         // target live edges, insertions always target absent edges).
@@ -123,7 +162,7 @@ mod tests {
 
     #[test]
     fn insert_fraction_is_respected() {
-        let t = temporal(500, 3000, 4, 500, 0.81, 5, 5, 23);
+        let t = temporal(500, 3000, 4, 500, 0.81, true, 5, 5, 23);
         let (mut ins, mut del) = (0usize, 0usize);
         for w in &t.windows {
             for u in w.updates() {
@@ -142,8 +181,44 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let a = temporal(100, 400, 3, 50, 0.81, 5, 5, 9);
-        let b = temporal(100, 400, 3, 50, 0.81, 5, 5, 9);
+        let a = temporal(100, 400, 3, 50, 0.81, true, 5, 5, 9);
+        let b = temporal(100, 400, 3, 50, 0.81, true, 5, 5, 9);
         assert_eq!(a.windows, b.windows);
+        assert_eq!(a.timestamps, b.timestamps);
+    }
+
+    #[test]
+    fn undirected_base_supports_all_classes() {
+        let t = temporal(150, 600, 3, 30, 0.81, false, 5, 5, 31);
+        assert!(!t.initial.is_directed());
+        let mut g = t.initial.clone();
+        for w in &t.windows {
+            let applied = w.apply(&mut g);
+            assert_eq!(applied.len(), w.len(), "every unit update effective");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone_within_each_window() {
+        let t = temporal(300, 1200, 6, 80, 0.81, true, 5, 5, 41);
+        assert_eq!(t.timestamps.len(), t.windows.len());
+        for (w, (batch, ticks)) in t.windows.iter().zip(&t.timestamps).enumerate() {
+            // One tick per unit update, even when insert sampling falls
+            // short of the nominal window size.
+            assert_eq!(ticks.len(), batch.len(), "window {w} tick count");
+            let (lo, hi) = (w as u64 * WINDOW_TICKS, (w as u64 + 1) * WINDOW_TICKS);
+            for pair in ticks.windows(2) {
+                assert!(pair[0] < pair[1], "window {w} ticks not monotone");
+            }
+            for &tick in ticks {
+                assert!((lo..hi).contains(&tick), "window {w} tick {tick} escapes");
+            }
+        }
+        // Window spans are disjoint and ordered, so the concatenation is
+        // globally monotone too.
+        let all: Vec<u64> = t.timestamps.iter().flatten().copied().collect();
+        for pair in all.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
     }
 }

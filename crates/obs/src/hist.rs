@@ -254,4 +254,119 @@ mod tests {
         // Quantiles are monotone in q.
         assert!(h.quantile(0.25) <= p50 && p50 <= h.quantile(0.9));
     }
+
+    /// Exact reference quantile under the same rank rule the histogram
+    /// uses (`rank = q·(n−1)`, linear interpolation between neighbours).
+    fn exact_quantile(sorted: &[u64], q: f64) -> f64 {
+        let rank = q * (sorted.len() as f64 - 1.0);
+        let lo = sorted[rank.floor() as usize] as f64;
+        let hi = sorted[rank.ceil() as usize] as f64;
+        lo + (rank - rank.floor()) * (hi - lo)
+    }
+
+    /// Records a distribution and checks p50/p99/p999 against the exact
+    /// quantiles: the log₂ buckets promise ≤2× relative error, so the
+    /// estimate must stay within a factor of 2 of truth (and inside the
+    /// recorded [min, max] thanks to the clamp).
+    fn assert_tail_quantiles(mut values: Vec<u64>, label: &str) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.99, 0.999] {
+            let est = h.quantile(q) as f64;
+            let exact = exact_quantile(&values, q).max(1.0);
+            let ratio = est.max(1.0) / exact;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{label}: p{} est {est} vs exact {exact} (ratio {ratio:.3})",
+                q * 1000.0
+            );
+            assert!(h.quantile(q) >= h.min() && h.quantile(q) <= h.max());
+        }
+    }
+
+    #[test]
+    fn p50_p99_p999_track_exact_on_known_distributions() {
+        // Uniform: every value 1..=10_000 once.
+        assert_tail_quantiles((1..=10_000u64).collect(), "uniform");
+        // Constant: a degenerate spike — every quantile is the spike.
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(777);
+        }
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 777, "constant distribution at q={q}");
+        }
+        // Bimodal: 90% fast mode at ~100, 10% slow mode at ~100_000 —
+        // p50 must sit in the fast mode, p99/p999 in the slow one.
+        let mut bimodal: Vec<u64> = Vec::new();
+        for i in 0..900u64 {
+            bimodal.push(90 + i % 20);
+        }
+        for i in 0..100u64 {
+            bimodal.push(99_000 + i * 20);
+        }
+        assert_tail_quantiles(bimodal.clone(), "bimodal");
+        let mut h = Histogram::new();
+        for &v in &bimodal {
+            h.record(v);
+        }
+        assert!(h.quantile(0.5) < 256, "p50 belongs to the fast mode");
+        assert!(h.quantile(0.99) > 50_000, "p99 belongs to the slow mode");
+        // Heavy tail: exponentially spread samples (one per bucket span).
+        let heavy: Vec<u64> = (0..4000u64).map(|i| 1u64 << (i % 20)).collect();
+        assert_tail_quantiles(heavy, "heavy-tail");
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        for v in [0u64, 1, 1023, 1024, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+                // The min/max clamp makes a 1-sample histogram exact at
+                // every quantile, boundary values included.
+                assert_eq!(h.quantile(q), v, "value {v} at q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_boundary_samples_stay_exact_under_clamp() {
+        // All mass on one bucket's low edge: interpolation would drift
+        // upward inside [1024, 2047], the clamp pins it to the data.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1024);
+        }
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(h.quantile(q), 1024);
+        }
+        // Mass on both edges of one bucket: estimates never escape it.
+        let mut h = Histogram::new();
+        for _ in 0..50 {
+            h.record(1024);
+            h.record(2047);
+        }
+        for q in [0.5, 0.99, 0.999] {
+            let est = h.quantile(q);
+            assert!((1024..=2047).contains(&est), "q={q} escaped: {est}");
+        }
+        // Two adjacent buckets' worth: p50 crosses the 1023→1024 edge
+        // without discontinuity beyond one bucket.
+        let mut h = Histogram::new();
+        for _ in 0..500 {
+            h.record(1023);
+            h.record(1024);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (512..=2047).contains(&p50),
+            "p50={p50} strayed past the adjacent buckets"
+        );
+        assert_eq!(h.quantile(0.0), 1023);
+        assert_eq!(h.quantile(1.0), 1024);
+    }
 }

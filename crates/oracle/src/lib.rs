@@ -27,7 +27,10 @@
 //!   TCP service (crates/service) through a byte-cutting proxy and
 //!   abrupt server kill/restart cycles, then audits the WAL for
 //!   exactly-once application of every acknowledged batch and checks
-//!   recovered per-class essences byte-for-byte against genesis replay.
+//!   recovered per-class essences byte-for-byte against genesis replay;
+//! * [`walcheck`] is the store-local form of that audit — a reusable
+//!   exactly-once check of the WAL against an ingest-side ack ledger,
+//!   run by the sustained-stream harness after every kill-and-recover.
 //!
 //! The `incgraph fuzz` / `incgraph replay` subcommands (crates/bench) are
 //! thin CLI shells over this crate; the corpus-replay integration test
@@ -40,6 +43,7 @@ pub mod fuzz;
 pub mod gencase;
 pub mod runner;
 pub mod shrink;
+pub mod walcheck;
 
 pub use case::{Case, CaseParseError};
 pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
@@ -48,3 +52,4 @@ pub use fuzz::{fuzz, CrashRecord, FailureRecord, FuzzConfig, FuzzReport};
 pub use gencase::{gen_case, GenConfig};
 pub use runner::{run_case, ClassId, Fault, OracleFailure, OracleKind, RunOutcome};
 pub use shrink::{shrink_case, ShrinkStats};
+pub use walcheck::{audit_wal, batch_fingerprint, AckedBatch, WalAuditFailure, WalAuditReport};

@@ -120,6 +120,10 @@ struct StandingQuery {
     out: Arc<Outbound>,
 }
 
+// One Backend exists per named graph for the life of the process, so
+// the Memory/Durable size asymmetry never multiplies across a
+// collection — boxing would only add a pointer chase to the hot path.
+#[allow(clippy::large_enum_variant)]
 enum Backend {
     /// Wire-created, lives and dies with the process.
     Memory { graph: DynamicGraph, seq: u64 },

@@ -93,8 +93,17 @@ impl Dataset {
 
     /// The Wiki-DE style temporal stand-in: the base graph plus
     /// `windows` monthly update windows, each `window_pct` of |G| with
-    /// the paper's 81%/19% insert/delete mix.
-    pub fn temporal(self, windows: usize, window_pct: f64, scale: f64) -> TemporalGraph {
+    /// the paper's 81%/19% insert/delete mix. `directed` selects the base
+    /// orientation (the paper replays Wiki-DE directed; undirected bases
+    /// admit LCC/BC standing queries). Every unit update carries an
+    /// admission tick in `TemporalGraph::timestamps`.
+    pub fn temporal(
+        self,
+        directed: bool,
+        windows: usize,
+        window_pct: f64,
+        scale: f64,
+    ) -> TemporalGraph {
         let (n, m, _gamma, seed) = self.params();
         let n = ((n as f64 * scale) as usize).max(16);
         let m = ((m as f64 * scale) as usize).max(32);
@@ -105,6 +114,7 @@ impl Dataset {
             windows,
             window_size.max(1),
             0.81,
+            directed,
             MAX_WEIGHT,
             ALPHABET,
             seed,
@@ -156,7 +166,7 @@ mod tests {
 
     #[test]
     fn temporal_windows_follow_the_mix() {
-        let t = Dataset::WikiDe.temporal(5, 1.9, 0.1);
+        let t = Dataset::WikiDe.temporal(true, 5, 1.9, 0.1);
         assert_eq!(t.windows.len(), 5);
         let (mut ins, mut del) = (0usize, 0usize);
         for w in &t.windows {

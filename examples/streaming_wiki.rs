@@ -15,7 +15,7 @@ use std::time::Instant;
 fn main() {
     // The WD stand-in: 5 monthly windows, each ~1.9% of |G|, with the
     // real dataset's 81% insert / 19% delete mix.
-    let temporal = Dataset::WikiDe.temporal(5, 1.9, 1.0);
+    let temporal = Dataset::WikiDe.temporal(true, 5, 1.9, 1.0);
     println!(
         "Wiki-DE stand-in: |V|={}, |E|={}, {} monthly windows",
         temporal.initial.node_count(),

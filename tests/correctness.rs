@@ -171,7 +171,7 @@ fn lcc_all_strategies_track_batch() {
 #[test]
 fn temporal_replay_matches_batch_for_sssp_cc_sim() {
     // The Exp-2(2) protocol end-to-end on the temporal stand-in.
-    let t = Dataset::WikiDe.temporal(5, 1.9, 0.1);
+    let t = Dataset::WikiDe.temporal(true, 5, 1.9, 0.1);
     let src = sample_sources(&t.initial, 1, 3)[0];
     let q = random_pattern(&t.initial, 4, 6, 5);
     let mut g = t.initial.clone();
