@@ -242,7 +242,12 @@ const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.tx
                      \u{20}      incgraph serve [--addr H:P] [--store DIR [--graph-name G] \
                      [--nodes N] [--directed]] [--max-sessions N] [--max-pending N] \
                      [--idle-timeout-secs S] [--retry-after-ms MS] [--no-remote-shutdown] \
-                     [--flush-ops N] [--flush-ms MS]\n\
+                     [--flush-ops N] [--flush-ms MS] [--replica-of H:P] [--digest-every N] \
+                     [--snapshot-lag N] [--ack-timeout-ms MS]\n\
+                     \u{20}      incgraph promote --addr H:P\n\
+                     \u{20}      incgraph verify-store --store DIR\n\
+                     \u{20}      incgraph failover --store DIR [--seed S] [--clients N] \
+                     [--batches N] [--crash-at pre-fsync|post-fsync|mid-checkpoint|post-rename]\n\
                      \u{20}      incgraph load --addr H:P [--sessions N] [--batches N] \
                      [--units N] [--nodes N] [--seed S]\n\
                      \u{20}      incgraph chaos --store DIR [--seed S] [--clients N] \
@@ -1177,8 +1182,41 @@ fn run_serve(argv: &[String]) -> Result<(), CliError> {
                     .ok_or_else(|| usage("--flush-ms needs an integer"))?;
                 cfg.flush_window = std::time::Duration::from_millis(ms);
             }
+            "--replica-of" => {
+                cfg.replica_of = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| usage("--replica-of needs host:port"))?,
+                )
+            }
+            "--digest-every" => {
+                cfg.digest_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--digest-every needs an integer (0 disables)"))?
+            }
+            "--snapshot-lag" => {
+                cfg.snapshot_lag = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--snapshot-lag needs an integer"))?
+            }
+            "--ack-timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--ack-timeout-ms needs an integer"))?;
+                cfg.repl_ack_timeout = std::time::Duration::from_millis(ms);
+            }
             flag => return Err(usage(&format!("unknown serve flag {flag}"))),
         }
+    }
+    // Replication is scoped to the durable graph: any server with a
+    // store is a potential primary (or, with --replica-of, a replica).
+    if store_dir.is_some() {
+        cfg.repl_graph = Some(graph_name.clone());
+    } else if cfg.replica_of.is_some() {
+        return Err(usage("--replica-of needs --store (replicas are durable)"));
     }
     let store = match &store_dir {
         Some(dir) => {
@@ -1201,6 +1239,9 @@ fn run_serve(argv: &[String]) -> Result<(), CliError> {
     };
     if !cfg.allow_remote_shutdown {
         eprintln!("serve: wire SHUTDOWN disabled — stop the process to exit");
+    }
+    if let Some(primary) = cfg.replica_of {
+        eprintln!("serve: replica of {primary} — read-only until promoted");
     }
     let mut handle = Server::start(store, cfg).map_err(|e| CliError::Output {
         path: "listener".to_string(),
@@ -1354,6 +1395,234 @@ fn run_chaos_cmd(argv: &[String]) -> Result<(), CliError> {
         report.wal_batches,
         report.committed_unacked,
         report.classes_verified
+    );
+    Ok(())
+}
+
+/// `incgraph failover`: the partition/failover chaos oracle
+/// (see [`incgraph_oracle::failover`] and docs/ROBUSTNESS.md §6). One
+/// primary→replica cycle per crash point: kill the primary mid-stream,
+/// promote the replica, redirect the clients, then audit the new
+/// primary offline for exactly-once survival of every acked batch and
+/// genesis-replay equality.
+fn run_failover_cmd(argv: &[String]) -> Result<(), CliError> {
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+    let mut cfg = incgraph_oracle::FailoverConfig::default();
+    let mut store: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                store = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--store needs a dir"))?
+                        .clone(),
+                )
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--seed needs an integer"))?
+            }
+            "--clients" => {
+                cfg.clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--clients needs an integer"))?
+            }
+            "--batches" => {
+                cfg.batches_per_client = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--batches needs an integer"))?
+            }
+            "--crash-at" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| usage("--crash-at needs a crash point name"))?;
+                cfg.points = vec![CrashPoint::parse(name)
+                    .ok_or_else(|| usage(&format!("unknown crash point `{name}`")))?];
+            }
+            flag => return Err(usage(&format!("unknown failover flag {flag}"))),
+        }
+    }
+    let store = store.ok_or_else(|| usage("failover needs --store DIR"))?;
+    eprintln!(
+        "failover: seed {:#x}, {} clients × {} batches, crash points {:?}",
+        cfg.seed, cfg.clients, cfg.batches_per_client, cfg.points
+    );
+    let report = incgraph_oracle::run_failover(std::path::Path::new(&store), &cfg)
+        .map_err(|e| CliError::Oracle(format!("failover violation: {e}")))?;
+    println!(
+        "failover clean: {} cycles, {} acked ({} dup acks), {} reconnects, \
+         {} WAL batches ({} committed-unacked), {} class essences verified",
+        report.cycles,
+        report.acked,
+        report.dup_acks,
+        report.reconnects,
+        report.wal_batches,
+        report.committed_unacked,
+        report.classes_verified
+    );
+    Ok(())
+}
+
+/// `incgraph promote`: operator promotion of a replica to primary.
+/// Bumps the durable epoch; prints the new epoch on stdout.
+fn run_promote(argv: &[String]) -> Result<(), CliError> {
+    use incgraph_service::client::Client;
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+    let mut addr: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--addr needs host:port"))?
+                        .clone(),
+                )
+            }
+            flag => return Err(usage(&format!("unknown promote flag {flag}"))),
+        }
+    }
+    let addr = addr.ok_or_else(|| usage("promote needs --addr H:P"))?;
+    let sock: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| usage(&format!("bad address `{addr}`")))?;
+    let mut c = Client::connect_timeout(sock, "promote-cli", std::time::Duration::from_secs(5))
+        .map_err(|e| CliError::Oracle(format!("{addr}: connect: {e}")))?;
+    let epoch = c
+        .promote()
+        .map_err(|e| CliError::Oracle(format!("{addr}: promote refused: {e}")))?;
+    println!("promoted: epoch {epoch}");
+    let _ = c.bye();
+    Ok(())
+}
+
+/// `incgraph verify-store`: offline read-only scrub of a durable store
+/// directory. Walks every checkpoint (magic + whole-file CRC + payload
+/// decode), the full WAL (per-record CRC and sequence continuity from
+/// the store's base), the dedup intent log, and the
+/// manifest/EPOCH/BASE sidecars, then cross-checks their consistency.
+/// Never takes the store `LOCK` and mutates nothing, so it is safe on a
+/// store a live server holds. Integrity violations exit 1; a torn WAL
+/// or dedup tail is reported but healthy (crash-normal).
+fn run_verify_store(argv: &[String]) -> Result<(), CliError> {
+    use incgraph_durable::checkpoint::{
+        checkpoint_path, list_checkpoints, load_checkpoint, read_manifest,
+    };
+    use incgraph_durable::wal::WAL_MAGIC;
+    use incgraph_durable::{read_base, read_epoch, scan_records, WAL_NAME};
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+    let mut store: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                store = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--store needs a dir"))?
+                        .clone(),
+                )
+            }
+            flag => return Err(usage(&format!("unknown verify-store flag {flag}"))),
+        }
+    }
+    let store = store.ok_or_else(|| usage("verify-store needs --store DIR"))?;
+    let dir = std::path::Path::new(&store);
+    let bad = |msg: String| CliError::Oracle(format!("{store}: {msg}"));
+
+    // Sidecars: corrupt metadata is a hard failure, missing is default.
+    let epoch = read_epoch(dir).map_err(|e| durable_error(&store, e))?;
+    let base = read_base(dir).map_err(|e| durable_error(&store, e))?;
+
+    // Every checkpoint must fully validate, and its filename sequence
+    // must match the sequence sealed inside the payload.
+    let ckpts = list_checkpoints(dir);
+    for &seq in &ckpts {
+        let (covered, _graph, states) = load_checkpoint(&checkpoint_path(dir, seq))
+            .map_err(|e| bad(format!("checkpoint {seq}: {e}")))?;
+        if covered != seq {
+            return Err(bad(format!(
+                "checkpoint {seq}: payload covers seq {covered}"
+            )));
+        }
+        eprintln!(
+            "verify-store: checkpoint {seq} ok ({} states)",
+            states.len()
+        );
+    }
+
+    // The WAL: per-record CRC + strict sequence continuity from base.
+    let wal_path = dir.join(WAL_NAME);
+    let bytes = std::fs::read(&wal_path).map_err(|e| CliError::FileUnreadable {
+        path: wal_path.display().to_string(),
+        source: e,
+    })?;
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(bad("WAL magic missing or damaged".into()));
+    }
+    let body = &bytes[WAL_MAGIC.len()..];
+    let scan = scan_records(body, base + 1);
+    let torn = body.len() - scan.valid_len;
+    let last_seq = base + scan.records.len() as u64;
+    eprintln!(
+        "verify-store: WAL records {}..={} ok ({} records, {torn} torn tail bytes)",
+        base + 1,
+        last_seq,
+        scan.records.len()
+    );
+
+    // The dedup intent log (longest-valid-prefix scan, read-only).
+    let dedup_entries = incgraph_service::dedup::scan_entries(dir, last_seq)
+        .map_err(|e| bad(format!("dedup log: {e}")))?;
+    eprintln!(
+        "verify-store: dedup log ok ({} committed intents)",
+        dedup_entries.len()
+    );
+
+    // Cross-consistency.
+    let manifest = read_manifest(dir);
+    if let Some((mseq, mepoch)) = manifest {
+        if !ckpts.contains(&mseq) {
+            return Err(bad(format!(
+                "manifest names checkpoint {mseq}, which does not validate on disk"
+            )));
+        }
+        if mseq > last_seq {
+            return Err(bad(format!(
+                "manifest covers seq {mseq} beyond the WAL frontier {last_seq}"
+            )));
+        }
+        if mepoch > epoch {
+            return Err(bad(format!(
+                "manifest epoch {mepoch} beyond the EPOCH sidecar {epoch}"
+            )));
+        }
+    } else if !ckpts.is_empty() {
+        eprintln!("verify-store: note — checkpoints exist but no manifest (pre-seal crash)");
+    }
+    for &seq in &ckpts {
+        if seq < base || seq > last_seq {
+            return Err(bad(format!(
+                "checkpoint {seq} outside the store's history [{base}, {last_seq}]"
+            )));
+        }
+    }
+
+    println!(
+        "store healthy: epoch {epoch}, base {base}, {} WAL records (frontier {last_seq}), \
+         {} checkpoints, {} dedup intents{}",
+        scan.records.len(),
+        ckpts.len(),
+        dedup_entries.len(),
+        if torn > 0 {
+            format!(", {torn}-byte torn WAL tail (crash-normal)")
+        } else {
+            String::new()
+        }
     );
     Ok(())
 }
@@ -1574,6 +1843,9 @@ fn dispatch(argv: &[String], obs: &ObsSetup) -> Result<(), CliError> {
         Some("serve") => return run_serve(&argv[1..]),
         Some("load") => return run_load_cmd(&argv[1..]),
         Some("chaos") => return run_chaos_cmd(&argv[1..]),
+        Some("failover") => return run_failover_cmd(&argv[1..]),
+        Some("promote") => return run_promote(&argv[1..]),
+        Some("verify-store") => return run_verify_store(&argv[1..]),
         Some("stream") => return run_stream_cmd(&argv[1..], obs),
         _ => {}
     }

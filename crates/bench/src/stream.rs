@@ -772,26 +772,12 @@ pub fn run_stream(
 /// count, every edge (sorted), and each standing state's `save_state`
 /// bytes in registration order. Byte-identical across same-seed
 /// virtual-time runs and across kill/recover (the recovered states see
-/// the identical applied-flush sequence).
+/// the identical applied-flush sequence). Since the replication PR this
+/// is [`DurableSession::digest`] — the same figure primary and replica
+/// exchange for divergence detection — re-exported here so the pinned
+/// STREAM baselines and the wire protocol can never drift apart.
 pub fn store_digest(session: &DurableSession) -> String {
-    let g = session.graph();
-    let mut bytes: Vec<u8> = Vec::new();
-    bytes.push(g.is_directed() as u8);
-    bytes.extend((g.node_count() as u64).to_le_bytes());
-    let mut edges: Vec<(u32, u32, u32)> = g.edges().collect();
-    edges.sort_unstable();
-    for (u, v, w) in edges {
-        bytes.extend(u.to_le_bytes());
-        bytes.extend(v.to_le_bytes());
-        bytes.extend(w.to_le_bytes());
-    }
-    for s in session.states() {
-        bytes.extend(s.name().as_bytes());
-        let blob = s.save_state();
-        bytes.extend((blob.len() as u64).to_le_bytes());
-        bytes.extend(blob);
-    }
-    format!("{:08x}", incgraph_durable::crc::crc32(&bytes))
+    session.digest()
 }
 
 // ---------------------------------------------------------------------

@@ -216,12 +216,22 @@ pub fn load_checkpoint(path: &Path) -> Result<LoadedCheckpoint, DurableError> {
     decode_payload(payload)
 }
 
-/// Atomically (re)writes the manifest to point at checkpoint `seq`.
-pub fn write_manifest(dir: &Path, seq: u64) -> Result<(), DurableError> {
-    let mut bytes = Vec::with_capacity(20);
+/// Atomically (re)writes the manifest to point at checkpoint `seq`,
+/// stamped with the store's replication `epoch`.
+///
+/// Wire layout (v2, 28 bytes): magic, `seq: u64`, `epoch: u64`, CRC-32
+/// over `seq || epoch`. [`read_manifest`] also accepts the 20-byte v1
+/// form (no epoch field) from stores written before replication existed,
+/// reading it as epoch 1.
+pub fn write_manifest(dir: &Path, seq: u64, epoch: u64) -> Result<(), DurableError> {
+    let mut bytes = Vec::with_capacity(28);
     bytes.extend_from_slice(MANIFEST_MAGIC);
     put_u64(&mut bytes, seq);
-    put_u32(&mut bytes, crc32(&seq.to_le_bytes()));
+    put_u64(&mut bytes, epoch);
+    let mut sum = Vec::with_capacity(16);
+    sum.extend_from_slice(&seq.to_le_bytes());
+    sum.extend_from_slice(&epoch.to_le_bytes());
+    put_u32(&mut bytes, crc32(&sum));
     let final_path = dir.join(MANIFEST_NAME);
     let tmp_path = dir.join(format!("{MANIFEST_NAME}.tmp"));
     let mut tmp = File::create(&tmp_path)?;
@@ -233,17 +243,29 @@ pub fn write_manifest(dir: &Path, seq: u64) -> Result<(), DurableError> {
     Ok(())
 }
 
-/// Reads the manifest's checkpoint pointer. `None` means missing or
-/// unusable — recovery then falls back to a directory scan, so a corrupt
-/// manifest costs a scan, never the data.
-pub fn read_manifest(dir: &Path) -> Option<u64> {
+/// Reads the manifest's `(checkpoint seq, epoch)` pointer. `None` means
+/// missing or unusable — recovery then falls back to a directory scan,
+/// so a corrupt manifest costs a scan, never the data. Legacy 20-byte
+/// manifests (written before replication) read as epoch 1.
+pub fn read_manifest(dir: &Path) -> Option<(u64, u64)> {
     let bytes = fs::read(dir.join(MANIFEST_NAME)).ok()?;
-    if bytes.len() != 20 || &bytes[..8] != MANIFEST_MAGIC {
+    if &bytes[..8.min(bytes.len())] != MANIFEST_MAGIC {
         return None;
     }
-    let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-    let stored = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
-    (crc32(&seq.to_le_bytes()) == stored).then_some(seq)
+    match bytes.len() {
+        20 => {
+            let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+            let stored = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+            (crc32(&seq.to_le_bytes()) == stored).then_some((seq, crate::meta::FIRST_EPOCH))
+        }
+        28 => {
+            let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+            let epoch = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+            let stored = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+            (crc32(&bytes[8..24]) == stored).then_some((seq, epoch))
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -321,8 +343,8 @@ mod tests {
     fn manifest_roundtrip_and_corruption() {
         let dir = temp_dir("manifest");
         assert_eq!(read_manifest(&dir), None);
-        write_manifest(&dir, 42).unwrap();
-        assert_eq!(read_manifest(&dir), Some(42));
+        write_manifest(&dir, 42, 3).unwrap();
+        assert_eq!(read_manifest(&dir), Some((42, 3)));
         let path = dir.join(MANIFEST_NAME);
         let mut bytes = fs::read(&path).unwrap();
         bytes[12] ^= 1;
@@ -332,6 +354,20 @@ mod tests {
             None,
             "corrupt manifest must be ignored"
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_manifest_reads_as_epoch_one() {
+        let dir = temp_dir("manifest-v1");
+        // Hand-build the 20-byte pre-replication form.
+        let seq = 9u64;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MANIFEST_MAGIC);
+        bytes.extend_from_slice(&seq.to_le_bytes());
+        bytes.extend_from_slice(&crate::crc::crc32(&seq.to_le_bytes()).to_le_bytes());
+        fs::write(dir.join(MANIFEST_NAME), &bytes).unwrap();
+        assert_eq!(read_manifest(&dir), Some((9, 1)));
         fs::remove_dir_all(&dir).unwrap();
     }
 

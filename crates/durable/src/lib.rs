@@ -30,10 +30,14 @@ mod bytes;
 pub mod checkpoint;
 pub mod crc;
 pub mod lock;
+pub mod meta;
 pub mod recover;
 pub mod wal;
 
 pub use lock::{StoreLock, LOCK_NAME};
+pub use meta::{
+    read_base, read_epoch, write_base, write_epoch, BASE_NAME, EPOCH_NAME, FIRST_EPOCH,
+};
 pub use recover::{recover, RecoveryReport};
 pub use wal::{encode_record, scan_records, Scan, ScannedRecord, Wal, FIRST_SEQ};
 
@@ -241,6 +245,12 @@ pub struct DurableSession {
     pub(crate) states: Vec<Box<dyn IncrementalState>>,
     pub(crate) options: DurableOptions,
     pub(crate) next_seq: u64,
+    /// Replication epoch/term (see [`meta`]); starts at
+    /// [`FIRST_EPOCH`] and only moves via [`bump_epoch`](Self::bump_epoch).
+    pub(crate) epoch: u64,
+    /// Sequence the WAL's history starts after: 0 normally, the
+    /// snapshot's covered sequence on a snapshot-bootstrapped replica.
+    pub(crate) base_seq: u64,
     pub(crate) crash: Option<CrashPoint>,
     /// Held for the session's whole lifetime; dropping the session
     /// releases the store to the next opener.
@@ -267,7 +277,8 @@ impl DurableSession {
             )));
         }
         checkpoint::write_checkpoint(dir, 0, &graph, &states, None)?;
-        checkpoint::write_manifest(dir, 0)?;
+        checkpoint::write_manifest(dir, 0, meta::FIRST_EPOCH)?;
+        meta::write_epoch(dir, meta::FIRST_EPOCH)?;
         let opened = Wal::open(&dir.join(WAL_NAME))?;
         Ok(DurableSession {
             dir: dir.to_path_buf(),
@@ -276,6 +287,8 @@ impl DurableSession {
             states,
             options,
             next_seq: FIRST_SEQ,
+            epoch: meta::FIRST_EPOCH,
+            base_seq: 0,
             crash: None,
             lock,
         })
@@ -296,9 +309,142 @@ impl DurableSession {
         &self.states
     }
 
-    /// Sequence number of the last durably applied batch (0 = none yet).
+    /// Sequence number of the last durably applied batch (0 = none yet;
+    /// equals [`base_seq`](Self::base_seq) right after a snapshot
+    /// bootstrap).
     pub fn last_seq(&self) -> u64 {
         self.next_seq - 1
+    }
+
+    /// The store's replication epoch/term.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sequence the WAL's retained history starts after (0 for stores
+    /// whose log reaches back to genesis).
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Durably bumps the replication epoch: the new epoch is fsynced to
+    /// the `EPOCH` file, then stamped into the manifest via a fresh
+    /// checkpoint. This is promotion's commit point — once this returns,
+    /// any peer still on the old epoch is provably stale.
+    pub fn bump_epoch(&mut self) -> Result<u64, DurableError> {
+        self.epoch += 1;
+        meta::write_epoch(&self.dir, self.epoch)?;
+        self.checkpoint()?;
+        incgraph_obs::gauge("repl.epoch", self.epoch);
+        Ok(self.epoch)
+    }
+
+    /// Durably adopts a peer's (higher) epoch without promotion — the
+    /// tail-mode half of rejoining a primary that moved on. A no-op when
+    /// the epoch already matches; refuses to move backwards.
+    pub fn adopt_epoch(&mut self, epoch: u64) -> Result<(), DurableError> {
+        if epoch < self.epoch {
+            return Err(DurableError::Corrupt(format!(
+                "refusing to adopt epoch {epoch} below current {}",
+                self.epoch
+            )));
+        }
+        if epoch != self.epoch {
+            meta::write_epoch(&self.dir, epoch)?;
+            self.epoch = epoch;
+            incgraph_obs::gauge("repl.epoch", self.epoch);
+        }
+        Ok(())
+    }
+
+    /// CRC-32 digest over the store's observable essence: directedness,
+    /// node count, every edge (sorted), and each tracked state's
+    /// `save_state` bytes in registration order — the same figure the
+    /// stream harness pins in its baselines, and the one primary and
+    /// replica exchange at matching sequences to detect divergence.
+    pub fn digest(&self) -> String {
+        let g = &self.graph;
+        let mut bytes: Vec<u8> = Vec::new();
+        bytes.push(g.is_directed() as u8);
+        bytes.extend((g.node_count() as u64).to_le_bytes());
+        let mut edges: Vec<(u32, u32, u32)> = g.edges().collect();
+        edges.sort_unstable();
+        for (u, v, w) in edges {
+            bytes.extend(u.to_le_bytes());
+            bytes.extend(v.to_le_bytes());
+            bytes.extend(w.to_le_bytes());
+        }
+        for s in &self.states {
+            bytes.extend(s.name().as_bytes());
+            let blob = s.save_state();
+            bytes.extend((blob.len() as u64).to_le_bytes());
+            bytes.extend(blob);
+        }
+        format!("{:08x}", crc::crc32(&bytes))
+    }
+
+    /// Encodes the live world as a checkpoint payload covering
+    /// [`last_seq`](Self::last_seq) — the exact bytes
+    /// [`checkpoint::decode_payload`] (and therefore
+    /// [`install_snapshot`](Self::install_snapshot)) accepts. The primary
+    /// uses this to ship a bootstrap snapshot to a lagging replica.
+    pub fn encode_snapshot(&self) -> Vec<u8> {
+        checkpoint::encode_payload(self.last_seq(), &self.graph, &self.states)
+    }
+
+    /// Replaces this store's entire world with a shipped snapshot,
+    /// consuming the session and returning a new one whose history
+    /// *begins* at the snapshot's covered sequence: the decoded payload
+    /// becomes the base checkpoint, `BASE` records the covered sequence,
+    /// the WAL restarts empty expecting `covered + 1`, and the manifest
+    /// is stamped with `epoch` (adopted from the primary).
+    ///
+    /// Ordering is crash-safe: the new base checkpoint is durable
+    /// *before* `BASE` commits the switch, and only then are the old log
+    /// and checkpoints discarded — a crash anywhere leaves either the
+    /// old world or the new one recoverable.
+    pub fn install_snapshot(
+        self,
+        payload: &[u8],
+        epoch: u64,
+    ) -> Result<DurableSession, DurableError> {
+        let DurableSession {
+            dir,
+            wal,
+            options,
+            lock,
+            ..
+        } = self;
+        let (covered, graph, states) = checkpoint::decode_payload(payload)?;
+        let old_checkpoints = checkpoint::list_checkpoints(&dir);
+        checkpoint::write_checkpoint(&dir, covered, &graph, &states, None)?;
+        meta::write_epoch(&dir, epoch)?;
+        // The commit point: once BASE names the snapshot's sequence, the
+        // old WAL records (whose sequences precede it) are dead history.
+        meta::write_base(&dir, covered)?;
+        drop(wal);
+        // Restart the log: open_from truncates every pre-base record as
+        // an out-of-sequence tail.
+        let opened = Wal::open_from(&dir.join(WAL_NAME), covered + 1)?;
+        for seq in old_checkpoints {
+            if seq != covered {
+                let _ = std::fs::remove_file(checkpoint::checkpoint_path(&dir, seq));
+            }
+        }
+        checkpoint::write_manifest(&dir, covered, epoch)?;
+        incgraph_obs::counter("repl.snapshots_installed", 1);
+        Ok(DurableSession {
+            dir,
+            wal: opened.wal,
+            graph,
+            states,
+            options,
+            next_seq: covered + 1,
+            epoch,
+            base_seq: covered,
+            crash: None,
+            lock,
+        })
     }
 
     /// The lock guarding this store against concurrent writers; released
@@ -401,7 +547,7 @@ impl DurableSession {
         let covered = self.last_seq();
         let crash = self.take_crash(false);
         checkpoint::write_checkpoint(&self.dir, covered, &self.graph, &self.states, crash)?;
-        checkpoint::write_manifest(&self.dir, covered)?;
+        checkpoint::write_manifest(&self.dir, covered, self.epoch)?;
         incgraph_obs::counter("ckpt.writes", 1);
         incgraph_obs::gauge("ckpt.covered_seq", covered);
         Ok(covered)
@@ -586,6 +732,81 @@ mod tests {
         // The session survives the refused commit.
         session.apply(&b).unwrap();
         assert_eq!(session.last_seq(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_install_rebases_history_and_survives_recovery() {
+        // Primary world: some history, then a snapshot of the live state.
+        let src_dir = temp_dir("snap-src");
+        let g0 = ring(12);
+        let mut primary = DurableSession::create(
+            &src_dir,
+            g0.clone(),
+            states_for(&g0),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        for b in schedule() {
+            primary.apply(&b).unwrap();
+        }
+        let snapshot = primary.encode_snapshot();
+        let want_digest = primary.digest();
+        let snap_seq = primary.last_seq();
+
+        // Replica: fresh store, diverged by an unrelated batch, then the
+        // snapshot is installed — its whole world must be replaced.
+        let dst_dir = temp_dir("snap-dst");
+        let mut replica = DurableSession::create(
+            &dst_dir,
+            ring(12),
+            states_for(&ring(12)),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        let mut stray = UpdateBatch::new();
+        stray.insert(0, 6, 9);
+        replica.apply(&stray).unwrap();
+        let replica = replica.install_snapshot(&snapshot, 5).unwrap();
+        assert_eq!(replica.last_seq(), snap_seq);
+        assert_eq!(replica.base_seq(), snap_seq);
+        assert_eq!(replica.epoch(), 5);
+        assert_eq!(replica.digest(), want_digest);
+
+        // New history continues at base + 1 and recovery honors the base.
+        let mut replica = replica;
+        let mut b = UpdateBatch::new();
+        b.insert(4, 9, 3);
+        replica.apply(&b).unwrap();
+        let live = essences(replica.states());
+        drop(replica);
+        let (recovered, report) = recover(&dst_dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.base_seq(), snap_seq);
+        assert_eq!(recovered.epoch(), 5);
+        assert_eq!(recovered.last_seq(), snap_seq + 1);
+        assert_eq!(
+            report.checkpoint_seq, snap_seq,
+            "base checkpoint is the floor"
+        );
+        assert_eq!(essences(recovered.states()), live);
+        fs::remove_dir_all(&src_dir).unwrap();
+        fs::remove_dir_all(&dst_dir).unwrap();
+    }
+
+    #[test]
+    fn bump_epoch_is_durable_across_recovery() {
+        let dir = temp_dir("epoch-bump");
+        let g0 = ring(8);
+        let mut session =
+            DurableSession::create(&dir, g0.clone(), states_for(&g0), DurableOptions::default())
+                .unwrap();
+        assert_eq!(session.epoch(), meta::FIRST_EPOCH);
+        assert_eq!(session.bump_epoch().unwrap(), 2);
+        assert_eq!(session.bump_epoch().unwrap(), 3);
+        drop(session);
+        let (recovered, _) = recover(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.epoch(), 3);
+        assert_eq!(checkpoint::read_manifest(&dir).unwrap().1, 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,148 @@
+//! Small durable metadata sidecars: the replication **epoch** and the
+//! WAL **base** sequence.
+//!
+//! Both are a single `u64` in a tiny CRC-framed file
+//!
+//! ```text
+//! [magic: 8 bytes][value: u64][crc: u32 over value]    (little-endian)
+//! ```
+//!
+//! written atomically (temp file + fsync + rename + directory fsync) so a
+//! crash leaves either the old value or the new one, never a torn file.
+//!
+//! - **`EPOCH`** is the fencing term of primary→replica replication: it
+//!   starts at 1, is bumped durably by promotion, and is also stamped
+//!   into the manifest. A missing file means a store predating
+//!   replication and reads as epoch 1; a *corrupt* file is an error —
+//!   silently defaulting it could un-fence a deposed primary.
+//! - **`BASE`** is the sequence number the WAL's history starts *after*:
+//!   0 for ordinary stores (records begin at [`FIRST_SEQ`]), and the
+//!   snapshot's covered sequence for a replica bootstrapped from a
+//!   shipped snapshot, whose log begins at `base + 1` and whose base
+//!   checkpoint plays the role genesis plays elsewhere.
+//!
+//! [`FIRST_SEQ`]: crate::wal::FIRST_SEQ
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+use crate::crc::crc32;
+use crate::DurableError;
+
+/// File name of the replication epoch inside a durable directory.
+pub const EPOCH_NAME: &str = "EPOCH";
+/// Magic prefix of the epoch file.
+pub const EPOCH_MAGIC: &[u8; 8] = b"IEPO0001";
+/// Epoch of a store that has never seen a promotion.
+pub const FIRST_EPOCH: u64 = 1;
+
+/// File name of the WAL base-sequence marker inside a durable directory.
+pub const BASE_NAME: &str = "BASE";
+/// Magic prefix of the base file.
+pub const BASE_MAGIC: &[u8; 8] = b"IBAS0001";
+
+fn write_u64_file(dir: &Path, name: &str, magic: &[u8; 8], value: u64) -> Result<(), DurableError> {
+    let mut bytes = Vec::with_capacity(20);
+    bytes.extend_from_slice(magic);
+    bytes.extend_from_slice(&value.to_le_bytes());
+    bytes.extend_from_slice(&crc32(&value.to_le_bytes()).to_le_bytes());
+    let final_path = dir.join(name);
+    let tmp_path = dir.join(format!("{name}.tmp"));
+    let mut tmp = File::create(&tmp_path)?;
+    tmp.write_all(&bytes)?;
+    tmp.sync_all()?;
+    drop(tmp);
+    fs::rename(&tmp_path, &final_path)?;
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+fn read_u64_file(
+    dir: &Path,
+    name: &str,
+    magic: &[u8; 8],
+    default: u64,
+) -> Result<u64, DurableError> {
+    let path = dir.join(name);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(default),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() != 20 || bytes[..8] != *magic {
+        return Err(DurableError::Corrupt(format!(
+            "{}: bad {name} file",
+            path.display()
+        )));
+    }
+    let value = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let stored = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    if crc32(&value.to_le_bytes()) != stored {
+        return Err(DurableError::Corrupt(format!(
+            "{}: {name} checksum mismatch",
+            path.display()
+        )));
+    }
+    Ok(value)
+}
+
+/// Durably records the replication epoch.
+pub fn write_epoch(dir: &Path, epoch: u64) -> Result<(), DurableError> {
+    write_u64_file(dir, EPOCH_NAME, EPOCH_MAGIC, epoch)
+}
+
+/// Reads the replication epoch ([`FIRST_EPOCH`] when the file is absent;
+/// a corrupt file is an error, never a silent default).
+pub fn read_epoch(dir: &Path) -> Result<u64, DurableError> {
+    read_u64_file(dir, EPOCH_NAME, EPOCH_MAGIC, FIRST_EPOCH)
+}
+
+/// Durably records the WAL base sequence.
+pub fn write_base(dir: &Path, base: u64) -> Result<(), DurableError> {
+    write_u64_file(dir, BASE_NAME, BASE_MAGIC, base)
+}
+
+/// Reads the WAL base sequence (0 when the file is absent).
+pub fn read_base(dir: &Path) -> Result<u64, DurableError> {
+    read_u64_file(dir, BASE_NAME, BASE_MAGIC, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("incgraph-meta-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn epoch_defaults_roundtrips_and_rejects_corruption() {
+        let dir = temp_dir("epoch");
+        assert_eq!(read_epoch(&dir).unwrap(), FIRST_EPOCH);
+        write_epoch(&dir, 7).unwrap();
+        assert_eq!(read_epoch(&dir).unwrap(), 7);
+        let path = dir.join(EPOCH_NAME);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[10] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(
+            matches!(read_epoch(&dir), Err(DurableError::Corrupt(_))),
+            "a corrupt epoch must never silently default"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn base_defaults_to_zero_and_roundtrips() {
+        let dir = temp_dir("base");
+        assert_eq!(read_base(&dir).unwrap(), 0);
+        write_base(&dir, 42).unwrap();
+        assert_eq!(read_base(&dir).unwrap(), 42);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

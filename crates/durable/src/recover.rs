@@ -70,20 +70,27 @@ pub fn recover(
     // `StoreBusy` instead of corrupting the WAL under it.
     let lock = crate::StoreLock::acquire(dir)?;
 
+    // Replication metadata: `base` is the sequence the retained WAL
+    // starts after (nonzero only on snapshot-bootstrapped replicas), and
+    // the epoch is the store's fencing term. A corrupt EPOCH file is a
+    // hard error — defaulting it could un-fence a deposed primary.
+    let base = crate::meta::read_base(dir)?;
+    let epoch = crate::meta::read_epoch(dir)?;
+
     // The log next: its valid prefix bounds which checkpoints are
     // trustworthy (a checkpoint claiming to cover more history than the
     // log holds cannot be reconciled with full-replay semantics).
-    let opened = Wal::open(&dir.join(WAL_NAME))?;
+    let opened = Wal::open_from(&dir.join(WAL_NAME), base + 1)?;
     let mut wal = opened.wal;
     let records = opened.records;
     report.wal_truncated_bytes = opened.truncated_bytes;
-    let last_logged = records.last().map_or(0, |r| r.seq);
+    let last_logged = records.last().map_or(base, |r| r.seq);
 
     // Candidate checkpoints, newest first. The manifest is a hint, not
     // an authority: a crash between checkpoint rename and manifest update
     // leaves a perfectly valid checkpoint the manifest does not know
     // about, and the directory scan must still prefer it.
-    let manifest = read_manifest(dir);
+    let manifest = read_manifest(dir).map(|(seq, _)| seq);
     let mut candidates = list_checkpoints(dir);
     if let Some(seq) = manifest {
         if !candidates.contains(&seq) {
@@ -92,23 +99,25 @@ pub fn recover(
         }
     }
 
-    let mut base: Option<(u64, DynamicGraph, Vec<_>)> = None;
+    let mut chosen: Option<(u64, DynamicGraph, Vec<_>)> = None;
     for seq in candidates {
-        if seq > last_logged {
-            // Covers history the log no longer proves; skip it.
+        if seq > last_logged || seq < base {
+            // Ahead of the log's proof, or behind the snapshot base
+            // (whose pre-base WAL records no longer exist, so an older
+            // checkpoint could never be replayed up to the present).
             report.checkpoints_skipped += 1;
             continue;
         }
         match load_checkpoint(&checkpoint_path(dir, seq)) {
             Ok(loaded) => {
                 report.used_manifest = manifest == Some(seq);
-                base = Some(loaded);
+                chosen = Some(loaded);
                 break;
             }
             Err(_) => report.checkpoints_skipped += 1,
         }
     }
-    let Some((covered, mut graph, mut states)) = base else {
+    let Some((covered, mut graph, mut states)) = chosen else {
         return Err(DurableError::Unrecoverable(format!(
             "{}: no valid checkpoint (genesis included) to recover from",
             dir.display()
@@ -167,6 +176,8 @@ pub fn recover(
             states,
             options,
             next_seq,
+            epoch,
+            base_seq: base,
             crash: None,
             lock,
         },

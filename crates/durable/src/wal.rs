@@ -188,8 +188,18 @@ pub struct WalOpen {
 
 impl Wal {
     /// Opens (or creates) the log at `path`, scanning and truncating any
-    /// torn tail so the file ends at a record boundary.
+    /// torn tail so the file ends at a record boundary. Records are
+    /// expected to start at [`FIRST_SEQ`]; a store whose history begins
+    /// after a shipped snapshot opens with [`Wal::open_from`] instead.
     pub fn open(path: &Path) -> Result<WalOpen, DurableError> {
+        Self::open_from(path, FIRST_SEQ)
+    }
+
+    /// [`Wal::open`] with an explicit first expected sequence number —
+    /// `base + 1` for a replica whose log begins after a snapshot's
+    /// covered sequence. Records that do not start at `first_seq` are
+    /// treated like any other out-of-sequence tail and truncated.
+    pub fn open_from(path: &Path, first_seq: u64) -> Result<WalOpen, DurableError> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -227,7 +237,7 @@ impl Wal {
         }
 
         let body = &contents[WAL_MAGIC.len()..];
-        let scan = scan_records(body, FIRST_SEQ);
+        let scan = scan_records(body, first_seq);
         let valid_end = (WAL_MAGIC.len() + scan.valid_len) as u64;
         truncated += contents.len() as u64 - valid_end;
         if truncated > 0 {

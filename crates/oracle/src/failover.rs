@@ -1,0 +1,644 @@
+//! Failover chaos oracle: primary→replica replication under crash-point
+//! kills, promotion, and client redirect.
+//!
+//! For **each** injected [`CrashPoint`] the harness runs one full
+//! failover cycle on fresh stores:
+//!
+//! 1. Start a primary and a replica (`--replica-of` style pairing) with
+//!    the semi-sync ack timeout pinned far beyond the run, so every
+//!    client `ACK` the primary releases *implies* the replica has
+//!    fsynced that batch — the property the whole audit leans on.
+//! 2. Drive concurrent clients with exactly-once retry tokens against
+//!    the primary, then arm the crash point and let a commit walk into
+//!    it (killing outright if the stream happens to idle). No
+//!    checkpoint, no goodbyes — the primary is simply gone.
+//! 3. Promote the replica (`PROMOTE` bumps its durable epoch) and
+//!    redirect the clients, who retry unacked batches with the same
+//!    token and sequence numbers against the new primary.
+//! 4. After a graceful drain of the new primary, audit **offline**:
+//!    - every client-acked batch exists **exactly once** in the new
+//!      primary's WAL — acks released before the kill came from
+//!      replicated batches, acks after it from locally committed ones,
+//!      and no retry may have double-applied across the failover;
+//!    - the replicated dedup table agrees (each token's last ack is the
+//!      client's final sequence);
+//!    - the recovered state of every query class is byte-identical to a
+//!      genesis replay of the WAL — replication, snapshot-less tailing,
+//!      promotion, and recovery must all land on the same fixpoint.
+//!
+//! Batches reuse the chaos harness's decodable shape: client `i`'s
+//! batch `k` inserts exactly one `(i, k)`-unique edge, so the WAL scan
+//! reconstructs the full application history offline.
+
+use incgraph_durable::wal::Wal;
+use incgraph_durable::{CrashPoint, DurableError, DurableOptions, WAL_NAME};
+use incgraph_graph::{DynamicGraph, NodeId, Update, UpdateBatch};
+use incgraph_service::client::{Client, ClientError};
+use incgraph_service::dedup;
+use incgraph_service::server::{Server, ServerConfig, ServerHandle};
+use incgraph_service::store::{standing_states, Store, StoreLimits, DURABLE_PATTERN_SEED};
+use std::collections::{HashMap, HashSet};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Failover-run parameters. One cycle runs per entry in `points`.
+#[derive(Clone, Debug)]
+pub struct FailoverConfig {
+    /// Seed for every random decision (kill timing).
+    pub seed: u64,
+    /// Concurrent client sessions per cycle.
+    pub clients: usize,
+    /// Batches each client must get acked per cycle.
+    pub batches_per_client: usize,
+    /// Crash points to cycle through (default: every one).
+    pub points: Vec<CrashPoint>,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            seed: 0xFA110,
+            clients: 4,
+            batches_per_client: 8,
+            points: CrashPoint::ALL.to_vec(),
+        }
+    }
+}
+
+/// What the run survived, summed over all cycles.
+#[derive(Clone, Debug, Default)]
+pub struct FailoverReport {
+    /// Failover cycles completed (one per crash point).
+    pub cycles: usize,
+    /// Batches acked across all clients and cycles.
+    pub acked: usize,
+    /// Duplicate acks (retries of batches that crossed the failover).
+    pub dup_acks: usize,
+    /// Connections the clients had to rebuild.
+    pub reconnects: usize,
+    /// Batches found in the new primaries' WALs.
+    pub wal_batches: usize,
+    /// Committed-but-unacked batches (ack lost in the kill): legal.
+    pub committed_unacked: usize,
+    /// Class essences verified against genesis replay (7 per cycle).
+    pub classes_verified: usize,
+}
+
+/// An audit violation — any of these is a real replication bug.
+#[derive(Clone, Debug)]
+pub enum FailoverFailure {
+    /// A client holds an ack for a batch the new primary's WAL lacks:
+    /// the ack was released before the batch was replicated.
+    AckedButLost {
+        /// Crash point of the offending cycle.
+        point: CrashPoint,
+        /// Client index.
+        client: usize,
+        /// Client-side batch sequence.
+        batch: u64,
+    },
+    /// A batch appears in the new primary's WAL more than once: the
+    /// replicated dedup state failed to absorb a cross-failover retry.
+    DoubleApply {
+        /// Crash point of the offending cycle.
+        point: CrashPoint,
+        /// Client index.
+        client: usize,
+        /// Client-side batch sequence.
+        batch: u64,
+        /// Occurrences found.
+        times: usize,
+    },
+    /// A WAL batch decodes to no client's schedule.
+    ForeignBatch {
+        /// Crash point of the offending cycle.
+        point: CrashPoint,
+        /// WAL sequence of the offending record.
+        wal_seq: u64,
+    },
+    /// The replicated dedup table disagrees with the client history.
+    DedupMismatch {
+        /// Crash point of the offending cycle.
+        point: CrashPoint,
+        /// Client token involved.
+        token: String,
+        /// What the audit expected vs found.
+        detail: String,
+    },
+    /// A recovered class essence differs from genesis replay.
+    EssenceMismatch {
+        /// Crash point of the offending cycle.
+        point: CrashPoint,
+        /// Class name.
+        class: &'static str,
+    },
+    /// Recovered graph shape differs from genesis replay.
+    GraphMismatch {
+        /// Crash point of the offending cycle.
+        point: CrashPoint,
+    },
+    /// The harness itself could not finish (environment problem).
+    Harness(String),
+}
+
+impl std::fmt::Display for FailoverFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailoverFailure::AckedButLost {
+                point,
+                client,
+                batch,
+            } => write!(
+                f,
+                "[{point}] client {client} batch {batch}: acked but absent from the \
+                 new primary's WAL"
+            ),
+            FailoverFailure::DoubleApply {
+                point,
+                client,
+                batch,
+                times,
+            } => write!(
+                f,
+                "[{point}] client {client} batch {batch}: applied {times} times across failover"
+            ),
+            FailoverFailure::ForeignBatch { point, wal_seq } => {
+                write!(f, "[{point}] WAL record {wal_seq} matches no client batch")
+            }
+            FailoverFailure::DedupMismatch {
+                point,
+                token,
+                detail,
+            } => write!(f, "[{point}] dedup table for {token}: {detail}"),
+            FailoverFailure::EssenceMismatch { point, class } => write!(
+                f,
+                "[{point}] {class}: recovered essence differs from genesis replay"
+            ),
+            FailoverFailure::GraphMismatch { point } => {
+                write!(f, "[{point}] recovered graph differs from replay")
+            }
+            FailoverFailure::Harness(s) => write!(f, "harness error: {s}"),
+        }
+    }
+}
+
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        Xorshift(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+const GRAPH: &str = "g0";
+
+/// The unique edge encoding batch `k` (1-based) of client `i` (same
+/// scheme as the chaos harness).
+fn batch_edge(clients: usize, i: usize, k: u64) -> (NodeId, NodeId, u32) {
+    let u = i as NodeId;
+    let v = (clients as u64 + k) as NodeId;
+    (u, v, 1 + ((u + v) % 7))
+}
+
+fn graph_nodes(cfg: &FailoverConfig) -> usize {
+    cfg.clients + cfg.batches_per_client + 2
+}
+
+fn durable_options() -> DurableOptions {
+    DurableOptions {
+        // Frequent automatic checkpoints put MidCheckpoint/PostRename in
+        // the line of fire on the primary.
+        checkpoint_every: Some(3),
+        ..DurableOptions::default()
+    }
+}
+
+fn node_config(replica_of: Option<SocketAddr>) -> ServerConfig {
+    ServerConfig {
+        read_poll: Duration::from_millis(10),
+        idle_timeout: Duration::from_secs(20),
+        repl_graph: Some(GRAPH.to_string()),
+        replica_of,
+        // Pinned far beyond the run: an ack must imply replication, not
+        // a timeout. The audit's no-acked-lost check depends on this.
+        repl_ack_timeout: Duration::from_secs(120),
+        // Force tail replication from sequence 0 so the new primary's
+        // WAL holds the complete history and genesis replay is total.
+        snapshot_lag: u64::MAX,
+        ..ServerConfig::default()
+    }
+}
+
+fn open_node(
+    dir: &Path,
+    nodes: usize,
+    replica_of: Option<SocketAddr>,
+) -> Result<ServerHandle, FailoverFailure> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| FailoverFailure::Harness(format!("create dir: {e}")))?;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match Store::open_durable(
+            dir,
+            GRAPH,
+            nodes,
+            false,
+            durable_options(),
+            StoreLimits::default(),
+        ) {
+            Ok(store) => {
+                return Server::start(store, node_config(replica_of))
+                    .map_err(|e| FailoverFailure::Harness(format!("server start: {e}")));
+            }
+            Err(DurableError::StoreBusy { .. }) if Instant::now() < deadline => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(FailoverFailure::Harness(format!("open store: {e}"))),
+        }
+    }
+}
+
+/// Runs one failover cycle per configured crash point under `dir`
+/// (fresh subdirectories per cycle) and audits each outcome. Returns
+/// the summed report, or the first violation found.
+pub fn run_failover(dir: &Path, cfg: &FailoverConfig) -> Result<FailoverReport, FailoverFailure> {
+    let mut report = FailoverReport::default();
+    for (cycle, &point) in cfg.points.iter().enumerate() {
+        let pdir = dir.join(format!("cycle{cycle}-primary"));
+        let rdir = dir.join(format!("cycle{cycle}-replica"));
+        run_cycle(&pdir, &rdir, point, cycle, cfg, &mut report)?;
+        report.cycles += 1;
+    }
+    Ok(report)
+}
+
+fn run_cycle(
+    pdir: &Path,
+    rdir: &Path,
+    point: CrashPoint,
+    cycle: usize,
+    cfg: &FailoverConfig,
+    report: &mut FailoverReport,
+) -> Result<(), FailoverFailure> {
+    let nodes = graph_nodes(cfg);
+    let mut primary = open_node(pdir, nodes, None)?;
+    let mut replica = open_node(rdir, nodes, Some(primary.addr()))?;
+
+    // Gate the cycle on the replica's sink attaching: from here on every
+    // ack the primary releases is semi-sync.
+    {
+        let mut c = Client::connect_timeout(primary.addr(), "fo-gate", Duration::from_secs(5))
+            .map_err(|e| FailoverFailure::Harness(format!("gate connect: {e}")))?;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let status = c
+                .status()
+                .map_err(|e| FailoverFailure::Harness(format!("gate status: {e}")))?;
+            if status.split_whitespace().any(|t| t == "repl_sinks=1") {
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err(FailoverFailure::Harness("replica never attached".into()));
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        let _ = c.bye();
+    }
+
+    let target = Arc::new(Mutex::new(primary.addr()));
+    let acked: Arc<Mutex<HashSet<(usize, u64)>>> = Arc::new(Mutex::new(HashSet::new()));
+    let dup_acks = Arc::new(AtomicUsize::new(0));
+    let reconnects = Arc::new(AtomicUsize::new(0));
+
+    let mut workers = Vec::new();
+    for i in 0..cfg.clients {
+        let cfg = cfg.clone();
+        let target = Arc::clone(&target);
+        let acked = Arc::clone(&acked);
+        let dup_acks = Arc::clone(&dup_acks);
+        let reconnects = Arc::clone(&reconnects);
+        workers.push(
+            thread::Builder::new()
+                .name(format!("fo-cl{i}"))
+                .spawn(move || {
+                    failover_client(i, cycle, &cfg, &target, &acked, &dup_acks, &reconnects)
+                })
+                .map_err(|e| FailoverFailure::Harness(format!("spawn client: {e}")))?,
+        );
+    }
+
+    // The executioner: arm the crash point mid-stream and let a commit
+    // walk into it; kill outright if the stream happens to idle. The
+    // clients pace themselves, so this lands while batches are still in
+    // flight and unacked retries must cross the failover.
+    let mut rng = Xorshift::new(cfg.seed ^ (cycle as u64) << 8 ^ 0xFA11);
+    thread::sleep(Duration::from_millis(5 + rng.below(25)));
+    primary.arm_crash(GRAPH, point);
+    let deadline = Instant::now() + Duration::from_millis(400);
+    while !primary.is_stopped() && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    if !primary.is_stopped() {
+        primary.kill();
+    } else {
+        primary.wait();
+    }
+
+    // Promote the replica and redirect the clients.
+    {
+        let mut c = Client::connect_timeout(replica.addr(), "fo-op", Duration::from_secs(5))
+            .map_err(|e| FailoverFailure::Harness(format!("promote connect: {e}")))?;
+        let epoch = c
+            .promote()
+            .map_err(|e| FailoverFailure::Harness(format!("promote: {e}")))?;
+        if epoch < 2 {
+            return Err(FailoverFailure::Harness(format!(
+                "promotion yielded epoch {epoch}, expected a bump past 1"
+            )));
+        }
+        let _ = c.bye();
+    }
+    *target.lock().unwrap_or_else(|e| e.into_inner()) = replica.addr();
+
+    let mut failure: Option<FailoverFailure> = None;
+    for w in workers {
+        match w.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(f)) => failure = failure.or(Some(f)),
+            Err(_) => {
+                failure = failure.or(Some(FailoverFailure::Harness("client panicked".into())))
+            }
+        }
+    }
+    // Graceful drain of the new primary: final checkpoint, lock release.
+    replica.shutdown();
+    if let Some(f) = failure {
+        return Err(f);
+    }
+
+    let acked = Arc::try_unwrap(acked)
+        .map_err(|_| FailoverFailure::Harness("acked set still shared".into()))?
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    report.acked += acked.len();
+    report.dup_acks += dup_acks.load(Ordering::Relaxed);
+    report.reconnects += reconnects.load(Ordering::Relaxed);
+    audit_cycle(rdir, point, cycle, cfg, &acked, report)
+}
+
+fn failover_client(
+    i: usize,
+    cycle: usize,
+    cfg: &FailoverConfig,
+    target: &Mutex<SocketAddr>,
+    acked: &Mutex<HashSet<(usize, u64)>>,
+    dup_acks: &AtomicUsize,
+    reconnects: &AtomicUsize,
+) -> Result<(), FailoverFailure> {
+    let token = format!("fo{cycle}-{i}");
+    let mut client: Option<Client> = None;
+    for k in 1..=cfg.batches_per_client as u64 {
+        let (u, v, w) = batch_edge(cfg.clients, i, k);
+        let mut batch = UpdateBatch::new();
+        batch.insert(u, v, w);
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            if attempts > 1000 {
+                return Err(FailoverFailure::Harness(format!(
+                    "client {i} gave up on batch {k}"
+                )));
+            }
+            let c = match client.as_mut() {
+                Some(c) => c,
+                None => {
+                    reconnects.fetch_add(1, Ordering::Relaxed);
+                    let t = *target.lock().unwrap_or_else(|e| e.into_inner());
+                    match Client::connect_timeout(t, &token, Duration::from_secs(2)) {
+                        Ok(c) => client.insert(c),
+                        Err(_) => {
+                            thread::sleep(Duration::from_millis(20));
+                            continue;
+                        }
+                    }
+                }
+            };
+            match c.update(GRAPH, k, &batch) {
+                Ok(ack) => {
+                    if ack.dup {
+                        dup_acks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    acked
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert((i, k));
+                    // Pace the stream so the executioner's kill lands
+                    // mid-schedule, not after everyone finished.
+                    thread::sleep(Duration::from_millis(3));
+                    break;
+                }
+                Err(ClientError::Busy { retry_after_ms }) => {
+                    thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 100)));
+                }
+                Err(ClientError::Server { code, detail }) => {
+                    // `not-primary` is the redirect window (connected to
+                    // the replica before its promotion); `readonly`
+                    // clears on restart. Anything else fails loudly.
+                    if code == "not-primary" || code == "readonly" {
+                        // Reconnect: the target may have moved, and the
+                        // promoted node accepts the same session token.
+                        client = None;
+                        thread::sleep(Duration::from_millis(30));
+                    } else {
+                        return Err(FailoverFailure::Harness(format!(
+                            "client {i} batch {k}: unexpected ERR {code} {detail}"
+                        )));
+                    }
+                }
+                Err(_) => {
+                    // Disconnect, goodbye, timeout — rebuild against the
+                    // current target and retry the same sequence number.
+                    client = None;
+                    thread::sleep(Duration::from_millis(15));
+                }
+            }
+        }
+    }
+    if let Some(c) = client.take() {
+        let _ = c.bye();
+    }
+    Ok(())
+}
+
+/// Offline audit of one cycle against the new primary's store.
+fn audit_cycle(
+    rdir: &Path,
+    point: CrashPoint,
+    cycle: usize,
+    cfg: &FailoverConfig,
+    acked: &HashSet<(usize, u64)>,
+    report: &mut FailoverReport,
+) -> Result<(), FailoverFailure> {
+    let opened = Wal::open(&rdir.join(WAL_NAME))
+        .map_err(|e| FailoverFailure::Harness(format!("wal open: {e}")))?;
+    let records = opened.records;
+    report.wal_batches += records.len();
+
+    // Exactly-once: count each client batch's WAL occurrences.
+    let mut index: HashMap<(NodeId, NodeId), (usize, u64)> = HashMap::new();
+    for i in 0..cfg.clients {
+        for k in 1..=cfg.batches_per_client as u64 {
+            let (u, v, _) = batch_edge(cfg.clients, i, k);
+            index.insert((u, v), (i, k));
+        }
+    }
+    let mut seen: HashMap<(usize, u64), usize> = HashMap::new();
+    for rec in &records {
+        let key = match rec.batch.updates() {
+            [Update::Insert { src, dst, .. }] => index.get(&(*src, *dst)),
+            _ => None,
+        };
+        match key {
+            Some(&ik) => *seen.entry(ik).or_insert(0) += 1,
+            None => {
+                return Err(FailoverFailure::ForeignBatch {
+                    point,
+                    wal_seq: rec.seq,
+                })
+            }
+        }
+    }
+    for (&(i, k), &times) in &seen {
+        if times > 1 {
+            return Err(FailoverFailure::DoubleApply {
+                point,
+                client: i,
+                batch: k,
+                times,
+            });
+        }
+        if !acked.contains(&(i, k)) {
+            report.committed_unacked += 1;
+        }
+    }
+    for &(i, k) in acked {
+        if !seen.contains_key(&(i, k)) {
+            return Err(FailoverFailure::AckedButLost {
+                point,
+                client: i,
+                batch: k,
+            });
+        }
+    }
+
+    // The replicated dedup table must agree with the client history:
+    // every token's last ack is its final sequence number (replication
+    // shipped the identities, promotion preserved them).
+    let last_seq = records.last().map_or(0, |r| r.seq);
+    let entries = dedup::scan_entries(rdir, last_seq)
+        .map_err(|e| FailoverFailure::Harness(format!("dedup scan: {e}")))?;
+    let mut latest: HashMap<&str, u64> = HashMap::new();
+    for e in &entries {
+        let slot = latest.entry(e.token.as_str()).or_insert(0);
+        *slot = (*slot).max(e.client_seq);
+    }
+    for i in 0..cfg.clients {
+        let token = format!("fo{cycle}-{i}");
+        let want = cfg.batches_per_client as u64;
+        match latest.get(token.as_str()) {
+            Some(&got) if got == want => {}
+            Some(&got) => {
+                return Err(FailoverFailure::DedupMismatch {
+                    point,
+                    token,
+                    detail: format!("last ack {got}, client finished at {want}"),
+                })
+            }
+            None => {
+                return Err(FailoverFailure::DedupMismatch {
+                    point,
+                    token,
+                    detail: "token absent from replicated dedup table".into(),
+                })
+            }
+        }
+    }
+
+    // Recovery equals genesis replay, essence by essence — the final
+    // digest of the failed-over store is the digest of its history.
+    let (session, _report) = incgraph_durable::recover(rdir, durable_options())
+        .map_err(|e| FailoverFailure::Harness(format!("recover: {e}")))?;
+    let mut replay_graph = DynamicGraph::new(false, graph_nodes(cfg));
+    let mut replay_states = standing_states(&replay_graph, DURABLE_PATTERN_SEED);
+    for rec in &records {
+        let applied = rec
+            .batch
+            .apply_validated(&mut replay_graph)
+            .map_err(|e| FailoverFailure::Harness(format!("replay: {e:?}")))?;
+        for s in replay_states.iter_mut() {
+            s.update(&replay_graph, &applied);
+        }
+    }
+    let g = session.graph();
+    if g.node_count() != replay_graph.node_count() || g.edge_count() != replay_graph.edge_count() {
+        return Err(FailoverFailure::GraphMismatch { point });
+    }
+    let recovered = session.states();
+    if recovered.len() != replay_states.len() {
+        return Err(FailoverFailure::Harness("state count mismatch".into()));
+    }
+    for (a, b) in recovered.iter().zip(replay_states.iter()) {
+        if a.save_state() != b.save_state() {
+            return Err(FailoverFailure::EssenceMismatch {
+                point,
+                class: a.name(),
+            });
+        }
+        report.classes_verified += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("incgraph-failover-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn failover_at_one_crash_point_audits_clean() {
+        let dir = temp_dir("one");
+        let report = run_failover(
+            &dir,
+            &FailoverConfig {
+                seed: 0xF1,
+                clients: 3,
+                batches_per_client: 6,
+                points: vec![CrashPoint::WalPostFsync],
+            },
+        )
+        .unwrap_or_else(|f| panic!("failover audit failed: {f}"));
+        assert_eq!(report.cycles, 1);
+        assert_eq!(report.acked, 18, "{report:?}");
+        assert_eq!(report.classes_verified, 7, "{report:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

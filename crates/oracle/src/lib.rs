@@ -30,7 +30,12 @@
 //!   recovered per-class essences byte-for-byte against genesis replay;
 //! * [`walcheck`] is the store-local form of that audit — a reusable
 //!   exactly-once check of the WAL against an ingest-side ack ledger,
-//!   run by the sustained-stream harness after every kill-and-recover.
+//!   run by the sustained-stream harness after every kill-and-recover;
+//! * [`failover`] extends the adversary across *nodes*: a primary→replica
+//!   replication pair is driven through a crash-point kill of the
+//!   primary, replica promotion, and client redirect, then audited for
+//!   exactly-once survival of every client-acked batch and genesis-replay
+//!   equality of the failed-over store.
 //!
 //! The `incgraph fuzz` / `incgraph replay` subcommands (crates/bench) are
 //! thin CLI shells over this crate; the corpus-replay integration test
@@ -39,6 +44,7 @@
 pub mod case;
 pub mod chaos;
 pub mod crash;
+pub mod failover;
 pub mod fuzz;
 pub mod gencase;
 pub mod runner;
@@ -48,6 +54,7 @@ pub mod walcheck;
 pub use case::{Case, CaseParseError};
 pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
 pub use crash::{run_crash_case, CrashFailure, CrashOutcome};
+pub use failover::{run_failover, FailoverConfig, FailoverFailure, FailoverReport};
 pub use fuzz::{fuzz, CrashRecord, FailureRecord, FuzzConfig, FuzzReport};
 pub use gencase::{gen_case, GenConfig};
 pub use runner::{run_case, ClassId, Fault, OracleFailure, OracleKind, RunOutcome};

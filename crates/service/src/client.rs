@@ -345,6 +345,22 @@ impl Client {
         self.expect_ok_payload("STATUS")
     }
 
+    /// Promotes a replica to primary; returns the new epoch.
+    pub fn promote(&mut self) -> Result<u64, ClientError> {
+        let payload = self.expect_ok_payload("PROMOTE")?;
+        payload
+            .split_whitespace()
+            .nth(1)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad PROMOTE payload: {payload}")))
+    }
+
+    /// Reads one raw protocol line (chaos tests inspect replication
+    /// traffic with this). `None` on read timeout.
+    pub fn recv_raw_line(&mut self) -> Result<Option<String>, ClientError> {
+        self.read_line_opt()
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.request("PING")? {

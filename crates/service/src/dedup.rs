@@ -53,10 +53,87 @@ pub struct AckRecord {
     pub wal_seq: u64,
 }
 
+/// One decoded intent, in log (= WAL-sequence) order. Used by the
+/// replication catch-up path (which ships each committed record's client
+/// identity alongside the WAL bytes) and by the failover oracle's
+/// offline exactly-once audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DedupEntry {
+    /// WAL sequence the batch committed under.
+    pub wal_seq: u64,
+    /// Client-supplied sequence number.
+    pub client_seq: u64,
+    /// Client retry identity.
+    pub token: String,
+}
+
 /// An open, append-position intent log.
 pub struct DedupLog {
     file: File,
     path: PathBuf,
+}
+
+/// Parses the valid committed prefix of a dedup-log *body* (the bytes
+/// after the magic): entries in order plus the byte length of that
+/// prefix. Stops at the first torn/corrupt record or the first intent
+/// past `committed_wal_seq` — the same longest-valid-prefix rule
+/// [`DedupLog::open`] truncates by.
+fn parse_body(body: &[u8], committed_wal_seq: u64) -> (Vec<DedupEntry>, usize) {
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    while body.len() - pos >= 8 {
+        let len = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(body[pos + 4..pos + 8].try_into().unwrap());
+        let Some(end) = pos.checked_add(8 + len).filter(|&e| e <= body.len()) else {
+            break; // torn tail
+        };
+        let payload = &body[pos + 8..end];
+        if crc32(payload) != crc || len < 18 {
+            break;
+        }
+        let wal_seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        let client_seq = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+        let tlen = u16::from_le_bytes(payload[16..18].try_into().unwrap()) as usize;
+        if 18 + tlen != len {
+            break;
+        }
+        let Ok(token) = std::str::from_utf8(&payload[18..]) else {
+            break;
+        };
+        if wal_seq > committed_wal_seq {
+            break;
+        }
+        entries.push(DedupEntry {
+            wal_seq,
+            client_seq,
+            token: token.to_string(),
+        });
+        pos = end;
+    }
+    (entries, pos)
+}
+
+/// Read-only scan of the intent log in `dir`: the committed entries in
+/// WAL order, without opening the log for append or truncating anything.
+/// A missing log reads as empty. Safe on a store another process holds
+/// the `LOCK` on — nothing is mutated.
+pub fn scan_entries(dir: &Path, committed_wal_seq: u64) -> Result<Vec<DedupEntry>, DurableError> {
+    let path = dir.join(DEDUP_NAME);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.is_empty() {
+        return Ok(Vec::new());
+    }
+    if bytes.len() < 8 || &bytes[..8] != DEDUP_MAGIC {
+        return Err(DurableError::Corrupt(format!(
+            "{}: bad dedup log magic",
+            path.display()
+        )));
+    }
+    Ok(parse_body(&bytes[8..], committed_wal_seq).0)
 }
 
 fn encode_entry(token: &str, client_seq: u64, wal_seq: u64) -> Vec<u8> {
@@ -102,46 +179,22 @@ impl DedupLog {
             )));
         }
         let body = if fresh { &[][..] } else { &bytes[8..] };
+        // `parse_body` stops at the first torn record *or* the first
+        // intent past `committed_wal_seq` — intents are appended in
+        // WAL-sequence order, so uncommitted ones are a suffix. The
+        // truncation below physically discards that suffix: an orphan
+        // merely skipped but kept in the file could alias into a false
+        // ack once its WAL sequence is reused by a later batch.
+        let (entries, pos) = parse_body(body, committed_wal_seq);
         let mut index: HashMap<String, AckRecord> = HashMap::new();
-        let mut pos = 0usize;
-        while body.len() - pos >= 8 {
-            let len = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(body[pos + 4..pos + 8].try_into().unwrap());
-            let Some(end) = pos.checked_add(8 + len).filter(|&e| e <= body.len()) else {
-                break; // torn tail
-            };
-            let payload = &body[pos + 8..end];
-            if crc32(payload) != crc || len < 18 {
-                break;
-            }
-            let wal_seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
-            let client_seq = u64::from_le_bytes(payload[8..16].try_into().unwrap());
-            let tlen = u16::from_le_bytes(payload[16..18].try_into().unwrap()) as usize;
-            if 18 + tlen != len {
-                break;
-            }
-            let Ok(token) = std::str::from_utf8(&payload[18..]) else {
-                break;
-            };
-            if wal_seq > committed_wal_seq {
-                // Intents are appended in WAL-sequence order, so this
-                // record and everything after it is an uncommitted
-                // suffix. Stop *before* advancing `pos` so the
-                // truncation below physically discards it — if it were
-                // merely skipped here but kept in the file, a later
-                // batch could commit under the same WAL sequence and a
-                // subsequent open would fold the orphan in as acked,
-                // silently losing the original client's retry.
-                break;
-            }
-            let rec = index.entry(token.to_string()).or_default();
-            if client_seq >= rec.client_seq {
+        for e in entries {
+            let rec = index.entry(e.token).or_default();
+            if e.client_seq >= rec.client_seq {
                 *rec = AckRecord {
-                    client_seq,
-                    wal_seq,
+                    client_seq: e.client_seq,
+                    wal_seq: e.wal_seq,
                 };
             }
-            pos = end;
         }
         // Truncate the torn/uncommitted tail so the next append starts at
         // a record boundary.
@@ -164,6 +217,23 @@ impl DedupLog {
         let _span = incgraph_obs::span("service.intent");
         let entry = encode_entry(token, client_seq, wal_seq);
         self.file.write_all(&entry)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Rewrites the log from scratch with the given entries (WAL order)
+    /// and fsyncs. Snapshot adoption uses this: the shipped ack table
+    /// replaces whatever local history the old log described, which is
+    /// dead once the store's world is the primary's snapshot.
+    pub fn reset(&mut self, entries: &[DedupEntry]) -> Result<(), DurableError> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut bytes: Vec<u8> = Vec::with_capacity(8 + entries.len() * 32);
+        bytes.extend_from_slice(DEDUP_MAGIC);
+        for e in entries {
+            bytes.extend_from_slice(&encode_entry(&e.token, e.client_seq, e.wal_seq));
+        }
+        self.file.write_all(&bytes)?;
         self.file.sync_data()?;
         Ok(())
     }

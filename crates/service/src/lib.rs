@@ -40,13 +40,14 @@ pub mod dedup;
 pub mod load;
 pub mod outbound;
 pub mod protocol;
+pub(crate) mod repl;
 pub mod server;
 pub mod store;
 
 pub use client::{Client, ClientError, Reply};
-pub use dedup::{AckRecord, DedupLog, DEDUP_NAME};
+pub use dedup::{AckRecord, DedupEntry, DedupLog, DEDUP_NAME};
 pub use load::{run_load, ClassPercentiles, LoadConfig, LoadReport};
 pub use outbound::{OutMsg, Outbound};
 pub use protocol::{Command, Delta, ErrCode, MAX_LINE_BYTES, WIRE_VERSION};
-pub use server::{Server, ServerConfig, ServerHandle};
-pub use store::{standing_states, Store, StoreLimits};
+pub use server::{Role, Server, ServerConfig, ServerHandle};
+pub use store::{record_crc_of, standing_states, ReplInfo, Store, StoreLimits};

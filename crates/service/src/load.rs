@@ -46,7 +46,7 @@ pub struct LoadConfig {
 impl Default for LoadConfig {
     fn default() -> Self {
         LoadConfig {
-            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             sessions: 64,
             batches_per_session: 20,
             units_per_batch: 8,
@@ -136,18 +136,27 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     });
     let start = Instant::now();
     let mut handles = Vec::with_capacity(cfg.sessions);
+    let mut failed = 0usize;
     for i in 0..cfg.sessions {
         let cfg = cfg.clone();
         let shared = Arc::clone(&shared);
-        let h = thread::Builder::new()
+        // A spawn refusal (OS thread exhaustion) downgrades this
+        // session to "failed" instead of sinking the whole run.
+        match thread::Builder::new()
             .name(format!("load-{i}"))
             .stack_size(256 * 1024)
             .spawn(move || worker(i, &cfg, &shared))
-            .expect("spawn load worker");
-        handles.push(h);
+        {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                failed += 1;
+                if incgraph_obs::enabled() {
+                    incgraph_obs::event("service.load.spawn_failed", &e.to_string());
+                }
+            }
+        }
     }
     let mut ok = 0usize;
-    let mut failed = 0usize;
     for h in handles {
         match h.join() {
             Ok(Ok(())) => ok += 1,

@@ -23,6 +23,14 @@
 //! SHUTDOWN
 //! ```
 //!
+//! Replica → primary (on an ordinary session, after `HELLO`):
+//!
+//! ```text
+//! SYNC <graph> <epoch> <from_seq> <crc|-> directed|undirected <nodes> [force]
+//! WATERMARK <seq>
+//! PROMOTE
+//! ```
+//!
 //! Server → client:
 //!
 //! ```text
@@ -37,6 +45,26 @@
 //! ERR <code> <detail...>
 //! GOODBYE <reason>
 //! ```
+//!
+//! Primary → replica (replication stream, after `OK SYNC`):
+//!
+//! ```text
+//! OK SYNC tail <epoch> <last_seq>           (then SHIP from from_seq+1)
+//! OK SYNC snap <epoch> <snap_seq>           (then SNAP/SNAPACK/SNAPEND)
+//! SHIP <seq> <token|-> <client_seq> <hex-record>
+//! SNAP <i> <n> <hex-chunk>
+//! SNAPACK <token> <client_seq> <wal_seq>
+//! SNAPEND <seq> <crc>
+//! DIGEST <seq> <digest>
+//! ```
+//!
+//! `SHIP` carries the *full WAL record bytes* (hex) — self-validating
+//! through the record's own CRC and sequence number, decoded with the
+//! same [`scan_records`](incgraph_durable::scan_records) the recovery
+//! path uses. `SNAP` chunks a checkpoint payload
+//! ([`DurableSession::encode_snapshot`](incgraph_durable::DurableSession::encode_snapshot));
+//! `SNAPACK` transfers the exactly-once ack table so client retries
+//! survive failover; `DIGEST` is the periodic divergence probe.
 
 use incgraph_graph::{NodeId, UpdateBatch, Weight};
 use std::collections::BTreeMap;
@@ -91,6 +119,12 @@ pub enum ErrCode {
     StoreBusy,
     /// Internal store failure (I/O, corruption).
     Store,
+    /// A replication peer presented a higher durable epoch than ours:
+    /// we have been deposed and must not accept writes (fencing).
+    StaleEpoch,
+    /// A write or replication command was sent to a node that is not
+    /// the primary (replica or fenced ex-primary).
+    NotPrimary,
 }
 
 impl ErrCode {
@@ -115,12 +149,14 @@ impl ErrCode {
             ErrCode::ShuttingDown => "shutting-down",
             ErrCode::StoreBusy => "store-busy",
             ErrCode::Store => "store",
+            ErrCode::StaleEpoch => "stale-epoch",
+            ErrCode::NotPrimary => "not-primary",
         }
     }
 
     /// Inverse of [`name`](Self::name).
     pub fn from_name(s: &str) -> Option<ErrCode> {
-        const ALL: [ErrCode; 18] = [
+        const ALL: [ErrCode; 20] = [
             ErrCode::BadProto,
             ErrCode::BadCommand,
             ErrCode::NeedHello,
@@ -139,6 +175,8 @@ impl ErrCode {
             ErrCode::ShuttingDown,
             ErrCode::StoreBusy,
             ErrCode::Store,
+            ErrCode::StaleEpoch,
+            ErrCode::NotPrimary,
         ];
         ALL.into_iter().find(|c| c.name() == s)
     }
@@ -185,6 +223,25 @@ pub enum Command {
     Ping,
     Bye,
     Shutdown,
+    /// Replication handshake: a replica announces its graph shape,
+    /// durable epoch, and the last WAL record it holds (`from_seq` +
+    /// that record's CRC, `-` when it has none) and asks to be fed.
+    Sync {
+        graph: String,
+        epoch: u64,
+        from_seq: u64,
+        crc: Option<u32>,
+        directed: bool,
+        nodes: usize,
+        /// Force a snapshot bootstrap even when a tail would do.
+        force: bool,
+    },
+    /// Replica → primary: `seq` is now fsynced on the replica.
+    Watermark {
+        seq: u64,
+    },
+    /// Operator command to a replica: bump the epoch and take writes.
+    Promote,
 }
 
 /// Why a command line failed to parse.
@@ -302,6 +359,54 @@ pub fn parse_command(line: &str) -> Result<Command, CommandError> {
         "PING" => Command::Ping,
         "BYE" => Command::Bye,
         "SHUTDOWN" => Command::Shutdown,
+        "SYNC" => {
+            let graph = it.next().ok_or_else(|| bad("SYNC needs a graph"))?;
+            if !ident_ok(graph) {
+                return Err(bad("SYNC graph must be a short identifier"));
+            }
+            let epoch: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("SYNC needs an epoch"))?;
+            let from_seq: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("SYNC needs a from-seq"))?;
+            let crc = match it.next().ok_or_else(|| bad("SYNC needs a crc or -"))? {
+                "-" => None,
+                hex => Some(u32::from_str_radix(hex, 16).map_err(|_| bad("SYNC crc must be hex"))?),
+            };
+            let directed = match it.next() {
+                Some("directed") => true,
+                Some("undirected") => false,
+                _ => return Err(bad("SYNC needs directed|undirected")),
+            };
+            let nodes: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("SYNC needs a node count"))?;
+            let force = match it.next() {
+                None => false,
+                Some("force") => true,
+                Some(_) => return Err(bad("unknown SYNC option")),
+            };
+            Command::Sync {
+                graph: graph.to_string(),
+                epoch,
+                from_seq,
+                crc,
+                directed,
+                nodes,
+                force,
+            }
+        }
+        "WATERMARK" => Command::Watermark {
+            seq: it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("WATERMARK needs a sequence"))?,
+        },
+        "PROMOTE" => Command::Promote,
         other => return Err(bad(&format!("unknown command {other}"))),
     };
     if it.next().is_some() && !matches!(parsed, Command::Hello { .. }) {
@@ -405,6 +510,218 @@ pub fn parse_delta(line: &str) -> Result<Delta, CommandError> {
     }
 }
 
+/// Lowercase hex encoding for replication payloads (std-only).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Inverse of [`to_hex`]; `None` on odd length or non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let b = s.as_bytes();
+    for pair in b.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+/// Formats the replica side of the replication handshake. `crc` is the
+/// CRC of the last WAL record the replica holds (`None` → `-`).
+pub fn format_sync(
+    graph: &str,
+    epoch: u64,
+    from_seq: u64,
+    crc: Option<u32>,
+    directed: bool,
+    nodes: usize,
+    force: bool,
+) -> String {
+    let crc = match crc {
+        Some(c) => format!("{c:08x}"),
+        None => "-".to_string(),
+    };
+    let dir = if directed { "directed" } else { "undirected" };
+    let force = if force { " force" } else { "" };
+    format!("SYNC {graph} {epoch} {from_seq} {crc} {dir} {nodes}{force}")
+}
+
+/// One primary → replica replication-stream message (everything after
+/// `OK SYNC`). Parsed by [`parse_repl`], formatted by the `format_*`
+/// helpers below — the one authority both ends share.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplMsg {
+    /// One fsynced WAL record: the full record bytes (self-validating
+    /// via the record's own CRC + seq) plus the exactly-once identity
+    /// it was committed under (`token = None` for identity-less
+    /// records, e.g. replayed history with no dedup entry).
+    Ship {
+        seq: u64,
+        token: Option<String>,
+        client_seq: u64,
+        record: Vec<u8>,
+    },
+    /// One chunk (`index` of `total`) of a checkpoint payload.
+    Snap {
+        index: usize,
+        total: usize,
+        chunk: Vec<u8>,
+    },
+    /// One exactly-once ack-table entry shipped with a snapshot.
+    SnapAck {
+        token: String,
+        client_seq: u64,
+        wal_seq: u64,
+    },
+    /// End of snapshot: the seq it covers and the CRC of the whole
+    /// reassembled payload.
+    SnapEnd { seq: u64, crc: u32 },
+    /// Periodic divergence probe: the primary's store digest at `seq`.
+    Digest { seq: u64, digest: String },
+}
+
+/// Formats a `SHIP` line from raw WAL record bytes.
+pub fn format_ship(seq: u64, identity: Option<(&str, u64)>, record: &[u8]) -> String {
+    let (token, client_seq) = match identity {
+        Some((t, c)) => (t.to_string(), c),
+        None => ("-".to_string(), 0),
+    };
+    format!("SHIP {seq} {token} {client_seq} {}", to_hex(record))
+}
+
+/// Formats a `SNAP` chunk line.
+pub fn format_snap(index: usize, total: usize, chunk: &[u8]) -> String {
+    format!("SNAP {index} {total} {}", to_hex(chunk))
+}
+
+/// Formats a `SNAPACK` ack-table entry line.
+pub fn format_snapack(token: &str, client_seq: u64, wal_seq: u64) -> String {
+    format!("SNAPACK {token} {client_seq} {wal_seq}")
+}
+
+/// Formats the `SNAPEND` terminator line.
+pub fn format_snapend(seq: u64, crc: u32) -> String {
+    format!("SNAPEND {seq} {crc:08x}")
+}
+
+/// Formats a `DIGEST` divergence-probe line.
+pub fn format_digest(seq: u64, digest: &str) -> String {
+    format!("DIGEST {seq} {digest}")
+}
+
+/// Parses one replication-stream line. `Ok(None)` means the line is not
+/// a replication message (e.g. `OK`, `ERR`, `GOODBYE` — the caller
+/// handles those); `Err` means it *claimed* to be one but is malformed.
+pub fn parse_repl(line: &str) -> Result<Option<ReplMsg>, CommandError> {
+    let bad = |msg: &str| CommandError(format!("{msg} in `{line}`"));
+    let mut it = line.split_whitespace();
+    let msg = match it.next() {
+        Some("SHIP") => {
+            let seq: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("SHIP needs a seq"))?;
+            let token = match it.next().ok_or_else(|| bad("SHIP needs a token or -"))? {
+                "-" => None,
+                t if ident_ok(t) => Some(t.to_string()),
+                _ => return Err(bad("SHIP token must be a short identifier")),
+            };
+            let client_seq: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("SHIP needs a client seq"))?;
+            let record = it
+                .next()
+                .and_then(from_hex)
+                .ok_or_else(|| bad("SHIP needs a hex record"))?;
+            ReplMsg::Ship {
+                seq,
+                token,
+                client_seq,
+                record,
+            }
+        }
+        Some("SNAP") => {
+            let index: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("SNAP needs an index"))?;
+            let total: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("SNAP needs a total"))?;
+            let chunk = it
+                .next()
+                .and_then(from_hex)
+                .ok_or_else(|| bad("SNAP needs a hex chunk"))?;
+            if total == 0 || index >= total {
+                return Err(bad("SNAP index out of range"));
+            }
+            ReplMsg::Snap {
+                index,
+                total,
+                chunk,
+            }
+        }
+        Some("SNAPACK") => {
+            let token = it
+                .next()
+                .filter(|t| ident_ok(t))
+                .ok_or_else(|| bad("SNAPACK needs a token"))?
+                .to_string();
+            let client_seq: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("SNAPACK needs a client seq"))?;
+            let wal_seq: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("SNAPACK needs a wal seq"))?;
+            ReplMsg::SnapAck {
+                token,
+                client_seq,
+                wal_seq,
+            }
+        }
+        Some("SNAPEND") => {
+            let seq: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("SNAPEND needs a seq"))?;
+            let crc = it
+                .next()
+                .and_then(|t| u32::from_str_radix(t, 16).ok())
+                .ok_or_else(|| bad("SNAPEND needs a hex crc"))?;
+            ReplMsg::SnapEnd { seq, crc }
+        }
+        Some("DIGEST") => {
+            let seq: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("DIGEST needs a seq"))?;
+            let digest = it
+                .next()
+                .filter(|d| ident_ok(d))
+                .ok_or_else(|| bad("DIGEST needs a digest"))?
+                .to_string();
+            ReplMsg::Digest { seq, digest }
+        }
+        _ => return Ok(None),
+    };
+    if it.next().is_some() {
+        return Err(bad("trailing arguments"));
+    }
+    Ok(Some(msg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,9 +822,133 @@ mod tests {
             ErrCode::SeqGap,
             ErrCode::SlowConsumer,
             ErrCode::StoreBusy,
+            ErrCode::StaleEpoch,
+            ErrCode::NotPrimary,
         ] {
             assert_eq!(ErrCode::from_name(code.name()), Some(code));
         }
         assert_eq!(ErrCode::from_name("nope"), None);
+    }
+
+    #[test]
+    fn sync_lines_round_trip() {
+        let line = format_sync("g0", 3, 17, Some(0xdeadbeef), false, 64, false);
+        assert_eq!(line, "SYNC g0 3 17 deadbeef undirected 64");
+        assert_eq!(
+            parse_command(&line),
+            Ok(Command::Sync {
+                graph: "g0".into(),
+                epoch: 3,
+                from_seq: 17,
+                crc: Some(0xdeadbeef),
+                directed: false,
+                nodes: 64,
+                force: false
+            })
+        );
+        let line = format_sync("g0", 1, 0, None, true, 8, true);
+        assert_eq!(line, "SYNC g0 1 0 - directed 8 force");
+        assert!(matches!(
+            parse_command(&line),
+            Ok(Command::Sync {
+                crc: None,
+                force: true,
+                ..
+            })
+        ));
+        assert_eq!(
+            parse_command("WATERMARK 99"),
+            Ok(Command::Watermark { seq: 99 })
+        );
+        assert_eq!(parse_command("PROMOTE"), Ok(Command::Promote));
+        for line in [
+            "SYNC g0 1 0 - directed",
+            "SYNC g0 1 0 zz directed 8",
+            "SYNC g0 1 0 - sideways 8",
+            "SYNC g0 1 0 - directed 8 gently",
+            "WATERMARK",
+            "PROMOTE now",
+        ] {
+            assert!(parse_command(line).is_err(), "{line:?} should fail");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+    }
+
+    #[test]
+    fn repl_lines_round_trip() {
+        let rec = vec![0x12, 0x34, 0xff];
+        let line = format_ship(7, Some(("alice", 3)), &rec);
+        assert_eq!(line, "SHIP 7 alice 3 1234ff");
+        assert_eq!(
+            parse_repl(&line).unwrap(),
+            Some(ReplMsg::Ship {
+                seq: 7,
+                token: Some("alice".into()),
+                client_seq: 3,
+                record: rec.clone()
+            })
+        );
+        let line = format_ship(8, None, &rec);
+        assert!(matches!(
+            parse_repl(&line).unwrap(),
+            Some(ReplMsg::Ship { token: None, .. })
+        ));
+
+        let line = format_snap(0, 2, &[0xab]);
+        assert_eq!(
+            parse_repl(&line).unwrap(),
+            Some(ReplMsg::Snap {
+                index: 0,
+                total: 2,
+                chunk: vec![0xab]
+            })
+        );
+        let line = format_snapack("bob", 5, 40);
+        assert_eq!(
+            parse_repl(&line).unwrap(),
+            Some(ReplMsg::SnapAck {
+                token: "bob".into(),
+                client_seq: 5,
+                wal_seq: 40
+            })
+        );
+        let line = format_snapend(40, 0xcafe0042);
+        assert_eq!(
+            parse_repl(&line).unwrap(),
+            Some(ReplMsg::SnapEnd {
+                seq: 40,
+                crc: 0xcafe0042
+            })
+        );
+        let line = format_digest(40, "0012abcd");
+        assert_eq!(
+            parse_repl(&line).unwrap(),
+            Some(ReplMsg::Digest {
+                seq: 40,
+                digest: "0012abcd".into()
+            })
+        );
+
+        // Non-repl lines pass through as None; malformed repl lines error.
+        assert_eq!(parse_repl("OK SYNC tail 1 7").unwrap(), None);
+        assert_eq!(parse_repl("ERR stale-epoch deposed").unwrap(), None);
+        for line in [
+            "SHIP x alice 3 ab",
+            "SHIP 7 - 0 xyz",
+            "SNAP 2 2 ab",
+            "SNAPEND 4",
+            "DIGEST 4 0012abcd extra",
+        ] {
+            assert!(parse_repl(line).is_err(), "{line:?} should fail");
+        }
     }
 }

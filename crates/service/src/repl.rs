@@ -1,0 +1,470 @@
+//! Replica-side replication: the tail thread a `--replica-of` server
+//! runs alongside its acceptor and writer.
+//!
+//! The loop is a client of the primary's ordinary wire port. Each
+//! attempt: connect, `HELLO`, announce our position with `SYNC`
+//! (epoch, last sequence, CRC of the record at that sequence), then
+//! consume the primary's answer —
+//!
+//! - **`OK SYNC tail`**: the primary replays its retained WAL from our
+//!   position and keeps shipping live commits; we apply each `SHIP`
+//!   through the writer (the single-writer invariant holds for
+//!   replication too) and confirm with `WATERMARK` once it is fsynced
+//!   locally, which is what releases the primary's gated client acks.
+//! - **`OK SYNC snap`**: we are behind the retained tail (or diverged,
+//!   or asked with `force`): reassemble the chunked checkpoint payload,
+//!   verify its CRC, and adopt it wholesale — the store's history
+//!   restarts at the snapshot's sequence and every standing query is
+//!   rebuilt (`resync` DELTA).
+//!
+//! Divergence is caught two ways: at the handshake (the primary
+//! compares record CRCs at our announced position) and continuously
+//! (periodic `DIGEST` probes; a mismatch at a matching sequence forces
+//! a snapshot resync). Either way the response is the same typed
+//! `force` re-SYNC — never a silent divergence.
+//!
+//! The thread exits when the server drains, dies, or is **promoted**:
+//! from that moment this node owns its history and must not apply ships
+//! from the old primary (the writer also refuses them by role).
+
+use crate::protocol::{self, ReplMsg, MAX_LINE_BYTES, WIRE_VERSION};
+use crate::server::{Job, Role, Shared};
+use incgraph_durable::scan_records;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// How one connection attempt ended.
+enum StreamEnd {
+    /// Reconnect and tail again from wherever we are now.
+    Reconnect,
+    /// Reconnect and demand a snapshot (divergence detected).
+    Resync,
+    /// The thread is done (drain, kill, or promotion).
+    Stop,
+}
+
+/// Entry point of the replica tail thread.
+pub(crate) fn replica_loop(shared: Arc<Shared>, primary: SocketAddr) {
+    let Some(graph) = shared.cfg.repl_graph.clone() else {
+        return;
+    };
+    let mut force_snap = false;
+    let mut backoff = Duration::from_millis(100);
+    while shared.is_running() && shared.role() == Role::Replica {
+        match run_once(&shared, &graph, primary, force_snap) {
+            StreamEnd::Stop => break,
+            StreamEnd::Resync => {
+                incgraph_obs::counter("repl.resyncs", 1);
+                force_snap = true;
+                backoff = Duration::from_millis(100);
+            }
+            StreamEnd::Reconnect => {
+                force_snap = false;
+                backoff = (backoff * 2).min(Duration::from_secs(2));
+            }
+        }
+        // Sleep in slices so drain/promotion is honored promptly.
+        let mut slept = Duration::ZERO;
+        while slept < backoff && shared.is_running() && shared.role() == Role::Replica {
+            let slice = Duration::from_millis(50).min(backoff - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
+}
+
+/// One connection attempt: handshake, bootstrap if told to, then tail
+/// until the stream breaks or the server's life changes.
+fn run_once(shared: &Arc<Shared>, graph: &str, primary: SocketAddr, force: bool) -> StreamEnd {
+    let stream = match TcpStream::connect_timeout(&primary, Duration::from_secs(2)) {
+        Ok(s) => s,
+        Err(_) => return StreamEnd::Reconnect,
+    };
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .is_err()
+    {
+        return StreamEnd::Reconnect;
+    }
+    let mut conn = LineConn::new(stream);
+    if conn
+        .send(&format!("HELLO {WIRE_VERSION} repl-tail"))
+        .is_err()
+    {
+        return StreamEnd::Reconnect;
+    }
+    match conn.recv_blocking(Duration::from_secs(5)) {
+        Some(l) if l.starts_with("WELCOME ") => {}
+        _ => return StreamEnd::Reconnect,
+    }
+    // Announce our durable position.
+    let (sync_line, our_last) = {
+        let guard = shared.store();
+        let Some(store) = guard.as_ref() else {
+            return StreamEnd::Stop;
+        };
+        let Some(info) = store.repl_info(graph) else {
+            return StreamEnd::Stop;
+        };
+        let crc = if info.last_seq > info.base_seq {
+            store.record_crc(graph, info.last_seq)
+        } else {
+            None
+        };
+        (
+            protocol::format_sync(
+                graph,
+                info.epoch,
+                info.last_seq,
+                crc,
+                info.directed,
+                info.nodes,
+                force,
+            ),
+            info.last_seq,
+        )
+    };
+    if conn.send(&sync_line).is_err() {
+        return StreamEnd::Reconnect;
+    }
+    let reply = match conn.recv_blocking(Duration::from_secs(10)) {
+        Some(l) => l,
+        None => return StreamEnd::Reconnect,
+    };
+    let mut fields = reply.split_whitespace();
+    match (fields.next(), fields.next(), fields.next()) {
+        (Some("OK"), Some("SYNC"), Some("tail")) => {
+            let Some(epoch) = fields.next().and_then(|t| t.parse::<u64>().ok()) else {
+                return StreamEnd::Reconnect;
+            };
+            if adopt_epoch(shared, graph, epoch) == StreamOk::Broken {
+                return StreamEnd::Stop;
+            }
+            tail(shared, graph, &mut conn, our_last)
+        }
+        (Some("OK"), Some("SYNC"), Some("snap")) => {
+            let Some(epoch) = fields.next().and_then(|t| t.parse::<u64>().ok()) else {
+                return StreamEnd::Reconnect;
+            };
+            match bootstrap(shared, graph, &mut conn, epoch) {
+                Some(adopted_seq) => tail(shared, graph, &mut conn, adopted_seq),
+                None => StreamEnd::Reconnect,
+            }
+        }
+        (Some("ERR"), Some(code), _) => {
+            if incgraph_obs::enabled() {
+                incgraph_obs::event("repl.sync_refused", &reply);
+            }
+            match code {
+                // The peer fenced itself against our epoch: we are the
+                // newer history. Nothing to tail — wait for topology to
+                // be fixed (that peer restarting as our replica).
+                "stale-epoch" => StreamEnd::Reconnect,
+                _ => StreamEnd::Reconnect,
+            }
+        }
+        _ => StreamEnd::Reconnect,
+    }
+}
+
+#[derive(PartialEq, Eq)]
+enum StreamOk {
+    Fine,
+    Broken,
+}
+
+/// Adopts the primary's epoch on this replica (tail mode; snapshot mode
+/// carries the epoch inside the adopt job).
+fn adopt_epoch(shared: &Arc<Shared>, graph: &str, epoch: u64) -> StreamOk {
+    let ours = {
+        let guard = shared.store();
+        match guard.as_ref().and_then(|s| s.repl_info(graph)) {
+            Some(i) => i.epoch,
+            None => return StreamOk::Broken,
+        }
+    };
+    if epoch <= ours {
+        return StreamOk::Fine;
+    }
+    let (done_tx, done_rx) = mpsc::channel();
+    shared.pending.fetch_add(1, Ordering::Relaxed);
+    if shared
+        .jobs
+        .send(Job::AdoptEpoch {
+            graph: graph.to_string(),
+            epoch,
+            done: done_tx,
+        })
+        .is_err()
+    {
+        shared.pending.fetch_sub(1, Ordering::Relaxed);
+        return StreamOk::Broken;
+    }
+    match done_rx.recv_timeout(Duration::from_secs(10)) {
+        Ok(Ok(())) => StreamOk::Fine,
+        _ => StreamOk::Broken,
+    }
+}
+
+/// Reassembles and adopts a snapshot bootstrap. Returns the adopted
+/// sequence, or `None` if the stream broke or the payload failed its
+/// CRC.
+fn bootstrap(shared: &Arc<Shared>, graph: &str, conn: &mut LineConn, epoch: u64) -> Option<u64> {
+    let mut chunks: Vec<Option<Vec<u8>>> = Vec::new();
+    let mut acks = Vec::new();
+    let deadline = Duration::from_secs(60);
+    loop {
+        if !shared.is_running() || shared.role() != Role::Replica {
+            return None;
+        }
+        let line = conn.recv_blocking(deadline)?;
+        match protocol::parse_repl(&line) {
+            Ok(Some(ReplMsg::Snap {
+                index,
+                total,
+                chunk,
+            })) => {
+                if chunks.is_empty() {
+                    chunks.resize(total, None);
+                }
+                if total != chunks.len() || index >= total {
+                    return None;
+                }
+                chunks[index] = Some(chunk);
+            }
+            Ok(Some(ReplMsg::SnapAck {
+                token,
+                client_seq,
+                wal_seq,
+            })) => acks.push(crate::dedup::DedupEntry {
+                wal_seq,
+                client_seq,
+                token,
+            }),
+            Ok(Some(ReplMsg::SnapEnd { seq, crc })) => {
+                let mut payload = Vec::new();
+                for c in chunks {
+                    payload.extend_from_slice(&c?);
+                }
+                if incgraph_durable::crc::crc32(&payload) != crc {
+                    incgraph_obs::counter("repl.snap_crc_failures", 1);
+                    return None;
+                }
+                let (done_tx, done_rx) = mpsc::channel();
+                shared.pending.fetch_add(1, Ordering::Relaxed);
+                if shared
+                    .jobs
+                    .send(Job::ReplAdopt {
+                        graph: graph.to_string(),
+                        payload,
+                        epoch,
+                        acks,
+                        done: done_tx,
+                    })
+                    .is_err()
+                {
+                    shared.pending.fetch_sub(1, Ordering::Relaxed);
+                    return None;
+                }
+                let adopted = match done_rx.recv_timeout(Duration::from_secs(60)) {
+                    Ok(Ok(covered)) => covered,
+                    _ => return None,
+                };
+                if adopted != seq {
+                    return None;
+                }
+                let _ = conn.send(&format!("WATERMARK {adopted}"));
+                return Some(adopted);
+            }
+            Ok(Some(_)) | Ok(None) => return None, // stream out of shape
+            Err(_) => return None,
+        }
+    }
+}
+
+/// The live tail: apply each `SHIP` through the writer, confirm with
+/// `WATERMARK`, answer `DIGEST` probes, until the stream or this node's
+/// role ends.
+fn tail(shared: &Arc<Shared>, graph: &str, conn: &mut LineConn, mut applied: u64) -> StreamEnd {
+    loop {
+        if !shared.is_running() {
+            return StreamEnd::Stop;
+        }
+        if shared.role() != Role::Replica {
+            return StreamEnd::Stop;
+        }
+        let line = match conn.poll() {
+            Ok(Some(l)) => l,
+            Ok(None) => continue,
+            Err(_) => return StreamEnd::Reconnect,
+        };
+        match protocol::parse_repl(&line) {
+            Ok(Some(ReplMsg::Ship {
+                seq,
+                token,
+                client_seq,
+                record,
+            })) => {
+                // The record bytes are self-validating: the scan accepts
+                // them only with an intact CRC and the exact sequence.
+                let scan = scan_records(&record, seq);
+                if scan.records.len() != 1 || scan.valid_len != record.len() {
+                    incgraph_obs::counter("repl.ship_corrupt", 1);
+                    return StreamEnd::Resync;
+                }
+                let batch = scan.records.into_iter().next().expect("one record").batch;
+                let identity = token.map(|t| (t, client_seq));
+                let (done_tx, done_rx) = mpsc::channel();
+                shared.pending.fetch_add(1, Ordering::Relaxed);
+                if shared
+                    .jobs
+                    .send(Job::ReplApply {
+                        graph: graph.to_string(),
+                        seq,
+                        identity,
+                        batch,
+                        done: done_tx,
+                    })
+                    .is_err()
+                {
+                    shared.pending.fetch_sub(1, Ordering::Relaxed);
+                    return StreamEnd::Stop;
+                }
+                match done_rx.recv_timeout(Duration::from_secs(30)) {
+                    Ok(Ok(s)) => {
+                        applied = s;
+                        if conn.send(&format!("WATERMARK {s}")).is_err() {
+                            return StreamEnd::Reconnect;
+                        }
+                    }
+                    Ok(Err(e)) if e.starts_with("seq-gap") => return StreamEnd::Reconnect,
+                    Ok(Err(e)) if e.starts_with("not-primary") => return StreamEnd::Stop,
+                    Ok(Err(_)) => return StreamEnd::Reconnect,
+                    Err(_) => return StreamEnd::Stop,
+                }
+            }
+            Ok(Some(ReplMsg::Digest { seq, digest })) => {
+                if seq != applied {
+                    // Ships still in flight; the probe is for a future
+                    // (or past) position — not comparable.
+                    continue;
+                }
+                let ours = {
+                    let guard = shared.store();
+                    guard.as_ref().and_then(|s| s.repl_digest(graph))
+                };
+                match ours {
+                    Some((our_seq, our_digest)) if our_seq == seq && our_digest != digest => {
+                        incgraph_obs::counter("repl.divergence", 1);
+                        if incgraph_obs::enabled() {
+                            incgraph_obs::event(
+                                "repl.divergence",
+                                &format!("seq={seq} ours={our_digest} primary={digest}"),
+                            );
+                        }
+                        return StreamEnd::Resync;
+                    }
+                    _ => {}
+                }
+            }
+            Ok(Some(_)) => return StreamEnd::Reconnect, // SNAP outside bootstrap
+            Ok(None) => {
+                // OK/ERR/GOODBYE and friends. GOODBYE or ERR ends the
+                // stream; anything else (PONG, BUSY) is noise.
+                if line.starts_with("GOODBYE") || line.starts_with("ERR") {
+                    return StreamEnd::Reconnect;
+                }
+            }
+            Err(_) => return StreamEnd::Reconnect,
+        }
+    }
+}
+
+/// A line-framed connection with a polling read (the socket carries a
+/// short read timeout so role/phase changes are honored promptly).
+struct LineConn {
+    reader: BufReader<TcpStream>,
+    partial: Vec<u8>,
+}
+
+impl LineConn {
+    fn new(stream: TcpStream) -> LineConn {
+        LineConn {
+            reader: BufReader::with_capacity(64 * 1024, stream),
+            partial: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> io::Result<()> {
+        let s = self.reader.get_mut();
+        s.write_all(line.as_bytes())?;
+        s.write_all(b"\n")?;
+        s.flush()
+    }
+
+    /// One poll: `Ok(None)` when the read deadline passed mid-line.
+    fn poll(&mut self) -> io::Result<Option<String>> {
+        loop {
+            let (consumed, done) = {
+                let avail = match self.reader.fill_buf() {
+                    Ok(a) => a,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        return Ok(None)
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                };
+                if avail.is_empty() {
+                    return Err(io::ErrorKind::UnexpectedEof.into());
+                }
+                match avail.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        self.partial.extend_from_slice(&avail[..pos]);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        self.partial.extend_from_slice(avail);
+                        (avail.len(), false)
+                    }
+                }
+            };
+            self.reader.consume(consumed);
+            if self.partial.len() > MAX_LINE_BYTES {
+                return Err(io::ErrorKind::InvalidData.into());
+            }
+            if done {
+                if self.partial.last() == Some(&b'\r') {
+                    self.partial.pop();
+                }
+                let line = String::from_utf8_lossy(&self.partial).into_owned();
+                self.partial.clear();
+                return Ok(Some(line));
+            }
+        }
+    }
+
+    /// Polls until a full line arrives or `deadline` passes.
+    fn recv_blocking(&mut self, deadline: Duration) -> Option<String> {
+        let start = std::time::Instant::now();
+        while start.elapsed() < deadline {
+            match self.poll() {
+                Ok(Some(l)) => return Some(l),
+                Ok(None) => continue,
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}

@@ -35,12 +35,13 @@
 //!   dropped where it stands. The chaos harness restarts on the same
 //!   directory and recovery must hold.
 
+use crate::dedup::DedupEntry;
 use crate::outbound::{OutMsg, Outbound};
 use crate::protocol::{self, Command, ErrCode, MAX_LINE_BYTES, WIRE_VERSION};
 use crate::store::{Store, UpdateError};
-use incgraph_durable::CrashPoint;
+use incgraph_durable::{encode_record, CrashPoint};
 use incgraph_graph::{NodeId, UpdateBatch};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -84,6 +85,26 @@ pub struct ServerConfig {
     /// this flushes even if `flush_ops` was never reached, bounding
     /// `DELTA` staleness under a trickle of updates.
     pub flush_window: Duration,
+    /// Name of the durable graph subject to replication (`serve` sets
+    /// this to the graph it mounted). `None` disables every replication
+    /// verb on this server.
+    pub repl_graph: Option<String>,
+    /// Start as a replica tailing this primary; the server then refuses
+    /// writes (`ERR not-primary`) until promoted.
+    pub replica_of: Option<SocketAddr>,
+    /// Emit a `DIGEST` divergence probe to every replica after this many
+    /// shipped records (0 disables).
+    pub digest_every: u64,
+    /// Semi-sync window: a client ack held back waiting for replica
+    /// watermarks is released after this long even if no watermark
+    /// arrived (availability over strict replica durability — the
+    /// failover oracle pins this high so acks imply replication).
+    pub repl_ack_timeout: Duration,
+    /// A replica whose tail request lags the primary by more than this
+    /// many records is bootstrapped with a snapshot instead. Keep it
+    /// under `out_hard`: the tail catch-up is pushed through the
+    /// replica's bounded outbound queue in one burst.
+    pub snapshot_lag: u64,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +122,11 @@ impl Default for ServerConfig {
             allow_remote_shutdown: true,
             flush_ops: 1,
             flush_window: Duration::from_millis(10),
+            repl_graph: None,
+            replica_of: None,
+            digest_every: 32,
+            repl_ack_timeout: Duration::from_secs(2),
+            snapshot_lag: 512,
         }
     }
 }
@@ -109,7 +135,46 @@ const RUNNING: u8 = 0;
 const DRAINING: u8 = 1;
 const KILLED: u8 = 2;
 
-enum Job {
+/// Replication role of a running server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes; ships them to attached replicas.
+    Primary,
+    /// Read-only; tails a primary and refuses writes.
+    Replica,
+    /// A deposed ex-primary that saw a higher epoch: read-only forever
+    /// (restart as a replica to rejoin).
+    Fenced,
+}
+
+impl Role {
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            Role::Primary => 0,
+            Role::Replica => 1,
+            Role::Fenced => 2,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Role {
+        match v {
+            1 => Role::Replica,
+            2 => Role::Fenced,
+            _ => Role::Primary,
+        }
+    }
+
+    /// Wire name (`STATUS role=…`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Replica => "replica",
+            Role::Fenced => "fenced",
+        }
+    }
+}
+
+pub(crate) enum Job {
     Graph {
         name: String,
         nodes: usize,
@@ -140,6 +205,51 @@ enum Job {
     DropSession {
         sid: u64,
     },
+    /// A replica's handshake: validate, fence or feed (catch-up tail or
+    /// snapshot), and register the session as a replication sink.
+    Sync {
+        sid: u64,
+        graph: String,
+        epoch: u64,
+        from_seq: u64,
+        crc: Option<u32>,
+        directed: bool,
+        nodes: usize,
+        force: bool,
+        out: Arc<Outbound>,
+    },
+    /// A replica reports `seq` fsynced; gated client acks may release.
+    Watermark {
+        sid: u64,
+        seq: u64,
+    },
+    /// Operator promotion of this (replica) node to primary.
+    Promote {
+        out: Arc<Outbound>,
+    },
+    /// Replica-side: apply one shipped record through the writer (the
+    /// single-writer invariant holds for replication too).
+    ReplApply {
+        graph: String,
+        seq: u64,
+        identity: Option<(String, u64)>,
+        batch: UpdateBatch,
+        done: mpsc::Sender<Result<u64, String>>,
+    },
+    /// Replica-side: adopt a bootstrap/resync snapshot.
+    ReplAdopt {
+        graph: String,
+        payload: Vec<u8>,
+        epoch: u64,
+        acks: Vec<DedupEntry>,
+        done: mpsc::Sender<Result<u64, String>>,
+    },
+    /// Replica-side: adopt the primary's (higher) epoch on tail sync.
+    AdoptEpoch {
+        graph: String,
+        epoch: u64,
+        done: mpsc::Sender<Result<(), String>>,
+    },
 }
 
 struct SessionSlot {
@@ -147,24 +257,47 @@ struct SessionSlot {
     stream: TcpStream,
 }
 
-struct Shared {
-    cfg: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
     /// `None` once the writer dropped the store (drain finished or
     /// killed) — that drop releases the durable `LOCK` file.
     store: RwLock<Option<Store>>,
-    jobs: mpsc::Sender<Job>,
-    pending: AtomicUsize,
+    pub(crate) jobs: mpsc::Sender<Job>,
+    pub(crate) pending: AtomicUsize,
     phase: AtomicU8,
     sessions: Mutex<HashMap<u64, SessionSlot>>,
     next_sid: AtomicU64,
+    /// Current [`Role`], as `Role::as_u8`.
+    pub(crate) role: AtomicU8,
+    /// Primary: committed-minus-min-watermark over live sinks. Replica:
+    /// updated by the tail thread from `DIGEST`/`SHIP` arrivals.
+    pub(crate) repl_lag: AtomicU64,
+    /// Live replication sinks (primary side), for `STATUS`.
+    pub(crate) repl_sinks: AtomicUsize,
 }
 
 impl Shared {
-    fn phase(&self) -> u8 {
+    pub(crate) fn phase(&self) -> u8 {
         self.phase.load(Ordering::Acquire)
     }
 
-    fn store(&self) -> std::sync::RwLockReadGuard<'_, Option<Store>> {
+    pub(crate) fn is_running(&self) -> bool {
+        self.phase() == RUNNING
+    }
+
+    pub(crate) fn role(&self) -> Role {
+        Role::from_u8(self.role.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set_role(&self, role: Role) {
+        self.role.store(role.as_u8(), Ordering::Release);
+    }
+
+    fn shared_role_refuses_writes(&self) -> bool {
+        self.role() != Role::Primary
+    }
+
+    pub(crate) fn store(&self) -> std::sync::RwLockReadGuard<'_, Option<Store>> {
         self.store.read().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -195,6 +328,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     writer: Option<JoinHandle<()>>,
+    repl: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -207,6 +341,12 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let (tx, rx) = mpsc::channel::<Job>();
+        let primary = cfg.replica_of;
+        let initial_role = if primary.is_some() {
+            Role::Replica
+        } else {
+            Role::Primary
+        };
         let shared = Arc::new(Shared {
             cfg,
             store: RwLock::new(Some(store)),
@@ -215,6 +355,9 @@ impl Server {
             phase: AtomicU8::new(RUNNING),
             sessions: Mutex::new(HashMap::new()),
             next_sid: AtomicU64::new(1),
+            role: AtomicU8::new(initial_role.as_u8()),
+            repl_lag: AtomicU64::new(0),
+            repl_sinks: AtomicUsize::new(0),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -228,11 +371,21 @@ impl Server {
                 .name("svc-writer".into())
                 .spawn(move || writer_loop(rx, shared))?
         };
+        let repl = match primary {
+            Some(primary_addr) => Some({
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name("svc-repl".into())
+                    .spawn(move || crate::repl::replica_loop(shared, primary_addr))?
+            }),
+            None => None,
+        };
         Ok(ServerHandle {
             addr,
             shared,
             acceptor: Some(acceptor),
             writer: Some(writer),
+            repl,
         })
     }
 }
@@ -296,11 +449,24 @@ impl ServerHandle {
         self.shared.sessions().len()
     }
 
+    /// Current replication role.
+    pub fn role(&self) -> Role {
+        self.shared.role()
+    }
+
+    /// Committed-minus-acknowledged replication lag (primary side).
+    pub fn repl_lag(&self) -> u64 {
+        self.shared.repl_lag.load(Ordering::Relaxed)
+    }
+
     fn join(&mut self) {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
         if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.repl.take() {
             let _ = h.join();
         }
     }
@@ -600,11 +766,27 @@ fn handle_line(
                         DRAINING => "draining",
                         _ => "killed",
                     };
-                    ctx.out.push_line(format!(
+                    let mut line = format!(
                         "OK STATUS graphs={graphs} queries={queries} sessions={sessions} \
                          pending={pending} degraded={} phase={phase}",
                         store.is_degraded() as u8
-                    ));
+                    );
+                    if let Some(info) = shared
+                        .cfg
+                        .repl_graph
+                        .as_deref()
+                        .and_then(|g| store.repl_info(g))
+                    {
+                        line.push_str(&format!(
+                            " role={} epoch={} repl_seq={} repl_sinks={} repl_lag={}",
+                            shared.role().name(),
+                            info.epoch,
+                            info.last_seq,
+                            shared.repl_sinks.load(Ordering::Relaxed),
+                            shared.repl_lag.load(Ordering::Relaxed),
+                        ));
+                    }
+                    ctx.out.push_line(line);
                 }
             }
             true
@@ -680,6 +862,50 @@ fn handle_line(
         Command::UpdateHeader { graph, seq, k } => {
             read_and_submit_update(shared, ctx, reader, last_activity, graph, seq, k)
         }
+        Command::Sync {
+            graph,
+            epoch,
+            from_seq,
+            crc,
+            directed,
+            nodes,
+            force,
+        } => submit(
+            shared,
+            ctx,
+            Job::Sync {
+                sid: ctx.sid,
+                graph,
+                epoch,
+                from_seq,
+                crc,
+                directed,
+                nodes,
+                force,
+                out: Arc::clone(&ctx.out),
+            },
+        ),
+        Command::Watermark { seq } => {
+            // Watermarks bypass BUSY shedding: dropping one only delays
+            // gated acks until the next, but a BUSY line interleaved in
+            // the replication stream would be noise the replica skips.
+            shared.pending.fetch_add(1, Ordering::Relaxed);
+            if shared
+                .jobs
+                .send(Job::Watermark { sid: ctx.sid, seq })
+                .is_err()
+            {
+                shared.pending.fetch_sub(1, Ordering::Relaxed);
+            }
+            true
+        }
+        Command::Promote => submit(
+            shared,
+            ctx,
+            Job::Promote {
+                out: Arc::clone(&ctx.out),
+            },
+        ),
     }
 }
 
@@ -742,7 +968,26 @@ fn read_and_submit_update(
             }
         }
     }
-    let token = ctx.token.clone().expect("checked before dispatch");
+    // The full body is read first so the stream stays framed; only then
+    // is the batch judged. A non-primary refuses writes here — clients
+    // redirect to the primary and retry the same sequence.
+    if shared.shared_role_refuses_writes() {
+        ctx.err(
+            ErrCode::NotPrimary,
+            &format!(
+                "{} is read-only; send writes to the primary",
+                shared.role().name()
+            ),
+        );
+        return true;
+    }
+    // The dispatcher guarantees a HELLO preceded this, but a typed error
+    // beats a panic if that invariant ever breaks: degrade to ERR and
+    // keep the process up.
+    let Some(token) = ctx.token.clone() else {
+        ctx.err(ErrCode::NeedHello, "no session token for UPDATE");
+        return true;
+    };
     submit(
         shared,
         ctx,
@@ -825,14 +1070,86 @@ impl PendingNotify {
     }
 }
 
+/// One attached replication sink: the replica session's outbound queue
+/// plus the highest sequence it has confirmed fsynced.
+struct Sink {
+    out: Arc<Outbound>,
+    watermark: u64,
+}
+
+/// One client ack held back by semi-sync gating: released when every
+/// live sink's watermark reaches `wal_seq`, when the last sink detaches,
+/// or after `repl_ack_timeout`.
+struct PendingAck {
+    wal_seq: u64,
+    line: String,
+    out: Arc<Outbound>,
+    since: Instant,
+}
+
+/// Writer-thread-owned mutable state (no locks: exactly one writer).
+#[derive(Default)]
+struct WriterState {
+    pending_notify: PendingNotify,
+    sinks: HashMap<u64, Sink>,
+    pending_acks: VecDeque<PendingAck>,
+    ships_since_digest: u64,
+}
+
+impl WriterState {
+    /// Drops sinks whose outbound closed (slow consumer, disconnect) and
+    /// publishes the live-sink count.
+    fn prune_sinks(&mut self, shared: &Shared) {
+        let before = self.sinks.len();
+        self.sinks.retain(|_, s| !s.out.is_closing());
+        if self.sinks.len() != before {
+            incgraph_obs::counter("repl.sink_drops", (before - self.sinks.len()) as u64);
+        }
+        shared.repl_sinks.store(self.sinks.len(), Ordering::Relaxed);
+    }
+
+    /// Releases every gated ack the semi-sync rule now allows. With no
+    /// live sinks there is nothing to wait for; otherwise an ack needs
+    /// every sink's watermark at or past its sequence, or its timeout.
+    fn release_acks(&mut self, shared: &Shared, committed: Option<u64>) {
+        self.prune_sinks(shared);
+        let min_wm = self.sinks.values().map(|s| s.watermark).min();
+        let timeout = shared.cfg.repl_ack_timeout;
+        while let Some(front) = self.pending_acks.front() {
+            let due = match min_wm {
+                None => true,
+                Some(wm) => front.wal_seq <= wm || front.since.elapsed() >= timeout,
+            };
+            if !due {
+                break;
+            }
+            let ack = self.pending_acks.pop_front().expect("front exists");
+            ack.out.push_line(ack.line);
+        }
+        if let (Some(committed), Some(wm)) = (committed, min_wm) {
+            let lag = committed.saturating_sub(wm);
+            shared.repl_lag.store(lag, Ordering::Relaxed);
+            incgraph_obs::gauge("repl.lag_seqs", lag);
+        }
+    }
+
+    /// Pushes one line to every live sink.
+    fn broadcast(&mut self, line: &str) {
+        for sink in self.sinks.values() {
+            sink.out.push_line(line.to_string());
+            incgraph_obs::counter("repl.ship_bytes", line.len() as u64 + 1);
+        }
+    }
+}
+
 fn writer_loop(rx: mpsc::Receiver<Job>, shared: Arc<Shared>) {
     let flush_ops = shared.cfg.flush_ops.max(1);
     let flush_window = shared.cfg.flush_window;
-    let mut pending_notify = PendingNotify::default();
+    let mut st = WriterState::default();
     loop {
         // With batches buffered, wake early enough to honor the window.
         let tick = Duration::from_millis(25);
-        let timeout = match pending_notify.oldest {
+        let timeout = match st.pending_notify.oldest {
             Some(t) => (flush_window.saturating_sub(t.elapsed())).min(tick),
             None => tick,
         };
@@ -841,13 +1158,13 @@ fn writer_loop(rx: mpsc::Receiver<Job>, shared: Arc<Shared>) {
                 shared.pending.fetch_sub(1, Ordering::Relaxed);
                 match shared.phase() {
                     KILLED => {
-                        pending_notify.discard(); // simulated death
+                        st.pending_notify.discard(); // simulated death
                         continue;
                     }
                     _ => {
-                        if process_job(&shared, job, &mut pending_notify) == JobOutcome::Crashed {
+                        if process_job(&shared, job, &mut st) == JobOutcome::Crashed {
                             // Simulated process death mid-commit.
-                            pending_notify.discard();
+                            st.pending_notify.discard();
                             shared.phase.store(KILLED, Ordering::Release);
                             shared.kill_sessions();
                         }
@@ -857,7 +1174,8 @@ fn writer_loop(rx: mpsc::Receiver<Job>, shared: Arc<Shared>) {
             Err(mpsc::RecvTimeoutError::Timeout) => match shared.phase() {
                 KILLED => break,
                 DRAINING
-                    if shared.pending.load(Ordering::Relaxed) == 0 && pending_notify.is_empty() =>
+                    if shared.pending.load(Ordering::Relaxed) == 0
+                        && st.pending_notify.is_empty() =>
                 {
                     break
                 }
@@ -865,15 +1183,21 @@ fn writer_loop(rx: mpsc::Receiver<Job>, shared: Arc<Shared>) {
             },
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
+        // Timed-out gated acks release on the tick even when no
+        // watermark arrives (sink death, partition).
+        if !st.pending_acks.is_empty() || !st.sinks.is_empty() {
+            st.release_acks(&shared, None);
+        }
         // Flush outside job processing so both the count trigger and the
         // deadline trigger go through the same path.
-        if !pending_notify.is_empty()
-            && (pending_notify.batches >= flush_ops || pending_notify.deadline_due(flush_window))
+        if !st.pending_notify.is_empty()
+            && (st.pending_notify.batches >= flush_ops
+                || st.pending_notify.deadline_due(flush_window))
         {
             let mut guard = shared.store_mut();
             match guard.as_mut() {
-                Some(store) => pending_notify.flush(store),
-                None => pending_notify.discard(),
+                Some(store) => st.pending_notify.flush(store),
+                None => st.pending_notify.discard(),
             }
         }
     }
@@ -885,8 +1209,12 @@ fn writer_loop(rx: mpsc::Receiver<Job>, shared: Arc<Shared>) {
         if let Some(store) = guard.as_mut() {
             if !killed {
                 // Queued updates were acked; their DELTAs must go out
-                // before the goodbyes.
-                pending_notify.flush(store);
+                // before the goodbyes — and gated acks were committed,
+                // so they go out too.
+                for ack in st.pending_acks.drain(..) {
+                    ack.out.push_line(ack.line);
+                }
+                st.pending_notify.flush(store);
                 store.checkpoint_all();
             }
         }
@@ -910,18 +1238,23 @@ enum JobOutcome {
     Crashed,
 }
 
-fn process_job(shared: &Arc<Shared>, job: Job, pending_notify: &mut PendingNotify) -> JobOutcome {
+fn process_job(shared: &Arc<Shared>, job: Job, st: &mut WriterState) -> JobOutcome {
     let mut guard = shared.store_mut();
     let Some(store) = guard.as_mut() else {
-        pending_notify.discard();
+        st.pending_notify.discard();
         return JobOutcome::Done;
     };
-    // Any non-Update job flushes buffered notifications first: a
+    // Any non-commit job flushes buffered notifications first: a
     // `REGISTER` snapshots the committed graph, so a standing query
     // created mid-window must not later receive a DELTA for batches its
     // initial digest already includes (double-apply).
-    if !pending_notify.is_empty() && !matches!(job, Job::Update { .. }) {
-        pending_notify.flush(store);
+    if !st.pending_notify.is_empty()
+        && !matches!(
+            job,
+            Job::Update { .. } | Job::ReplApply { .. } | Job::Watermark { .. }
+        )
+    {
+        st.pending_notify.flush(store);
     }
     match job {
         Job::Graph {
@@ -974,12 +1307,49 @@ fn process_job(shared: &Arc<Shared>, job: Job, pending_notify: &mut PendingNotif
                 // The ACK rides the per-batch commit + fsync; only the
                 // standing-query notification is deferred to the flush.
                 let dup = if ack.dup { " dup" } else { "" };
-                out.push_line(format!(
-                    "ACK {} {} {}{dup}",
-                    ack.client_seq, ack.wal_seq, ack.units
-                ));
+                let line = format!("ACK {} {} {}{dup}", ack.client_seq, ack.wal_seq, ack.units);
+                let replicated = shared.cfg.repl_graph.as_deref() == Some(graph.as_str());
+                if replicated && !ack.dup {
+                    // Ship the fsynced record to every attached replica
+                    // before deciding the ack's fate.
+                    let record = encode_record(ack.wal_seq, &batch);
+                    st.broadcast(&protocol::format_ship(
+                        ack.wal_seq,
+                        Some((&token, client_seq)),
+                        &record,
+                    ));
+                    st.ships_since_digest += 1;
+                    if shared.cfg.digest_every > 0
+                        && st.ships_since_digest >= shared.cfg.digest_every
+                        && !st.sinks.is_empty()
+                    {
+                        st.ships_since_digest = 0;
+                        if let Some((seq, digest)) = store.repl_digest(&graph) {
+                            st.broadcast(&protocol::format_digest(seq, &digest));
+                        }
+                    }
+                }
+                // Semi-sync gating: with live sinks attached, the ack
+                // waits for their watermarks (or the timeout); without,
+                // it goes out now. Dup re-acks reference an old sequence
+                // and release immediately through the same queue.
+                st.prune_sinks(shared);
+                if replicated && !st.sinks.is_empty() {
+                    st.pending_acks.push_back(PendingAck {
+                        wal_seq: ack.wal_seq,
+                        line,
+                        out,
+                        since: Instant::now(),
+                    });
+                    st.release_acks(
+                        shared,
+                        Some(store.repl_info(&graph).map_or(0, |i| i.last_seq)),
+                    );
+                } else {
+                    out.push_line(line);
+                }
                 if let Some(applied) = applied {
-                    pending_notify.push(&graph, applied);
+                    st.pending_notify.push(&graph, applied);
                 }
             }
             Err(UpdateError::Wire(c, d)) => {
@@ -993,10 +1363,295 @@ fn process_job(shared: &Arc<Shared>, job: Job, pending_notify: &mut PendingNotif
             }
         },
         Job::DropSession { sid } => {
+            if st.sinks.remove(&sid).is_some() {
+                shared.repl_sinks.store(st.sinks.len(), Ordering::Relaxed);
+                st.release_acks(shared, None);
+            }
             store.drop_session(sid);
+        }
+        Job::Sync {
+            sid,
+            graph,
+            epoch,
+            from_seq,
+            crc,
+            directed,
+            nodes,
+            force,
+            out,
+        } => process_sync(
+            shared, store, st, sid, &graph, epoch, from_seq, crc, directed, nodes, force, out,
+        ),
+        Job::Watermark { sid, seq } => {
+            if let Some(sink) = st.sinks.get_mut(&sid) {
+                sink.watermark = sink.watermark.max(seq);
+                incgraph_obs::gauge("repl.watermark_seq", seq);
+            }
+            let committed = shared
+                .cfg
+                .repl_graph
+                .as_deref()
+                .and_then(|g| store.repl_info(g))
+                .map(|i| i.last_seq);
+            st.release_acks(shared, committed);
+        }
+        Job::Promote { out } => match shared.role() {
+            Role::Replica => {
+                let Some(graph) = shared.cfg.repl_graph.clone() else {
+                    out.push_line(format!(
+                        "ERR {} no replicated graph on this server",
+                        ErrCode::BadCommand
+                    ));
+                    return JobOutcome::Done;
+                };
+                match store.bump_epoch(&graph) {
+                    Ok(epoch) => {
+                        shared.set_role(Role::Primary);
+                        incgraph_obs::counter("repl.promotions", 1);
+                        out.push_line(format!("OK PROMOTE {epoch}"));
+                    }
+                    Err((c, d)) => {
+                        out.push_line(format!("ERR {c} {d}"));
+                    }
+                }
+            }
+            Role::Primary => {
+                out.push_line(format!("ERR {} already primary", ErrCode::BadCommand));
+            }
+            Role::Fenced => {
+                out.push_line(format!(
+                    "ERR {} node is fenced; restart it as a replica to rejoin",
+                    ErrCode::BadCommand
+                ));
+            }
+        },
+        Job::ReplApply {
+            graph,
+            seq,
+            identity,
+            batch,
+            done,
+        } => {
+            if shared.role() != Role::Replica {
+                // A promotion raced the stream: drop the ship on the
+                // floor — this node now owns its own history.
+                let _ = done.send(Err(format!("{} promoted mid-stream", ErrCode::NotPrimary)));
+                return JobOutcome::Done;
+            }
+            let identity_ref = identity.as_ref().map(|(t, c)| (t.as_str(), *c));
+            match store.apply_replicated(&graph, seq, identity_ref, &batch) {
+                Ok(applied) => {
+                    st.pending_notify.push(&graph, applied);
+                    let _ = done.send(Ok(seq));
+                }
+                Err(UpdateError::Wire(c, d)) => {
+                    let _ = done.send(Err(format!("{c} {d}")));
+                }
+                Err(UpdateError::Crashed(p)) => {
+                    if incgraph_obs::enabled() {
+                        incgraph_obs::event("service.crash", p.name());
+                    }
+                    let _ = done.send(Err(format!("{} injected crash", ErrCode::Store)));
+                    return JobOutcome::Crashed;
+                }
+            }
+        }
+        Job::ReplAdopt {
+            graph,
+            payload,
+            epoch,
+            acks,
+            done,
+        } => {
+            if shared.role() != Role::Replica {
+                let _ = done.send(Err(format!("{} promoted mid-stream", ErrCode::NotPrimary)));
+                return JobOutcome::Done;
+            }
+            match store.adopt_snapshot(&graph, &payload, epoch, &acks) {
+                Ok(covered) => {
+                    let _ = done.send(Ok(covered));
+                }
+                Err((c, d)) => {
+                    let _ = done.send(Err(format!("{c} {d}")));
+                }
+            }
+        }
+        Job::AdoptEpoch { graph, epoch, done } => {
+            if shared.role() != Role::Replica {
+                let _ = done.send(Err(format!("{} promoted mid-stream", ErrCode::NotPrimary)));
+                return JobOutcome::Done;
+            }
+            match store.adopt_epoch(&graph, epoch) {
+                Ok(()) => {
+                    let _ = done.send(Ok(()));
+                }
+                Err((c, d)) => {
+                    let _ = done.send(Err(format!("{c} {d}")));
+                }
+            }
         }
     }
     JobOutcome::Done
+}
+
+/// Handles one `SYNC` handshake on the writer: fencing, shape
+/// validation, tail-vs-snapshot decision, catch-up push, and sink
+/// registration. Epoch comparison comes first — a higher epoch fences
+/// this node no matter what else is wrong with the request.
+#[allow(clippy::too_many_arguments)]
+fn process_sync(
+    shared: &Arc<Shared>,
+    store: &mut Store,
+    st: &mut WriterState,
+    sid: u64,
+    graph: &str,
+    epoch: u64,
+    from_seq: u64,
+    crc: Option<u32>,
+    directed: bool,
+    nodes: usize,
+    force: bool,
+    out: Arc<Outbound>,
+) {
+    if shared.cfg.repl_graph.as_deref() != Some(graph) {
+        out.push_line(format!(
+            "ERR {} {graph} is not replicated on this server",
+            ErrCode::UnknownGraph
+        ));
+        return;
+    }
+    let Some(info) = store.repl_info(graph) else {
+        out.push_line(format!(
+            "ERR {} {graph} is not durable",
+            ErrCode::UnknownGraph
+        ));
+        return;
+    };
+    if epoch > info.epoch {
+        // The requester has seen a later epoch than ours: we were
+        // deposed while partitioned. Fence — refuse writes forever (a
+        // restart as a replica rejoins cleanly) — so no batch is ever
+        // double-acked by two primaries.
+        if shared.role() == Role::Primary {
+            shared.set_role(Role::Fenced);
+            incgraph_obs::counter("repl.fenced", 1);
+            if incgraph_obs::enabled() {
+                incgraph_obs::event(
+                    "repl.fenced",
+                    &format!("our epoch {} vs peer {epoch}", info.epoch),
+                );
+            }
+        }
+        out.push_line(format!(
+            "ERR {} this node is at epoch {} and is deposed",
+            ErrCode::StaleEpoch,
+            info.epoch
+        ));
+        return;
+    }
+    if shared.role() != Role::Primary {
+        out.push_line(format!(
+            "ERR {} {} does not serve the replication stream",
+            ErrCode::NotPrimary,
+            shared.role().name()
+        ));
+        return;
+    }
+    if info.directed != directed || info.nodes != nodes {
+        out.push_line(format!(
+            "ERR {} {graph} is {} with {} nodes",
+            ErrCode::GraphMismatch,
+            if info.directed {
+                "directed"
+            } else {
+                "undirected"
+            },
+            info.nodes
+        ));
+        return;
+    }
+    incgraph_obs::counter("repl.syncs", 1);
+    // Decide tail vs snapshot. A tail needs the replica's position to be
+    // inside our retained history *and* its record CRC to match ours at
+    // that position — anything else (divergence, pre-base lag, a future
+    // sequence from a forked history, an explicit force, or a lag past
+    // the configured bound) bootstraps from a snapshot.
+    let lag_snap = info.last_seq.saturating_sub(from_seq) > shared.cfg.snapshot_lag;
+    let out_of_range = from_seq < info.base_seq || from_seq > info.last_seq;
+    let mut snap = force || out_of_range || lag_snap;
+    let mut tail_ships = Vec::new();
+    if !snap {
+        match store.wal_catchup(graph, from_seq) {
+            Ok((crc_at_from, ships)) => {
+                let diverged = match (crc, crc_at_from) {
+                    (Some(theirs), Some(ours)) => theirs != ours,
+                    // from_seq == base: no record to compare, trust BASE.
+                    (None, None) => false,
+                    // One side has a record the other cannot name.
+                    _ => from_seq != info.base_seq,
+                };
+                if diverged {
+                    incgraph_obs::counter("repl.divergence", 1);
+                    snap = true;
+                } else {
+                    tail_ships = ships;
+                }
+            }
+            Err((c, d)) => {
+                out.push_line(format!("ERR {c} {d}"));
+                return;
+            }
+        }
+    }
+    if snap {
+        let Some((snap_seq, payload, acks)) = store.encode_snapshot(graph) else {
+            out.push_line(format!(
+                "ERR {} {graph} cannot be snapshotted",
+                ErrCode::Store
+            ));
+            return;
+        };
+        out.push_line(format!("OK SYNC snap {} {snap_seq}", info.epoch));
+        // 256 KiB raw chunks: 512 KiB hexed + header, inside the 1 MiB
+        // line cap.
+        const CHUNK: usize = 256 * 1024;
+        let total = payload.len().div_ceil(CHUNK).max(1);
+        for (i, chunk) in payload.chunks(CHUNK).enumerate() {
+            out.push_line(protocol::format_snap(i, total, chunk));
+        }
+        if payload.is_empty() {
+            out.push_line(protocol::format_snap(0, 1, &[]));
+        }
+        for e in &acks {
+            out.push_line(protocol::format_snapack(&e.token, e.client_seq, e.wal_seq));
+        }
+        out.push_line(protocol::format_snapend(
+            snap_seq,
+            incgraph_durable::crc::crc32(&payload),
+        ));
+        incgraph_obs::counter("repl.snapshots_sent", 1);
+        st.sinks.insert(
+            sid,
+            Sink {
+                out,
+                watermark: snap_seq,
+            },
+        );
+    } else {
+        out.push_line(format!("OK SYNC tail {} {}", info.epoch, info.last_seq));
+        for ship in &tail_ships {
+            let identity = ship.identity.as_ref().map(|(t, c)| (t.as_str(), *c));
+            out.push_line(protocol::format_ship(ship.seq, identity, &ship.record));
+        }
+        st.sinks.insert(
+            sid,
+            Sink {
+                out,
+                watermark: from_seq,
+            },
+        );
+    }
+    shared.repl_sinks.store(st.sinks.len(), Ordering::Relaxed);
 }
 
 fn sender_loop(shared: Arc<Shared>, stream: TcpStream, out: Arc<Outbound>) {

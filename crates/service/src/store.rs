@@ -25,11 +25,14 @@
 //! with the same once-only semantics — see the [`dedup`](crate::dedup)
 //! module docs for the crash analysis.
 
-use crate::dedup::{AckRecord, DedupLog};
+use crate::dedup::{self, AckRecord, DedupEntry, DedupLog};
 use crate::outbound::Outbound;
 use crate::protocol::ErrCode;
 use incgraph_algos::{IncrementalState, QueryClass, Session, SessionError};
-use incgraph_durable::{recover, CrashPoint, DurableError, DurableOptions, DurableSession};
+use incgraph_durable::{
+    encode_record, recover, scan_records, CrashPoint, DurableError, DurableOptions, DurableSession,
+    WAL_NAME,
+};
 use incgraph_graph::{DynamicGraph, NodeId, UpdateBatch};
 use incgraph_workloads::random_pattern;
 use std::collections::{BTreeMap, HashMap};
@@ -112,11 +115,16 @@ pub fn standing_states(g: &DynamicGraph, pattern_seed: u64) -> Vec<Box<dyn Incre
 }
 
 /// One registered standing query: a live session plus the digest it last
-/// notified, and the owner's outbound queue.
+/// notified, and the owner's outbound queue. `source`/`pattern_seed`
+/// are kept so the query can be rebuilt from scratch when a replica
+/// adopts a shipped snapshot (the old incremental state describes a
+/// world that no longer exists).
 struct StandingQuery {
     class: QueryClass,
     session: Session,
     digest: Vec<u64>,
+    source: NodeId,
+    pattern_seed: u64,
     out: Arc<Outbound>,
 }
 
@@ -351,6 +359,8 @@ impl Store {
                 class,
                 session,
                 digest,
+                source,
+                pattern_seed,
                 out,
             },
         );
@@ -632,6 +642,317 @@ impl Store {
     pub fn limits(&self) -> &StoreLimits {
         &self.limits
     }
+
+    // --- replication -----------------------------------------------------
+
+    /// Replication-facing view of the durable graph `name`; `None` for
+    /// unknown or non-durable graphs.
+    pub fn repl_info(&self, graph: &str) -> Option<ReplInfo> {
+        let entry = self.graphs.get(graph)?;
+        let Backend::Durable { session, .. } = &entry.backend else {
+            return None;
+        };
+        Some(ReplInfo {
+            epoch: session.epoch(),
+            base_seq: session.base_seq(),
+            last_seq: session.last_seq(),
+            directed: session.graph().is_directed(),
+            nodes: session.graph().node_count(),
+        })
+    }
+
+    /// `(last_seq, digest)` of the durable graph — the divergence probe's
+    /// payload on both ends.
+    pub fn repl_digest(&self, graph: &str) -> Option<(u64, String)> {
+        let entry = self.graphs.get(graph)?;
+        let Backend::Durable { session, .. } = &entry.backend else {
+            return None;
+        };
+        Some((session.last_seq(), session.digest()))
+    }
+
+    /// CRC of the WAL record at `seq` (recomputed from the scanned
+    /// batch), or `None` when `seq` precedes the retained tail or was
+    /// never logged. Both the replica (announcing its position in `SYNC`)
+    /// and the primary (validating that announcement) use this.
+    pub fn record_crc(&self, graph: &str, seq: u64) -> Option<u32> {
+        let entry = self.graphs.get(graph)?;
+        let Backend::Durable { session, .. } = &entry.backend else {
+            return None;
+        };
+        if seq <= session.base_seq() || seq > session.last_seq() {
+            return None;
+        }
+        let body = std::fs::read(session.dir().join(WAL_NAME)).ok()?;
+        let body = body.get(8..)?;
+        let scan = scan_records(body, session.base_seq() + 1);
+        scan.records
+            .iter()
+            .find(|r| r.seq == seq)
+            .map(|r| record_crc_of(r.seq, &r.batch))
+    }
+
+    /// Promotion's commit point: durably bumps the durable graph's epoch.
+    pub fn bump_epoch(&mut self, graph: &str) -> Result<u64, WireError> {
+        let Some(entry) = self.graphs.get_mut(graph) else {
+            return Err((ErrCode::UnknownGraph, format!("no graph {graph}")));
+        };
+        let Backend::Durable { session, .. } = &mut entry.backend else {
+            return Err((ErrCode::BadCommand, format!("{graph} is not durable")));
+        };
+        session
+            .bump_epoch()
+            .map_err(|e| (ErrCode::Store, e.to_string()))
+    }
+
+    /// Adopts a primary's (higher) epoch on a tailing replica.
+    pub fn adopt_epoch(&mut self, graph: &str, epoch: u64) -> Result<(), WireError> {
+        let Some(entry) = self.graphs.get_mut(graph) else {
+            return Err((ErrCode::UnknownGraph, format!("no graph {graph}")));
+        };
+        let Backend::Durable { session, .. } = &mut entry.backend else {
+            return Err((ErrCode::BadCommand, format!("{graph} is not durable")));
+        };
+        session
+            .adopt_epoch(epoch)
+            .map_err(|e| (ErrCode::Store, e.to_string()))
+    }
+
+    /// Encodes the durable graph's live world as a bootstrap snapshot:
+    /// the checkpoint payload covering `last_seq` plus the current ack
+    /// table (latest entry per token, WAL order) for `SNAPACK` shipping.
+    pub fn encode_snapshot(&self, graph: &str) -> Option<(u64, Vec<u8>, Vec<DedupEntry>)> {
+        let entry = self.graphs.get(graph)?;
+        let Backend::Durable { session, .. } = &entry.backend else {
+            return None;
+        };
+        let mut acks: Vec<DedupEntry> = entry
+            .acks
+            .iter()
+            .map(|(token, rec)| DedupEntry {
+                wal_seq: rec.wal_seq,
+                client_seq: rec.client_seq,
+                token: token.clone(),
+            })
+            .collect();
+        acks.sort_by_key(|e| e.wal_seq);
+        Some((session.last_seq(), session.encode_snapshot(), acks))
+    }
+
+    /// Reads the catch-up tail for a replica at `from_seq`: every
+    /// retained WAL record with `seq > from_seq` (raw record bytes, ready
+    /// for `SHIP`), each joined with the client identity its dedup intent
+    /// recorded, plus the CRC of the record *at* `from_seq` so the caller
+    /// can validate the replica's announced position.
+    pub fn wal_catchup(
+        &self,
+        graph: &str,
+        from_seq: u64,
+    ) -> Result<(Option<u32>, Vec<ShipRecord>), WireError> {
+        let Some(entry) = self.graphs.get(graph) else {
+            return Err((ErrCode::UnknownGraph, format!("no graph {graph}")));
+        };
+        let Backend::Durable { session, .. } = &entry.backend else {
+            return Err((ErrCode::BadCommand, format!("{graph} is not durable")));
+        };
+        let bytes = std::fs::read(session.dir().join(WAL_NAME))
+            .map_err(|e| (ErrCode::Store, format!("wal read: {e}")))?;
+        let body = bytes.get(8..).unwrap_or(&[]);
+        let scan = scan_records(body, session.base_seq() + 1);
+        let identities: HashMap<u64, (String, u64)> =
+            dedup::scan_entries(session.dir(), session.last_seq())
+                .map_err(|e| (ErrCode::Store, format!("dedup scan: {e}")))?
+                .into_iter()
+                .map(|e| (e.wal_seq, (e.token, e.client_seq)))
+                .collect();
+        let mut crc_at_from = None;
+        let mut ships = Vec::new();
+        for r in &scan.records {
+            if r.seq == from_seq {
+                crc_at_from = Some(record_crc_of(r.seq, &r.batch));
+            } else if r.seq > from_seq {
+                ships.push(ShipRecord {
+                    seq: r.seq,
+                    identity: identities.get(&r.seq).cloned(),
+                    record: encode_record(r.seq, &r.batch),
+                });
+            }
+        }
+        Ok((crc_at_from, ships))
+    }
+
+    /// Applies one shipped record on a replica, through the same
+    /// validated/WAL-fsynced path client updates take. `seq` must be
+    /// exactly the next expected sequence (ships arrive in order; a gap
+    /// means the stream is broken and the replica must resync). The
+    /// shipped client identity lands in the dedup log and ack table so
+    /// client retries stay exactly-once across failover.
+    pub fn apply_replicated(
+        &mut self,
+        graph: &str,
+        seq: u64,
+        identity: Option<(&str, u64)>,
+        batch: &UpdateBatch,
+    ) -> Result<incgraph_graph::AppliedBatch, UpdateError> {
+        let wire = |c: ErrCode, d: String| UpdateError::Wire(c, d);
+        let Some(entry) = self.graphs.get_mut(graph) else {
+            return Err(wire(ErrCode::UnknownGraph, format!("no graph {graph}")));
+        };
+        let Backend::Durable { session, dedup } = &mut entry.backend else {
+            return Err(wire(ErrCode::BadCommand, format!("{graph} is not durable")));
+        };
+        if self.degraded {
+            return Err(wire(
+                ErrCode::ReadOnly,
+                "store is in degraded read-only mode after a WAL failure".into(),
+            ));
+        }
+        if seq != session.last_seq() + 1 {
+            return Err(wire(
+                ErrCode::SeqGap,
+                format!("replica at {}, ship at {seq}", session.last_seq()),
+            ));
+        }
+        let _span = incgraph_obs::span("repl.apply");
+        match session.apply_with(batch, |wal_seq| match identity {
+            Some((token, client_seq)) => dedup.append(token, client_seq, wal_seq),
+            None => Ok(()),
+        }) {
+            Ok((_, applied)) => {
+                if let Some((token, client_seq)) = identity {
+                    entry.acks.insert(
+                        token.to_string(),
+                        AckRecord {
+                            client_seq,
+                            wal_seq: seq,
+                        },
+                    );
+                }
+                incgraph_obs::counter("repl.ship_records", 1);
+                Ok(applied)
+            }
+            Err(DurableError::InvalidBatch(e)) => Err(wire(ErrCode::InvalidBatch, e.to_string())),
+            Err(DurableError::InjectedCrash(p)) => Err(UpdateError::Crashed(p)),
+            Err(e) => {
+                self.degraded = true;
+                if incgraph_obs::enabled() {
+                    incgraph_obs::event("service.degraded", &e.to_string());
+                }
+                Err(wire(
+                    ErrCode::Store,
+                    format!("{e}; store degraded to read-only"),
+                ))
+            }
+        }
+    }
+
+    /// Replaces the durable graph's world with a shipped snapshot
+    /// (bootstrap or divergence resync): installs the payload as the new
+    /// base, adopts `epoch`, resets the dedup log and ack table to the
+    /// shipped entries, and rebuilds every standing query from scratch
+    /// over the new graph, pushing each a `resync` DELTA.
+    ///
+    /// On failure the graph is unmounted and the store degraded — the
+    /// half-installed world must not serve.
+    pub fn adopt_snapshot(
+        &mut self,
+        graph: &str,
+        payload: &[u8],
+        epoch: u64,
+        acks: &[DedupEntry],
+    ) -> Result<u64, WireError> {
+        let Some(entry) = self.graphs.get_mut(graph) else {
+            return Err((ErrCode::UnknownGraph, format!("no graph {graph}")));
+        };
+        if !matches!(entry.backend, Backend::Durable { .. }) {
+            return Err((ErrCode::BadCommand, format!("{graph} is not durable")));
+        }
+        let mut entry = self.graphs.remove(graph).expect("checked above");
+        let Backend::Durable { session, mut dedup } = entry.backend else {
+            unreachable!("checked above");
+        };
+        let mut sorted: Vec<DedupEntry> = acks.to_vec();
+        sorted.sort_by_key(|e| e.wal_seq);
+        let session = match session
+            .install_snapshot(payload, epoch)
+            .and_then(|s| dedup.reset(&sorted).map(|()| s))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                // The old session was consumed; there is no world to go
+                // back to. Leave the graph unmounted and refuse writes.
+                self.degraded = true;
+                if incgraph_obs::enabled() {
+                    incgraph_obs::event("service.degraded", &e.to_string());
+                }
+                return Err((ErrCode::Store, format!("snapshot install failed: {e}")));
+            }
+        };
+        let covered = session.last_seq();
+        entry.acks = sorted
+            .into_iter()
+            .map(|e| {
+                (
+                    e.token,
+                    AckRecord {
+                        client_seq: e.client_seq,
+                        wal_seq: e.wal_seq,
+                    },
+                )
+            })
+            .collect();
+        // Rebuild standing queries over the new world; their old
+        // incremental states describe dead history.
+        let g = session.graph();
+        for ((_, qid), q) in entry.queries.iter_mut() {
+            let mut builder = Session::builder(q.class).source(q.source);
+            if q.class == QueryClass::Sim {
+                builder = builder.pattern(random_pattern(g, 4, 6, q.pattern_seed));
+            }
+            if let Ok(s) = builder.build(g) {
+                q.digest = s.digest(g);
+                q.session = s;
+                q.out.push_delta(qid, covered, None, q.digest.len());
+            }
+        }
+        entry.backend = Backend::Durable { session, dedup };
+        self.graphs.insert(graph.to_string(), entry);
+        Ok(covered)
+    }
+}
+
+/// Replication-facing facts about a durable graph.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplInfo {
+    /// Durable replication epoch.
+    pub epoch: u64,
+    /// Sequence the retained WAL tail starts after.
+    pub base_seq: u64,
+    /// Last committed sequence.
+    pub last_seq: u64,
+    /// Graph directedness (shape validation in `SYNC`).
+    pub directed: bool,
+    /// Graph node count (shape validation in `SYNC`).
+    pub nodes: usize,
+}
+
+/// One catch-up record ready to ship: raw WAL record bytes plus the
+/// client identity its dedup intent recorded (if any).
+#[derive(Clone, Debug)]
+pub struct ShipRecord {
+    /// WAL sequence.
+    pub seq: u64,
+    /// `(token, client_seq)` the batch committed under.
+    pub identity: Option<(String, u64)>,
+    /// Full encoded WAL record (self-validating).
+    pub record: Vec<u8>,
+}
+
+/// CRC of the WAL record `(seq, batch)` as stored on disk — recomputed
+/// through [`encode_record`], whose layout places it at bytes 12..16.
+pub fn record_crc_of(seq: u64, batch: &UpdateBatch) -> u32 {
+    let bytes = encode_record(seq, batch);
+    u32::from_le_bytes(bytes[12..16].try_into().expect("record header"))
 }
 
 /// Pattern seed the durable store's built-in states use; the chaos
