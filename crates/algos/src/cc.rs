@@ -235,6 +235,19 @@ impl CcState {
         }
     }
 
+    /// Extends `out` with every status variable the last update *may*
+    /// have changed: the initial scope `H⁰` plus the engines' changed-set
+    /// logs. Always a superset of the truly changed variables (the run
+    /// pushes dependents beyond `H⁰`, which the logs capture; stale log
+    /// entries from earlier runs merely cost a value comparison).
+    pub(crate) fn delta_candidates(&self, out: &mut Vec<usize>) {
+        out.extend_from_slice(&self.scratch.scope);
+        out.extend_from_slice(self.engine.changed_vars());
+        if let Some(p) = &self.par {
+            out.extend_from_slice(p.changed_vars());
+        }
+    }
+
     /// Component id (= minimum node id of the component) of every node.
     pub fn components(&self) -> &[CompId] {
         self.status.values()

@@ -242,6 +242,23 @@ impl LccState {
         }
     }
 
+    /// Extends `out` with every *node* whose packed LCC value the last
+    /// update may have changed. The default delta path writes the status
+    /// directly (no engine), so its candidates come from the scratch's
+    /// accumulated λ deltas and degree-refresh endpoints; the engine logs
+    /// cover the re-evaluation ablation path. Always a superset of the
+    /// truly changed nodes.
+    pub(crate) fn delta_candidates(&self, out: &mut Vec<usize>) {
+        out.extend(self.scratch.deltas.iter().map(|&(w, _)| w as usize));
+        out.extend(self.scratch.endpoints.iter().map(|&e| e as usize));
+        // Engine paths use the 2-per-node variable layout (2v = degree,
+        // 2v+1 = triangles); fold both back to the node.
+        out.extend(self.engine.changed_vars().iter().map(|&x| x / 2));
+        if let Some(p) = &self.par {
+            out.extend(p.changed_vars().iter().map(|&x| x / 2));
+        }
+    }
+
     /// Degree of `v` as maintained by the fixpoint.
     pub fn degree(&self, v: NodeId) -> Count {
         self.status.get(v as usize * 2)

@@ -30,6 +30,7 @@ pub mod bc;
 pub mod cc;
 pub mod dfs;
 pub mod lcc;
+pub mod output;
 pub mod persist;
 pub mod reach;
 pub mod session;
@@ -40,6 +41,7 @@ pub use bc::BcState;
 pub use cc::CcState;
 pub use dfs::DfsState;
 pub use lcc::LccState;
+pub use output::{NodeChange, OutputChange, OutputDelta, OutputSnapshot, TrackedUpdate};
 pub use persist::StateLoadError;
 pub use reach::ReachState;
 pub use session::{QueryClass, Session, SessionBuilder, SessionError};

@@ -1,0 +1,240 @@
+//! Typed query-class outputs: the [`OutputSnapshot`] a [`Session`]
+//! maintains and the [`OutputDelta`] each update emits.
+//!
+//! Historically every consumer of a session's result — the wire DELTA
+//! notifier, the bench probes, the differential oracles — re-derived
+//! changes by materializing two full `digest()` vectors and zipping
+//! them. The snapshot/delta pair replaces that idiom: the session keeps
+//! its output materialized as one canonical `u64` stream (byte-identical
+//! to the historical digest) and computes each update's changes from the
+//! engine's changed-set, so consumers get an `O(|Δoutput|)` delta
+//! without ever diffing `O(|Ψ|)` vectors themselves.
+//!
+//! Two granularities coexist on purpose:
+//!
+//! * **Entry-level** ([`OutputChange`]): positions in the digest stream.
+//!   This is the unit of the wire `DELTA` protocol and the corpus
+//!   replay, which must stay byte-identical across the redesign.
+//! * **Node-level** ([`NodeChange`]): per-node `(key, old, new)` changes
+//!   to the class's σ_x — distance, component id, reachable bit,
+//!   preorder rank, simulation match set, packed LCC value. This is the
+//!   row representation the `incgraph-dataflow` operator layer consumes.
+//!
+//! [`Session`]: crate::Session
+
+use crate::session::QueryClass;
+use incgraph_core::metrics::BoundednessReport;
+
+/// A session's materialized output: the canonical per-node value stream
+/// plus any class-specific tail (BC's bridge list). Concatenating
+/// `entries` and `tail` reproduces the historical `digest()` vector
+/// exactly, which is what keeps wire digests and corpus replay stable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputSnapshot {
+    class: QueryClass,
+    nodes: usize,
+    /// Digest entries per node: 1 for SSSP/CC/Reach/LCC/BC, the pattern
+    /// node count for Sim, 3 (first, last, parent) for DFS.
+    stride: usize,
+    entries: Vec<u64>,
+    tail: Vec<u64>,
+}
+
+impl OutputSnapshot {
+    pub(crate) fn new(
+        class: QueryClass,
+        nodes: usize,
+        stride: usize,
+        entries: Vec<u64>,
+        tail: Vec<u64>,
+    ) -> Self {
+        debug_assert_eq!(entries.len(), nodes * stride);
+        OutputSnapshot {
+            class,
+            nodes,
+            stride,
+            entries,
+            tail,
+        }
+    }
+
+    /// The query class this snapshot belongs to.
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+
+    /// Number of graph nodes covered.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Digest entries per node.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Per-node portion of the digest stream.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Class-specific tail (BC bridges; empty for the other classes).
+    pub fn tail(&self) -> &[u64] {
+        &self.tail
+    }
+
+    /// Total digest length (`entries` + `tail`).
+    pub fn digest_len(&self) -> usize {
+        self.entries.len() + self.tail.len()
+    }
+
+    /// Overwrites one per-node entry (the session's candidate-restricted
+    /// refresh path).
+    pub(crate) fn set_entry(&mut self, i: usize, v: u64) {
+        self.entries[i] = v;
+    }
+
+    /// Digest entry at flat index `i` (entries first, then tail).
+    pub fn entry(&self, i: usize) -> u64 {
+        if i < self.entries.len() {
+            self.entries[i]
+        } else {
+            self.tail[i - self.entries.len()]
+        }
+    }
+
+    /// The historical digest vector, byte-identical to what
+    /// `Session::digest` always produced.
+    pub fn to_digest(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.digest_len());
+        out.extend_from_slice(&self.entries);
+        out.extend_from_slice(&self.tail);
+        out
+    }
+
+    /// The node's σ_x as one `u64`: the digest entry for stride-1
+    /// classes, the preorder rank for DFS, and a `q`-bit match bitmask
+    /// for Sim (bit `u % 64` set iff the node simulates pattern node
+    /// `u`).
+    pub fn node_value(&self, v: usize) -> u64 {
+        match self.class {
+            QueryClass::Sim => {
+                let row = &self.entries[v * self.stride..(v + 1) * self.stride];
+                row.iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (u, &m)| acc | ((m & 1) << (u & 63)))
+            }
+            QueryClass::Dfs => self.entries[v * 3],
+            _ => self.entries[v],
+        }
+    }
+
+    /// All `(node, value)` rows, in node order — the initial collection
+    /// a dataflow source operator materializes.
+    pub fn node_rows(&self) -> Vec<(u32, u64)> {
+        (0..self.nodes)
+            .map(|v| (v as u32, self.node_value(v)))
+            .collect()
+    }
+}
+
+/// One changed position in the digest stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutputChange {
+    /// Flat digest index.
+    pub index: u32,
+    /// Value before the update (at the previous drain point).
+    pub old: u64,
+    /// Current value.
+    pub new: u64,
+}
+
+/// One node whose σ_x changed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeChange {
+    /// The node.
+    pub node: u32,
+    /// Value before the update; `None` when the node did not exist yet.
+    pub old: Option<u64>,
+    /// Current value.
+    pub new: u64,
+}
+
+/// The net output change of one (or several coalesced) update steps:
+/// what a consumer must apply to move from the previous output to the
+/// current one. Produced by `Session::take_delta` /
+/// `Session::update_guarded`; computed from the engine's changed-set,
+/// never by diffing full digests at the call site.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OutputDelta {
+    /// Entry-level changes, sorted by index. Empty when
+    /// [`resync`](Self::resync) is set — a digest whose *length* changed
+    /// (node growth, BC bridge churn) has no stable index mapping.
+    pub changes: Vec<OutputChange>,
+    /// Node-level changes, sorted by node. Always precise, including
+    /// across resyncs (new nodes appear with `old: None`).
+    pub nodes: Vec<NodeChange>,
+    /// Set (to the new digest length) when the digest geometry changed;
+    /// entry-diff consumers must refetch the full snapshot.
+    pub resync: Option<usize>,
+}
+
+impl OutputDelta {
+    /// Whether the update changed nothing observable.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty() && self.nodes.is_empty() && self.resync.is_none()
+    }
+}
+
+/// A guarded update's result: the boundedness accounting of the run plus
+/// the typed output delta it produced.
+#[derive(Debug)]
+pub struct TrackedUpdate {
+    /// The run's boundedness report (scope size, work counters,
+    /// fallback decision).
+    pub report: BoundednessReport,
+    /// Net output change of the step.
+    pub delta: OutputDelta,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_digest_concatenates_entries_and_tail() {
+        let snap = OutputSnapshot::new(QueryClass::Bc, 3, 1, vec![2, 4, 6], vec![99]);
+        assert_eq!(snap.to_digest(), vec![2, 4, 6, 99]);
+        assert_eq!(snap.digest_len(), 4);
+        assert_eq!(snap.entry(2), 6);
+        assert_eq!(snap.entry(3), 99);
+        assert_eq!(snap.node_value(1), 4);
+    }
+
+    #[test]
+    fn sim_node_value_is_a_match_bitmask() {
+        // 2 nodes, 3 pattern nodes: node 0 matches {0, 2}, node 1 matches {1}.
+        let snap = OutputSnapshot::new(QueryClass::Sim, 2, 3, vec![1, 0, 1, 0, 1, 0], vec![]);
+        assert_eq!(snap.node_value(0), 0b101);
+        assert_eq!(snap.node_value(1), 0b010);
+        assert_eq!(snap.node_rows(), vec![(0, 0b101), (1, 0b010)]);
+    }
+
+    #[test]
+    fn dfs_node_value_is_the_preorder_rank() {
+        let snap = OutputSnapshot::new(QueryClass::Dfs, 2, 3, vec![0, 3, 9, 1, 2, 0], vec![]);
+        assert_eq!(snap.node_value(0), 0);
+        assert_eq!(snap.node_value(1), 1);
+    }
+
+    #[test]
+    fn empty_delta_reports_empty() {
+        let d = OutputDelta::default();
+        assert!(d.is_empty());
+        let d = OutputDelta {
+            resync: Some(7),
+            ..Default::default()
+        };
+        assert!(!d.is_empty());
+    }
+}

@@ -218,6 +218,18 @@ impl ReachState {
         }
     }
 
+    /// Extends `out` with every status variable the last update *may*
+    /// have changed: the initial scope `H⁰` plus the engines' changed-set
+    /// logs (always a superset of the truly changed variables; stale log
+    /// entries merely cost a value comparison).
+    pub(crate) fn delta_candidates(&self, out: &mut Vec<usize>) {
+        out.extend_from_slice(&self.scratch.scope);
+        out.extend_from_slice(self.engine.changed_vars());
+        if let Some(p) = &self.par {
+            out.extend_from_slice(p.changed_vars());
+        }
+    }
+
     /// Whether `v` is reachable from the source.
     pub fn reachable(&self, v: NodeId) -> bool {
         self.status.get(v as usize)

@@ -19,6 +19,7 @@
 //! (the hardened path under the stored options) and [`Session::digest`]
 //! (the canonical value digest the differential oracle compares).
 
+use crate::output::{NodeChange, OutputChange, OutputDelta, OutputSnapshot, TrackedUpdate};
 use crate::{
     update_with, BcState, CcState, DfsState, ExecOptions, IncrementalState, LccState, ReachState,
     SimState, SsspState, StateLoadError,
@@ -28,6 +29,7 @@ use incgraph_core::engine::RunStats;
 use incgraph_core::fallback::FallbackPolicy;
 use incgraph_core::metrics::BoundednessReport;
 use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId, Pattern};
+use std::collections::BTreeMap;
 
 /// The seven query classes, in canonical order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -120,6 +122,18 @@ pub enum SessionError {
     /// on this; the builder turns it into a typed refusal so a remote
     /// `REGISTER` with a bad source cannot panic the server.
     SourceOutOfRange { source: NodeId, nodes: usize },
+    /// A builder option was supplied that the class does not consume —
+    /// `source` on a class that is not [`source_rooted`]
+    /// (QueryClass::source_rooted), or `pattern` on anything but
+    /// [`QueryClass::Sim`]. The builder used to ignore these silently,
+    /// which let a caller believe a parameter was in effect when it
+    /// wasn't; it now refuses.
+    OptionNotApplicable {
+        /// The class being built.
+        class: QueryClass,
+        /// The offending option (`"source"` or `"pattern"`).
+        option: &'static str,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -135,6 +149,9 @@ impl std::fmt::Display for SessionError {
                 f,
                 "source {source} is out of range for a graph of {nodes} node(s)"
             ),
+            SessionError::OptionNotApplicable { class, option } => {
+                write!(f, "{} does not take a `{option}` option", class.name())
+            }
         }
     }
 }
@@ -147,7 +164,7 @@ impl std::error::Error for SessionError {}
 #[derive(Clone, Debug)]
 pub struct SessionBuilder {
     class: QueryClass,
-    source: NodeId,
+    source: Option<NodeId>,
     pattern: Option<Pattern>,
     threads: usize,
     policy: FallbackPolicy,
@@ -156,14 +173,18 @@ pub struct SessionBuilder {
 }
 
 impl SessionBuilder {
-    /// Source node for SSSP/Reach (ignored by the other classes;
-    /// defaults to node 0).
+    /// Source node for SSSP/Reach. Only valid on a
+    /// [`source_rooted`](QueryClass::source_rooted) class — [`build`]
+    /// (Self::build) refuses with [`SessionError::OptionNotApplicable`]
+    /// otherwise. Source-rooted classes default to node 0 when unset.
     pub fn source(mut self, source: NodeId) -> Self {
-        self.source = source;
+        self.source = Some(source);
         self
     }
 
-    /// Pattern for Sim (required for that class, ignored by the rest).
+    /// Pattern for Sim (required for that class). Only valid on
+    /// [`QueryClass::Sim`] — [`build`](Self::build) refuses with
+    /// [`SessionError::OptionNotApplicable`] otherwise.
     pub fn pattern(mut self, pattern: Pattern) -> Self {
         self.pattern = Some(pattern);
         self
@@ -201,12 +222,25 @@ impl SessionBuilder {
 
     /// Runs the batch fixpoint on `g` and returns the live session.
     pub fn build(self, g: &DynamicGraph) -> Result<Session, SessionError> {
+        if self.source.is_some() && !self.class.source_rooted() {
+            return Err(SessionError::OptionNotApplicable {
+                class: self.class,
+                option: "source",
+            });
+        }
+        if self.pattern.is_some() && self.class != QueryClass::Sim {
+            return Err(SessionError::OptionNotApplicable {
+                class: self.class,
+                option: "pattern",
+            });
+        }
         if self.class.requires_undirected() && g.is_directed() {
             return Err(SessionError::RequiresUndirected(self.class));
         }
-        if self.class.source_rooted() && self.source as usize >= g.node_count() {
+        let source = self.source.unwrap_or(0);
+        if self.class.source_rooted() && source as usize >= g.node_count() {
             return Err(SessionError::SourceOutOfRange {
-                source: self.source,
+                source,
                 nodes: g.node_count(),
             });
         }
@@ -214,9 +248,9 @@ impl SessionBuilder {
         let state = match self.class {
             QueryClass::Sssp => {
                 if par {
-                    ClassState::Sssp(SsspState::batch_par(g, self.source, self.threads).0)
+                    ClassState::Sssp(SsspState::batch_par(g, source, self.threads).0)
                 } else {
-                    ClassState::Sssp(SsspState::batch(g, self.source).0)
+                    ClassState::Sssp(SsspState::batch(g, source).0)
                 }
             }
             QueryClass::Cc => {
@@ -236,9 +270,9 @@ impl SessionBuilder {
             }
             QueryClass::Reach => {
                 if par {
-                    ClassState::Reach(ReachState::batch_par(g, self.source, self.threads).0)
+                    ClassState::Reach(ReachState::batch_par(g, source, self.threads).0)
                 } else {
-                    ClassState::Reach(ReachState::batch(g, self.source).0)
+                    ClassState::Reach(ReachState::batch(g, source).0)
                 }
             }
             QueryClass::Lcc => {
@@ -251,6 +285,8 @@ impl SessionBuilder {
             QueryClass::Dfs => ClassState::Dfs(DfsState::batch(g).0),
             QueryClass::Bc => ClassState::Bc(BcState::batch(g).0),
         };
+        let snap = compute_snapshot(self.class, &state, g);
+        let drained_len = snap.digest_len();
         Ok(Session {
             class: self.class,
             // `batch_par` already configured the state's resume shards,
@@ -262,6 +298,11 @@ impl SessionBuilder {
                 micro_batch: self.micro_batch,
             },
             state,
+            snap,
+            pending_entries: BTreeMap::new(),
+            pending_nodes: BTreeMap::new(),
+            drained_len,
+            cand_buf: Vec::new(),
         })
     }
 }
@@ -278,21 +319,125 @@ enum ClassState {
     Bc(BcState),
 }
 
+/// Builds the full [`OutputSnapshot`] of a class state — the historical
+/// digest computation, split into the per-node entry stream and the
+/// class-specific tail so the two concatenate byte-identically.
+fn compute_snapshot(class: QueryClass, state: &ClassState, g: &DynamicGraph) -> OutputSnapshot {
+    let n = g.node_count();
+    match state {
+        ClassState::Sssp(s) => OutputSnapshot::new(class, n, 1, s.distances().to_vec(), vec![]),
+        ClassState::Cc(s) => OutputSnapshot::new(
+            class,
+            n,
+            1,
+            s.components().iter().map(|&c| c as u64).collect(),
+            vec![],
+        ),
+        ClassState::Sim(s) => {
+            let q = s.pattern().node_count();
+            let mut out = Vec::with_capacity(n * q);
+            for v in 0..n as NodeId {
+                for u in 0..q {
+                    out.push(s.matches(g, v, u) as u64);
+                }
+            }
+            OutputSnapshot::new(class, n, q, out, vec![])
+        }
+        ClassState::Reach(s) => OutputSnapshot::new(
+            class,
+            n,
+            1,
+            s.reached().iter().map(|&b| b as u64).collect(),
+            vec![],
+        ),
+        ClassState::Lcc(s) => OutputSnapshot::new(
+            class,
+            n,
+            1,
+            (0..n as NodeId)
+                .map(|v| (s.degree(v) << 32) | (s.triangles(v) & 0xffff_ffff))
+                .collect(),
+            vec![],
+        ),
+        ClassState::Dfs(s) => OutputSnapshot::new(
+            class,
+            n,
+            3,
+            (0..n as NodeId)
+                .flat_map(|v| [s.first(v) as u64, s.last(v) as u64, s.parent(v) as u64])
+                .collect(),
+            vec![],
+        ),
+        ClassState::Bc(s) => OutputSnapshot::new(
+            class,
+            n,
+            1,
+            (0..n as NodeId)
+                .map(|v| ((s.low(v) as u64) << 1) | s.is_articulation(g, v) as u64)
+                .collect(),
+            s.bridges(g)
+                .into_iter()
+                .map(|(a, b)| ((a as u64) << 32) | b as u64)
+                .collect(),
+        ),
+    }
+}
+
+/// Recomputes one digest entry of an engine-backed class from its state.
+/// Only called on the candidate-restricted refresh path, which DFS and
+/// BC (full-rescan classes) never take.
+fn entry_value(state: &ClassState, g: &DynamicGraph, i: usize) -> u64 {
+    match state {
+        ClassState::Sssp(s) => s.distances()[i],
+        ClassState::Cc(s) => s.components()[i] as u64,
+        ClassState::Sim(s) => {
+            let q = s.pattern().node_count();
+            s.matches(g, (i / q) as NodeId, i % q) as u64
+        }
+        ClassState::Reach(s) => s.reached()[i] as u64,
+        ClassState::Lcc(s) => {
+            let v = i as NodeId;
+            (s.degree(v) << 32) | (s.triangles(v) & 0xffff_ffff)
+        }
+        ClassState::Dfs(_) | ClassState::Bc(_) => unreachable!("full-rescan classes"),
+    }
+}
+
 /// A live query-class state plus the [`ExecOptions`] it runs under.
 /// Built by [`Session::builder`]; see the module docs.
+///
+/// The session keeps its [`OutputSnapshot`] materialized and coherent:
+/// every mutation routes through the [`IncrementalState`] impl (the
+/// concrete state is private), whose overrides refresh the snapshot —
+/// from the engine's changed-set after an incremental update, by full
+/// rescan after a recompute, load, or geometry change — and accumulate
+/// the net changes for the next [`take_delta`](Session::take_delta).
 pub struct Session {
     class: QueryClass,
     exec: ExecOptions,
     state: ClassState,
+    /// The materialized output, always current.
+    snap: OutputSnapshot,
+    /// Digest entry index → value at the last drain point, recorded on
+    /// the entry's *first* change since that drain (so self-cancelling
+    /// changes net out to nothing at drain time).
+    pending_entries: BTreeMap<u32, u64>,
+    /// Node → σ_x at the last drain point (`None` = node did not exist).
+    pending_nodes: BTreeMap<u32, Option<u64>>,
+    /// Digest length at the last drain point; a differing current length
+    /// means the geometry changed and entry diffs are meaningless.
+    drained_len: usize,
+    /// Reusable candidate buffer for the restricted refresh.
+    cand_buf: Vec<usize>,
 }
 
 impl Session {
-    /// Starts a builder for `class` with the defaults: source 0, no
+    /// Starts a builder for `class` with the defaults: no source, no
     /// pattern, sequential, default policy, no audit.
     pub fn builder(class: QueryClass) -> SessionBuilder {
         SessionBuilder {
             class,
-            source: 0,
+            source: None,
             pattern: None,
             threads: 1,
             policy: FallbackPolicy::default(),
@@ -317,14 +462,128 @@ impl Session {
     }
 
     /// One hardened incremental step under the stored options — the
-    /// session-flavored [`update_with`](crate::update_with).
-    pub fn update_guarded(
-        &mut self,
-        g: &DynamicGraph,
-        applied: &AppliedBatch,
-    ) -> BoundednessReport {
+    /// session-flavored [`update_with`](crate::update_with) — returning
+    /// both the boundedness report and the typed [`OutputDelta`] of the
+    /// step. Fallback paths (budget abort → recompute, failed audit →
+    /// recompute) still produce the correct *net* delta: each inner
+    /// mutation accumulates into the pending maps and the drain compares
+    /// first-old against last-new.
+    pub fn update_guarded(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> TrackedUpdate {
         let exec = self.exec;
-        update_with(self, g, applied, &exec)
+        let report = update_with(self, g, applied, &exec);
+        TrackedUpdate {
+            report,
+            delta: self.take_delta(),
+        }
+    }
+
+    /// The materialized output snapshot (always current).
+    pub fn output(&self) -> &OutputSnapshot {
+        &self.snap
+    }
+
+    /// Drains the changes accumulated since the previous drain point
+    /// (session construction, the last `take_delta`, or the last
+    /// [`update_guarded`](Self::update_guarded), which drains internally)
+    /// into one net [`OutputDelta`]. Entries and nodes whose value
+    /// returned to the drained-point value are filtered out, so a
+    /// self-cancelling update yields an empty delta — matching the old
+    /// "digests compare equal" behavior bit for bit.
+    pub fn take_delta(&mut self) -> OutputDelta {
+        let cur_len = self.snap.digest_len();
+        let resync = (cur_len != self.drained_len).then_some(cur_len);
+        let mut changes = Vec::new();
+        if resync.is_none() {
+            for (&i, &old) in &self.pending_entries {
+                let new = self.snap.entry(i as usize);
+                if new != old {
+                    changes.push(OutputChange { index: i, old, new });
+                }
+            }
+        }
+        let mut nodes = Vec::new();
+        for (&v, &old) in &self.pending_nodes {
+            if (v as usize) < self.snap.nodes() {
+                let new = self.snap.node_value(v as usize);
+                if old != Some(new) {
+                    nodes.push(NodeChange { node: v, old, new });
+                }
+            }
+        }
+        self.pending_entries.clear();
+        self.pending_nodes.clear();
+        self.drained_len = cur_len;
+        OutputDelta {
+            changes,
+            nodes,
+            resync,
+        }
+    }
+
+    /// Refreshes the snapshot after an inner incremental update: the
+    /// candidate-restricted path when the class is engine-backed and the
+    /// geometry is unchanged (candidates = scope ∪ engine changed-set, a
+    /// safe superset — see the per-class `delta_candidates`), a full
+    /// rescan otherwise (DFS/BC, node growth).
+    fn refresh_after_update(&mut self, g: &DynamicGraph) {
+        let geometry_ok = self.snap.nodes() == g.node_count();
+        let mut cand = std::mem::take(&mut self.cand_buf);
+        cand.clear();
+        if geometry_ok {
+            match &self.state {
+                ClassState::Sssp(s) => s.delta_candidates(&mut cand),
+                ClassState::Cc(s) => s.delta_candidates(&mut cand),
+                ClassState::Sim(s) => s.delta_candidates(&mut cand),
+                ClassState::Reach(s) => s.delta_candidates(&mut cand),
+                ClassState::Lcc(s) => s.delta_candidates(&mut cand),
+                ClassState::Dfs(_) | ClassState::Bc(_) => {}
+            }
+        }
+        if geometry_ok && !matches!(self.state, ClassState::Dfs(_) | ClassState::Bc(_)) {
+            cand.sort_unstable();
+            cand.dedup();
+            let stride = self.snap.stride();
+            for &i in &cand {
+                if i >= self.snap.entries().len() {
+                    continue; // stale log entry beyond the current stream
+                }
+                let new = entry_value(&self.state, g, i);
+                let old = self.snap.entries()[i];
+                if new != old {
+                    let v = (i / stride) as u32;
+                    self.pending_nodes
+                        .entry(v)
+                        .or_insert_with(|| Some(self.snap.node_value(v as usize)));
+                    self.pending_entries.entry(i as u32).or_insert(old);
+                    self.snap.set_entry(i, new);
+                }
+            }
+        } else {
+            self.full_refresh(g);
+        }
+        self.cand_buf = cand;
+    }
+
+    /// Recomputes the snapshot from scratch and accumulates every
+    /// difference into the pending maps — the path for full-rescan
+    /// classes, recomputes, state loads, and geometry changes.
+    fn full_refresh(&mut self, g: &DynamicGraph) {
+        let fresh = compute_snapshot(self.class, &self.state, g);
+        let old = &self.snap;
+        let common = old.digest_len().min(fresh.digest_len());
+        for i in 0..common {
+            if old.entry(i) != fresh.entry(i) {
+                self.pending_entries.entry(i as u32).or_insert(old.entry(i));
+            }
+        }
+        for v in 0..fresh.nodes() {
+            let newv = fresh.node_value(v);
+            let oldv = (v < old.nodes()).then(|| old.node_value(v));
+            if oldv != Some(newv) {
+                self.pending_nodes.entry(v as u32).or_insert(oldv);
+            }
+        }
+        self.snap = fresh;
     }
 
     fn inner(&self) -> &dyn IncrementalState {
@@ -354,39 +613,10 @@ impl Session {
     /// Canonical value digest: one `u64` stream, index-aligned to the
     /// class's status variables where the class is engine-backed (the
     /// basis of the differential oracle's AFF diff), value-complete for
-    /// all seven.
-    pub fn digest(&self, g: &DynamicGraph) -> Vec<u64> {
-        let n = g.node_count();
-        match &self.state {
-            ClassState::Sssp(s) => s.distances().to_vec(),
-            ClassState::Cc(s) => s.components().iter().map(|&c| c as u64).collect(),
-            ClassState::Sim(s) => {
-                let q = s.pattern().node_count();
-                let mut out = Vec::with_capacity(n * q);
-                for v in 0..n as NodeId {
-                    for u in 0..q {
-                        out.push(s.matches(g, v, u) as u64);
-                    }
-                }
-                out
-            }
-            ClassState::Reach(s) => s.reached().iter().map(|&b| b as u64).collect(),
-            ClassState::Lcc(s) => (0..n as NodeId)
-                .map(|v| (s.degree(v) << 32) | (s.triangles(v) & 0xffff_ffff))
-                .collect(),
-            ClassState::Dfs(s) => (0..n as NodeId)
-                .flat_map(|v| [s.first(v) as u64, s.last(v) as u64, s.parent(v) as u64])
-                .collect(),
-            ClassState::Bc(s) => {
-                let mut out: Vec<u64> = (0..n as NodeId)
-                    .map(|v| ((s.low(v) as u64) << 1) | s.is_articulation(g, v) as u64)
-                    .collect();
-                for (a, b) in s.bridges(g) {
-                    out.push(((a as u64) << 32) | b as u64);
-                }
-                out
-            }
-        }
+    /// all seven. A thin shim over the maintained [`OutputSnapshot`] —
+    /// byte-identical to the historical per-call computation.
+    pub fn digest(&self, _g: &DynamicGraph) -> Vec<u64> {
+        self.snap.to_digest()
     }
 }
 
@@ -400,11 +630,15 @@ impl IncrementalState for Session {
     }
 
     fn update(&mut self, g: &DynamicGraph, applied: &AppliedBatch) -> BoundednessReport {
-        self.inner_mut().update(g, applied)
+        let report = self.inner_mut().update(g, applied);
+        self.refresh_after_update(g);
+        report
     }
 
     fn recompute(&mut self, g: &DynamicGraph) -> RunStats {
-        self.inner_mut().recompute(g)
+        let stats = self.inner_mut().recompute(g);
+        self.full_refresh(g);
+        stats
     }
 
     fn audit(&self, g: &DynamicGraph, audit: &FixpointAudit) -> AuditReport {
@@ -428,7 +662,9 @@ impl IncrementalState for Session {
     }
 
     fn load_state(&mut self, g: &DynamicGraph, bytes: &[u8]) -> Result<(), StateLoadError> {
-        self.inner_mut().load_state(g, bytes)
+        self.inner_mut().load_state(g, bytes)?;
+        self.full_refresh(g);
+        Ok(())
     }
 }
 
@@ -446,19 +682,59 @@ mod tests {
         g
     }
 
+    /// Builder with exactly the options `class` consumes.
+    fn builder_for(class: QueryClass) -> SessionBuilder {
+        let mut b = Session::builder(class);
+        if class.source_rooted() {
+            b = b.source(0);
+        }
+        if class == QueryClass::Sim {
+            b = b.pattern(Pattern::new(vec![0], &[]));
+        }
+        b
+    }
+
     #[test]
     fn builder_covers_all_seven_classes() {
         let g = ring(12);
         for class in QueryClass::ALL {
-            let session = Session::builder(class)
-                .source(0)
-                .pattern(Pattern::new(vec![0], &[]))
-                .build(&g)
-                .expect("build");
+            let session = builder_for(class).build(&g).expect("build");
             assert_eq!(session.class(), class);
             assert_eq!(session.name(), class.name());
             assert!(!session.digest(&g).is_empty());
             assert!(session.space_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn inapplicable_options_are_refused() {
+        let g = ring(8);
+        for class in QueryClass::ALL {
+            if !class.source_rooted() {
+                assert_eq!(
+                    Session::builder(class).source(0).build(&g).err(),
+                    Some(SessionError::OptionNotApplicable {
+                        class,
+                        option: "source"
+                    }),
+                    "{}",
+                    class.name()
+                );
+            }
+            if class != QueryClass::Sim {
+                assert_eq!(
+                    Session::builder(class)
+                        .pattern(Pattern::new(vec![0], &[]))
+                        .build(&g)
+                        .err(),
+                    Some(SessionError::OptionNotApplicable {
+                        class,
+                        option: "pattern"
+                    }),
+                    "{}",
+                    class.name()
+                );
+            }
         }
     }
 
@@ -475,15 +751,8 @@ mod tests {
     fn parallel_build_matches_sequential_digest() {
         let g = ring(16);
         for class in QueryClass::ALL.into_iter().filter(|c| c.par_capable()) {
-            let seq = Session::builder(class)
-                .pattern(Pattern::new(vec![0], &[]))
-                .build(&g)
-                .unwrap();
-            let par = Session::builder(class)
-                .pattern(Pattern::new(vec![0], &[]))
-                .threads(2)
-                .build(&g)
-                .unwrap();
+            let seq = builder_for(class).build(&g).unwrap();
+            let par = builder_for(class).threads(2).build(&g).unwrap();
             assert_eq!(seq.digest(&g), par.digest(&g), "{}", class.name());
         }
     }
@@ -496,18 +765,108 @@ mod tests {
         batch.insert(2, 10, 2).delete(5, 6);
         let applied = batch.apply(&mut g);
         for class in QueryClass::ALL {
-            let mut session = Session::builder(class)
-                .pattern(Pattern::new(vec![0], &[]))
+            let mut session = builder_for(class)
                 .audit(FixpointAudit::full())
                 .build(&g0)
                 .unwrap();
-            let report = session.update_guarded(&g, &applied);
+            let tracked = session.update_guarded(&g, &applied);
             assert!(
-                !report.fell_back(),
+                !tracked.report.fell_back(),
                 "{}: {:?}",
                 class.name(),
-                report.fallback
+                tracked.report.fallback
             );
+        }
+    }
+
+    /// The delta contract, pinned against the ground truth the old
+    /// callers computed by hand: applying the entry-level changes to the
+    /// previous digest must reproduce the new digest exactly, for every
+    /// class, across a multi-round churn schedule.
+    #[test]
+    fn output_delta_replays_the_digest_diff_for_all_classes() {
+        use incgraph_graph::rng::SplitMix64;
+        let g0 = ring(14);
+        for class in QueryClass::ALL {
+            let mut g = g0.clone();
+            let mut session = builder_for(class).build(&g).unwrap();
+            let mut prev = session.digest(&g);
+            let mut rng = SplitMix64::seed_from_u64(0xD1F7 + class as u64);
+            for round in 0..12 {
+                let mut batch = UpdateBatch::new();
+                for _ in 0..3 {
+                    let u = rng.gen_range(0..14) as u32;
+                    let v = rng.gen_range(0..14) as u32;
+                    if rng.gen_bool(0.5) {
+                        batch.insert(u, v, 1 + rng.gen_range(0..4) as u32);
+                    } else {
+                        batch.delete(u, v);
+                    }
+                }
+                let applied = batch.apply(&mut g);
+                let tracked = session.update_guarded(&g, &applied);
+                let now = session.digest(&g);
+                let delta = &tracked.delta;
+                if let Some(len) = delta.resync {
+                    assert_eq!(len, now.len(), "{} round {round}", class.name());
+                } else {
+                    assert_eq!(prev.len(), now.len());
+                    let mut replay = prev.clone();
+                    for c in &delta.changes {
+                        assert_eq!(replay[c.index as usize], c.old, "{}", class.name());
+                        replay[c.index as usize] = c.new;
+                    }
+                    assert_eq!(replay, now, "{} round {round}", class.name());
+                }
+                // Node-level changes must agree with the snapshot's
+                // per-node values on both ends.
+                let snap = session.output();
+                for nc in &delta.nodes {
+                    assert_eq!(nc.new, snap.node_value(nc.node as usize));
+                }
+                assert_eq!(session.output().to_digest(), now);
+                prev = now;
+            }
+        }
+    }
+
+    /// A self-cancelling guarded update (insert then delete of the same
+    /// edge in one batch) produces an empty delta — the behavior DELTA
+    /// consumers relied on when they compared digests.
+    #[test]
+    fn self_cancelling_update_yields_an_empty_delta() {
+        let g0 = ring(10);
+        for class in QueryClass::ALL {
+            let mut g = g0.clone();
+            let mut session = builder_for(class).build(&g).unwrap();
+            let mut batch = UpdateBatch::new();
+            batch.insert(1, 4, 2).delete(1, 4);
+            let applied = batch.apply(&mut g);
+            let tracked = session.update_guarded(&g, &applied);
+            assert!(
+                tracked.delta.is_empty(),
+                "{}: {:?}",
+                class.name(),
+                tracked.delta
+            );
+        }
+    }
+
+    /// Parallel shards must produce the same delta as the sequential
+    /// engine (the changed-set instrumentation covers both paths).
+    #[test]
+    fn parallel_update_produces_the_same_delta() {
+        let g0 = ring(16);
+        let mut g = g0.clone();
+        let mut batch = UpdateBatch::new();
+        batch.delete(3, 4).insert(0, 9, 1);
+        let applied = batch.apply(&mut g);
+        for class in QueryClass::ALL.into_iter().filter(|c| c.par_capable()) {
+            let mut seq = builder_for(class).build(&g0).unwrap();
+            let mut par = builder_for(class).threads(2).build(&g0).unwrap();
+            let d_seq = seq.update_guarded(&g, &applied).delta;
+            let d_par = par.update_guarded(&g, &applied).delta;
+            assert_eq!(d_seq, d_par, "{}", class.name());
         }
     }
 

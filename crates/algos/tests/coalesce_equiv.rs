@@ -103,9 +103,14 @@ fn round_batches(g: &DynamicGraph, rng: &mut SplitMix64) -> Vec<UpdateBatch> {
 }
 
 fn build_session(class: QueryClass, g: &DynamicGraph, micro_batch: bool) -> Session {
-    Session::builder(class)
-        .source(0)
-        .pattern(Pattern::new(vec![0, 1], &[(0, 1)]))
+    let mut builder = Session::builder(class);
+    if class.source_rooted() {
+        builder = builder.source(0);
+    }
+    if class == QueryClass::Sim {
+        builder = builder.pattern(Pattern::new(vec![0, 1], &[(0, 1)]));
+    }
+    builder
         .micro_batch(micro_batch)
         .build(g)
         .expect("build session")

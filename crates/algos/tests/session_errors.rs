@@ -117,7 +117,10 @@ fn empty_graph_sessions_build_and_digest_empty() {
 fn single_node_graph_survives_an_update_cycle() {
     for class in QueryClass::ALL {
         let mut g = DynamicGraph::new(false, 1);
-        let mut builder = Session::builder(class).source(0);
+        let mut builder = Session::builder(class);
+        if class.source_rooted() {
+            builder = builder.source(0);
+        }
         if class == QueryClass::Sim {
             builder = builder.pattern(tiny_pattern());
         }
@@ -160,9 +163,62 @@ fn out_of_range_source_is_a_typed_refusal_not_a_panic() {
             .build(&g)
             .unwrap_or_else(|e| panic!("{} with source 2 refused: {e}", class.name()));
     }
-    // Classes that ignore the source keep ignoring it.
-    Session::builder(QueryClass::Cc)
-        .source(99)
-        .build(&g)
-        .expect("cc ignores the source");
+    // Classes that do not take a source refuse it outright instead of
+    // silently ignoring it (the old behavior masked caller bugs).
+    match Session::builder(QueryClass::Cc).source(99).build(&g) {
+        Err(SessionError::OptionNotApplicable {
+            class: QueryClass::Cc,
+            option: "source",
+        }) => {}
+        Err(other) => panic!("cc with a source: {other:?}"),
+        Ok(_) => panic!("cc accepted a source"),
+    }
+}
+
+#[test]
+fn inapplicable_builder_options_are_typed_refusals() {
+    let g = DynamicGraph::new(false, 4);
+    for class in QueryClass::ALL {
+        // `source` is only meaningful for the source-rooted classes.
+        if !class.source_rooted() {
+            let mut builder = Session::builder(class).source(1);
+            if class == QueryClass::Sim {
+                builder = builder.pattern(tiny_pattern());
+            }
+            match builder.build(&g) {
+                Err(SessionError::OptionNotApplicable {
+                    class: c,
+                    option: "source",
+                }) => assert_eq!(c, class),
+                Err(other) => panic!("{}: unexpected error {other:?}", class.name()),
+                Ok(_) => panic!("{} accepted a source", class.name()),
+            }
+        }
+        // `pattern` is Sim-only.
+        if class != QueryClass::Sim {
+            let mut builder = Session::builder(class).pattern(tiny_pattern());
+            if class.source_rooted() {
+                builder = builder.source(0);
+            }
+            match builder.build(&g) {
+                Err(SessionError::OptionNotApplicable {
+                    class: c,
+                    option: "pattern",
+                }) => assert_eq!(c, class),
+                Err(other) => panic!("{}: unexpected error {other:?}", class.name()),
+                Ok(_) => panic!("{} accepted a pattern", class.name()),
+            }
+        }
+    }
+    // The message names the class and the option — the server ships it
+    // verbatim in an ERR reply.
+    let msg = SessionError::OptionNotApplicable {
+        class: QueryClass::Cc,
+        option: "source",
+    }
+    .to_string();
+    assert!(
+        msg.contains("cc") && msg.contains("source"),
+        "unhelpful: {msg}"
+    );
 }

@@ -233,8 +233,10 @@ const USAGE: &str = "usage: incgraph <sssp|cc|sim|dfs|lcc|bc|reach> --graph G.tx
                      \u{20}      incgraph bench [--threads N[,N…]] [--scale F] [--out BENCH.json] \
                      [--check-against BASELINE.json]\n\
                      \u{20}      incgraph fuzz [--seed S] [--cases N] [--budget-secs T] \
-                     [--inject-fault skip-op|drop-deletes] [--crash] [--coalesce] [--corpus DIR] \
-                     [--max-nodes N]\n\
+                     [--inject-fault skip-op|drop-deletes] [--crash] [--coalesce] [--dataflow] \
+                     [--corpus DIR] [--max-nodes N]\n\
+                     \u{20}      incgraph query --plan 'a = sssp(source=0); n = count(a)' \
+                     --graph G.txt [--updates D.txt] [--directed] [--pattern-seed S] [--out F]\n\
                      \u{20}      incgraph replay <FILE.case|DIR>...\n\
                      \u{20}      incgraph checkpoint --store DIR [--graph G.txt] [--updates D.txt] \
                      [--directed] [--source N] [--seed S] [--classes c1,c2,…]\n\
@@ -663,6 +665,7 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
             "--no-corpus" => cfg.corpus_dir = None,
             "--crash" => cfg.crash = true,
             "--coalesce" => cfg.coalesce = true,
+            "--dataflow" => cfg.dataflow = true,
             "--max-nodes" => {
                 cfg.gen.max_nodes = it
                     .next()
@@ -689,7 +692,7 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
             f.name()
         ),
         None => eprintln!(
-            "fuzz: seed {}, up to {} cases{}{}",
+            "fuzz: seed {}, up to {} cases{}{}{}",
             cfg.seed,
             cfg.cases,
             if cfg.crash {
@@ -699,6 +702,11 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
             },
             if cfg.coalesce {
                 ", with the coalesce oracle"
+            } else {
+                ""
+            },
+            if cfg.dataflow {
+                ", with the dataflow oracle"
             } else {
                 ""
             }
@@ -782,6 +790,92 @@ fn run_fuzz(argv: &[String]) -> Result<(), CliError> {
             }
         }
     }
+}
+
+/// `incgraph query --plan`: one-shot evaluation of an `incgraph-plan/1`
+/// program over an edge-list graph (optionally after an update file),
+/// printing the resulting view as `key value weight` rows. The same
+/// plan text registers as a standing query against `incgraph serve`
+/// via the wire `PLAN` verb.
+fn run_query(argv: &[String]) -> Result<(), CliError> {
+    use incgraph_dataflow::{eval_once, PlanContext, PLAN_GRAMMAR};
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n{USAGE}"));
+    let mut plan: Option<String> = None;
+    let mut graph = String::new();
+    let mut updates: Option<String> = None;
+    let mut directed = false;
+    let mut pattern_seed = 42u64;
+    let mut out: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--plan" => {
+                plan = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--plan needs a program"))?
+                        .clone(),
+                )
+            }
+            "--graph" => {
+                graph = it
+                    .next()
+                    .ok_or_else(|| usage("--graph needs a path"))?
+                    .clone()
+            }
+            "--updates" => {
+                updates = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--updates needs a path"))?
+                        .clone(),
+                )
+            }
+            "--directed" => directed = true,
+            "--pattern-seed" => {
+                pattern_seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--pattern-seed needs an integer"))?
+            }
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--out needs a path"))?
+                        .clone(),
+                )
+            }
+            flag => return Err(usage(&format!("unknown query flag {flag}"))),
+        }
+    }
+    let plan = plan.ok_or_else(|| usage("query needs --plan '<program>'"))?;
+    if graph.is_empty() {
+        return Err(usage("query needs --graph G.txt"));
+    }
+    let f = std::fs::File::open(&graph).map_err(|e| CliError::FileUnreadable {
+        path: graph.clone(),
+        source: e,
+    })?;
+    let mut g = read_graph(f, directed).map_err(|e| read_error(&graph, e))?;
+    if let Some(p) = &updates {
+        let f = std::fs::File::open(p).map_err(|e| CliError::FileUnreadable {
+            path: p.clone(),
+            source: e,
+        })?;
+        let batch = read_updates(f).map_err(|e| read_error(p, e))?;
+        batch.apply(&mut g);
+    }
+    let ctx = PlanContext {
+        pattern: Some(random_pattern(&g, 4, 6, pattern_seed)),
+        threads: 0,
+    };
+    let view = eval_once(&plan, &g, &ctx)
+        .map_err(|e| CliError::Usage(format!("bad plan ({PLAN_GRAMMAR}): {e}")))?;
+    eprintln!(
+        "query: {} view row(s) over |V|={} |E|={}",
+        view.len(),
+        g.node_count(),
+        g.edge_count()
+    );
+    write_out(&out, view.iter().map(|(k, v, w)| format!("{k} {v} {w}")))
 }
 
 /// `incgraph replay`: re-run corpus case files through the full oracle
@@ -957,7 +1051,10 @@ fn store_states(
     for name in &names {
         let class = QueryClass::from_name(name)
             .ok_or_else(|| CliError::Usage(format!("unknown class {name}\n{USAGE}")))?;
-        let mut builder = Session::builder(class).source(args.source);
+        let mut builder = Session::builder(class);
+        if class.source_rooted() {
+            builder = builder.source(args.source);
+        }
         if class == QueryClass::Sim {
             builder = builder.pattern(random_pattern(g, 4, 6, args.seed));
         }
@@ -1837,6 +1934,7 @@ fn run() -> Result<(), CliError> {
 fn dispatch(argv: &[String], obs: &ObsSetup) -> Result<(), CliError> {
     match argv.first().map(String::as_str) {
         Some("fuzz") => return run_fuzz(&argv[1..]),
+        Some("query") => return run_query(&argv[1..]),
         Some("replay") => return run_replay(&argv[1..]),
         Some("checkpoint") => return run_checkpoint(&argv[1..]),
         Some("recover") => return run_recover(&argv[1..]),

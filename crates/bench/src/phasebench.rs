@@ -53,9 +53,11 @@ pub fn run_phases(threads: usize, scale: f64) {
         let g0 = Dataset::LiveJournal.graph(directed, class_scale);
         let src = sample_sources(&g0, 1, 7)[0];
         let mut builder = Session::builder(class)
-            .source(src)
             .threads(threads)
             .audit(FixpointAudit::full());
+        if class.source_rooted() {
+            builder = builder.source(src);
+        }
         if class == QueryClass::Sim {
             builder = builder.pattern(random_pattern(&g0, 4, 6, 11));
         }
@@ -63,7 +65,11 @@ pub fn run_phases(threads: usize, scale: f64) {
         let delta = random_batch_pct(&g0, DELTA_PCT, 100, 0xb5 + i as u64);
         let mut g1 = g0.clone();
         let applied = delta.apply(&mut g1);
-        session.update_guarded(&g1, &applied);
+        let tracked = session.update_guarded(&g1, &applied);
+        // The typed output delta is the probe's freshness payload: how
+        // many digest entries the 1% ΔG actually moved, per class — the
+        // same figure the service ships as a DELTA notification.
+        incgraph_obs::observe("output.delta.entries", tracked.delta.changes.len() as u64);
     }
 
     // Durable segment: two WAL-logged batches, a checkpoint, one more
@@ -151,6 +157,12 @@ mod tests {
             assert!(
                 snap.hists.get(&key).is_some_and(|h| h.count() >= 1),
                 "missing update.guarded histogram for {}",
+                class.name()
+            );
+            let key = (class.name().to_string(), "output.delta.entries".to_string());
+            assert!(
+                snap.hists.get(&key).is_some_and(|h| h.count() >= 1),
+                "missing output.delta.entries histogram for {}",
                 class.name()
             );
         }

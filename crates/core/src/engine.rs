@@ -109,6 +109,11 @@ pub struct Engine {
     work_budget: Option<u64>,
     /// Peak heap length of the current/last run, for capacity policy.
     peak_heap: usize,
+    /// Variables whose value changed during the last run, in application
+    /// order (a variable may appear more than once). This is the engine's
+    /// changed-set: the scope `H⁰` alone is *not* a safe candidate set for
+    /// output diffing because propagation pushes dependents beyond it.
+    changed: Vec<usize>,
 }
 
 impl Engine {
@@ -124,7 +129,16 @@ impl Engine {
             epoch: 0,
             work_budget: None,
             peak_heap: 0,
+            changed: Vec::new(),
         }
+    }
+
+    /// Variables whose value changed during the last [`run`](Self::run),
+    /// in application order (duplicates possible). Cleared at the start of
+    /// every run; callers diffing outputs should union this with the
+    /// initial scope for a safe candidate superset.
+    pub fn changed_vars(&self) -> &[usize] {
+        &self.changed
     }
 
     /// Sets (or clears) the distinct-variable work budget for subsequent
@@ -160,6 +174,7 @@ impl Engine {
             + self.pend.capacity()
             + self.epoch_of.capacity() * 4
             + self.seen.capacity()
+            + self.changed.capacity() * std::mem::size_of::<usize>()
     }
 
     /// Runs the step function to a fixpoint from the given initial scope.
@@ -186,6 +201,7 @@ impl Engine {
         let _span = incgraph_obs::span("engine.run");
         self.advance_epoch();
         self.peak_heap = 0;
+        self.changed.clear();
         let mut stats = RunStats::default();
 
         let mut scope_len = 0usize;
@@ -237,6 +253,7 @@ impl Engine {
                     );
                     status.set(x, newv);
                     stats.changes += 1;
+                    self.changed.push(x);
                     self.propagate(spec, status, x, &newv, &mut stats);
                 } else if kind & PEND_PROP != 0 {
                     // The eval found σ_x already satisfied, but an earlier
@@ -294,6 +311,7 @@ impl Engine {
                         );
                         status.set(z, cand);
                         stats.changes += 1;
+                        self.changed.push(z);
                         let zr = spec.rank(z, &cand).min(RANK_CAP);
                         self.push(z, zr, PEND_PROP, stats);
                     }

@@ -188,6 +188,11 @@ pub struct ParEngine {
     /// size and re-center the bucket binning from the observed rank band
     /// before any push, without a steady-state allocation.
     seed_buf: Vec<(usize, u64)>,
+    /// Variables whose value changed during the last run (the engine's
+    /// changed-set; see [`Engine::changed_vars`](crate::Engine::changed_vars)).
+    /// On the sharded path this is the stamp-replay order; a poisoned run
+    /// leaves it empty because nothing was written back.
+    changed: Vec<usize>,
 }
 
 impl Clone for ParEngine {
@@ -242,7 +247,16 @@ impl ParEngine {
             pub_epoch: (0..num_vars).map(|_| AtomicU32::new(0)).collect(),
             workers,
             seed_buf: Vec::new(),
+            changed: Vec::new(),
         }
+    }
+
+    /// Variables whose value changed during the last [`run`](Self::run),
+    /// in write-back order (duplicates possible on the single-shard
+    /// path). Cleared at the start of every run; empty after a poisoned
+    /// run (which writes nothing back).
+    pub fn changed_vars(&self) -> &[usize] {
+        &self.changed
     }
 
     /// Number of variables this engine is sized for.
@@ -320,6 +334,7 @@ impl ParEngine {
         );
         let _span = incgraph_obs::span("engine.run");
         self.advance_epoch();
+        self.changed.clear();
         for w in &mut self.workers {
             w.stats = RunStats::default();
             w.seq = 0;
@@ -488,6 +503,7 @@ impl ParEngine {
         for &(_, _, _, x) in &order {
             let v = <S::Value as PackedValue>::unpack(self.cur[x].load(Relaxed));
             status.set(x, v);
+            self.changed.push(x);
         }
         for w in &mut workers {
             let dirty = std::mem::take(&mut w.dirty);
@@ -515,6 +531,7 @@ impl ParEngine {
     {
         let epoch = self.epoch;
         let budget = self.work_budget;
+        let mut changed = std::mem::take(&mut self.changed);
         let w = &mut self.workers[0];
         let mut deps = std::mem::take(&mut w.dep_buf);
         while let Some((rank, x)) = w.queue.pop() {
@@ -553,6 +570,7 @@ impl ParEngine {
                     );
                     status.set(x, newv);
                     w.stats.changes += 1;
+                    changed.push(x);
                     newv
                 } else if kind & PEND_PROP != 0 {
                     cur
@@ -577,6 +595,7 @@ impl ParEngine {
                             );
                             status.set(z, cand);
                             w.stats.changes += 1;
+                            changed.push(z);
                             let zr = spec.rank(z, &cand).min(RANK_CAP);
                             push_local(w, epoch, 1, z, zr, PEND_PROP);
                         }
@@ -589,7 +608,9 @@ impl ParEngine {
             }
         }
         w.dep_buf = deps;
-        w.stats
+        let stats = w.stats;
+        self.changed = changed;
+        stats
     }
 
     /// Rebuilds every worker's scratch from scratch — the recovery path

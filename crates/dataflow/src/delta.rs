@@ -1,0 +1,211 @@
+//! Z-set deltas and consolidated collections — the algebra every
+//! operator in this crate is linear (or bilinear) over.
+//!
+//! A [`Delta`] is a weighted batch of rows: weight `+1` inserts a row,
+//! `-1` retracts one, and arbitrary integer weights arise transiently
+//! inside operators (a join multiplies weights). A [`DiffCollection`] is
+//! the consolidated integral of all deltas applied so far: a multiset
+//! mapping each `(key, value)` row to its multiplicity. Together they
+//! give the standard incremental-view-maintenance contract:
+//!
+//! ```text
+//! collection_after = collection_before + delta
+//! op(collection + delta) = op(collection) + δop(delta, state)
+//! ```
+//!
+//! where `δop` touches only `O(|delta|)` rows (plus the documented
+//! rescan fallback of the extremum aggregates).
+
+use std::collections::BTreeMap;
+
+/// One weighted row change: `(key, value, weight)`.
+pub type Row<K, V> = (K, V, i64);
+
+/// A weighted batch of row changes. Rows are kept in insertion order and
+/// may mention the same `(key, value)` more than once;
+/// [`consolidate`](Delta::consolidate) merges them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Delta<K, V> {
+    rows: Vec<Row<K, V>>,
+}
+
+impl<K: Ord + Copy, V: Ord + Copy> Delta<K, V> {
+    /// Empty delta.
+    pub fn new() -> Self {
+        Delta { rows: Vec::new() }
+    }
+
+    /// Builds a delta from raw rows (zero weights are dropped).
+    pub fn from_rows(rows: impl IntoIterator<Item = Row<K, V>>) -> Self {
+        Delta {
+            rows: rows.into_iter().filter(|&(_, _, w)| w != 0).collect(),
+        }
+    }
+
+    /// Appends one weighted row.
+    pub fn push(&mut self, key: K, val: V, weight: i64) {
+        if weight != 0 {
+            self.rows.push((key, val, weight));
+        }
+    }
+
+    /// The raw weighted rows.
+    pub fn rows(&self) -> &[Row<K, V>] {
+        &self.rows
+    }
+
+    /// Number of raw rows (the operator cost unit).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the delta carries no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Merges duplicate `(key, value)` rows and drops zero-weight
+    /// residue, producing the canonical sorted form.
+    pub fn consolidate(&mut self) {
+        if self.rows.len() < 2 {
+            return;
+        }
+        let mut acc: BTreeMap<(K, V), i64> = BTreeMap::new();
+        for &(k, v, w) in &self.rows {
+            *acc.entry((k, v)).or_insert(0) += w;
+        }
+        self.rows = acc
+            .into_iter()
+            .filter(|&(_, w)| w != 0)
+            .map(|((k, v), w)| (k, v, w))
+            .collect();
+    }
+}
+
+/// A consolidated multiset of `(key, value)` rows: the integral of every
+/// delta applied so far. Multiplicities are kept per key so joins can
+/// index one side in `O(log n)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiffCollection<K, V> {
+    by_key: BTreeMap<K, BTreeMap<V, i64>>,
+    rows: usize,
+}
+
+impl<K: Ord + Copy, V: Ord + Copy> DiffCollection<K, V> {
+    /// Empty collection.
+    pub fn new() -> Self {
+        DiffCollection {
+            by_key: BTreeMap::new(),
+            rows: 0,
+        }
+    }
+
+    /// Applies one weighted row; rows whose multiplicity reaches zero
+    /// vanish.
+    pub fn apply_row(&mut self, key: K, val: V, weight: i64) {
+        if weight == 0 {
+            return;
+        }
+        let vals = self.by_key.entry(key).or_default();
+        let m = vals.entry(val).or_insert(0);
+        let was = *m != 0;
+        *m += weight;
+        let is = *m != 0;
+        if *m == 0 {
+            vals.remove(&val);
+            if vals.is_empty() {
+                self.by_key.remove(&key);
+            }
+        }
+        match (was, is) {
+            (false, true) => self.rows += 1,
+            (true, false) => self.rows -= 1,
+            _ => {}
+        }
+    }
+
+    /// Applies a whole delta.
+    pub fn apply(&mut self, delta: &Delta<K, V>) {
+        for &(k, v, w) in delta.rows() {
+            self.apply_row(k, v, w);
+        }
+    }
+
+    /// Multiplicity of one row (0 when absent).
+    pub fn multiplicity(&self, key: K, val: V) -> i64 {
+        self.by_key
+            .get(&key)
+            .and_then(|vals| vals.get(&val))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Distinct rows present (multiplicity ≠ 0).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The `(value, multiplicity)` entries under one key.
+    pub fn values_of(&self, key: K) -> impl Iterator<Item = (V, i64)> + '_ {
+        self.by_key
+            .get(&key)
+            .into_iter()
+            .flat_map(|vals| vals.iter().map(|(&v, &m)| (v, m)))
+    }
+
+    /// All rows in `(key, value)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, V, i64)> + '_ {
+        self.by_key
+            .iter()
+            .flat_map(|(&k, vals)| vals.iter().map(move |(&v, &m)| (k, v, m)))
+    }
+
+    /// All rows as a sorted vector — the materialized view shape the
+    /// wire `VIEW` reply and the CLI print.
+    pub fn to_rows(&self) -> Vec<(K, V, i64)> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consolidate_merges_and_drops_zeroes() {
+        let mut d: Delta<u64, u64> =
+            Delta::from_rows([(1, 5, 1), (1, 5, 1), (2, 7, 1), (2, 7, -1)]);
+        d.consolidate();
+        assert_eq!(d.rows(), &[(1, 5, 2)]);
+    }
+
+    #[test]
+    fn collection_tracks_multiplicities_and_row_count() {
+        let mut c: DiffCollection<u64, u64> = DiffCollection::new();
+        c.apply_row(3, 9, 1);
+        c.apply_row(3, 9, 1);
+        c.apply_row(3, 4, 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.multiplicity(3, 9), 2);
+        c.apply_row(3, 9, -2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.to_rows(), vec![(3, 4, 1)]);
+        c.apply_row(3, 4, -1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let mut c: DiffCollection<u64, u64> = DiffCollection::new();
+        let mut d = Delta::new();
+        d.push(1, 2, 1);
+        d.push(1, 2, -1);
+        c.apply(&d);
+        assert!(c.is_empty());
+    }
+}

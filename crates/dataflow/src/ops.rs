@@ -1,0 +1,234 @@
+//! Operator states and their per-tick delta evaluation.
+//!
+//! Every operator consumes its input deltas and produces an output delta
+//! touching `O(|Δinput|)` rows. The stateful operators (join, the
+//! aggregates) carry exactly the auxiliary structures that bound makes
+//! necessary: a join indexes both input collections by key; `count`/
+//! `sum` keep one running total; `min`/`max` keep their full input
+//! collection plus a cached extremum, falling back to an `O(n)` rescan
+//! only when a retraction hits the cached extremum itself
+//! (`dataflow.minmax.rescan` counts those).
+
+use crate::delta::{Delta, DiffCollection};
+use crate::plan::{AggKind, Expr, JoinVal, MapExpr, Plan, Pred};
+
+/// The concrete row delta the plan interpreter flows: node-keyed `u64`
+/// values.
+pub type Rows = Delta<u64, u64>;
+/// The concrete consolidated collection.
+pub type Coll = DiffCollection<u64, u64>;
+
+/// Mutable evaluation state of one plan binding.
+#[derive(Clone, Debug)]
+pub(crate) enum OpState {
+    /// Sources hold no state; their deltas come from the session.
+    Source,
+    Filter(Pred),
+    Map(MapExpr),
+    Join {
+        val: JoinVal,
+        left: Coll,
+        right: Coll,
+    },
+    /// `count` / `sum`: one running total (wrapping), plus whether the
+    /// initial row has been emitted yet.
+    Total {
+        kind: AggKind,
+        total: u64,
+        primed: bool,
+    },
+    /// `min` / `max`: the maintained input collection and the cached
+    /// extremum.
+    Extremum {
+        max: bool,
+        coll: Coll,
+        cur: Option<u64>,
+    },
+    Threshold(Pred),
+}
+
+impl OpState {
+    pub(crate) fn for_expr(expr: &Expr) -> OpState {
+        match *expr {
+            Expr::Source(_) => OpState::Source,
+            Expr::Filter { pred, .. } => OpState::Filter(pred),
+            Expr::Map { expr, .. } => OpState::Map(expr),
+            Expr::Join { val, .. } => OpState::Join {
+                val,
+                left: Coll::new(),
+                right: Coll::new(),
+            },
+            Expr::Agg { kind, .. } => match kind {
+                AggKind::Count | AggKind::Sum => OpState::Total {
+                    kind,
+                    total: 0,
+                    primed: false,
+                },
+                AggKind::Min => OpState::Extremum {
+                    max: false,
+                    coll: Coll::new(),
+                    cur: None,
+                },
+                AggKind::Max => OpState::Extremum {
+                    max: true,
+                    coll: Coll::new(),
+                    cur: None,
+                },
+            },
+            Expr::Threshold { pred, .. } => OpState::Threshold(pred),
+        }
+    }
+
+    /// Static operator name for the per-operator obs streams.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            OpState::Source => "source",
+            OpState::Filter(_) => "filter",
+            OpState::Map(_) => "map",
+            OpState::Join { .. } => "join",
+            OpState::Total { .. } => "agg",
+            OpState::Extremum { .. } => "agg",
+            OpState::Threshold(_) => "threshold",
+        }
+    }
+
+    /// One tick: consume the input deltas (one for unary operators, two
+    /// for a join; sources take none and echo nothing here) and return
+    /// the output delta, consolidated.
+    pub(crate) fn eval(&mut self, inputs: &[&Rows]) -> Rows {
+        let mut out = match self {
+            OpState::Source => Rows::new(),
+            OpState::Filter(pred) => Rows::from_rows(
+                inputs[0]
+                    .rows()
+                    .iter()
+                    .copied()
+                    .filter(|&(k, v, _)| pred.eval(k, v)),
+            ),
+            OpState::Map(expr) => Rows::from_rows(
+                inputs[0]
+                    .rows()
+                    .iter()
+                    .map(|&(k, v, w)| (k, expr.eval(v), w)),
+            ),
+            OpState::Join { val, left, right } => {
+                // Bilinear update: δ(A ⋈ B) = δA ⋈ B_pre + A_post ⋈ δB.
+                let (da, db) = (inputs[0], inputs[1]);
+                let mut out = Rows::new();
+                for &(k, va, wa) in da.rows() {
+                    for (vb, mb) in right.values_of(k) {
+                        out.push(k, val.eval(va, vb), wa * mb);
+                    }
+                }
+                left.apply(da);
+                for &(k, vb, wb) in db.rows() {
+                    for (va, ma) in left.values_of(k) {
+                        out.push(k, val.eval(va, vb), ma * wb);
+                    }
+                }
+                right.apply(db);
+                out
+            }
+            OpState::Total {
+                kind,
+                total,
+                primed,
+            } => {
+                let delta = inputs[0];
+                let dt: u64 = delta
+                    .rows()
+                    .iter()
+                    .map(|&(_, v, w)| match kind {
+                        AggKind::Count => w as u64,
+                        _ => v.wrapping_mul(w as u64),
+                    })
+                    .fold(0u64, u64::wrapping_add);
+                let mut out = Rows::new();
+                if !*primed {
+                    *total = (*total).wrapping_add(dt);
+                    out.push(0, *total, 1);
+                    *primed = true;
+                } else if dt != 0 {
+                    out.push(0, *total, -1);
+                    *total = (*total).wrapping_add(dt);
+                    out.push(0, *total, 1);
+                }
+                out
+            }
+            OpState::Extremum { max, coll, cur } => {
+                let delta = inputs[0];
+                coll.apply(delta);
+                let better = |a: u64, b: u64| if *max { a.max(b) } else { a.min(b) };
+                let mut next = *cur;
+                for &(_, v, w) in delta.rows() {
+                    if w > 0 {
+                        next = Some(next.map_or(v, |c| better(c, v)));
+                    }
+                }
+                // A retraction can only dethrone the extremum if it hits
+                // it; anything strictly worse is irrelevant. Only then do
+                // we pay the O(n) rescan — the documented fallback.
+                let hit = next.is_some()
+                    && delta
+                        .rows()
+                        .iter()
+                        .any(|&(_, v, w)| w < 0 && Some(v) == next);
+                if hit || (next.is_none() && !coll.is_empty()) {
+                    incgraph_obs::counter("dataflow.minmax.rescan", 1);
+                    next = coll.iter().map(|(_, v, _)| v).reduce(better);
+                } else if coll.is_empty() {
+                    next = None;
+                }
+                let mut out = Rows::new();
+                if next != *cur {
+                    if let Some(old) = *cur {
+                        out.push(0, old, -1);
+                    }
+                    if let Some(new) = next {
+                        out.push(0, new, 1);
+                    }
+                    *cur = next;
+                }
+                out
+            }
+            OpState::Threshold(pred) => {
+                let mut out = Rows::new();
+                let mut alerts = 0u64;
+                for &(k, v, w) in inputs[0].rows() {
+                    if pred.eval(k, v) {
+                        out.push(k, v, w);
+                        if w > 0 {
+                            alerts += w as u64;
+                        }
+                    }
+                }
+                if alerts > 0 {
+                    incgraph_obs::counter("dataflow.threshold.alerts", alerts);
+                }
+                out
+            }
+        };
+        out.consolidate();
+        out
+    }
+}
+
+/// The input binding indexes of one expression.
+pub(crate) fn expr_inputs(expr: &Expr) -> Vec<usize> {
+    match *expr {
+        Expr::Source(_) => vec![],
+        Expr::Filter { input, .. }
+        | Expr::Map { input, .. }
+        | Expr::Agg { input, .. }
+        | Expr::Threshold { input, .. } => vec![input],
+        Expr::Join { left, right, .. } => vec![left, right],
+    }
+}
+
+/// Builds the operator states for a plan, in binding order.
+pub(crate) fn states_for(plan: &Plan) -> Vec<OpState> {
+    plan.bindings()
+        .iter()
+        .map(|b| OpState::for_expr(&b.expr))
+        .collect()
+}

@@ -1,0 +1,685 @@
+//! The `incgraph-plan/1` grammar: a textual, line-oriented description
+//! of a dataflow DAG over query-class outputs.
+//!
+//! A plan is a `;`-separated sequence of named bindings, each referring
+//! only to **earlier** names — so definition order is a topological
+//! order of the DAG and shared sub-plans are written once and referenced
+//! many times:
+//!
+//! ```text
+//! d = sssp(source=0); near = filter(d, val < 6); n = count(near)
+//! ```
+//!
+//! Sources: `sssp(source=K)` / `reach(source=K)` (the `source=` argument
+//! is optional and defaults to 0), `cc`, `lcc`, `dfs`, `bc`, `sim`
+//! (pattern comes from the ambient [`PlanContext`], never from the plan
+//! text), and `labels` (the node → label table). Operators:
+//! `filter(x, PRED)`, `map(x, val OP N)`, `join(a, b[, val=MODE])`,
+//! `count(x)`, `sum(x)`, `min(x)`, `max(x)`, `threshold(x, PRED)`.
+//! `PRED` is `key` or `val` compared (`< <= > >= == !=`) to an unsigned
+//! literal; map `OP` is one of `+ - * / % >> << &`; join `MODE` is
+//! `left|right|sum|min|max` (default `sum`). The **last** binding is the
+//! plan's root view.
+//!
+//! [`Plan::parse`] and [`Plan::display`] round-trip: `display` emits the
+//! canonical single-line form (single spaces, explicit `source=`/`val=`
+//! arguments) and `parse(display(p)) == p` for every valid plan — tests
+//! pin this, and the wire protocol and the fuzz-case format both ship
+//! plans in canonical form.
+//!
+//! [`PlanContext`]: crate::PlanContext
+
+use incgraph_algos::QueryClass;
+use incgraph_graph::NodeId;
+use std::fmt;
+
+/// Grammar version tag; bump on any syntax or semantics change.
+pub const PLAN_GRAMMAR: &str = "incgraph-plan/1";
+
+/// The field a predicate inspects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Field {
+    /// The row key (a node id for class sources).
+    Key,
+    /// The row value (σ_x, a label, an aggregate).
+    Val,
+}
+
+impl Field {
+    fn name(self) -> &'static str {
+        match self {
+            Field::Key => "key",
+            Field::Val => "val",
+        }
+    }
+}
+
+/// Comparison operator of a predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl Cmp {
+    fn name(self) -> &'static str {
+        match self {
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "==",
+            Cmp::Ne => "!=",
+        }
+    }
+}
+
+/// A row predicate: `field cmp literal`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pred {
+    pub field: Field,
+    pub cmp: Cmp,
+    pub lit: u64,
+}
+
+impl Pred {
+    /// Evaluates the predicate on one row.
+    pub fn eval(&self, key: u64, val: u64) -> bool {
+        let x = match self.field {
+            Field::Key => key,
+            Field::Val => val,
+        };
+        match self.cmp {
+            Cmp::Lt => x < self.lit,
+            Cmp::Le => x <= self.lit,
+            Cmp::Gt => x > self.lit,
+            Cmp::Ge => x >= self.lit,
+            Cmp::Eq => x == self.lit,
+            Cmp::Ne => x != self.lit,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.field.name(), self.cmp.name(), self.lit)
+    }
+}
+
+/// Arithmetic operator of a `map` expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shr,
+    Shl,
+    And,
+}
+
+impl ArithOp {
+    fn name(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Rem => "%",
+            ArithOp::Shr => ">>",
+            ArithOp::Shl => "<<",
+            ArithOp::And => "&",
+        }
+    }
+}
+
+/// A value transform: `val OP lit`. Arithmetic is total and
+/// deterministic: add/sub/mul wrap, divide/remainder by zero yield 0,
+/// and shifts mask the count to 0..64.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MapExpr {
+    pub op: ArithOp,
+    pub lit: u64,
+}
+
+impl MapExpr {
+    /// Applies the transform to one value.
+    pub fn eval(&self, val: u64) -> u64 {
+        match self.op {
+            ArithOp::Add => val.wrapping_add(self.lit),
+            ArithOp::Sub => val.wrapping_sub(self.lit),
+            ArithOp::Mul => val.wrapping_mul(self.lit),
+            ArithOp::Div => val.checked_div(self.lit).unwrap_or(0),
+            ArithOp::Rem => val.checked_rem(self.lit).unwrap_or(0),
+            ArithOp::Shr => val >> (self.lit & 63),
+            ArithOp::Shl => val << (self.lit & 63),
+            ArithOp::And => val & self.lit,
+        }
+    }
+}
+
+impl fmt::Display for MapExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "val {} {}", self.op.name(), self.lit)
+    }
+}
+
+/// How a join combines the two matched values into the output value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinVal {
+    Left,
+    Right,
+    Sum,
+    Min,
+    Max,
+}
+
+impl JoinVal {
+    fn name(self) -> &'static str {
+        match self {
+            JoinVal::Left => "left",
+            JoinVal::Right => "right",
+            JoinVal::Sum => "sum",
+            JoinVal::Min => "min",
+            JoinVal::Max => "max",
+        }
+    }
+
+    /// Combines the matched left/right values.
+    pub fn eval(self, left: u64, right: u64) -> u64 {
+        match self {
+            JoinVal::Left => left,
+            JoinVal::Right => right,
+            JoinVal::Sum => left.wrapping_add(right),
+            JoinVal::Min => left.min(right),
+            JoinVal::Max => left.max(right),
+        }
+    }
+}
+
+/// Aggregate kind of a whole-collection reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggKind {
+    Count,
+    Sum,
+    Min,
+    Max,
+}
+
+impl AggKind {
+    fn name(self) -> &'static str {
+        match self {
+            AggKind::Count => "count",
+            AggKind::Sum => "sum",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+        }
+    }
+}
+
+/// A dataflow source: one query class's per-node output, or the node →
+/// label table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Source {
+    /// A class output; `source` is `Some` exactly for the source-rooted
+    /// classes (SSSP, Reach).
+    Class {
+        class: QueryClass,
+        source: Option<NodeId>,
+    },
+    /// The node → label table (`labels`).
+    Labels,
+}
+
+/// One plan expression. Operator inputs are indexes of earlier bindings
+/// (resolved at parse time), so a parsed plan is structurally a DAG in
+/// topological order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expr {
+    Source(Source),
+    Filter {
+        input: usize,
+        pred: Pred,
+    },
+    Map {
+        input: usize,
+        expr: MapExpr,
+    },
+    Join {
+        left: usize,
+        right: usize,
+        val: JoinVal,
+    },
+    Agg {
+        input: usize,
+        kind: AggKind,
+    },
+    Threshold {
+        input: usize,
+        pred: Pred,
+    },
+}
+
+/// One named binding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Binding {
+    pub name: String,
+    pub expr: Expr,
+}
+
+/// A parsed plan: bindings in definition (= topological) order; the last
+/// binding is the root view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Plan {
+    bindings: Vec<Binding>,
+}
+
+/// A plan-text rejection, with the offending binding for context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 0-based binding index the error was found in.
+    pub binding: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan binding {}: {}", self.binding, self.msg)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl Plan {
+    /// The bindings in definition order.
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// Index of the root view (the last binding).
+    pub fn root(&self) -> usize {
+        self.bindings.len() - 1
+    }
+
+    /// Every distinct source the plan reads, sorted.
+    pub fn sources(&self) -> Vec<Source> {
+        let mut out: Vec<Source> = self
+            .bindings
+            .iter()
+            .filter_map(|b| match b.expr {
+                Expr::Source(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Parses `incgraph-plan/1` text. Whitespace-insensitive; names must
+    /// be `[a-z_][a-z0-9_]*`; every reference must point at an earlier
+    /// binding.
+    pub fn parse(text: &str) -> Result<Plan, PlanParseError> {
+        let mut bindings: Vec<Binding> = Vec::new();
+        let err = |i: usize, msg: String| PlanParseError { binding: i, msg };
+        for (i, part) in text.split(';').map(str::trim).enumerate() {
+            if part.is_empty() {
+                return Err(err(i, "empty binding".into()));
+            }
+            let (name, expr_text) = part
+                .split_once('=')
+                .ok_or_else(|| err(i, format!("expected `name = expr`, got {part:?}")))?;
+            let name = name.trim();
+            if !ident_ok(name) {
+                return Err(err(i, format!("bad name {name:?}")));
+            }
+            if bindings.iter().any(|b| b.name == name) {
+                return Err(err(i, format!("duplicate name {name:?}")));
+            }
+            let expr = parse_expr(expr_text.trim(), &bindings).map_err(|msg| err(i, msg))?;
+            bindings.push(Binding {
+                name: name.to_string(),
+                expr,
+            });
+        }
+        if bindings.is_empty() {
+            return Err(err(0, "empty plan".into()));
+        }
+        Ok(Plan { bindings })
+    }
+
+    /// The canonical single-line form; [`Plan::parse`] of it yields an
+    /// equal plan.
+    pub fn display(&self) -> String {
+        self.bindings
+            .iter()
+            .map(|b| format!("{} = {}", b.name, self.expr_text(&b.expr)))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    fn expr_text(&self, expr: &Expr) -> String {
+        let name = |i: usize| self.bindings[i].name.as_str();
+        match *expr {
+            Expr::Source(Source::Class { class, source }) => match source {
+                Some(s) => format!("{}(source={s})", class.name()),
+                None => class.name().to_string(),
+            },
+            Expr::Source(Source::Labels) => "labels".to_string(),
+            Expr::Filter { input, pred } => format!("filter({}, {pred})", name(input)),
+            Expr::Map { input, expr } => format!("map({}, {expr})", name(input)),
+            Expr::Join { left, right, val } => {
+                format!("join({}, {}, val={})", name(left), name(right), val.name())
+            }
+            Expr::Agg { input, kind } => format!("{}({})", kind.name(), name(input)),
+            Expr::Threshold { input, pred } => {
+                format!("threshold({}, {pred})", name(input))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+fn ident_ok(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_lowercase() || c == '_')
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Splits `func(args)`; a bare identifier is returned with no args.
+fn split_call(text: &str) -> Result<(&str, Option<&str>), String> {
+    match text.find('(') {
+        None => Ok((text, None)),
+        Some(open) => {
+            let func = text[..open].trim_end();
+            let rest = &text[open + 1..];
+            let close = rest
+                .rfind(')')
+                .ok_or_else(|| format!("unclosed `(` in {text:?}"))?;
+            if !rest[close + 1..].trim().is_empty() {
+                return Err(format!("trailing garbage after `)` in {text:?}"));
+            }
+            Ok((func, Some(rest[..close].trim())))
+        }
+    }
+}
+
+/// Splits a top-level comma-separated argument list (no nesting in this
+/// grammar, so a plain split suffices).
+fn split_args(args: &str) -> Vec<&str> {
+    if args.is_empty() {
+        Vec::new()
+    } else {
+        args.split(',').map(str::trim).collect()
+    }
+}
+
+fn resolve(name: &str, bindings: &[Binding]) -> Result<usize, String> {
+    bindings
+        .iter()
+        .position(|b| b.name == name)
+        .ok_or_else(|| format!("unknown input {name:?} (must be an earlier binding)"))
+}
+
+fn parse_uint(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("bad number {s:?}"))
+}
+
+fn parse_pred(s: &str) -> Result<Pred, String> {
+    // Two-char operators first so `<=` is not read as `<` + `=5`.
+    const CMPS: [(&str, Cmp); 6] = [
+        ("<=", Cmp::Le),
+        (">=", Cmp::Ge),
+        ("==", Cmp::Eq),
+        ("!=", Cmp::Ne),
+        ("<", Cmp::Lt),
+        (">", Cmp::Gt),
+    ];
+    for (tok, cmp) in CMPS {
+        if let Some(pos) = s.find(tok) {
+            let field = match s[..pos].trim() {
+                "key" => Field::Key,
+                "val" => Field::Val,
+                other => return Err(format!("bad predicate field {other:?}")),
+            };
+            let lit = parse_uint(s[pos + tok.len()..].trim())?;
+            return Ok(Pred { field, cmp, lit });
+        }
+    }
+    Err(format!("bad predicate {s:?}"))
+}
+
+fn parse_map_expr(s: &str) -> Result<MapExpr, String> {
+    let rest = s
+        .strip_prefix("val")
+        .ok_or_else(|| format!("map expression must start with `val`, got {s:?}"))?
+        .trim_start();
+    const OPS: [(&str, ArithOp); 8] = [
+        (">>", ArithOp::Shr),
+        ("<<", ArithOp::Shl),
+        ("+", ArithOp::Add),
+        ("-", ArithOp::Sub),
+        ("*", ArithOp::Mul),
+        ("/", ArithOp::Div),
+        ("%", ArithOp::Rem),
+        ("&", ArithOp::And),
+    ];
+    for (tok, op) in OPS {
+        if let Some(rest) = rest.strip_prefix(tok) {
+            let lit = parse_uint(rest.trim())?;
+            return Ok(MapExpr { op, lit });
+        }
+    }
+    Err(format!("bad map operator in {s:?}"))
+}
+
+fn parse_expr(text: &str, bindings: &[Binding]) -> Result<Expr, String> {
+    let (func, args) = split_call(text)?;
+    let args = args.map(split_args);
+    match func {
+        "labels" => {
+            if args.is_some_and(|a| !a.is_empty()) {
+                return Err("labels takes no arguments".into());
+            }
+            Ok(Expr::Source(Source::Labels))
+        }
+        "filter" | "threshold" => {
+            let args = args.ok_or_else(|| format!("{func} needs (input, predicate)"))?;
+            let [input, pred] = args[..] else {
+                return Err(format!("{func} needs exactly (input, predicate)"));
+            };
+            let input = resolve(input, bindings)?;
+            let pred = parse_pred(pred)?;
+            Ok(if func == "filter" {
+                Expr::Filter { input, pred }
+            } else {
+                Expr::Threshold { input, pred }
+            })
+        }
+        "map" => {
+            let args = args.ok_or("map needs (input, val OP N)")?;
+            let [input, expr] = args[..] else {
+                return Err("map needs exactly (input, val OP N)".into());
+            };
+            Ok(Expr::Map {
+                input: resolve(input, bindings)?,
+                expr: parse_map_expr(expr)?,
+            })
+        }
+        "join" => {
+            let args = args.ok_or("join needs (left, right[, val=MODE])")?;
+            let (l, r, val) = match args[..] {
+                [l, r] => (l, r, JoinVal::Sum),
+                [l, r, v] => {
+                    let mode = v
+                        .strip_prefix("val")
+                        .map(str::trim_start)
+                        .and_then(|v| v.strip_prefix('='))
+                        .map(str::trim)
+                        .ok_or_else(|| format!("bad join option {v:?}"))?;
+                    let val = match mode {
+                        "left" => JoinVal::Left,
+                        "right" => JoinVal::Right,
+                        "sum" => JoinVal::Sum,
+                        "min" => JoinVal::Min,
+                        "max" => JoinVal::Max,
+                        other => return Err(format!("bad join val mode {other:?}")),
+                    };
+                    (l, r, val)
+                }
+                _ => return Err("join needs (left, right[, val=MODE])".into()),
+            };
+            Ok(Expr::Join {
+                left: resolve(l, bindings)?,
+                right: resolve(r, bindings)?,
+                val,
+            })
+        }
+        "count" | "sum" | "min" | "max" => {
+            let args = args.ok_or_else(|| format!("{func} needs (input)"))?;
+            let [input] = args[..] else {
+                return Err(format!("{func} needs exactly (input)"));
+            };
+            let kind = match func {
+                "count" => AggKind::Count,
+                "sum" => AggKind::Sum,
+                "min" => AggKind::Min,
+                _ => AggKind::Max,
+            };
+            Ok(Expr::Agg {
+                input: resolve(input, bindings)?,
+                kind,
+            })
+        }
+        name => {
+            let class = QueryClass::from_name(name)
+                .ok_or_else(|| format!("unknown operator or class {name:?}"))?;
+            let source = match args {
+                None => None,
+                Some(a) if a.is_empty() => None,
+                Some(a) => {
+                    let [arg] = a[..] else {
+                        return Err(format!("{name} takes at most source=K"));
+                    };
+                    let k = arg
+                        .strip_prefix("source")
+                        .map(str::trim_start)
+                        .and_then(|v| v.strip_prefix('='))
+                        .map(str::trim)
+                        .ok_or_else(|| format!("bad source option {arg:?}"))?;
+                    Some(parse_uint(k)? as NodeId)
+                }
+            };
+            if !class.source_rooted() {
+                if source.is_some() {
+                    return Err(format!("{name} does not take a source"));
+                }
+                Ok(Expr::Source(Source::Class {
+                    class,
+                    source: None,
+                }))
+            } else {
+                Ok(Expr::Source(Source::Class {
+                    class,
+                    source: Some(source.unwrap_or(0)),
+                }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_display_is_pinned() {
+        let p = Plan::parse("d=sssp;near=filter(d,val<6);n=count(near)").unwrap();
+        assert_eq!(
+            p.display(),
+            "d = sssp(source=0); near = filter(d, val < 6); n = count(near)"
+        );
+        let p = Plan::parse(
+            "a = cc; l = labels; j = join(a, l); m = map(j, val >> 1); t = threshold(m, val >= 3)",
+        )
+        .unwrap();
+        assert_eq!(
+            p.display(),
+            "a = cc; l = labels; j = join(a, l, val=sum); m = map(j, val >> 1); \
+             t = threshold(m, val >= 3)"
+        );
+    }
+
+    #[test]
+    fn parse_display_round_trips() {
+        for text in [
+            "d = sssp(source=3); x = filter(d, key != 3); s = sum(x)",
+            "r = reach(source=1); n = count(r)",
+            "a = lcc; b = map(a, val & 4294967295); m = max(b)",
+            "a = sim; l = labels; j = join(a, l, val=left); m = min(j)",
+            "a = dfs; b = bc; j = join(a, b, val=max); t = threshold(j, val > 10)",
+        ] {
+            let p = Plan::parse(text).unwrap();
+            let shown = p.display();
+            let again = Plan::parse(&shown).unwrap();
+            assert_eq!(p, again, "{text}");
+            assert_eq!(shown, again.display(), "{text}");
+        }
+    }
+
+    #[test]
+    fn references_must_be_earlier_bindings() {
+        assert!(Plan::parse("n = count(d); d = cc").is_err());
+        assert!(Plan::parse("d = cc; d = lcc").is_err());
+        assert!(Plan::parse("d = filter(d, val < 1)").is_err());
+        assert!(Plan::parse("").is_err());
+    }
+
+    #[test]
+    fn class_argument_rules() {
+        // Source-rooted classes default to source 0.
+        let p = Plan::parse("d = sssp").unwrap();
+        assert_eq!(
+            p.bindings()[0].expr,
+            Expr::Source(Source::Class {
+                class: QueryClass::Sssp,
+                source: Some(0)
+            })
+        );
+        // Non-rooted classes refuse one.
+        assert!(Plan::parse("d = cc(source=0)").is_err());
+        assert!(Plan::parse("d = pagerank").is_err());
+        assert!(Plan::parse("l = labels(3)").is_err());
+    }
+
+    #[test]
+    fn predicate_and_map_eval() {
+        let p = parse_pred("val <= 5").unwrap();
+        assert!(p.eval(0, 5) && !p.eval(0, 6));
+        let p = parse_pred("key != 2").unwrap();
+        assert!(p.eval(3, 0) && !p.eval(2, 0));
+        let m = parse_map_expr("val - 3").unwrap();
+        assert_eq!(m.eval(2), 2u64.wrapping_sub(3));
+        let m = parse_map_expr("val / 0").unwrap();
+        assert_eq!(m.eval(9), 0);
+        let m = parse_map_expr("val << 2").unwrap();
+        assert_eq!(m.eval(3), 12);
+    }
+
+    #[test]
+    fn sources_are_deduped() {
+        let p = Plan::parse("a = cc; b = cc; j = join(a, b); n = count(j)").unwrap();
+        assert_eq!(p.sources().len(), 1);
+    }
+}

@@ -19,6 +19,7 @@
 //! pattern-labels 0 1           # only when sim is under test
 //! pattern-edge 0 1
 //! classes sssp,cc,sim,reach,lcc,dfs,bc
+//! plan d = sssp(source=3); n = count(d)   # optional dataflow-oracle plan
 //! threads 1,2,4
 //! edge 0 1 5                   # base graph: src dst weight
 //! batch                        # schedule: batches of +/- ops
@@ -88,6 +89,12 @@ pub struct Case {
     /// and must still match the batch ground truth. Stamped into corpus
     /// files so coalesce-mode reproducers replay in coalesce mode.
     pub coalesce: bool,
+    /// An `incgraph-plan/1` program to drive the dataflow oracle with:
+    /// a standing [`DataflowSession`](incgraph_dataflow::DataflowSession)
+    /// follows the schedule and must land on exactly the view a fresh
+    /// plan evaluation computes on every intermediate graph. Validated
+    /// at parse time against [`Plan::parse`](incgraph_dataflow::Plan).
+    pub plan: Option<String>,
 }
 
 impl Case {
@@ -146,6 +153,9 @@ impl Case {
         if self.coalesce {
             let _ = writeln!(out, "coalesce 1");
         }
+        if let Some(plan) = &self.plan {
+            let _ = writeln!(out, "plan {plan}");
+        }
         let threads: Vec<String> = self.threads.iter().map(|t| t.to_string()).collect();
         let _ = writeln!(out, "threads {}", threads.join(","));
         for &(u, v, w) in &self.edges {
@@ -185,6 +195,7 @@ impl Case {
         let mut fault: Option<Fault> = None;
         let mut crash_at: Option<CrashPoint> = None;
         let mut coalesce = false;
+        let mut plan: Option<String> = None;
         let mut saw_header = false;
         let mut saw_end = false;
 
@@ -260,6 +271,19 @@ impl Case {
                     );
                 }
                 "coalesce" => coalesce = num("coalesce <0|1>")? != 0,
+                "plan" => {
+                    // The plan program is the raw remainder of the line
+                    // (it contains spaces); validate it against the
+                    // grammar so corpus typos fail loudly at parse time.
+                    let text = line
+                        .split_once(char::is_whitespace)
+                        .map(|(_, rest)| rest.trim())
+                        .filter(|t| !t.is_empty())
+                        .ok_or_else(|| err(lineno, "expected plan text".into()))?;
+                    incgraph_dataflow::Plan::parse(text)
+                        .map_err(|e| err(lineno, format!("bad plan: {e}")))?;
+                    plan = Some(text.to_string());
+                }
                 "threads" => {
                     let list = it
                         .next()
@@ -321,6 +345,22 @@ impl Case {
         if classes.contains(&ClassId::Sim) && pattern.is_none() {
             return Err(err(1, "class `sim` needs pattern-labels".into()));
         }
+        if let Some(text) = &plan {
+            let parsed = incgraph_dataflow::Plan::parse(text).expect("validated above");
+            for s in parsed.sources() {
+                if let incgraph_dataflow::Source::Class { class, .. } = s {
+                    if class == ClassId::Sim && pattern.is_none() {
+                        return Err(err(1, "plan uses `sim` but no pattern-labels".into()));
+                    }
+                    if directed && class.requires_undirected() {
+                        return Err(err(
+                            1,
+                            format!("plan uses `{}` on a directed graph", class.name()),
+                        ));
+                    }
+                }
+            }
+        }
         if directed {
             if let Some(c) = classes.iter().find(|c| c.requires_undirected()) {
                 return Err(err(
@@ -346,6 +386,7 @@ impl Case {
             fault,
             crash_at,
             coalesce,
+            plan,
         })
     }
 }
@@ -373,6 +414,7 @@ mod tests {
             fault: Some(Fault::SkipOp),
             crash_at: Some(CrashPoint::WalPostFsync),
             coalesce: true,
+            plan: Some("d = sssp(source=1); f = filter(d, val < 9); n = count(f)".into()),
         }
     }
 
@@ -394,6 +436,7 @@ mod tests {
         assert_eq!(parsed.fault, case.fault);
         assert_eq!(parsed.crash_at, case.crash_at);
         assert_eq!(parsed.coalesce, case.coalesce);
+        assert_eq!(parsed.plan, case.plan);
         let (p, q) = (parsed.pattern.unwrap(), case.pattern.unwrap());
         assert_eq!(p.node_count(), q.node_count());
         assert_eq!(p.edges().collect::<Vec<_>>(), q.edges().collect::<Vec<_>>());
@@ -423,6 +466,13 @@ mod tests {
         assert!(Case::parse(op_outside).is_err(), "op before batch");
         let sim_no_pattern = "incgraph-case v1\nnodes 2\nclasses sim\nend\n";
         assert!(Case::parse(sim_no_pattern).is_err(), "sim needs pattern");
+        let bad_plan = "incgraph-case v1\nnodes 2\nclasses cc\nplan x = zap(q)\nend\n";
+        assert!(Case::parse(bad_plan).is_err(), "plan must parse");
+        let sim_plan = "incgraph-case v1\nnodes 2\nclasses cc\nplan s = sim; n = count(s)\nend\n";
+        assert!(Case::parse(sim_plan).is_err(), "sim plan needs pattern");
+        let dir_plan =
+            "incgraph-case v1\ndirected 1\nnodes 2\nclasses cc\nplan a = lcc; n = count(a)\nend\n";
+        assert!(Case::parse(dir_plan).is_err(), "lcc plan needs undirected");
     }
 
     #[test]

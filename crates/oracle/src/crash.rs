@@ -25,7 +25,7 @@
 //! exercises the checkpoint-plus-WAL-suffix path, not just full replay.
 
 use crate::case::Case;
-use incgraph_algos::{update_with, ExecOptions, IncrementalState, Session};
+use incgraph_algos::{update_with, ExecOptions, IncrementalState, QueryClass, Session};
 use incgraph_durable::{recover, CrashPoint, DurableError, DurableOptions, DurableSession};
 use incgraph_graph::{DynamicGraph, NodeId};
 use std::path::PathBuf;
@@ -87,11 +87,15 @@ fn build_states(case: &Case, g: &DynamicGraph, source: NodeId) -> Vec<Box<dyn In
     case.classes
         .iter()
         .map(|&c| -> Box<dyn IncrementalState> {
-            let mut builder = Session::builder(c).source(source);
-            if let Some(p) = &case.pattern {
+            let mut builder = Session::builder(c);
+            if c.source_rooted() {
+                builder = builder.source(source);
+            }
+            if c == QueryClass::Sim {
+                let p = case.pattern.as_ref().expect("sim case without a pattern");
                 builder = builder.pattern(p.clone());
             }
-            Box::new(builder.build(g).expect("sim case without a pattern"))
+            Box::new(builder.build(g).expect("session build"))
         })
         .collect()
 }
@@ -352,6 +356,7 @@ mod tests {
             fault: None,
             crash_at: None,
             coalesce: false,
+            plan: None,
         }
     }
 

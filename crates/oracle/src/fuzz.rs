@@ -16,7 +16,7 @@
 
 use crate::case::Case;
 use crate::crash::{run_crash_case, CrashFailure};
-use crate::gencase::{gen_case, GenConfig};
+use crate::gencase::{gen_case, gen_plan, GenConfig};
 use crate::runner::{run_case, ClassId, Fault, OracleFailure};
 use crate::shrink::{shrink_case, ShrinkStats};
 use incgraph_core::CaseTrace;
@@ -46,6 +46,11 @@ pub struct FuzzConfig {
     /// [`Case::coalesce`]): a fourth session per class consumes the
     /// schedule merged into net batches and must match the ground truth.
     pub coalesce: bool,
+    /// Also drive the dataflow oracle on every case: a random small
+    /// `incgraph-plan/1` program ([`gen_plan`]) stands over the schedule
+    /// and its incrementally maintained view must match a from-scratch
+    /// plan evaluation after every batch.
+    pub dataflow: bool,
     /// Case size knobs.
     pub gen: GenConfig,
 }
@@ -61,6 +66,7 @@ impl FuzzConfig {
             crash: false,
             corpus_dir: None,
             coalesce: false,
+            dataflow: false,
             gen: GenConfig::default(),
         }
     }
@@ -141,6 +147,9 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         let case_seed = rng.next_u64();
         let mut case = gen_case(case_seed, &cfg.gen);
         case.coalesce = cfg.coalesce;
+        if cfg.dataflow {
+            case.plan = Some(gen_plan(case_seed, &case));
+        }
         let outcome = run_case(&case, cfg.inject_fault);
         report.cases_run += 1;
         report.checks += outcome.checks;
@@ -228,9 +237,10 @@ fn write_corpus_file(
     let minimized = &minimized;
     let mut comments = vec![
         format!(
-            "found by `incgraph fuzz --seed {}{}`",
+            "found by `incgraph fuzz --seed {}{}{}`",
             cfg.seed,
-            if cfg.coalesce { " --coalesce" } else { "" }
+            if cfg.coalesce { " --coalesce" } else { "" },
+            if cfg.dataflow { " --dataflow" } else { "" }
         ),
         format!("case seed {case_seed}"),
         format!("failure: {failure}"),
@@ -304,6 +314,25 @@ mod tests {
             coal.checks > plain.checks,
             "coalesce mode must add oracle checks ({} vs {})",
             coal.checks,
+            plain.checks
+        );
+    }
+
+    #[test]
+    fn dataflow_campaign_is_clean_and_checks_more() {
+        let plain = fuzz(&FuzzConfig::new(1, 8));
+        let mut cfg = FuzzConfig::new(1, 8);
+        cfg.dataflow = true;
+        let df = fuzz(&cfg);
+        assert!(
+            df.clean(),
+            "dataflow campaign violation: {}",
+            df.failures[0].failure
+        );
+        assert!(
+            df.checks > plain.checks,
+            "dataflow mode must add oracle checks ({} vs {})",
+            df.checks,
             plain.checks
         );
     }

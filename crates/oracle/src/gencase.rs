@@ -163,7 +163,66 @@ pub fn gen_case(seed: u64, cfg: &GenConfig) -> Case {
         fault: None,
         crash_at: None,
         coalesce: false,
+        plan: None,
     }
+}
+
+/// Expands `seed` into a small random `incgraph-plan/1` program valid
+/// for `case`: sources respect directedness (no `lcc`/`bc` on directed
+/// graphs), `sim` is always available because generated cases carry a
+/// pattern, and every program ends in an aggregate so views stay small.
+/// Deterministic in `(seed, case topology)` like the case generator.
+pub fn gen_plan(seed: u64, case: &Case) -> String {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xDA7A_F107);
+    let mut sources: Vec<String> = vec![
+        format!("sssp(source={})", case.source),
+        format!("reach(source={})", case.source),
+        "cc".into(),
+        "dfs".into(),
+        "sim".into(),
+        "labels".into(),
+    ];
+    if !case.directed {
+        sources.push("lcc".into());
+        sources.push("bc".into());
+    }
+    let mut text = format!("a = {}", sources[rng.gen_range(0..sources.len())]);
+    let mut cur = "a";
+    // Optional row-level operator over the first source.
+    match rng.gen_range(0..3usize) {
+        0 => {
+            let cmp = ["<", "<=", ">", ">=", "!="][rng.gen_range(0..5usize)];
+            let k = rng.gen_range(0..8u64);
+            text.push_str(&format!("; b = filter({cur}, val {cmp} {k})"));
+            cur = "b";
+        }
+        1 => {
+            let op = ["+", "*", "&", ">>"][rng.gen_range(0..4usize)];
+            let k = 1 + rng.gen_range(0..4u64);
+            text.push_str(&format!("; b = map({cur}, val {op} {k})"));
+            cur = "b";
+        }
+        _ => {}
+    }
+    // Optional bilinear join against a second source.
+    if rng.gen_bool(0.5) {
+        let s2 = sources[rng.gen_range(0..sources.len())].clone();
+        let val = ["left", "right", "sum", "min", "max"][rng.gen_range(0..5usize)];
+        text.push_str(&format!("; c = {s2}; d = join({cur}, c, val={val})"));
+        cur = "d";
+    }
+    // Terminal: an aggregate, or a threshold feeding a count.
+    match rng.gen_range(0..5usize) {
+        0 => text.push_str(&format!("; z = sum({cur})")),
+        1 => text.push_str(&format!("; z = min({cur})")),
+        2 => text.push_str(&format!("; z = max({cur})")),
+        3 => {
+            let k = rng.gen_range(0..6u64);
+            text.push_str(&format!("; t = threshold({cur}, val > {k}); z = count(t)"));
+        }
+        _ => text.push_str(&format!("; z = count({cur})")),
+    }
+    text
 }
 
 /// Convenience: rebuilds the mirror graph a prefix of the schedule leaves
@@ -207,6 +266,37 @@ mod tests {
                 .any(|b| b.updates().iter().any(|u| !u.is_insert()));
         }
         assert!(directed_seen && undirected_seen && delete_seen);
+    }
+
+    #[test]
+    fn generated_plans_parse_and_cover_all_class_sources() {
+        use incgraph_dataflow::{Plan, Source};
+        let cfg = GenConfig::default();
+        let mut classes_seen = Vec::new();
+        for seed in 0..60u64 {
+            let case = gen_case(seed, &cfg);
+            let text = gen_plan(seed, &case);
+            assert_eq!(text, gen_plan(seed, &case), "plan gen is deterministic");
+            let plan = Plan::parse(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}: {text}"));
+            for s in plan.sources() {
+                if let Source::Class { class, .. } = s {
+                    assert!(
+                        !case.directed || !class.requires_undirected(),
+                        "seed {seed} put `{}` on a directed graph",
+                        class.name()
+                    );
+                    if !classes_seen.contains(&class) {
+                        classes_seen.push(class);
+                    }
+                }
+            }
+        }
+        classes_seen.sort_unstable();
+        assert_eq!(
+            classes_seen,
+            ClassId::ALL.to_vec(),
+            "60 seeds must draw every class as a plan source"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::case::Case;
 use incgraph_algos::{IncrementalState, Session};
 use incgraph_core::metrics::BoundednessReport;
+use incgraph_dataflow::{eval_once, DataflowSession, Plan, PlanContext, Source};
 use incgraph_graph::{AppliedBatch, DynamicGraph, NodeId, Pattern};
 
 /// The seven query classes, in canonical order. Historically this enum
@@ -52,6 +53,9 @@ pub enum OracleKind {
         /// How many ΔG batches were merged into the diverging net batch.
         merged: usize,
     },
+    /// The standing dataflow view diverged from a fresh plan evaluation
+    /// on the current graph (cases carrying a `plan` line).
+    Dataflow,
 }
 
 impl OracleKind {
@@ -62,6 +66,7 @@ impl OracleKind {
             OracleKind::SeqVsPar { .. } => "seq-vs-par",
             OracleKind::Boundedness => "boundedness",
             OracleKind::Coalesce { .. } => "coalesce",
+            OracleKind::Dataflow => "dataflow",
         }
     }
 
@@ -187,11 +192,14 @@ fn build_session(
     pattern: Option<&Pattern>,
     threads: usize,
 ) -> Session {
-    let mut builder = Session::builder(class).source(source).threads(threads);
-    if let Some(p) = pattern {
-        builder = builder.pattern(p.clone());
+    let mut builder = Session::builder(class).threads(threads);
+    if class.source_rooted() {
+        builder = builder.source(source);
     }
-    builder.build(g).expect("sim case without a pattern")
+    if class == ClassId::Sim {
+        builder = builder.pattern(pattern.expect("sim case without a pattern").clone());
+    }
+    builder.build(g).expect("session build")
 }
 
 /// One class's states under test: the sequential baseline plus one state
@@ -224,6 +232,18 @@ fn first_diff(a: &[u64], b: &[u64]) -> Option<(usize, u64, u64)> {
 /// Number of differing positions (the `|AFF|` diff of oracle 3).
 fn diff_count(a: &[u64], b: &[u64]) -> usize {
     a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Human-readable first divergence between a standing view and a fresh
+/// plan evaluation (both are sorted `(key, value, weight)` rows).
+fn view_diff(standing: &[(u64, u64, i64)], fresh: &[(u64, u64, i64)]) -> String {
+    let extra = standing.iter().find(|r| !fresh.contains(r));
+    let missing = fresh.iter().find(|r| !standing.contains(r));
+    format!(
+        "standing view has {} rows vs {} recomputed; spurious {extra:?}, missing {missing:?}",
+        standing.len(),
+        fresh.len()
+    )
 }
 
 /// The boundedness accounting checks for one incremental run.
@@ -315,6 +335,45 @@ pub fn run_case(case: &Case, fault: Option<Fault>) -> RunOutcome {
             coal,
             prev_full,
         });
+    }
+
+    // Dataflow oracle (cases carrying a `plan` line): a standing
+    // DataflowSession follows the schedule — fed the same *presented*
+    // ΔG as the class states, so injected faults reach it too — and its
+    // view must equal a from-scratch plan evaluation on every
+    // intermediate graph (the operator-level analogue of inc-vs-batch).
+    let df_ctx = PlanContext {
+        pattern: case.pattern.clone(),
+        threads: 0,
+    };
+    let mut dataflow = case.plan.as_deref().map(|text| {
+        let plan = Plan::parse(text).expect("case plan parses (validated by Case::parse)");
+        let class = plan
+            .sources()
+            .iter()
+            .find_map(|s| match s {
+                Source::Class { class, .. } => Some(*class),
+                Source::Labels => None,
+            })
+            .unwrap_or(ClassId::Cc);
+        let session = DataflowSession::build(plan, &g, &df_ctx).expect("case plan builds");
+        (session, class)
+    });
+    if let Some((session, class)) = dataflow.as_ref() {
+        checks += 1;
+        let text = case.plan.as_deref().expect("dataflow implies plan");
+        let fresh = eval_once(text, &g, &df_ctx).expect("plan batch eval");
+        if session.view() != fresh {
+            return RunOutcome {
+                checks,
+                failure: Some(OracleFailure {
+                    class: *class,
+                    round: None,
+                    kind: OracleKind::Dataflow,
+                    detail: view_diff(&session.view(), &fresh),
+                }),
+            };
+        }
     }
 
     // Coalesce oracle: the *real* applied batches (never the doctored
@@ -416,6 +475,23 @@ pub fn run_case(case: &Case, fault: Option<Fault>) -> RunOutcome {
             }
             cut.prev_full = full;
         }
+        if let Some((session, class)) = dataflow.as_mut() {
+            session.apply(&g, &presented);
+            checks += 1;
+            let text = case.plan.as_deref().expect("dataflow implies plan");
+            let fresh = eval_once(text, &g, &df_ctx).expect("plan batch eval");
+            if session.view() != fresh {
+                return RunOutcome {
+                    checks,
+                    failure: Some(OracleFailure {
+                        class: *class,
+                        round: Some(round),
+                        kind: OracleKind::Dataflow,
+                        detail: view_diff(&session.view(), &fresh),
+                    }),
+                };
+            }
+        }
         if flush {
             pending.clear();
         }
@@ -450,6 +526,7 @@ mod tests {
             fault: None,
             crash_at: None,
             coalesce: false,
+            plan: None,
         }
     }
 
@@ -511,6 +588,7 @@ mod tests {
             fault: None,
             crash_at: None,
             coalesce: false,
+            plan: None,
         };
         let outcome = run_case(&case, Some(Fault::DropDeletes));
         let failure = outcome.failure.expect("fault must be caught");

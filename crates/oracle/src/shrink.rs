@@ -159,11 +159,14 @@ pub fn shrink_case(
         }
     }
 
-    // 2. Narrow to the failing class; Sim's pattern goes with it.
+    // 2. Narrow to the failing class; Sim's pattern goes with it —
+    //    unless the dataflow plan still reads the `sim` source, which
+    //    needs the pattern to build.
     if best.classes.len() > 1 {
         let mut c = best.clone();
         c.classes = vec![failure.class];
-        if failure.class != ClassId::Sim {
+        let plan_needs_pattern = c.plan.as_deref().is_some_and(|p| p.contains("sim"));
+        if failure.class != ClassId::Sim && !plan_needs_pattern {
             c.pattern = None;
         }
         if sh.holds(&c) {

@@ -6,7 +6,7 @@
 //! notifications buffered to the side ([`Client::take_deltas`] /
 //! [`Client::poll_delta`]).
 
-use crate::protocol::{self, Delta, MAX_LINE_BYTES, WIRE_VERSION};
+use crate::protocol::{self, Delta, ViewRow, ViewRows, MAX_LINE_BYTES, WIRE_VERSION};
 use crate::store::Ack;
 use incgraph_graph::{NodeId, Update, UpdateBatch};
 use std::collections::VecDeque;
@@ -84,6 +84,10 @@ pub enum Reply {
     },
     /// A standing-query notification.
     Delta(Delta),
+    /// A standing-plan view-delta notification (`VDELTA`).
+    VDelta(ViewRows),
+    /// A full plan view (`VIEW`, the reply to `PLANQ`).
+    View(ViewRows),
     /// Load shed.
     Busy {
         /// Suggested retry delay.
@@ -150,6 +154,12 @@ pub fn parse_reply(line: &str) -> Result<Reply, ClientError> {
         Some("DELTA") => protocol::parse_delta(line)
             .map(Reply::Delta)
             .map_err(|e| ClientError::Protocol(e.0)),
+        Some("VDELTA") => protocol::parse_view_rows("VDELTA", line)
+            .map(Reply::VDelta)
+            .map_err(|e| ClientError::Protocol(e.0)),
+        Some("VIEW") => protocol::parse_view_rows("VIEW", line)
+            .map(Reply::View)
+            .map_err(|e| ClientError::Protocol(e.0)),
         Some("BUSY") => {
             let retry_after_ms = it.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
             Ok(Reply::Busy { retry_after_ms })
@@ -169,6 +179,7 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     sid: u64,
     deltas: VecDeque<Delta>,
+    vdeltas: VecDeque<ViewRows>,
     partial: Vec<u8>,
 }
 
@@ -194,6 +205,7 @@ impl Client {
             reader: BufReader::with_capacity(16 * 1024, stream),
             sid: 0,
             deltas: VecDeque::new(),
+            vdeltas: VecDeque::new(),
             partial: Vec::new(),
         };
         match c.request(&format!("HELLO {WIRE_VERSION} {token}"))? {
@@ -270,6 +282,38 @@ impl Client {
     /// Drops a standing query.
     pub fn unregister(&mut self, qid: &str) -> Result<(), ClientError> {
         self.expect_ok(&format!("UNREGISTER {qid}"))
+    }
+
+    /// Registers a standing dataflow plan (`incgraph-plan/1` text);
+    /// returns the initial view's row count.
+    pub fn plan(
+        &mut self,
+        qid: &str,
+        graph: &str,
+        pattern_seed: u64,
+        text: &str,
+    ) -> Result<usize, ClientError> {
+        let ok = self.expect_ok_payload(&format!("PLAN {qid} {graph} {pattern_seed} {text}"))?;
+        ok.split_whitespace()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad PLAN reply `{ok}`")))
+    }
+
+    /// Drops a standing plan.
+    pub fn unplan(&mut self, qid: &str) -> Result<(), ClientError> {
+        self.expect_ok(&format!("UNPLAN {qid}"))
+    }
+
+    /// Fetches a standing plan's full current view.
+    pub fn planq(&mut self, qid: &str) -> Result<(u64, Vec<ViewRow>), ClientError> {
+        match self.request(&format!("PLANQ {qid}"))? {
+            Reply::View(v) => Ok((v.wal_seq, v.rows)),
+            Reply::Err { code, detail } => Err(ClientError::Server { code, detail }),
+            other => Err(ClientError::Protocol(format!(
+                "expected VIEW, got {other:?}"
+            ))),
+        }
     }
 
     /// Sends one `UPDATE` batch under `client_seq` and waits for the
@@ -409,9 +453,44 @@ impl Client {
             None => Ok(None),
             Some(line) => match parse_reply(&line)? {
                 Reply::Delta(d) => Ok(Some(d)),
+                Reply::VDelta(v) => {
+                    self.vdeltas.push_back(v);
+                    Ok(None)
+                }
                 Reply::Goodbye(r) => Err(ClientError::Goodbye(r)),
                 other => Err(ClientError::Protocol(format!(
                     "expected DELTA, got {other:?}"
+                ))),
+            },
+        }
+    }
+
+    /// Drains the buffered `VDELTA` notifications received so far.
+    pub fn take_vdeltas(&mut self) -> Vec<ViewRows> {
+        self.vdeltas.drain(..).collect()
+    }
+
+    /// Waits up to `timeout` for the next `VDELTA` (buffered ones
+    /// first). `Ok(None)` on timeout.
+    pub fn poll_vdelta(&mut self, timeout: Duration) -> Result<Option<ViewRows>, ClientError> {
+        if let Some(v) = self.vdeltas.pop_front() {
+            return Ok(Some(v));
+        }
+        let old = self.reader.get_ref().read_timeout()?;
+        self.reader.get_ref().set_read_timeout(Some(timeout))?;
+        let got = self.read_line_opt();
+        self.reader.get_ref().set_read_timeout(old)?;
+        match got? {
+            None => Ok(None),
+            Some(line) => match parse_reply(&line)? {
+                Reply::VDelta(v) => Ok(Some(v)),
+                Reply::Delta(d) => {
+                    self.deltas.push_back(d);
+                    Ok(None)
+                }
+                Reply::Goodbye(r) => Err(ClientError::Goodbye(r)),
+                other => Err(ClientError::Protocol(format!(
+                    "expected VDELTA, got {other:?}"
                 ))),
             },
         }
@@ -435,6 +514,7 @@ impl Client {
             };
             match parse_reply(&line)? {
                 Reply::Delta(d) => self.deltas.push_back(d),
+                Reply::VDelta(v) => self.vdeltas.push_back(v),
                 Reply::Goodbye(r) => return Err(ClientError::Goodbye(r)),
                 other => return Ok(other),
             }

@@ -15,6 +15,9 @@
 //! GRAPH <name> <nodes> directed|undirected
 //! REGISTER <qid> <graph> <class> [source=<n>] [pattern=<seed>]
 //! UNREGISTER <qid>
+//! PLAN <qid> <graph> <pattern-seed> <plan-text…>   (incgraph-plan/1, to end of line)
+//! UNPLAN <qid>
+//! PLANQ <qid>
 //! UPDATE <graph> <seq> <k>      (then k update lines)
 //! QUERY <qid>
 //! STATUS
@@ -40,6 +43,8 @@
 //! ACK <seq> <wal-seq> <units> [dup]
 //! DELTA <qid> <wal-seq> <m> <i>:<v>...      (m changed digest entries)
 //! DELTA <qid> <wal-seq> resync <len>        (too many changes: re-QUERY)
+//! VDELTA <qid> <wal-seq> <m> <k>:<v>:<w>... (m weighted view-row changes)
+//! VIEW <qid> <wal-seq> <n> <k>:<v>:<w>...   (full standing-plan view)
 //! RESULT <qid> <wal-seq> <n> <v>...
 //! PONG
 //! ERR <code> <detail...>
@@ -101,6 +106,9 @@ pub enum ErrCode {
     DupQuery,
     /// `QUERY`/`UNREGISTER` named an unregistered query id.
     UnknownQuery,
+    /// `PLAN` text was rejected by the `incgraph-plan/1` parser or a
+    /// member session refused to build.
+    BadPlan,
     /// Client sequence is neither `last` (retry) nor `last + 1` (next).
     SeqGap,
     /// The ΔG failed batch validation; the store is unchanged.
@@ -141,6 +149,7 @@ impl ErrCode {
             ErrCode::UndirectedRequired => "undirected-required",
             ErrCode::DupQuery => "dup-query",
             ErrCode::UnknownQuery => "unknown-query",
+            ErrCode::BadPlan => "bad-plan",
             ErrCode::SeqGap => "seq-gap",
             ErrCode::InvalidBatch => "invalid-batch",
             ErrCode::ReadOnly => "readonly",
@@ -156,7 +165,7 @@ impl ErrCode {
 
     /// Inverse of [`name`](Self::name).
     pub fn from_name(s: &str) -> Option<ErrCode> {
-        const ALL: [ErrCode; 20] = [
+        const ALL: [ErrCode; 21] = [
             ErrCode::BadProto,
             ErrCode::BadCommand,
             ErrCode::NeedHello,
@@ -167,6 +176,7 @@ impl ErrCode {
             ErrCode::UndirectedRequired,
             ErrCode::DupQuery,
             ErrCode::UnknownQuery,
+            ErrCode::BadPlan,
             ErrCode::SeqGap,
             ErrCode::InvalidBatch,
             ErrCode::ReadOnly,
@@ -209,6 +219,23 @@ pub enum Command {
         pattern_seed: u64,
     },
     Unregister {
+        qid: String,
+    },
+    /// Standing dataflow plan over `graph`. `text` is the raw
+    /// `incgraph-plan/1` plan (rest of the line, verbatim);
+    /// `pattern_seed` seeds the Sim pattern for `sim` sources, mirroring
+    /// `REGISTER pattern=`.
+    Plan {
+        qid: String,
+        graph: String,
+        pattern_seed: u64,
+        text: String,
+    },
+    Unplan {
+        qid: String,
+    },
+    /// Full materialized view of a standing plan (`VIEW` reply).
+    Planq {
         qid: String,
     },
     UpdateHeader {
@@ -326,6 +353,44 @@ pub fn parse_command(line: &str) -> Result<Command, CommandError> {
                 .ok_or_else(|| bad("UNREGISTER needs a query id"))?
                 .to_string(),
         },
+        "PLAN" => {
+            // The plan text is the raw remainder of the line (it
+            // contains spaces), so PLAN re-tokenizes from `line` instead
+            // of consuming the whitespace-split iterator.
+            let rest = line.trim_start();
+            let rest = rest["PLAN".len()..].trim_start();
+            let (qid, rest) = take_token(rest).ok_or_else(|| bad("PLAN needs a query id"))?;
+            let (graph, rest) = take_token(rest).ok_or_else(|| bad("PLAN needs a graph"))?;
+            let (seed, rest) = take_token(rest).ok_or_else(|| bad("PLAN needs a pattern seed"))?;
+            if !ident_ok(qid) || !ident_ok(graph) {
+                return Err(bad("PLAN ids must be short identifiers"));
+            }
+            let pattern_seed: u64 = seed.parse().map_err(|_| bad("bad PLAN pattern seed"))?;
+            let text = rest.trim();
+            if text.is_empty() {
+                return Err(bad("PLAN needs a plan text"));
+            }
+            Command::Plan {
+                qid: qid.to_string(),
+                graph: graph.to_string(),
+                pattern_seed,
+                text: text.to_string(),
+            }
+        }
+        "UNPLAN" => Command::Unplan {
+            qid: it
+                .next()
+                .filter(|q| ident_ok(q))
+                .ok_or_else(|| bad("UNPLAN needs a query id"))?
+                .to_string(),
+        },
+        "PLANQ" => Command::Planq {
+            qid: it
+                .next()
+                .filter(|q| ident_ok(q))
+                .ok_or_else(|| bad("PLANQ needs a query id"))?
+                .to_string(),
+        },
         "UPDATE" => {
             let graph = it.next().ok_or_else(|| bad("UPDATE needs a graph"))?;
             if !ident_ok(graph) {
@@ -409,10 +474,21 @@ pub fn parse_command(line: &str) -> Result<Command, CommandError> {
         "PROMOTE" => Command::Promote,
         other => return Err(bad(&format!("unknown command {other}"))),
     };
-    if it.next().is_some() && !matches!(parsed, Command::Hello { .. }) {
+    if it.next().is_some() && !matches!(parsed, Command::Hello { .. } | Command::Plan { .. }) {
         return Err(bad("trailing arguments"));
     }
     Ok(parsed)
+}
+
+/// Splits the next whitespace-separated token off `s`, returning it and
+/// the remainder (used by `PLAN`, whose last argument is raw text).
+fn take_token(s: &str) -> Option<(&str, &str)> {
+    let s = s.trim_start();
+    if s.is_empty() {
+        return None;
+    }
+    let end = s.find(char::is_whitespace).unwrap_or(s.len());
+    Some((&s[..end], &s[end..]))
 }
 
 /// Parses one `+ u v [w]` / `- u v` unit line into `batch`.
@@ -508,6 +584,57 @@ pub fn parse_delta(line: &str) -> Result<Delta, CommandError> {
             })
         }
     }
+}
+
+/// One weighted view row `(key, value, weight)` of a standing plan.
+pub type ViewRow = (u64, u64, i64);
+
+/// Formats a standing-plan view notification (`VDELTA`) or full view
+/// reply (`VIEW`): weighted `(key, value, weight)` rows in key order.
+pub fn format_view_rows(verb: &str, qid: &str, wal_seq: u64, rows: &[ViewRow]) -> String {
+    let mut s = format!("{verb} {qid} {wal_seq} {}", rows.len());
+    for (k, v, w) in rows {
+        s.push(' ');
+        s.push_str(&format!("{k}:{v}:{w}"));
+    }
+    s
+}
+
+/// A parsed `VDELTA`/`VIEW` line, as seen by clients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewRows {
+    pub qid: String,
+    pub wal_seq: u64,
+    pub rows: Vec<ViewRow>,
+}
+
+/// Parses a server `VDELTA` or `VIEW` line (client side); `verb` selects
+/// which.
+pub fn parse_view_rows(verb: &str, line: &str) -> Result<ViewRows, CommandError> {
+    let bad = || CommandError(format!("bad {verb} line `{line}`"));
+    let mut it = line.split_whitespace();
+    if it.next() != Some(verb) {
+        return Err(bad());
+    }
+    let qid = it.next().ok_or_else(bad)?.to_string();
+    let wal_seq: u64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    let n: usize = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let triple = it.next().ok_or_else(bad)?;
+        let mut parts = triple.split(':');
+        let k: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+        let v: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+        let w: i64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        rows.push((k, v, w));
+    }
+    if it.next().is_some() {
+        return Err(bad());
+    }
+    Ok(ViewRows { qid, wal_seq, rows })
 }
 
 /// Lowercase hex encoding for replication payloads (std-only).
@@ -764,6 +891,62 @@ mod tests {
         for line in ["STATUS", "PING", "BYE", "SHUTDOWN"] {
             assert!(parse_command(line).is_ok(), "{line}");
         }
+    }
+
+    #[test]
+    fn plan_commands_capture_raw_text() {
+        assert_eq!(
+            parse_command("PLAN p1 g0 42 d = sssp(source=0); n = count(d)"),
+            Ok(Command::Plan {
+                qid: "p1".into(),
+                graph: "g0".into(),
+                pattern_seed: 42,
+                text: "d = sssp(source=0); n = count(d)".into(),
+            })
+        );
+        // Internal whitespace of the plan text survives verbatim.
+        match parse_command("PLAN p g 7 a = cc;  b = filter(a, val < 5)") {
+            Ok(Command::Plan { text, .. }) => {
+                assert_eq!(text, "a = cc;  b = filter(a, val < 5)")
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_command("UNPLAN p1"),
+            Ok(Command::Unplan { qid: "p1".into() })
+        );
+        assert_eq!(
+            parse_command("PLANQ p1"),
+            Ok(Command::Planq { qid: "p1".into() })
+        );
+        for line in [
+            "PLAN",
+            "PLAN p1",
+            "PLAN p1 g0",
+            "PLAN p1 g0 42",
+            "PLAN p1 g0 seed d = cc",
+            "PLAN bad/id g0 42 d = cc",
+            "UNPLAN",
+            "PLANQ extra args",
+        ] {
+            assert!(parse_command(line).is_err(), "{line:?} should fail");
+        }
+    }
+
+    #[test]
+    fn view_rows_round_trip() {
+        let rows = vec![(0u64, 5u64, 1i64), (3, 9, -1)];
+        let line = format_view_rows("VDELTA", "p1", 12, &rows);
+        assert_eq!(line, "VDELTA p1 12 2 0:5:1 3:9:-1");
+        let parsed = parse_view_rows("VDELTA", &line).unwrap();
+        assert_eq!(parsed.qid, "p1");
+        assert_eq!(parsed.wal_seq, 12);
+        assert_eq!(parsed.rows, rows);
+        let line = format_view_rows("VIEW", "p2", 0, &[]);
+        assert_eq!(line, "VIEW p2 0 0");
+        assert_eq!(parse_view_rows("VIEW", &line).unwrap().rows, vec![]);
+        assert!(parse_view_rows("VIEW", "VIEW p 1 2 0:1:1").is_err());
+        assert!(parse_view_rows("VIEW", "VDELTA p 1 0").is_err());
     }
 
     #[test]

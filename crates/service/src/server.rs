@@ -195,6 +195,19 @@ pub(crate) enum Job {
         qid: String,
         out: Arc<Outbound>,
     },
+    Plan {
+        sid: u64,
+        qid: String,
+        graph: String,
+        pattern_seed: u64,
+        text: String,
+        out: Arc<Outbound>,
+    },
+    Unplan {
+        sid: u64,
+        qid: String,
+        out: Arc<Outbound>,
+    },
     Update {
         graph: String,
         token: String,
@@ -859,6 +872,46 @@ fn handle_line(
                 out: Arc::clone(&ctx.out),
             },
         ),
+        Command::Plan {
+            qid,
+            graph,
+            pattern_seed,
+            text,
+        } => submit(
+            shared,
+            ctx,
+            Job::Plan {
+                sid: ctx.sid,
+                qid,
+                graph,
+                pattern_seed,
+                text,
+                out: Arc::clone(&ctx.out),
+            },
+        ),
+        Command::Unplan { qid } => submit(
+            shared,
+            ctx,
+            Job::Unplan {
+                sid: ctx.sid,
+                qid,
+                out: Arc::clone(&ctx.out),
+            },
+        ),
+        Command::Planq { qid } => {
+            match shared
+                .store()
+                .as_ref()
+                .and_then(|s| s.plan_view(ctx.sid, &qid))
+            {
+                Some((rows, seq)) => {
+                    ctx.out
+                        .push_line(protocol::format_view_rows("VIEW", &qid, seq, &rows));
+                }
+                None => ctx.err(ErrCode::UnknownQuery, &format!("no plan {qid}")),
+            }
+            true
+        }
         Command::UpdateHeader { graph, seq, k } => {
             read_and_submit_update(shared, ctx, reader, last_activity, graph, seq, k)
         }
@@ -1293,6 +1346,25 @@ fn process_job(shared: &Arc<Shared>, job: Job, st: &mut WriterState) -> JobOutco
         Job::Unregister { sid, qid, out } => {
             match store.unregister(sid, &qid) {
                 Ok(()) => out.push_line(format!("OK UNREGISTER {qid}")),
+                Err((c, d)) => out.push_line(format!("ERR {c} {d}")),
+            };
+        }
+        Job::Plan {
+            sid,
+            qid,
+            graph,
+            pattern_seed,
+            text,
+            out,
+        } => {
+            match store.register_plan(sid, &qid, &graph, pattern_seed, &text, Arc::clone(&out)) {
+                Ok(rows) => out.push_line(format!("OK PLAN {qid} {rows}")),
+                Err((c, d)) => out.push_line(format!("ERR {c} {d}")),
+            };
+        }
+        Job::Unplan { sid, qid, out } => {
+            match store.unregister_plan(sid, &qid) {
+                Ok(()) => out.push_line(format!("OK UNPLAN {qid}")),
                 Err((c, d)) => out.push_line(format!("ERR {c} {d}")),
             };
         }

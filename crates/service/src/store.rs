@@ -27,8 +27,9 @@
 
 use crate::dedup::{self, AckRecord, DedupEntry, DedupLog};
 use crate::outbound::Outbound;
-use crate::protocol::ErrCode;
+use crate::protocol::{format_view_rows, ErrCode, ViewRow};
 use incgraph_algos::{IncrementalState, QueryClass, Session, SessionError};
+use incgraph_dataflow::{DataflowError, DataflowSession, PlanContext};
 use incgraph_durable::{
     encode_record, recover, scan_records, CrashPoint, DurableError, DurableOptions, DurableSession,
     WAL_NAME,
@@ -128,6 +129,16 @@ struct StandingQuery {
     out: Arc<Outbound>,
 }
 
+/// One registered standing *dataflow* plan (`PLAN`): a live
+/// [`DataflowSession`] plus the canonical plan text and pattern seed it
+/// can be rebuilt from when a replica adopts a shipped snapshot.
+struct StandingPlan {
+    session: DataflowSession,
+    text: String,
+    pattern_seed: u64,
+    out: Arc<Outbound>,
+}
+
 // One Backend exists per named graph for the life of the process, so
 // the Memory/Durable size asymmetry never multiplies across a
 // collection — boxing would only add a pointer chase to the hot path.
@@ -164,6 +175,9 @@ struct GraphEntry {
     acks: HashMap<String, AckRecord>,
     /// `(session id, qid)` → standing query.
     queries: BTreeMap<(u64, String), StandingQuery>,
+    /// `(session id, qid)` → standing dataflow plan. Plans share the
+    /// per-session query cap and the qid namespace with `queries`.
+    plans: BTreeMap<(u64, String), StandingPlan>,
 }
 
 /// The service's shared state. See the module docs.
@@ -228,6 +242,7 @@ impl Store {
                 backend: Backend::Durable { session, dedup },
                 acks: index.into_iter().collect(),
                 queries: BTreeMap::new(),
+                plans: BTreeMap::new(),
             },
         );
         Ok(store)
@@ -282,6 +297,7 @@ impl Store {
                 },
                 acks: HashMap::new(),
                 queries: BTreeMap::new(),
+                plans: BTreeMap::new(),
             },
         );
         incgraph_obs::counter("service.graphs_created", 1);
@@ -312,13 +328,14 @@ impl Store {
             return Err((ErrCode::UnknownGraph, format!("no graph {graph}")));
         };
         let key = (sid, qid.to_string());
-        if entry.queries.contains_key(&key) {
+        if entry.queries.contains_key(&key) || entry.plans.contains_key(&key) {
             return Err((
                 ErrCode::DupQuery,
                 format!("{qid} is already registered on this session"),
             ));
         }
-        let owned = entry.queries.keys().filter(|(s, _)| *s == sid).count();
+        let owned = entry.queries.keys().filter(|(s, _)| *s == sid).count()
+            + entry.plans.keys().filter(|(s, _)| *s == sid).count();
         if owned >= self.limits.max_queries_per_session {
             return Err((
                 ErrCode::TooLarge,
@@ -337,7 +354,10 @@ impl Store {
         }
         let _cls = incgraph_obs::class_scope(class.name());
         let _span = incgraph_obs::span("service.register");
-        let mut builder = Session::builder(class).source(source);
+        let mut builder = Session::builder(class);
+        if class.source_rooted() {
+            builder = builder.source(source);
+        }
         if class == QueryClass::Sim {
             builder = builder.pattern(random_pattern(g, 4, 6, pattern_seed));
         }
@@ -378,14 +398,103 @@ impl Store {
         Err((ErrCode::UnknownQuery, format!("no query {qid}")))
     }
 
-    /// Drops every standing query of a disconnected session; returns how
-    /// many were removed.
+    /// Registers a standing dataflow plan (`PLAN`) for session `sid`:
+    /// parses the `incgraph-plan/1` text, builds the member class
+    /// sessions, and primes the view. Returns the initial view row count
+    /// (what `PLANQ` will enumerate).
+    pub fn register_plan(
+        &mut self,
+        sid: u64,
+        qid: &str,
+        graph: &str,
+        pattern_seed: u64,
+        text: &str,
+        out: Arc<Outbound>,
+    ) -> Result<usize, WireError> {
+        let Some(entry) = self.graphs.get_mut(graph) else {
+            return Err((ErrCode::UnknownGraph, format!("no graph {graph}")));
+        };
+        let key = (sid, qid.to_string());
+        if entry.queries.contains_key(&key) || entry.plans.contains_key(&key) {
+            return Err((
+                ErrCode::DupQuery,
+                format!("{qid} is already registered on this session"),
+            ));
+        }
+        let owned = entry.queries.keys().filter(|(s, _)| *s == sid).count()
+            + entry.plans.keys().filter(|(s, _)| *s == sid).count();
+        if owned >= self.limits.max_queries_per_session {
+            return Err((
+                ErrCode::TooLarge,
+                format!(
+                    "session caps at {} standing queries",
+                    self.limits.max_queries_per_session
+                ),
+            ));
+        }
+        let g = entry.backend.graph();
+        let _span = incgraph_obs::span("service.plan");
+        let ctx = PlanContext {
+            pattern: Some(random_pattern(g, 4, 6, pattern_seed)),
+            threads: 0,
+        };
+        let session = match DataflowSession::from_text(text, g, &ctx) {
+            Ok(s) => s,
+            Err(DataflowError::Session(SessionError::RequiresUndirected(c))) => {
+                return Err((
+                    ErrCode::UndirectedRequired,
+                    format!("{} needs an undirected graph", c.name()),
+                ))
+            }
+            Err(e) => return Err((ErrCode::BadPlan, e.to_string())),
+        };
+        let rows = session.view().len();
+        // Store the canonical form so replica rebuilds and STATUS agree
+        // with what the parser admitted, not the client's spelling.
+        let canonical = session.plan().display();
+        entry.plans.insert(
+            key,
+            StandingPlan {
+                session,
+                text: canonical,
+                pattern_seed,
+                out,
+            },
+        );
+        incgraph_obs::counter("service.plans", 1);
+        Ok(rows)
+    }
+
+    /// Unregisters one standing plan of session `sid`.
+    pub fn unregister_plan(&mut self, sid: u64, qid: &str) -> Result<(), WireError> {
+        for entry in self.graphs.values_mut() {
+            if entry.plans.remove(&(sid, qid.to_string())).is_some() {
+                return Ok(());
+            }
+        }
+        Err((ErrCode::UnknownQuery, format!("no plan {qid}")))
+    }
+
+    /// Reads a standing plan's materialized view with the sequence it
+    /// reflects (`PLANQ`, over the shared lock).
+    pub fn plan_view(&self, sid: u64, qid: &str) -> Option<(Vec<ViewRow>, u64)> {
+        self.graphs.values().find_map(|entry| {
+            entry
+                .plans
+                .get(&(sid, qid.to_string()))
+                .map(|p| (p.session.view(), entry.backend.seq()))
+        })
+    }
+
+    /// Drops every standing query and plan of a disconnected session;
+    /// returns how many were removed.
     pub fn drop_session(&mut self, sid: u64) -> usize {
         let mut removed = 0;
         for entry in self.graphs.values_mut() {
-            let before = entry.queries.len();
+            let before = entry.queries.len() + entry.plans.len();
             entry.queries.retain(|(s, _), _| *s != sid);
-            removed += before - entry.queries.len();
+            entry.plans.retain(|(s, _), _| *s != sid);
+            removed += before - entry.queries.len() - entry.plans.len();
         }
         removed
     }
@@ -544,7 +653,7 @@ impl Store {
         let Some(entry) = self.graphs.get_mut(graph) else {
             return;
         };
-        if batches.is_empty() || entry.queries.is_empty() {
+        if batches.is_empty() || (entry.queries.is_empty() && entry.plans.is_empty()) {
             return;
         }
         let _notify = incgraph_obs::span("service.notify");
@@ -567,31 +676,38 @@ impl Store {
         let max_entries = self.limits.max_delta_entries;
         for ((_, qid), q) in entry.queries.iter_mut() {
             let _cls = incgraph_obs::class_scope(q.class.name());
-            q.session.update_guarded(g, applied);
-            let new = q.session.digest(g);
-            if new == q.digest {
+            // The session's typed delta replaces the historical
+            // digest-zip: same wire bytes, O(|Δoutput|) instead of
+            // O(|Ψ|) per query per commit.
+            let delta = q.session.update_guarded(g, applied).delta;
+            if delta.resync.is_none() && delta.changes.is_empty() {
                 continue;
             }
-            if new.len() != q.digest.len() {
-                // Digest geometry changed (BC's bridge list can grow):
-                // positional diffs are meaningless, ask for a re-QUERY.
-                q.out.push_delta(qid, wal_seq, None, new.len());
+            let len = q.session.output().digest_len();
+            if delta.resync.is_some() || delta.changes.len() > max_entries {
+                // Digest geometry changed (BC's bridge list can grow) or
+                // the diff is too large to ship: positional diffs are
+                // meaningless or uneconomical, ask for a re-QUERY.
+                q.out.push_delta(qid, wal_seq, None, len);
             } else {
-                let changed: BTreeMap<u32, u64> = new
-                    .iter()
-                    .zip(q.digest.iter())
-                    .enumerate()
-                    .filter(|(_, (n, o))| n != o)
-                    .map(|(i, (n, _))| (i as u32, *n))
-                    .collect();
-                if changed.len() > max_entries {
-                    q.out.push_delta(qid, wal_seq, None, new.len());
-                } else {
-                    incgraph_obs::observe("service.delta_entries", changed.len() as u64);
-                    q.out.push_delta(qid, wal_seq, Some(changed), new.len());
-                }
+                let changed: BTreeMap<u32, u64> =
+                    delta.changes.iter().map(|c| (c.index, c.new)).collect();
+                incgraph_obs::observe("service.delta_entries", changed.len() as u64);
+                q.out.push_delta(qid, wal_seq, Some(changed), len);
             }
-            q.digest = new;
+            q.digest = q.session.digest(g);
+        }
+        // Standing plans tick after the class queries: one DAG
+        // propagation per plan, notified as a `VDELTA` of weighted view
+        // rows (empty ticks stay silent, like unchanged digests).
+        for ((_, qid), p) in entry.plans.iter_mut() {
+            let delta = p.session.apply(g, applied);
+            if delta.is_empty() {
+                continue;
+            }
+            incgraph_obs::observe("service.vdelta_rows", delta.len() as u64);
+            p.out
+                .push_line(format_view_rows("VDELTA", qid, wal_seq, delta.rows()));
         }
     }
 
@@ -619,7 +735,10 @@ impl Store {
     pub fn counts(&self) -> (usize, usize) {
         (
             self.graphs.len(),
-            self.graphs.values().map(|e| e.queries.len()).sum(),
+            self.graphs
+                .values()
+                .map(|e| e.queries.len() + e.plans.len())
+                .sum(),
         )
     }
 
@@ -905,7 +1024,10 @@ impl Store {
         // incremental states describe dead history.
         let g = session.graph();
         for ((_, qid), q) in entry.queries.iter_mut() {
-            let mut builder = Session::builder(q.class).source(q.source);
+            let mut builder = Session::builder(q.class);
+            if q.class.source_rooted() {
+                builder = builder.source(q.source);
+            }
             if q.class == QueryClass::Sim {
                 builder = builder.pattern(random_pattern(g, 4, 6, q.pattern_seed));
             }
@@ -913,6 +1035,19 @@ impl Store {
                 q.digest = s.digest(g);
                 q.session = s;
                 q.out.push_delta(qid, covered, None, q.digest.len());
+            }
+        }
+        // Standing plans likewise: rebuild from the canonical text and
+        // push the full view so the client resyncs.
+        for ((_, qid), p) in entry.plans.iter_mut() {
+            let ctx = PlanContext {
+                pattern: Some(random_pattern(g, 4, 6, p.pattern_seed)),
+                threads: 0,
+            };
+            if let Ok(s) = DataflowSession::from_text(&p.text, g, &ctx) {
+                p.out
+                    .push_line(format_view_rows("VIEW", qid, covered, &s.view()));
+                p.session = s;
             }
         }
         entry.backend = Backend::Durable { session, dedup };

@@ -402,6 +402,94 @@ fn register_mid_window_flushes_first_and_never_double_applies() {
 }
 
 #[test]
+fn standing_plan_emits_correct_view_deltas_under_churn() {
+    // The acceptance scenario: a standing `filter(sssp.dist < k) |> count`
+    // plan over a live server must push VDELTA rows that, applied to the
+    // initial view, always equal the server's own full view (PLANQ).
+    let mut server = memory_server(quick_cfg());
+    let mut c = Client::connect(server.addr(), "lena").unwrap();
+    c.graph("g0", 16, false).unwrap();
+    let rows = c
+        .plan(
+            "p1",
+            "g0",
+            0,
+            "d = sssp(source=0); near = filter(d, val < 4); n = count(near)",
+        )
+        .unwrap();
+    // Empty graph: only the source is within distance 4 → count 1.
+    assert_eq!(rows, 1);
+    let (_, view0) = c.planq("p1").unwrap();
+    assert_eq!(view0, vec![(0, 1, 1)]);
+
+    // Maintain a client-side materialization from the pushed deltas and
+    // pin it to the server's view after every batch.
+    let mut mat: std::collections::BTreeMap<(u64, u64), i64> =
+        view0.iter().map(|&(k, v, w)| ((k, v), w)).collect();
+    type Inserts = &'static [(u32, u32, u32)];
+    type Deletes = &'static [(u32, u32)];
+    let churn: &[(Inserts, Deletes)] = &[
+        (&[(0, 1, 1), (1, 2, 1)], &[]), // count 1 → 3
+        (&[(2, 3, 1), (3, 4, 1)], &[]), // count 3 → 4 (node 4 at dist 4)
+        (&[], &[(0, 1)]),               // sever the chain: back to 1
+        (&[(0, 4, 2), (4, 5, 1)], &[]), // re-grow from the other side
+    ];
+    for (seq, (ins, dels)) in churn.iter().enumerate() {
+        let mut b = UpdateBatch::new();
+        for &(u, v, w) in *ins {
+            b.insert(u, v, w);
+        }
+        for &(u, v) in *dels {
+            b.delete(u, v);
+        }
+        let ack = c.update("g0", seq as u64 + 1, &b).unwrap();
+        let vd = c
+            .poll_vdelta(Duration::from_secs(5))
+            .unwrap()
+            .expect("every effective batch must push a VDELTA");
+        assert_eq!(vd.qid, "p1");
+        assert_eq!(vd.wal_seq, ack.wal_seq);
+        for (k, v, w) in vd.rows {
+            let e = mat.entry((k, v)).or_insert(0);
+            *e += w;
+            if *e == 0 {
+                mat.remove(&(k, v));
+            }
+        }
+        let (qseq, qview) = c.planq("p1").unwrap();
+        assert_eq!(qseq, ack.wal_seq);
+        let replayed: Vec<(u64, u64, i64)> = mat.iter().map(|(&(k, v), &w)| (k, v, w)).collect();
+        assert_eq!(replayed, qview, "delta replay diverged at batch {seq}");
+    }
+    // The final count reflects the last topology: 0,4,5 within dist 4 of 0
+    // plus any survivors of the earlier inserts still connected.
+    assert_eq!(mat.len(), 1, "count plan has a single aggregate row");
+
+    // A batch that cannot move the view (edge far outside the radius)
+    // pushes nothing.
+    let mut quiet = UpdateBatch::new();
+    quiet.insert(10, 11, 6);
+    c.update("g0", 5, &quiet).unwrap();
+    assert!(
+        c.poll_vdelta(Duration::from_millis(300)).unwrap().is_none(),
+        "a batch that leaves the view unchanged must not push a VDELTA"
+    );
+
+    // UNPLAN stops the stream; PLANQ then reports unknown-query.
+    c.unplan("p1").unwrap();
+    match c.planq("p1") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "unknown-query"),
+        other => panic!("{other:?}"),
+    }
+    // A malformed plan is a typed refusal.
+    match c.plan("p2", "g0", 0, "x = frobnicate(q)") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "bad-plan"),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
 fn load_harness_smoke_all_classes() {
     let mut server = memory_server(quick_cfg());
     let report = run_load(&LoadConfig {

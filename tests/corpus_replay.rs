@@ -46,6 +46,7 @@ fn corpus_cases_replay_as_recorded() {
     let mut regressions = 0usize;
     let mut reproducers = 0usize;
     let mut crash_cases = 0usize;
+    let mut plan_cases = 0usize;
     for path in corpus_files() {
         let shown = path.display();
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{shown}: {e}"));
@@ -58,6 +59,9 @@ fn corpus_cases_replay_as_recorded() {
             assert!(outcome.recoveries > 0, "{shown}: sweep ran no recoveries");
             crash_cases += 1;
             continue;
+        }
+        if case.plan.is_some() {
+            plan_cases += 1;
         }
         let outcome = run_case(&case, case.fault);
         match (case.fault, outcome.failure) {
@@ -76,4 +80,5 @@ fn corpus_cases_replay_as_recorded() {
     assert!(regressions > 0, "no fault-free regression cases replayed");
     assert!(reproducers > 0, "no intentional-fault reproducers replayed");
     assert!(crash_cases > 0, "no crash-recovery cases replayed");
+    assert!(plan_cases > 0, "no plan-bearing dataflow cases replayed");
 }

@@ -47,6 +47,7 @@ fn all_classes_case() -> Case {
         fault: None,
         crash_at: None,
         coalesce: false,
+        plan: None,
     }
 }
 
